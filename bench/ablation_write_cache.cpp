@@ -1,0 +1,82 @@
+// Ablation of the controller's fast-release host data buffer (paper §III.A
+// lists it among the "common subsystems necessary for ... an enterprise-
+// grade SSD").
+//
+// Sweeps the write-cache size and reports the host-visible 4 KiB write
+// latency for a bursty workload plus the write amplification the cache's
+// coalescing saves on a hot working set.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "ssd/profiles.hpp"
+#include "ssd/ssd.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace compstor;
+
+struct Point {
+  double avg_write_us = 0;
+  double waf = 0;
+  std::uint64_t nand_programs = 0;
+};
+
+Point Measure(std::uint32_t cache_pages) {
+  ssd::SsdProfile profile = ssd::TestProfile();
+  profile.ftl.write_cache_pages = cache_pages;
+  ssd::Ssd device(profile);
+
+  // Bursty hot-set workload: 4096 writes over a 256-page working set.
+  util::Xoshiro256 rng(13);
+  auto buf = std::make_shared<std::vector<std::uint8_t>>(4096, 0x42);
+  double total_latency = 0;
+  constexpr int kWrites = 4096;
+  for (int i = 0; i < kWrites; ++i) {
+    const std::uint64_t lba = rng.Below(256);
+    nvme::Completion cqe = device.host_interface().WriteSync(lba, 1, buf);
+    if (!cqe.status.ok()) {
+      std::fprintf(stderr, "write failed: %s\n", cqe.status.ToString().c_str());
+      return {};
+    }
+    total_latency += cqe.latency;
+  }
+  // Durability point: flush whatever is still buffered.
+  nvme::Command flush;
+  flush.opcode = nvme::Opcode::kFlush;
+  (void)device.host_interface().Submit(std::move(flush)).get();
+
+  Point p;
+  p.avg_write_us = total_latency / kWrites * 1e6;
+  const auto stats = device.ftl().Stats();
+  p.waf = static_cast<double>(stats.flash_programs) / kWrites;
+  p.nand_programs = stats.flash_programs;
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("\n================================================================\n");
+  std::printf("Ablation - fast-release host write buffer\n");
+  std::printf("================================================================\n");
+  std::printf("4096 x 4KiB writes over a 256-page hot set, then flush:\n\n");
+  std::printf("%-22s %16s %18s %12s\n", "cache size", "avg latency (us)",
+              "NAND programs", "programs/write");
+  for (std::uint32_t pages : {0u, 64u, 512u, 2048u}) {
+    Point p = Measure(pages);
+    char label[32];
+    if (pages == 0) {
+      std::snprintf(label, sizeof(label), "off (write-through)");
+    } else {
+      std::snprintf(label, sizeof(label), "%u pages (%u KiB)", pages, pages * 4);
+    }
+    std::printf("%-22s %16.1f %18llu %12.3f\n", label, p.avg_write_us,
+                static_cast<unsigned long long>(p.nand_programs), p.waf);
+  }
+  std::printf("\nThe buffer releases host writes at DRAM speed and coalesces hot\n"
+              "pages, so NAND sees a fraction of the traffic. A cache covering\n"
+              "the working set absorbs nearly everything until the flush.\n");
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Reproduces Fig 8: energy consumption per gigabyte of input data (J/GB),
+// CompStor vs the Xeon host, for the six workloads of the evaluation:
+// gzip, gunzip, bzip2, bunzip2 (compute-intensive) and grep, gawk
+// (IO-intensive).
+//
+// Methodology mirrors the paper (§IV.C): energy = average power x time,
+// normalized per GB of input so the result is independent of the number of
+// devices. Both platforms run the workloads single-stream (the regime the
+// paper's absolute joules imply), over the same synthetic book corpus, with
+// each book file processed by one command invocation.
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "harness.hpp"
+
+namespace {
+
+using namespace compstor;
+using bench::Measured;
+
+constexpr std::uint32_t kFiles = 6;
+constexpr std::uint64_t kTotalBytes = 6ull << 20;  // 6 MiB corpus (scaled)
+
+std::vector<proto::Command> CommandsFor(const std::string& app,
+                                        const workload::Dataset& ds,
+                                        const char* suffix) {
+  std::vector<proto::Command> cmds;
+  for (const auto& f : ds.files) {
+    cmds.push_back(bench::MakeAppCommand(app, f.path + suffix));
+  }
+  return cmds;
+}
+
+std::uint64_t StoredBytes(fs::Filesystem& fs, const workload::Dataset& ds,
+                          const char* suffix) {
+  std::uint64_t total = 0;
+  for (const auto& f : ds.files) {
+    auto st = fs.Stat(f.path + suffix);
+    if (st.ok()) total += st->size;
+  }
+  return total;
+}
+
+using PhaseRunner =
+    std::function<Measured(const std::vector<proto::Command>&, std::uint64_t)>;
+
+/// Runs the six-workload sequence on one platform; the sequence restores the
+/// corpus as it goes (gzip makes .gz, gunzip restores, ...). Returns results
+/// in order gzip, gunzip, bzip2, bunzip2, grep, gawk.
+std::vector<Measured> RunAllWorkloads(fs::Filesystem& fs, const PhaseRunner& run) {
+  std::vector<Measured> out;
+  const workload::Dataset ds = bench::StageDataset(fs, kFiles, kTotalBytes, /*seed=*/11);
+  if (ds.files.empty()) return out;
+  const std::uint64_t plain_bytes = StoredBytes(fs, ds, "");
+
+  out.push_back(run(CommandsFor("gzip", ds, ""), plain_bytes));
+  out.push_back(run(CommandsFor("gunzip", ds, ".gz"), StoredBytes(fs, ds, ".gz")));
+  out.push_back(run(CommandsFor("bzip2", ds, ""), plain_bytes));
+  out.push_back(run(CommandsFor("bunzip2", ds, ".bz2"), StoredBytes(fs, ds, ".bz2")));
+  out.push_back(run(CommandsFor("grep", ds, ""), plain_bytes));
+  out.push_back(run(CommandsFor("gawk", ds, ""), plain_bytes));
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Fig 8 - Energy consumption per gigabyte of input (J/GB)");
+
+  struct PaperRow {
+    const char* app;
+    double compstor;
+    double xeon;
+  };
+  const std::vector<PaperRow> paper = {
+      {"gzip", 880.9, 1462},  {"gunzip", 177.6, 522}, {"bzip2", 1717, 2621.4},
+      {"bunzip2", 1908, 4666}, {"grep", 68.5, 222.7},  {"gawk", 89.17, 295.4},
+  };
+
+  auto dev = bench::DeviceStack::Make(/*seed=*/3);
+  auto host = bench::HostStack::Make(/*seed=*/3);
+  if (!dev || !host) {
+    std::fprintf(stderr, "setup failed\n");
+    return 1;
+  }
+
+  const std::vector<Measured> compstor = RunAllWorkloads(
+      dev->agent->filesystem(),
+      [&](const std::vector<proto::Command>& cmds, std::uint64_t bytes) {
+        return bench::RunDeviceSequential(*dev, cmds, bytes);
+      });
+  const std::vector<Measured> xeon = RunAllWorkloads(
+      host->exec->filesystem(),
+      [&](const std::vector<proto::Command>& cmds, std::uint64_t bytes) {
+        return bench::RunHostSequential(*host, cmds, bytes);
+      });
+  if (compstor.size() != paper.size() || xeon.size() != paper.size()) {
+    std::fprintf(stderr, "workload sequence failed\n");
+    return 1;
+  }
+
+  std::printf("%-9s | %10s %10s | %10s %10s | %16s\n", "workload",
+              "CompStor", "(paper)", "Xeon", "(paper)", "saving (paper)");
+  std::printf("%-9s | %10s %10s | %10s %10s |\n", "", "J/GB", "J/GB", "J/GB", "J/GB");
+  std::printf("----------+-----------------------+-----------------------+---------"
+              "--------\n");
+  for (std::size_t i = 0; i < paper.size(); ++i) {
+    const double ratio = compstor[i].JoulesPerGB() > 0
+                             ? xeon[i].JoulesPerGB() / compstor[i].JoulesPerGB()
+                             : 0;
+    std::printf("%-9s | %10.1f %10.1f | %10.1f %10.1f | %6.2fx (%.2fx)\n",
+                paper[i].app, compstor[i].JoulesPerGB(), paper[i].compstor,
+                xeon[i].JoulesPerGB(), paper[i].xeon, ratio,
+                paper[i].xeon / paper[i].compstor);
+  }
+  std::printf("\nEnergy = task-active + platform-baseline x makespan + storage ops,\n"
+              "normalized per GB of input file data (as in the paper, so the\n"
+              "result is independent of the number of CompStors).\n");
+  return 0;
+}

@@ -1,0 +1,186 @@
+// Shared experiment harness for the paper-reproduction benches.
+//
+// Builds device stacks (SSD + agent + client handle), stages datasets,
+// runs workloads sequentially (Fig 8's single-stream setup) or in parallel
+// (Fig 6/7's scaling setup), and aggregates time + energy the way the paper
+// reports them.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "client/cluster.hpp"
+#include "client/in_situ.hpp"
+#include "host/executor.hpp"
+#include "isps/agent.hpp"
+#include "isps/profile.hpp"
+#include "ssd/profiles.hpp"
+#include "ssd/ssd.hpp"
+#include "workload/dataset.hpp"
+
+namespace compstor::bench {
+
+/// One CompStor device with its agent and a client handle, ready to use.
+struct DeviceStack {
+  std::unique_ptr<ssd::Ssd> ssd;
+  std::unique_ptr<isps::Agent> agent;
+  std::unique_ptr<client::CompStorHandle> handle;
+
+  static std::unique_ptr<DeviceStack> Make(std::uint64_t seed = 1,
+                                           double capacity_scale = 0.0015) {
+    auto stack = std::make_unique<DeviceStack>();
+    stack->ssd = std::make_unique<ssd::Ssd>(ssd::CompStorProfile(capacity_scale), seed);
+    stack->agent = std::make_unique<isps::Agent>(stack->ssd.get());
+    stack->handle = std::make_unique<client::CompStorHandle>(stack->ssd.get());
+    if (!stack->handle->FormatFilesystem().ok()) return nullptr;
+    return stack;
+  }
+
+  /// Clears energy meters and virtual clocks before a measured phase.
+  void ResetMeters() {
+    ssd->meter().Reset();
+    ssd->link().ResetStats();
+    agent->cores().ResetClocks();
+  }
+};
+
+/// The host baseline: an off-the-shelf SSD driven by the Xeon executor.
+struct HostStack {
+  std::unique_ptr<ssd::Ssd> ssd;
+  std::unique_ptr<host::HostExecutor> exec;
+
+  static std::unique_ptr<HostStack> Make(std::uint64_t seed = 1,
+                                         double capacity_scale = 0.01) {
+    auto stack = std::make_unique<HostStack>();
+    stack->ssd = std::make_unique<ssd::Ssd>(ssd::OffTheShelfProfile(capacity_scale), seed);
+    stack->exec = std::make_unique<host::HostExecutor>(stack->ssd.get());
+    if (!stack->exec->FormatFilesystem().ok()) return nullptr;
+    return stack;
+  }
+
+  void ResetMeters() {
+    ssd->meter().Reset();
+    ssd->link().ResetStats();
+    exec->meter().Reset();
+    exec->cores().ResetClocks();
+  }
+};
+
+/// Aggregated measurement of one experiment phase.
+struct Measured {
+  double makespan_s = 0;      // virtual seconds end to end
+  double active_j = 0;        // task-attributed energy (CPU + datapath)
+  double baseline_j = 0;      // platform idle power x makespan
+  double storage_j = 0;       // NAND + controller + PCIe traversal
+  std::uint64_t input_bytes = 0;
+
+  double TotalJoules() const { return active_j + baseline_j + storage_j; }
+  double JoulesPerGB() const {
+    return input_bytes == 0 ? 0 : TotalJoules() / (static_cast<double>(input_bytes) / 1e9);
+  }
+  double ThroughputMBps() const {
+    return makespan_s <= 0 ? 0 : static_cast<double>(input_bytes) / 1e6 / makespan_s;
+  }
+};
+
+inline double StorageJoules(ssd::Ssd& ssd) {
+  return ssd.meter().Joules(energy::Component::kFlash) +
+         ssd.meter().Joules(energy::Component::kController) +
+         ssd.meter().Joules(energy::Component::kLink);
+}
+
+/// Runs the commands one at a time on the device (Fig 8's single-stream
+/// regime); `input_bytes` is the stored size of the files each command reads.
+inline Measured RunDeviceSequential(DeviceStack& dev,
+                                    const std::vector<proto::Command>& commands,
+                                    std::uint64_t input_bytes) {
+  dev.ResetMeters();
+  Measured m;
+  m.input_bytes = input_bytes;
+  for (const proto::Command& cmd : commands) {
+    auto minion = dev.handle->RunMinion(cmd);
+    if (!minion.ok() || !minion->response.ok()) {
+      std::fprintf(stderr, "device task failed: %s %s\n",
+                   minion.ok() ? minion->response.status_message.c_str()
+                               : minion.status().ToString().c_str(),
+                   cmd.executable.c_str());
+      continue;
+    }
+    m.makespan_s += minion->response.elapsed_s();
+    m.active_j += minion->response.energy_joules;
+  }
+  m.baseline_j = isps::IspsCpuProfile().package_idle_watts * m.makespan_s;
+  m.storage_j = StorageJoules(*dev.ssd);
+  return m;
+}
+
+/// Same single-stream regime on the host baseline.
+inline Measured RunHostSequential(HostStack& host,
+                                  const std::vector<proto::Command>& commands,
+                                  std::uint64_t input_bytes) {
+  host.ResetMeters();
+  Measured m;
+  m.input_bytes = input_bytes;
+  for (const proto::Command& cmd : commands) {
+    proto::Response r = host.exec->Run(cmd);
+    if (!r.ok()) {
+      std::fprintf(stderr, "host task failed: %s\n", r.status_message.c_str());
+      continue;
+    }
+    m.makespan_s += r.elapsed_s();
+    m.active_j += r.energy_joules;
+  }
+  m.baseline_j = host.exec->profile().package_idle_watts * m.makespan_s;
+  m.storage_j = StorageJoules(*host.ssd);
+  return m;
+}
+
+/// Stages a plain-text dataset and returns it.
+inline workload::Dataset StageDataset(fs::Filesystem& fs, std::uint32_t files,
+                                      std::uint64_t total_bytes, std::uint64_t seed,
+                                      workload::StoredFormat format =
+                                          workload::StoredFormat::kPlain,
+                                      const std::string& dir = "/data") {
+  workload::DatasetSpec spec;
+  spec.num_files = files;
+  spec.total_bytes = total_bytes;
+  spec.seed = seed;
+  spec.format = format;
+  spec.directory = dir;
+  auto ds = workload::BuildDataset(&fs, spec);
+  if (!ds.ok()) {
+    std::fprintf(stderr, "dataset staging failed: %s\n", ds.status().ToString().c_str());
+    return {};
+  }
+  return *ds;
+}
+
+/// Command factory for the standard workloads over one file.
+inline proto::Command MakeAppCommand(const std::string& app, const std::string& path) {
+  proto::Command cmd;
+  cmd.type = proto::CommandType::kExecutable;
+  cmd.executable = app;
+  if (app == "grep") {
+    cmd.args = {"-c", "the", path};
+  } else if (app == "gawk") {
+    cmd.args = {"{ words += NF } END { print words }", path};
+  } else if (app == "gzip" || app == "bzip2") {
+    cmd.args = {path};
+  } else if (app == "gunzip" || app == "bunzip2") {
+    cmd.args = {path};
+  } else {
+    cmd.args = {path};
+  }
+  cmd.input_files = {path};
+  return cmd;
+}
+
+inline void PrintHeader(const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("================================================================\n");
+}
+
+}  // namespace compstor::bench

@@ -1,0 +1,92 @@
+// Micro-benchmarks for the compression codecs (real wall-clock throughput of
+// the emulation itself, not model time).
+#include <benchmark/benchmark.h>
+
+#include "apps/bwzip.hpp"
+#include "apps/deflate.hpp"
+#include "apps/huffman.hpp"
+#include "util/bitstream.hpp"
+#include "workload/textgen.hpp"
+
+namespace {
+
+using namespace compstor;
+
+std::vector<std::uint8_t> TextInput(std::size_t bytes) {
+  workload::TextGenOptions opt;
+  opt.seed = 99;
+  opt.approx_bytes = bytes;
+  const std::string text = workload::GenerateBookText(opt);
+  return {text.begin(), text.end()};
+}
+
+void BM_CzipCompress(benchmark::State& state) {
+  const auto input = TextInput(256 * 1024);
+  apps::CzipOptions opt;
+  opt.level = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto z = apps::CzipCompress(input, opt);
+    benchmark::DoNotOptimize(z);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * input.size()));
+}
+BENCHMARK(BM_CzipCompress)->Arg(1)->Arg(6)->Arg(9);
+
+void BM_CzipDecompress(benchmark::State& state) {
+  const auto input = TextInput(256 * 1024);
+  const auto z = apps::CzipCompress(input);
+  for (auto _ : state) {
+    auto back = apps::CzipDecompress(*z);
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * input.size()));
+}
+BENCHMARK(BM_CzipDecompress);
+
+void BM_BwzCompress(benchmark::State& state) {
+  const auto input = TextInput(128 * 1024);
+  apps::BwzOptions opt;
+  opt.block_size = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    auto z = apps::BwzCompress(input, opt);
+    benchmark::DoNotOptimize(z);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * input.size()));
+}
+BENCHMARK(BM_BwzCompress)->Arg(100 * 1024)->Arg(400 * 1024);
+
+void BM_BwzDecompress(benchmark::State& state) {
+  const auto input = TextInput(128 * 1024);
+  const auto z = apps::BwzCompress(input);
+  for (auto _ : state) {
+    auto back = apps::BwzDecompress(*z);
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * input.size()));
+}
+BENCHMARK(BM_BwzDecompress);
+
+void BM_BwtForward(benchmark::State& state) {
+  const auto input = TextInput(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::uint32_t primary;
+    auto last = apps::BwtForward(input, &primary);
+    benchmark::DoNotOptimize(last);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * input.size()));
+}
+BENCHMARK(BM_BwtForward)->Arg(16 * 1024)->Arg(64 * 1024);
+
+void BM_HuffmanBuildCode(benchmark::State& state) {
+  std::vector<std::uint64_t> freqs(288);
+  for (std::size_t i = 0; i < freqs.size(); ++i) freqs[i] = (i * 2654435761u) % 10000 + 1;
+  for (auto _ : state) {
+    auto code = apps::BuildCanonicalCode(freqs, 15);
+    benchmark::DoNotOptimize(code);
+  }
+}
+BENCHMARK(BM_HuffmanBuildCode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// Micro-benchmarks for the search workloads: regex engine, Horspool, grep
+// line scanning, and the AWK interpreter.
+#include <benchmark/benchmark.h>
+
+#include "apps/awk.hpp"
+#include "apps/grep.hpp"
+#include "apps/regex.hpp"
+#include "workload/textgen.hpp"
+
+namespace {
+
+using namespace compstor;
+
+std::string Corpus(std::size_t bytes) {
+  workload::TextGenOptions opt;
+  opt.seed = 7;
+  opt.approx_bytes = bytes;
+  return workload::GenerateBookText(opt);
+}
+
+void BM_RegexSearchLiteral(benchmark::State& state) {
+  const std::string text = Corpus(256 * 1024);
+  auto re = apps::Regex::Compile("kingdom");
+  for (auto _ : state) {
+    bool hit = re->Search(text);
+    benchmark::DoNotOptimize(hit);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * text.size()));
+}
+BENCHMARK(BM_RegexSearchLiteral);
+
+void BM_RegexSearchClass(benchmark::State& state) {
+  const std::string text = Corpus(64 * 1024);
+  auto re = apps::Regex::Compile("[0-9][0-9][0-9]+");
+  for (auto _ : state) {
+    bool hit = re->Search(text);
+    benchmark::DoNotOptimize(hit);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * text.size()));
+}
+BENCHMARK(BM_RegexSearchClass);
+
+void BM_Horspool(benchmark::State& state) {
+  const std::string text = Corpus(256 * 1024);
+  for (auto _ : state) {
+    auto at = apps::HorspoolFind(text, "government system");
+    benchmark::DoNotOptimize(at);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * text.size()));
+}
+BENCHMARK(BM_Horspool);
+
+void BM_GrepLines(benchmark::State& state) {
+  const std::string text = Corpus(128 * 1024);
+  for (auto _ : state) {
+    apps::GrepApp grep;
+    apps::AppContext ctx;
+    ctx.stdin_data = text;
+    auto rc = grep.Run(ctx, {"-c", "the"});
+    benchmark::DoNotOptimize(rc);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * text.size()));
+}
+BENCHMARK(BM_GrepLines);
+
+void BM_AwkFieldSum(benchmark::State& state) {
+  const std::string text = Corpus(64 * 1024);
+  auto program = apps::AwkProgram::Compile("{ n += NF } END { print n }");
+  for (auto _ : state) {
+    auto r = program->Run({{"f", text}}, "", {});
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * text.size()));
+}
+BENCHMARK(BM_AwkFieldSum);
+
+void BM_AwkWordFreq(benchmark::State& state) {
+  const std::string text = Corpus(32 * 1024);
+  auto program =
+      apps::AwkProgram::Compile("{ for (i = 1; i <= NF; i++) f[$i]++ } END { print length(f) }");
+  for (auto _ : state) {
+    auto r = program->Run({{"f", text}}, "", {});
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * text.size()));
+}
+BENCHMARK(BM_AwkWordFreq);
+
+}  // namespace
+
+BENCHMARK_MAIN();

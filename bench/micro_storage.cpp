@@ -1,0 +1,130 @@
+// Micro-benchmarks for the storage substrates: ECC page codec, FTL page IO
+// (including GC pressure), filesystem file IO, and the concurrency
+// primitives backing the NVMe queues.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "ecc/page_codec.hpp"
+#include "fs/filesystem.hpp"
+#include "ftl/ftl.hpp"
+#include "ssd/profiles.hpp"
+#include "ssd/ssd.hpp"
+#include "util/mpmc_queue.hpp"
+#include "util/rng.hpp"
+#include "util/spsc_ring.hpp"
+
+namespace {
+
+using namespace compstor;
+
+void BM_EccEncodePage(benchmark::State& state) {
+  ecc::PageCodec codec(4096, 544);
+  std::vector<std::uint8_t> data(4096);
+  util::Xoshiro256 rng(1);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.Next());
+  std::vector<std::uint8_t> spare(544);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.Encode(data, spare));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * 4096));
+}
+BENCHMARK(BM_EccEncodePage);
+
+void BM_EccDecodeCleanPage(benchmark::State& state) {
+  ecc::PageCodec codec(4096, 544);
+  std::vector<std::uint8_t> data(4096);
+  util::Xoshiro256 rng(2);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.Next());
+  std::vector<std::uint8_t> spare(544);
+  (void)codec.Encode(data, spare);
+  for (auto _ : state) {
+    auto d = data;
+    auto s = spare;
+    benchmark::DoNotOptimize(codec.Decode(d, s));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * 4096));
+}
+BENCHMARK(BM_EccDecodeCleanPage);
+
+void BM_FtlWrite4K(benchmark::State& state) {
+  auto profile = ssd::TestProfile();
+  flash::Array array(profile.geometry, profile.timing, profile.reliability);
+  ftl::Ftl ftl(&array, profile.ftl);
+  std::vector<std::uint8_t> page(4096, 0x3C);
+  util::Xoshiro256 rng(3);
+  const std::uint64_t span = ftl.user_pages() / 2;  // overwrites force GC
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ftl.WritePage(rng.Below(span), page));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * 4096));
+  state.counters["WAF"] = ftl.Stats().Waf();
+}
+BENCHMARK(BM_FtlWrite4K);
+
+void BM_FtlRead4K(benchmark::State& state) {
+  auto profile = ssd::TestProfile();
+  flash::Array array(profile.geometry, profile.timing, profile.reliability);
+  ftl::Ftl ftl(&array, profile.ftl);
+  std::vector<std::uint8_t> page(4096, 0x3C);
+  const std::uint64_t span = 512;
+  for (std::uint64_t i = 0; i < span; ++i) (void)ftl.WritePage(i, page);
+  util::Xoshiro256 rng(4);
+  std::vector<std::uint8_t> out(4096);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ftl.ReadPage(rng.Below(span), out));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * 4096));
+}
+BENCHMARK(BM_FtlRead4K);
+
+void BM_FsWriteReadFile(benchmark::State& state) {
+  ssd::Ssd ssd(ssd::TestProfile());
+  (void)fs::Filesystem::Format(&ssd.internal_block_device());
+  fs::Filesystem filesystem(&ssd.internal_block_device(), ssd.fs_mutex());
+  (void)filesystem.Mount();
+  const std::string blob(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filesystem.WriteFile("/bench.bin", blob));
+    benchmark::DoNotOptimize(filesystem.ReadFileAll("/bench.bin"));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) * state.range(0) * 2);
+}
+BENCHMARK(BM_FsWriteReadFile)->Arg(4096)->Arg(256 * 1024);
+
+void BM_MpmcQueuePingPong(benchmark::State& state) {
+  util::MpmcQueue<int> q(256);
+  for (auto _ : state) {
+    q.TryPush(1);
+    benchmark::DoNotOptimize(q.TryPop());
+  }
+}
+BENCHMARK(BM_MpmcQueuePingPong);
+
+void BM_SpscRingPingPong(benchmark::State& state) {
+  util::SpscRing<int> ring(256);
+  for (auto _ : state) {
+    ring.TryPush(1);
+    benchmark::DoNotOptimize(ring.TryPop());
+  }
+}
+BENCHMARK(BM_SpscRingPingPong);
+
+void BM_NvmeWriteReadRoundTrip(benchmark::State& state) {
+  ssd::Ssd ssd(ssd::TestProfile());
+  auto buf = std::make_shared<std::vector<std::uint8_t>>(4096, 0x77);
+  std::uint64_t lba = 0;
+  const std::uint64_t span = ssd.ftl().user_pages() / 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ssd.host_interface().WriteSync(lba % span, 1, buf));
+    benchmark::DoNotOptimize(ssd.host_interface().ReadSync(lba % span, 1, buf));
+    ++lba;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * 8192));
+}
+BENCHMARK(BM_NvmeWriteReadRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

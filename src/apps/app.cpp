@@ -1,0 +1,48 @@
+#include "apps/app.hpp"
+
+#include "energy/cost_model.hpp"
+
+namespace compstor::apps {
+
+void CostRecorder::AddWork(std::string_view app, std::uint64_t units) {
+  compute_units += units;
+  ref_cycles += energy::AdjustedCycles(app, units, /*in_order_target=*/false);
+  ref_cycles_in_order += energy::AdjustedCycles(app, units, /*in_order_target=*/true);
+}
+
+Result<std::string> AppContext::ReadInputFile(std::string_view path) {
+  if (fs == nullptr) return FailedPrecondition("no filesystem in context");
+  COMPSTOR_ASSIGN_OR_RETURN(std::string data, fs->ReadFileText(path));
+  cost.bytes_in += data.size();
+  return data;
+}
+
+Status AppContext::WriteOutputFile(std::string_view path, std::string_view data) {
+  if (fs == nullptr) return FailedPrecondition("no filesystem in context");
+  COMPSTOR_RETURN_IF_ERROR(fs->WriteFile(path, data));
+  cost.bytes_out += data.size();
+  return OkStatus();
+}
+
+Status AppContext::WriteOutputFile(std::string_view path,
+                                   std::span<const std::uint8_t> data) {
+  return WriteOutputFile(
+      path, std::string_view(reinterpret_cast<const char*>(data.data()), data.size()));
+}
+
+std::vector<std::string_view> SplitLines(std::string_view text) {
+  std::vector<std::string_view> lines;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t nl = text.find('\n', start);
+    if (nl == std::string_view::npos) {
+      lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+}  // namespace compstor::apps

@@ -1,0 +1,83 @@
+// The off-loadable executable interface.
+//
+// The paper's key flexibility claim is that the same unmodified program runs
+// on the host and inside the CompStor. Here that is literal: an Application
+// subclass is instantiated by the host executor and by the ISPS task runtime
+// alike; only the AppContext (which filesystem view, whose cost meter)
+// differs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+#include "fs/filesystem.hpp"
+
+namespace compstor::apps {
+
+/// Work accounting filled in by the app as it runs. Work is recorded as
+/// reference-core cycles (via the per-app cycles/byte table in
+/// energy/cost_model); the platform profile (host Xeon vs ISPS A53) divides
+/// by frequency x IPC afterwards.
+struct CostRecorder {
+  std::uint64_t bytes_in = 0;       // bytes read from files/stdin
+  std::uint64_t bytes_out = 0;      // bytes written to files/stdout
+  std::uint64_t compute_units = 0;  // raw work units (typically bytes processed)
+  double ref_cycles = 0;            // work in reference-core (OoO) cycles
+  /// Same work priced for an in-order core (per-app affinity folded in at
+  /// record time, since the app identity is gone afterwards).
+  double ref_cycles_in_order = 0;
+
+  /// Records `units` work units of application `app`.
+  void AddWork(std::string_view app, std::uint64_t units);
+
+  void Merge(const CostRecorder& other) {
+    bytes_in += other.bytes_in;
+    bytes_out += other.bytes_out;
+    compute_units += other.compute_units;
+    ref_cycles += other.ref_cycles;
+    ref_cycles_in_order += other.ref_cycles_in_order;
+  }
+};
+
+struct AppContext {
+  /// Filesystem view (host path or ISPS-internal path).
+  fs::Filesystem* fs = nullptr;
+  /// Piped input (shell `|`) or pre-loaded stdin.
+  std::string stdin_data;
+  /// Captured output streams.
+  std::string stdout_data;
+  std::string stderr_data;
+  CostRecorder cost;
+
+  // -- helpers used by every app --
+  Result<std::string> ReadInputFile(std::string_view path);
+  Status WriteOutputFile(std::string_view path, std::string_view data);
+  Status WriteOutputFile(std::string_view path, std::span<const std::uint8_t> data);
+  void Out(std::string_view s) {
+    stdout_data.append(s);
+    cost.bytes_out += s.size();
+  }
+  void Err(std::string_view s) { stderr_data.append(s); }
+};
+
+class Application {
+ public:
+  virtual ~Application() = default;
+  virtual std::string_view name() const = 0;
+  /// Returns the exit code (0 success, small positive = app-level failure,
+  /// e.g. grep's 1 for "no match"); Status for hard errors.
+  virtual Result<int> Run(AppContext& ctx, const std::vector<std::string>& args) = 0;
+};
+
+using AppFactory = std::unique_ptr<Application> (*)();
+
+/// Splits text into lines (without trailing '\n'); a trailing newline does
+/// not produce an empty final line.
+std::vector<std::string_view> SplitLines(std::string_view text);
+
+}  // namespace compstor::apps

@@ -1,0 +1,2106 @@
+#include "apps/awk.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <unordered_map>
+
+#include "apps/regex.hpp"
+
+namespace compstor::apps {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Values
+// ---------------------------------------------------------------------------
+
+/// AWK's dynamic scalar: number, string, or "numeric string" (a string that
+/// came from input and looks like a number, which compares numerically).
+struct Value {
+  enum class Kind : std::uint8_t { kUninit, kNum, kStr, kStrNum };
+  Kind kind = Kind::kUninit;
+  double num = 0;
+  std::string str;
+
+  static Value Number(double d) {
+    Value v;
+    v.kind = Kind::kNum;
+    v.num = d;
+    return v;
+  }
+  static Value Str(std::string s) {
+    Value v;
+    v.kind = Kind::kStr;
+    v.str = std::move(s);
+    return v;
+  }
+  /// A string from the input stream: numeric if it parses fully as a number.
+  static Value FromInput(std::string s) {
+    Value v;
+    v.kind = Kind::kStrNum;
+    v.str = std::move(s);
+    return v;
+  }
+};
+
+bool LooksNumeric(const std::string& s, double* out) {
+  const char* p = s.c_str();
+  char* end = nullptr;
+  while (std::isspace(static_cast<unsigned char>(*p))) ++p;
+  if (*p == '\0') return false;
+  const double d = std::strtod(p, &end);
+  if (end == p) return false;
+  while (std::isspace(static_cast<unsigned char>(*end))) ++end;
+  if (*end != '\0') return false;
+  *out = d;
+  return true;
+}
+
+double ToNum(const Value& v) {
+  switch (v.kind) {
+    case Value::Kind::kUninit: return 0;
+    case Value::Kind::kNum: return v.num;
+    default: {
+      // Leading numeric prefix, like awk.
+      const char* p = v.str.c_str();
+      char* end = nullptr;
+      const double d = std::strtod(p, &end);
+      return end == p ? 0.0 : d;
+    }
+  }
+}
+
+std::string NumToStr(double d) {
+  if (std::isfinite(d) && d == std::floor(d) && std::fabs(d) < 1e16) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", d);
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", d);  // CONVFMT default
+  return buf;
+}
+
+std::string ToStr(const Value& v) {
+  switch (v.kind) {
+    case Value::Kind::kUninit: return "";
+    case Value::Kind::kNum: return NumToStr(v.num);
+    default: return v.str;
+  }
+}
+
+bool Truthy(const Value& v) {
+  switch (v.kind) {
+    case Value::Kind::kUninit: return false;
+    case Value::Kind::kNum: return v.num != 0;
+    case Value::Kind::kStr: return !v.str.empty();
+    case Value::Kind::kStrNum: {
+      double d;
+      if (LooksNumeric(v.str, &d)) return d != 0;
+      return !v.str.empty();
+    }
+  }
+  return false;
+}
+
+/// POSIX comparison: numeric if both operands are numbers or numeric strings.
+int CompareValues(const Value& a, const Value& b) {
+  auto numeric_side = [](const Value& v, double* d) {
+    if (v.kind == Value::Kind::kNum || v.kind == Value::Kind::kUninit) {
+      *d = ToNum(v);
+      return true;
+    }
+    if (v.kind == Value::Kind::kStrNum) return LooksNumeric(v.str, d);
+    return false;
+  };
+  double da, db;
+  if (numeric_side(a, &da) && numeric_side(b, &db)) {
+    return da < db ? -1 : da > db ? 1 : 0;
+  }
+  const std::string sa = ToStr(a), sb = ToStr(b);
+  return sa < sb ? -1 : sa > sb ? 1 : 0;
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+enum class Tok : std::uint8_t {
+  kEof, kNumber, kString, kRegex, kName, kFuncName,
+  kBegin, kEnd, kIf, kElse, kWhile, kDo, kFor, kIn, kNext, kExit, kBreak,
+  kContinue, kDelete, kPrint, kPrintf, kFunction, kReturn,
+  kLBrace, kRBrace, kLParen, kRParen, kLBracket, kRBracket, kSemi, kNewline,
+  kComma, kQuestion, kColon, kOr, kAnd, kNot, kMatch, kNotMatch,
+  kLt, kLe, kGt, kGe, kEq, kNe, kPlus, kMinus, kStar, kSlash, kPercent,
+  kCaret, kDollar, kIncr, kDecr,
+  kAssign, kAddAssign, kSubAssign, kMulAssign, kDivAssign, kModAssign, kPowAssign,
+};
+
+struct Token {
+  Tok kind = Tok::kEof;
+  std::string text;
+  double num = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  /// `regex_ok`: the parser says a '/' here starts a regex literal.
+  Result<Token> Next(bool regex_ok) {
+    SkipSpaceAndComments();
+    Token t;
+    if (pos_ >= src_.size()) return t;  // kEof
+
+    const char c = src_[pos_];
+    if (c == '\n') {
+      ++pos_;
+      t.kind = Tok::kNewline;
+      return t;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && pos_ + 1 < src_.size() &&
+         std::isdigit(static_cast<unsigned char>(src_[pos_ + 1])))) {
+      return LexNumber();
+    }
+    if (c == '"') return LexString();
+    if (c == '/' && regex_ok) return LexRegex();
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') return LexName();
+    return LexOperator();
+  }
+
+ private:
+  void SkipSpaceAndComments() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '#') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+      } else if (c == '\\' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '\n') {
+        pos_ += 2;  // line continuation
+      } else if (c == ' ' || c == '\t' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  Result<Token> LexNumber() {
+    std::size_t end = pos_;
+    while (end < src_.size() &&
+           (std::isdigit(static_cast<unsigned char>(src_[end])) || src_[end] == '.' ||
+            src_[end] == 'e' || src_[end] == 'E' ||
+            ((src_[end] == '+' || src_[end] == '-') && end > pos_ &&
+             (src_[end - 1] == 'e' || src_[end - 1] == 'E')))) {
+      ++end;
+    }
+    Token t;
+    t.kind = Tok::kNumber;
+    t.text = std::string(src_.substr(pos_, end - pos_));
+    t.num = std::strtod(t.text.c_str(), nullptr);
+    pos_ = end;
+    return t;
+  }
+
+  Result<Token> LexString() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (pos_ < src_.size() && src_[pos_] != '"') {
+      char c = src_[pos_++];
+      if (c == '\\' && pos_ < src_.size()) {
+        const char e = src_[pos_++];
+        switch (e) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case '\\': c = '\\'; break;
+          case '"': c = '"'; break;
+          case '/': c = '/'; break;
+          default:
+            out.push_back('\\');
+            c = e;
+        }
+      }
+      out.push_back(c);
+    }
+    if (pos_ >= src_.size()) return InvalidArgument("awk: unterminated string");
+    ++pos_;  // closing quote
+    Token t;
+    t.kind = Tok::kString;
+    t.text = std::move(out);
+    return t;
+  }
+
+  Result<Token> LexRegex() {
+    ++pos_;  // opening '/'
+    std::string out;
+    while (pos_ < src_.size() && src_[pos_] != '/') {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '/') {
+        out.push_back('/');
+        pos_ += 2;
+      } else if (src_[pos_] == '\n') {
+        return InvalidArgument("awk: newline in regex");
+      } else {
+        if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
+          out.push_back(src_[pos_++]);
+        }
+        out.push_back(src_[pos_++]);
+      }
+    }
+    if (pos_ >= src_.size()) return InvalidArgument("awk: unterminated regex");
+    ++pos_;  // closing '/'
+    Token t;
+    t.kind = Tok::kRegex;
+    t.text = std::move(out);
+    return t;
+  }
+
+  Result<Token> LexName() {
+    std::size_t end = pos_;
+    while (end < src_.size() && (std::isalnum(static_cast<unsigned char>(src_[end])) ||
+                                 src_[end] == '_')) {
+      ++end;
+    }
+    Token t;
+    t.text = std::string(src_.substr(pos_, end - pos_));
+    pos_ = end;
+    static const std::unordered_map<std::string, Tok> kKeywords = {
+        {"BEGIN", Tok::kBegin},   {"END", Tok::kEnd},     {"if", Tok::kIf},
+        {"else", Tok::kElse},     {"while", Tok::kWhile}, {"do", Tok::kDo},
+        {"for", Tok::kFor},       {"in", Tok::kIn},       {"next", Tok::kNext},
+        {"exit", Tok::kExit},     {"break", Tok::kBreak}, {"continue", Tok::kContinue},
+        {"delete", Tok::kDelete}, {"print", Tok::kPrint}, {"printf", Tok::kPrintf},
+        {"function", Tok::kFunction}, {"func", Tok::kFunction},
+        {"return", Tok::kReturn},
+    };
+    auto it = kKeywords.find(t.text);
+    if (it != kKeywords.end()) {
+      t.kind = it->second;
+    } else if (pos_ < src_.size() && src_[pos_] == '(') {
+      t.kind = Tok::kFuncName;
+    } else {
+      t.kind = Tok::kName;
+    }
+    return t;
+  }
+
+  Result<Token> LexOperator() {
+    Token t;
+    auto two = [&](char a, char b, Tok kind) -> bool {
+      if (src_[pos_] == a && pos_ + 1 < src_.size() && src_[pos_ + 1] == b) {
+        t.kind = kind;
+        pos_ += 2;
+        return true;
+      }
+      return false;
+    };
+    if (two('&', '&', Tok::kAnd) || two('|', '|', Tok::kOr) ||
+        two('=', '=', Tok::kEq) || two('!', '=', Tok::kNe) ||
+        two('<', '=', Tok::kLe) || two('>', '=', Tok::kGe) ||
+        two('!', '~', Tok::kNotMatch) || two('+', '+', Tok::kIncr) ||
+        two('-', '-', Tok::kDecr) || two('+', '=', Tok::kAddAssign) ||
+        two('-', '=', Tok::kSubAssign) || two('*', '=', Tok::kMulAssign) ||
+        two('/', '=', Tok::kDivAssign) || two('%', '=', Tok::kModAssign) ||
+        two('^', '=', Tok::kPowAssign)) {
+      return t;
+    }
+    const char c = src_[pos_++];
+    switch (c) {
+      case '{': t.kind = Tok::kLBrace; break;
+      case '}': t.kind = Tok::kRBrace; break;
+      case '(': t.kind = Tok::kLParen; break;
+      case ')': t.kind = Tok::kRParen; break;
+      case '[': t.kind = Tok::kLBracket; break;
+      case ']': t.kind = Tok::kRBracket; break;
+      case ';': t.kind = Tok::kSemi; break;
+      case ',': t.kind = Tok::kComma; break;
+      case '?': t.kind = Tok::kQuestion; break;
+      case ':': t.kind = Tok::kColon; break;
+      case '!': t.kind = Tok::kNot; break;
+      case '~': t.kind = Tok::kMatch; break;
+      case '<': t.kind = Tok::kLt; break;
+      case '>': t.kind = Tok::kGt; break;
+      case '=': t.kind = Tok::kAssign; break;
+      case '+': t.kind = Tok::kPlus; break;
+      case '-': t.kind = Tok::kMinus; break;
+      case '*': t.kind = Tok::kStar; break;
+      case '/': t.kind = Tok::kSlash; break;
+      case '%': t.kind = Tok::kPercent; break;
+      case '^': t.kind = Tok::kCaret; break;
+      case '$': t.kind = Tok::kDollar; break;
+      default:
+        return InvalidArgument(std::string("awk: unexpected character '") + c + "'");
+    }
+    return t;
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// AST
+// ---------------------------------------------------------------------------
+
+struct Expr;
+using ExprP = std::unique_ptr<Expr>;
+
+struct Expr {
+  enum class K : std::uint8_t {
+    kNum, kStr, kRegex, kVar, kField, kIndex, kAssign, kBinary, kUnary,
+    kTernary, kCall, kMatchOp, kIn, kIncDec, kGroup,
+  };
+  K k;
+  double num = 0;          // kNum; kIncDec: 1 = prefix
+  std::string str;         // literal / name / operator
+  std::vector<ExprP> kids;
+  std::shared_ptr<Regex> re;  // compiled kRegex
+};
+
+struct Stmt;
+using StmtP = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  enum class K : std::uint8_t {
+    kPrint, kPrintf, kIf, kWhile, kDoWhile, kFor, kForIn, kBlock, kExpr,
+    kNext, kExit, kBreak, kContinue, kDelete, kReturn,
+  };
+  K k;
+  std::vector<ExprP> exprs;  // meaning depends on k (see Exec)
+  std::vector<StmtP> stmts;
+  std::string name;  // kForIn loop var, kDelete array name
+};
+
+struct Rule {
+  enum class K : std::uint8_t { kBegin, kEnd, kPattern, kAlways };
+  K k = K::kAlways;
+  ExprP pattern;
+  std::vector<StmtP> body;
+  bool default_print = false;  // pattern with no action
+};
+
+/// A user-defined function (POSIX `function name(params) { ... }`).
+/// Scalars pass by value; arrays by reference; extra params are locals.
+struct FunctionDef {
+  std::string name;
+  std::vector<std::string> params;
+  std::vector<StmtP> body;
+};
+
+struct ParsedProgram {
+  std::vector<Rule> rules;
+  std::unordered_map<std::string, FunctionDef> functions;
+};
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+class Parser {
+ public:
+  explicit Parser(std::string_view src) : lexer_(src) {}
+
+  Result<ParsedProgram> ParseProgram() {
+    COMPSTOR_RETURN_IF_ERROR(Advance(true));
+    ParsedProgram program;
+    SkipTerminators();
+    while (cur_.kind != Tok::kEof) {
+      if (Is(Tok::kFunction)) {
+        COMPSTOR_ASSIGN_OR_RETURN(FunctionDef fn, ParseFunction());
+        if (program.functions.count(fn.name) != 0) {
+          return InvalidArgument("awk: duplicate function " + fn.name);
+        }
+        program.functions.emplace(fn.name, std::move(fn));
+      } else {
+        COMPSTOR_ASSIGN_OR_RETURN(Rule r, ParseRule());
+        program.rules.push_back(std::move(r));
+      }
+      SkipTerminators();
+    }
+    return program;
+  }
+
+  Result<FunctionDef> ParseFunction() {
+    COMPSTOR_RETURN_IF_ERROR(Advance(false));  // 'function'
+    if (!Is(Tok::kName) && !Is(Tok::kFuncName)) {
+      return InvalidArgument("awk: function needs a name");
+    }
+    FunctionDef fn;
+    fn.name = cur_.text;
+    COMPSTOR_RETURN_IF_ERROR(Advance(false));
+    COMPSTOR_RETURN_IF_ERROR(Expect(Tok::kLParen, "'('"));
+    while (!Is(Tok::kRParen)) {
+      if (!Is(Tok::kName) && !Is(Tok::kFuncName)) {
+        return InvalidArgument("awk: bad parameter name");
+      }
+      fn.params.push_back(cur_.text);
+      COMPSTOR_RETURN_IF_ERROR(Advance(false));
+      if (Is(Tok::kComma)) {
+        COMPSTOR_RETURN_IF_ERROR(Advance(false));
+        SkipNewlines();
+      }
+    }
+    COMPSTOR_RETURN_IF_ERROR(Advance(true));  // ')'
+    SkipNewlines();
+    COMPSTOR_ASSIGN_OR_RETURN(fn.body, ParseBlock());
+    return fn;
+  }
+
+ private:
+  // --- token plumbing ---
+  Status Advance(bool regex_ok) {
+    COMPSTOR_ASSIGN_OR_RETURN(cur_, lexer_.Next(regex_ok));
+    return OkStatus();
+  }
+  bool Is(Tok k) const { return cur_.kind == k; }
+  Status Expect(Tok k, const char* what) {
+    if (!Is(k)) return InvalidArgument(std::string("awk: expected ") + what);
+    return Advance(RegexOkAfter(k));
+  }
+  /// After which tokens may '/' start a regex? After anything that cannot end
+  /// an expression.
+  static bool RegexOkAfter(Tok k) {
+    switch (k) {
+      case Tok::kNumber: case Tok::kString: case Tok::kRegex: case Tok::kName:
+      case Tok::kRParen: case Tok::kRBracket: case Tok::kIncr: case Tok::kDecr:
+      case Tok::kDollar:
+        return false;
+      default:
+        return true;
+    }
+  }
+  void SkipTerminators() {
+    while (Is(Tok::kNewline) || Is(Tok::kSemi)) {
+      if (!Advance(true).ok()) break;
+    }
+  }
+  void SkipNewlines() {
+    while (Is(Tok::kNewline)) {
+      if (!Advance(true).ok()) break;
+    }
+  }
+
+  // --- rules ---
+  Result<Rule> ParseRule() {
+    Rule rule;
+    if (Is(Tok::kBegin)) {
+      rule.k = Rule::K::kBegin;
+      COMPSTOR_RETURN_IF_ERROR(Advance(true));
+      SkipNewlines();
+      COMPSTOR_ASSIGN_OR_RETURN(rule.body, ParseBlock());
+      return rule;
+    }
+    if (Is(Tok::kEnd)) {
+      rule.k = Rule::K::kEnd;
+      COMPSTOR_RETURN_IF_ERROR(Advance(true));
+      SkipNewlines();
+      COMPSTOR_ASSIGN_OR_RETURN(rule.body, ParseBlock());
+      return rule;
+    }
+    if (Is(Tok::kLBrace)) {
+      rule.k = Rule::K::kAlways;
+      COMPSTOR_ASSIGN_OR_RETURN(rule.body, ParseBlock());
+      return rule;
+    }
+    rule.k = Rule::K::kPattern;
+    COMPSTOR_ASSIGN_OR_RETURN(rule.pattern, ParseExpr());
+    if (Is(Tok::kLBrace)) {
+      COMPSTOR_ASSIGN_OR_RETURN(rule.body, ParseBlock());
+    } else {
+      rule.default_print = true;  // pattern-only rule prints $0
+    }
+    return rule;
+  }
+
+  Result<std::vector<StmtP>> ParseBlock() {
+    COMPSTOR_RETURN_IF_ERROR(Expect(Tok::kLBrace, "'{'"));
+    std::vector<StmtP> stmts;
+    SkipTerminators();
+    while (!Is(Tok::kRBrace)) {
+      if (Is(Tok::kEof)) return InvalidArgument("awk: missing '}'");
+      COMPSTOR_ASSIGN_OR_RETURN(StmtP s, ParseStmt());
+      stmts.push_back(std::move(s));
+      SkipTerminators();
+    }
+    COMPSTOR_RETURN_IF_ERROR(Advance(true));  // consume '}'
+    return stmts;
+  }
+
+  Result<StmtP> ParseStmt() {
+    auto stmt = std::make_unique<Stmt>();
+    switch (cur_.kind) {
+      case Tok::kLBrace: {
+        stmt->k = Stmt::K::kBlock;
+        COMPSTOR_ASSIGN_OR_RETURN(stmt->stmts, ParseBlock());
+        return stmt;
+      }
+      case Tok::kPrint: {
+        stmt->k = Stmt::K::kPrint;
+        COMPSTOR_RETURN_IF_ERROR(Advance(true));
+        if (!IsStmtEnd()) {
+          COMPSTOR_ASSIGN_OR_RETURN(stmt->exprs, ParseExprList());
+        }
+        return stmt;
+      }
+      case Tok::kPrintf: {
+        stmt->k = Stmt::K::kPrintf;
+        COMPSTOR_RETURN_IF_ERROR(Advance(true));
+        COMPSTOR_ASSIGN_OR_RETURN(stmt->exprs, ParseExprList());
+        if (stmt->exprs.empty()) return InvalidArgument("awk: printf needs a format");
+        return stmt;
+      }
+      case Tok::kIf: {
+        stmt->k = Stmt::K::kIf;
+        COMPSTOR_RETURN_IF_ERROR(Advance(true));
+        COMPSTOR_RETURN_IF_ERROR(Expect(Tok::kLParen, "'('"));
+        COMPSTOR_ASSIGN_OR_RETURN(ExprP cond, ParseExpr());
+        stmt->exprs.push_back(std::move(cond));
+        COMPSTOR_RETURN_IF_ERROR(Expect(Tok::kRParen, "')'"));
+        SkipNewlines();
+        COMPSTOR_ASSIGN_OR_RETURN(StmtP then_branch, ParseStmt());
+        stmt->stmts.push_back(std::move(then_branch));
+        // Optional else (possibly after terminators).
+        const std::size_t mark = 0;
+        (void)mark;
+        SkipTerminators();
+        if (Is(Tok::kElse)) {
+          COMPSTOR_RETURN_IF_ERROR(Advance(true));
+          SkipNewlines();
+          COMPSTOR_ASSIGN_OR_RETURN(StmtP else_branch, ParseStmt());
+          stmt->stmts.push_back(std::move(else_branch));
+        }
+        return stmt;
+      }
+      case Tok::kWhile: {
+        stmt->k = Stmt::K::kWhile;
+        COMPSTOR_RETURN_IF_ERROR(Advance(true));
+        COMPSTOR_RETURN_IF_ERROR(Expect(Tok::kLParen, "'('"));
+        COMPSTOR_ASSIGN_OR_RETURN(ExprP cond, ParseExpr());
+        stmt->exprs.push_back(std::move(cond));
+        COMPSTOR_RETURN_IF_ERROR(Expect(Tok::kRParen, "')'"));
+        SkipNewlines();
+        COMPSTOR_ASSIGN_OR_RETURN(StmtP body, ParseStmt());
+        stmt->stmts.push_back(std::move(body));
+        return stmt;
+      }
+      case Tok::kDo: {
+        stmt->k = Stmt::K::kDoWhile;
+        COMPSTOR_RETURN_IF_ERROR(Advance(true));
+        SkipNewlines();
+        COMPSTOR_ASSIGN_OR_RETURN(StmtP body, ParseStmt());
+        stmt->stmts.push_back(std::move(body));
+        SkipTerminators();
+        COMPSTOR_RETURN_IF_ERROR(Expect(Tok::kWhile, "'while'"));
+        COMPSTOR_RETURN_IF_ERROR(Expect(Tok::kLParen, "'('"));
+        COMPSTOR_ASSIGN_OR_RETURN(ExprP cond, ParseExpr());
+        stmt->exprs.push_back(std::move(cond));
+        COMPSTOR_RETURN_IF_ERROR(Expect(Tok::kRParen, "')'"));
+        return stmt;
+      }
+      case Tok::kFor:
+        return ParseFor();
+      case Tok::kNext:
+        stmt->k = Stmt::K::kNext;
+        COMPSTOR_RETURN_IF_ERROR(Advance(true));
+        return stmt;
+      case Tok::kBreak:
+        stmt->k = Stmt::K::kBreak;
+        COMPSTOR_RETURN_IF_ERROR(Advance(true));
+        return stmt;
+      case Tok::kContinue:
+        stmt->k = Stmt::K::kContinue;
+        COMPSTOR_RETURN_IF_ERROR(Advance(true));
+        return stmt;
+      case Tok::kExit: {
+        stmt->k = Stmt::K::kExit;
+        COMPSTOR_RETURN_IF_ERROR(Advance(true));
+        if (!IsStmtEnd()) {
+          COMPSTOR_ASSIGN_OR_RETURN(ExprP code, ParseExpr());
+          stmt->exprs.push_back(std::move(code));
+        }
+        return stmt;
+      }
+      case Tok::kReturn: {
+        stmt->k = Stmt::K::kReturn;
+        COMPSTOR_RETURN_IF_ERROR(Advance(true));
+        if (!IsStmtEnd()) {
+          COMPSTOR_ASSIGN_OR_RETURN(ExprP v, ParseExpr());
+          stmt->exprs.push_back(std::move(v));
+        }
+        return stmt;
+      }
+      case Tok::kDelete: {
+        stmt->k = Stmt::K::kDelete;
+        COMPSTOR_RETURN_IF_ERROR(Advance(true));
+        if (!Is(Tok::kName) && !Is(Tok::kFuncName)) {
+          return InvalidArgument("awk: delete needs an array");
+        }
+        stmt->name = cur_.text;
+        COMPSTOR_RETURN_IF_ERROR(Advance(false));
+        if (Is(Tok::kLBracket)) {
+          COMPSTOR_RETURN_IF_ERROR(Advance(true));
+          COMPSTOR_ASSIGN_OR_RETURN(stmt->exprs, ParseExprList());
+          COMPSTOR_RETURN_IF_ERROR(Expect(Tok::kRBracket, "']'"));
+        }
+        return stmt;
+      }
+      default: {
+        stmt->k = Stmt::K::kExpr;
+        COMPSTOR_ASSIGN_OR_RETURN(ExprP e, ParseExpr());
+        stmt->exprs.push_back(std::move(e));
+        return stmt;
+      }
+    }
+  }
+
+  bool IsStmtEnd() const {
+    return Is(Tok::kSemi) || Is(Tok::kNewline) || Is(Tok::kRBrace) || Is(Tok::kEof);
+  }
+
+  Result<StmtP> ParseFor() {
+    auto stmt = std::make_unique<Stmt>();
+    COMPSTOR_RETURN_IF_ERROR(Advance(true));  // 'for'
+    COMPSTOR_RETURN_IF_ERROR(Expect(Tok::kLParen, "'('"));
+
+    // for (name in array) ...
+    if (Is(Tok::kName)) {
+      // Tentatively parse; need lookahead for 'in'. Parse the name, peek.
+      std::string name = cur_.text;
+      COMPSTOR_RETURN_IF_ERROR(Advance(false));
+      if (Is(Tok::kIn)) {
+        COMPSTOR_RETURN_IF_ERROR(Advance(false));
+        if (!Is(Tok::kName) && !Is(Tok::kFuncName)) {
+          return InvalidArgument("awk: for-in needs an array name");
+        }
+        stmt->k = Stmt::K::kForIn;
+        stmt->name = name;
+        auto arr = std::make_unique<Expr>();
+        arr->k = Expr::K::kVar;
+        arr->str = cur_.text;
+        stmt->exprs.push_back(std::move(arr));
+        COMPSTOR_RETURN_IF_ERROR(Advance(false));
+        COMPSTOR_RETURN_IF_ERROR(Expect(Tok::kRParen, "')'"));
+        SkipNewlines();
+        COMPSTOR_ASSIGN_OR_RETURN(StmtP body, ParseStmt());
+        stmt->stmts.push_back(std::move(body));
+        return stmt;
+      }
+      // Not for-in: the name starts the init expression. Continue parsing
+      // the expression with the name as its leftmost primary.
+      COMPSTOR_ASSIGN_OR_RETURN(ExprP init, ContinueExprFromName(std::move(name)));
+      stmt->k = Stmt::K::kFor;
+      stmt->exprs.push_back(std::move(init));
+    } else if (Is(Tok::kSemi)) {
+      stmt->k = Stmt::K::kFor;
+      stmt->exprs.push_back(nullptr);
+    } else {
+      stmt->k = Stmt::K::kFor;
+      COMPSTOR_ASSIGN_OR_RETURN(ExprP init, ParseExpr());
+      stmt->exprs.push_back(std::move(init));
+    }
+
+    COMPSTOR_RETURN_IF_ERROR(Expect(Tok::kSemi, "';'"));
+    if (Is(Tok::kSemi)) {
+      stmt->exprs.push_back(nullptr);
+    } else {
+      COMPSTOR_ASSIGN_OR_RETURN(ExprP cond, ParseExpr());
+      stmt->exprs.push_back(std::move(cond));
+    }
+    COMPSTOR_RETURN_IF_ERROR(Expect(Tok::kSemi, "';'"));
+    if (Is(Tok::kRParen)) {
+      stmt->exprs.push_back(nullptr);
+    } else {
+      COMPSTOR_ASSIGN_OR_RETURN(ExprP inc, ParseExpr());
+      stmt->exprs.push_back(std::move(inc));
+    }
+    COMPSTOR_RETURN_IF_ERROR(Expect(Tok::kRParen, "')'"));
+    SkipNewlines();
+    COMPSTOR_ASSIGN_OR_RETURN(StmtP body, ParseStmt());
+    stmt->stmts.push_back(std::move(body));
+    return stmt;
+  }
+
+  // --- expressions ---
+  Result<std::vector<ExprP>> ParseExprList() {
+    std::vector<ExprP> list;
+    COMPSTOR_ASSIGN_OR_RETURN(ExprP first, ParseExpr());
+    list.push_back(std::move(first));
+    while (Is(Tok::kComma)) {
+      COMPSTOR_RETURN_IF_ERROR(Advance(true));
+      SkipNewlines();
+      COMPSTOR_ASSIGN_OR_RETURN(ExprP next, ParseExpr());
+      list.push_back(std::move(next));
+    }
+    return list;
+  }
+
+  Result<ExprP> ParseExpr() { return ParseAssign(); }
+
+  /// Entry point used by for(): the leading NAME token was already consumed.
+  Result<ExprP> ContinueExprFromName(std::string name) {
+    auto var = std::make_unique<Expr>();
+    var->k = Expr::K::kVar;
+    var->str = std::move(name);
+    COMPSTOR_ASSIGN_OR_RETURN(ExprP postfixed, ParsePostfixOps(std::move(var)));
+    COMPSTOR_ASSIGN_OR_RETURN(ExprP lhs, ParseBinaryRest(std::move(postfixed), 0));
+    return ParseAssignRest(std::move(lhs));
+  }
+
+  static bool IsLvalue(const Expr& e) {
+    return e.k == Expr::K::kVar || e.k == Expr::K::kField || e.k == Expr::K::kIndex;
+  }
+
+  Result<ExprP> ParseAssign() {
+    COMPSTOR_ASSIGN_OR_RETURN(ExprP lhs, ParseTernary());
+    return ParseAssignRest(std::move(lhs));
+  }
+
+  Result<ExprP> ParseAssignRest(ExprP lhs) {
+    const char* op = nullptr;
+    switch (cur_.kind) {
+      case Tok::kAssign: op = "="; break;
+      case Tok::kAddAssign: op = "+="; break;
+      case Tok::kSubAssign: op = "-="; break;
+      case Tok::kMulAssign: op = "*="; break;
+      case Tok::kDivAssign: op = "/="; break;
+      case Tok::kModAssign: op = "%="; break;
+      case Tok::kPowAssign: op = "^="; break;
+      default: return lhs;
+    }
+    if (!IsLvalue(*lhs)) return InvalidArgument("awk: assignment to non-lvalue");
+    COMPSTOR_RETURN_IF_ERROR(Advance(true));
+    SkipNewlines();
+    COMPSTOR_ASSIGN_OR_RETURN(ExprP rhs, ParseAssign());  // right associative
+    auto e = std::make_unique<Expr>();
+    e->k = Expr::K::kAssign;
+    e->str = op;
+    e->kids.push_back(std::move(lhs));
+    e->kids.push_back(std::move(rhs));
+    return e;
+  }
+
+  Result<ExprP> ParseTernary() {
+    COMPSTOR_ASSIGN_OR_RETURN(ExprP cond, ParseBinary(0));
+    if (!Is(Tok::kQuestion)) return cond;
+    COMPSTOR_RETURN_IF_ERROR(Advance(true));
+    SkipNewlines();
+    COMPSTOR_ASSIGN_OR_RETURN(ExprP a, ParseTernary());
+    COMPSTOR_RETURN_IF_ERROR(Expect(Tok::kColon, "':'"));
+    SkipNewlines();
+    COMPSTOR_ASSIGN_OR_RETURN(ExprP b, ParseTernary());
+    auto e = std::make_unique<Expr>();
+    e->k = Expr::K::kTernary;
+    e->kids.push_back(std::move(cond));
+    e->kids.push_back(std::move(a));
+    e->kids.push_back(std::move(b));
+    return e;
+  }
+
+  /// Binary operator precedence (higher binds tighter). Concatenation is
+  /// handled implicitly at its own level.
+  static int Precedence(Tok k) {
+    switch (k) {
+      case Tok::kOr: return 1;
+      case Tok::kAnd: return 2;
+      case Tok::kIn: return 3;
+      case Tok::kMatch: case Tok::kNotMatch: return 4;
+      case Tok::kLt: case Tok::kLe: case Tok::kGt: case Tok::kGe:
+      case Tok::kEq: case Tok::kNe: return 5;
+      // level 6: concatenation (implicit)
+      case Tok::kPlus: case Tok::kMinus: return 7;
+      case Tok::kStar: case Tok::kSlash: case Tok::kPercent: return 8;
+      case Tok::kCaret: return 10;  // above unary, right assoc (handled in unary)
+      default: return -1;
+    }
+  }
+  static const char* OpName(Tok k) {
+    switch (k) {
+      case Tok::kOr: return "||";
+      case Tok::kAnd: return "&&";
+      case Tok::kLt: return "<";
+      case Tok::kLe: return "<=";
+      case Tok::kGt: return ">";
+      case Tok::kGe: return ">=";
+      case Tok::kEq: return "==";
+      case Tok::kNe: return "!=";
+      case Tok::kPlus: return "+";
+      case Tok::kMinus: return "-";
+      case Tok::kStar: return "*";
+      case Tok::kSlash: return "/";
+      case Tok::kPercent: return "%";
+      case Tok::kCaret: return "^";
+      default: return "?";
+    }
+  }
+
+  /// True if the current token can begin an expression operand — used to
+  /// detect implicit concatenation.
+  bool StartsOperand() const {
+    switch (cur_.kind) {
+      case Tok::kNumber: case Tok::kString: case Tok::kRegex: case Tok::kName:
+      case Tok::kFuncName: case Tok::kDollar: case Tok::kNot: case Tok::kLParen:
+      case Tok::kIncr: case Tok::kDecr: case Tok::kMinus: case Tok::kPlus:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  Result<ExprP> ParseBinary(int min_prec) {
+    COMPSTOR_ASSIGN_OR_RETURN(ExprP lhs, ParseUnary());
+    return ParseBinaryRest(std::move(lhs), min_prec);
+  }
+
+  Result<ExprP> ParseBinaryRest(ExprP lhs, int min_prec) {
+    for (;;) {
+      // Implicit concatenation at precedence 6: next token starts an operand
+      // and is not a lower-precedence operator. Exclude unary +/- here —
+      // "a + b" is addition, not concat of (+b). ('-'/'+' as operand starters
+      // only apply when an operator was just consumed.)
+      if (min_prec <= 6 && StartsOperand() && cur_.kind != Tok::kMinus &&
+          cur_.kind != Tok::kPlus) {
+        COMPSTOR_ASSIGN_OR_RETURN(ExprP rhs, ParseBinary(7));
+        auto e = std::make_unique<Expr>();
+        e->k = Expr::K::kBinary;
+        e->str = "concat";
+        e->kids.push_back(std::move(lhs));
+        e->kids.push_back(std::move(rhs));
+        lhs = std::move(e);
+        continue;
+      }
+      const int prec = Precedence(cur_.kind);
+      if (prec < 0 || prec < min_prec || prec == 10) break;
+
+      const Tok op = cur_.kind;
+      if (op == Tok::kIn) {
+        COMPSTOR_RETURN_IF_ERROR(Advance(false));
+        if (!Is(Tok::kName) && !Is(Tok::kFuncName)) {
+          return InvalidArgument("awk: 'in' needs an array name");
+        }
+        auto e = std::make_unique<Expr>();
+        e->k = Expr::K::kIn;
+        e->str = cur_.text;  // array name
+        e->kids.push_back(std::move(lhs));
+        COMPSTOR_RETURN_IF_ERROR(Advance(false));
+        lhs = std::move(e);
+        continue;
+      }
+      if (op == Tok::kMatch || op == Tok::kNotMatch) {
+        COMPSTOR_RETURN_IF_ERROR(Advance(true));
+        SkipNewlines();
+        COMPSTOR_ASSIGN_OR_RETURN(ExprP rhs, ParseBinary(prec + 1));
+        auto e = std::make_unique<Expr>();
+        e->k = Expr::K::kMatchOp;
+        e->str = (op == Tok::kMatch) ? "~" : "!~";
+        e->kids.push_back(std::move(lhs));
+        e->kids.push_back(std::move(rhs));
+        lhs = std::move(e);
+        continue;
+      }
+
+      COMPSTOR_RETURN_IF_ERROR(Advance(true));
+      SkipNewlines();
+      // Left-associative: parse the right side at prec+1. Comparisons are
+      // non-associative in awk; treating them left-associatively is a
+      // harmless superset.
+      COMPSTOR_ASSIGN_OR_RETURN(ExprP rhs, ParseBinary(prec + 1));
+      auto e = std::make_unique<Expr>();
+      e->k = Expr::K::kBinary;
+      e->str = OpName(op);
+      e->kids.push_back(std::move(lhs));
+      e->kids.push_back(std::move(rhs));
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  Result<ExprP> ParseUnary() {
+    if (Is(Tok::kNot) || Is(Tok::kMinus) || Is(Tok::kPlus)) {
+      const char op = Is(Tok::kNot) ? '!' : Is(Tok::kMinus) ? '-' : '+';
+      COMPSTOR_RETURN_IF_ERROR(Advance(true));
+      COMPSTOR_ASSIGN_OR_RETURN(ExprP operand, ParseUnary());
+      auto e = std::make_unique<Expr>();
+      e->k = Expr::K::kUnary;
+      e->str = std::string(1, op);
+      e->kids.push_back(std::move(operand));
+      return e;
+    }
+    if (Is(Tok::kIncr) || Is(Tok::kDecr)) {
+      const bool incr = Is(Tok::kIncr);
+      COMPSTOR_RETURN_IF_ERROR(Advance(true));
+      COMPSTOR_ASSIGN_OR_RETURN(ExprP operand, ParseUnary());
+      if (!IsLvalue(*operand)) return InvalidArgument("awk: ++/-- needs an lvalue");
+      auto e = std::make_unique<Expr>();
+      e->k = Expr::K::kIncDec;
+      e->str = incr ? "++" : "--";
+      e->num = 1;  // prefix
+      e->kids.push_back(std::move(operand));
+      return e;
+    }
+    return ParsePower();
+  }
+
+  Result<ExprP> ParsePower() {
+    COMPSTOR_ASSIGN_OR_RETURN(ExprP base, ParsePostfix());
+    if (Is(Tok::kCaret)) {
+      COMPSTOR_RETURN_IF_ERROR(Advance(true));
+      COMPSTOR_ASSIGN_OR_RETURN(ExprP exp, ParseUnary());  // right assoc, allows -
+      auto e = std::make_unique<Expr>();
+      e->k = Expr::K::kBinary;
+      e->str = "^";
+      e->kids.push_back(std::move(base));
+      e->kids.push_back(std::move(exp));
+      return e;
+    }
+    return base;
+  }
+
+  Result<ExprP> ParsePostfix() {
+    COMPSTOR_ASSIGN_OR_RETURN(ExprP primary, ParsePrimary());
+    return ParsePostfixOps(std::move(primary));
+  }
+
+  Result<ExprP> ParsePostfixOps(ExprP e) {
+    for (;;) {
+      if (Is(Tok::kLBracket) && e->k == Expr::K::kVar) {
+        COMPSTOR_RETURN_IF_ERROR(Advance(true));
+        COMPSTOR_ASSIGN_OR_RETURN(std::vector<ExprP> subs, ParseExprList());
+        COMPSTOR_RETURN_IF_ERROR(Expect(Tok::kRBracket, "']'"));
+        auto idx = std::make_unique<Expr>();
+        idx->k = Expr::K::kIndex;
+        idx->str = e->str;
+        idx->kids = std::move(subs);
+        e = std::move(idx);
+        continue;
+      }
+      if ((Is(Tok::kIncr) || Is(Tok::kDecr)) && IsLvalue(*e)) {
+        auto post = std::make_unique<Expr>();
+        post->k = Expr::K::kIncDec;
+        post->str = Is(Tok::kIncr) ? "++" : "--";
+        post->num = 0;  // postfix
+        post->kids.push_back(std::move(e));
+        COMPSTOR_RETURN_IF_ERROR(Advance(false));
+        e = std::move(post);
+        continue;
+      }
+      return e;
+    }
+  }
+
+  Result<ExprP> ParsePrimary() {
+    switch (cur_.kind) {
+      case Tok::kNumber: {
+        auto e = std::make_unique<Expr>();
+        e->k = Expr::K::kNum;
+        e->num = cur_.num;
+        COMPSTOR_RETURN_IF_ERROR(Advance(false));
+        return e;
+      }
+      case Tok::kString: {
+        auto e = std::make_unique<Expr>();
+        e->k = Expr::K::kStr;
+        e->str = cur_.text;
+        COMPSTOR_RETURN_IF_ERROR(Advance(false));
+        return e;
+      }
+      case Tok::kRegex: {
+        auto e = std::make_unique<Expr>();
+        e->k = Expr::K::kRegex;
+        e->str = cur_.text;
+        COMPSTOR_ASSIGN_OR_RETURN(Regex re, Regex::Compile(cur_.text));
+        e->re = std::make_shared<Regex>(std::move(re));
+        COMPSTOR_RETURN_IF_ERROR(Advance(false));
+        return e;
+      }
+      case Tok::kDollar: {
+        COMPSTOR_RETURN_IF_ERROR(Advance(true));
+        COMPSTOR_ASSIGN_OR_RETURN(ExprP idx, ParsePostfix());
+        auto e = std::make_unique<Expr>();
+        e->k = Expr::K::kField;
+        e->kids.push_back(std::move(idx));
+        return e;
+      }
+      case Tok::kLParen: {
+        COMPSTOR_RETURN_IF_ERROR(Advance(true));
+        SkipNewlines();
+        COMPSTOR_ASSIGN_OR_RETURN(ExprP inner, ParseExpr());
+        COMPSTOR_RETURN_IF_ERROR(Expect(Tok::kRParen, "')'"));
+        auto e = std::make_unique<Expr>();
+        e->k = Expr::K::kGroup;
+        e->kids.push_back(std::move(inner));
+        return e;
+      }
+      case Tok::kFuncName: {
+        auto e = std::make_unique<Expr>();
+        e->k = Expr::K::kCall;
+        e->str = cur_.text;
+        COMPSTOR_RETURN_IF_ERROR(Advance(false));
+        COMPSTOR_RETURN_IF_ERROR(Expect(Tok::kLParen, "'('"));
+        if (!Is(Tok::kRParen)) {
+          COMPSTOR_ASSIGN_OR_RETURN(e->kids, ParseExprList());
+        }
+        COMPSTOR_RETURN_IF_ERROR(Expect(Tok::kRParen, "')'"));
+        return e;
+      }
+      case Tok::kName: {
+        auto e = std::make_unique<Expr>();
+        if (cur_.text == "length") {
+          // POSIX: bare `length` (no parens) means length($0).
+          e->k = Expr::K::kCall;
+          e->str = "length";
+        } else {
+          e->k = Expr::K::kVar;
+          e->str = cur_.text;
+        }
+        COMPSTOR_RETURN_IF_ERROR(Advance(false));
+        return e;
+      }
+      default:
+        return InvalidArgument("awk: unexpected token in expression");
+    }
+  }
+
+  Lexer lexer_;
+  Token cur_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Interpreter
+// ---------------------------------------------------------------------------
+
+struct AwkProgram::Impl {
+  std::vector<Rule> rules;
+  std::unordered_map<std::string, FunctionDef> functions;
+
+  // ---- runtime state (reset per Run) ----
+  struct Runtime {
+    std::unordered_map<std::string, Value> vars;
+    std::unordered_map<std::string, std::map<std::string, Value>> arrays;
+    std::string record;                  // $0
+    std::vector<std::string> fields;     // $1..$NF
+    std::string* out = nullptr;
+    std::uint64_t work = 0;
+    mutable std::unordered_map<std::string, std::shared_ptr<Regex>> regex_cache;
+    // User-function machinery: array aliasing (by-reference params), call
+    // depth guard, fresh-local naming, and exit-from-function plumbing.
+    std::unordered_map<std::string, std::string> array_alias;
+    int call_depth = 0;
+    std::uint64_t local_counter = 0;
+    std::optional<int> pending_exit;
+  };
+
+  enum class FlowKind : std::uint8_t { kNormal, kBreak, kContinue, kNext, kExit, kReturn };
+  struct Flow {
+    FlowKind kind = FlowKind::kNormal;
+    int exit_code = 0;
+    Value ret;  // kReturn payload
+  };
+
+  // ---- array plumbing ----
+  /// Follows by-reference aliases installed by user-function calls.
+  static const std::string& ResolveArray(Runtime& rt, const std::string& name) {
+    const std::string* n = &name;
+    for (int hops = 0; hops < 64; ++hops) {
+      auto it = rt.array_alias.find(*n);
+      if (it == rt.array_alias.end()) break;
+      n = &it->second;
+    }
+    return *n;
+  }
+  static std::map<std::string, Value>& ArrayOf(Runtime& rt, const std::string& name) {
+    return rt.arrays[ResolveArray(rt, name)];
+  }
+
+  // ---- variable plumbing ----
+  static Value GetVar(Runtime& rt, const std::string& name) {
+    if (name == "NF") return Value::Number(static_cast<double>(rt.fields.size()));
+    auto it = rt.vars.find(name);
+    return it == rt.vars.end() ? Value{} : it->second;
+  }
+
+  static void SplitRecord(Runtime& rt) {
+    rt.fields.clear();
+    const std::string fs = ToStr(GetVar(rt, "FS"));
+    const std::string& rec = rt.record;
+    if (fs == " " || fs.empty()) {
+      // Default: split on whitespace runs, ignoring leading/trailing.
+      std::size_t i = 0;
+      while (i < rec.size()) {
+        while (i < rec.size() && std::isspace(static_cast<unsigned char>(rec[i]))) ++i;
+        if (i >= rec.size()) break;
+        std::size_t j = i;
+        while (j < rec.size() && !std::isspace(static_cast<unsigned char>(rec[j]))) ++j;
+        rt.fields.push_back(rec.substr(i, j - i));
+        i = j;
+      }
+    } else if (fs.size() == 1) {
+      std::size_t start = 0;
+      for (;;) {
+        const std::size_t at = rec.find(fs[0], start);
+        if (at == std::string::npos) {
+          rt.fields.push_back(rec.substr(start));
+          break;
+        }
+        rt.fields.push_back(rec.substr(start, at - start));
+        start = at + 1;
+      }
+      if (rec.empty()) rt.fields.clear();
+    } else {
+      // FS as a regex.
+      auto re = CachedRegex(rt, fs);
+      if (!re) {
+        rt.fields.push_back(rec);
+        return;
+      }
+      std::string_view rest = rec;
+      std::size_t begin, end;
+      while (!rest.empty() && (*re)->FindFirst(rest, &begin, &end) && end > begin) {
+        rt.fields.emplace_back(rest.substr(0, begin));
+        rest = rest.substr(end);
+      }
+      rt.fields.emplace_back(rest);
+      if (rec.empty()) rt.fields.clear();
+    }
+  }
+
+  static void RebuildRecord(Runtime& rt) {
+    const std::string ofs = ToStr(GetVar(rt, "OFS"));
+    std::string rec;
+    for (std::size_t i = 0; i < rt.fields.size(); ++i) {
+      if (i > 0) rec += ofs;
+      rec += rt.fields[i];
+    }
+    rt.record = std::move(rec);
+  }
+
+  static std::shared_ptr<Regex>* CachedRegex(Runtime& rt, const std::string& pattern) {
+    auto it = rt.regex_cache.find(pattern);
+    if (it == rt.regex_cache.end()) {
+      auto compiled = Regex::Compile(pattern);
+      if (!compiled.ok()) return nullptr;
+      it = rt.regex_cache.emplace(pattern,
+                                  std::make_shared<Regex>(std::move(compiled).value()))
+               .first;
+    }
+    return &it->second;
+  }
+
+  static std::string JoinSubscripts(Runtime& rt, const std::vector<Value>& subs) {
+    const std::string subsep = ToStr(GetVar(rt, "SUBSEP"));
+    std::string key;
+    for (std::size_t i = 0; i < subs.size(); ++i) {
+      if (i > 0) key += subsep;
+      key += ToStr(subs[i]);
+    }
+    return key;
+  }
+
+  // ---- lvalue store ----
+  Status Store(Runtime& rt, const Expr& lhs, Value v) const {
+    switch (lhs.k) {
+      case Expr::K::kVar: {
+        if (lhs.str == "NF") {
+          const auto nf = static_cast<std::size_t>(std::max(0.0, ToNum(v)));
+          rt.fields.resize(nf);
+          RebuildRecord(rt);
+          return OkStatus();
+        }
+        rt.vars[lhs.str] = std::move(v);
+        return OkStatus();
+      }
+      case Expr::K::kField: {
+        COMPSTOR_ASSIGN_OR_RETURN(Value idx_v, Eval(rt, *lhs.kids[0]));
+        const int idx = static_cast<int>(ToNum(idx_v));
+        if (idx < 0) return InvalidArgument("awk: negative field index");
+        if (idx == 0) {
+          rt.record = ToStr(v);
+          SplitRecord(rt);
+          return OkStatus();
+        }
+        if (static_cast<std::size_t>(idx) > rt.fields.size()) {
+          rt.fields.resize(static_cast<std::size_t>(idx));
+        }
+        rt.fields[static_cast<std::size_t>(idx - 1)] = ToStr(v);
+        RebuildRecord(rt);
+        return OkStatus();
+      }
+      case Expr::K::kIndex: {
+        std::vector<Value> subs;
+        for (const ExprP& s : lhs.kids) {
+          COMPSTOR_ASSIGN_OR_RETURN(Value sv, Eval(rt, *s));
+          subs.push_back(std::move(sv));
+        }
+        ArrayOf(rt, lhs.str)[JoinSubscripts(rt, subs)] = std::move(v);
+        return OkStatus();
+      }
+      default:
+        return InvalidArgument("awk: assignment to non-lvalue");
+    }
+  }
+
+  // ---- expression evaluation ----
+  Result<Value> Eval(Runtime& rt, const Expr& e) const {
+    switch (e.k) {
+      case Expr::K::kNum:
+        return Value::Number(e.num);
+      case Expr::K::kStr:
+        return Value::Str(e.str);
+      case Expr::K::kGroup:
+        return Eval(rt, *e.kids[0]);
+      case Expr::K::kRegex: {
+        // A bare regex means $0 ~ /re/.
+        return Value::Number(e.re->Search(rt.record) ? 1 : 0);
+      }
+      case Expr::K::kVar:
+        return GetVar(rt, e.str);
+      case Expr::K::kField: {
+        COMPSTOR_ASSIGN_OR_RETURN(Value idx_v, Eval(rt, *e.kids[0]));
+        const int idx = static_cast<int>(ToNum(idx_v));
+        if (idx < 0) return InvalidArgument("awk: negative field index");
+        if (idx == 0) return Value::FromInput(rt.record);
+        if (static_cast<std::size_t>(idx) > rt.fields.size()) return Value::Str("");
+        return Value::FromInput(rt.fields[static_cast<std::size_t>(idx - 1)]);
+      }
+      case Expr::K::kIndex: {
+        std::vector<Value> subs;
+        for (const ExprP& s : e.kids) {
+          COMPSTOR_ASSIGN_OR_RETURN(Value sv, Eval(rt, *s));
+          subs.push_back(std::move(sv));
+        }
+        // Referencing creates the element (awk semantics).
+        return ArrayOf(rt, e.str)[JoinSubscripts(rt, subs)];
+      }
+      case Expr::K::kIn: {
+        COMPSTOR_ASSIGN_OR_RETURN(Value key, Eval(rt, *e.kids[0]));
+        auto arr = rt.arrays.find(ResolveArray(rt, e.str));
+        if (arr == rt.arrays.end()) return Value::Number(0);
+        return Value::Number(arr->second.count(ToStr(key)) ? 1 : 0);
+      }
+      case Expr::K::kAssign: {
+        COMPSTOR_ASSIGN_OR_RETURN(Value rhs, Eval(rt, *e.kids[1]));
+        if (e.str != "=") {
+          COMPSTOR_ASSIGN_OR_RETURN(Value old, Eval(rt, *e.kids[0]));
+          const double a = ToNum(old);
+          const double b = ToNum(rhs);
+          double r = 0;
+          switch (e.str[0]) {
+            case '+': r = a + b; break;
+            case '-': r = a - b; break;
+            case '*': r = a * b; break;
+            case '/':
+              if (b == 0) return InvalidArgument("awk: division by zero");
+              r = a / b;
+              break;
+            case '%':
+              if (b == 0) return InvalidArgument("awk: division by zero");
+              r = std::fmod(a, b);
+              break;
+            case '^': r = std::pow(a, b); break;
+          }
+          rhs = Value::Number(r);
+        }
+        COMPSTOR_RETURN_IF_ERROR(Store(rt, *e.kids[0], rhs));
+        return rhs;
+      }
+      case Expr::K::kIncDec: {
+        COMPSTOR_ASSIGN_OR_RETURN(Value old, Eval(rt, *e.kids[0]));
+        const double before = ToNum(old);
+        const double after = before + (e.str == "++" ? 1 : -1);
+        COMPSTOR_RETURN_IF_ERROR(Store(rt, *e.kids[0], Value::Number(after)));
+        return Value::Number(e.num != 0 ? after : before);
+      }
+      case Expr::K::kUnary: {
+        COMPSTOR_ASSIGN_OR_RETURN(Value v, Eval(rt, *e.kids[0]));
+        switch (e.str[0]) {
+          case '!': return Value::Number(Truthy(v) ? 0 : 1);
+          case '-': return Value::Number(-ToNum(v));
+          default: return Value::Number(ToNum(v));
+        }
+      }
+      case Expr::K::kTernary: {
+        COMPSTOR_ASSIGN_OR_RETURN(Value c, Eval(rt, *e.kids[0]));
+        return Eval(rt, Truthy(c) ? *e.kids[1] : *e.kids[2]);
+      }
+      case Expr::K::kMatchOp: {
+        COMPSTOR_ASSIGN_OR_RETURN(Value subject, Eval(rt, *e.kids[0]));
+        bool hit;
+        if (e.kids[1]->k == Expr::K::kRegex) {
+          hit = e.kids[1]->re->Search(ToStr(subject));
+        } else {
+          COMPSTOR_ASSIGN_OR_RETURN(Value pattern, Eval(rt, *e.kids[1]));
+          auto re = CachedRegex(rt, ToStr(pattern));
+          if (re == nullptr) return InvalidArgument("awk: bad dynamic regex");
+          hit = (*re)->Search(ToStr(subject));
+        }
+        return Value::Number((e.str == "~") == hit ? 1 : 0);
+      }
+      case Expr::K::kBinary:
+        return EvalBinary(rt, e);
+      case Expr::K::kCall:
+        return EvalCall(rt, e);
+    }
+    return Internal("awk: unknown expression node");
+  }
+
+  Result<Value> EvalBinary(Runtime& rt, const Expr& e) const {
+    if (e.str == "&&") {
+      COMPSTOR_ASSIGN_OR_RETURN(Value a, Eval(rt, *e.kids[0]));
+      if (!Truthy(a)) return Value::Number(0);
+      COMPSTOR_ASSIGN_OR_RETURN(Value b, Eval(rt, *e.kids[1]));
+      return Value::Number(Truthy(b) ? 1 : 0);
+    }
+    if (e.str == "||") {
+      COMPSTOR_ASSIGN_OR_RETURN(Value a, Eval(rt, *e.kids[0]));
+      if (Truthy(a)) return Value::Number(1);
+      COMPSTOR_ASSIGN_OR_RETURN(Value b, Eval(rt, *e.kids[1]));
+      return Value::Number(Truthy(b) ? 1 : 0);
+    }
+
+    COMPSTOR_ASSIGN_OR_RETURN(Value a, Eval(rt, *e.kids[0]));
+    COMPSTOR_ASSIGN_OR_RETURN(Value b, Eval(rt, *e.kids[1]));
+    if (e.str == "concat") {
+      return Value::Str(ToStr(a) + ToStr(b));
+    }
+    if (e.str == "<" || e.str == "<=" || e.str == ">" || e.str == ">=" ||
+        e.str == "==" || e.str == "!=") {
+      const int c = CompareValues(a, b);
+      bool r = false;
+      if (e.str == "<") r = c < 0;
+      else if (e.str == "<=") r = c <= 0;
+      else if (e.str == ">") r = c > 0;
+      else if (e.str == ">=") r = c >= 0;
+      else if (e.str == "==") r = c == 0;
+      else r = c != 0;
+      return Value::Number(r ? 1 : 0);
+    }
+    const double x = ToNum(a), y = ToNum(b);
+    if (e.str == "+") return Value::Number(x + y);
+    if (e.str == "-") return Value::Number(x - y);
+    if (e.str == "*") return Value::Number(x * y);
+    if (e.str == "/") {
+      if (y == 0) return InvalidArgument("awk: division by zero");
+      return Value::Number(x / y);
+    }
+    if (e.str == "%") {
+      if (y == 0) return InvalidArgument("awk: division by zero");
+      return Value::Number(std::fmod(x, y));
+    }
+    if (e.str == "^") return Value::Number(std::pow(x, y));
+    return Internal("awk: unknown binary operator " + e.str);
+  }
+
+  // ---- builtins ----
+  Result<Value> EvalCall(Runtime& rt, const Expr& e) const {
+    const std::string& fn = e.str;
+    auto arg = [&](std::size_t i) -> Result<Value> { return Eval(rt, *e.kids[i]); };
+    const std::size_t n = e.kids.size();
+
+    if (fn == "length") {
+      if (n == 0) return Value::Number(static_cast<double>(rt.record.size()));
+      // length(array) counts elements.
+      if (e.kids[0]->k == Expr::K::kVar) {
+        auto it = rt.arrays.find(ResolveArray(rt, e.kids[0]->str));
+        if (it != rt.arrays.end()) {
+          return Value::Number(static_cast<double>(it->second.size()));
+        }
+      }
+      COMPSTOR_ASSIGN_OR_RETURN(Value v, arg(0));
+      return Value::Number(static_cast<double>(ToStr(v).size()));
+    }
+    if (fn == "substr") {
+      if (n < 2) return InvalidArgument("awk: substr needs 2+ args");
+      COMPSTOR_ASSIGN_OR_RETURN(Value sv, arg(0));
+      COMPSTOR_ASSIGN_OR_RETURN(Value mv, arg(1));
+      const std::string s = ToStr(sv);
+      // POSIX: m is 1-based; clamp.
+      double m = std::floor(ToNum(mv));
+      double cnt = n >= 3 ? 0 : static_cast<double>(s.size());
+      if (n >= 3) {
+        COMPSTOR_ASSIGN_OR_RETURN(Value cv, arg(2));
+        cnt = std::floor(ToNum(cv));
+      }
+      double from = std::max(1.0, m);
+      double to = m + cnt;  // exclusive, 1-based
+      if (n < 3) to = static_cast<double>(s.size()) + 1;
+      to = std::min(to, static_cast<double>(s.size()) + 1);
+      if (to <= from || from > static_cast<double>(s.size())) return Value::Str("");
+      return Value::Str(s.substr(static_cast<std::size_t>(from) - 1,
+                                 static_cast<std::size_t>(to - from)));
+    }
+    if (fn == "index") {
+      if (n != 2) return InvalidArgument("awk: index needs 2 args");
+      COMPSTOR_ASSIGN_OR_RETURN(Value sv, arg(0));
+      COMPSTOR_ASSIGN_OR_RETURN(Value tv, arg(1));
+      const std::string s = ToStr(sv), t = ToStr(tv);
+      const std::size_t at = s.find(t);
+      return Value::Number(at == std::string::npos ? 0 : static_cast<double>(at + 1));
+    }
+    if (fn == "split") {
+      if (n < 2 || e.kids[1]->k != Expr::K::kVar) {
+        return InvalidArgument("awk: split(s, arr [, fs])");
+      }
+      COMPSTOR_ASSIGN_OR_RETURN(Value sv, arg(0));
+      std::string fs = " ";
+      if (n >= 3) {
+        COMPSTOR_ASSIGN_OR_RETURN(Value fv, arg(2));
+        fs = ToStr(fv);
+      } else {
+        fs = ToStr(GetVar(rt, "FS"));
+      }
+      auto& array = ArrayOf(rt, e.kids[1]->str);
+      array.clear();
+      // Reuse the record splitter by staging a scratch runtime view.
+      std::vector<std::string> parts;
+      SplitWith(rt, ToStr(sv), fs, &parts);
+      for (std::size_t i = 0; i < parts.size(); ++i) {
+        array[std::to_string(i + 1)] = Value::FromInput(parts[i]);
+      }
+      return Value::Number(static_cast<double>(parts.size()));
+    }
+    if (fn == "sub" || fn == "gsub") {
+      if (n < 2) return InvalidArgument("awk: sub/gsub need 2+ args");
+      std::string pattern;
+      if (e.kids[0]->k == Expr::K::kRegex) {
+        pattern = e.kids[0]->str;
+      } else {
+        COMPSTOR_ASSIGN_OR_RETURN(Value pv, arg(0));
+        pattern = ToStr(pv);
+      }
+      auto re = CachedRegex(rt, pattern);
+      if (re == nullptr) return InvalidArgument("awk: bad regex in sub/gsub");
+      COMPSTOR_ASSIGN_OR_RETURN(Value rv, arg(1));
+      const std::string repl = ToStr(rv);
+
+      // Target: third arg lvalue, default $0.
+      Expr default_target;
+      default_target.k = Expr::K::kField;
+      auto zero = std::make_unique<Expr>();
+      zero->k = Expr::K::kNum;
+      zero->num = 0;
+      default_target.kids.push_back(std::move(zero));
+      const Expr* target = n >= 3 ? e.kids[2].get() : &default_target;
+
+      COMPSTOR_ASSIGN_OR_RETURN(Value tv, Eval(rt, *target));
+      std::string s = ToStr(tv);
+      int count = 0;
+      std::string out;
+      std::size_t from = 0;
+      while (from <= s.size()) {
+        std::size_t b, eend;
+        std::string_view rest(s.data() + from, s.size() - from);
+        if (!(*re)->FindFirst(rest, &b, &eend)) break;
+        out.append(s, from, b);
+        // Apply replacement with & expansion.
+        const std::string matched = s.substr(from + b, eend - b);
+        for (std::size_t i = 0; i < repl.size(); ++i) {
+          if (repl[i] == '\\' && i + 1 < repl.size() && repl[i + 1] == '&') {
+            out.push_back('&');
+            ++i;
+          } else if (repl[i] == '&') {
+            out.append(matched);
+          } else {
+            out.push_back(repl[i]);
+          }
+        }
+        ++count;
+        if (eend == b) {
+          // Empty match: copy one char to guarantee progress.
+          if (from + b < s.size()) out.push_back(s[from + b]);
+          from += b + 1;
+        } else {
+          from += eend;
+        }
+        if (fn == "sub") break;
+      }
+      if (count > 0) {
+        out.append(s, from, std::string::npos);
+        COMPSTOR_RETURN_IF_ERROR(Store(rt, *target, Value::Str(out)));
+      }
+      return Value::Number(count);
+    }
+    if (fn == "match") {
+      if (n != 2) return InvalidArgument("awk: match needs 2 args");
+      COMPSTOR_ASSIGN_OR_RETURN(Value sv, arg(0));
+      std::string pattern;
+      if (e.kids[1]->k == Expr::K::kRegex) {
+        pattern = e.kids[1]->str;
+      } else {
+        COMPSTOR_ASSIGN_OR_RETURN(Value pv, arg(1));
+        pattern = ToStr(pv);
+      }
+      auto re = CachedRegex(rt, pattern);
+      if (re == nullptr) return InvalidArgument("awk: bad regex in match");
+      std::size_t b, eend;
+      const std::string s = ToStr(sv);
+      if ((*re)->FindFirst(s, &b, &eend)) {
+        rt.vars["RSTART"] = Value::Number(static_cast<double>(b + 1));
+        rt.vars["RLENGTH"] = Value::Number(static_cast<double>(eend - b));
+        return Value::Number(static_cast<double>(b + 1));
+      }
+      rt.vars["RSTART"] = Value::Number(0);
+      rt.vars["RLENGTH"] = Value::Number(-1);
+      return Value::Number(0);
+    }
+    if (fn == "sprintf") {
+      if (n < 1) return InvalidArgument("awk: sprintf needs a format");
+      std::vector<Value> args;
+      for (std::size_t i = 1; i < n; ++i) {
+        COMPSTOR_ASSIGN_OR_RETURN(Value v, arg(i));
+        args.push_back(std::move(v));
+      }
+      COMPSTOR_ASSIGN_OR_RETURN(Value fv, arg(0));
+      return FormatPrintf(ToStr(fv), args);
+    }
+    if (fn == "tolower" || fn == "toupper") {
+      if (n != 1) return InvalidArgument("awk: tolower/toupper need 1 arg");
+      COMPSTOR_ASSIGN_OR_RETURN(Value v, arg(0));
+      std::string s = ToStr(v);
+      for (char& c : s) {
+        c = fn == "tolower" ? static_cast<char>(std::tolower(static_cast<unsigned char>(c)))
+                            : static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+      }
+      return Value::Str(std::move(s));
+    }
+    if (fn == "int" || fn == "sqrt" || fn == "exp" || fn == "log" || fn == "sin" ||
+        fn == "cos") {
+      if (n != 1) return InvalidArgument("awk: " + fn + " needs 1 arg");
+      COMPSTOR_ASSIGN_OR_RETURN(Value v, arg(0));
+      const double x = ToNum(v);
+      double r = 0;
+      if (fn == "int") r = std::trunc(x);
+      else if (fn == "sqrt") r = std::sqrt(x);
+      else if (fn == "exp") r = std::exp(x);
+      else if (fn == "log") r = std::log(x);
+      else if (fn == "sin") r = std::sin(x);
+      else r = std::cos(x);
+      return Value::Number(r);
+    }
+    if (fn == "atan2") {
+      if (n != 2) return InvalidArgument("awk: atan2 needs 2 args");
+      COMPSTOR_ASSIGN_OR_RETURN(Value a, arg(0));
+      COMPSTOR_ASSIGN_OR_RETURN(Value b, arg(1));
+      return Value::Number(std::atan2(ToNum(a), ToNum(b)));
+    }
+    auto user = functions.find(fn);
+    if (user != functions.end()) {
+      return CallUserFunction(rt, user->second, e.kids);
+    }
+    return InvalidArgument("awk: unknown function " + fn);
+  }
+
+  static void SplitWith(Runtime& rt, const std::string& s, const std::string& fs,
+                        std::vector<std::string>* parts) {
+    // Temporarily use the record splitter machinery on a scratch copy.
+    Runtime scratch;
+    scratch.vars["FS"] = Value::Str(fs);
+    scratch.record = s;
+    // Regex cache shared to avoid recompilation.
+    scratch.regex_cache = rt.regex_cache;
+    SplitRecord(scratch);
+    *parts = std::move(scratch.fields);
+  }
+
+  static Result<Value> FormatPrintf(const std::string& fmt, const std::vector<Value>& args) {
+    std::string out;
+    std::size_t argi = 0;
+    for (std::size_t i = 0; i < fmt.size(); ++i) {
+      if (fmt[i] != '%') {
+        out.push_back(fmt[i]);
+        continue;
+      }
+      if (i + 1 < fmt.size() && fmt[i + 1] == '%') {
+        out.push_back('%');
+        ++i;
+        continue;
+      }
+      // Parse %[-+ 0][width][.prec]conv
+      std::string spec = "%";
+      ++i;
+      while (i < fmt.size() && (fmt[i] == '-' || fmt[i] == '+' || fmt[i] == ' ' ||
+                                fmt[i] == '0' || fmt[i] == '#')) {
+        spec += fmt[i++];
+      }
+      while (i < fmt.size() && std::isdigit(static_cast<unsigned char>(fmt[i]))) {
+        spec += fmt[i++];
+      }
+      if (i < fmt.size() && fmt[i] == '.') {
+        spec += fmt[i++];
+        while (i < fmt.size() && std::isdigit(static_cast<unsigned char>(fmt[i]))) {
+          spec += fmt[i++];
+        }
+      }
+      if (i >= fmt.size()) return InvalidArgument("awk: bad printf format");
+      const char conv = fmt[i];
+      const Value v = argi < args.size() ? args[argi++] : Value{};
+      char buf[512];
+      switch (conv) {
+        case 'd':
+        case 'i': {
+          spec += "lld";
+          std::snprintf(buf, sizeof(buf), spec.c_str(),
+                        static_cast<long long>(ToNum(v)));
+          out += buf;
+          break;
+        }
+        case 'o': case 'x': case 'X': case 'u': {
+          spec += "ll";
+          spec += conv;
+          std::snprintf(buf, sizeof(buf), spec.c_str(),
+                        static_cast<unsigned long long>(ToNum(v)));
+          out += buf;
+          break;
+        }
+        case 'e': case 'E': case 'f': case 'F': case 'g': case 'G': {
+          spec += conv;
+          std::snprintf(buf, sizeof(buf), spec.c_str(), ToNum(v));
+          out += buf;
+          break;
+        }
+        case 'c': {
+          const std::string s = ToStr(v);
+          if (!s.empty() && v.kind != Value::Kind::kNum) {
+            out.push_back(s[0]);
+          } else {
+            out.push_back(static_cast<char>(static_cast<int>(ToNum(v))));
+          }
+          break;
+        }
+        case 's': {
+          spec += 's';
+          std::snprintf(buf, sizeof(buf), spec.c_str(), ToStr(v).c_str());
+          out += buf;
+          break;
+        }
+        default:
+          return InvalidArgument(std::string("awk: bad printf conversion %") + conv);
+      }
+    }
+    return Value::Str(std::move(out));
+  }
+
+  // ---- statements ----
+  Result<Flow> Exec(Runtime& rt, const Stmt& s) const {
+    switch (s.k) {
+      case Stmt::K::kBlock:
+        return ExecBody(rt, s.stmts);
+      case Stmt::K::kExpr: {
+        COMPSTOR_ASSIGN_OR_RETURN(Value v, Eval(rt, *s.exprs[0]));
+        (void)v;
+        return Flow{};
+      }
+      case Stmt::K::kPrint: {
+        const std::string ofs = ToStr(GetVar(rt, "OFS"));
+        const std::string ors = ToStr(GetVar(rt, "ORS"));
+        if (s.exprs.empty()) {
+          rt.out->append(rt.record).append(ors);
+          return Flow{};
+        }
+        std::string line;
+        for (std::size_t i = 0; i < s.exprs.size(); ++i) {
+          if (i > 0) line += ofs;
+          COMPSTOR_ASSIGN_OR_RETURN(Value v, Eval(rt, *s.exprs[i]));
+          line += ToStr(v);
+        }
+        rt.out->append(line).append(ors);
+        return Flow{};
+      }
+      case Stmt::K::kPrintf: {
+        COMPSTOR_ASSIGN_OR_RETURN(Value fv, Eval(rt, *s.exprs[0]));
+        std::vector<Value> args;
+        for (std::size_t i = 1; i < s.exprs.size(); ++i) {
+          COMPSTOR_ASSIGN_OR_RETURN(Value v, Eval(rt, *s.exprs[i]));
+          args.push_back(std::move(v));
+        }
+        COMPSTOR_ASSIGN_OR_RETURN(Value formatted, FormatPrintf(ToStr(fv), args));
+        rt.out->append(ToStr(formatted));
+        return Flow{};
+      }
+      case Stmt::K::kIf: {
+        COMPSTOR_ASSIGN_OR_RETURN(Value c, Eval(rt, *s.exprs[0]));
+        if (Truthy(c)) return Exec(rt, *s.stmts[0]);
+        if (s.stmts.size() > 1) return Exec(rt, *s.stmts[1]);
+        return Flow{};
+      }
+      case Stmt::K::kWhile: {
+        for (;;) {
+          COMPSTOR_ASSIGN_OR_RETURN(Value c, Eval(rt, *s.exprs[0]));
+          if (!Truthy(c)) return Flow{};
+          COMPSTOR_ASSIGN_OR_RETURN(Flow f, Exec(rt, *s.stmts[0]));
+          if (f.kind == FlowKind::kBreak) return Flow{};
+          if (f.kind == FlowKind::kNext || f.kind == FlowKind::kExit ||
+              f.kind == FlowKind::kReturn) {
+            return f;
+          }
+        }
+      }
+      case Stmt::K::kDoWhile: {
+        for (;;) {
+          COMPSTOR_ASSIGN_OR_RETURN(Flow f, Exec(rt, *s.stmts[0]));
+          if (f.kind == FlowKind::kBreak) return Flow{};
+          if (f.kind == FlowKind::kNext || f.kind == FlowKind::kExit ||
+              f.kind == FlowKind::kReturn) {
+            return f;
+          }
+          COMPSTOR_ASSIGN_OR_RETURN(Value c, Eval(rt, *s.exprs[0]));
+          if (!Truthy(c)) return Flow{};
+        }
+      }
+      case Stmt::K::kFor: {
+        if (s.exprs[0]) {
+          COMPSTOR_ASSIGN_OR_RETURN(Value v, Eval(rt, *s.exprs[0]));
+          (void)v;
+        }
+        for (;;) {
+          if (s.exprs[1]) {
+            COMPSTOR_ASSIGN_OR_RETURN(Value c, Eval(rt, *s.exprs[1]));
+            if (!Truthy(c)) return Flow{};
+          }
+          COMPSTOR_ASSIGN_OR_RETURN(Flow f, Exec(rt, *s.stmts[0]));
+          if (f.kind == FlowKind::kBreak) return Flow{};
+          if (f.kind == FlowKind::kNext || f.kind == FlowKind::kExit ||
+              f.kind == FlowKind::kReturn) {
+            return f;
+          }
+          if (s.exprs[2]) {
+            COMPSTOR_ASSIGN_OR_RETURN(Value v, Eval(rt, *s.exprs[2]));
+            (void)v;
+          }
+        }
+      }
+      case Stmt::K::kForIn: {
+        auto arr = rt.arrays.find(ResolveArray(rt, s.exprs[0]->str));
+        if (arr == rt.arrays.end()) return Flow{};
+        // Copy keys: the body may mutate the array.
+        std::vector<std::string> keys;
+        keys.reserve(arr->second.size());
+        for (const auto& [k, v] : arr->second) keys.push_back(k);
+        for (const std::string& k : keys) {
+          rt.vars[s.name] = Value::FromInput(k);
+          COMPSTOR_ASSIGN_OR_RETURN(Flow f, Exec(rt, *s.stmts[0]));
+          if (f.kind == FlowKind::kBreak) return Flow{};
+          if (f.kind == FlowKind::kNext || f.kind == FlowKind::kExit ||
+              f.kind == FlowKind::kReturn) {
+            return f;
+          }
+        }
+        return Flow{};
+      }
+      case Stmt::K::kNext:
+        return Flow{FlowKind::kNext, 0, Value{}};
+      case Stmt::K::kBreak:
+        return Flow{FlowKind::kBreak, 0, Value{}};
+      case Stmt::K::kContinue:
+        return Flow{FlowKind::kContinue, 0, Value{}};
+      case Stmt::K::kExit: {
+        int code = 0;
+        if (!s.exprs.empty()) {
+          COMPSTOR_ASSIGN_OR_RETURN(Value v, Eval(rt, *s.exprs[0]));
+          code = static_cast<int>(ToNum(v));
+        }
+        return Flow{FlowKind::kExit, code, Value{}};
+      }
+      case Stmt::K::kReturn: {
+        Flow f;
+        f.kind = FlowKind::kReturn;
+        if (!s.exprs.empty()) {
+          COMPSTOR_ASSIGN_OR_RETURN(f.ret, Eval(rt, *s.exprs[0]));
+        }
+        return f;
+      }
+      case Stmt::K::kDelete: {
+        if (s.exprs.empty()) {
+          ArrayOf(rt, s.name).clear();
+        } else {
+          std::vector<Value> subs;
+          for (const ExprP& sub : s.exprs) {
+            COMPSTOR_ASSIGN_OR_RETURN(Value v, Eval(rt, *sub));
+            subs.push_back(std::move(v));
+          }
+          ArrayOf(rt, s.name).erase(JoinSubscripts(rt, subs));
+        }
+        return Flow{};
+      }
+    }
+    return Internal("awk: unknown statement");
+  }
+
+  Result<Flow> ExecBody(Runtime& rt, const std::vector<StmtP>& body) const {
+    for (const StmtP& s : body) {
+      COMPSTOR_ASSIGN_OR_RETURN(Flow f, Exec(rt, *s));
+      // An `exit` inside a user function cannot unwind through the value-
+      // returning Eval path, so it parks in pending_exit; convert it here.
+      if (rt.pending_exit.has_value()) {
+        return Flow{FlowKind::kExit, *rt.pending_exit, Value{}};
+      }
+      // Any non-normal flow (break/continue/next/exit/return) aborts the
+      // rest of this body and propagates to the enclosing loop or rule.
+      if (f.kind != FlowKind::kNormal) return f;
+    }
+    return Flow{};
+  }
+
+  // ---- user-defined function calls ----
+  Result<Value> CallUserFunction(Runtime& rt, const FunctionDef& fn,
+                                 const std::vector<ExprP>& args) const {
+    if (args.size() > fn.params.size()) {
+      return InvalidArgument("awk: too many arguments to " + fn.name);
+    }
+    if (rt.call_depth >= 200) {
+      return InvalidArgument("awk: function call depth exceeded");
+    }
+
+    // Evaluate arguments in the CALLER's scope, classifying each param:
+    // a bare name with no scalar value passes the array by reference
+    // (POSIX); anything else passes a scalar by value.
+    std::vector<std::optional<Value>> scalar_args(fn.params.size());
+    std::vector<std::optional<std::string>> array_args(fn.params.size());
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      const Expr& a = *args[i];
+      if (a.k == Expr::K::kVar && rt.vars.find(a.str) == rt.vars.end() &&
+          a.str != "NF") {
+        array_args[i] = ResolveArray(rt, a.str);
+      } else {
+        COMPSTOR_ASSIGN_OR_RETURN(Value v, Eval(rt, a));
+        scalar_args[i] = std::move(v);
+      }
+    }
+
+    // Shadow every parameter (dynamic scoping, as real awk does): save the
+    // caller's scalar value and array alias, install the argument binding or
+    // a fresh local, run, restore.
+    struct Saved {
+      std::string name;
+      std::optional<Value> scalar;
+      std::optional<std::string> alias;
+    };
+    std::vector<Saved> saved;
+    std::vector<std::string> fresh_arrays;
+    saved.reserve(fn.params.size());
+    for (std::size_t i = 0; i < fn.params.size(); ++i) {
+      const std::string& param = fn.params[i];
+      Saved sv;
+      sv.name = param;
+      auto vit = rt.vars.find(param);
+      if (vit != rt.vars.end()) {
+        sv.scalar = vit->second;
+        rt.vars.erase(vit);
+      }
+      auto ait = rt.array_alias.find(param);
+      if (ait != rt.array_alias.end()) sv.alias = ait->second;
+      saved.push_back(std::move(sv));
+
+      if (array_args[i].has_value()) {
+        rt.array_alias[param] = *array_args[i];
+      } else {
+        // Local binding: fresh array identity + optional scalar value.
+        std::string local = "__awk_local#" + std::to_string(rt.local_counter++);
+        rt.array_alias[param] = local;
+        fresh_arrays.push_back(std::move(local));
+        if (scalar_args[i].has_value()) rt.vars[param] = *scalar_args[i];
+      }
+    }
+
+    ++rt.call_depth;
+    auto flow = ExecBody(rt, fn.body);
+    --rt.call_depth;
+
+    for (const Saved& sv : saved) {
+      rt.vars.erase(sv.name);
+      if (sv.scalar.has_value()) rt.vars[sv.name] = *sv.scalar;
+      if (sv.alias.has_value()) {
+        rt.array_alias[sv.name] = *sv.alias;
+      } else {
+        rt.array_alias.erase(sv.name);
+      }
+    }
+    for (const std::string& local : fresh_arrays) rt.arrays.erase(local);
+
+    if (!flow.ok()) return flow.status();
+    if (flow->kind == FlowKind::kReturn) return flow->ret;
+    if (flow->kind == FlowKind::kExit && !rt.pending_exit.has_value()) {
+      rt.pending_exit = flow->exit_code;  // surfaces at the next ExecBody step
+    }
+    return Value{};  // fell off the end: uninitialized
+  }
+};
+
+// ---------------------------------------------------------------------------
+// AwkProgram public API
+// ---------------------------------------------------------------------------
+
+AwkProgram::AwkProgram() : impl_(std::make_unique<Impl>()) {}
+AwkProgram::~AwkProgram() = default;
+AwkProgram::AwkProgram(AwkProgram&&) noexcept = default;
+AwkProgram& AwkProgram::operator=(AwkProgram&&) noexcept = default;
+
+Result<AwkProgram> AwkProgram::Compile(std::string_view source) {
+  Parser parser(source);
+  COMPSTOR_ASSIGN_OR_RETURN(ParsedProgram parsed, parser.ParseProgram());
+  AwkProgram p;
+  p.impl_->rules = std::move(parsed.rules);
+  p.impl_->functions = std::move(parsed.functions);
+  return p;
+}
+
+Result<AwkProgram::RunResult> AwkProgram::Run(
+    const std::vector<std::pair<std::string, std::string>>& files,
+    std::string_view stdin_data, const RunOptions& options) const {
+  Impl::Runtime rt;
+  RunResult result;
+  rt.out = &result.output;
+
+  rt.vars["FS"] = Value::Str(options.field_separator.empty() ? " " : options.field_separator);
+  rt.vars["OFS"] = Value::Str(" ");
+  rt.vars["ORS"] = Value::Str("\n");
+  rt.vars["SUBSEP"] = Value::Str("\x1c");
+  rt.vars["NR"] = Value::Number(0);
+  rt.vars["FNR"] = Value::Number(0);
+  rt.vars["FILENAME"] = Value::Str("");
+  for (const auto& [k, v] : options.assigns) rt.vars[k] = Value::FromInput(v);
+
+  bool exited = false;
+
+  // BEGIN rules.
+  for (const Rule& rule : impl_->rules) {
+    if (rule.k != Rule::K::kBegin) continue;
+    COMPSTOR_ASSIGN_OR_RETURN(Impl::Flow f, impl_->ExecBody(rt, rule.body));
+    if (f.kind == Impl::FlowKind::kExit) {
+      result.exit_code = f.exit_code;
+      exited = true;
+      break;
+    }
+  }
+
+  // Main loop over records.
+  bool has_main = false;
+  for (const Rule& rule : impl_->rules) {
+    if (rule.k == Rule::K::kPattern || rule.k == Rule::K::kAlways) has_main = true;
+  }
+  bool has_end = false;
+  for (const Rule& rule : impl_->rules) has_end |= rule.k == Rule::K::kEnd;
+
+  if (!exited && (has_main || has_end)) {
+    std::vector<std::pair<std::string, std::string>> inputs(files.begin(), files.end());
+    if (inputs.empty() && !stdin_data.empty()) {
+      inputs.emplace_back("-", std::string(stdin_data));
+    }
+    std::uint64_t nr = 0;
+    for (const auto& [fname, content] : inputs) {
+      if (exited) break;
+      rt.vars["FILENAME"] = Value::Str(fname);
+      rt.vars["FNR"] = Value::Number(0);
+      std::uint64_t fnr = 0;
+      std::size_t start = 0;
+      while (start <= content.size()) {
+        if (start == content.size() && content.size() > 0) break;
+        std::size_t nl = content.find('\n', start);
+        std::string line;
+        if (nl == std::string::npos) {
+          if (start >= content.size()) break;
+          line = content.substr(start);
+          start = content.size();
+        } else {
+          line = content.substr(start, nl - start);
+          start = nl + 1;
+        }
+        result.work_units += line.size() + 1;
+        ++nr;
+        ++fnr;
+        rt.vars["NR"] = Value::Number(static_cast<double>(nr));
+        rt.vars["FNR"] = Value::Number(static_cast<double>(fnr));
+        rt.record = std::move(line);
+        Impl::SplitRecord(rt);
+
+        for (const Rule& rule : impl_->rules) {
+          if (rule.k == Rule::K::kBegin || rule.k == Rule::K::kEnd) continue;
+          bool fire = true;
+          if (rule.k == Rule::K::kPattern) {
+            COMPSTOR_ASSIGN_OR_RETURN(Value pv, impl_->Eval(rt, *rule.pattern));
+            fire = Truthy(pv);
+          }
+          if (!fire) continue;
+          if (rule.default_print) {
+            result.output.append(rt.record).append(ToStr(Impl::GetVar(rt, "ORS")));
+            continue;
+          }
+          COMPSTOR_ASSIGN_OR_RETURN(Impl::Flow f, impl_->ExecBody(rt, rule.body));
+          if (f.kind == Impl::FlowKind::kNext) break;
+          if (f.kind == Impl::FlowKind::kExit) {
+            result.exit_code = f.exit_code;
+            exited = true;
+            break;
+          }
+        }
+        if (exited) break;
+      }
+    }
+  }
+
+  // END rules (run even after exit in real awk only when exit came from
+  // BEGIN/main — we follow that).
+  if (!exited || true) {
+    for (const Rule& rule : impl_->rules) {
+      if (rule.k != Rule::K::kEnd) continue;
+      COMPSTOR_ASSIGN_OR_RETURN(Impl::Flow f, impl_->ExecBody(rt, rule.body));
+      if (f.kind == Impl::FlowKind::kExit) {
+        result.exit_code = f.exit_code;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// gawk Application wrapper
+// ---------------------------------------------------------------------------
+
+Result<int> AwkApp::Run(AppContext& ctx, const std::vector<std::string>& args) {
+  AwkProgram::RunOptions opts;
+  std::string program_text;
+  bool have_program = false;
+  std::vector<std::string> file_names;
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (!have_program && a == "-F") {
+      if (i + 1 >= args.size()) return InvalidArgument("gawk: -F needs a separator");
+      opts.field_separator = args[++i];
+    } else if (!have_program && a.rfind("-F", 0) == 0 && a.size() > 2) {
+      opts.field_separator = a.substr(2);
+    } else if (!have_program && a == "-v") {
+      if (i + 1 >= args.size()) return InvalidArgument("gawk: -v needs var=value");
+      const std::string& kv = args[++i];
+      const std::size_t eq = kv.find('=');
+      if (eq == std::string::npos) return InvalidArgument("gawk: -v needs var=value");
+      opts.assigns.emplace_back(kv.substr(0, eq), kv.substr(eq + 1));
+    } else if (!have_program) {
+      program_text = a;
+      have_program = true;
+    } else {
+      file_names.push_back(a);
+    }
+  }
+  if (!have_program) return InvalidArgument("gawk: missing program text");
+
+  COMPSTOR_ASSIGN_OR_RETURN(AwkProgram program, AwkProgram::Compile(program_text));
+
+  std::vector<std::pair<std::string, std::string>> files;
+  for (const std::string& f : file_names) {
+    COMPSTOR_ASSIGN_OR_RETURN(std::string content, ctx.ReadInputFile(f));
+    files.emplace_back(f, std::move(content));
+  }
+  if (files.empty()) ctx.cost.bytes_in += ctx.stdin_data.size();
+
+  COMPSTOR_ASSIGN_OR_RETURN(AwkProgram::RunResult r,
+                            program.Run(files, ctx.stdin_data, opts));
+  ctx.cost.AddWork("gawk", r.work_units);
+  ctx.Out(r.output);
+  return r.exit_code;
+}
+
+}  // namespace compstor::apps

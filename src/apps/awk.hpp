@@ -1,0 +1,66 @@
+// gawk: an AWK interpreter — the paper's second IO-intensive workload.
+//
+// Implements a substantial subset of POSIX awk:
+//  - BEGIN/END rules, /regex/ patterns, expression patterns, bare blocks;
+//  - statements: print, printf, if/else, while, do-while, for(;;),
+//    for (k in arr), next, exit, break, continue, delete, blocks;
+//  - expressions: full operator set (?:, ||, &&, in, ~ !~, comparisons,
+//    concatenation, arithmetic, ^, unary, pre/post ++/--), assignment ops,
+//    fields $n, associative arrays with comma subscripts (SUBSEP);
+//  - builtins: length, substr, index, split, sub, gsub, match, sprintf,
+//    int, sqrt, exp, log, sin, cos, atan2, tolower, toupper;
+//  - special variables: NR, NF, FNR, FS, OFS, ORS, SUBSEP, FILENAME,
+//    RSTART, RLENGTH.
+//
+// The engine is reusable as a library (AwkProgram) and wrapped as the
+// "gawk" Application for the shell / minion path.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "common/status.hpp"
+
+namespace compstor::apps {
+
+class AwkProgram {
+ public:
+  ~AwkProgram();
+  AwkProgram(AwkProgram&&) noexcept;
+  AwkProgram& operator=(AwkProgram&&) noexcept;
+
+  static Result<AwkProgram> Compile(std::string_view source);
+
+  struct RunOptions {
+    std::string field_separator;  // empty = default whitespace splitting
+    std::vector<std::pair<std::string, std::string>> assigns;  // -v var=val
+  };
+  struct RunResult {
+    std::string output;
+    int exit_code = 0;
+    std::uint64_t work_units = 0;  // bytes of input processed
+  };
+
+  /// Runs the program over named inputs (name used for FILENAME). An empty
+  /// file list runs BEGIN/END only (plus `stdin_data` as input if nonempty).
+  Result<RunResult> Run(const std::vector<std::pair<std::string, std::string>>& files,
+                        std::string_view stdin_data, const RunOptions& options) const;
+
+ private:
+  AwkProgram();
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+class AwkApp final : public Application {
+ public:
+  std::string_view name() const override { return "gawk"; }
+  Result<int> Run(AppContext& ctx, const std::vector<std::string>& args) override;
+};
+
+}  // namespace compstor::apps

@@ -1,0 +1,287 @@
+#include "apps/bwzip.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <numeric>
+
+#include "apps/huffman.hpp"
+#include "util/bitstream.hpp"
+#include "util/crc32c.hpp"
+
+namespace compstor::apps {
+namespace {
+
+constexpr std::array<std::uint8_t, 4> kMagic = {'C', 'B', '0', '1'};
+constexpr int kMaxCodeBits = 15;
+// MTF alphabet after zero-run recoding: RUNA, RUNB, values 1..255 (as 2..256),
+// EOB at 257.
+constexpr int kRunA = 0;
+constexpr int kRunB = 1;
+constexpr int kEob = 257;
+constexpr int kNumSymbols = 258;
+
+/// Sorts the cyclic rotations of `s` with prefix-doubling (O(n log^2 n),
+/// content-independent — no pathological inputs unlike naive rotation sort).
+std::vector<std::uint32_t> SortRotations(std::span<const std::uint8_t> s) {
+  const std::size_t n = s.size();
+  std::vector<std::uint32_t> sa(n), rank(n), tmp(n);
+  std::iota(sa.begin(), sa.end(), 0u);
+  for (std::size_t i = 0; i < n; ++i) rank[i] = s[i];
+
+  for (std::size_t k = 1;; k <<= 1) {
+    auto key = [&](std::uint32_t i) {
+      return std::pair<std::uint32_t, std::uint32_t>(
+          rank[i], rank[(i + k) % n]);
+    };
+    std::sort(sa.begin(), sa.end(),
+              [&](std::uint32_t a, std::uint32_t b) { return key(a) < key(b); });
+    tmp[sa[0]] = 0;
+    for (std::size_t i = 1; i < n; ++i) {
+      tmp[sa[i]] = tmp[sa[i - 1]] + (key(sa[i - 1]) < key(sa[i]) ? 1 : 0);
+    }
+    rank = tmp;
+    if (rank[sa[n - 1]] == n - 1) break;  // all ranks distinct
+    if (k >= n) break;                    // fully periodic input (ties remain)
+  }
+  return sa;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> BwtForward(std::span<const std::uint8_t> input,
+                                     std::uint32_t* primary) {
+  const std::size_t n = input.size();
+  std::vector<std::uint8_t> last(n);
+  if (n == 0) {
+    *primary = 0;
+    return last;
+  }
+  std::vector<std::uint32_t> sa = SortRotations(input);
+  *primary = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (sa[i] == 0) *primary = static_cast<std::uint32_t>(i);
+    last[i] = input[(sa[i] + n - 1) % n];
+  }
+  return last;
+}
+
+std::vector<std::uint8_t> BwtInverse(std::span<const std::uint8_t> last,
+                                     std::uint32_t primary) {
+  const std::size_t n = last.size();
+  std::vector<std::uint8_t> out(n);
+  if (n == 0) return out;
+
+  // LF mapping: row lf[i] is the row reached by rotating row i's string one
+  // step (so its last char is the char preceding last[i] in the text).
+  std::array<std::uint32_t, 256> count{};
+  for (std::uint8_t c : last) ++count[c];
+  std::array<std::uint32_t, 256> base{};  // chars < c in the last column
+  std::uint32_t sum = 0;
+  for (int c = 0; c < 256; ++c) {
+    base[static_cast<std::size_t>(c)] = sum;
+    sum += count[static_cast<std::size_t>(c)];
+  }
+  std::vector<std::uint32_t> lf(n);
+  std::array<std::uint32_t, 256> seen{};
+  for (std::size_t i = 0; i < n; ++i) {
+    lf[i] = base[last[i]] + seen[last[i]]++;
+  }
+
+  // Walk backwards from the primary row, filling the output right to left.
+  std::uint32_t p = primary;
+  for (std::size_t k = n; k-- > 0;) {
+    out[k] = last[p];
+    p = lf[p];
+  }
+  return out;
+}
+
+bool IsBwz(std::span<const std::uint8_t> data) {
+  return data.size() >= kMagic.size() &&
+         std::memcmp(data.data(), kMagic.data(), kMagic.size()) == 0;
+}
+
+Result<std::vector<std::uint8_t>> BwzCompress(std::span<const std::uint8_t> input,
+                                              const BwzOptions& options) {
+  if (options.block_size < 64 || options.block_size > (1u << 30)) {
+    return InvalidArgument("cbz: block size out of range");
+  }
+
+  std::vector<std::uint8_t> out(kMagic.begin(), kMagic.end());
+  const std::uint64_t original = input.size();
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(original >> (8 * i)));
+
+  std::size_t pos = 0;
+  while (pos < input.size()) {
+    const std::size_t len = std::min<std::size_t>(options.block_size, input.size() - pos);
+    auto block = input.subspan(pos, len);
+    pos += len;
+
+    std::uint32_t primary = 0;
+    std::vector<std::uint8_t> bwt = BwtForward(block, &primary);
+
+    // Move-to-front.
+    std::array<std::uint8_t, 256> order;
+    for (int i = 0; i < 256; ++i) order[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i);
+    std::vector<std::uint16_t> mtf;
+    mtf.reserve(bwt.size());
+    for (std::uint8_t c : bwt) {
+      int idx = 0;
+      while (order[static_cast<std::size_t>(idx)] != c) ++idx;
+      mtf.push_back(static_cast<std::uint16_t>(idx));
+      // Move c to the front.
+      std::memmove(order.data() + 1, order.data(), static_cast<std::size_t>(idx));
+      order[0] = c;
+    }
+
+    // Zero-run encoding (bzip2 RUNA/RUNB): a run of r zeros becomes the
+    // bijective base-2 representation of r over {RUNA=1, RUNB=2}. Nonzero
+    // MTF value v becomes symbol v+1.
+    std::vector<std::uint16_t> symbols;
+    symbols.reserve(mtf.size() / 2 + 16);
+    std::uint64_t run = 0;
+    auto flush_run = [&] {
+      while (run > 0) {
+        if (run & 1) {
+          symbols.push_back(kRunA);
+          run = (run - 1) >> 1;
+        } else {
+          symbols.push_back(kRunB);
+          run = (run - 2) >> 1;
+        }
+      }
+    };
+    for (std::uint16_t v : mtf) {
+      if (v == 0) {
+        ++run;
+      } else {
+        flush_run();
+        symbols.push_back(static_cast<std::uint16_t>(v + 1));
+      }
+    }
+    flush_run();
+    symbols.push_back(kEob);
+
+    // Huffman over the block's symbols.
+    std::vector<std::uint64_t> freq(kNumSymbols, 0);
+    for (std::uint16_t s : symbols) ++freq[s];
+    COMPSTOR_ASSIGN_OR_RETURN(CanonicalCode code, BuildCanonicalCode(freq, kMaxCodeBits));
+
+    // Block header.
+    const auto block_len = static_cast<std::uint32_t>(len);
+    for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(block_len >> (8 * i)));
+    for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(primary >> (8 * i)));
+
+    util::BitWriter w;
+    for (std::uint8_t l : code.lengths) w.WriteBits(l, 4);
+    for (std::uint16_t s : symbols) code.EncodeSymbol(w, s);
+    std::vector<std::uint8_t> bits = w.Finish();
+    const auto nbits = static_cast<std::uint32_t>(bits.size());
+    for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(nbits >> (8 * i)));
+    out.insert(out.end(), bits.begin(), bits.end());
+  }
+
+  const std::uint32_t crc = util::Crc32c(input);
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+  return out;
+}
+
+Result<std::vector<std::uint8_t>> BwzDecompress(std::span<const std::uint8_t> input) {
+  if (!IsBwz(input)) return InvalidArgument("cbz: bad magic");
+  if (input.size() < kMagic.size() + 8 + 4) return DataLoss("cbz: truncated header");
+
+  std::uint64_t original = 0;
+  for (int i = 0; i < 8; ++i) {
+    original |= static_cast<std::uint64_t>(input[kMagic.size() + static_cast<std::size_t>(i)]) << (8 * i);
+  }
+  std::uint32_t stored_crc = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored_crc |= static_cast<std::uint32_t>(input[input.size() - 4 + static_cast<std::size_t>(i)]) << (8 * i);
+  }
+
+  std::vector<std::uint8_t> out;
+  out.reserve(original);
+  std::size_t pos = kMagic.size() + 8;
+  const std::size_t end = input.size() - 4;
+
+  auto read_u32 = [&](std::uint32_t* v) -> Status {
+    if (pos + 4 > end) return DataLoss("cbz: truncated block header");
+    *v = 0;
+    for (int i = 0; i < 4; ++i) *v |= static_cast<std::uint32_t>(input[pos++]) << (8 * i);
+    return OkStatus();
+  };
+
+  while (pos < end) {
+    std::uint32_t block_len, primary, nbits_bytes;
+    COMPSTOR_RETURN_IF_ERROR(read_u32(&block_len));
+    COMPSTOR_RETURN_IF_ERROR(read_u32(&primary));
+    COMPSTOR_RETURN_IF_ERROR(read_u32(&nbits_bytes));
+    if (pos + nbits_bytes > end) return DataLoss("cbz: truncated block payload");
+    util::BitReader r(input.subspan(pos, nbits_bytes));
+    pos += nbits_bytes;
+
+    std::vector<std::uint8_t> lengths(kNumSymbols);
+    for (auto& l : lengths) l = static_cast<std::uint8_t>(r.ReadBits(4));
+    if (r.overrun()) return DataLoss("cbz: truncated code lengths");
+    CanonicalDecoder dec;
+    COMPSTOR_RETURN_IF_ERROR(dec.Init(lengths));
+
+    // Decode symbols -> MTF values (undoing the zero-run code).
+    std::vector<std::uint16_t> mtf;
+    mtf.reserve(block_len);
+    std::uint64_t run = 0;
+    std::uint64_t run_bit = 1;
+    auto flush_run = [&]() -> Status {
+      if (run > 0) {
+        if (mtf.size() + run > block_len) return DataLoss("cbz: zero run overflows block");
+        mtf.insert(mtf.end(), run, 0);
+        run = 0;
+      }
+      run_bit = 1;
+      return OkStatus();
+    };
+    for (;;) {
+      const int sym = dec.Decode(r);
+      if (sym < 0) return DataLoss("cbz: bad symbol");
+      if (sym == kEob) {
+        COMPSTOR_RETURN_IF_ERROR(flush_run());
+        break;
+      }
+      if (sym == kRunA || sym == kRunB) {
+        run += run_bit * (sym == kRunA ? 1 : 2);
+        run_bit <<= 1;
+        continue;
+      }
+      COMPSTOR_RETURN_IF_ERROR(flush_run());
+      if (mtf.size() >= block_len) return DataLoss("cbz: symbols overflow block");
+      mtf.push_back(static_cast<std::uint16_t>(sym - 1));
+    }
+    if (mtf.size() != block_len) return DataLoss("cbz: block length mismatch");
+
+    // Undo MTF.
+    std::array<std::uint8_t, 256> order;
+    for (int i = 0; i < 256; ++i) order[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i);
+    std::vector<std::uint8_t> bwt(block_len);
+    for (std::size_t i = 0; i < mtf.size(); ++i) {
+      const int idx = mtf[i];
+      const std::uint8_t c = order[static_cast<std::size_t>(idx)];
+      bwt[i] = c;
+      std::memmove(order.data() + 1, order.data(), static_cast<std::size_t>(idx));
+      order[0] = c;
+    }
+    if (primary >= std::max<std::uint32_t>(block_len, 1)) {
+      return DataLoss("cbz: bad primary index");
+    }
+
+    std::vector<std::uint8_t> block = BwtInverse(bwt, primary);
+    out.insert(out.end(), block.begin(), block.end());
+    if (out.size() > original) return DataLoss("cbz: output exceeds declared size");
+  }
+
+  if (out.size() != original) return DataLoss("cbz: size mismatch");
+  if (util::Crc32c(out) != stored_crc) return DataLoss("cbz: crc mismatch");
+  return out;
+}
+
+}  // namespace compstor::apps

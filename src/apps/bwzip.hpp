@@ -1,0 +1,44 @@
+// cbz: a bzip2-family block-sorting codec — BWT + move-to-front + zero-run
+// encoding + canonical Huffman.
+//
+// This is the repository's stand-in for bzip2 in the paper's workloads: the
+// same pipeline bzip2 runs per block (Burrows-Wheeler transform over sorted
+// rotations, MTF, RUNA/RUNB zero-run coding, Huffman), with a simplified
+// container. It is deliberately much more compute-intensive per byte than
+// czip — the property the paper exploits when it calls bzip2 "compute
+// intensive".
+//
+// Container layout:
+//   "CB01" | u64 original_size | blocks... | u32 crc32c(original)
+// Block layout:
+//   u32 block_len | u32 primary_index | 4 bits x 258 code lengths | symbols
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace compstor::apps {
+
+struct BwzOptions {
+  /// BWT block size in bytes (bzip2's -1..-9 maps to 100k..900k).
+  std::uint32_t block_size = 256 * 1024;
+};
+
+Result<std::vector<std::uint8_t>> BwzCompress(std::span<const std::uint8_t> input,
+                                              const BwzOptions& options = {});
+
+Result<std::vector<std::uint8_t>> BwzDecompress(std::span<const std::uint8_t> input);
+
+bool IsBwz(std::span<const std::uint8_t> data);
+
+/// Burrows-Wheeler transform over sorted rotations (exposed for tests).
+/// Returns the last column; `primary` receives the row of the original string.
+std::vector<std::uint8_t> BwtForward(std::span<const std::uint8_t> input,
+                                     std::uint32_t* primary);
+std::vector<std::uint8_t> BwtInverse(std::span<const std::uint8_t> last_column,
+                                     std::uint32_t primary);
+
+}  // namespace compstor::apps

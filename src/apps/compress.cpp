@@ -1,0 +1,157 @@
+#include "apps/compress.hpp"
+
+#include <cctype>
+
+#include "apps/bwzip.hpp"
+#include "apps/deflate.hpp"
+
+namespace compstor::apps {
+namespace {
+
+enum class Tool { kGzip, kGunzip, kBzip2, kBunzip2 };
+
+std::string_view Suffix(Tool t) {
+  return (t == Tool::kGzip || t == Tool::kGunzip) ? ".gz" : ".bz2";
+}
+std::string_view ToolName(Tool t) {
+  switch (t) {
+    case Tool::kGzip: return "gzip";
+    case Tool::kGunzip: return "gunzip";
+    case Tool::kBzip2: return "bzip2";
+    case Tool::kBunzip2: return "bunzip2";
+  }
+  return "?";
+}
+bool IsCompressor(Tool t) { return t == Tool::kGzip || t == Tool::kBzip2; }
+
+Result<int> RunTool(AppContext& ctx, const std::vector<std::string>& args, Tool tool) {
+  bool keep = false;
+  bool to_stdout = false;
+  int level = 6;
+  std::vector<std::string> files;
+  for (const std::string& a : args) {
+    if (a.size() == 2 && a[0] == '-' && std::isdigit(static_cast<unsigned char>(a[1]))) {
+      level = a[1] - '0';
+      if (level < 1) level = 1;
+    } else if (a == "-k" || a == "--keep") {
+      keep = true;
+    } else if (a == "-c" || a == "--stdout") {
+      to_stdout = true;
+    } else if (a == "-d" && IsCompressor(tool)) {
+      // gzip -d == gunzip, bzip2 -d == bunzip2.
+      tool = (tool == Tool::kGzip) ? Tool::kGunzip : Tool::kBunzip2;
+    } else if (!a.empty() && a[0] == '-') {
+      return InvalidArgument(std::string(ToolName(tool)) + ": unknown option " + a);
+    } else {
+      files.push_back(a);
+    }
+  }
+  if (files.empty()) {
+    return InvalidArgument(std::string(ToolName(tool)) + ": no input files");
+  }
+
+  int rc = 0;
+  for (const std::string& f : files) {
+    // Real gunzip/bunzip2 reject unknown suffixes before touching the data.
+    if (!IsCompressor(tool) && !to_stdout) {
+      const std::string_view sfx = Suffix(tool);
+      if (f.size() <= sfx.size() || !f.ends_with(sfx)) {
+        ctx.Err(std::string(ToolName(tool)) + ": " + f + ": unknown suffix\n");
+        rc = 1;
+        continue;
+      }
+    }
+    auto content = ctx.ReadInputFile(f);
+    if (!content.ok()) {
+      ctx.Err(std::string(ToolName(tool)) + ": " + f + ": " +
+              content.status().ToString() + "\n");
+      rc = 1;
+      continue;
+    }
+    auto input = std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(content->data()), content->size());
+
+    Result<std::vector<std::uint8_t>> transformed = [&]() -> Result<std::vector<std::uint8_t>> {
+      switch (tool) {
+        case Tool::kGzip: {
+          CzipOptions o;
+          o.level = level;
+          return CzipCompress(input, o);
+        }
+        case Tool::kGunzip:
+          return CzipDecompress(input);
+        case Tool::kBzip2: {
+          BwzOptions o;
+          o.block_size = static_cast<std::uint32_t>(level) * 100 * 1024;
+          return BwzCompress(input, o);
+        }
+        case Tool::kBunzip2:
+          return BwzDecompress(input);
+      }
+      return Internal("unreachable");
+    }();
+    if (!transformed.ok()) {
+      ctx.Err(std::string(ToolName(tool)) + ": " + f + ": " +
+              transformed.status().ToString() + "\n");
+      rc = 1;
+      continue;
+    }
+
+    // Work accounting: compressors are charged by input bytes, decompressors
+    // by produced bytes (both proportional to the uncompressed volume, which
+    // is what dominates the real tools' runtime).
+    ctx.cost.AddWork(ToolName(tool),
+                     IsCompressor(tool) ? content->size() : transformed->size());
+
+    if (to_stdout) {
+      ctx.Out(std::string_view(reinterpret_cast<const char*>(transformed->data()),
+                               transformed->size()));
+      continue;
+    }
+
+    std::string out_name;
+    if (IsCompressor(tool)) {
+      out_name = f + std::string(Suffix(tool));
+    } else {
+      const std::string_view sfx = Suffix(tool);
+      if (f.size() > sfx.size() && f.ends_with(sfx)) {
+        out_name = f.substr(0, f.size() - sfx.size());
+      } else {
+        ctx.Err(std::string(ToolName(tool)) + ": " + f + ": unknown suffix\n");
+        rc = 1;
+        continue;
+      }
+    }
+    Status st = ctx.WriteOutputFile(out_name, *transformed);
+    if (!st.ok()) {
+      ctx.Err(std::string(ToolName(tool)) + ": " + out_name + ": " + st.ToString() + "\n");
+      rc = 1;
+      continue;
+    }
+    if (!keep) {
+      st = ctx.fs->Unlink(f);
+      if (!st.ok()) {
+        ctx.Err(std::string(ToolName(tool)) + ": unlink " + f + ": " + st.ToString() + "\n");
+        rc = 1;
+      }
+    }
+  }
+  return rc;
+}
+
+}  // namespace
+
+Result<int> GzipApp::Run(AppContext& ctx, const std::vector<std::string>& args) {
+  return RunTool(ctx, args, Tool::kGzip);
+}
+Result<int> GunzipApp::Run(AppContext& ctx, const std::vector<std::string>& args) {
+  return RunTool(ctx, args, Tool::kGunzip);
+}
+Result<int> Bzip2App::Run(AppContext& ctx, const std::vector<std::string>& args) {
+  return RunTool(ctx, args, Tool::kBzip2);
+}
+Result<int> Bunzip2App::Run(AppContext& ctx, const std::vector<std::string>& args) {
+  return RunTool(ctx, args, Tool::kBunzip2);
+}
+
+}  // namespace compstor::apps

@@ -1,0 +1,37 @@
+// gzip/gunzip/bzip2/bunzip2 command-line wrappers over the czip and cbz
+// codecs — the paper's compute-intensive workloads.
+//
+// Semantics follow the real tools: `gzip f` replaces f with f.gz, `gunzip
+// f.gz` restores f; `-k` keeps the input, `-c` writes to stdout, `-1..-9`
+// sets the effort level.
+#pragma once
+
+#include "apps/app.hpp"
+
+namespace compstor::apps {
+
+class GzipApp final : public Application {
+ public:
+  std::string_view name() const override { return "gzip"; }
+  Result<int> Run(AppContext& ctx, const std::vector<std::string>& args) override;
+};
+
+class GunzipApp final : public Application {
+ public:
+  std::string_view name() const override { return "gunzip"; }
+  Result<int> Run(AppContext& ctx, const std::vector<std::string>& args) override;
+};
+
+class Bzip2App final : public Application {
+ public:
+  std::string_view name() const override { return "bzip2"; }
+  Result<int> Run(AppContext& ctx, const std::vector<std::string>& args) override;
+};
+
+class Bunzip2App final : public Application {
+ public:
+  std::string_view name() const override { return "bunzip2"; }
+  Result<int> Run(AppContext& ctx, const std::vector<std::string>& args) override;
+};
+
+}  // namespace compstor::apps

@@ -1,0 +1,212 @@
+#include "apps/coreutils.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace compstor::apps {
+
+Result<int> CatApp::Run(AppContext& ctx, const std::vector<std::string>& args) {
+  if (args.empty()) {
+    ctx.Out(ctx.stdin_data);
+    ctx.cost.bytes_in += ctx.stdin_data.size();
+    ctx.cost.AddWork("cat", ctx.stdin_data.size());
+    return 0;
+  }
+  int rc = 0;
+  for (const std::string& f : args) {
+    auto content = ctx.ReadInputFile(f);
+    if (!content.ok()) {
+      ctx.Err("cat: " + f + ": " + content.status().ToString() + "\n");
+      rc = 1;
+      continue;
+    }
+    ctx.cost.AddWork("cat", content->size());
+    ctx.Out(*content);
+  }
+  return rc;
+}
+
+Result<int> WcApp::Run(AppContext& ctx, const std::vector<std::string>& args) {
+  bool lines = false, words = false, bytes = false;
+  std::vector<std::string> files;
+  for (const std::string& a : args) {
+    if (!a.empty() && a[0] == '-' && a.size() > 1) {
+      for (std::size_t j = 1; j < a.size(); ++j) {
+        switch (a[j]) {
+          case 'l': lines = true; break;
+          case 'w': words = true; break;
+          case 'c': bytes = true; break;
+          default: return InvalidArgument(std::string("wc: unknown option -") + a[j]);
+        }
+      }
+    } else {
+      files.push_back(a);
+    }
+  }
+  if (!lines && !words && !bytes) lines = words = bytes = true;
+
+  struct Counts {
+    std::uint64_t l = 0, w = 0, c = 0;
+  };
+  auto count = [&](std::string_view text) {
+    Counts n;
+    n.c = text.size();
+    bool in_word = false;
+    for (char ch : text) {
+      if (ch == '\n') ++n.l;
+      if (std::isspace(static_cast<unsigned char>(ch))) {
+        in_word = false;
+      } else if (!in_word) {
+        in_word = true;
+        ++n.w;
+      }
+    }
+    ctx.cost.AddWork("wc", text.size());
+    return n;
+  };
+  auto emit = [&](const Counts& n, std::string_view label) {
+    std::string out;
+    if (lines) out += std::to_string(n.l) + " ";
+    if (words) out += std::to_string(n.w) + " ";
+    if (bytes) out += std::to_string(n.c) + " ";
+    if (!out.empty()) out.pop_back();
+    if (!label.empty()) out += " " + std::string(label);
+    out += "\n";
+    ctx.Out(out);
+  };
+
+  if (files.empty()) {
+    ctx.cost.bytes_in += ctx.stdin_data.size();
+    emit(count(ctx.stdin_data), "");
+    return 0;
+  }
+  Counts total;
+  int rc = 0;
+  for (const std::string& f : files) {
+    auto content = ctx.ReadInputFile(f);
+    if (!content.ok()) {
+      ctx.Err("wc: " + f + ": " + content.status().ToString() + "\n");
+      rc = 1;
+      continue;
+    }
+    Counts n = count(*content);
+    emit(n, f);
+    total.l += n.l;
+    total.w += n.w;
+    total.c += n.c;
+  }
+  if (files.size() > 1) emit(total, "total");
+  return rc;
+}
+
+namespace {
+
+Result<int> HeadTail(AppContext& ctx, const std::vector<std::string>& args, bool head) {
+  std::uint64_t n = 10;
+  std::vector<std::string> files;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "-n") {
+      if (i + 1 >= args.size()) return InvalidArgument("head/tail: -n needs a count");
+      n = std::stoull(args[++i]);
+    } else if (args[i].size() > 1 && args[i][0] == '-' &&
+               std::isdigit(static_cast<unsigned char>(args[i][1]))) {
+      n = std::stoull(args[i].substr(1));
+    } else {
+      files.push_back(args[i]);
+    }
+  }
+
+  auto emit = [&](std::string_view text) {
+    auto all = SplitLines(text);
+    ctx.cost.AddWork("head", text.size());
+    std::size_t begin = 0, end = all.size();
+    if (head) {
+      end = std::min<std::size_t>(end, n);
+    } else {
+      begin = all.size() > n ? all.size() - n : 0;
+    }
+    for (std::size_t i = begin; i < end; ++i) {
+      ctx.Out(std::string(all[i]) + "\n");
+    }
+  };
+
+  if (files.empty()) {
+    ctx.cost.bytes_in += ctx.stdin_data.size();
+    emit(ctx.stdin_data);
+    return 0;
+  }
+  int rc = 0;
+  for (const std::string& f : files) {
+    auto content = ctx.ReadInputFile(f);
+    if (!content.ok()) {
+      ctx.Err(std::string(head ? "head: " : "tail: ") + f + ": " +
+              content.status().ToString() + "\n");
+      rc = 1;
+      continue;
+    }
+    emit(*content);
+  }
+  return rc;
+}
+
+}  // namespace
+
+Result<int> HeadApp::Run(AppContext& ctx, const std::vector<std::string>& args) {
+  return HeadTail(ctx, args, /*head=*/true);
+}
+
+Result<int> TailApp::Run(AppContext& ctx, const std::vector<std::string>& args) {
+  return HeadTail(ctx, args, /*head=*/false);
+}
+
+Result<int> LsApp::Run(AppContext& ctx, const std::vector<std::string>& args) {
+  bool long_format = false;
+  std::vector<std::string> dirs;
+  for (const std::string& a : args) {
+    if (a == "-l") {
+      long_format = true;
+    } else if (!a.empty() && a[0] == '-') {
+      return InvalidArgument("ls: unknown option " + a);
+    } else {
+      dirs.push_back(a);
+    }
+  }
+  if (dirs.empty()) dirs.push_back("/");
+  if (ctx.fs == nullptr) return FailedPrecondition("no filesystem in context");
+
+  int rc = 0;
+  for (const std::string& d : dirs) {
+    auto entries = ctx.fs->ReadDir(d);
+    if (!entries.ok()) {
+      ctx.Err("ls: " + d + ": " + entries.status().ToString() + "\n");
+      rc = 1;
+      continue;
+    }
+    std::sort(entries->begin(), entries->end(),
+              [](const fs::DirEntry& a, const fs::DirEntry& b) { return a.name < b.name; });
+    for (const fs::DirEntry& e : *entries) {
+      if (long_format) {
+        auto st = ctx.fs->StatInode(e.inode);
+        const std::uint64_t size = st.ok() ? st->size : 0;
+        ctx.Out(std::string(e.type == fs::FileType::kDir ? "d" : "-") + " " +
+                std::to_string(size) + " " + e.name + "\n");
+      } else {
+        ctx.Out(e.name + "\n");
+      }
+    }
+  }
+  return rc;
+}
+
+Result<int> EchoApp::Run(AppContext& ctx, const std::vector<std::string>& args) {
+  std::string out;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += " ";
+    out += args[i];
+  }
+  out += "\n";
+  ctx.Out(out);
+  return 0;
+}
+
+}  // namespace compstor::apps

@@ -1,0 +1,46 @@
+// Small shell utilities available inside the CompStor Linux environment:
+// cat, wc, head, tail, ls, echo. The paper's point is that *any* shell
+// command runs in-storage unmodified; these make the shell usable.
+#pragma once
+
+#include "apps/app.hpp"
+
+namespace compstor::apps {
+
+class CatApp final : public Application {
+ public:
+  std::string_view name() const override { return "cat"; }
+  Result<int> Run(AppContext& ctx, const std::vector<std::string>& args) override;
+};
+
+class WcApp final : public Application {
+ public:
+  std::string_view name() const override { return "wc"; }
+  Result<int> Run(AppContext& ctx, const std::vector<std::string>& args) override;
+};
+
+class HeadApp final : public Application {
+ public:
+  std::string_view name() const override { return "head"; }
+  Result<int> Run(AppContext& ctx, const std::vector<std::string>& args) override;
+};
+
+class TailApp final : public Application {
+ public:
+  std::string_view name() const override { return "tail"; }
+  Result<int> Run(AppContext& ctx, const std::vector<std::string>& args) override;
+};
+
+class LsApp final : public Application {
+ public:
+  std::string_view name() const override { return "ls"; }
+  Result<int> Run(AppContext& ctx, const std::vector<std::string>& args) override;
+};
+
+class EchoApp final : public Application {
+ public:
+  std::string_view name() const override { return "echo"; }
+  Result<int> Run(AppContext& ctx, const std::vector<std::string>& args) override;
+};
+
+}  // namespace compstor::apps

@@ -1,0 +1,354 @@
+#include "apps/deflate.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+#include "apps/huffman.hpp"
+#include "util/bitstream.hpp"
+#include "util/crc32c.hpp"
+
+namespace compstor::apps {
+namespace {
+
+constexpr std::array<std::uint8_t, 4> kMagic = {'C', 'Z', '0', '1'};
+// Container mode byte: entropy-coded member vs verbatim fallback.
+constexpr std::uint8_t kModeDeflate = 0;
+constexpr std::uint8_t kModeStored = 1;
+
+// DEFLATE constants (RFC 1951 tables).
+constexpr int kMinMatch = 3;
+constexpr int kMaxMatch = 258;
+constexpr int kWindowBits = 15;
+constexpr int kWindowSize = 1 << kWindowBits;  // 32 KiB
+constexpr int kNumLitLen = 288;                // 0-255 literals, 256 EOB, 257+ lengths
+constexpr int kNumDist = 30;
+constexpr int kEob = 256;
+constexpr int kMaxCodeBits = 15;
+constexpr std::size_t kMaxTokensPerBlock = 1 << 16;
+
+// Length code table: code 257+i covers lengths [base[i], base[i]+2^extra-1].
+struct LenCode {
+  std::uint16_t base;
+  std::uint8_t extra;
+};
+constexpr LenCode kLenCodes[29] = {
+    {3, 0},   {4, 0},   {5, 0},   {6, 0},   {7, 0},   {8, 0},   {9, 0},  {10, 0},
+    {11, 1},  {13, 1},  {15, 1},  {17, 1},  {19, 2},  {23, 2},  {27, 2}, {31, 2},
+    {35, 3},  {43, 3},  {51, 3},  {59, 3},  {67, 4},  {83, 4},  {99, 4}, {115, 4},
+    {131, 5}, {163, 5}, {195, 5}, {227, 5}, {258, 0}};
+
+struct DistCode {
+  std::uint32_t base;
+  std::uint8_t extra;
+};
+constexpr DistCode kDistCodes[30] = {
+    {1, 0},     {2, 0},     {3, 0},      {4, 0},      {5, 1},     {7, 1},
+    {9, 2},     {13, 2},    {17, 3},     {25, 3},     {33, 4},    {49, 4},
+    {65, 5},    {97, 5},    {129, 6},    {193, 6},    {257, 7},   {385, 7},
+    {513, 8},   {769, 8},   {1025, 9},   {1537, 9},   {2049, 10}, {3073, 10},
+    {4097, 11}, {6145, 11}, {8193, 12},  {12289, 12}, {16385, 13}, {24577, 13}};
+
+int LengthToCode(int len) {
+  // 29 codes; linear scan is fine (len <= 258, called per match).
+  for (int i = 28; i >= 0; --i) {
+    if (len >= kLenCodes[i].base) return i;
+  }
+  return 0;
+}
+
+int DistanceToCode(int dist) {
+  for (int i = 29; i >= 0; --i) {
+    if (dist >= static_cast<int>(kDistCodes[i].base)) return i;
+  }
+  return 0;
+}
+
+struct Token {
+  // literal if dist == 0, otherwise a (len, dist) match.
+  std::uint16_t len_or_lit;
+  std::uint16_t dist;
+};
+
+/// Hash-chain LZ77 matcher (zlib-style greedy with one-step lazy matching).
+class Matcher {
+ public:
+  Matcher(std::span<const std::uint8_t> input, int level)
+      : input_(input),
+        max_chain_(level <= 1 ? 8 : level <= 3 ? 32 : level <= 6 ? 128 : 1024),
+        lazy_(level >= 4),
+        head_(kHashSize, -1),
+        prev_(input.size(), -1) {}
+
+  void Tokenize(std::vector<Token>& out) {
+    const std::size_t n = input_.size();
+    std::size_t pos = 0;
+    while (pos < n) {
+      int best_len, best_dist;
+      FindMatch(pos, &best_len, &best_dist);
+      if (lazy_ && best_len >= kMinMatch && best_len < kMaxMatch && pos + 1 < n) {
+        // One-step lazy: if the next position has a longer match, emit a
+        // literal here instead.
+        Insert(pos);
+        int next_len, next_dist;
+        FindMatch(pos + 1, &next_len, &next_dist);
+        if (next_len > best_len) {
+          out.push_back({input_[pos], 0});
+          ++pos;
+          continue;  // the pos+1 match is found again next iteration
+        }
+        // Accept the match at pos; positions pos+1..pos+len-1 get inserted.
+        out.push_back({static_cast<std::uint16_t>(best_len),
+                       static_cast<std::uint16_t>(best_dist)});
+        for (std::size_t p = pos + 1; p < pos + static_cast<std::size_t>(best_len); ++p) {
+          Insert(p);
+        }
+        pos += static_cast<std::size_t>(best_len);
+        continue;
+      }
+      if (best_len >= kMinMatch) {
+        out.push_back({static_cast<std::uint16_t>(best_len),
+                       static_cast<std::uint16_t>(best_dist)});
+        for (std::size_t p = pos; p < pos + static_cast<std::size_t>(best_len); ++p) {
+          Insert(p);
+        }
+        pos += static_cast<std::size_t>(best_len);
+      } else {
+        out.push_back({input_[pos], 0});
+        Insert(pos);
+        ++pos;
+      }
+    }
+  }
+
+ private:
+  static constexpr int kHashBits = 15;
+  static constexpr int kHashSize = 1 << kHashBits;
+
+  std::uint32_t HashAt(std::size_t pos) const {
+    // Multiplicative hash of 3 bytes.
+    const std::uint32_t v = static_cast<std::uint32_t>(input_[pos]) |
+                            (static_cast<std::uint32_t>(input_[pos + 1]) << 8) |
+                            (static_cast<std::uint32_t>(input_[pos + 2]) << 16);
+    return (v * 2654435761u) >> (32 - kHashBits);
+  }
+
+  void Insert(std::size_t pos) {
+    if (pos + kMinMatch > input_.size()) return;
+    const std::uint32_t h = HashAt(pos);
+    prev_[pos] = head_[h];
+    head_[h] = static_cast<std::int64_t>(pos);
+  }
+
+  void FindMatch(std::size_t pos, int* best_len, int* best_dist) const {
+    *best_len = 0;
+    *best_dist = 0;
+    const std::size_t n = input_.size();
+    if (pos + kMinMatch > n) return;
+    const int max_len = static_cast<int>(std::min<std::size_t>(kMaxMatch, n - pos));
+    std::int64_t cand = head_[HashAt(pos)];
+    int chain = max_chain_;
+    while (cand >= 0 && chain-- > 0) {
+      const std::size_t c = static_cast<std::size_t>(cand);
+      if (pos - c > kWindowSize) break;
+      // Quick reject: check the byte past the current best.
+      if (*best_len == 0 || input_[c + static_cast<std::size_t>(*best_len)] ==
+                                input_[pos + static_cast<std::size_t>(*best_len)]) {
+        int len = 0;
+        while (len < max_len && input_[c + static_cast<std::size_t>(len)] ==
+                                    input_[pos + static_cast<std::size_t>(len)]) {
+          ++len;
+        }
+        if (len > *best_len) {
+          *best_len = len;
+          *best_dist = static_cast<int>(pos - c);
+          if (len >= max_len) break;
+        }
+      }
+      cand = prev_[c];
+    }
+  }
+
+  std::span<const std::uint8_t> input_;
+  const int max_chain_;
+  const bool lazy_;
+  std::vector<std::int64_t> head_;
+  std::vector<std::int64_t> prev_;
+};
+
+void WriteLengths(util::BitWriter& w, std::span<const std::uint8_t> lengths) {
+  for (std::uint8_t l : lengths) w.WriteBits(l, 4);
+}
+
+Status ReadLengths(util::BitReader& r, std::span<std::uint8_t> lengths) {
+  for (auto& l : lengths) l = static_cast<std::uint8_t>(r.ReadBits(4));
+  if (r.overrun()) return DataLoss("czip: truncated code lengths");
+  return OkStatus();
+}
+
+}  // namespace
+
+bool IsCzip(std::span<const std::uint8_t> data) {
+  return data.size() >= kMagic.size() &&
+         std::memcmp(data.data(), kMagic.data(), kMagic.size()) == 0;
+}
+
+Result<std::vector<std::uint8_t>> CzipCompress(std::span<const std::uint8_t> input,
+                                               const CzipOptions& options) {
+  if (options.level < 1 || options.level > 9) {
+    return InvalidArgument("czip: level must be 1..9");
+  }
+
+  std::vector<std::uint8_t> out(kMagic.begin(), kMagic.end());
+  const std::uint64_t original = input.size();
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(original >> (8 * i)));
+  out.push_back(kModeDeflate);  // may be rewritten to kModeStored below
+
+  std::vector<Token> tokens;
+  if (!input.empty()) {
+    Matcher matcher(input, options.level);
+    matcher.Tokenize(tokens);
+  }
+
+  util::BitWriter w;
+  std::size_t start = 0;
+  do {
+    const std::size_t end = std::min(tokens.size(), start + kMaxTokensPerBlock);
+    const bool final = end == tokens.size();
+    w.WriteBits(final ? 1 : 0, 1);
+
+    // Symbol statistics for this block.
+    std::vector<std::uint64_t> lit_freq(kNumLitLen, 0);
+    std::vector<std::uint64_t> dist_freq(kNumDist, 0);
+    for (std::size_t i = start; i < end; ++i) {
+      const Token& t = tokens[i];
+      if (t.dist == 0) {
+        ++lit_freq[t.len_or_lit];
+      } else {
+        ++lit_freq[static_cast<std::size_t>(257 + LengthToCode(t.len_or_lit))];
+        ++dist_freq[static_cast<std::size_t>(DistanceToCode(t.dist))];
+      }
+    }
+    ++lit_freq[kEob];
+    if (std::all_of(dist_freq.begin(), dist_freq.end(),
+                    [](std::uint64_t f) { return f == 0; })) {
+      dist_freq[0] = 1;  // decoder needs a valid (if unused) distance code
+    }
+
+    COMPSTOR_ASSIGN_OR_RETURN(CanonicalCode lit_code,
+                              BuildCanonicalCode(lit_freq, kMaxCodeBits));
+    COMPSTOR_ASSIGN_OR_RETURN(CanonicalCode dist_code,
+                              BuildCanonicalCode(dist_freq, kMaxCodeBits));
+    WriteLengths(w, lit_code.lengths);
+    WriteLengths(w, dist_code.lengths);
+
+    for (std::size_t i = start; i < end; ++i) {
+      const Token& t = tokens[i];
+      if (t.dist == 0) {
+        lit_code.EncodeSymbol(w, t.len_or_lit);
+      } else {
+        const int lc = LengthToCode(t.len_or_lit);
+        lit_code.EncodeSymbol(w, static_cast<std::size_t>(257 + lc));
+        w.WriteBits(static_cast<std::uint32_t>(t.len_or_lit - kLenCodes[lc].base),
+                    kLenCodes[lc].extra);
+        const int dc = DistanceToCode(t.dist);
+        dist_code.EncodeSymbol(w, static_cast<std::size_t>(dc));
+        w.WriteBits(static_cast<std::uint32_t>(t.dist - kDistCodes[dc].base),
+                    kDistCodes[dc].extra);
+      }
+    }
+    lit_code.EncodeSymbol(w, kEob);
+    start = end;
+  } while (start < tokens.size());
+
+  std::vector<std::uint8_t> bits = w.Finish();
+
+  // Stored fallback (DEFLATE's BTYPE=00 idea at member granularity): when
+  // entropy coding cannot beat the raw bytes, ship them verbatim so the
+  // worst-case expansion is a constant header, not a percentage.
+  if (bits.size() >= input.size() && !input.empty()) {
+    out.back() = kModeStored;
+    out.insert(out.end(), input.begin(), input.end());
+  } else {
+    out.insert(out.end(), bits.begin(), bits.end());
+  }
+
+  const std::uint32_t crc = util::Crc32c(input);
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+  return out;
+}
+
+Result<std::vector<std::uint8_t>> CzipDecompress(std::span<const std::uint8_t> input) {
+  if (!IsCzip(input)) return InvalidArgument("czip: bad magic");
+  if (input.size() < kMagic.size() + 9 + 4) return DataLoss("czip: truncated header");
+
+  std::uint64_t original = 0;
+  for (int i = 0; i < 8; ++i) {
+    original |= static_cast<std::uint64_t>(input[kMagic.size() + static_cast<std::size_t>(i)]) << (8 * i);
+  }
+  const std::uint8_t mode = input[kMagic.size() + 8];
+  std::uint32_t stored_crc = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored_crc |= static_cast<std::uint32_t>(input[input.size() - 4 + static_cast<std::size_t>(i)]) << (8 * i);
+  }
+
+  const std::size_t payload_off = kMagic.size() + 9;
+  const std::size_t payload_len = input.size() - payload_off - 4;
+
+  if (mode == kModeStored) {
+    if (payload_len != original) return DataLoss("czip: stored size mismatch");
+    std::vector<std::uint8_t> raw(input.begin() + static_cast<std::ptrdiff_t>(payload_off),
+                                  input.begin() + static_cast<std::ptrdiff_t>(payload_off + payload_len));
+    if (util::Crc32c(raw) != stored_crc) return DataLoss("czip: crc mismatch");
+    return raw;
+  }
+  if (mode != kModeDeflate) return DataLoss("czip: unknown mode byte");
+
+  std::vector<std::uint8_t> out;
+  out.reserve(original);
+  util::BitReader r(input.subspan(payload_off, payload_len));
+
+  bool final = original == 0;  // empty input has no blocks
+  while (!final) {
+    final = r.ReadBit() != 0;
+    std::vector<std::uint8_t> lit_lengths(kNumLitLen);
+    std::vector<std::uint8_t> dist_lengths(kNumDist);
+    COMPSTOR_RETURN_IF_ERROR(ReadLengths(r, lit_lengths));
+    COMPSTOR_RETURN_IF_ERROR(ReadLengths(r, dist_lengths));
+    CanonicalDecoder lit_dec, dist_dec;
+    COMPSTOR_RETURN_IF_ERROR(lit_dec.Init(lit_lengths));
+    COMPSTOR_RETURN_IF_ERROR(dist_dec.Init(dist_lengths));
+
+    for (;;) {
+      const int sym = lit_dec.Decode(r);
+      if (sym < 0) return DataLoss("czip: bad literal/length symbol");
+      if (sym == kEob) break;
+      if (sym < 256) {
+        out.push_back(static_cast<std::uint8_t>(sym));
+        continue;
+      }
+      const int lc = sym - 257;
+      if (lc >= 29) return DataLoss("czip: bad length code");
+      const int len = kLenCodes[lc].base +
+                      static_cast<int>(r.ReadBits(kLenCodes[lc].extra));
+      const int dc = dist_dec.Decode(r);
+      if (dc < 0 || dc >= kNumDist) return DataLoss("czip: bad distance code");
+      const int dist = static_cast<int>(kDistCodes[dc].base) +
+                       static_cast<int>(r.ReadBits(kDistCodes[dc].extra));
+      if (r.overrun()) return DataLoss("czip: truncated stream");
+      if (dist <= 0 || static_cast<std::size_t>(dist) > out.size()) {
+        return DataLoss("czip: distance before start of output");
+      }
+      // Byte-by-byte copy: overlapping copies (dist < len) must replicate.
+      std::size_t from = out.size() - static_cast<std::size_t>(dist);
+      for (int i = 0; i < len; ++i) out.push_back(out[from + static_cast<std::size_t>(i)]);
+      if (out.size() > original) return DataLoss("czip: output exceeds declared size");
+    }
+  }
+
+  if (out.size() != original) return DataLoss("czip: size mismatch");
+  if (util::Crc32c(out) != stored_crc) return DataLoss("czip: crc mismatch");
+  return out;
+}
+
+}  // namespace compstor::apps

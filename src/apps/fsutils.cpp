@@ -1,0 +1,113 @@
+#include "apps/fsutils.hpp"
+
+#include <cstdio>
+
+namespace compstor::apps {
+
+bool GlobMatch(std::string_view pattern, std::string_view text) {
+  // Iterative greedy-with-backtrack matcher ('*' and '?'), linear-ish time.
+  std::size_t p = 0, t = 0;
+  std::size_t star_p = std::string_view::npos, star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() && (pattern[p] == '?' || pattern[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string_view::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+namespace {
+
+Status Walk(AppContext& ctx, const std::string& dir, const std::string& name_glob,
+            char type_filter) {
+  auto entries = ctx.fs->ReadDir(dir);
+  if (!entries.ok()) return entries.status();
+  for (const fs::DirEntry& e : *entries) {
+    const std::string path = (dir == "/" ? "" : dir) + "/" + e.name;
+    const bool is_dir = e.type == fs::FileType::kDir;
+    const bool type_ok = type_filter == 0 || (type_filter == 'd') == is_dir;
+    const bool name_ok = name_glob.empty() || GlobMatch(name_glob, e.name);
+    if (type_ok && name_ok) ctx.Out(path + "\n");
+    ctx.cost.AddWork("find", e.name.size());
+    if (is_dir) {
+      COMPSTOR_RETURN_IF_ERROR(Walk(ctx, path, name_glob, type_filter));
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+Result<int> FindApp::Run(AppContext& ctx, const std::vector<std::string>& args) {
+  if (ctx.fs == nullptr) return FailedPrecondition("no filesystem in context");
+  std::string root = "/";
+  std::string name_glob;
+  char type_filter = 0;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "-name") {
+      if (i + 1 >= args.size()) return InvalidArgument("find: -name needs a pattern");
+      name_glob = args[++i];
+    } else if (a == "-type") {
+      if (i + 1 >= args.size() || (args[i + 1] != "f" && args[i + 1] != "d")) {
+        return InvalidArgument("find: -type needs f or d");
+      }
+      type_filter = args[++i][0];
+    } else if (!a.empty() && a[0] == '-') {
+      return InvalidArgument("find: unknown option " + a);
+    } else {
+      root = a;
+    }
+  }
+
+  auto st = ctx.fs->Stat(root);
+  if (!st.ok()) {
+    ctx.Err("find: " + root + ": " + st.status().ToString() + "\n");
+    return 1;
+  }
+  if (st->type != fs::FileType::kDir) {
+    // Root is a file: report it if it matches.
+    const std::size_t slash = root.find_last_of('/');
+    const std::string leaf = slash == std::string::npos ? root : root.substr(slash + 1);
+    if ((type_filter == 0 || type_filter == 'f') &&
+        (name_glob.empty() || GlobMatch(name_glob, leaf))) {
+      ctx.Out(root + "\n");
+    }
+    return 0;
+  }
+  Status walked = Walk(ctx, root == "/" ? "/" : root, name_glob, type_filter);
+  if (!walked.ok()) return walked;
+  return 0;
+}
+
+Result<int> DfApp::Run(AppContext& ctx, const std::vector<std::string>& args) {
+  (void)args;
+  if (ctx.fs == nullptr) return FailedPrecondition("no filesystem in context");
+  auto info = ctx.fs->Info();
+  if (!info.ok()) return info.status();
+  char line[160];
+  const std::uint64_t used = info->total_blocks - info->free_blocks;
+  std::snprintf(line, sizeof(line),
+                "blocks: %llu total, %llu used, %llu free (%.1f%% used)\n",
+                static_cast<unsigned long long>(info->total_blocks),
+                static_cast<unsigned long long>(used),
+                static_cast<unsigned long long>(info->free_blocks),
+                100.0 * static_cast<double>(used) / static_cast<double>(info->total_blocks));
+  ctx.Out(line);
+  std::snprintf(line, sizeof(line), "inodes: %u total, %u free\nblock size: %u\n",
+                info->total_inodes, info->free_inodes, info->block_size);
+  ctx.Out(line);
+  return 0;
+}
+
+}  // namespace compstor::apps

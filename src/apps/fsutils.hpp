@@ -1,0 +1,26 @@
+// Filesystem utilities for the in-storage shell: find (recursive tree walk
+// with glob filters) and df (filesystem usage).
+#pragma once
+
+#include "apps/app.hpp"
+
+namespace compstor::apps {
+
+/// find [DIR] [-name GLOB] [-type f|d] — prints matching paths depth-first.
+class FindApp final : public Application {
+ public:
+  std::string_view name() const override { return "find"; }
+  Result<int> Run(AppContext& ctx, const std::vector<std::string>& args) override;
+};
+
+/// df — prints block/inode usage of the mounted filesystem.
+class DfApp final : public Application {
+ public:
+  std::string_view name() const override { return "df"; }
+  Result<int> Run(AppContext& ctx, const std::vector<std::string>& args) override;
+};
+
+/// Shell-style glob match: '*' any run, '?' any one char (exposed for tests).
+bool GlobMatch(std::string_view pattern, std::string_view text);
+
+}  // namespace compstor::apps

@@ -1,0 +1,197 @@
+#include "apps/grep.hpp"
+
+#include <array>
+#include <cctype>
+#include <optional>
+
+#include "apps/regex.hpp"
+
+namespace compstor::apps {
+
+std::size_t HorspoolFind(std::string_view haystack, std::string_view needle,
+                         bool case_insensitive) {
+  if (needle.empty()) return 0;
+  if (needle.size() > haystack.size()) return std::string_view::npos;
+
+  auto fold = [&](char c) -> unsigned char {
+    return case_insensitive ? static_cast<unsigned char>(std::tolower(static_cast<unsigned char>(c)))
+                            : static_cast<unsigned char>(c);
+  };
+
+  std::array<std::size_t, 256> shift;
+  shift.fill(needle.size());
+  for (std::size_t i = 0; i + 1 < needle.size(); ++i) {
+    shift[fold(needle[i])] = needle.size() - 1 - i;
+  }
+
+  std::size_t pos = 0;
+  const std::size_t limit = haystack.size() - needle.size();
+  while (pos <= limit) {
+    std::size_t i = needle.size();
+    while (i > 0 && fold(haystack[pos + i - 1]) == fold(needle[i - 1])) --i;
+    if (i == 0) return pos;
+    pos += shift[fold(haystack[pos + needle.size() - 1])];
+  }
+  return std::string_view::npos;
+}
+
+namespace {
+
+struct GrepOptions {
+  bool count = false;        // -c
+  bool names_only = false;   // -l
+  bool line_numbers = false; // -n
+  bool invert = false;       // -v
+  bool ignore_case = false;  // -i
+  bool fixed = false;        // -F
+  bool quiet = false;        // -q
+  bool no_filename = false;  // -h
+  bool word = false;         // -w
+  std::uint64_t max_matches = 0;  // -m NUM; 0 = unlimited
+};
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// -w: the match must not be flanked by word characters.
+bool WordBounded(std::string_view line, std::size_t begin, std::size_t end) {
+  if (begin > 0 && IsWordChar(line[begin - 1])) return false;
+  if (end < line.size() && IsWordChar(line[end])) return false;
+  return true;
+}
+
+}  // namespace
+
+Result<int> GrepApp::Run(AppContext& ctx, const std::vector<std::string>& args) {
+  GrepOptions opt;
+  std::optional<std::string> pattern;
+  std::vector<std::string> files;
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (!a.empty() && a[0] == '-' && a.size() > 1 && !pattern.has_value()) {
+      for (std::size_t j = 1; j < a.size(); ++j) {
+        switch (a[j]) {
+          case 'c': opt.count = true; break;
+          case 'l': opt.names_only = true; break;
+          case 'n': opt.line_numbers = true; break;
+          case 'v': opt.invert = true; break;
+          case 'i': opt.ignore_case = true; break;
+          case 'F': opt.fixed = true; break;
+          case 'q': opt.quiet = true; break;
+          case 'h': opt.no_filename = true; break;
+          case 'w': opt.word = true; break;
+          case 'm': {
+            if (i + 1 >= args.size()) return InvalidArgument("grep: -m needs a count");
+            opt.max_matches = std::stoull(args[++i]);
+            break;
+          }
+          default:
+            return InvalidArgument(std::string("grep: unknown option -") + a[j]);
+        }
+      }
+    } else if (!pattern.has_value()) {
+      pattern = a;
+    } else {
+      files.push_back(a);
+    }
+  }
+  if (!pattern.has_value()) return InvalidArgument("grep: missing pattern");
+
+  std::optional<Regex> re;
+  if (!opt.fixed) {
+    COMPSTOR_ASSIGN_OR_RETURN(Regex compiled, Regex::Compile(*pattern, opt.ignore_case));
+    re.emplace(std::move(compiled));
+  }
+
+  auto line_matches = [&](std::string_view line) -> bool {
+    bool hit;
+    if (opt.fixed) {
+      std::size_t at = HorspoolFind(line, *pattern, opt.ignore_case);
+      hit = at != std::string_view::npos;
+      if (hit && opt.word) {
+        // Scan forward until some occurrence is word-bounded.
+        while (at != std::string_view::npos &&
+               !WordBounded(line, at, at + pattern->size())) {
+          const std::size_t next = HorspoolFind(line.substr(at + 1), *pattern, opt.ignore_case);
+          at = next == std::string_view::npos ? next : at + 1 + next;
+        }
+        hit = at != std::string_view::npos;
+      }
+    } else if (opt.word) {
+      std::size_t begin = 0, end = 0;
+      std::size_t from = 0;
+      hit = false;
+      std::string_view rest = line;
+      while (re->FindFirst(rest, &begin, &end)) {
+        if (WordBounded(line, from + begin, from + end)) {
+          hit = true;
+          break;
+        }
+        if (begin == rest.size()) break;
+        rest = rest.substr(begin + 1);
+        from += begin + 1;
+      }
+    } else {
+      hit = re->Search(line);
+    }
+    return hit != opt.invert;
+  };
+
+  const bool multi = files.size() > 1;
+  std::uint64_t total_matches = 0;
+
+  auto scan = [&](std::string_view label, std::string_view content) {
+    std::uint64_t file_matches = 0;
+    std::uint64_t line_no = 0;
+    for (std::string_view line : SplitLines(content)) {
+      ++line_no;
+      ctx.cost.AddWork("grep", line.size() + 1);
+      if (!line_matches(line)) continue;
+      ++file_matches;
+      ++total_matches;
+      if (opt.quiet || opt.count || opt.names_only) {
+        if (opt.names_only) break;
+      } else {
+        std::string out_line;
+        if (multi && !opt.no_filename) {
+          out_line.append(label).append(":");
+        }
+        if (opt.line_numbers) {
+          out_line.append(std::to_string(line_no)).append(":");
+        }
+        out_line.append(line).append("\n");
+        ctx.Out(out_line);
+      }
+      if (opt.max_matches != 0 && file_matches >= opt.max_matches) break;
+      if (opt.quiet) return;
+    }
+    if (opt.count) {
+      std::string out_line;
+      if (multi && !opt.no_filename) out_line.append(label).append(":");
+      out_line.append(std::to_string(file_matches)).append("\n");
+      ctx.Out(out_line);
+    } else if (opt.names_only && file_matches > 0) {
+      ctx.Out(std::string(label) + "\n");
+    }
+  };
+
+  if (files.empty()) {
+    scan("(standard input)", ctx.stdin_data);
+    ctx.cost.bytes_in += ctx.stdin_data.size();
+  } else {
+    for (const std::string& f : files) {
+      auto content = ctx.ReadInputFile(f);
+      if (!content.ok()) {
+        ctx.Err("grep: " + f + ": " + content.status().ToString() + "\n");
+        continue;
+      }
+      scan(f, *content);
+      if (opt.quiet && total_matches > 0) break;
+    }
+  }
+  return total_matches > 0 ? 0 : 1;
+}
+
+}  // namespace compstor::apps

@@ -1,0 +1,30 @@
+// grep: line search over files — the paper's IO-intensive workload.
+//
+// Supports the flags the evaluation uses plus the common set:
+//   -c count matches   -l names only      -n line numbers    -v invert
+//   -i ignore case     -F fixed string    -q quiet           -h no filenames
+//   -w whole words     -m NUM max matches
+// Fixed-string mode uses Boyer-Moore-Horspool; regex mode uses the Thompson
+// NFA engine (src/apps/regex).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "apps/app.hpp"
+
+namespace compstor::apps {
+
+class GrepApp final : public Application {
+ public:
+  std::string_view name() const override { return "grep"; }
+  Result<int> Run(AppContext& ctx, const std::vector<std::string>& args) override;
+};
+
+/// Boyer-Moore-Horspool substring search (exposed for tests/benches).
+/// Returns the offset of the first occurrence or npos.
+std::size_t HorspoolFind(std::string_view haystack, std::string_view needle,
+                         bool case_insensitive = false);
+
+}  // namespace compstor::apps

@@ -1,0 +1,193 @@
+#include "apps/huffman.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+namespace compstor::apps {
+
+namespace {
+
+std::uint32_t ReverseBits(std::uint32_t value, int bits) {
+  std::uint32_t out = 0;
+  for (int i = 0; i < bits; ++i) {
+    out = (out << 1) | ((value >> i) & 1u);
+  }
+  return out;
+}
+
+/// Plain Huffman over the nonzero symbols; returns per-symbol depths
+/// (unlimited). Ties broken deterministically by node id.
+std::vector<std::uint8_t> HuffmanDepths(std::span<const std::uint64_t> freqs) {
+  struct Node {
+    std::uint64_t freq;
+    int id;  // < n: leaf symbol; >= n: internal
+  };
+  const int n = static_cast<int>(freqs.size());
+  auto cmp = [](const Node& a, const Node& b) {
+    return a.freq != b.freq ? a.freq > b.freq : a.id > b.id;
+  };
+  std::priority_queue<Node, std::vector<Node>, decltype(cmp)> heap(cmp);
+  std::vector<int> parent;  // internal node parents, indexed by id - n
+  std::vector<std::pair<int, int>> children;
+
+  for (int s = 0; s < n; ++s) {
+    if (freqs[s] > 0) heap.push({freqs[s], s});
+  }
+  if (heap.size() == 1) {
+    std::vector<std::uint8_t> depths(n, 0);
+    depths[static_cast<std::size_t>(heap.top().id)] = 1;
+    return depths;
+  }
+  int next_id = n;
+  while (heap.size() > 1) {
+    Node a = heap.top();
+    heap.pop();
+    Node b = heap.top();
+    heap.pop();
+    children.emplace_back(a.id, b.id);
+    heap.push({a.freq + b.freq, next_id++});
+  }
+  // Depth-propagate from the root down.
+  std::vector<std::uint8_t> depth_of(static_cast<std::size_t>(next_id), 0);
+  for (int i = static_cast<int>(children.size()) - 1; i >= 0; --i) {
+    const int id = n + i;
+    const auto [l, r] = children[static_cast<std::size_t>(i)];
+    depth_of[static_cast<std::size_t>(l)] =
+        static_cast<std::uint8_t>(depth_of[static_cast<std::size_t>(id)] + 1);
+    depth_of[static_cast<std::size_t>(r)] =
+        static_cast<std::uint8_t>(depth_of[static_cast<std::size_t>(id)] + 1);
+  }
+  std::vector<std::uint8_t> depths(n, 0);
+  for (int s = 0; s < n; ++s) {
+    if (freqs[s] > 0) depths[static_cast<std::size_t>(s)] = depth_of[static_cast<std::size_t>(s)];
+  }
+  return depths;
+}
+
+/// Clamps lengths to max_bits and repairs the Kraft inequality by deepening
+/// the shallowest repairable codes (the zlib approach, simplified).
+void LimitLengths(std::vector<std::uint8_t>& lengths, int max_bits) {
+  // Kraft sum in units of 2^-max_bits.
+  std::uint64_t unit = 1ull << max_bits;
+  std::uint64_t kraft = 0;
+  for (auto& l : lengths) {
+    if (l == 0) continue;
+    if (l > max_bits) l = static_cast<std::uint8_t>(max_bits);
+    kraft += unit >> l;
+  }
+  if (kraft <= unit) return;
+
+  // Overcommitted: push codes at max_bits... nothing to push; instead deepen
+  // codes shorter than max_bits (each deepening by one halves their share).
+  // Iterate until the sum fits.
+  while (kraft > unit) {
+    // Find the longest length < max_bits (cheapest to deepen).
+    int best = -1;
+    int best_len = 0;
+    for (int s = 0; s < static_cast<int>(lengths.size()); ++s) {
+      const int l = lengths[static_cast<std::size_t>(s)];
+      if (l > 0 && l < max_bits && l > best_len) {
+        best_len = l;
+        best = s;
+      }
+    }
+    if (best < 0) break;  // cannot happen for feasible alphabets
+    kraft -= unit >> best_len;
+    lengths[static_cast<std::size_t>(best)] = static_cast<std::uint8_t>(best_len + 1);
+    kraft += unit >> (best_len + 1);
+  }
+}
+
+}  // namespace
+
+Result<CanonicalCode> BuildCanonicalCode(std::span<const std::uint64_t> freqs,
+                                         int max_bits) {
+  if (max_bits < 1 || max_bits > 31) {
+    return InvalidArgument("huffman: max_bits out of range");
+  }
+  bool any = false;
+  for (std::uint64_t f : freqs) any |= f > 0;
+  if (!any) return InvalidArgument("huffman: empty alphabet");
+
+  std::vector<std::uint8_t> lengths = HuffmanDepths(freqs);
+  LimitLengths(lengths, max_bits);
+
+  // Canonical assignment: codes in (length, symbol) order.
+  std::uint32_t count[32] = {};
+  for (std::uint8_t l : lengths) ++count[l];
+  count[0] = 0;
+  std::uint32_t next[32] = {};
+  std::uint32_t code = 0;
+  for (int l = 1; l <= max_bits; ++l) {
+    code = (code + count[l - 1]) << 1;
+    next[l] = code;
+  }
+
+  CanonicalCode cc;
+  cc.lengths = lengths;
+  cc.codes.assign(lengths.size(), 0);
+  for (std::size_t s = 0; s < lengths.size(); ++s) {
+    const int l = lengths[s];
+    if (l == 0) continue;
+    cc.codes[s] = ReverseBits(next[l]++, l);
+  }
+  return cc;
+}
+
+Status CanonicalDecoder::Init(std::span<const std::uint8_t> lengths) {
+  std::fill(std::begin(first_code_), std::end(first_code_), 0);
+  std::fill(std::begin(count_), std::end(count_), 0);
+  std::fill(std::begin(offset_), std::end(offset_), 0);
+  sorted_symbols_.clear();
+  max_len_ = 0;
+
+  for (std::uint8_t l : lengths) {
+    if (l > kMaxBits) return InvalidArgument("huffman: code length too large");
+    if (l > 0) {
+      ++count_[l];
+      max_len_ = std::max<int>(max_len_, l);
+    }
+  }
+  if (max_len_ == 0) return InvalidArgument("huffman: no symbols");
+
+  // Kraft check: reject oversubscribed codes (corrupt stream).
+  std::uint64_t kraft = 0;
+  for (int l = 1; l <= max_len_; ++l) {
+    kraft += static_cast<std::uint64_t>(count_[l]) << (max_len_ - l);
+  }
+  if (kraft > (1ull << max_len_)) {
+    return InvalidArgument("huffman: oversubscribed code lengths");
+  }
+
+  std::uint32_t code = 0;
+  std::uint32_t index = 0;
+  for (int l = 1; l <= max_len_; ++l) {
+    code = (code + count_[l - 1]) << 1;
+    first_code_[l] = code;
+    offset_[l] = index;
+    index += count_[l];
+  }
+  sorted_symbols_.resize(index);
+  std::uint32_t fill[kMaxBits + 1];
+  std::copy(std::begin(offset_), std::end(offset_), std::begin(fill));
+  for (std::uint32_t s = 0; s < lengths.size(); ++s) {
+    const int l = lengths[s];
+    if (l > 0) sorted_symbols_[fill[l]++] = s;
+  }
+  return OkStatus();
+}
+
+int CanonicalDecoder::Decode(util::BitReader& r) const {
+  std::uint32_t code = 0;
+  for (int l = 1; l <= max_len_; ++l) {
+    code = (code << 1) | r.ReadBit();
+    if (r.overrun()) return -1;
+    if (count_[l] != 0 && code - first_code_[l] < count_[l]) {
+      return static_cast<int>(sorted_symbols_[offset_[l] + (code - first_code_[l])]);
+    }
+  }
+  return -1;
+}
+
+}  // namespace compstor::apps

@@ -1,0 +1,58 @@
+// Canonical Huffman coding shared by the czip (DEFLATE-family) and cbz
+// (bzip2-family) codecs.
+//
+// Codes are canonical: assigned in order of (length, symbol), so only the
+// per-symbol lengths travel in the compressed stream. Encoded bits are
+// emitted LSB-first with the code's bits reversed (zlib convention), which
+// lets the decoder consume one bit at a time MSB-first.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+#include "util/bitstream.hpp"
+
+namespace compstor::apps {
+
+struct CanonicalCode {
+  /// lengths[s] == 0 means symbol s is unused.
+  std::vector<std::uint8_t> lengths;
+  /// Bit-reversed canonical code per symbol, ready for BitWriter::WriteBits.
+  std::vector<std::uint32_t> codes;
+
+  void EncodeSymbol(util::BitWriter& w, std::size_t symbol) const {
+    w.WriteBits(codes[symbol], lengths[symbol]);
+  }
+};
+
+/// Builds a length-limited canonical code from symbol frequencies.
+/// Symbols with zero frequency get length 0. At least one symbol must have a
+/// nonzero frequency. `max_bits` <= 31.
+Result<CanonicalCode> BuildCanonicalCode(std::span<const std::uint64_t> freqs,
+                                         int max_bits);
+
+/// Table-free canonical decoder: walks code lengths bit by bit. O(code length)
+/// per symbol — plenty for the emulation, and trivially correct.
+class CanonicalDecoder {
+ public:
+  /// `lengths[s] == 0` marks unused symbols. Fails if the lengths oversubscribe
+  /// the code space (invalid stream).
+  Status Init(std::span<const std::uint8_t> lengths);
+
+  /// Returns the decoded symbol, or -1 on malformed input / reader overrun.
+  int Decode(util::BitReader& r) const;
+
+ private:
+  static constexpr int kMaxBits = 31;
+  // first_code_[l]: canonical value of the first code of length l;
+  // offset_[l]: index into sorted_symbols_ of that code's symbol.
+  std::uint32_t first_code_[kMaxBits + 1] = {};
+  std::uint32_t count_[kMaxBits + 1] = {};
+  std::uint32_t offset_[kMaxBits + 1] = {};
+  std::vector<std::uint32_t> sorted_symbols_;
+  int max_len_ = 0;
+};
+
+}  // namespace compstor::apps

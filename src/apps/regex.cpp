@@ -1,0 +1,380 @@
+#include "apps/regex.hpp"
+
+#include <cctype>
+
+namespace compstor::apps {
+
+namespace {
+
+void AddCaseFold(std::bitset<256>& set) {
+  for (int c = 'a'; c <= 'z'; ++c) {
+    if (set[static_cast<std::size_t>(c)]) set.set(static_cast<std::size_t>(c - 'a' + 'A'));
+  }
+  for (int c = 'A'; c <= 'Z'; ++c) {
+    if (set[static_cast<std::size_t>(c)]) set.set(static_cast<std::size_t>(c - 'A' + 'a'));
+  }
+}
+
+}  // namespace
+
+/// Recursive-descent parser building the NFA with dangling-edge patch lists
+/// (Thompson's construction as in Russ Cox's notes).
+class Regex::Parser {
+ public:
+  Parser(std::string_view pattern, bool fold, std::vector<State>* states)
+      : p_(pattern), fold_(fold), states_(states) {}
+
+  Result<int> Parse() {
+    COMPSTOR_ASSIGN_OR_RETURN(Frag f, ParseAlt());
+    if (pos_ != p_.size()) return InvalidArgument("regex: unexpected ')'");
+    const int match = NewState(State::Kind::kMatch);
+    Patch(f.out, match);
+    return f.start;
+  }
+
+ private:
+  /// A dangling edge: state index + which outgoing slot.
+  struct Dangle {
+    int state;
+    bool second;
+  };
+  struct Frag {
+    int start;
+    std::vector<Dangle> out;
+  };
+
+  int NewState(State::Kind kind) {
+    State s;
+    s.kind = kind;
+    states_->push_back(std::move(s));
+    return static_cast<int>(states_->size() - 1);
+  }
+
+  void Patch(const std::vector<Dangle>& dangles, int target) {
+    for (const Dangle& d : dangles) {
+      if (d.second) {
+        (*states_)[static_cast<std::size_t>(d.state)].next2 = target;
+      } else {
+        (*states_)[static_cast<std::size_t>(d.state)].next = target;
+      }
+    }
+  }
+
+  bool AtEnd() const { return pos_ >= p_.size(); }
+  char Peek() const { return p_[pos_]; }
+  char Take() { return p_[pos_++]; }
+
+  Result<Frag> ParseAlt() {
+    COMPSTOR_ASSIGN_OR_RETURN(Frag left, ParseConcat());
+    while (!AtEnd() && Peek() == '|') {
+      Take();
+      COMPSTOR_ASSIGN_OR_RETURN(Frag right, ParseConcat());
+      const int split = NewState(State::Kind::kSplit);
+      (*states_)[static_cast<std::size_t>(split)].next = left.start;
+      (*states_)[static_cast<std::size_t>(split)].next2 = right.start;
+      Frag merged;
+      merged.start = split;
+      merged.out = std::move(left.out);
+      merged.out.insert(merged.out.end(), right.out.begin(), right.out.end());
+      left = std::move(merged);
+    }
+    return left;
+  }
+
+  Result<Frag> ParseConcat() {
+    Frag result;
+    result.start = -1;
+    while (!AtEnd() && Peek() != '|' && Peek() != ')') {
+      COMPSTOR_ASSIGN_OR_RETURN(Frag piece, ParseRepeat());
+      if (result.start < 0) {
+        result = std::move(piece);
+      } else {
+        Patch(result.out, piece.start);
+        result.out = std::move(piece.out);
+      }
+    }
+    if (result.start < 0) {
+      // Empty alternative (e.g. "a|" or "()"): an epsilon fragment.
+      const int split = NewState(State::Kind::kSplit);
+      result.start = split;
+      result.out = {{split, false}};
+      (*states_)[static_cast<std::size_t>(split)].next2 = -2;  // dead branch
+    }
+    return result;
+  }
+
+  Result<Frag> ParseRepeat() {
+    COMPSTOR_ASSIGN_OR_RETURN(Frag atom, ParseAtom());
+    while (!AtEnd() && (Peek() == '*' || Peek() == '+' || Peek() == '?')) {
+      const char op = Take();
+      if (op == '*') {
+        const int split = NewState(State::Kind::kSplit);
+        (*states_)[static_cast<std::size_t>(split)].next = atom.start;
+        Patch(atom.out, split);
+        atom.start = split;
+        atom.out = {{split, true}};
+      } else if (op == '+') {
+        const int split = NewState(State::Kind::kSplit);
+        (*states_)[static_cast<std::size_t>(split)].next = atom.start;
+        Patch(atom.out, split);
+        atom.out = {{split, true}};
+        // start unchanged: must match at least once
+      } else {  // '?'
+        const int split = NewState(State::Kind::kSplit);
+        (*states_)[static_cast<std::size_t>(split)].next = atom.start;
+        atom.out.push_back({split, true});
+        atom.start = split;
+      }
+    }
+    return atom;
+  }
+
+  Result<Frag> ParseAtom() {
+    if (AtEnd()) return InvalidArgument("regex: dangling operator");
+    const char c = Take();
+    switch (c) {
+      case '(': {
+        COMPSTOR_ASSIGN_OR_RETURN(Frag inner, ParseAlt());
+        if (AtEnd() || Take() != ')') return InvalidArgument("regex: missing ')'");
+        return inner;
+      }
+      case '[':
+        return ParseClass();
+      case '.': {
+        const int s = NewState(State::Kind::kChar);
+        (*states_)[static_cast<std::size_t>(s)].chars.set();
+        (*states_)[static_cast<std::size_t>(s)].chars.reset('\n');
+        return Frag{s, {{s, false}}};
+      }
+      case '^': {
+        const int s = NewState(State::Kind::kBol);
+        return Frag{s, {{s, false}}};
+      }
+      case '$': {
+        const int s = NewState(State::Kind::kEol);
+        return Frag{s, {{s, false}}};
+      }
+      case '\\': {
+        if (AtEnd()) return InvalidArgument("regex: trailing backslash");
+        std::bitset<256> set;
+        COMPSTOR_RETURN_IF_ERROR(EscapeClass(Take(), &set));
+        if (fold_) AddCaseFold(set);
+        const int s = NewState(State::Kind::kChar);
+        (*states_)[static_cast<std::size_t>(s)].chars = set;
+        return Frag{s, {{s, false}}};
+      }
+      case '*':
+      case '+':
+      case '?':
+        return InvalidArgument("regex: operator with no operand");
+      default: {
+        const int s = NewState(State::Kind::kChar);
+        auto& set = (*states_)[static_cast<std::size_t>(s)].chars;
+        set.set(static_cast<unsigned char>(c));
+        if (fold_) AddCaseFold(set);
+        return Frag{s, {{s, false}}};
+      }
+    }
+  }
+
+  Status EscapeClass(char e, std::bitset<256>* set) {
+    switch (e) {
+      case 'd':
+        for (int c = '0'; c <= '9'; ++c) set->set(static_cast<std::size_t>(c));
+        return OkStatus();
+      case 'D':
+        set->set();
+        for (int c = '0'; c <= '9'; ++c) set->reset(static_cast<std::size_t>(c));
+        return OkStatus();
+      case 'w':
+        for (int c = 0; c < 256; ++c) {
+          if (std::isalnum(c) || c == '_') set->set(static_cast<std::size_t>(c));
+        }
+        return OkStatus();
+      case 'W':
+        for (int c = 0; c < 256; ++c) {
+          if (!(std::isalnum(c) || c == '_')) set->set(static_cast<std::size_t>(c));
+        }
+        return OkStatus();
+      case 's':
+        for (char c : {' ', '\t', '\n', '\r', '\f', '\v'}) {
+          set->set(static_cast<unsigned char>(c));
+        }
+        return OkStatus();
+      case 'S':
+        set->set();
+        for (char c : {' ', '\t', '\n', '\r', '\f', '\v'}) {
+          set->reset(static_cast<unsigned char>(c));
+        }
+        return OkStatus();
+      case 'n': set->set('\n'); return OkStatus();
+      case 't': set->set('\t'); return OkStatus();
+      case 'r': set->set('\r'); return OkStatus();
+      default:
+        // Escaped literal (\. \* \\ \[ ...).
+        set->set(static_cast<unsigned char>(e));
+        return OkStatus();
+    }
+  }
+
+  Result<Frag> ParseClass() {
+    std::bitset<256> set;
+    bool negate = false;
+    if (!AtEnd() && Peek() == '^') {
+      negate = true;
+      Take();
+    }
+    bool first = true;
+    while (true) {
+      if (AtEnd()) return InvalidArgument("regex: missing ']'");
+      char c = Take();
+      if (c == ']' && !first) break;
+      first = false;
+      if (c == '\\') {
+        if (AtEnd()) return InvalidArgument("regex: trailing backslash in class");
+        std::bitset<256> esc;
+        COMPSTOR_RETURN_IF_ERROR(EscapeClass(Take(), &esc));
+        set |= esc;
+        continue;
+      }
+      if (!AtEnd() && Peek() == '-' && pos_ + 1 < p_.size() && p_[pos_ + 1] != ']') {
+        Take();  // '-'
+        const char hi = Take();
+        if (static_cast<unsigned char>(hi) < static_cast<unsigned char>(c)) {
+          return InvalidArgument("regex: inverted class range");
+        }
+        for (int v = static_cast<unsigned char>(c); v <= static_cast<unsigned char>(hi); ++v) {
+          set.set(static_cast<std::size_t>(v));
+        }
+      } else {
+        set.set(static_cast<unsigned char>(c));
+      }
+    }
+    if (negate) {
+      set.flip();
+      set.reset('\n');  // grep semantics: negated classes don't cross lines
+    }
+    if (fold_) AddCaseFold(set);
+    const int s = NewState(State::Kind::kChar);
+    (*states_)[static_cast<std::size_t>(s)].chars = set;
+    return Frag{s, {{s, false}}};
+  }
+
+  std::string_view p_;
+  std::size_t pos_ = 0;
+  bool fold_;
+  std::vector<State>* states_;
+};
+
+Result<Regex> Regex::Compile(std::string_view pattern, bool case_insensitive) {
+  Regex re;
+  re.pattern_ = std::string(pattern);
+  Parser parser(pattern, case_insensitive, &re.states_);
+  COMPSTOR_ASSIGN_OR_RETURN(re.start_, parser.Parse());
+  re.anchored_start_ = !pattern.empty() && pattern[0] == '^';
+  return re;
+}
+
+void Regex::AddState(int s, std::size_t pos, std::size_t len,
+                     std::vector<bool>& set, std::vector<int>& list) const {
+  if (s < 0 || set[static_cast<std::size_t>(s)]) return;
+  set[static_cast<std::size_t>(s)] = true;
+  const State& st = states_[static_cast<std::size_t>(s)];
+  switch (st.kind) {
+    case State::Kind::kSplit:
+      AddState(st.next, pos, len, set, list);
+      AddState(st.next2, pos, len, set, list);
+      return;
+    case State::Kind::kBol:
+      if (pos == 0) AddState(st.next, pos, len, set, list);
+      return;
+    case State::Kind::kEol:
+      if (pos == len) AddState(st.next, pos, len, set, list);
+      return;
+    default:
+      list.push_back(s);
+      return;
+  }
+}
+
+bool Regex::Search(std::string_view text) const {
+  const std::size_t len = text.size();
+  std::vector<bool> cset(states_.size()), nset(states_.size());
+  std::vector<int> clist, nlist;
+
+  AddState(start_, 0, len, cset, clist);
+  for (int s : clist) {
+    if (states_[static_cast<std::size_t>(s)].kind == State::Kind::kMatch) return true;
+  }
+
+  for (std::size_t pos = 0; pos < len; ++pos) {
+    const auto c = static_cast<unsigned char>(text[pos]);
+    nlist.clear();
+    std::fill(nset.begin(), nset.end(), false);
+    for (int s : clist) {
+      const State& st = states_[static_cast<std::size_t>(s)];
+      if (st.kind == State::Kind::kChar && st.chars[c]) {
+        AddState(st.next, pos + 1, len, nset, nlist);
+      }
+    }
+    if (!anchored_start_) {
+      // Unanchored search: a new match attempt can begin at every position.
+      AddState(start_, pos + 1, len, nset, nlist);
+    }
+    std::swap(clist, nlist);
+    std::swap(cset, nset);
+    for (int s : clist) {
+      if (states_[static_cast<std::size_t>(s)].kind == State::Kind::kMatch) return true;
+    }
+  }
+  return false;
+}
+
+bool Regex::RunFrom(std::string_view text, std::size_t start, std::size_t* end) const {
+  const std::size_t len = text.size();
+  std::vector<bool> cset(states_.size()), nset(states_.size());
+  std::vector<int> clist, nlist;
+  bool matched = false;
+
+  AddState(start_, start, len, cset, clist);
+  auto check = [&](std::size_t pos) {
+    for (int s : clist) {
+      if (states_[static_cast<std::size_t>(s)].kind == State::Kind::kMatch) {
+        matched = true;
+        *end = pos;  // keep extending: longest match
+      }
+    }
+  };
+  check(start);
+
+  for (std::size_t pos = start; pos < len && !clist.empty(); ++pos) {
+    const auto c = static_cast<unsigned char>(text[pos]);
+    nlist.clear();
+    std::fill(nset.begin(), nset.end(), false);
+    for (int s : clist) {
+      const State& st = states_[static_cast<std::size_t>(s)];
+      if (st.kind == State::Kind::kChar && st.chars[c]) {
+        AddState(st.next, pos + 1, len, nset, nlist);
+      }
+    }
+    std::swap(clist, nlist);
+    std::swap(cset, nset);
+    check(pos + 1);
+  }
+  return matched;
+}
+
+bool Regex::FindFirst(std::string_view text, std::size_t* begin, std::size_t* end) const {
+  const std::size_t last_start = anchored_start_ ? 0 : text.size();
+  for (std::size_t start = 0; start <= last_start && start <= text.size(); ++start) {
+    std::size_t match_end;
+    if (RunFrom(text, start, &match_end)) {
+      *begin = start;
+      *end = match_end;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace compstor::apps

@@ -1,0 +1,61 @@
+// A Thompson-NFA regular expression engine (no backtracking, O(n*m)).
+//
+// Backing engine for the grep and awk workloads. Supported syntax:
+//   literals, '.', '*', '+', '?', '|', '(...)' grouping,
+//   '[...]' classes with ranges and '^' negation,
+//   '^' / '$' anchors, and escapes \d \D \w \W \s \S \n \t \r \\ \. etc.
+//
+// Matching is "search" semantics (POSIX grep): does the pattern match any
+// substring of the line. Anchors restrict the match to line start/end.
+#pragma once
+
+#include <bitset>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace compstor::apps {
+
+class Regex {
+ public:
+  /// Compiles `pattern`; fails with kInvalidArgument on syntax errors.
+  static Result<Regex> Compile(std::string_view pattern, bool case_insensitive = false);
+
+  /// True if the pattern matches anywhere in `text`.
+  bool Search(std::string_view text) const;
+
+  /// If the pattern matches anywhere in `text`, reports the leftmost match's
+  /// [begin, end) byte range (longest match at the leftmost start).
+  bool FindFirst(std::string_view text, std::size_t* begin, std::size_t* end) const;
+
+  const std::string& pattern() const { return pattern_; }
+
+ private:
+  struct State {
+    enum class Kind : std::uint8_t { kChar, kSplit, kMatch, kBol, kEol };
+    Kind kind = Kind::kMatch;
+    std::bitset<256> chars;  // for kChar
+    int next = -1;
+    int next2 = -1;  // second branch of kSplit
+  };
+
+  Regex() = default;
+
+  class Parser;
+  /// Adds all states reachable from `s` by epsilon moves into `set`,
+  /// honouring anchors at position `pos` of a text of length `len`.
+  void AddState(int s, std::size_t pos, std::size_t len,
+                std::vector<bool>& set, std::vector<int>& list) const;
+  bool RunFrom(std::string_view text, std::size_t start, std::size_t* end) const;
+
+  std::string pattern_;
+  std::vector<State> states_;
+  int start_ = -1;
+  bool anchored_start_ = false;
+};
+
+}  // namespace compstor::apps

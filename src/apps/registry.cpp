@@ -1,0 +1,112 @@
+#include "apps/registry.hpp"
+
+#include "apps/awk.hpp"
+#include "apps/compress.hpp"
+#include "apps/coreutils.hpp"
+#include "apps/grep.hpp"
+#include "apps/shell.hpp"
+#include "apps/fsutils.hpp"
+#include "apps/textutils.hpp"
+
+namespace compstor::apps {
+
+namespace {
+
+/// A dynamically loaded task: a shell script installed under a command name.
+class ScriptApp final : public Application {
+ public:
+  ScriptApp(std::string name, std::string script, const Registry* registry)
+      : name_(std::move(name)), script_(std::move(script)), registry_(registry) {}
+
+  std::string_view name() const override { return name_; }
+
+  Result<int> Run(AppContext& ctx, const std::vector<std::string>& args) override {
+    Shell shell(registry_, ctx.fs);
+    COMPSTOR_ASSIGN_OR_RETURN(Shell::ExecResult r,
+                              shell.RunScript(script_, args, ctx.stdin_data));
+    ctx.Out(r.stdout_data);
+    ctx.Err(r.stderr_data);
+    ctx.cost.Merge(r.cost);
+    return r.exit_code;
+  }
+
+ private:
+  std::string name_;
+  std::string script_;
+  const Registry* registry_;
+};
+
+template <typename T>
+std::unique_ptr<Application> Make() {
+  return std::make_unique<T>();
+}
+
+}  // namespace
+
+std::unique_ptr<Registry> Registry::WithBuiltins() {
+  auto r = std::make_unique<Registry>();
+  r->InstallBuiltins();
+  return r;
+}
+
+void Registry::InstallBuiltins() {
+  Register("gzip", Make<GzipApp>);
+  Register("gunzip", Make<GunzipApp>);
+  Register("bzip2", Make<Bzip2App>);
+  Register("bunzip2", Make<Bunzip2App>);
+  Register("grep", Make<GrepApp>);
+  Register("gawk", Make<AwkApp>);
+  Register("awk", Make<AwkApp>);
+  Register("wc", Make<WcApp>);
+  Register("cat", Make<CatApp>);
+  Register("head", Make<HeadApp>);
+  Register("tail", Make<TailApp>);
+  Register("ls", Make<LsApp>);
+  Register("echo", Make<EchoApp>);
+  Register("sort", Make<SortApp>);
+  Register("uniq", Make<UniqApp>);
+  Register("cut", Make<CutApp>);
+  Register("tr", Make<TrApp>);
+  Register("find", Make<FindApp>);
+  Register("df", Make<DfApp>);
+}
+
+void Registry::Register(std::string name, Factory factory) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  factories_[std::move(name)] = std::move(factory);
+}
+
+void Registry::RegisterScript(std::string name, std::string script) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // The factory captures the registry pointer so the script can invoke other
+  // commands; the registry outlives any task it spawns.
+  const Registry* self = this;
+  std::string cmd_name = name;
+  factories_[std::move(name)] = [self, cmd_name, script]() {
+    return std::make_unique<ScriptApp>(cmd_name, script, self);
+  };
+}
+
+Result<std::unique_ptr<Application>> Registry::Create(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = factories_.find(std::string(name));
+  if (it == factories_.end()) {
+    return NotFound("command not found: " + std::string(name));
+  }
+  return it->second();
+}
+
+bool Registry::Contains(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return factories_.count(std::string(name)) != 0;
+}
+
+std::vector<std::string> Registry::Names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) names.push_back(name);
+  return names;
+}
+
+}  // namespace compstor::apps

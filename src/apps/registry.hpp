@@ -1,0 +1,53 @@
+// Application registry: maps command names to factories.
+//
+// The built-in set mirrors the Linux environment the paper ships inside the
+// CompStor. The registry is also the mechanism behind *dynamic task loading*
+// (§III.B Query): a client can register new commands at runtime, either as
+// additional native factories or as shell scripts interpreted in-storage.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "apps/app.hpp"
+
+namespace compstor::apps {
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Registry pre-populated with every built-in command.
+  static std::unique_ptr<Registry> WithBuiltins();
+
+  /// Adds all built-in commands to this registry.
+  void InstallBuiltins();
+
+  using Factory = std::function<std::unique_ptr<Application>()>;
+
+  /// Registers (or replaces) a native command.
+  void Register(std::string name, Factory factory);
+
+  /// Dynamic task loading: installs `name` as a command whose body is a
+  /// shell script (executed by apps::Shell with $1.. argument expansion).
+  void RegisterScript(std::string name, std::string script);
+
+  /// Instantiates the command, or kNotFound.
+  Result<std::unique_ptr<Application>> Create(std::string_view name) const;
+
+  bool Contains(std::string_view name) const;
+  std::vector<std::string> Names() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Factory> factories_;
+};
+
+}  // namespace compstor::apps

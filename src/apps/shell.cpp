@@ -1,0 +1,174 @@
+#include "apps/shell.hpp"
+
+#include <cctype>
+
+namespace compstor::apps {
+
+Result<std::vector<std::string>> Shell::Tokenize(std::string_view line) {
+  std::vector<std::string> tokens;
+  std::string cur;
+  bool have_cur = false;
+  std::size_t i = 0;
+
+  auto flush = [&] {
+    if (have_cur) {
+      tokens.push_back(std::move(cur));
+      cur.clear();
+      have_cur = false;
+    }
+  };
+
+  while (i < line.size()) {
+    const char c = line[i];
+    if (c == ' ' || c == '\t') {
+      flush();
+      ++i;
+      continue;
+    }
+    if (c == '#' && !have_cur) break;  // comment to end of line
+    if (c == '|' || c == '>') {
+      flush();
+      tokens.emplace_back(1, c);
+      ++i;
+      continue;
+    }
+    if (c == '\'') {
+      have_cur = true;
+      ++i;
+      while (i < line.size() && line[i] != '\'') cur.push_back(line[i++]);
+      if (i >= line.size()) return InvalidArgument("shell: unterminated single quote");
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      have_cur = true;
+      ++i;
+      while (i < line.size() && line[i] != '"') {
+        if (line[i] == '\\' && i + 1 < line.size() &&
+            (line[i + 1] == '"' || line[i + 1] == '\\')) {
+          ++i;
+        }
+        cur.push_back(line[i++]);
+      }
+      if (i >= line.size()) return InvalidArgument("shell: unterminated double quote");
+      ++i;
+      continue;
+    }
+    if (c == '\\' && i + 1 < line.size()) {
+      have_cur = true;
+      cur.push_back(line[i + 1]);
+      i += 2;
+      continue;
+    }
+    have_cur = true;
+    cur.push_back(c);
+    ++i;
+  }
+  flush();
+  return tokens;
+}
+
+Result<Shell::ExecResult> Shell::RunCommandLine(std::string_view line,
+                                                std::string_view stdin_data) {
+  COMPSTOR_ASSIGN_OR_RETURN(std::vector<std::string> tokens, Tokenize(line));
+  ExecResult result;
+  if (tokens.empty()) return result;
+
+  // Split into pipeline segments; detect trailing "> file".
+  std::vector<std::vector<std::string>> segments(1);
+  std::string redirect_target;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i] == "|") {
+      if (segments.back().empty()) return InvalidArgument("shell: empty pipeline segment");
+      segments.emplace_back();
+    } else if (tokens[i] == ">") {
+      if (i + 1 != tokens.size() - 1) {
+        return InvalidArgument("shell: '>' must be followed by exactly one target");
+      }
+      redirect_target = tokens[i + 1];
+      break;
+    } else {
+      segments.back().push_back(std::move(tokens[i]));
+    }
+  }
+  if (segments.back().empty()) return InvalidArgument("shell: empty pipeline segment");
+
+  std::string pipe_data(stdin_data);
+  for (std::size_t s = 0; s < segments.size(); ++s) {
+    const std::vector<std::string>& argv = segments[s];
+    COMPSTOR_ASSIGN_OR_RETURN(std::unique_ptr<Application> app,
+                              registry_->Create(argv[0]));
+    AppContext ctx;
+    ctx.fs = fs_;
+    ctx.stdin_data = std::move(pipe_data);
+    std::vector<std::string> args(argv.begin() + 1, argv.end());
+    auto rc = app->Run(ctx, args);
+    result.stderr_data += ctx.stderr_data;
+    result.cost.Merge(ctx.cost);
+    if (!rc.ok()) return rc.status();
+    result.exit_code = *rc;
+    pipe_data = std::move(ctx.stdout_data);
+  }
+
+  if (!redirect_target.empty()) {
+    if (fs_ == nullptr) return FailedPrecondition("shell: no filesystem for redirection");
+    COMPSTOR_RETURN_IF_ERROR(fs_->WriteFile(redirect_target, pipe_data));
+    result.cost.bytes_out += pipe_data.size();
+  } else {
+    result.stdout_data = std::move(pipe_data);
+  }
+  return result;
+}
+
+Result<Shell::ExecResult> Shell::RunScript(std::string_view script,
+                                           const std::vector<std::string>& args,
+                                           std::string_view stdin_data) {
+  // Positional parameter expansion: $1..$9 and $@ (space-joined args).
+  std::string expanded;
+  expanded.reserve(script.size());
+  for (std::size_t i = 0; i < script.size(); ++i) {
+    if (script[i] == '$' && i + 1 < script.size()) {
+      const char c = script[i + 1];
+      if (c >= '1' && c <= '9') {
+        const std::size_t idx = static_cast<std::size_t>(c - '1');
+        if (idx < args.size()) expanded += args[idx];
+        ++i;
+        continue;
+      }
+      if (c == '@') {
+        for (std::size_t a = 0; a < args.size(); ++a) {
+          if (a > 0) expanded += ' ';
+          expanded += args[a];
+        }
+        ++i;
+        continue;
+      }
+    }
+    expanded.push_back(script[i]);
+  }
+
+  ExecResult total;
+  std::size_t start = 0;
+  bool first = true;
+  while (start <= expanded.size()) {
+    std::size_t end = expanded.find_first_of("\n;", start);
+    if (end == std::string::npos) end = expanded.size();
+    const std::string_view line(expanded.data() + start, end - start);
+    start = end + 1;
+    if (line.find_first_not_of(" \t\r") == std::string_view::npos) {
+      if (end == expanded.size()) break;
+      continue;
+    }
+    COMPSTOR_ASSIGN_OR_RETURN(ExecResult r,
+                              RunCommandLine(line, first ? stdin_data : ""));
+    first = false;
+    total.exit_code = r.exit_code;
+    total.stdout_data += r.stdout_data;
+    total.stderr_data += r.stderr_data;
+    total.cost.Merge(r.cost);
+    if (end == expanded.size()) break;
+  }
+  return total;
+}
+
+}  // namespace compstor::apps

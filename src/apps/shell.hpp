@@ -1,0 +1,52 @@
+// A small POSIX-flavoured shell for in-storage command lines and scripts.
+//
+// Supports the forms the paper's evaluation exercises:
+//   - command lines with quoted arguments: grep -c "foo bar" /data/f.txt
+//   - pipelines: cat /data/a | grep x | wc -l
+//   - output redirection: grep x /data/a > /out/result
+//   - scripts: newline/';'-separated command lines, '#' comments,
+//     positional parameters $1..$9 and $@ (for dynamically loaded tasks).
+//
+// Exit code is the last pipeline's; `set -e` style abort is not implemented
+// (matches sh default).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "apps/registry.hpp"
+
+namespace compstor::apps {
+
+class Shell {
+ public:
+  Shell(const Registry* registry, fs::Filesystem* fs)
+      : registry_(registry), fs_(fs) {}
+
+  struct ExecResult {
+    int exit_code = 0;
+    std::string stdout_data;
+    std::string stderr_data;
+    CostRecorder cost;
+  };
+
+  /// Runs one command line (may contain pipes / redirection).
+  Result<ExecResult> RunCommandLine(std::string_view line, std::string_view stdin_data = "");
+
+  /// Runs a multi-line script with positional parameters.
+  Result<ExecResult> RunScript(std::string_view script,
+                               const std::vector<std::string>& args = {},
+                               std::string_view stdin_data = "");
+
+  /// Tokenizes a command line honouring single/double quotes and backslash
+  /// escapes (exposed for tests).
+  static Result<std::vector<std::string>> Tokenize(std::string_view line);
+
+ private:
+  const Registry* registry_;
+  fs::Filesystem* fs_;
+};
+
+}  // namespace compstor::apps

@@ -1,0 +1,308 @@
+#include "apps/textutils.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace compstor::apps {
+namespace {
+
+/// Gathers input lines from files (or stdin when none), charging IO.
+Result<std::vector<std::string>> GatherLines(AppContext& ctx,
+                                             const std::vector<std::string>& files,
+                                             const char* tool) {
+  std::vector<std::string> lines;
+  auto take = [&](std::string_view text) {
+    for (std::string_view line : SplitLines(text)) lines.emplace_back(line);
+  };
+  if (files.empty()) {
+    ctx.cost.bytes_in += ctx.stdin_data.size();
+    take(ctx.stdin_data);
+    return lines;
+  }
+  for (const std::string& f : files) {
+    auto content = ctx.ReadInputFile(f);
+    if (!content.ok()) {
+      ctx.Err(std::string(tool) + ": " + f + ": " + content.status().ToString() + "\n");
+      return content.status();
+    }
+    take(*content);
+  }
+  return lines;
+}
+
+std::uint64_t LineBytes(const std::vector<std::string>& lines) {
+  std::uint64_t n = 0;
+  for (const std::string& l : lines) n += l.size() + 1;
+  return n;
+}
+
+/// Extracts field `k` (1-based, whitespace-separated); empty if absent.
+std::string_view FieldOf(std::string_view line, int k) {
+  std::size_t i = 0;
+  int field = 0;
+  while (i < line.size()) {
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+    if (i >= line.size()) break;
+    std::size_t j = i;
+    while (j < line.size() && !std::isspace(static_cast<unsigned char>(line[j]))) ++j;
+    if (++field == k) return line.substr(i, j - i);
+    i = j;
+  }
+  return {};
+}
+
+/// Expands "a-z0-9" into the literal character sequence.
+Result<std::string> ExpandTrSet(std::string_view spec) {
+  std::string out;
+  for (std::size_t i = 0; i < spec.size(); ++i) {
+    if (spec[i] == '\\' && i + 1 < spec.size()) {
+      const char e = spec[++i];
+      out.push_back(e == 'n' ? '\n' : e == 't' ? '\t' : e);
+      continue;
+    }
+    if (i + 2 < spec.size() && spec[i + 1] == '-') {
+      const auto lo = static_cast<unsigned char>(spec[i]);
+      const auto hi = static_cast<unsigned char>(spec[i + 2]);
+      if (hi < lo) return InvalidArgument("tr: inverted range");
+      for (unsigned c = lo; c <= hi; ++c) out.push_back(static_cast<char>(c));
+      i += 2;
+      continue;
+    }
+    out.push_back(spec[i]);
+  }
+  return out;
+}
+
+/// Parses cut's LIST syntax: "1,3-5,7" -> selector predicate over 1-based idx.
+Result<std::vector<std::pair<int, int>>> ParseCutList(std::string_view list) {
+  std::vector<std::pair<int, int>> ranges;
+  std::size_t i = 0;
+  while (i < list.size()) {
+    std::size_t j = list.find(',', i);
+    if (j == std::string_view::npos) j = list.size();
+    std::string item(list.substr(i, j - i));
+    const std::size_t dash = item.find('-');
+    int lo, hi;
+    if (dash == std::string::npos) {
+      lo = hi = std::atoi(item.c_str());
+    } else {
+      lo = dash == 0 ? 1 : std::atoi(item.substr(0, dash).c_str());
+      hi = dash + 1 == item.size() ? 1 << 30 : std::atoi(item.substr(dash + 1).c_str());
+    }
+    if (lo <= 0 || hi < lo) return InvalidArgument("cut: bad list");
+    ranges.emplace_back(lo, hi);
+    i = j + 1;
+  }
+  if (ranges.empty()) return InvalidArgument("cut: empty list");
+  return ranges;
+}
+
+bool InRanges(const std::vector<std::pair<int, int>>& ranges, int idx) {
+  for (const auto& [lo, hi] : ranges) {
+    if (idx >= lo && idx <= hi) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<int> SortApp::Run(AppContext& ctx, const std::vector<std::string>& args) {
+  bool reverse = false, numeric = false, unique = false;
+  int key_field = 0;  // 0 = whole line
+  std::vector<std::string> files;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "-r") {
+      reverse = true;
+    } else if (a == "-n") {
+      numeric = true;
+    } else if (a == "-u") {
+      unique = true;
+    } else if (a == "-rn" || a == "-nr") {
+      reverse = numeric = true;
+    } else if (a == "-k") {
+      if (i + 1 >= args.size()) return InvalidArgument("sort: -k needs a field");
+      key_field = std::atoi(args[++i].c_str());
+      if (key_field <= 0) return InvalidArgument("sort: bad field");
+    } else if (!a.empty() && a[0] == '-') {
+      return InvalidArgument("sort: unknown option " + a);
+    } else {
+      files.push_back(a);
+    }
+  }
+
+  auto lines = GatherLines(ctx, files, "sort");
+  if (!lines.ok()) return lines.status();
+  ctx.cost.AddWork("sort", LineBytes(*lines));
+
+  auto key_of = [&](const std::string& line) -> std::string_view {
+    return key_field > 0 ? FieldOf(line, key_field) : std::string_view(line);
+  };
+  auto less = [&](const std::string& a, const std::string& b) {
+    const std::string_view ka = key_of(a), kb = key_of(b);
+    if (numeric) {
+      const double na = std::strtod(std::string(ka).c_str(), nullptr);
+      const double nb = std::strtod(std::string(kb).c_str(), nullptr);
+      if (na != nb) return na < nb;
+      return ka < kb;  // numeric ties fall back to text
+    }
+    return ka < kb;
+  };
+  std::stable_sort(lines->begin(), lines->end(), less);
+  if (reverse) std::reverse(lines->begin(), lines->end());
+  if (unique) {
+    lines->erase(std::unique(lines->begin(), lines->end()), lines->end());
+  }
+  for (const std::string& l : *lines) ctx.Out(l + "\n");
+  return 0;
+}
+
+Result<int> UniqApp::Run(AppContext& ctx, const std::vector<std::string>& args) {
+  bool count = false, dups_only = false;
+  std::vector<std::string> files;
+  for (const std::string& a : args) {
+    if (a == "-c") {
+      count = true;
+    } else if (a == "-d") {
+      dups_only = true;
+    } else if (!a.empty() && a[0] == '-') {
+      return InvalidArgument("uniq: unknown option " + a);
+    } else {
+      files.push_back(a);
+    }
+  }
+  auto lines = GatherLines(ctx, files, "uniq");
+  if (!lines.ok()) return lines.status();
+  ctx.cost.AddWork("uniq", LineBytes(*lines));
+
+  std::size_t i = 0;
+  while (i < lines->size()) {
+    std::size_t j = i;
+    while (j < lines->size() && (*lines)[j] == (*lines)[i]) ++j;
+    const std::size_t run = j - i;
+    if (!dups_only || run > 1) {
+      if (count) {
+        char buf[24];
+        std::snprintf(buf, sizeof(buf), "%7zu ", run);
+        ctx.Out(std::string(buf) + (*lines)[i] + "\n");
+      } else {
+        ctx.Out((*lines)[i] + "\n");
+      }
+    }
+    i = j;
+  }
+  return 0;
+}
+
+Result<int> CutApp::Run(AppContext& ctx, const std::vector<std::string>& args) {
+  char delim = '\t';
+  std::string field_list, char_list;
+  std::vector<std::string> files;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "-f") {
+      if (i + 1 >= args.size()) return InvalidArgument("cut: -f needs a list");
+      field_list = args[++i];
+    } else if (a == "-c") {
+      if (i + 1 >= args.size()) return InvalidArgument("cut: -c needs a list");
+      char_list = args[++i];
+    } else if (a == "-d") {
+      if (i + 1 >= args.size() || args[i + 1].empty()) {
+        return InvalidArgument("cut: -d needs a delimiter");
+      }
+      delim = args[++i][0];
+    } else if (!a.empty() && a[0] == '-') {
+      return InvalidArgument("cut: unknown option " + a);
+    } else {
+      files.push_back(a);
+    }
+  }
+  if (field_list.empty() == char_list.empty()) {
+    return InvalidArgument("cut: exactly one of -f or -c required");
+  }
+  COMPSTOR_ASSIGN_OR_RETURN(auto ranges,
+                            ParseCutList(field_list.empty() ? char_list : field_list));
+
+  auto lines = GatherLines(ctx, files, "cut");
+  if (!lines.ok()) return lines.status();
+  ctx.cost.AddWork("cut", LineBytes(*lines));
+
+  for (const std::string& line : *lines) {
+    std::string out;
+    if (!char_list.empty()) {
+      for (std::size_t c = 0; c < line.size(); ++c) {
+        if (InRanges(ranges, static_cast<int>(c + 1))) out.push_back(line[c]);
+      }
+    } else {
+      // Field mode: split on the delimiter, emit selected fields re-joined.
+      int field = 0;
+      std::size_t start = 0;
+      bool first = true;
+      while (start <= line.size()) {
+        std::size_t end = line.find(delim, start);
+        if (end == std::string::npos) end = line.size();
+        ++field;
+        if (InRanges(ranges, field)) {
+          if (!first) out.push_back(delim);
+          out.append(line, start, end - start);
+          first = false;
+        }
+        if (end == line.size()) break;
+        start = end + 1;
+      }
+    }
+    ctx.Out(out + "\n");
+  }
+  return 0;
+}
+
+Result<int> TrApp::Run(AppContext& ctx, const std::vector<std::string>& args) {
+  bool delete_mode = false;
+  std::vector<std::string> sets;
+  for (const std::string& a : args) {
+    if (a == "-d") {
+      delete_mode = true;
+    } else if (a.size() > 1 && a[0] == '-' && a != "-") {
+      return InvalidArgument("tr: unknown option " + a);
+    } else {
+      sets.push_back(a);
+    }
+  }
+  if (delete_mode ? sets.size() != 1 : sets.size() != 2) {
+    return InvalidArgument("tr: expected SET1 SET2 (or -d SET1)");
+  }
+  COMPSTOR_ASSIGN_OR_RETURN(std::string set1, ExpandTrSet(sets[0]));
+
+  // tr reads stdin only (like the real tool).
+  ctx.cost.bytes_in += ctx.stdin_data.size();
+  ctx.cost.AddWork("tr", ctx.stdin_data.size());
+
+  if (delete_mode) {
+    bool drop[256] = {};
+    for (char c : set1) drop[static_cast<unsigned char>(c)] = true;
+    std::string out;
+    out.reserve(ctx.stdin_data.size());
+    for (char c : ctx.stdin_data) {
+      if (!drop[static_cast<unsigned char>(c)]) out.push_back(c);
+    }
+    ctx.Out(out);
+    return 0;
+  }
+
+  COMPSTOR_ASSIGN_OR_RETURN(std::string set2, ExpandTrSet(sets[1]));
+  if (set2.empty()) return InvalidArgument("tr: empty SET2");
+  char map[256];
+  for (int c = 0; c < 256; ++c) map[c] = static_cast<char>(c);
+  for (std::size_t i = 0; i < set1.size(); ++i) {
+    // POSIX: SET2 is padded with its last character.
+    map[static_cast<unsigned char>(set1[i])] = set2[std::min(i, set2.size() - 1)];
+  }
+  std::string out;
+  out.reserve(ctx.stdin_data.size());
+  for (char c : ctx.stdin_data) out.push_back(map[static_cast<unsigned char>(c)]);
+  ctx.Out(out);
+  return 0;
+}
+
+}  // namespace compstor::apps

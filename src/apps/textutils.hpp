@@ -1,0 +1,39 @@
+// Additional text-processing utilities for the in-storage shell: sort,
+// uniq, cut, tr. Together with grep/gawk these cover the classic Unix
+// text pipelines ("sort | uniq -c | sort -rn") the paper's shell-support
+// claim is about.
+#pragma once
+
+#include "apps/app.hpp"
+
+namespace compstor::apps {
+
+/// sort [-r] [-n] [-u] [-k FIELD] [file...]
+class SortApp final : public Application {
+ public:
+  std::string_view name() const override { return "sort"; }
+  Result<int> Run(AppContext& ctx, const std::vector<std::string>& args) override;
+};
+
+/// uniq [-c] [-d] [file...] — collapses adjacent duplicate lines.
+class UniqApp final : public Application {
+ public:
+  std::string_view name() const override { return "uniq"; }
+  Result<int> Run(AppContext& ctx, const std::vector<std::string>& args) override;
+};
+
+/// cut -f LIST [-d DELIM] [file...]  or  cut -c LIST [file...]
+class CutApp final : public Application {
+ public:
+  std::string_view name() const override { return "cut"; }
+  Result<int> Run(AppContext& ctx, const std::vector<std::string>& args) override;
+};
+
+/// tr SET1 SET2 | tr -d SET1 — maps/deletes characters (a-z ranges).
+class TrApp final : public Application {
+ public:
+  std::string_view name() const override { return "tr"; }
+  Result<int> Run(AppContext& ctx, const std::vector<std::string>& args) override;
+};
+
+}  // namespace compstor::apps

@@ -1,0 +1,83 @@
+#include "client/cluster.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace compstor::client {
+
+std::vector<std::size_t> Cluster::AssignByWeight(
+    const std::vector<std::uint64_t>& weights) const {
+  std::vector<std::size_t> assignment(weights.size(), 0);
+  if (devices_.empty()) return assignment;
+
+  // LPT: sort items by descending weight, place each on the least-loaded bin.
+  std::vector<std::size_t> order(weights.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return weights[a] > weights[b];
+  });
+  std::vector<std::uint64_t> load(devices_.size(), 0);
+  for (std::size_t item : order) {
+    const std::size_t bin = static_cast<std::size_t>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+    assignment[item] = bin;
+    load[bin] += weights[item];
+  }
+  return assignment;
+}
+
+std::vector<std::size_t> Cluster::AssignByUtilization(
+    const std::vector<std::uint64_t>& weights) {
+  std::vector<std::size_t> assignment(weights.size(), 0);
+  if (devices_.empty()) return assignment;
+
+  // Seed bins with live utilization so an already-busy device receives less
+  // new work (the paper's stated use of the status query).
+  std::vector<double> load(devices_.size(), 0);
+  for (std::size_t d = 0; d < devices_.size(); ++d) {
+    auto status = devices_[d]->GetStatus();
+    if (status.ok()) {
+      load[d] = status->utilization * 1e9;  // bias in pseudo-bytes
+    }
+  }
+  std::vector<std::size_t> order(weights.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return weights[a] > weights[b];
+  });
+  for (std::size_t item : order) {
+    const std::size_t bin = static_cast<std::size_t>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+    assignment[item] = bin;
+    load[bin] += static_cast<double>(weights[item]);
+  }
+  return assignment;
+}
+
+Result<std::vector<proto::Minion>> Cluster::RunAll(const std::vector<WorkItem>& work) {
+  std::vector<MinionFuture> futures;
+  futures.reserve(work.size());
+  for (const WorkItem& item : work) {
+    if (item.device_index >= devices_.size()) {
+      return OutOfRange("work item references unknown device");
+    }
+    futures.push_back(devices_[item.device_index]->SendMinion(item.command));
+  }
+  std::vector<proto::Minion> results;
+  results.reserve(work.size());
+  for (MinionFuture& f : futures) {
+    COMPSTOR_ASSIGN_OR_RETURN(proto::Minion m, f.Get());
+    results.push_back(std::move(m));
+  }
+  return results;
+}
+
+double Cluster::Makespan(const std::vector<proto::Minion>& minions) {
+  double makespan = 0;
+  for (const proto::Minion& m : minions) {
+    makespan = std::max(makespan, m.response.end_time_s);
+  }
+  return makespan;
+}
+
+}  // namespace compstor::client

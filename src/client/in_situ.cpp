@@ -1,0 +1,103 @@
+#include "client/in_situ.hpp"
+
+#include "util/byte_io.hpp"
+
+namespace compstor::client {
+
+Result<proto::Minion> MinionFuture::Get() {
+  if (!completion_.valid()) return FailedPrecondition("minion future not valid");
+  nvme::Completion cqe = completion_.get();
+  if (!cqe.status.ok()) return cqe.status;
+  return proto::DeserializeMinion(cqe.payload);
+}
+
+CompStorHandle::CompStorHandle(ssd::Ssd* ssd) : ssd_(ssd) {
+  fs_ = std::make_unique<fs::Filesystem>(&ssd->host_block_device(), ssd->fs_mutex());
+}
+
+Status CompStorHandle::FormatFilesystem(const fs::FormatOptions& options) {
+  COMPSTOR_RETURN_IF_ERROR(fs::Filesystem::Format(&ssd_->host_block_device(), options));
+  return fs_->Mount();
+}
+
+Status CompStorHandle::UploadFile(std::string_view path, std::string_view data) {
+  return fs_->WriteFile(path, data);
+}
+
+Status CompStorHandle::UploadFile(std::string_view path,
+                                  std::span<const std::uint8_t> data) {
+  return fs_->WriteFile(path, data);
+}
+
+Result<std::vector<std::uint8_t>> CompStorHandle::DownloadFile(std::string_view path) {
+  return fs_->ReadFileAll(path);
+}
+
+Result<std::string> CompStorHandle::DownloadFileText(std::string_view path) {
+  return fs_->ReadFileText(path);
+}
+
+MinionFuture CompStorHandle::SendMinion(proto::Command command) {
+  proto::Minion minion;
+  minion.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  minion.command = std::move(command);
+
+  nvme::Command cmd;
+  cmd.opcode = nvme::Opcode::kInSituMinion;
+  cmd.payload = proto::Serialize(minion);
+  return MinionFuture(ssd_->host_interface().Submit(std::move(cmd)));
+}
+
+Result<proto::Minion> CompStorHandle::RunMinion(proto::Command command) {
+  return SendMinion(std::move(command)).Get();
+}
+
+Result<proto::QueryReply> CompStorHandle::SendQuery(proto::Query query) {
+  query.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  nvme::Completion cqe = ssd_->host_interface().VendorSync(
+      nvme::Opcode::kInSituQuery, proto::Serialize(query));
+  if (!cqe.status.ok()) return cqe.status;
+  COMPSTOR_ASSIGN_OR_RETURN(proto::QueryReply reply,
+                            proto::DeserializeQueryReply(cqe.payload));
+  if (!reply.ok()) {
+    return Status(static_cast<StatusCode>(reply.status_code), reply.status_message);
+  }
+  return reply;
+}
+
+Result<proto::QueryReply> CompStorHandle::GetStatus() {
+  proto::Query q;
+  q.type = proto::QueryType::kStatus;
+  return SendQuery(std::move(q));
+}
+
+Status CompStorHandle::LoadTask(std::string_view name, std::string_view script) {
+  proto::Query q;
+  q.type = proto::QueryType::kLoadTask;
+  q.task_name = std::string(name);
+  q.task_script = std::string(script);
+  return SendQuery(std::move(q)).status();
+}
+
+Result<std::vector<std::string>> CompStorHandle::ListTasks() {
+  proto::Query q;
+  q.type = proto::QueryType::kListTasks;
+  COMPSTOR_ASSIGN_OR_RETURN(proto::QueryReply reply, SendQuery(std::move(q)));
+  return reply.task_names;
+}
+
+Result<std::vector<proto::QueryReply::Process>> CompStorHandle::ProcessTable() {
+  proto::Query q;
+  q.type = proto::QueryType::kProcessTable;
+  COMPSTOR_ASSIGN_OR_RETURN(proto::QueryReply reply, SendQuery(std::move(q)));
+  return reply.processes;
+}
+
+Result<std::string> CompStorHandle::IdentifyModel() {
+  nvme::Completion cqe = ssd_->host_interface().VendorSync(nvme::Opcode::kIdentify, {});
+  if (!cqe.status.ok()) return cqe.status;
+  util::ByteReader r(cqe.payload);
+  return r.GetString();
+}
+
+}  // namespace compstor::client

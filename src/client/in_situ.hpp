@@ -1,0 +1,82 @@
+// The In-situ Library (paper Fig 4): the host-side C++ API a client links
+// against to drive CompStor devices.
+//
+// A client: stages input files onto the device (normal NVMe writes through
+// the shared filesystem), configures a minion with the command to run,
+// sends it, waits for completion, and reads back results — without the data
+// ever crossing PCIe. Queries fetch device status (core utilization,
+// temperature) for load balancing and perform dynamic task loading.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fs/filesystem.hpp"
+#include "proto/entities.hpp"
+#include "ssd/ssd.hpp"
+
+namespace compstor::client {
+
+/// Resolves to the round-tripped minion when the device completes the task.
+class MinionFuture {
+ public:
+  MinionFuture() = default;
+  explicit MinionFuture(std::future<nvme::Completion> completion)
+      : completion_(std::move(completion)) {}
+
+  /// Blocks until the response arrives. Includes the NVMe-level latency in
+  /// the returned minion's response timing.
+  Result<proto::Minion> Get();
+
+  bool valid() const { return completion_.valid(); }
+
+ private:
+  std::future<nvme::Completion> completion_;
+};
+
+class CompStorHandle {
+ public:
+  /// Attaches to a device. The filesystem view is the host path: every byte
+  /// staged or downloaded crosses the emulated PCIe link.
+  explicit CompStorHandle(ssd::Ssd* ssd);
+
+  ssd::Ssd& ssd() { return *ssd_; }
+  fs::Filesystem& host_fs() { return *fs_; }
+
+  /// Formats the shared filesystem (factory setup; destroys all data).
+  Status FormatFilesystem(const fs::FormatOptions& options = {});
+
+  // --- file staging over the host path ---
+  Status UploadFile(std::string_view path, std::string_view data);
+  Status UploadFile(std::string_view path, std::span<const std::uint8_t> data);
+  Result<std::vector<std::uint8_t>> DownloadFile(std::string_view path);
+  Result<std::string> DownloadFileText(std::string_view path);
+
+  // --- minions ---
+  MinionFuture SendMinion(proto::Command command);
+  Result<proto::Minion> RunMinion(proto::Command command);  // send + wait
+
+  // --- queries ---
+  Result<proto::QueryReply> SendQuery(proto::Query query);
+  Result<proto::QueryReply> GetStatus();
+  /// Dynamic task loading: install `script` as command `name` on the device.
+  Status LoadTask(std::string_view name, std::string_view script);
+  Result<std::vector<std::string>> ListTasks();
+  /// ps-style view of the device's in-storage processes.
+  Result<std::vector<proto::QueryReply::Process>> ProcessTable();
+
+  /// NVMe Identify: model string + capacity.
+  Result<std::string> IdentifyModel();
+
+ private:
+  ssd::Ssd* ssd_;
+  std::unique_ptr<fs::Filesystem> fs_;
+  std::atomic<std::uint64_t> next_id_{1};
+};
+
+}  // namespace compstor::client

@@ -1,0 +1,46 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace compstor {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_sink_mutex;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "D";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kWarn: return "W";
+    case LogLevel::kError: return "E";
+    default: return "?";
+  }
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+
+namespace internal {
+
+void EmitLogLine(LogLevel level, const std::string& line) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  std::fprintf(stderr, "[%s] %s\n", LevelTag(level), line.c_str());
+}
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+  // Strip directories: the basename is enough to locate the site.
+  const char* base = file;
+  for (const char* p = file; *p; ++p)
+    if (*p == '/') base = p + 1;
+  stream_ << base << ':' << line << "] ";
+}
+
+LogMessage::~LogMessage() { EmitLogLine(level_, stream_.str()); }
+
+}  // namespace internal
+}  // namespace compstor

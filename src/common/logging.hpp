@@ -1,0 +1,55 @@
+// Tiny leveled logger. Thread-safe; a single global sink (stderr by default).
+//
+// The emulation is heavily multi-threaded (SSD front-end/back-end threads,
+// ISPS cores, client threads); log lines are assembled off-lock and emitted
+// under a single mutex so interleaved output stays line-atomic.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace compstor {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped. Default: kWarn (quiet for
+/// tests and benches).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+void EmitLogLine(LogLevel level, const std::string& line);
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define COMPSTOR_LOG(level)                                          \
+  if (::compstor::LogLevel::level < ::compstor::GetLogLevel()) {     \
+  } else                                                             \
+    ::compstor::internal::LogMessage(::compstor::LogLevel::level,    \
+                                     __FILE__, __LINE__)
+
+#define LOG_DEBUG COMPSTOR_LOG(kDebug)
+#define LOG_INFO COMPSTOR_LOG(kInfo)
+#define LOG_WARN COMPSTOR_LOG(kWarn)
+#define LOG_ERROR COMPSTOR_LOG(kError)
+
+}  // namespace compstor

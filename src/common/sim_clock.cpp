@@ -1,0 +1,15 @@
+#include "common/sim_clock.hpp"
+
+#include <algorithm>
+
+namespace compstor {
+
+units::Seconds MaxTime(const std::vector<const VirtualClock*>& clocks) {
+  units::Seconds max = 0;
+  for (const VirtualClock* c : clocks) {
+    if (c != nullptr) max = std::max(max, c->Now());
+  }
+  return max;
+}
+
+}  // namespace compstor

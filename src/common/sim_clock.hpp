@@ -1,0 +1,72 @@
+// Virtual-time accounting for the performance model.
+//
+// Real hardware timing cannot be measured on an emulator, so every modeled
+// resource (an ISPS core, a flash channel, the PCIe link, a host core) owns a
+// VirtualClock that is *advanced* by the cost model as work is attributed to
+// it. A group of parallel resources composes into a makespan via MaxTime().
+//
+// Clocks are atomic because the functional emulation runs work on real
+// threads; attribution happens concurrently with execution.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace compstor {
+
+/// Monotonic virtual clock, nanosecond resolution internally.
+class VirtualClock {
+ public:
+  VirtualClock() = default;
+
+  /// Advances this clock by `s` model-seconds. Negative advances are clamped
+  /// to zero (cost formulas can round to tiny negatives).
+  void Advance(units::Seconds s) {
+    if (s <= 0) return;
+    nanos_.fetch_add(static_cast<std::uint64_t>(s * 1e9), std::memory_order_relaxed);
+  }
+
+  /// Moves the clock forward to at least `s` model-seconds (used when a
+  /// resource must wait for an event that completes at absolute time `s`).
+  void AdvanceTo(units::Seconds s) {
+    auto target = static_cast<std::uint64_t>(s * 1e9);
+    std::uint64_t cur = nanos_.load(std::memory_order_relaxed);
+    while (cur < target &&
+           !nanos_.compare_exchange_weak(cur, target, std::memory_order_relaxed)) {
+    }
+  }
+
+  units::Seconds Now() const {
+    return static_cast<double>(nanos_.load(std::memory_order_relaxed)) * 1e-9;
+  }
+
+  void Reset() { nanos_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> nanos_{0};
+};
+
+/// Makespan of a set of parallel virtual timelines.
+units::Seconds MaxTime(const std::vector<const VirtualClock*>& clocks);
+
+/// Simple busy-time accumulator for modeling utilization of a shared resource
+/// (flash channel, link). Busy seconds accumulate; utilization = busy / span.
+class BusyMeter {
+ public:
+  void AddBusy(units::Seconds s) {
+    if (s <= 0) return;
+    busy_nanos_.fetch_add(static_cast<std::uint64_t>(s * 1e9), std::memory_order_relaxed);
+  }
+  units::Seconds BusySeconds() const {
+    return static_cast<double>(busy_nanos_.load(std::memory_order_relaxed)) * 1e-9;
+  }
+  void Reset() { busy_nanos_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> busy_nanos_{0};
+};
+
+}  // namespace compstor

@@ -1,0 +1,159 @@
+// Error handling primitives: Status (code + message) and Result<T>.
+//
+// The emulation crosses many layer boundaries (client -> NVMe -> FTL ->
+// flash); Status carries a failure across all of them without exceptions on
+// the hot path. Result<T> is a minimal expected<T, Status>.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace compstor {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kResourceExhausted,  // device full, queue full, no free blocks
+  kFailedPrecondition,
+  kDataLoss,        // uncorrectable ECC, torn page
+  kUnavailable,     // device offline / agent not running
+  kDeadlineExceeded,
+  kPermissionDenied,
+  kInternal,
+  kAborted,         // task killed / command aborted
+  kUnimplemented,
+};
+
+/// Human-readable name for a status code ("OK", "DATA_LOSS", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return {}; }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "DATA_LOSS: page 712 uncorrectable" or "OK".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+
+inline Status InvalidArgument(std::string msg) {
+  return {StatusCode::kInvalidArgument, std::move(msg)};
+}
+inline Status NotFound(std::string msg) {
+  return {StatusCode::kNotFound, std::move(msg)};
+}
+inline Status AlreadyExists(std::string msg) {
+  return {StatusCode::kAlreadyExists, std::move(msg)};
+}
+inline Status OutOfRange(std::string msg) {
+  return {StatusCode::kOutOfRange, std::move(msg)};
+}
+inline Status ResourceExhausted(std::string msg) {
+  return {StatusCode::kResourceExhausted, std::move(msg)};
+}
+inline Status FailedPrecondition(std::string msg) {
+  return {StatusCode::kFailedPrecondition, std::move(msg)};
+}
+inline Status DataLoss(std::string msg) {
+  return {StatusCode::kDataLoss, std::move(msg)};
+}
+inline Status Unavailable(std::string msg) {
+  return {StatusCode::kUnavailable, std::move(msg)};
+}
+inline Status DeadlineExceeded(std::string msg) {
+  return {StatusCode::kDeadlineExceeded, std::move(msg)};
+}
+inline Status PermissionDenied(std::string msg) {
+  return {StatusCode::kPermissionDenied, std::move(msg)};
+}
+inline Status Internal(std::string msg) {
+  return {StatusCode::kInternal, std::move(msg)};
+}
+inline Status Aborted(std::string msg) {
+  return {StatusCode::kAborted, std::move(msg)};
+}
+inline Status Unimplemented(std::string msg) {
+  return {StatusCode::kUnimplemented, std::move(msg)};
+}
+
+/// Minimal expected<T, Status>. Holds either a value or a non-OK Status.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : state_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : state_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(state_).ok() && "Result from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(state_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  Status status() const {
+    return ok() ? OkStatus() : std::get<Status>(state_);
+  }
+
+  T value_or(T fallback) const& { return ok() ? value() : std::move(fallback); }
+
+ private:
+  std::variant<T, Status> state_;
+};
+
+/// Propagates a non-OK status out of the enclosing function.
+#define COMPSTOR_RETURN_IF_ERROR(expr)             \
+  do {                                             \
+    ::compstor::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                     \
+  } while (0)
+
+/// Assigns a Result's value to `lhs` or returns its status.
+#define COMPSTOR_ASSIGN_OR_RETURN(lhs, expr)       \
+  auto COMPSTOR_CONCAT_(_res_, __LINE__) = (expr); \
+  if (!COMPSTOR_CONCAT_(_res_, __LINE__).ok())     \
+    return COMPSTOR_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(COMPSTOR_CONCAT_(_res_, __LINE__)).value()
+
+#define COMPSTOR_CONCAT_INNER_(a, b) a##b
+#define COMPSTOR_CONCAT_(a, b) COMPSTOR_CONCAT_INNER_(a, b)
+
+}  // namespace compstor

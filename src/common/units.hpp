@@ -1,0 +1,37 @@
+// Byte, time, and frequency unit helpers shared across the emulation.
+//
+// All model-derived time is carried as double seconds (`Seconds`); byte
+// quantities as std::uint64_t. Literal helpers keep device-profile tables
+// readable (e.g. `24 * units::TiB`, `units::MHz(1500)`).
+#pragma once
+
+#include <cstdint>
+
+namespace compstor::units {
+
+inline constexpr std::uint64_t KiB = 1024ull;
+inline constexpr std::uint64_t MiB = 1024ull * KiB;
+inline constexpr std::uint64_t GiB = 1024ull * MiB;
+inline constexpr std::uint64_t TiB = 1024ull * GiB;
+
+inline constexpr std::uint64_t KB = 1000ull;
+inline constexpr std::uint64_t MB = 1000ull * KB;
+inline constexpr std::uint64_t GB = 1000ull * MB;
+inline constexpr std::uint64_t TB = 1000ull * GB;
+
+/// Model time is double seconds.
+using Seconds = double;
+
+inline constexpr Seconds usec(double v) { return v * 1e-6; }
+inline constexpr Seconds msec(double v) { return v * 1e-3; }
+inline constexpr Seconds nsec(double v) { return v * 1e-9; }
+
+/// Frequencies in Hz.
+inline constexpr double MHz(double v) { return v * 1e6; }
+inline constexpr double GHz(double v) { return v * 1e9; }
+
+/// Bandwidths in bytes/second.
+inline constexpr double MBps(double v) { return v * 1e6; }
+inline constexpr double GBps(double v) { return v * 1e9; }
+
+}  // namespace compstor::units

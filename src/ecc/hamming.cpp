@@ -1,0 +1,106 @@
+#include "ecc/hamming.hpp"
+
+#include <array>
+#include <bit>
+
+namespace compstor::ecc {
+namespace {
+
+// Extended Hamming code over 72 codeword positions (1..72):
+//  - positions 1,2,4,8,16,32,64 hold the 7 Hamming check bits;
+//  - the remaining 65 positions hold data bits, of which we use 64;
+//  - an extra overall-parity bit (check bit 7) extends SEC to SECDED.
+//
+// kDataPos[i] is the codeword position of data bit i.
+constexpr std::array<std::uint8_t, 64> BuildDataPositions() {
+  std::array<std::uint8_t, 64> pos{};
+  int di = 0;
+  for (int p = 1; p <= 72 && di < 64; ++p) {
+    if ((p & (p - 1)) != 0) {  // not a power of two -> data position
+      pos[di++] = static_cast<std::uint8_t>(p);
+    }
+  }
+  return pos;
+}
+
+constexpr auto kDataPos = BuildDataPositions();
+
+// kCheckMask[c] has data bit i set iff position kDataPos[i] participates in
+// Hamming check c (i.e. position has bit c set).
+constexpr std::array<std::uint64_t, 7> BuildCheckMasks() {
+  std::array<std::uint64_t, 7> masks{};
+  for (int i = 0; i < 64; ++i) {
+    for (int c = 0; c < 7; ++c) {
+      if (kDataPos[i] & (1u << c)) {
+        masks[c] |= 1ull << i;
+      }
+    }
+  }
+  return masks;
+}
+
+constexpr auto kCheckMasks = BuildCheckMasks();
+
+// Inverse map: codeword position -> data bit index, or -1 for check positions.
+constexpr std::array<std::int8_t, 73> BuildPosToData() {
+  std::array<std::int8_t, 73> map{};
+  for (auto& m : map) m = -1;
+  for (int i = 0; i < 64; ++i) map[kDataPos[i]] = static_cast<std::int8_t>(i);
+  return map;
+}
+
+constexpr auto kPosToData = BuildPosToData();
+
+std::uint8_t HammingChecks(std::uint64_t data) {
+  std::uint8_t checks = 0;
+  for (int c = 0; c < 7; ++c) {
+    checks |= static_cast<std::uint8_t>((std::popcount(data & kCheckMasks[c]) & 1) << c);
+  }
+  return checks;
+}
+
+}  // namespace
+
+std::uint8_t EncodeWord(std::uint64_t data) {
+  const std::uint8_t checks = HammingChecks(data);
+  // Overall parity covers data bits and the 7 Hamming checks.
+  const int parity = (std::popcount(data) + std::popcount(static_cast<unsigned>(checks) & 0x7Fu)) & 1;
+  return static_cast<std::uint8_t>(checks | (parity << 7));
+}
+
+DecodeOutcome DecodeWord(std::uint64_t& data, std::uint8_t& check) {
+  const std::uint8_t stored_checks = check & 0x7F;
+  const int stored_parity = (check >> 7) & 1;
+  const std::uint8_t syndrome = HammingChecks(data) ^ stored_checks;
+  const int computed_parity =
+      (std::popcount(data) + std::popcount(static_cast<unsigned>(stored_checks))) & 1;
+  const bool parity_ok = computed_parity == stored_parity;
+
+  if (syndrome == 0) {
+    if (parity_ok) return DecodeOutcome::kClean;
+    // Error confined to the overall parity bit itself.
+    check = static_cast<std::uint8_t>(stored_checks | (computed_parity << 7));
+    return DecodeOutcome::kCorrected;
+  }
+  if (parity_ok) {
+    // Non-zero syndrome with matching parity: an even number of flips.
+    return DecodeOutcome::kUncorrectable;
+  }
+  // Single-bit error at codeword position `syndrome`.
+  if (syndrome > 72) return DecodeOutcome::kUncorrectable;
+  const std::int8_t data_bit = kPosToData[syndrome];
+  if (data_bit >= 0) {
+    data ^= 1ull << data_bit;
+  } else if ((syndrome & (syndrome - 1)) == 0) {
+    // The flipped bit is one of the Hamming check bits.
+    int check_index = std::countr_zero(static_cast<unsigned>(syndrome));
+    check = static_cast<std::uint8_t>(check ^ (1u << check_index));
+  } else {
+    // Syndrome names a position no stored bit occupies: only a multi-bit
+    // error can produce it.
+    return DecodeOutcome::kUncorrectable;
+  }
+  return DecodeOutcome::kCorrected;
+}
+
+}  // namespace compstor::ecc

@@ -1,0 +1,24 @@
+// Hamming(72,64) SECDED codec: 64 data bits protected by 8 check bits.
+//
+// Enterprise SSD controllers use BCH/LDPC; SECDED per word preserves the
+// read-path structure (decode, correct single-bit, flag double-bit as
+// uncorrectable) with a fully verifiable software implementation.
+#pragma once
+
+#include <cstdint>
+
+namespace compstor::ecc {
+
+enum class DecodeOutcome {
+  kClean,        // syndrome zero
+  kCorrected,    // single-bit error corrected (data or check bit)
+  kUncorrectable // double-bit (or worse) error detected
+};
+
+/// Computes the 8 check bits for a 64-bit data word.
+std::uint8_t EncodeWord(std::uint64_t data);
+
+/// Checks/corrects a (data, check) pair in place.
+DecodeOutcome DecodeWord(std::uint64_t& data, std::uint8_t& check);
+
+}  // namespace compstor::ecc

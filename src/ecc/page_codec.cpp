@@ -1,0 +1,68 @@
+#include "ecc/page_codec.hpp"
+
+#include <cassert>
+#include <cstring>
+
+#include "util/crc32c.hpp"
+
+namespace compstor::ecc {
+
+PageCodec::PageCodec(std::uint32_t data_bytes, std::uint32_t spare_bytes)
+    : data_bytes_(data_bytes), spare_bytes_(spare_bytes), words_(data_bytes / 8) {
+  assert(SpareFits(data_bytes, spare_bytes) && "spare area too small for codec");
+}
+
+Status PageCodec::Encode(std::span<const std::uint8_t> data,
+                         std::span<std::uint8_t> spare) const {
+  if (data.size() != data_bytes_ || spare.size() != spare_bytes_) {
+    return InvalidArgument("page codec: size mismatch");
+  }
+  for (std::uint32_t w = 0; w < words_; ++w) {
+    std::uint64_t word;
+    std::memcpy(&word, data.data() + w * 8, 8);
+    spare[w] = EncodeWord(word);
+  }
+  const std::uint32_t crc = util::Crc32c(data);
+  std::memcpy(spare.data() + words_, &crc, 4);
+  const std::uint32_t magic = kMagic;
+  std::memcpy(spare.data() + words_ + 4, &magic, 4);
+  return OkStatus();
+}
+
+Result<DecodeStats> PageCodec::Decode(std::span<std::uint8_t> data,
+                                      std::span<std::uint8_t> spare) const {
+  if (data.size() != data_bytes_ || spare.size() != spare_bytes_) {
+    return InvalidArgument("page codec: size mismatch");
+  }
+  std::uint32_t magic;
+  std::memcpy(&magic, spare.data() + words_ + 4, 4);
+  if (magic != kMagic) {
+    return NotFound("page codec: page not encoded (erased or foreign)");
+  }
+  DecodeStats stats;
+  for (std::uint32_t w = 0; w < words_; ++w) {
+    std::uint64_t word;
+    std::memcpy(&word, data.data() + w * 8, 8);
+    std::uint8_t check = spare[w];
+    switch (DecodeWord(word, check)) {
+      case DecodeOutcome::kClean:
+        break;
+      case DecodeOutcome::kCorrected:
+        ++stats.corrected_words;
+        std::memcpy(data.data() + w * 8, &word, 8);
+        spare[w] = check;
+        break;
+      case DecodeOutcome::kUncorrectable:
+        return DataLoss("page codec: uncorrectable word");
+    }
+  }
+  std::uint32_t stored_crc;
+  std::memcpy(&stored_crc, spare.data() + words_, 4);
+  if (util::Crc32c(data) != stored_crc) {
+    // SECDED missed a 3+-bit error within some word; the CRC catches it.
+    return DataLoss("page codec: CRC mismatch after correction");
+  }
+  return stats;
+}
+
+}  // namespace compstor::ecc

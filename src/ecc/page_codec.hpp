@@ -1,0 +1,53 @@
+// Page envelope: SECDED over every 64-bit word of the data area, with the
+// check bytes and a CRC32C trailer stored in the spare area.
+//
+// Spare layout:
+//   [0 .. words)        one Hamming(72,64) check byte per 64-bit data word
+//   [words .. +4)       CRC32C of the corrected data area (end-to-end check)
+//   [+4 .. +8)          magic marker distinguishing programmed pages
+//
+// Requires spare >= data/8 + 8 bytes; the default geometry provides 544 for
+// a 4096-byte page (modern TLC spare areas are of this order to hold LDPC
+// parity, so the budget is realistic).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/status.hpp"
+#include "ecc/hamming.hpp"
+
+namespace compstor::ecc {
+
+struct DecodeStats {
+  std::uint32_t corrected_words = 0;
+};
+
+class PageCodec {
+ public:
+  /// `data_bytes` must be a multiple of 8; `spare_bytes >= data_bytes/8 + 8`.
+  PageCodec(std::uint32_t data_bytes, std::uint32_t spare_bytes);
+
+  static bool SpareFits(std::uint32_t data_bytes, std::uint32_t spare_bytes) {
+    return data_bytes % 8 == 0 && spare_bytes >= data_bytes / 8 + kTrailerBytes;
+  }
+
+  /// Fills `spare` from `data`. Sizes must match the constructor arguments.
+  Status Encode(std::span<const std::uint8_t> data, std::span<std::uint8_t> spare) const;
+
+  /// Verifies and corrects `data` (and check bytes) in place.
+  /// Returns kDataLoss on uncorrectable damage, kNotFound for a page that was
+  /// never encoded (erased flash reads 0xFF everywhere).
+  Result<DecodeStats> Decode(std::span<std::uint8_t> data,
+                             std::span<std::uint8_t> spare) const;
+
+ private:
+  static constexpr std::uint32_t kTrailerBytes = 8;    // CRC32C + magic
+  static constexpr std::uint32_t kMagic = 0x45434350;  // "PCCE"
+
+  std::uint32_t data_bytes_;
+  std::uint32_t spare_bytes_;
+  std::uint32_t words_;
+};
+
+}  // namespace compstor::ecc

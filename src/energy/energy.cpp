@@ -1,0 +1,17 @@
+#include "energy/energy.hpp"
+
+namespace compstor::energy {
+
+std::string_view ComponentName(Component c) {
+  switch (c) {
+    case Component::kCpu: return "cpu";
+    case Component::kDram: return "dram";
+    case Component::kLink: return "link";
+    case Component::kFlash: return "flash";
+    case Component::kController: return "controller";
+    case Component::kCount: break;
+  }
+  return "unknown";
+}
+
+}  // namespace compstor::energy

@@ -1,0 +1,145 @@
+#include "flash/chip.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace compstor::flash {
+
+Die::Die(const Geometry& geometry, const Timing& timing, const Reliability& reliability,
+         std::uint64_t rng_seed)
+    : geometry_(geometry),
+      timing_(timing),
+      reliability_(reliability),
+      blocks_(geometry.blocks_per_die()),
+      rng_(rng_seed) {}
+
+OpResult Die::ReadPage(std::uint32_t block, std::uint32_t page,
+                       std::span<std::uint8_t> out) {
+  if (block >= blocks_.size() || page >= geometry_.pages_per_block) {
+    return {OutOfRange("flash read: bad address"), 0};
+  }
+  if (out.size() != PageBytes()) {
+    return {InvalidArgument("flash read: buffer must be full page"), 0};
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  Block& blk = blocks_[block];
+  if (blk.data.empty() || !blk.programmed[page]) {
+    std::memset(out.data(), 0xFF, out.size());  // erased state reads all-ones
+  } else {
+    std::memcpy(out.data(), blk.data.data() + static_cast<std::size_t>(page) * PageBytes(),
+                PageBytes());
+    MaybeInjectErrors(blk, out);
+  }
+  ++reads_;
+  clock_.Advance(timing_.read_page);
+  return {OkStatus(), timing_.read_page};
+}
+
+OpResult Die::ProgramPage(std::uint32_t block, std::uint32_t page,
+                          std::span<const std::uint8_t> data) {
+  if (block >= blocks_.size() || page >= geometry_.pages_per_block) {
+    return {OutOfRange("flash program: bad address"), 0};
+  }
+  if (data.size() != PageBytes()) {
+    return {InvalidArgument("flash program: buffer must be full page"), 0};
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  Block& blk = blocks_[block];
+  if (blk.bad) {
+    return {DataLoss("flash program: block retired"), 0};
+  }
+  if (blk.data.empty()) {
+    blk.data.assign(static_cast<std::size_t>(geometry_.pages_per_block) * PageBytes(), 0xFF);
+    blk.programmed.assign(geometry_.pages_per_block, false);
+    blk.next_page = 0;
+  }
+  if (blk.programmed[page]) {
+    return {FailedPrecondition("flash program: page already programmed"), 0};
+  }
+  if (page != blk.next_page) {
+    return {FailedPrecondition("flash program: out-of-order page program"), 0};
+  }
+  if (RollFailure(blk, reliability_.program_fail_rate)) {
+    clock_.Advance(timing_.program_page);  // the failed pulse still took time
+    return {DataLoss("flash program: program failure, block retired"), timing_.program_page};
+  }
+  std::memcpy(blk.data.data() + static_cast<std::size_t>(page) * PageBytes(), data.data(),
+              PageBytes());
+  blk.programmed[page] = true;
+  blk.next_page = page + 1;
+  ++programs_;
+  clock_.Advance(timing_.program_page);
+  return {OkStatus(), timing_.program_page};
+}
+
+OpResult Die::EraseBlock(std::uint32_t block) {
+  if (block >= blocks_.size()) {
+    return {OutOfRange("flash erase: bad block"), 0};
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  Block& blk = blocks_[block];
+  if (blk.bad) {
+    return {DataLoss("flash erase: block retired"), 0};
+  }
+  if (RollFailure(blk, reliability_.erase_fail_rate)) {
+    clock_.Advance(timing_.erase_block);
+    return {DataLoss("flash erase: erase failure, block retired"), timing_.erase_block};
+  }
+  blk.data.clear();
+  blk.data.shrink_to_fit();
+  blk.programmed.clear();
+  blk.next_page = 0;
+  ++blk.erase_count;
+  ++erases_;
+  clock_.Advance(timing_.erase_block);
+  return {OkStatus(), timing_.erase_block};
+}
+
+bool Die::RollFailure(Block& blk, double rated_rate) {
+  if (rated_rate <= 0) return false;
+  // Failure probability ramps with wear toward the rated rate.
+  const double wear = std::min<double>(blk.erase_count + 1, reliability_.rated_erase_cycles) /
+                      static_cast<double>(reliability_.rated_erase_cycles);
+  if (!rng_.Chance(rated_rate * wear)) return false;
+  blk.bad = true;
+  return true;
+}
+
+bool Die::IsBad(std::uint32_t block) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return block < blocks_.size() && blocks_[block].bad;
+}
+
+std::uint32_t Die::BadBlockCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint32_t n = 0;
+  for (const Block& b : blocks_) n += b.bad ? 1 : 0;
+  return n;
+}
+
+std::uint32_t Die::EraseCount(std::uint32_t block) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (block >= blocks_.size()) return 0;
+  return blocks_[block].erase_count;
+}
+
+void Die::MaybeInjectErrors(Block& blk, std::span<std::uint8_t> page_bytes) {
+  if (!reliability_.inject_errors) return;
+  // Per-64-bit-word raw bit error probability rises linearly with wear.
+  const double wear = std::min<double>(blk.erase_count, reliability_.rated_erase_cycles) /
+                      static_cast<double>(reliability_.rated_erase_cycles);
+  const double p = reliability_.base_word_error_rate + wear * reliability_.wear_word_error_rate;
+  const std::size_t words = page_bytes.size() / 8;
+  // Expected flips per page is small (p * words << 1); sample a binomial via
+  // geometric skips to keep the common case cheap.
+  double skip_scale = 1.0 / p;
+  std::size_t w = static_cast<std::size_t>(rng_.NextDouble() * skip_scale);
+  while (w < words) {
+    const int bit = static_cast<int>(rng_.Below(64));
+    page_bytes[w * 8 + static_cast<std::size_t>(bit / 8)] ^=
+        static_cast<std::uint8_t>(1u << (bit % 8));
+    w += 1 + static_cast<std::size_t>(rng_.NextDouble() * skip_scale);
+  }
+}
+
+}  // namespace compstor::flash

@@ -1,0 +1,94 @@
+// Single NAND die model: functional page store + timing + wear + errors.
+//
+// Storage is sparse (allocated per block on first program) so large
+// geometries cost memory proportional to data actually written, not raw
+// capacity. Each die serializes its own operations (real NAND dies execute
+// one array operation at a time); cross-die parallelism lives in the array.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "common/sim_clock.hpp"
+#include "common/status.hpp"
+#include "flash/geometry.hpp"
+#include "util/rng.hpp"
+
+namespace compstor::flash {
+
+/// Result of a die operation: status plus the model latency of the array
+/// operation (excluding channel transfer, which the array accounts).
+struct OpResult {
+  Status status;
+  units::Seconds latency = 0;
+};
+
+class Die {
+ public:
+  Die(const Geometry& geometry, const Timing& timing, const Reliability& reliability,
+      std::uint64_t rng_seed);
+
+  /// Reads one full page (data + spare) into `out` (must be page_data_bytes +
+  /// page_spare_bytes long). Reading an erased page fills 0xFF. Raw bit
+  /// errors may be injected per the reliability model; callers run ECC.
+  OpResult ReadPage(std::uint32_t block, std::uint32_t page, std::span<std::uint8_t> out);
+
+  /// Programs one full page. Fails with kFailedPrecondition if the page is
+  /// already programmed (NAND forbids overwrite without erase) or if pages
+  /// within the block are programmed out of order.
+  OpResult ProgramPage(std::uint32_t block, std::uint32_t page,
+                       std::span<const std::uint8_t> data);
+
+  /// Erases a whole block, incrementing its wear counter.
+  OpResult EraseBlock(std::uint32_t block);
+
+  std::uint32_t EraseCount(std::uint32_t block) const;
+
+  /// True once a program/erase failure has permanently retired the block.
+  bool IsBad(std::uint32_t block) const;
+  std::uint32_t BadBlockCount() const;
+
+  /// Virtual clock of this die: advanced by every array operation, so the
+  /// maximum over dies is the flash-side makespan.
+  const VirtualClock& clock() const { return clock_; }
+  VirtualClock& clock() { return clock_; }
+
+  /// Total counts (for stats and energy accounting).
+  std::uint64_t reads() const { return reads_; }
+  std::uint64_t programs() const { return programs_; }
+  std::uint64_t erases() const { return erases_; }
+
+ private:
+  struct Block {
+    std::vector<std::uint8_t> data;           // allocated on first program
+    std::vector<bool> programmed;             // per page
+    std::uint32_t next_page = 0;              // enforce sequential programming
+    std::uint32_t erase_count = 0;
+    bool bad = false;                         // grown bad block (retired)
+  };
+
+  /// Rolls the wear-scaled failure dice; marks the block bad on failure.
+  bool RollFailure(Block& blk, double rated_rate);
+
+  std::size_t PageBytes() const {
+    return geometry_.page_data_bytes + geometry_.page_spare_bytes;
+  }
+  void MaybeInjectErrors(Block& blk, std::span<std::uint8_t> page_bytes);
+
+  const Geometry geometry_;
+  const Timing timing_;
+  const Reliability reliability_;
+
+  mutable std::mutex mutex_;
+  std::vector<Block> blocks_;
+  util::Xoshiro256 rng_;
+  VirtualClock clock_;
+  std::uint64_t reads_ = 0;
+  std::uint64_t programs_ = 0;
+  std::uint64_t erases_ = 0;
+};
+
+}  // namespace compstor::flash

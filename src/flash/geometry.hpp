@@ -1,0 +1,100 @@
+// NAND flash geometry and physical page addressing.
+//
+// The hierarchy mirrors real NAND: channel -> die -> plane -> block -> page.
+// A physical page number (PPN) linearizes the hierarchy so the FTL can store
+// flat mapping tables; Decompose/Compose convert between the two views.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace compstor::flash {
+
+struct Geometry {
+  std::uint32_t channels = 16;
+  std::uint32_t dies_per_channel = 4;
+  std::uint32_t planes_per_die = 2;
+  std::uint32_t blocks_per_plane = 64;
+  std::uint32_t pages_per_block = 64;
+  std::uint32_t page_data_bytes = 4096;
+  // One SECDED check byte per 64-bit data word (4096/8 = 512) plus codec
+  // trailer. Modern TLC parts carry spare areas of this order for LDPC.
+  std::uint32_t page_spare_bytes = 544;
+
+  std::uint32_t dies() const { return channels * dies_per_channel; }
+  std::uint32_t blocks_per_die() const { return planes_per_die * blocks_per_plane; }
+  std::uint64_t total_blocks() const {
+    return static_cast<std::uint64_t>(dies()) * blocks_per_die();
+  }
+  std::uint64_t pages_per_die() const {
+    return static_cast<std::uint64_t>(blocks_per_die()) * pages_per_block;
+  }
+  std::uint64_t total_pages() const { return total_blocks() * pages_per_block; }
+  std::uint64_t raw_capacity_bytes() const {
+    return total_pages() * page_data_bytes;
+  }
+};
+
+/// Flat physical page number. Layout: ((die * blocks_per_die + block) *
+/// pages_per_block + page). `block` here is die-local (plane folded in).
+using Ppn = std::uint64_t;
+/// Flat physical block number: die * blocks_per_die + block.
+using Pbn = std::uint64_t;
+
+inline constexpr Ppn kInvalidPpn = ~0ull;
+
+struct PageAddress {
+  std::uint32_t channel = 0;
+  std::uint32_t die = 0;    // die index within channel
+  std::uint32_t block = 0;  // block index within die (plane folded in)
+  std::uint32_t page = 0;   // page index within block
+
+  friend bool operator==(const PageAddress&, const PageAddress&) = default;
+};
+
+inline Ppn ComposePpn(const Geometry& g, const PageAddress& a) {
+  const std::uint64_t die_global = static_cast<std::uint64_t>(a.channel) * g.dies_per_channel + a.die;
+  return (die_global * g.blocks_per_die() + a.block) * g.pages_per_block + a.page;
+}
+
+inline PageAddress DecomposePpn(const Geometry& g, Ppn ppn) {
+  PageAddress a;
+  a.page = static_cast<std::uint32_t>(ppn % g.pages_per_block);
+  const std::uint64_t block_global = ppn / g.pages_per_block;
+  a.block = static_cast<std::uint32_t>(block_global % g.blocks_per_die());
+  const std::uint64_t die_global = block_global / g.blocks_per_die();
+  a.die = static_cast<std::uint32_t>(die_global % g.dies_per_channel);
+  a.channel = static_cast<std::uint32_t>(die_global / g.dies_per_channel);
+  return a;
+}
+
+inline Pbn BlockOfPpn(const Geometry& g, Ppn ppn) { return ppn / g.pages_per_block; }
+
+/// NAND operation timing (enterprise TLC-class defaults).
+struct Timing {
+  units::Seconds read_page = units::usec(70);
+  units::Seconds program_page = units::usec(600);
+  units::Seconds erase_block = units::msec(3);
+  /// Per-channel transfer bandwidth (ONFI bus), bytes/s. The paper's Fig 1
+  /// uses 533 MB/s per channel.
+  double channel_bandwidth = units::MBps(533);
+};
+
+/// Reliability model: raw bit error probability per 64-bit word grows with
+/// block wear. The ECC layer corrects one bit per word (SECDED), so the model
+/// injects mostly single-bit flips until wear approaches end of life.
+struct Reliability {
+  double base_word_error_rate = 1e-6;   // fresh block
+  double wear_word_error_rate = 4e-5;   // added at rated cycles
+  std::uint32_t rated_erase_cycles = 3000;
+  bool inject_errors = false;           // off by default: deterministic tests
+
+  /// Grown-bad-block model: probability that a program or erase operation
+  /// fails permanently, rising with wear. A failed operation returns
+  /// kDataLoss status and marks the block bad; the FTL retires it.
+  double program_fail_rate = 0;   // per program op at rated cycles
+  double erase_fail_rate = 0;     // per erase op at rated cycles
+};
+
+}  // namespace compstor::flash

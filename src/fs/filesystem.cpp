@@ -1,0 +1,848 @@
+#include "fs/filesystem.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#include "common/logging.hpp"
+
+namespace compstor::fs {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x43465321;  // "!SFC"
+constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kInodeBytes = 256;
+constexpr std::uint32_t kDirectPtrs = 12;
+constexpr std::uint8_t kMaxNameLen = 255;
+
+std::uint64_t CeilDiv(std::uint64_t a, std::uint64_t b) { return (a + b - 1) / b; }
+
+/// Splits an absolute path into components; rejects empty names and
+/// anything not starting with '/'.
+Result<std::vector<std::string>> SplitPath(std::string_view path) {
+  if (path.empty() || path[0] != '/') {
+    return InvalidArgument("path must be absolute");
+  }
+  std::vector<std::string> parts;
+  std::size_t i = 1;
+  while (i < path.size()) {
+    std::size_t j = path.find('/', i);
+    if (j == std::string_view::npos) j = path.size();
+    if (j > i) {
+      if (j - i > kMaxNameLen) return InvalidArgument("path component too long");
+      parts.emplace_back(path.substr(i, j - i));
+    }
+    i = j + 1;
+  }
+  return parts;
+}
+
+}  // namespace
+
+struct Filesystem::Superblock {
+  std::uint32_t magic = kMagic;
+  std::uint32_t version = kVersion;
+  std::uint32_t block_size = 0;
+  std::uint32_t inode_count = 0;
+  std::uint64_t total_blocks = 0;
+  std::uint64_t inode_table_start = 0;
+  std::uint64_t inode_table_blocks = 0;
+  std::uint64_t bitmap_start = 0;
+  std::uint64_t bitmap_blocks = 0;
+  std::uint64_t data_start = 0;
+
+  std::uint64_t PtrsPerBlock() const { return block_size / 8; }
+  std::uint64_t MaxFileBlocks() const {
+    const std::uint64_t p = PtrsPerBlock();
+    return kDirectPtrs + p + p * p;
+  }
+};
+
+struct Filesystem::Inode {
+  std::uint32_t mode = 0;  // 0 free, 1 file, 2 dir
+  std::uint32_t reserved = 0;
+  std::uint64_t size = 0;
+  std::uint64_t direct[kDirectPtrs] = {};
+  std::uint64_t indirect = 0;
+  std::uint64_t dindirect = 0;
+
+  FileType type() const { return mode == 2 ? FileType::kDir : FileType::kFile; }
+};
+
+Filesystem::Filesystem(ssd::BlockDevice* dev, std::shared_ptr<std::mutex> lock)
+    : dev_(dev), lock_(std::move(lock)) {}
+
+Filesystem::~Filesystem() = default;
+
+Status Filesystem::ReadBlock(std::uint64_t lba, std::span<std::uint8_t> out) {
+  return dev_->Read(lba, out);
+}
+
+Status Filesystem::WriteBlock(std::uint64_t lba, std::span<const std::uint8_t> data) {
+  return dev_->Write(lba, data);
+}
+
+Status Filesystem::Format(ssd::BlockDevice* dev, const FormatOptions& options) {
+  const std::uint32_t bs = dev->block_size();
+  const std::uint64_t total = dev->block_count();
+
+  Superblock sb;
+  sb.block_size = bs;
+  sb.total_blocks = total;
+  sb.inode_count = options.inode_count;
+  sb.inode_table_start = 1;
+  sb.inode_table_blocks = CeilDiv(static_cast<std::uint64_t>(options.inode_count) * kInodeBytes, bs);
+  sb.bitmap_start = sb.inode_table_start + sb.inode_table_blocks;
+  sb.bitmap_blocks = CeilDiv(total, static_cast<std::uint64_t>(bs) * 8);
+  sb.data_start = sb.bitmap_start + sb.bitmap_blocks;
+  if (sb.data_start + 8 >= total) {
+    return InvalidArgument("device too small for filesystem metadata");
+  }
+
+  std::vector<std::uint8_t> block(bs, 0);
+
+  // Superblock.
+  std::memcpy(block.data(), &sb, sizeof(sb));
+  COMPSTOR_RETURN_IF_ERROR(dev->Write(0, block));
+
+  // Inode table: all free except the root directory (inode 0).
+  std::fill(block.begin(), block.end(), 0);
+  Inode root;
+  root.mode = 2;
+  std::memcpy(block.data(), &root, sizeof(root));
+  COMPSTOR_RETURN_IF_ERROR(dev->Write(sb.inode_table_start, block));
+  std::fill(block.begin(), block.end(), 0);
+  for (std::uint64_t b = 1; b < sb.inode_table_blocks; ++b) {
+    COMPSTOR_RETURN_IF_ERROR(dev->Write(sb.inode_table_start + b, block));
+  }
+
+  // Bitmap: metadata blocks [0, data_start) are in use.
+  for (std::uint64_t b = 0; b < sb.bitmap_blocks; ++b) {
+    std::fill(block.begin(), block.end(), 0);
+    const std::uint64_t first_bit = b * bs * 8;
+    for (std::uint64_t bit = 0; bit < static_cast<std::uint64_t>(bs) * 8; ++bit) {
+      const std::uint64_t lba = first_bit + bit;
+      if (lba >= sb.data_start) break;
+      block[bit / 8] |= static_cast<std::uint8_t>(1u << (bit % 8));
+    }
+    COMPSTOR_RETURN_IF_ERROR(dev->Write(sb.bitmap_start + b, block));
+  }
+  return OkStatus();
+}
+
+Status Filesystem::Mount() {
+  static_assert(sizeof(Superblock) <= 4096, "superblock must fit a block");
+  static_assert(sizeof(Inode) <= kInodeBytes, "inode must fit its slot");
+  Superblock sb;
+  COMPSTOR_RETURN_IF_ERROR(LoadSuper(&sb));
+  mounted_ = true;
+  return OkStatus();
+}
+
+Status Filesystem::LoadSuper(Superblock* sb) {
+  // Immutable after Format: cache after the first successful load.
+  if (cached_super_ != nullptr) {
+    *sb = *cached_super_;
+    return OkStatus();
+  }
+  std::vector<std::uint8_t> block(dev_->block_size());
+  COMPSTOR_RETURN_IF_ERROR(ReadBlock(0, block));
+  std::memcpy(sb, block.data(), sizeof(*sb));
+  if (sb->magic != kMagic) return FailedPrecondition("no filesystem on device");
+  if (sb->version != kVersion) return FailedPrecondition("unsupported fs version");
+  if (sb->block_size != dev_->block_size()) {
+    return FailedPrecondition("fs block size mismatch");
+  }
+  cached_super_ = std::make_unique<Superblock>(*sb);
+  return OkStatus();
+}
+
+Status Filesystem::LoadInode(const Superblock& sb, std::uint32_t ino, Inode* inode) {
+  if (ino >= sb.inode_count) return OutOfRange("inode number out of range");
+  const std::uint64_t byte_off = static_cast<std::uint64_t>(ino) * kInodeBytes;
+  const std::uint64_t lba = sb.inode_table_start + byte_off / sb.block_size;
+  std::vector<std::uint8_t> block(sb.block_size);
+  COMPSTOR_RETURN_IF_ERROR(ReadBlock(lba, block));
+  std::memcpy(inode, block.data() + byte_off % sb.block_size, sizeof(*inode));
+  return OkStatus();
+}
+
+Status Filesystem::StoreInode(const Superblock& sb, std::uint32_t ino, const Inode& inode) {
+  if (ino >= sb.inode_count) return OutOfRange("inode number out of range");
+  const std::uint64_t byte_off = static_cast<std::uint64_t>(ino) * kInodeBytes;
+  const std::uint64_t lba = sb.inode_table_start + byte_off / sb.block_size;
+  std::vector<std::uint8_t> block(sb.block_size);
+  COMPSTOR_RETURN_IF_ERROR(ReadBlock(lba, block));
+  std::memcpy(block.data() + byte_off % sb.block_size, &inode, sizeof(inode));
+  return WriteBlock(lba, block);
+}
+
+Result<std::uint32_t> Filesystem::AllocInode(const Superblock& sb, FileType type) {
+  std::vector<std::uint8_t> block(sb.block_size);
+  const std::uint32_t per_block = sb.block_size / kInodeBytes;
+  for (std::uint64_t b = 0; b < sb.inode_table_blocks; ++b) {
+    COMPSTOR_RETURN_IF_ERROR(ReadBlock(sb.inode_table_start + b, block));
+    for (std::uint32_t i = 0; i < per_block; ++i) {
+      const std::uint32_t ino = static_cast<std::uint32_t>(b * per_block + i);
+      if (ino >= sb.inode_count) break;
+      Inode node;
+      std::memcpy(&node, block.data() + static_cast<std::size_t>(i) * kInodeBytes, sizeof(node));
+      if (node.mode == 0) {
+        Inode fresh;
+        fresh.mode = (type == FileType::kDir) ? 2u : 1u;
+        std::memcpy(block.data() + static_cast<std::size_t>(i) * kInodeBytes, &fresh, sizeof(fresh));
+        COMPSTOR_RETURN_IF_ERROR(WriteBlock(sb.inode_table_start + b, block));
+        return ino;
+      }
+    }
+  }
+  return ResourceExhausted("out of inodes");
+}
+
+Result<std::uint64_t> Filesystem::AllocBlock(const Superblock& sb, bool zero_fill) {
+  std::vector<std::uint8_t> block(sb.block_size);
+  // Scan from the cursor and wrap: the common case finds a free bit in the
+  // first bitmap block it touches instead of rescanning from the start.
+  for (std::uint64_t scanned = 0; scanned < sb.bitmap_blocks; ++scanned) {
+    const std::uint64_t b = (alloc_cursor_ + scanned) % sb.bitmap_blocks;
+    COMPSTOR_RETURN_IF_ERROR(ReadBlock(sb.bitmap_start + b, block));
+    for (std::uint64_t byte = 0; byte < sb.block_size; ++byte) {
+      if (block[byte] == 0xFF) continue;
+      for (int bit = 0; bit < 8; ++bit) {
+        if (block[byte] & (1u << bit)) continue;
+        const std::uint64_t lba = (b * sb.block_size + byte) * 8 + static_cast<std::uint64_t>(bit);
+        if (lba >= sb.total_blocks) break;  // padding bits past the device end
+        block[byte] |= static_cast<std::uint8_t>(1u << bit);
+        COMPSTOR_RETURN_IF_ERROR(WriteBlock(sb.bitmap_start + b, block));
+        alloc_cursor_ = b;
+        if (zero_fill) {
+          // Partial writes and indirect pointer blocks rely on fresh blocks
+          // reading as zeros (the flash may hold stale freed data).
+          std::vector<std::uint8_t> zero(sb.block_size, 0);
+          COMPSTOR_RETURN_IF_ERROR(WriteBlock(lba, zero));
+        }
+        return lba;
+      }
+    }
+  }
+  return ResourceExhausted("filesystem full");
+}
+
+Status Filesystem::FreeBlock(const Superblock& sb, std::uint64_t lba) {
+  if (lba < sb.data_start || lba >= sb.total_blocks) {
+    return Internal("freeing metadata block");
+  }
+  const std::uint64_t bitmap_block = lba / (static_cast<std::uint64_t>(sb.block_size) * 8);
+  const std::uint64_t bit_in_block = lba % (static_cast<std::uint64_t>(sb.block_size) * 8);
+  std::vector<std::uint8_t> block(sb.block_size);
+  COMPSTOR_RETURN_IF_ERROR(ReadBlock(sb.bitmap_start + bitmap_block, block));
+  block[bit_in_block / 8] &= static_cast<std::uint8_t>(~(1u << (bit_in_block % 8)));
+  COMPSTOR_RETURN_IF_ERROR(WriteBlock(sb.bitmap_start + bitmap_block, block));
+  // Tell the FTL the block's contents are dead — the fs/ftl trim integration.
+  return dev_->Trim(lba, 1);
+}
+
+Result<std::uint64_t> Filesystem::MapBlock(const Superblock& sb, Inode* inode,
+                                           std::uint32_t ino, std::uint64_t fbi,
+                                           bool allocate, bool zero_new) {
+  const std::uint64_t P = sb.PtrsPerBlock();
+  if (fbi >= sb.MaxFileBlocks()) return OutOfRange("file too large");
+
+  auto load_ptr_block = [&](std::uint64_t lba, std::vector<std::uint64_t>* ptrs) -> Status {
+    std::vector<std::uint8_t> raw(sb.block_size);
+    COMPSTOR_RETURN_IF_ERROR(ReadBlock(lba, raw));
+    ptrs->resize(P);
+    std::memcpy(ptrs->data(), raw.data(), sb.block_size);
+    return OkStatus();
+  };
+  auto store_ptr_block = [&](std::uint64_t lba, const std::vector<std::uint64_t>& ptrs) -> Status {
+    std::vector<std::uint8_t> raw(sb.block_size);
+    std::memcpy(raw.data(), ptrs.data(), sb.block_size);
+    return WriteBlock(lba, raw);
+  };
+
+  bool inode_dirty = false;
+  std::uint64_t result = 0;
+
+  if (fbi < kDirectPtrs) {
+    if (inode->direct[fbi] == 0 && allocate) {
+      COMPSTOR_ASSIGN_OR_RETURN(inode->direct[fbi], AllocBlock(sb, zero_new));
+      inode_dirty = true;
+    }
+    result = inode->direct[fbi];
+  } else if (fbi < kDirectPtrs + P) {
+    if (inode->indirect == 0) {
+      if (!allocate) return std::uint64_t{0};
+      COMPSTOR_ASSIGN_OR_RETURN(inode->indirect, AllocBlock(sb));
+      inode_dirty = true;
+    }
+    std::vector<std::uint64_t> ptrs;
+    COMPSTOR_RETURN_IF_ERROR(load_ptr_block(inode->indirect, &ptrs));
+    const std::uint64_t idx = fbi - kDirectPtrs;
+    if (ptrs[idx] == 0 && allocate) {
+      COMPSTOR_ASSIGN_OR_RETURN(ptrs[idx], AllocBlock(sb, zero_new));
+      COMPSTOR_RETURN_IF_ERROR(store_ptr_block(inode->indirect, ptrs));
+    }
+    result = ptrs[idx];
+  } else {
+    const std::uint64_t idx = fbi - kDirectPtrs - P;
+    const std::uint64_t outer = idx / P;
+    const std::uint64_t inner = idx % P;
+    if (inode->dindirect == 0) {
+      if (!allocate) return std::uint64_t{0};
+      COMPSTOR_ASSIGN_OR_RETURN(inode->dindirect, AllocBlock(sb));
+      inode_dirty = true;
+    }
+    std::vector<std::uint64_t> outer_ptrs;
+    COMPSTOR_RETURN_IF_ERROR(load_ptr_block(inode->dindirect, &outer_ptrs));
+    if (outer_ptrs[outer] == 0) {
+      if (!allocate) return std::uint64_t{0};
+      COMPSTOR_ASSIGN_OR_RETURN(outer_ptrs[outer], AllocBlock(sb));
+      COMPSTOR_RETURN_IF_ERROR(store_ptr_block(inode->dindirect, outer_ptrs));
+    }
+    std::vector<std::uint64_t> inner_ptrs;
+    COMPSTOR_RETURN_IF_ERROR(load_ptr_block(outer_ptrs[outer], &inner_ptrs));
+    if (inner_ptrs[inner] == 0 && allocate) {
+      COMPSTOR_ASSIGN_OR_RETURN(inner_ptrs[inner], AllocBlock(sb, zero_new));
+      COMPSTOR_RETURN_IF_ERROR(store_ptr_block(outer_ptrs[outer], inner_ptrs));
+    }
+    result = inner_ptrs[inner];
+  }
+
+  if (inode_dirty) {
+    COMPSTOR_RETURN_IF_ERROR(StoreInode(sb, ino, *inode));
+  }
+  return result;
+}
+
+Status Filesystem::FreeFileBlocks(const Superblock& sb, Inode* inode,
+                                  std::uint64_t from_fbi) {
+  const std::uint64_t P = sb.PtrsPerBlock();
+
+  auto load_ptr_block = [&](std::uint64_t lba, std::vector<std::uint64_t>* ptrs) -> Status {
+    std::vector<std::uint8_t> raw(sb.block_size);
+    COMPSTOR_RETURN_IF_ERROR(ReadBlock(lba, raw));
+    ptrs->resize(P);
+    std::memcpy(ptrs->data(), raw.data(), sb.block_size);
+    return OkStatus();
+  };
+  auto store_ptr_block = [&](std::uint64_t lba, const std::vector<std::uint64_t>& ptrs) -> Status {
+    std::vector<std::uint8_t> raw(sb.block_size);
+    std::memcpy(raw.data(), ptrs.data(), sb.block_size);
+    return WriteBlock(lba, raw);
+  };
+
+  // Direct pointers.
+  for (std::uint64_t i = std::min<std::uint64_t>(from_fbi, kDirectPtrs); i < kDirectPtrs; ++i) {
+    if (inode->direct[i] != 0) {
+      COMPSTOR_RETURN_IF_ERROR(FreeBlock(sb, inode->direct[i]));
+      inode->direct[i] = 0;
+    }
+  }
+
+  // Single indirect.
+  if (inode->indirect != 0) {
+    std::vector<std::uint64_t> ptrs;
+    COMPSTOR_RETURN_IF_ERROR(load_ptr_block(inode->indirect, &ptrs));
+    const std::uint64_t keep = from_fbi > kDirectPtrs ? from_fbi - kDirectPtrs : 0;
+    bool any_kept = false;
+    bool dirty = false;
+    for (std::uint64_t i = 0; i < P; ++i) {
+      if (ptrs[i] == 0) continue;
+      if (i < keep) {
+        any_kept = true;
+      } else {
+        COMPSTOR_RETURN_IF_ERROR(FreeBlock(sb, ptrs[i]));
+        ptrs[i] = 0;
+        dirty = true;
+      }
+    }
+    if (!any_kept) {
+      COMPSTOR_RETURN_IF_ERROR(FreeBlock(sb, inode->indirect));
+      inode->indirect = 0;
+    } else if (dirty) {
+      COMPSTOR_RETURN_IF_ERROR(store_ptr_block(inode->indirect, ptrs));
+    }
+  }
+
+  // Double indirect.
+  if (inode->dindirect != 0) {
+    std::vector<std::uint64_t> outer_ptrs;
+    COMPSTOR_RETURN_IF_ERROR(load_ptr_block(inode->dindirect, &outer_ptrs));
+    const std::uint64_t base = kDirectPtrs + P;
+    const std::uint64_t keep = from_fbi > base ? from_fbi - base : 0;
+    bool any_outer_kept = false;
+    bool outer_dirty = false;
+    for (std::uint64_t o = 0; o < P; ++o) {
+      if (outer_ptrs[o] == 0) continue;
+      std::vector<std::uint64_t> inner_ptrs;
+      COMPSTOR_RETURN_IF_ERROR(load_ptr_block(outer_ptrs[o], &inner_ptrs));
+      bool any_inner_kept = false;
+      bool inner_dirty = false;
+      for (std::uint64_t i = 0; i < P; ++i) {
+        if (inner_ptrs[i] == 0) continue;
+        const std::uint64_t fbi = o * P + i;
+        if (fbi < keep) {
+          any_inner_kept = true;
+        } else {
+          COMPSTOR_RETURN_IF_ERROR(FreeBlock(sb, inner_ptrs[i]));
+          inner_ptrs[i] = 0;
+          inner_dirty = true;
+        }
+      }
+      if (!any_inner_kept) {
+        COMPSTOR_RETURN_IF_ERROR(FreeBlock(sb, outer_ptrs[o]));
+        outer_ptrs[o] = 0;
+        outer_dirty = true;
+      } else {
+        any_outer_kept = true;
+        if (inner_dirty) {
+          COMPSTOR_RETURN_IF_ERROR(store_ptr_block(outer_ptrs[o], inner_ptrs));
+        }
+      }
+    }
+    if (!any_outer_kept) {
+      COMPSTOR_RETURN_IF_ERROR(FreeBlock(sb, inode->dindirect));
+      inode->dindirect = 0;
+    } else if (outer_dirty) {
+      COMPSTOR_RETURN_IF_ERROR(store_ptr_block(inode->dindirect, outer_ptrs));
+    }
+  }
+  return OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// File IO
+// ---------------------------------------------------------------------------
+
+Result<std::uint64_t> Filesystem::Read(std::uint32_t inode, std::uint64_t offset,
+                                       std::span<std::uint8_t> out) {
+  std::lock_guard<std::mutex> guard(*lock_);
+  return ReadLocked(inode, offset, out);
+}
+
+Result<std::uint64_t> Filesystem::ReadLocked(std::uint32_t ino, std::uint64_t offset,
+                                             std::span<std::uint8_t> out) {
+  Superblock sb;
+  COMPSTOR_RETURN_IF_ERROR(LoadSuper(&sb));
+  Inode node;
+  COMPSTOR_RETURN_IF_ERROR(LoadInode(sb, ino, &node));
+  if (node.mode == 0) return NotFound("inode is free");
+
+  if (offset >= node.size) return std::uint64_t{0};
+  const std::uint64_t want = std::min<std::uint64_t>(out.size(), node.size - offset);
+
+  std::vector<std::uint8_t> block(sb.block_size);
+  std::uint64_t done = 0;
+  while (done < want) {
+    const std::uint64_t pos = offset + done;
+    const std::uint64_t fbi = pos / sb.block_size;
+    const std::uint64_t in_block = pos % sb.block_size;
+    const std::uint64_t chunk = std::min<std::uint64_t>(want - done, sb.block_size - in_block);
+    COMPSTOR_ASSIGN_OR_RETURN(std::uint64_t lba, MapBlock(sb, &node, ino, fbi, false));
+    if (lba == 0) {
+      std::memset(out.data() + done, 0, chunk);  // hole
+    } else {
+      COMPSTOR_RETURN_IF_ERROR(ReadBlock(lba, block));
+      std::memcpy(out.data() + done, block.data() + in_block, chunk);
+    }
+    done += chunk;
+  }
+  return done;
+}
+
+Status Filesystem::Write(std::uint32_t inode, std::uint64_t offset,
+                         std::span<const std::uint8_t> data) {
+  std::lock_guard<std::mutex> guard(*lock_);
+  return WriteLocked(inode, offset, data);
+}
+
+Status Filesystem::WriteLocked(std::uint32_t ino, std::uint64_t offset,
+                               std::span<const std::uint8_t> data) {
+  Superblock sb;
+  COMPSTOR_RETURN_IF_ERROR(LoadSuper(&sb));
+  Inode node;
+  COMPSTOR_RETURN_IF_ERROR(LoadInode(sb, ino, &node));
+  if (node.mode == 0) return NotFound("inode is free");
+
+  // Extending past EOF: stale bytes between old size and the new write start
+  // inside the last allocated block must read back as zeros. Blocks were
+  // zeroed at allocation and Read clamps at size, so a gap within an already
+  // written block only holds zeros if nothing was written there before —
+  // which holds because Write only deposits payload bytes and Truncate zeros
+  // tails. No action needed here beyond careful Truncate.
+
+  std::vector<std::uint8_t> block(sb.block_size);
+  std::uint64_t done = 0;
+  while (done < data.size()) {
+    const std::uint64_t pos = offset + done;
+    const std::uint64_t fbi = pos / sb.block_size;
+    const std::uint64_t in_block = pos % sb.block_size;
+    const std::uint64_t chunk =
+        std::min<std::uint64_t>(data.size() - done, sb.block_size - in_block);
+    // A full-block write overwrites everything: skip the allocator's
+    // zero-fill for that case.
+    COMPSTOR_ASSIGN_OR_RETURN(
+        std::uint64_t lba,
+        MapBlock(sb, &node, ino, fbi, /*allocate=*/true,
+                 /*zero_new=*/chunk != sb.block_size));
+    if (chunk == sb.block_size) {
+      COMPSTOR_RETURN_IF_ERROR(
+          WriteBlock(lba, data.subspan(done, sb.block_size)));
+    } else {
+      COMPSTOR_RETURN_IF_ERROR(ReadBlock(lba, block));
+      std::memcpy(block.data() + in_block, data.data() + done, chunk);
+      COMPSTOR_RETURN_IF_ERROR(WriteBlock(lba, block));
+    }
+    done += chunk;
+  }
+
+  const std::uint64_t end = offset + data.size();
+  if (end > node.size) {
+    node.size = end;
+  }
+  return StoreInode(sb, ino, node);
+}
+
+Status Filesystem::Truncate(std::uint32_t inode, std::uint64_t new_size) {
+  std::lock_guard<std::mutex> guard(*lock_);
+  return TruncateLocked(inode, new_size);
+}
+
+Status Filesystem::TruncateLocked(std::uint32_t ino, std::uint64_t new_size) {
+  Superblock sb;
+  COMPSTOR_RETURN_IF_ERROR(LoadSuper(&sb));
+  Inode node;
+  COMPSTOR_RETURN_IF_ERROR(LoadInode(sb, ino, &node));
+  if (node.mode == 0) return NotFound("inode is free");
+  if (new_size >= node.size) {
+    node.size = new_size;  // extension: reads of the hole yield zeros
+    return StoreInode(sb, ino, node);
+  }
+
+  // Zero the tail of the new last block so a later extension cannot expose
+  // stale bytes.
+  const std::uint64_t keep_blocks = CeilDiv(new_size, sb.block_size);
+  if (new_size % sb.block_size != 0) {
+    COMPSTOR_ASSIGN_OR_RETURN(std::uint64_t lba,
+                              MapBlock(sb, &node, ino, keep_blocks - 1, false));
+    if (lba != 0) {
+      std::vector<std::uint8_t> block(sb.block_size);
+      COMPSTOR_RETURN_IF_ERROR(ReadBlock(lba, block));
+      std::memset(block.data() + new_size % sb.block_size, 0,
+                  sb.block_size - new_size % sb.block_size);
+      COMPSTOR_RETURN_IF_ERROR(WriteBlock(lba, block));
+    }
+  }
+  COMPSTOR_RETURN_IF_ERROR(FreeFileBlocks(sb, &node, keep_blocks));
+  node.size = new_size;
+  return StoreInode(sb, ino, node);
+}
+
+Result<FileStat> Filesystem::StatInode(std::uint32_t ino) {
+  std::lock_guard<std::mutex> guard(*lock_);
+  Superblock sb;
+  COMPSTOR_RETURN_IF_ERROR(LoadSuper(&sb));
+  Inode node;
+  COMPSTOR_RETURN_IF_ERROR(LoadInode(sb, ino, &node));
+  if (node.mode == 0) return NotFound("inode is free");
+  return FileStat{ino, node.type(), node.size};
+}
+
+// ---------------------------------------------------------------------------
+// Directories and paths
+// ---------------------------------------------------------------------------
+
+Result<std::vector<DirEntry>> Filesystem::ReadDirInode(std::uint32_t ino) {
+  Superblock sb;
+  COMPSTOR_RETURN_IF_ERROR(LoadSuper(&sb));
+  Inode node;
+  COMPSTOR_RETURN_IF_ERROR(LoadInode(sb, ino, &node));
+  if (node.mode != 2) return FailedPrecondition("not a directory");
+
+  std::vector<std::uint8_t> raw(node.size);
+  COMPSTOR_ASSIGN_OR_RETURN(std::uint64_t n, ReadLocked(ino, 0, raw));
+  if (n != node.size) return Internal("short directory read");
+
+  std::vector<DirEntry> entries;
+  std::size_t pos = 0;
+  while (pos + 6 <= raw.size()) {
+    DirEntry e;
+    std::uint32_t entry_ino;
+    std::memcpy(&entry_ino, raw.data() + pos, 4);
+    e.inode = entry_ino;
+    e.type = static_cast<FileType>(raw[pos + 4]);
+    const std::uint8_t len = raw[pos + 5];
+    if (pos + 6 + len > raw.size()) return DataLoss("corrupt directory entry");
+    e.name.assign(reinterpret_cast<const char*>(raw.data() + pos + 6), len);
+    pos += 6 + len;
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+Status Filesystem::WriteDirInode(std::uint32_t ino, const std::vector<DirEntry>& entries) {
+  std::vector<std::uint8_t> raw;
+  for (const DirEntry& e : entries) {
+    const std::uint8_t len = static_cast<std::uint8_t>(e.name.size());
+    std::uint8_t header[6];
+    std::memcpy(header, &e.inode, 4);
+    header[4] = static_cast<std::uint8_t>(e.type);
+    header[5] = len;
+    raw.insert(raw.end(), header, header + 6);
+    raw.insert(raw.end(), e.name.begin(), e.name.end());
+  }
+  COMPSTOR_RETURN_IF_ERROR(TruncateLocked(ino, 0));
+  if (!raw.empty()) {
+    COMPSTOR_RETURN_IF_ERROR(WriteLocked(ino, 0, raw));
+  }
+  return OkStatus();
+}
+
+Result<Filesystem::Resolved> Filesystem::ResolvePath(std::string_view path) {
+  COMPSTOR_ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(path));
+
+  Resolved r;
+  r.parent = 0;
+  r.inode = 0;  // root
+  r.type = FileType::kDir;
+  if (parts.empty()) {
+    r.leaf = "";
+    return r;
+  }
+
+  std::uint32_t dir = 0;
+  for (std::size_t i = 0; i + 1 < parts.size(); ++i) {
+    COMPSTOR_ASSIGN_OR_RETURN(std::vector<DirEntry> entries, ReadDirInode(dir));
+    const DirEntry* hit = nullptr;
+    for (const DirEntry& e : entries) {
+      if (e.name == parts[i]) {
+        hit = &e;
+        break;
+      }
+    }
+    if (hit == nullptr) return NotFound("path component missing: " + parts[i]);
+    if (hit->type != FileType::kDir) {
+      return FailedPrecondition("path component is a file: " + parts[i]);
+    }
+    dir = hit->inode;
+  }
+
+  r.parent = dir;
+  r.leaf = parts.back();
+  r.inode = kNoInode;
+  COMPSTOR_ASSIGN_OR_RETURN(std::vector<DirEntry> entries, ReadDirInode(dir));
+  for (const DirEntry& e : entries) {
+    if (e.name == r.leaf) {
+      r.inode = e.inode;
+      r.type = e.type;
+      break;
+    }
+  }
+  return r;
+}
+
+Result<FileStat> Filesystem::Stat(std::string_view path) {
+  std::lock_guard<std::mutex> guard(*lock_);
+  COMPSTOR_ASSIGN_OR_RETURN(Resolved r, ResolvePath(path));
+  if (r.leaf.empty()) return FileStat{0, FileType::kDir, 0};  // root
+  if (r.inode == kNoInode) return NotFound(std::string(path));
+  Superblock sb;
+  COMPSTOR_RETURN_IF_ERROR(LoadSuper(&sb));
+  Inode node;
+  COMPSTOR_RETURN_IF_ERROR(LoadInode(sb, r.inode, &node));
+  return FileStat{r.inode, node.type(), node.size};
+}
+
+Result<std::uint32_t> Filesystem::Lookup(std::string_view path) {
+  std::lock_guard<std::mutex> guard(*lock_);
+  COMPSTOR_ASSIGN_OR_RETURN(Resolved r, ResolvePath(path));
+  if (r.leaf.empty()) return std::uint32_t{0};
+  if (r.inode == kNoInode) return NotFound(std::string(path));
+  return r.inode;
+}
+
+Result<std::uint32_t> Filesystem::Create(std::string_view path) {
+  std::lock_guard<std::mutex> guard(*lock_);
+  return CreateLocked(path);
+}
+
+Result<std::uint32_t> Filesystem::CreateLocked(std::string_view path) {
+  COMPSTOR_ASSIGN_OR_RETURN(Resolved r, ResolvePath(path));
+  if (r.leaf.empty()) return InvalidArgument("cannot create root");
+  if (r.inode != kNoInode) return AlreadyExists(std::string(path));
+  Superblock sb;
+  COMPSTOR_RETURN_IF_ERROR(LoadSuper(&sb));
+  COMPSTOR_ASSIGN_OR_RETURN(std::uint32_t ino, AllocInode(sb, FileType::kFile));
+  COMPSTOR_ASSIGN_OR_RETURN(std::vector<DirEntry> entries, ReadDirInode(r.parent));
+  entries.push_back(DirEntry{r.leaf, ino, FileType::kFile});
+  COMPSTOR_RETURN_IF_ERROR(WriteDirInode(r.parent, entries));
+  return ino;
+}
+
+Status Filesystem::Mkdir(std::string_view path) {
+  std::lock_guard<std::mutex> guard(*lock_);
+  COMPSTOR_ASSIGN_OR_RETURN(Resolved r, ResolvePath(path));
+  if (r.leaf.empty()) return InvalidArgument("cannot create root");
+  if (r.inode != kNoInode) return AlreadyExists(std::string(path));
+  Superblock sb;
+  COMPSTOR_RETURN_IF_ERROR(LoadSuper(&sb));
+  COMPSTOR_ASSIGN_OR_RETURN(std::uint32_t ino, AllocInode(sb, FileType::kDir));
+  COMPSTOR_ASSIGN_OR_RETURN(std::vector<DirEntry> entries, ReadDirInode(r.parent));
+  entries.push_back(DirEntry{r.leaf, ino, FileType::kDir});
+  return WriteDirInode(r.parent, entries);
+}
+
+Status Filesystem::Unlink(std::string_view path) {
+  std::lock_guard<std::mutex> guard(*lock_);
+  return UnlinkLocked(path);
+}
+
+Status Filesystem::UnlinkLocked(std::string_view path) {
+  COMPSTOR_ASSIGN_OR_RETURN(Resolved r, ResolvePath(path));
+  if (r.leaf.empty() || r.inode == kNoInode) return NotFound(std::string(path));
+  if (r.type == FileType::kDir) return FailedPrecondition("is a directory");
+
+  COMPSTOR_RETURN_IF_ERROR(TruncateLocked(r.inode, 0));
+  Superblock sb;
+  COMPSTOR_RETURN_IF_ERROR(LoadSuper(&sb));
+  Inode freed;  // mode 0
+  COMPSTOR_RETURN_IF_ERROR(StoreInode(sb, r.inode, freed));
+
+  COMPSTOR_ASSIGN_OR_RETURN(std::vector<DirEntry> entries, ReadDirInode(r.parent));
+  std::erase_if(entries, [&](const DirEntry& e) { return e.name == r.leaf; });
+  return WriteDirInode(r.parent, entries);
+}
+
+Status Filesystem::Rmdir(std::string_view path) {
+  std::lock_guard<std::mutex> guard(*lock_);
+  COMPSTOR_ASSIGN_OR_RETURN(Resolved r, ResolvePath(path));
+  if (r.leaf.empty()) return InvalidArgument("cannot remove root");
+  if (r.inode == kNoInode) return NotFound(std::string(path));
+  if (r.type != FileType::kDir) return FailedPrecondition("not a directory");
+  COMPSTOR_ASSIGN_OR_RETURN(std::vector<DirEntry> children, ReadDirInode(r.inode));
+  if (!children.empty()) return FailedPrecondition("directory not empty");
+
+  COMPSTOR_RETURN_IF_ERROR(TruncateLocked(r.inode, 0));
+  Superblock sb;
+  COMPSTOR_RETURN_IF_ERROR(LoadSuper(&sb));
+  Inode freed;
+  COMPSTOR_RETURN_IF_ERROR(StoreInode(sb, r.inode, freed));
+
+  COMPSTOR_ASSIGN_OR_RETURN(std::vector<DirEntry> entries, ReadDirInode(r.parent));
+  std::erase_if(entries, [&](const DirEntry& e) { return e.name == r.leaf; });
+  return WriteDirInode(r.parent, entries);
+}
+
+Status Filesystem::Rename(std::string_view from, std::string_view to) {
+  std::lock_guard<std::mutex> guard(*lock_);
+  COMPSTOR_ASSIGN_OR_RETURN(Resolved src, ResolvePath(from));
+  if (src.leaf.empty() || src.inode == kNoInode) return NotFound(std::string(from));
+  COMPSTOR_ASSIGN_OR_RETURN(Resolved dst, ResolvePath(to));
+  if (dst.leaf.empty()) return InvalidArgument("cannot rename to root");
+  if (dst.inode != kNoInode) return AlreadyExists(std::string(to));
+
+  COMPSTOR_ASSIGN_OR_RETURN(std::vector<DirEntry> src_entries, ReadDirInode(src.parent));
+  std::erase_if(src_entries, [&](const DirEntry& e) { return e.name == src.leaf; });
+  COMPSTOR_RETURN_IF_ERROR(WriteDirInode(src.parent, src_entries));
+
+  COMPSTOR_ASSIGN_OR_RETURN(std::vector<DirEntry> dst_entries, ReadDirInode(dst.parent));
+  dst_entries.push_back(DirEntry{dst.leaf, src.inode, src.type});
+  return WriteDirInode(dst.parent, dst_entries);
+}
+
+Result<std::vector<DirEntry>> Filesystem::ReadDir(std::string_view path) {
+  std::lock_guard<std::mutex> guard(*lock_);
+  COMPSTOR_ASSIGN_OR_RETURN(Resolved r, ResolvePath(path));
+  std::uint32_t dir_ino;
+  if (r.leaf.empty()) {
+    dir_ino = 0;
+  } else if (r.inode == kNoInode) {
+    return NotFound(std::string(path));
+  } else if (r.type != FileType::kDir) {
+    return FailedPrecondition("not a directory");
+  } else {
+    dir_ino = r.inode;
+  }
+  return ReadDirInode(dir_ino);
+}
+
+// ---------------------------------------------------------------------------
+// Whole-file convenience
+// ---------------------------------------------------------------------------
+
+Status Filesystem::WriteFile(std::string_view path, std::span<const std::uint8_t> data) {
+  std::lock_guard<std::mutex> guard(*lock_);
+  COMPSTOR_ASSIGN_OR_RETURN(Resolved r, ResolvePath(path));
+  std::uint32_t ino;
+  if (r.inode != kNoInode) {
+    if (r.type == FileType::kDir) return FailedPrecondition("is a directory");
+    ino = r.inode;
+    COMPSTOR_RETURN_IF_ERROR(TruncateLocked(ino, 0));
+  } else {
+    COMPSTOR_ASSIGN_OR_RETURN(ino, CreateLocked(path));
+  }
+  if (data.empty()) return OkStatus();
+  return WriteLocked(ino, 0, data);
+}
+
+Status Filesystem::WriteFile(std::string_view path, std::string_view text) {
+  return WriteFile(path, std::span<const std::uint8_t>(
+                             reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
+}
+
+Result<std::vector<std::uint8_t>> Filesystem::ReadFileAll(std::string_view path) {
+  std::lock_guard<std::mutex> guard(*lock_);
+  COMPSTOR_ASSIGN_OR_RETURN(Resolved r, ResolvePath(path));
+  if (r.leaf.empty() || r.inode == kNoInode) return NotFound(std::string(path));
+  if (r.type == FileType::kDir) return FailedPrecondition("is a directory");
+  Superblock sb;
+  COMPSTOR_RETURN_IF_ERROR(LoadSuper(&sb));
+  Inode node;
+  COMPSTOR_RETURN_IF_ERROR(LoadInode(sb, r.inode, &node));
+  std::vector<std::uint8_t> data(node.size);
+  COMPSTOR_ASSIGN_OR_RETURN(std::uint64_t n, ReadLocked(r.inode, 0, data));
+  data.resize(n);
+  return data;
+}
+
+Result<std::string> Filesystem::ReadFileText(std::string_view path) {
+  COMPSTOR_ASSIGN_OR_RETURN(std::vector<std::uint8_t> data, ReadFileAll(path));
+  return std::string(reinterpret_cast<const char*>(data.data()), data.size());
+}
+
+Result<FsInfo> Filesystem::Info() {
+  std::lock_guard<std::mutex> guard(*lock_);
+  Superblock sb;
+  COMPSTOR_RETURN_IF_ERROR(LoadSuper(&sb));
+  FsInfo info;
+  info.total_blocks = sb.total_blocks;
+  info.total_inodes = sb.inode_count;
+  info.block_size = sb.block_size;
+
+  std::vector<std::uint8_t> block(sb.block_size);
+  std::uint64_t used = 0;
+  for (std::uint64_t b = 0; b < sb.bitmap_blocks; ++b) {
+    COMPSTOR_RETURN_IF_ERROR(ReadBlock(sb.bitmap_start + b, block));
+    for (std::uint8_t byte : block) used += static_cast<unsigned>(std::popcount(byte));
+  }
+  info.free_blocks = sb.total_blocks > used ? sb.total_blocks - used : 0;
+
+  std::uint32_t free_inodes = 0;
+  const std::uint32_t per_block = sb.block_size / kInodeBytes;
+  for (std::uint64_t b = 0; b < sb.inode_table_blocks; ++b) {
+    COMPSTOR_RETURN_IF_ERROR(ReadBlock(sb.inode_table_start + b, block));
+    for (std::uint32_t i = 0; i < per_block; ++i) {
+      const std::uint32_t ino = static_cast<std::uint32_t>(b * per_block + i);
+      if (ino >= sb.inode_count) break;
+      Inode node;
+      std::memcpy(&node, block.data() + static_cast<std::size_t>(i) * kInodeBytes, sizeof(node));
+      if (node.mode == 0) ++free_inodes;
+    }
+  }
+  info.free_inodes = free_inodes;
+  return info;
+}
+
+}  // namespace compstor::fs

@@ -1,0 +1,165 @@
+// CompStorFS: a compact inode/extent filesystem over a BlockDevice.
+//
+// This is the role the embedded Linux filesystem plays in the paper: the
+// host loads input files onto the SSD through the NVMe path, and offloaded
+// executables open the same files through the ISPS-internal path — "the
+// off-loadable executable sees the flash memory as if it were running on the
+// host CPU" (§III.B).
+//
+// Design:
+//  - block size == device block size (4096);
+//  - fixed inode table after the superblock; 256-byte inodes with 12 direct,
+//    one single-indirect and one double-indirect u64 block pointer
+//    (max file size ~1 GiB at 4 KiB blocks);
+//  - a block bitmap; hierarchical directories stored as packed entry files;
+//  - write-through and cache-free: every operation reads metadata from the
+//    device, so several Filesystem instances over different views of the
+//    same SSD stay coherent as long as they share the SSD's fs mutex.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+#include "ssd/block_device.hpp"
+
+namespace compstor::fs {
+
+enum class FileType : std::uint8_t { kFile = 1, kDir = 2 };
+
+struct FormatOptions {
+  std::uint32_t inode_count = 1024;
+};
+
+struct FileStat {
+  std::uint32_t inode = 0;
+  FileType type = FileType::kFile;
+  std::uint64_t size = 0;
+};
+
+struct DirEntry {
+  std::string name;
+  std::uint32_t inode = 0;
+  FileType type = FileType::kFile;
+};
+
+struct FsInfo {
+  std::uint64_t total_blocks = 0;
+  std::uint64_t free_blocks = 0;
+  std::uint32_t total_inodes = 0;
+  std::uint32_t free_inodes = 0;
+  std::uint32_t block_size = 0;
+};
+
+class Filesystem {
+ public:
+  /// `lock` must be shared by every Filesystem instance mounted over the
+  /// same underlying SSD (host view and internal view).
+  Filesystem(ssd::BlockDevice* dev, std::shared_ptr<std::mutex> lock);
+  ~Filesystem();  // defined in the .cpp: Superblock is incomplete here
+
+  /// Writes a fresh filesystem onto the device.
+  static Status Format(ssd::BlockDevice* dev, const FormatOptions& options = {});
+
+  /// Validates the superblock. Must be called before any other operation.
+  Status Mount();
+
+  // --- namespace operations (absolute paths, '/'-separated) ---
+  Result<FileStat> Stat(std::string_view path);
+  Result<std::uint32_t> Create(std::string_view path);  // returns inode
+  Status Mkdir(std::string_view path);
+  Status Unlink(std::string_view path);    // files only
+  Status Rmdir(std::string_view path);     // empty directories only
+  Status Rename(std::string_view from, std::string_view to);
+  Result<std::vector<DirEntry>> ReadDir(std::string_view path);
+  Result<std::uint32_t> Lookup(std::string_view path);
+
+  // --- file IO by inode ---
+  /// Returns bytes read (short reads at EOF).
+  Result<std::uint64_t> Read(std::uint32_t inode, std::uint64_t offset,
+                             std::span<std::uint8_t> out);
+  /// Extends the file as needed (sparse holes read back as zeros).
+  Status Write(std::uint32_t inode, std::uint64_t offset,
+               std::span<const std::uint8_t> data);
+  Status Truncate(std::uint32_t inode, std::uint64_t new_size);
+  Result<FileStat> StatInode(std::uint32_t inode);
+
+  // --- whole-file convenience ---
+  /// Create-or-replace `path` with `data`.
+  Status WriteFile(std::string_view path, std::span<const std::uint8_t> data);
+  Status WriteFile(std::string_view path, std::string_view text);
+  Result<std::vector<std::uint8_t>> ReadFileAll(std::string_view path);
+  Result<std::string> ReadFileText(std::string_view path);
+
+  Result<FsInfo> Info();
+
+  std::uint32_t block_size() const { return dev_->block_size(); }
+
+ private:
+  struct Superblock;
+  struct Inode;
+
+  // Raw block helpers.
+  Status ReadBlock(std::uint64_t lba, std::span<std::uint8_t> out);
+  Status WriteBlock(std::uint64_t lba, std::span<const std::uint8_t> data);
+
+  Status LoadSuper(Superblock* sb);
+  Status LoadInode(const Superblock& sb, std::uint32_t ino, Inode* inode);
+  Status StoreInode(const Superblock& sb, std::uint32_t ino, const Inode& inode);
+  Result<std::uint32_t> AllocInode(const Superblock& sb, FileType type);
+
+  /// `zero_fill` is skipped when the caller will overwrite the whole block
+  /// immediately (saves one device write on bulk data).
+  Result<std::uint64_t> AllocBlock(const Superblock& sb, bool zero_fill = true);
+  Status FreeBlock(const Superblock& sb, std::uint64_t lba);
+
+  /// Maps file-block-index -> device lba; 0 means hole. When `allocate` is
+  /// true, holes (and missing indirect blocks) are allocated and persisted;
+  /// `zero_new` controls zero-filling of a newly allocated DATA block.
+  Result<std::uint64_t> MapBlock(const Superblock& sb, Inode* inode,
+                                 std::uint32_t ino, std::uint64_t fbi, bool allocate,
+                                 bool zero_new = true);
+  Status FreeFileBlocks(const Superblock& sb, Inode* inode, std::uint64_t from_fbi);
+
+  // Directory helpers. Entries are packed {u32 ino, u8 type, u8 len, name}.
+  Result<std::vector<DirEntry>> ReadDirInode(std::uint32_t ino);
+  Status WriteDirInode(std::uint32_t ino, const std::vector<DirEntry>& entries);
+  struct Resolved {
+    std::uint32_t parent;     // inode of the containing directory
+    std::string leaf;         // final component
+    std::uint32_t inode;      // resolved inode or kNoInode
+    FileType type;
+  };
+  Result<Resolved> ResolvePath(std::string_view path);
+
+  // Locked-core implementations (public wrappers take the mutex).
+  Result<std::uint64_t> ReadLocked(std::uint32_t inode, std::uint64_t offset,
+                                   std::span<std::uint8_t> out);
+  Status WriteLocked(std::uint32_t inode, std::uint64_t offset,
+                     std::span<const std::uint8_t> data);
+  Status TruncateLocked(std::uint32_t inode, std::uint64_t new_size);
+  Result<std::uint32_t> CreateLocked(std::string_view path);
+  Status UnlinkLocked(std::string_view path);
+
+  static constexpr std::uint32_t kNoInode = ~0u;
+
+  ssd::BlockDevice* dev_;
+  std::shared_ptr<std::mutex> lock_;
+  bool mounted_ = false;
+
+  // The superblock is immutable after Format, so it is safe to cache per
+  // instance (shared-SSD coherence only concerns mutable metadata).
+  std::unique_ptr<Superblock> cached_super_;
+
+  // Allocation cursor: bitmap scans start here and wrap. Purely a hint —
+  // the on-device bitmap stays the source of truth, so a stale cursor in
+  // another instance mounted over the same SSD costs time, not correctness.
+  std::uint64_t alloc_cursor_ = 0;
+};
+
+}  // namespace compstor::fs

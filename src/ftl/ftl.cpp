@@ -1,0 +1,444 @@
+#include "ftl/ftl.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "common/logging.hpp"
+
+namespace compstor::ftl {
+
+namespace {
+IoCost g_null_cost;  // sink when the caller does not want cost accounting
+}
+
+Ftl::Ftl(flash::Array* array, FtlConfig config)
+    : array_(array),
+      config_(config),
+      codec_(array->geometry().page_data_bytes, array->geometry().page_spare_bytes),
+      user_pages_(0) {
+  const flash::Geometry& g = array_->geometry();
+  const std::uint64_t total_blocks = g.total_blocks();
+  const auto reserved = static_cast<std::uint64_t>(config_.op_ratio * static_cast<double>(total_blocks));
+  const std::uint64_t user_blocks = total_blocks - std::max<std::uint64_t>(reserved, config_.gc_high_watermark + 1);
+  user_pages_ = user_blocks * g.pages_per_block;
+
+  l2p_.assign(user_pages_, flash::kInvalidPpn);
+  p2l_.assign(g.total_pages(), kUnmappedLpn);
+  blocks_.assign(total_blocks, BlockInfo{});
+  free_blocks_.resize(g.dies());
+  for (flash::Pbn b = 0; b < total_blocks; ++b) {
+    free_blocks_[DieOfBlock(b)].push_back(b);
+  }
+  free_block_count_ = total_blocks;
+  active_block_.assign(g.dies(), kNoActive);
+}
+
+Status Ftl::ReadPage(std::uint64_t lpn, std::span<std::uint8_t> out, IoCost* cost) {
+  if (cost == nullptr) cost = &g_null_cost;
+  const flash::Geometry& g = array_->geometry();
+  if (out.size() != g.page_data_bytes) {
+    return InvalidArgument("ftl read: buffer must be one page");
+  }
+  if (lpn >= user_pages_) return OutOfRange("ftl read: lpn out of range");
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.host_page_reads;
+
+  // The write cache holds the newest copy of recently written pages.
+  auto cached = cache_index_.find(lpn);
+  if (cached != cache_index_.end()) {
+    std::memcpy(out.data(), cached->second->data.data(), out.size());
+    cost->latency += kCacheLatency;
+    ++stats_.cache_read_hits;
+    return OkStatus();
+  }
+
+  const flash::Ppn ppn = l2p_[lpn];
+  if (ppn == flash::kInvalidPpn) {
+    std::memset(out.data(), 0, out.size());  // thin-provisioned zero read
+    return OkStatus();
+  }
+  std::vector<std::uint8_t> page(array_->page_total_bytes());
+  COMPSTOR_RETURN_IF_ERROR(ReadAndDecodeLocked(ppn, page, cost));
+  std::memcpy(out.data(), page.data(), out.size());
+  return OkStatus();
+}
+
+Status Ftl::ReadAndDecodeLocked(flash::Ppn ppn, std::span<std::uint8_t> page_buf,
+                                IoCost* cost) {
+  const flash::Geometry& g = array_->geometry();
+  // Read retry: raw NAND bit errors are partly transient (read noise), so
+  // controllers re-read before declaring a page lost.
+  constexpr int kMaxAttempts = 3;
+  Status last;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    flash::OpResult r = array_->ReadPage(ppn, page_buf);
+    if (!r.status.ok()) return r.status;
+    cost->latency += r.latency;
+    ++cost->flash_reads;
+    ++stats_.flash_reads;
+    if (attempt > 0) ++stats_.read_retries;
+
+    auto data = std::span<std::uint8_t>(page_buf.data(), g.page_data_bytes);
+    auto spare = std::span<std::uint8_t>(page_buf.data() + g.page_data_bytes,
+                                         g.page_spare_bytes);
+    auto decoded = codec_.Decode(data, spare);
+    if (decoded.ok()) {
+      stats_.ecc_corrected_words += decoded->corrected_words;
+      return OkStatus();
+    }
+    // kNotFound (corrupted magic) is retried too: the FTL only reads pages
+    // it mapped, so the page was certainly programmed.
+    last = decoded.status();
+  }
+  return last;
+}
+
+Status Ftl::WritePage(std::uint64_t lpn, std::span<const std::uint8_t> data, IoCost* cost) {
+  if (cost == nullptr) cost = &g_null_cost;
+  const flash::Geometry& g = array_->geometry();
+  if (data.size() != g.page_data_bytes) {
+    return InvalidArgument("ftl write: buffer must be one page");
+  }
+  if (lpn >= user_pages_) return OutOfRange("ftl write: lpn out of range");
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.host_page_writes;
+
+  if (config_.write_cache_pages > 0) {
+    // Fast release: stage in controller DRAM, flush on eviction. The entry
+    // moves to the FIFO tail on rewrite so hot pages coalesce.
+    auto it = cache_index_.find(lpn);
+    if (it != cache_index_.end()) {
+      it->second->data.assign(data.begin(), data.end());
+      cache_fifo_.splice(cache_fifo_.end(), cache_fifo_, it->second);
+    } else {
+      cache_fifo_.push_back(CacheEntry{lpn, {data.begin(), data.end()}});
+      cache_index_[lpn] = std::prev(cache_fifo_.end());
+    }
+    cost->latency += kCacheLatency;
+    ++stats_.cache_write_hits;
+    if (cache_fifo_.size() > config_.write_cache_pages) {
+      // Evict down to 3/4 capacity so streaming writes batch their flushes.
+      COMPSTOR_RETURN_IF_ERROR(
+          EvictCacheLocked(config_.write_cache_pages * 3 / 4, cost));
+    }
+    return OkStatus();
+  }
+  return WritePageLocked(lpn, data, cost);
+}
+
+Status Ftl::EvictCacheLocked(std::size_t target_size, IoCost* cost) {
+  while (cache_fifo_.size() > target_size) {
+    CacheEntry entry = std::move(cache_fifo_.front());
+    cache_fifo_.pop_front();
+    cache_index_.erase(entry.lpn);
+    COMPSTOR_RETURN_IF_ERROR(WritePageLocked(entry.lpn, entry.data, cost));
+    ++stats_.cache_flushes;
+  }
+  return OkStatus();
+}
+
+Status Ftl::Flush(IoCost* cost) {
+  if (cost == nullptr) cost = &g_null_cost;
+  std::lock_guard<std::mutex> lock(mutex_);
+  return EvictCacheLocked(0, cost);
+}
+
+Status Ftl::WritePageLocked(std::uint64_t lpn, std::span<const std::uint8_t> data,
+                            IoCost* cost) {
+  const flash::Geometry& g = array_->geometry();
+  std::vector<std::uint8_t> page(array_->page_total_bytes());
+  std::memcpy(page.data(), data.data(), g.page_data_bytes);
+  COMPSTOR_RETURN_IF_ERROR(codec_.Encode(
+      std::span<const std::uint8_t>(page.data(), g.page_data_bytes),
+      std::span<std::uint8_t>(page.data() + g.page_data_bytes, g.page_spare_bytes)));
+
+  // Program failures grow a bad block; retire it and retry elsewhere.
+  constexpr int kMaxAttempts = 4;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    Result<flash::Ppn> ppn = in_gc_ ? AllocateGcPageLocked()
+                                    : AllocatePageLocked(next_write_die_, cost);
+    if (!in_gc_) next_write_die_ = (next_write_die_ + 1) % g.dies();
+    if (!ppn.ok()) return ppn.status();
+
+    flash::OpResult r = array_->ProgramPage(*ppn, page);
+    cost->latency += r.latency;
+    if (r.status.ok()) {
+      ++cost->flash_programs;
+      ++stats_.flash_programs;
+      // Invalidate the previous location, then map the new one.
+      if (l2p_[lpn] != flash::kInvalidPpn) InvalidatePpnLocked(l2p_[lpn]);
+      l2p_[lpn] = *ppn;
+      p2l_[*ppn] = lpn;
+      ++blocks_[flash::BlockOfPpn(g, *ppn)].valid_pages;
+      return OkStatus();
+    }
+    if (r.status.code() != StatusCode::kDataLoss) return r.status;
+    ++stats_.program_failures;
+    COMPSTOR_RETURN_IF_ERROR(RetireBlockLocked(flash::BlockOfPpn(g, *ppn), cost));
+  }
+  return DataLoss("ftl write: repeated program failures");
+}
+
+Status Ftl::RetireBlockLocked(flash::Pbn bad_block, IoCost* cost) {
+  // Detach from every write frontier first: the block takes no more writes.
+  if (gc_active_ == bad_block) gc_active_ = kNoActive;
+  for (auto& active : active_block_) {
+    if (active == bad_block) active = kNoActive;
+  }
+  BlockInfo& info = blocks_[bad_block];
+  if (info.state == BlockState::kBad) return OkStatus();  // already retired
+  info.state = BlockState::kBad;
+  ++stats_.grown_bad_blocks;
+
+  // Relocate surviving valid pages: the paper-class device must not lose
+  // data to a grown bad block (reads still work; programs/erases do not).
+  const flash::Geometry& g = array_->geometry();
+  std::vector<std::uint8_t> page(array_->page_total_bytes());
+  for (std::uint32_t p = 0; p < g.pages_per_block; ++p) {
+    const flash::Ppn ppn = bad_block * g.pages_per_block + p;
+    const std::uint64_t lpn = p2l_[ppn];
+    if (lpn == kUnmappedLpn) continue;
+    COMPSTOR_RETURN_IF_ERROR(ReadAndDecodeLocked(ppn, page, cost));
+    COMPSTOR_RETURN_IF_ERROR(WritePageLocked(
+        lpn, std::span<const std::uint8_t>(page.data(), g.page_data_bytes), cost));
+    ++stats_.retirement_relocations;
+  }
+  return OkStatus();
+}
+
+Result<flash::Ppn> Ftl::AllocateGcPageLocked() {
+  const flash::Geometry& g = array_->geometry();
+  if (gc_active_ == kNoActive) {
+    // Take from any die: the frontier is a single block regardless of where
+    // it lives, so GC consumes at most one block of reserve at a time.
+    COMPSTOR_ASSIGN_OR_RETURN(gc_active_, TakeFreeBlockLocked(0));
+    blocks_[gc_active_].state = BlockState::kActive;
+    blocks_[gc_active_].next_page = 0;
+  }
+  BlockInfo& info = blocks_[gc_active_];
+  const flash::Ppn ppn = gc_active_ * g.pages_per_block + info.next_page;
+  ++info.next_page;
+  if (info.next_page >= g.pages_per_block) {
+    // Close the frontier and DROP the reference immediately: a closed
+    // frontier is a legal GC victim, and a stale gc_active_ pointing at an
+    // erased-and-freed block would let GC scribble into the free pool.
+    info.state = BlockState::kClosed;
+    gc_active_ = kNoActive;
+  }
+  return ppn;
+}
+
+Result<flash::Ppn> Ftl::AllocatePageLocked(std::uint32_t die, IoCost* cost) {
+  const flash::Geometry& g = array_->geometry();
+
+  // GC before allocation when the free pool is low; relocation writes use
+  // the dedicated frontier via AllocateGcPageLocked instead.
+  if (!in_gc_ && free_block_count_ <= config_.gc_low_watermark) {
+    COMPSTOR_RETURN_IF_ERROR(GarbageCollectLocked(cost));
+  }
+
+  flash::Pbn active = active_block_[die];
+  if (active == kNoActive) {
+    auto fresh = TakeFreeBlockLocked(die);
+    if (!fresh.ok()) return fresh.status();
+    active = *fresh;
+    blocks_[active].state = BlockState::kActive;
+    blocks_[active].next_page = 0;
+    active_block_[die] = active;
+  }
+  BlockInfo& info = blocks_[active];
+  const flash::Ppn ppn = active * g.pages_per_block + info.next_page;
+  ++info.next_page;
+  if (info.next_page >= g.pages_per_block) {
+    // Close and drop the reference now (see AllocateGcPageLocked): a closed
+    // block may be garbage-collected, and a stale active pointer would
+    // alias a block that returned to the free pool.
+    info.state = BlockState::kClosed;
+    active_block_[die] = kNoActive;
+  }
+  return ppn;
+}
+
+Result<flash::Pbn> Ftl::TakeFreeBlockLocked(std::uint32_t die) {
+  // Prefer the requested die (keeps striping even); fall back to any die.
+  auto take_from = [&](std::uint32_t d) -> Result<flash::Pbn> {
+    auto& pool = free_blocks_[d];
+    if (pool.empty()) return ResourceExhausted("no free block on die");
+    // Take the least-worn free block: cheap dynamic wear leveling.
+    auto it = std::min_element(pool.begin(), pool.end(),
+                               [&](flash::Pbn a, flash::Pbn b) {
+                                 return blocks_[a].erase_count < blocks_[b].erase_count;
+                               });
+    const flash::Pbn b = *it;
+    *it = pool.back();
+    pool.pop_back();
+    --free_block_count_;
+    return b;
+  };
+  auto r = take_from(die);
+  if (r.ok()) return r;
+  for (std::uint32_t d = 0; d < free_blocks_.size(); ++d) {
+    if (d == die) continue;
+    r = take_from(d);
+    if (r.ok()) return r;
+  }
+  return ResourceExhausted("ftl: no free blocks on any die");
+}
+
+Status Ftl::GarbageCollectLocked(IoCost* cost) {
+  in_gc_ = true;
+  ++stats_.gc_runs;
+  Status result = OkStatus();
+  while (free_block_count_ < config_.gc_high_watermark) {
+    // Greedy victim: closed block with fewest valid pages; erase-count breaks
+    // ties toward younger blocks to avoid grinding a hot block.
+    flash::Pbn victim = kNoActive;
+    std::uint32_t best_valid = std::numeric_limits<std::uint32_t>::max();
+    for (flash::Pbn b = 0; b < blocks_.size(); ++b) {
+      const BlockInfo& info = blocks_[b];
+      if (info.state != BlockState::kClosed) continue;
+      if (info.valid_pages < best_valid ||
+          (info.valid_pages == best_valid && victim != kNoActive &&
+           info.erase_count < blocks_[victim].erase_count)) {
+        best_valid = info.valid_pages;
+        victim = b;
+      }
+    }
+    if (victim == kNoActive ||
+        best_valid >= array_->geometry().pages_per_block) {
+      // No reclaimable space: every closed block is fully valid.
+      result = ResourceExhausted("ftl: device full, GC found no reclaimable block");
+      break;
+    }
+    Status st = RelocateBlockLocked(victim, cost);
+    if (!st.ok()) {
+      result = st;
+      break;
+    }
+  }
+  MaybeWearLevelLocked(cost);
+  in_gc_ = false;
+  return result;
+}
+
+Status Ftl::RelocateBlockLocked(flash::Pbn victim, IoCost* cost) {
+  const flash::Geometry& g = array_->geometry();
+  std::vector<std::uint8_t> page(array_->page_total_bytes());
+
+  for (std::uint32_t p = 0; p < g.pages_per_block; ++p) {
+    const flash::Ppn ppn = victim * g.pages_per_block + p;
+    const std::uint64_t lpn = p2l_[ppn];
+    if (lpn == kUnmappedLpn) continue;  // stale page
+
+    COMPSTOR_RETURN_IF_ERROR(ReadAndDecodeLocked(ppn, page, cost));
+    auto data = std::span<std::uint8_t>(page.data(), g.page_data_bytes);
+    COMPSTOR_RETURN_IF_ERROR(WritePageLocked(lpn, data, cost));
+    ++stats_.gc_relocated_pages;
+  }
+
+  flash::OpResult er = array_->EraseBlock(victim);
+  cost->latency += er.latency;
+  if (!er.status.ok()) {
+    if (er.status.code() == StatusCode::kDataLoss) {
+      // Erase failure: the block is grown-bad. Its pages are already fully
+      // relocated (nothing valid remains), so just retire it and move on —
+      // GC continues with the next victim.
+      ++stats_.erase_failures;
+      BlockInfo& bad = blocks_[victim];
+      if (bad.state != BlockState::kBad) {
+        bad.state = BlockState::kBad;
+        ++stats_.grown_bad_blocks;
+      }
+      bad.valid_pages = 0;
+      return OkStatus();
+    }
+    return er.status;
+  }
+  ++cost->flash_erases;
+
+  BlockInfo& info = blocks_[victim];
+  info.state = BlockState::kFree;
+  info.valid_pages = 0;
+  info.next_page = 0;
+  ++info.erase_count;
+  free_blocks_[DieOfBlock(victim)].push_back(victim);
+  ++free_block_count_;
+  return OkStatus();
+}
+
+void Ftl::MaybeWearLevelLocked(IoCost* cost) {
+  // Static wear leveling: when the wear spread exceeds the threshold, migrate
+  // the coldest closed block (likely static data pinning a young block) so
+  // its block rejoins the free pool.
+  std::uint32_t min_ec = std::numeric_limits<std::uint32_t>::max();
+  std::uint32_t max_ec = 0;
+  flash::Pbn coldest = kNoActive;
+  for (flash::Pbn b = 0; b < blocks_.size(); ++b) {
+    const BlockInfo& info = blocks_[b];
+    min_ec = std::min(min_ec, info.erase_count);
+    max_ec = std::max(max_ec, info.erase_count);
+    if (info.state == BlockState::kClosed &&
+        (coldest == kNoActive || info.erase_count < blocks_[coldest].erase_count)) {
+      coldest = b;
+    }
+  }
+  if (coldest == kNoActive || max_ec - min_ec <= config_.wear_delta_threshold) return;
+  if (blocks_[coldest].erase_count != min_ec) return;  // coldest data already moves
+  if (RelocateBlockLocked(coldest, cost).ok()) {
+    ++stats_.wear_level_moves;
+  }
+}
+
+void Ftl::InvalidatePpnLocked(flash::Ppn ppn) {
+  p2l_[ppn] = kUnmappedLpn;
+  BlockInfo& info = blocks_[flash::BlockOfPpn(array_->geometry(), ppn)];
+  if (info.valid_pages > 0) --info.valid_pages;
+}
+
+Status Ftl::Trim(std::uint64_t lpn, std::uint64_t count, IoCost* cost) {
+  if (cost == nullptr) cost = &g_null_cost;
+  if (lpn + count > user_pages_ || lpn + count < lpn) {
+    return OutOfRange("ftl trim: range out of bounds");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    bool existed = false;
+    // A trimmed page must not resurrect from the write cache.
+    auto cached = cache_index_.find(lpn + i);
+    if (cached != cache_index_.end()) {
+      cache_fifo_.erase(cached->second);
+      cache_index_.erase(cached);
+      existed = true;
+    }
+    const flash::Ppn ppn = l2p_[lpn + i];
+    if (ppn != flash::kInvalidPpn) {
+      InvalidatePpnLocked(ppn);
+      l2p_[lpn + i] = flash::kInvalidPpn;
+      existed = true;
+    }
+    if (existed) ++stats_.trimmed_pages;
+  }
+  // Trim is a metadata operation: model a small fixed controller cost.
+  cost->latency += units::usec(5);
+  return OkStatus();
+}
+
+FtlStats Ftl::Stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  FtlStats s = stats_;
+  s.free_blocks = free_block_count_;
+  std::uint32_t min_ec = std::numeric_limits<std::uint32_t>::max();
+  std::uint32_t max_ec = 0;
+  for (const BlockInfo& b : blocks_) {
+    min_ec = std::min(min_ec, b.erase_count);
+    max_ec = std::max(max_ec, b.erase_count);
+  }
+  s.min_erase_count = blocks_.empty() ? 0 : min_ec;
+  s.max_erase_count = max_ec;
+  return s;
+}
+
+}  // namespace compstor::ftl

@@ -1,0 +1,182 @@
+// Page-mapped flash translation layer with greedy garbage collection, wear
+// leveling, and trim — the "SSD controller software" of the paper's Fig 4.
+//
+// Writes stripe across dies round-robin (one active block per die) to exploit
+// channel parallelism; reads route through the page codec so every user read
+// exercises ECC decode. All metadata is guarded by one mutex: the functional
+// emulation's flash ops are memory copies, so fine-grained locking would buy
+// nothing, while virtual-time parallelism is preserved by the per-die clocks.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+#include "ecc/page_codec.hpp"
+#include "flash/array.hpp"
+
+namespace compstor::ftl {
+
+struct FtlConfig {
+  /// Fraction of raw blocks reserved as over-provisioning.
+  double op_ratio = 0.125;
+  /// GC starts when free blocks drop to this count...
+  std::uint32_t gc_low_watermark = 3;
+  /// ...and runs until this many blocks are free again.
+  std::uint32_t gc_high_watermark = 6;
+  /// Static wear leveling kicks in when (max-min) erase count exceeds this.
+  std::uint32_t wear_delta_threshold = 64;
+  /// Pages of RAM write cache — the paper's "fast-release host data buffer".
+  /// Writes complete at buffer speed and flush to NAND on eviction or an
+  /// explicit Flush(). 0 disables the cache (write-through).
+  std::uint32_t write_cache_pages = 0;
+};
+
+/// Model cost of one FTL operation (latency plus op counts for energy).
+struct IoCost {
+  units::Seconds latency = 0;
+  std::uint64_t flash_reads = 0;
+  std::uint64_t flash_programs = 0;
+  std::uint64_t flash_erases = 0;
+
+  void Add(const IoCost& o) {
+    latency += o.latency;
+    flash_reads += o.flash_reads;
+    flash_programs += o.flash_programs;
+    flash_erases += o.flash_erases;
+  }
+};
+
+struct FtlStats {
+  std::uint64_t host_page_writes = 0;
+  std::uint64_t host_page_reads = 0;
+  std::uint64_t flash_programs = 0;   // includes GC relocation
+  std::uint64_t flash_reads = 0;      // includes GC relocation
+  std::uint64_t gc_runs = 0;
+  std::uint64_t gc_relocated_pages = 0;
+  std::uint64_t wear_level_moves = 0;
+  std::uint64_t trimmed_pages = 0;
+  std::uint64_t ecc_corrected_words = 0;
+  std::uint64_t read_retries = 0;
+  std::uint64_t program_failures = 0;
+  std::uint64_t erase_failures = 0;
+  std::uint64_t grown_bad_blocks = 0;
+  std::uint64_t retirement_relocations = 0;
+  std::uint64_t cache_write_hits = 0;   // writes absorbed by the buffer
+  std::uint64_t cache_read_hits = 0;    // reads served from the buffer
+  std::uint64_t cache_flushes = 0;      // buffered pages written to NAND
+  std::uint32_t min_erase_count = 0;
+  std::uint32_t max_erase_count = 0;
+  std::uint64_t free_blocks = 0;
+
+  /// Write amplification factor: flash programs per host write.
+  double Waf() const {
+    return host_page_writes == 0
+               ? 1.0
+               : static_cast<double>(flash_programs) / static_cast<double>(host_page_writes);
+  }
+};
+
+class Ftl {
+ public:
+  Ftl(flash::Array* array, FtlConfig config = {});
+
+  /// Logical page count exported to the block layer.
+  std::uint64_t user_pages() const { return user_pages_; }
+  std::uint32_t page_data_bytes() const { return array_->geometry().page_data_bytes; }
+
+  /// Reads logical page `lpn`. A never-written or trimmed page yields zeros
+  /// (like a thin-provisioned SSD). `out` must be page_data_bytes long.
+  Status ReadPage(std::uint64_t lpn, std::span<std::uint8_t> out, IoCost* cost = nullptr);
+
+  /// Writes logical page `lpn`. `data` must be page_data_bytes long.
+  /// May trigger garbage collection; kResourceExhausted when even GC cannot
+  /// free a block (device genuinely full of valid data).
+  Status WritePage(std::uint64_t lpn, std::span<const std::uint8_t> data,
+                   IoCost* cost = nullptr);
+
+  /// Invalidates `count` logical pages starting at `lpn` (NVMe Dataset
+  /// Management / TRIM). Unmapped pages are skipped silently.
+  Status Trim(std::uint64_t lpn, std::uint64_t count, IoCost* cost = nullptr);
+
+  /// Drains the write cache to NAND (NVMe Flush).
+  Status Flush(IoCost* cost = nullptr);
+
+  FtlStats Stats() const;
+
+ private:
+  enum class BlockState : std::uint8_t { kFree, kActive, kClosed, kBad };
+
+  struct BlockInfo {
+    BlockState state = BlockState::kFree;
+    std::uint32_t valid_pages = 0;
+    std::uint32_t next_page = 0;     // for active blocks
+    std::uint32_t erase_count = 0;
+  };
+
+  // All private helpers assume mutex_ is held.
+  /// Reads + ECC-decodes a physical page with read-retry (transient raw bit
+  /// errors re-sample on every array read, as on real NAND).
+  Status ReadAndDecodeLocked(flash::Ppn ppn, std::span<std::uint8_t> page_buf,
+                             IoCost* cost);
+  Status WritePageLocked(std::uint64_t lpn, std::span<const std::uint8_t> data,
+                         IoCost* cost);
+  /// Picks/advances the active block of `die` and returns the PPN to program.
+  /// GC relocation writes instead use a single dedicated frontier block
+  /// (`gc_active_`) so garbage collection can always make progress with one
+  /// free block — striping relocations across every die could open
+  /// dies-many fresh blocks and drain the reserve mid-collection.
+  Result<flash::Ppn> AllocatePageLocked(std::uint32_t die, IoCost* cost);
+  Result<flash::Ppn> AllocateGcPageLocked();
+  Result<flash::Pbn> TakeFreeBlockLocked(std::uint32_t die);
+  Status GarbageCollectLocked(IoCost* cost);
+  Status RelocateBlockLocked(flash::Pbn victim, IoCost* cost);
+  /// Grown-bad-block handling: detaches the block from any write frontier,
+  /// marks it retired, and relocates its surviving valid pages (bad blocks
+  /// stay readable; they just refuse further program/erase).
+  Status RetireBlockLocked(flash::Pbn bad_block, IoCost* cost);
+  void MaybeWearLevelLocked(IoCost* cost);
+  void InvalidatePpnLocked(flash::Ppn ppn);
+  std::uint32_t DieOfBlock(flash::Pbn pbn) const {
+    return static_cast<std::uint32_t>(pbn / array_->geometry().blocks_per_die());
+  }
+
+  flash::Array* array_;
+  const FtlConfig config_;
+  ecc::PageCodec codec_;
+  std::uint64_t user_pages_;
+
+  mutable std::mutex mutex_;
+  std::vector<flash::Ppn> l2p_;            // lpn -> ppn (kInvalidPpn if unmapped)
+  std::vector<std::uint64_t> p2l_;         // ppn -> lpn (kUnmappedLpn if invalid)
+  std::vector<BlockInfo> blocks_;          // per pbn
+  std::vector<std::vector<flash::Pbn>> free_blocks_;  // per die
+  std::uint64_t free_block_count_ = 0;
+  std::vector<flash::Pbn> active_block_;   // per die; kNoActive if none
+  flash::Pbn gc_active_ = ~0ull;           // GC relocation frontier
+  std::uint32_t next_write_die_ = 0;       // round-robin write striping
+  bool in_gc_ = false;                     // relocation writes must not recurse
+  FtlStats stats_;
+
+  // Write cache: FIFO of dirty pages with an index. Evicting flushes the
+  // oldest quarter so a streaming writer amortizes NAND programming.
+  struct CacheEntry {
+    std::uint64_t lpn;
+    std::vector<std::uint8_t> data;
+  };
+  std::list<CacheEntry> cache_fifo_;
+  std::unordered_map<std::uint64_t, std::list<CacheEntry>::iterator> cache_index_;
+  Status EvictCacheLocked(std::size_t target_size, IoCost* cost);
+
+  /// Model latency of staging/serving one page in controller DRAM.
+  static constexpr units::Seconds kCacheLatency = units::usec(4);
+
+  static constexpr std::uint64_t kUnmappedLpn = ~0ull;
+  static constexpr flash::Pbn kNoActive = ~0ull;
+};
+
+}  // namespace compstor::ftl

@@ -1,0 +1,24 @@
+#include "host/executor.hpp"
+
+namespace compstor::host {
+
+HostExecutor::HostExecutor(ssd::Ssd* storage, const energy::CpuProfile& profile)
+    : storage_(storage), profile_(profile) {
+  registry_ = apps::Registry::WithBuiltins();
+  fs_ = std::make_unique<fs::Filesystem>(&storage->host_block_device(),
+                                         storage->fs_mutex());
+  cores_ = std::make_unique<isps::CoreEmulator>(profile_, &meter_);
+  runtime_ = std::make_unique<isps::TaskRuntime>(cores_.get(), fs_.get(),
+                                                 registry_.get(),
+                                                 /*internal_path=*/false);
+}
+
+HostExecutor::~HostExecutor() { cores_->Shutdown(); }
+
+Status HostExecutor::FormatFilesystem(const fs::FormatOptions& options) {
+  COMPSTOR_RETURN_IF_ERROR(
+      fs::Filesystem::Format(&storage_->host_block_device(), options));
+  return fs_->Mount();
+}
+
+}  // namespace compstor::host

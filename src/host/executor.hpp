@@ -1,0 +1,58 @@
+// Host-side baseline executor: the Xeon server of the paper's Table IV.
+//
+// Runs the *same* Application objects the ISPS runs — the point of the
+// paper's flexibility claim — but with the host CPU profile (16 Xeon
+// threads) and the host data path (every byte over NVMe + PCIe). Reuses the
+// isps::CoreEmulator/TaskRuntime machinery with different parameters.
+#pragma once
+
+#include <memory>
+
+#include "apps/registry.hpp"
+#include "energy/energy.hpp"
+#include "fs/filesystem.hpp"
+#include "isps/cores.hpp"
+#include "isps/profile.hpp"
+#include "isps/task_runtime.hpp"
+#include "ssd/ssd.hpp"
+
+namespace compstor::host {
+
+class HostExecutor {
+ public:
+  /// `storage`: the SSD holding the input data (off-the-shelf profile for
+  /// the paper's baseline server). Host CPU energy lands in this executor's
+  /// own meter; storage/link energy lands in the SSD's meter.
+  explicit HostExecutor(ssd::Ssd* storage,
+                        const energy::CpuProfile& profile = isps::XeonCpuProfile());
+  ~HostExecutor();
+
+  HostExecutor(const HostExecutor&) = delete;
+  HostExecutor& operator=(const HostExecutor&) = delete;
+
+  isps::CoreEmulator& cores() { return *cores_; }
+  isps::TaskRuntime& runtime() { return *runtime_; }
+  fs::Filesystem& filesystem() { return *fs_; }
+  apps::Registry& registry() { return *registry_; }
+  energy::EnergyMeter& meter() { return meter_; }
+  const energy::CpuProfile& profile() const { return profile_; }
+
+  /// Formats the storage filesystem (destroys data).
+  Status FormatFilesystem(const fs::FormatOptions& options = {});
+
+  /// Runs a command to completion on the host.
+  proto::Response Run(const proto::Command& command) {
+    return runtime_->SpawnSync(command);
+  }
+
+ private:
+  ssd::Ssd* storage_;
+  energy::CpuProfile profile_;
+  energy::EnergyMeter meter_;
+  std::unique_ptr<apps::Registry> registry_;
+  std::unique_ptr<fs::Filesystem> fs_;
+  std::unique_ptr<isps::CoreEmulator> cores_;
+  std::unique_ptr<isps::TaskRuntime> runtime_;
+};
+
+}  // namespace compstor::host

@@ -1,0 +1,108 @@
+#include "isps/agent.hpp"
+
+#include "common/logging.hpp"
+
+namespace compstor::isps {
+
+Agent::Agent(ssd::Ssd* ssd, const ThermalModel& thermal)
+    : ssd_(ssd), thermal_(thermal) {
+  registry_ = apps::Registry::WithBuiltins();
+  fs_ = std::make_unique<fs::Filesystem>(&ssd->internal_block_device(), ssd->fs_mutex());
+  cores_ = std::make_unique<CoreEmulator>(IspsCpuProfile(), &ssd->meter());
+  runtime_ = std::make_unique<TaskRuntime>(cores_.get(), fs_.get(), registry_.get(),
+                                           /*internal_path=*/true);
+  ssd_->controller().SetVendorHandler(
+      [this](const nvme::Command& cmd, nvme::Controller::CompletionSink done) {
+        HandleVendor(cmd, std::move(done));
+      });
+}
+
+Agent::~Agent() {
+  // Detach from the controller before tearing down the runtime so no new
+  // minions arrive mid-destruction, then drain the cores.
+  ssd_->controller().SetVendorHandler(nullptr);
+  cores_->Shutdown();
+}
+
+double Agent::TemperatureC() const {
+  return thermal_.ambient_c + thermal_.full_load_delta_c * cores_->Utilization();
+}
+
+void Agent::HandleVendor(const nvme::Command& cmd,
+                         nvme::Controller::CompletionSink done) {
+  if (cmd.opcode == nvme::Opcode::kInSituQuery) {
+    queries_.fetch_add(1, std::memory_order_relaxed);
+    auto query = proto::DeserializeQuery(cmd.payload);
+    nvme::Completion cqe;
+    if (!query.ok()) {
+      cqe.status = query.status();
+    } else {
+      cqe.payload = proto::Serialize(HandleQuery(*query));
+    }
+    done(std::move(cqe));
+    return;
+  }
+
+  // Minion: extract the command, spawn the in-storage process, and complete
+  // when the response fields are populated (paper Table III, steps 2-6).
+  minions_.fetch_add(1, std::memory_order_relaxed);
+  auto minion = proto::DeserializeMinion(cmd.payload);
+  if (!minion.ok()) {
+    nvme::Completion cqe;
+    cqe.status = minion.status();
+    done(std::move(cqe));
+    return;
+  }
+  auto shared_minion = std::make_shared<proto::Minion>(std::move(*minion));
+  runtime_->Spawn(shared_minion->command,
+                  [shared_minion, done = std::move(done)](proto::Response response) {
+                    shared_minion->response = std::move(response);
+                    nvme::Completion cqe;
+                    cqe.latency = shared_minion->response.elapsed_s();
+                    cqe.payload = proto::Serialize(*shared_minion);
+                    done(std::move(cqe));
+                  });
+}
+
+proto::QueryReply Agent::HandleQuery(const proto::Query& query) {
+  proto::QueryReply reply;
+  reply.id = query.id;
+  switch (query.type) {
+    case proto::QueryType::kPing:
+      break;
+    case proto::QueryType::kStatus:
+      reply.core_count = cores_->core_count();
+      reply.utilization = cores_->Utilization();
+      reply.temperature_c = TemperatureC();
+      reply.running_tasks = runtime_->RunningCount();
+      reply.queued_minions = 0;  // minions dispatch immediately to the cores
+      reply.uptime_virtual_s = cores_->Makespan();
+      break;
+    case proto::QueryType::kLoadTask:
+      if (query.task_name.empty() || query.task_script.empty()) {
+        reply.status_code = static_cast<std::uint16_t>(StatusCode::kInvalidArgument);
+        reply.status_message = "load task: name and script required";
+        break;
+      }
+      registry_->RegisterScript(query.task_name, query.task_script);
+      LOG_INFO << "dynamic task loaded: " << query.task_name;
+      break;
+    case proto::QueryType::kListTasks:
+      reply.task_names = registry_->Names();
+      break;
+    case proto::QueryType::kProcessTable:
+      for (const TaskInfo& t : runtime_->ProcessTable()) {
+        proto::QueryReply::Process p;
+        p.pid = t.pid;
+        p.state = static_cast<std::uint8_t>(t.state);
+        p.summary = t.summary;
+        p.start_time_s = t.start_time_s;
+        p.end_time_s = t.end_time_s;
+        reply.processes.push_back(std::move(p));
+      }
+      break;
+  }
+  return reply;
+}
+
+}  // namespace compstor::isps

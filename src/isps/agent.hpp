@@ -1,0 +1,63 @@
+// The ISPS agent: the daemon running on the CompStor's embedded Linux
+// (paper Fig 4) that receives minions from clients, spawns in-storage
+// processes, tracks their status, and sends responses back. Also answers
+// queries: device status for load balancing, dynamic task loading, task
+// listing.
+//
+// The agent installs itself as the SSD controller's vendor-command handler;
+// minions execute on the dedicated ISPS cores so the NVMe front-end keeps
+// serving reads and writes undisturbed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "apps/registry.hpp"
+#include "fs/filesystem.hpp"
+#include "isps/cores.hpp"
+#include "isps/profile.hpp"
+#include "isps/task_runtime.hpp"
+#include "proto/entities.hpp"
+#include "ssd/ssd.hpp"
+
+namespace compstor::isps {
+
+class Agent {
+ public:
+  /// Boots the ISPS: core cluster, internal filesystem mount, app registry
+  /// with built-ins, task runtime; hooks the NVMe vendor opcodes.
+  /// The filesystem must already be formatted (the factory host does that).
+  explicit Agent(ssd::Ssd* ssd, const ThermalModel& thermal = {});
+  ~Agent();
+
+  Agent(const Agent&) = delete;
+  Agent& operator=(const Agent&) = delete;
+
+  CoreEmulator& cores() { return *cores_; }
+  TaskRuntime& runtime() { return *runtime_; }
+  apps::Registry& registry() { return *registry_; }
+  fs::Filesystem& filesystem() { return *fs_; }
+
+  /// Handled minion/query counters (for tests and stats).
+  std::uint64_t minions_handled() const { return minions_.load(std::memory_order_relaxed); }
+  std::uint64_t queries_handled() const { return queries_.load(std::memory_order_relaxed); }
+
+  /// Device temperature from the thermal model at current utilization.
+  double TemperatureC() const;
+
+ private:
+  void HandleVendor(const nvme::Command& cmd, nvme::Controller::CompletionSink done);
+  proto::QueryReply HandleQuery(const proto::Query& query);
+
+  ssd::Ssd* ssd_;
+  ThermalModel thermal_;
+  std::unique_ptr<apps::Registry> registry_;
+  std::unique_ptr<fs::Filesystem> fs_;
+  std::unique_ptr<CoreEmulator> cores_;
+  std::unique_ptr<TaskRuntime> runtime_;
+  std::atomic<std::uint64_t> minions_{0};
+  std::atomic<std::uint64_t> queries_{0};
+};
+
+}  // namespace compstor::isps

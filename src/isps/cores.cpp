@@ -1,0 +1,136 @@
+#include "isps/cores.hpp"
+
+#include <algorithm>
+
+namespace compstor::isps {
+
+void WorkContext::ChargeCompute(units::Seconds s) {
+  if (s <= 0) return;
+  owner_->clocks_[core_]->Advance(s);
+  owner_->busy_[core_]->AddBusy(s);
+  if (owner_->meter_ != nullptr) {
+    owner_->meter_->AddJoules(energy::Component::kCpu,
+                              owner_->profile_.active_watts_per_core * s);
+  }
+}
+
+void WorkContext::ChargeIoWait(units::Seconds s) {
+  if (s <= 0) return;
+  owner_->clocks_[core_]->Advance(s);
+  // An IO-waiting core is not free: it burns a fraction of active power
+  // (cache/DRAM traffic, stalled pipeline). 30% is a common estimate.
+  if (owner_->meter_ != nullptr) {
+    owner_->meter_->AddJoules(energy::Component::kCpu,
+                              0.3 * owner_->profile_.active_watts_per_core * s);
+  }
+}
+
+units::Seconds WorkContext::Now() const { return owner_->clocks_[core_]->Now(); }
+
+CoreEmulator::CoreEmulator(const energy::CpuProfile& profile, energy::EnergyMeter* meter)
+    : profile_(profile), meter_(meter), queue_(4096) {
+  const int n = std::max(1, profile.cores);
+  pending_.assign(static_cast<std::size_t>(n), 0);
+  clocks_.reserve(static_cast<std::size_t>(n));
+  busy_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    clocks_.push_back(std::make_unique<VirtualClock>());
+    busy_.push_back(std::make_unique<BusyMeter>());
+  }
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(static_cast<std::uint32_t>(i)); });
+  }
+}
+
+CoreEmulator::~CoreEmulator() { Shutdown(); }
+
+bool CoreEmulator::Submit(Work work) { return queue_.Push(std::move(work)); }
+
+std::future<void> CoreEmulator::SubmitWithFuture(Work work) {
+  auto task = std::make_shared<std::promise<void>>();
+  std::future<void> fut = task->get_future();
+  if (!Submit([task, work = std::move(work)](WorkContext& ctx) {
+        work(ctx);
+        task->set_value();
+      })) {
+    task->set_value();  // shutdown: resolve immediately
+  }
+  return fut;
+}
+
+void CoreEmulator::Shutdown() {
+  queue_.Close();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void CoreEmulator::WorkerLoop(std::uint32_t /*thread_index*/) {
+  while (auto work = queue_.Pop()) {
+    // Virtual cores are decoupled from OS threads: each work item executes
+    // on the least-loaded virtual core (greedy list scheduling). Load is
+    // (in-flight items, then virtual clock): a running item has not charged
+    // its cost yet, so the clock alone would under-count busy cores and let
+    // wall-clock racing pile virtual time onto a few of them.
+    std::uint32_t core;
+    {
+      std::lock_guard<std::mutex> lock(schedule_mutex_);
+      // Estimated completion = charged clock + in-flight items x the average
+      // cost of completed items (in-flight work has not charged yet).
+      const double avg = completed_items_ > 0
+                             ? total_charged_s_ / static_cast<double>(completed_items_)
+                             : 0.0;
+      auto estimate = [&](std::uint32_t i) {
+        return clocks_[i]->Now() + pending_[i] * avg;
+      };
+      core = 0;
+      for (std::uint32_t i = 1; i < clocks_.size(); ++i) {
+        const double ei = estimate(i);
+        const double ec = estimate(core);
+        if (ei < ec || (ei == ec && pending_[i] < pending_[core])) core = i;
+      }
+      ++pending_[core];
+    }
+    WorkContext ctx(this, core);
+    const units::Seconds start = clocks_[core]->Now();
+    running_.fetch_add(1, std::memory_order_relaxed);
+    (*work)(ctx);
+    running_.fetch_sub(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(schedule_mutex_);
+      --pending_[core];
+      ++completed_items_;
+      total_charged_s_ += clocks_[core]->Now() - start;
+    }
+  }
+}
+
+units::Seconds CoreEmulator::Makespan() const {
+  units::Seconds max = 0;
+  for (const auto& c : clocks_) max = std::max(max, c->Now());
+  return max;
+}
+
+units::Seconds CoreEmulator::TotalBusySeconds() const {
+  units::Seconds total = 0;
+  for (const auto& b : busy_) total += b->BusySeconds();
+  return total;
+}
+
+double CoreEmulator::Utilization() const {
+  return static_cast<double>(running_.load(std::memory_order_relaxed)) /
+         static_cast<double>(clocks_.size());
+}
+
+void CoreEmulator::ResetClocks() {
+  for (auto& c : clocks_) c->Reset();
+  for (auto& b : busy_) b->Reset();
+  // The average-cost estimate belongs to the measured phase: a stale average
+  // from a previous (cheaper or costlier) workload skews placement.
+  std::lock_guard<std::mutex> lock(schedule_mutex_);
+  completed_items_ = 0;
+  total_charged_s_ = 0;
+}
+
+}  // namespace compstor::isps

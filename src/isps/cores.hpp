@@ -1,0 +1,102 @@
+// Emulated application-processor cluster: N worker threads, each standing in
+// for one core, with per-core virtual clocks and energy charging.
+//
+// Work items execute for real (real compression, real matching) on the
+// worker threads; the *modeled* duration is whatever the work charges via
+// WorkContext (compute seconds from the cost model, IO seconds from the data
+// path model). The cluster makespan is the max core clock — that is the
+// number every scaling experiment reports.
+//
+// Used for both the ISPS (4 x A53) and the host executor (16 Xeon threads):
+// same machinery, different CpuProfile.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/sim_clock.hpp"
+#include "energy/energy.hpp"
+#include "util/mpmc_queue.hpp"
+
+namespace compstor::isps {
+
+class CoreEmulator;
+
+/// Handed to each work item; all charges land on the executing core.
+class WorkContext {
+ public:
+  WorkContext(CoreEmulator* owner, std::uint32_t core_index)
+      : owner_(owner), core_(core_index) {}
+
+  /// Charges `s` model-seconds of busy CPU on this core (clock + energy).
+  void ChargeCompute(units::Seconds s);
+  /// Charges `s` model-seconds of IO wait on this core (clock only; the IO
+  /// energy is charged by the device the IO ran against).
+  void ChargeIoWait(units::Seconds s);
+
+  std::uint32_t core_index() const { return core_; }
+  /// Virtual time on this core right now.
+  units::Seconds Now() const;
+
+ private:
+  CoreEmulator* owner_;
+  std::uint32_t core_;
+};
+
+class CoreEmulator {
+ public:
+  CoreEmulator(const energy::CpuProfile& profile, energy::EnergyMeter* meter);
+  ~CoreEmulator();
+
+  CoreEmulator(const CoreEmulator&) = delete;
+  CoreEmulator& operator=(const CoreEmulator&) = delete;
+
+  using Work = std::function<void(WorkContext&)>;
+
+  /// Enqueues a work item; it runs on whichever core frees up first.
+  /// Returns false after Shutdown.
+  bool Submit(Work work);
+
+  /// Enqueues and returns a future completed when the item finishes.
+  std::future<void> SubmitWithFuture(Work work);
+
+  void Shutdown();
+
+  const energy::CpuProfile& profile() const { return profile_; }
+  std::uint32_t core_count() const { return static_cast<std::uint32_t>(clocks_.size()); }
+
+  /// Max over per-core virtual clocks: the cluster's makespan.
+  units::Seconds Makespan() const;
+  units::Seconds CoreTime(std::uint32_t core) const { return clocks_[core]->Now(); }
+  /// Total busy model-seconds across cores.
+  units::Seconds TotalBusySeconds() const;
+  /// Instantaneous utilization: running work items / cores.
+  double Utilization() const;
+  std::uint32_t RunningTasks() const { return running_.load(std::memory_order_relaxed); }
+
+  void ResetClocks();
+
+ private:
+  friend class WorkContext;
+  void WorkerLoop(std::uint32_t core_index);
+
+  energy::CpuProfile profile_;
+  energy::EnergyMeter* meter_;
+  std::mutex schedule_mutex_;  // guards virtual-core selection
+  std::vector<std::uint32_t> pending_;  // in-flight items per virtual core
+  std::uint64_t completed_items_ = 0;   // for the average-cost estimate
+  double total_charged_s_ = 0;
+  util::MpmcQueue<Work> queue_;
+  std::vector<std::unique_ptr<VirtualClock>> clocks_;
+  std::vector<std::unique_ptr<BusyMeter>> busy_;
+  std::vector<std::thread> workers_;
+  std::atomic<std::uint32_t> running_{0};
+};
+
+}  // namespace compstor::isps

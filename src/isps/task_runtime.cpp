@@ -1,0 +1,180 @@
+#include "isps/task_runtime.hpp"
+
+#include <future>
+
+#include "apps/shell.hpp"
+#include "common/logging.hpp"
+
+namespace compstor::isps {
+
+TaskRuntime::TaskRuntime(CoreEmulator* cores, fs::Filesystem* filesystem,
+                         apps::Registry* registry, bool internal_path,
+                         const energy::IoRates& io_rates)
+    : cores_(cores), fs_(filesystem), registry_(registry),
+      internal_path_(internal_path), io_rates_(io_rates) {}
+
+std::uint32_t TaskRuntime::Spawn(const proto::Command& command, Callback done) {
+  const std::uint32_t pid = next_pid_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(table_mutex_);
+    TaskInfo info;
+    info.pid = pid;
+    info.summary = command.type == proto::CommandType::kExecutable
+                       ? command.executable
+                       : command.command_line.substr(0, 64);
+    table_.push_back(std::move(info));
+    if (table_.size() > kMaxTableEntries) {
+      // Evict the oldest finished entry.
+      for (auto it = table_.begin(); it != table_.end(); ++it) {
+        if (it->state != TaskInfo::State::kRunning) {
+          table_.erase(it);
+          break;
+        }
+      }
+    }
+  }
+
+  const proto::Command cmd = command;  // own a copy across the async boundary
+  cores_->Submit([this, cmd, pid, done = std::move(done)](WorkContext& core) {
+    proto::Response response = Execute(core, cmd, pid);
+    {
+      std::lock_guard<std::mutex> lock(table_mutex_);
+      for (TaskInfo& info : table_) {
+        if (info.pid == pid) {
+          info.state = response.ok() && response.exit_code == 0
+                           ? TaskInfo::State::kDone
+                           : TaskInfo::State::kFailed;
+          info.start_time_s = response.start_time_s;
+          info.end_time_s = response.end_time_s;
+          break;
+        }
+      }
+    }
+    if (done) done(std::move(response));
+  });
+  return pid;
+}
+
+proto::Response TaskRuntime::SpawnSync(const proto::Command& command) {
+  std::promise<proto::Response> promise;
+  std::future<proto::Response> future = promise.get_future();
+  Spawn(command, [&promise](proto::Response r) { promise.set_value(std::move(r)); });
+  return future.get();
+}
+
+proto::Response TaskRuntime::Execute(WorkContext& core, const proto::Command& command,
+                                     std::uint32_t pid) {
+  proto::Response response;
+  response.pid = pid;
+  response.start_time_s = core.Now();
+
+  if ((command.permissions & proto::kPermRead) == 0) {
+    proto::StatusToResponse(PermissionDenied("task lacks read permission"), &response);
+    response.end_time_s = core.Now();
+    return response;
+  }
+
+  apps::AppContext ctx;
+  ctx.fs = fs_;
+  ctx.stdin_data = command.stdin_data;
+
+  Result<int> exit_code = 1;
+  switch (command.type) {
+    case proto::CommandType::kExecutable: {
+      auto app = registry_->Create(command.executable);
+      if (!app.ok()) {
+        exit_code = app.status();
+        break;
+      }
+      exit_code = (*app)->Run(ctx, command.args);
+      break;
+    }
+    case proto::CommandType::kShellCommand:
+    case proto::CommandType::kShellScript: {
+      if ((command.permissions & proto::kPermSpawn) == 0) {
+        exit_code = PermissionDenied("task lacks spawn permission");
+        break;
+      }
+      apps::Shell shell(registry_, fs_);
+      auto r = command.type == proto::CommandType::kShellCommand
+                   ? shell.RunCommandLine(command.command_line, command.stdin_data)
+                   : shell.RunScript(command.command_line, command.args,
+                                     command.stdin_data);
+      if (!r.ok()) {
+        exit_code = r.status();
+        break;
+      }
+      ctx.stdout_data = std::move(r->stdout_data);
+      ctx.stderr_data = std::move(r->stderr_data);
+      ctx.cost.Merge(r->cost);
+      exit_code = r->exit_code;
+      break;
+    }
+  }
+
+  // Optional stdout redirection into the shared filesystem.
+  if (exit_code.ok() && !command.output_file.empty()) {
+    if ((command.permissions & proto::kPermWrite) == 0) {
+      exit_code = PermissionDenied("task lacks write permission");
+    } else {
+      Status st = ctx.WriteOutputFile(command.output_file, ctx.stdout_data);
+      if (!st.ok()) exit_code = st;
+      ctx.stdout_data.clear();
+    }
+  }
+
+  // Model time/energy: compute from the recorded reference cycles, IO from
+  // bytes over this side's data path. The work already physically happened
+  // on the emulating machine; these charges are what the modeled platform
+  // would have spent.
+  const energy::CpuProfile& profile = cores_->profile();
+  const double cycles =
+      profile.in_order ? ctx.cost.ref_cycles_in_order : ctx.cost.ref_cycles;
+  const units::Seconds cpu_s = energy::SecondsForCycles(cycles, profile);
+  const std::uint64_t bytes_moved = ctx.cost.bytes_in + ctx.cost.bytes_out;
+  const units::Seconds io_s = energy::IoSeconds(bytes_moved, internal_path_, io_rates_);
+  core.ChargeCompute(cpu_s);
+  core.ChargeIoWait(io_s);
+
+  response.cpu_seconds = cpu_s;
+  response.io_seconds = io_s;
+  response.bytes_read = ctx.cost.bytes_in;
+  response.bytes_written = ctx.cost.bytes_out;
+  // Active energy attributed to this task: busy core + stalled-core share +
+  // the data-path cost of every byte it moved. Platform/device baseline
+  // power is a system cost the experiment harness charges over makespan.
+  response.energy_joules = profile.active_watts_per_core * cpu_s +
+                           0.3 * profile.active_watts_per_core * io_s +
+                           energy::DatapathJoules(bytes_moved, internal_path_);
+
+  if (exit_code.ok()) {
+    response.exit_code = *exit_code;
+  } else {
+    proto::StatusToResponse(exit_code.status(), &response);
+    response.exit_code = -1;
+  }
+  if (ctx.stdout_data.size() > proto::Response::kMaxInlineOutput) {
+    ctx.stdout_data.resize(proto::Response::kMaxInlineOutput);
+    ctx.stderr_data += "[stdout truncated]\n";
+  }
+  response.stdout_data = std::move(ctx.stdout_data);
+  response.stderr_data = std::move(ctx.stderr_data);
+  response.end_time_s = core.Now();
+  return response;
+}
+
+std::vector<TaskInfo> TaskRuntime::ProcessTable() const {
+  std::lock_guard<std::mutex> lock(table_mutex_);
+  return table_;
+}
+
+std::uint32_t TaskRuntime::RunningCount() const {
+  std::lock_guard<std::mutex> lock(table_mutex_);
+  std::uint32_t n = 0;
+  for (const TaskInfo& t : table_) {
+    if (t.state == TaskInfo::State::kRunning) ++n;
+  }
+  return n;
+}
+
+}  // namespace compstor::isps

@@ -1,0 +1,74 @@
+// Task runtime: the process layer of the CompStor embedded Linux.
+//
+// Spawns off-loadable executables and shell commands (from proto::Command)
+// onto the core emulator, maintains a process table, converts app work
+// accounting into model time/energy via the cost model, and fills in the
+// proto::Response. Used by the ISPS agent (internal path, A53 profile) and
+// by the host executor (host path, Xeon profile) — the paper's "same code
+// runs on both sides" made concrete.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "apps/registry.hpp"
+#include "energy/cost_model.hpp"
+#include "fs/filesystem.hpp"
+#include "isps/cores.hpp"
+#include "proto/entities.hpp"
+
+namespace compstor::isps {
+
+struct TaskInfo {
+  std::uint32_t pid = 0;
+  std::string summary;  // command name / first shell line
+  enum class State : std::uint8_t { kRunning, kDone, kFailed } state = State::kRunning;
+  double start_time_s = 0;
+  double end_time_s = 0;
+};
+
+class TaskRuntime {
+ public:
+  /// `internal_path`: true on the device (ISPS), false on the host. Affects
+  /// the IO time model only; energy for flash/link is charged by the SSD.
+  /// `io_rates` overrides the data-path stream rates (ablation studies).
+  TaskRuntime(CoreEmulator* cores, fs::Filesystem* filesystem,
+              apps::Registry* registry, bool internal_path,
+              const energy::IoRates& io_rates = {});
+
+  using Callback = std::function<void(proto::Response)>;
+
+  /// Non-blocking: the command executes on a core; `done` fires on the core
+  /// thread when the task completes. Returns the pid.
+  std::uint32_t Spawn(const proto::Command& command, Callback done);
+
+  /// Convenience: spawn and wait.
+  proto::Response SpawnSync(const proto::Command& command);
+
+  std::vector<TaskInfo> ProcessTable() const;
+  std::uint32_t RunningCount() const;
+
+ private:
+  proto::Response Execute(WorkContext& core, const proto::Command& command,
+                          std::uint32_t pid);
+
+  CoreEmulator* cores_;
+  fs::Filesystem* fs_;
+  apps::Registry* registry_;
+  const bool internal_path_;
+  const energy::IoRates io_rates_;
+
+  mutable std::mutex table_mutex_;
+  std::vector<TaskInfo> table_;
+  std::atomic<std::uint32_t> next_pid_{1};
+
+  // Process-table history is bounded; finished entries beyond this are
+  // evicted oldest-first.
+  static constexpr std::size_t kMaxTableEntries = 1024;
+};
+
+}  // namespace compstor::isps

@@ -1,0 +1,54 @@
+// NVMe-style command set used across the emulated PCIe transport.
+//
+// The IO opcodes mirror the NVM command set; the vendor range carries the
+// CompStor in-situ protocol (minions and queries serialized by src/proto).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/units.hpp"
+
+namespace compstor::nvme {
+
+enum class Opcode : std::uint8_t {
+  // NVM command set.
+  kFlush = 0x00,
+  kWrite = 0x01,
+  kRead = 0x02,
+  kDatasetManagement = 0x09,  // used for trim/deallocate
+  // Admin.
+  kIdentify = 0x06,
+  kFormatNvm = 0x80,  // secure erase: discard every logical page
+  // Vendor-specific: the CompStor in-situ protocol.
+  kInSituMinion = 0xC0,  // payload: serialized Minion; completion: Response
+  kInSituQuery = 0xC1,   // payload: serialized Query; completion: answer
+};
+
+struct Command {
+  std::uint16_t cid = 0;  // command identifier, matches completion to request
+  Opcode opcode = Opcode::kFlush;
+  std::uint64_t slba = 0;  // starting LBA (IO commands)
+  std::uint32_t nlb = 0;   // number of logical blocks (IO commands)
+
+  /// Data buffer shared with the submitter: source for writes, destination
+  /// for reads. Shared ownership keeps the buffer alive however the command
+  /// completes.
+  std::shared_ptr<std::vector<std::uint8_t>> data;
+
+  /// Opaque payload for vendor/admin commands (serialized proto entities).
+  std::vector<std::uint8_t> payload;
+};
+
+struct Completion {
+  std::uint16_t cid = 0;
+  Status status;
+  /// Model latency from submission-queue pop to completion post.
+  units::Seconds latency = 0;
+  /// Response payload for vendor/admin commands.
+  std::vector<std::uint8_t> payload;
+};
+
+}  // namespace compstor::nvme

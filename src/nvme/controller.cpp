@@ -1,0 +1,169 @@
+#include "nvme/controller.hpp"
+
+#include <cstring>
+
+#include "common/logging.hpp"
+#include "util/byte_io.hpp"
+
+namespace compstor::nvme {
+
+void ChargeFlashEnergy(energy::EnergyMeter* meter, const energy::FlashPowerProfile& p,
+                       const ftl::IoCost& cost, std::uint64_t bytes_moved) {
+  if (meter == nullptr) return;
+  const double flash_j = cost.flash_reads * p.read_uj_per_page * 1e-6 +
+                         cost.flash_programs * p.program_uj_per_page * 1e-6 +
+                         cost.flash_erases * p.erase_uj_per_block * 1e-6 +
+                         static_cast<double>(bytes_moved) * p.channel_pj_per_byte * 1e-12;
+  meter->AddJoules(energy::Component::kFlash, flash_j);
+  meter->AddJoules(energy::Component::kController,
+                   static_cast<double>(bytes_moved) * p.controller_pj_per_byte * 1e-12);
+}
+
+Controller::Controller(ftl::Ftl* ftl, PcieLink* link, energy::EnergyMeter* meter,
+                       const energy::FlashPowerProfile& flash_power,
+                       std::string model_name, std::size_t queue_depth)
+    : ftl_(ftl),
+      link_(link),
+      meter_(meter),
+      flash_power_(flash_power),
+      model_name_(std::move(model_name)),
+      sq_(queue_depth),
+      cq_(queue_depth) {}
+
+Controller::~Controller() { Stop(); }
+
+void Controller::Start() {
+  if (running_.exchange(true)) return;
+  front_end_ = std::thread([this] { FrontEndLoop(); });
+}
+
+void Controller::Stop() {
+  if (!running_.exchange(false)) return;
+  sq_.Close();
+  if (front_end_.joinable()) front_end_.join();
+  cq_.Close();
+}
+
+void Controller::FrontEndLoop() {
+  while (auto cmd = sq_.Pop()) {
+    Completion cqe;
+    if (Execute(*cmd, &cqe)) {
+      if (!cqe.status.ok()) errors_.fetch_add(1, std::memory_order_relaxed);
+      cq_.Push(std::move(cqe));
+    }
+  }
+}
+
+bool Controller::Execute(Command& cmd, Completion* out) {
+  switch (cmd.opcode) {
+    case Opcode::kRead:
+    case Opcode::kWrite:
+    case Opcode::kDatasetManagement:
+      io_commands_.fetch_add(1, std::memory_order_relaxed);
+      *out = ExecuteIo(cmd);
+      return true;
+    case Opcode::kFlush: {
+      // Drain the fast-release write buffer to NAND.
+      ftl::IoCost cost;
+      out->cid = cmd.cid;
+      out->status = ftl_->Flush(&cost);
+      out->latency = kCommandOverhead + cost.latency;
+      ChargeFlashEnergy(meter_, flash_power_, cost, 0);
+      return true;
+    }
+    case Opcode::kIdentify:
+      *out = ExecuteIdentify(cmd);
+      return true;
+    case Opcode::kFormatNvm: {
+      // Secure erase: every logical page is discarded (data unrecoverable
+      // through the FTL; GC reclaims the physical blocks lazily).
+      ftl::IoCost cost;
+      out->cid = cmd.cid;
+      out->status = ftl_->Trim(0, ftl_->user_pages(), &cost);
+      out->latency = kCommandOverhead + cost.latency;
+      return true;
+    }
+    case Opcode::kInSituMinion:
+    case Opcode::kInSituQuery: {
+      vendor_commands_.fetch_add(1, std::memory_order_relaxed);
+      VendorHandler handler;
+      {
+        std::lock_guard<std::mutex> lock(vendor_mutex_);
+        handler = vendor_handler_;  // copy: survives a concurrent detach
+      }
+      if (!handler) {
+        out->cid = cmd.cid;
+        out->status = Unavailable("no in-situ subsystem attached");
+        return true;
+      }
+      // Command payload crosses the link toward the device; the response
+      // payload crosses back later. Both are tiny compared to the data the
+      // task touches — that is the point of in-situ processing. The handler
+      // completes asynchronously so this thread stays free for IO.
+      const units::Seconds in_lat = link_->Transfer(cmd.payload.size());
+      const std::uint16_t cid = cmd.cid;
+      handler(cmd, [this, cid, in_lat](Completion cqe) {
+        cqe.cid = cid;
+        cqe.latency += in_lat + link_->Transfer(cqe.payload.size()) + kCommandOverhead;
+        if (!cqe.status.ok()) errors_.fetch_add(1, std::memory_order_relaxed);
+        cq_.Push(std::move(cqe));
+      });
+      return false;
+    }
+  }
+  out->cid = cmd.cid;
+  out->status = InvalidArgument("unknown opcode");
+  return true;
+}
+
+Completion Controller::ExecuteIo(Command& cmd) {
+  Completion cqe;
+  cqe.cid = cmd.cid;
+  cqe.latency = kCommandOverhead;
+  const std::uint32_t page = ftl_->page_data_bytes();
+
+  if (cmd.opcode == Opcode::kDatasetManagement) {
+    ftl::IoCost cost;
+    cqe.status = ftl_->Trim(cmd.slba, cmd.nlb, &cost);
+    cqe.latency += cost.latency;
+    return cqe;
+  }
+
+  const std::uint64_t bytes = static_cast<std::uint64_t>(cmd.nlb) * page;
+  if (!cmd.data || cmd.data->size() < bytes) {
+    cqe.status = InvalidArgument("nvme io: data buffer too small");
+    return cqe;
+  }
+
+  ftl::IoCost cost;
+  Status st;
+  for (std::uint32_t i = 0; i < cmd.nlb && st.ok(); ++i) {
+    auto slice = std::span<std::uint8_t>(cmd.data->data() + static_cast<std::size_t>(i) * page, page);
+    if (cmd.opcode == Opcode::kRead) {
+      st = ftl_->ReadPage(cmd.slba + i, slice, &cost);
+    } else {
+      st = ftl_->WritePage(cmd.slba + i, slice, &cost);
+    }
+  }
+  cqe.status = st;
+  cqe.latency += cost.latency;
+  // User data crosses PCIe in both directions (DMA) regardless of direction.
+  cqe.latency += link_->Transfer(bytes);
+  ChargeFlashEnergy(meter_, flash_power_, cost, bytes);
+  return cqe;
+}
+
+Completion Controller::ExecuteIdentify(const Command& cmd) {
+  Completion cqe;
+  cqe.cid = cmd.cid;
+  cqe.latency = kCommandOverhead;
+  util::ByteWriter w;
+  w.PutString(model_name_);
+  w.PutU64(ftl_->user_pages());
+  w.PutU32(ftl_->page_data_bytes());
+  cqe.payload = w.Take();
+  cqe.latency += link_->Transfer(cqe.payload.size());
+  return cqe;
+}
+
+}  // namespace compstor::nvme

@@ -1,0 +1,104 @@
+// NVMe front-end controller: pops commands from the submission queue on a
+// dedicated thread (the paper's "front-end subsystem"), executes IO against
+// the FTL (the "back-end"), and posts completions.
+//
+// Vendor in-situ commands are delegated to a handler installed by the ISPS
+// agent — the front-end only ferries them, mirroring the hardware where the
+// NVMe controller and the ISPS are separate subsystems.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "energy/energy.hpp"
+#include "ftl/ftl.hpp"
+#include "nvme/command.hpp"
+#include "nvme/pcie_link.hpp"
+#include "util/mpmc_queue.hpp"
+
+namespace compstor::nvme {
+
+/// Converts FTL op counts + moved bytes into flash/controller joules.
+void ChargeFlashEnergy(energy::EnergyMeter* meter, const energy::FlashPowerProfile& p,
+                       const ftl::IoCost& cost, std::uint64_t bytes_moved);
+
+struct ControllerStats {
+  std::uint64_t io_commands = 0;
+  std::uint64_t vendor_commands = 0;
+  std::uint64_t errors = 0;
+};
+
+class Controller {
+ public:
+  /// Vendor commands (minions/queries) complete asynchronously: the handler
+  /// receives a sink and may call it later from any thread. This keeps the
+  /// front-end free to serve read/write/trim while in-situ tasks run — the
+  /// paper's "no degradation" property depends on it.
+  using CompletionSink = std::function<void(Completion)>;
+  using VendorHandler = std::function<void(const Command&, CompletionSink)>;
+
+  Controller(ftl::Ftl* ftl, PcieLink* link, energy::EnergyMeter* meter,
+             const energy::FlashPowerProfile& flash_power,
+             std::string model_name, std::size_t queue_depth = 256);
+  ~Controller();
+
+  Controller(const Controller&) = delete;
+  Controller& operator=(const Controller&) = delete;
+
+  void Start();
+  void Stop();
+
+  /// Installed by the ISPS agent; called on kInSituMinion / kInSituQuery.
+  /// Thread-safe: the agent detaches its handler during teardown while the
+  /// front-end thread may be dispatching.
+  void SetVendorHandler(VendorHandler handler) {
+    std::lock_guard<std::mutex> lock(vendor_mutex_);
+    vendor_handler_ = std::move(handler);
+  }
+
+  /// Submission queue. Blocks when the queue is full (device back-pressure);
+  /// returns false after Stop().
+  bool Submit(Command cmd) { return sq_.Push(std::move(cmd)); }
+
+  /// Completion queue, consumed by the host driver's reaper.
+  std::optional<Completion> PopCompletion() { return cq_.Pop(); }
+
+  ControllerStats Stats() const {
+    return {io_commands_.load(), vendor_commands_.load(), errors_.load()};
+  }
+
+  /// Fixed firmware overhead charged per command (submission handling,
+  /// doorbell, completion post).
+  static constexpr units::Seconds kCommandOverhead = units::usec(8);
+
+ private:
+  void FrontEndLoop();
+  /// Executes a synchronous (IO/admin) command; vendor commands are handed
+  /// to the async handler and produce no immediate completion.
+  bool Execute(Command& cmd, Completion* cqe);
+  Completion ExecuteIo(Command& cmd);
+  Completion ExecuteIdentify(const Command& cmd);
+
+  ftl::Ftl* ftl_;
+  PcieLink* link_;
+  energy::EnergyMeter* meter_;
+  energy::FlashPowerProfile flash_power_;
+  std::string model_name_;
+
+  util::MpmcQueue<Command> sq_;
+  util::MpmcQueue<Completion> cq_;
+  std::thread front_end_;
+  std::atomic<bool> running_{false};
+  std::mutex vendor_mutex_;
+  VendorHandler vendor_handler_;
+
+  std::atomic<std::uint64_t> io_commands_{0};
+  std::atomic<std::uint64_t> vendor_commands_{0};
+  std::atomic<std::uint64_t> errors_{0};
+};
+
+}  // namespace compstor::nvme

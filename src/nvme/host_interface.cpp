@@ -1,0 +1,112 @@
+#include "nvme/host_interface.hpp"
+
+#include "common/logging.hpp"
+
+namespace compstor::nvme {
+
+HostInterface::HostInterface(Controller* controller) : controller_(controller) {
+  reaper_ = std::thread([this] { ReaperLoop(); });
+}
+
+HostInterface::~HostInterface() { Shutdown(); }
+
+void HostInterface::Shutdown() {
+  if (!running_.exchange(false)) return;
+  // Stopping the controller closes the completion queue, unblocking the
+  // reaper after it drains outstanding completions.
+  controller_->Stop();
+  if (reaper_.joinable()) reaper_.join();
+  // Fail any promises that will never complete.
+  std::lock_guard<std::mutex> lock(pending_mutex_);
+  for (auto& [cid, promise] : pending_) {
+    Completion cqe;
+    cqe.cid = cid;
+    cqe.status = Unavailable("device shut down");
+    promise.set_value(std::move(cqe));
+  }
+  pending_.clear();
+}
+
+std::future<Completion> HostInterface::Submit(Command cmd) {
+  std::promise<Completion> promise;
+  std::future<Completion> future = promise.get_future();
+
+  // CID assignment: skip 0 and values still in flight (u16 wraparound with
+  // >64k outstanding commands is impossible at our queue depths, but guard).
+  std::uint16_t cid;
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    do {
+      cid = next_cid_.fetch_add(1, std::memory_order_relaxed);
+    } while (cid == 0 || pending_.count(cid) != 0);
+    pending_.emplace(cid, std::move(promise));
+  }
+  cmd.cid = cid;
+
+  if (!controller_->Submit(std::move(cmd))) {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    auto it = pending_.find(cid);
+    if (it != pending_.end()) {
+      Completion cqe;
+      cqe.cid = cid;
+      cqe.status = Unavailable("controller stopped");
+      it->second.set_value(std::move(cqe));
+      pending_.erase(it);
+    }
+  }
+  return future;
+}
+
+void HostInterface::ReaperLoop() {
+  while (auto cqe = controller_->PopCompletion()) {
+    std::promise<Completion> promise;
+    {
+      std::lock_guard<std::mutex> lock(pending_mutex_);
+      auto it = pending_.find(cqe->cid);
+      if (it == pending_.end()) {
+        LOG_WARN << "completion for unknown cid " << cqe->cid;
+        continue;
+      }
+      promise = std::move(it->second);
+      pending_.erase(it);
+    }
+    promise.set_value(std::move(*cqe));
+  }
+}
+
+Completion HostInterface::ReadSync(std::uint64_t slba, std::uint32_t nlb,
+                                   std::shared_ptr<std::vector<std::uint8_t>> buffer) {
+  Command cmd;
+  cmd.opcode = Opcode::kRead;
+  cmd.slba = slba;
+  cmd.nlb = nlb;
+  cmd.data = std::move(buffer);
+  return Submit(std::move(cmd)).get();
+}
+
+Completion HostInterface::WriteSync(std::uint64_t slba, std::uint32_t nlb,
+                                    std::shared_ptr<std::vector<std::uint8_t>> buffer) {
+  Command cmd;
+  cmd.opcode = Opcode::kWrite;
+  cmd.slba = slba;
+  cmd.nlb = nlb;
+  cmd.data = std::move(buffer);
+  return Submit(std::move(cmd)).get();
+}
+
+Completion HostInterface::TrimSync(std::uint64_t slba, std::uint32_t nlb) {
+  Command cmd;
+  cmd.opcode = Opcode::kDatasetManagement;
+  cmd.slba = slba;
+  cmd.nlb = nlb;
+  return Submit(std::move(cmd)).get();
+}
+
+Completion HostInterface::VendorSync(Opcode opcode, std::vector<std::uint8_t> payload) {
+  Command cmd;
+  cmd.opcode = opcode;
+  cmd.payload = std::move(payload);
+  return Submit(std::move(cmd)).get();
+}
+
+}  // namespace compstor::nvme

@@ -1,0 +1,55 @@
+// Host-side NVMe driver: assigns command identifiers, submits to the
+// controller, and reaps completions on a background thread, fulfilling
+// per-command futures.
+//
+// This plays the role of the kernel NVMe driver on the paper's host server;
+// the in-situ client library sits on top of it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "nvme/command.hpp"
+#include "nvme/controller.hpp"
+
+namespace compstor::nvme {
+
+class HostInterface {
+ public:
+  explicit HostInterface(Controller* controller);
+  ~HostInterface();
+
+  HostInterface(const HostInterface&) = delete;
+  HostInterface& operator=(const HostInterface&) = delete;
+
+  /// Asynchronous submission; the future resolves when the device posts the
+  /// completion.
+  std::future<Completion> Submit(Command cmd);
+
+  /// Synchronous convenience wrappers.
+  Completion ReadSync(std::uint64_t slba, std::uint32_t nlb,
+                      std::shared_ptr<std::vector<std::uint8_t>> buffer);
+  Completion WriteSync(std::uint64_t slba, std::uint32_t nlb,
+                       std::shared_ptr<std::vector<std::uint8_t>> buffer);
+  Completion TrimSync(std::uint64_t slba, std::uint32_t nlb);
+  Completion VendorSync(Opcode opcode, std::vector<std::uint8_t> payload);
+
+  void Shutdown();
+
+ private:
+  void ReaperLoop();
+
+  Controller* controller_;
+  std::thread reaper_;
+  std::atomic<bool> running_{true};
+
+  std::mutex pending_mutex_;
+  std::unordered_map<std::uint16_t, std::promise<Completion>> pending_;
+  std::atomic<std::uint16_t> next_cid_{1};
+};
+
+}  // namespace compstor::nvme

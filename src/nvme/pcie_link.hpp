@@ -1,0 +1,52 @@
+// PCIe link model: bandwidth/latency cost of moving bytes between host and
+// device, plus traversal energy.
+//
+// This is the resource whose scarcity motivates the whole paper (Fig 1): the
+// host-side share of PCIe is tiny compared to the aggregate flash bandwidth
+// behind it, so shipping data to the host is the expensive direction.
+#pragma once
+
+#include <cstdint>
+
+#include "common/sim_clock.hpp"
+#include "common/units.hpp"
+#include "energy/energy.hpp"
+
+namespace compstor::nvme {
+
+class PcieLink {
+ public:
+  PcieLink(const energy::LinkProfile& profile, energy::EnergyMeter* meter)
+      : profile_(profile), meter_(meter) {}
+
+  /// Accounts one transfer of `bytes` and returns its model latency.
+  units::Seconds Transfer(std::uint64_t bytes) {
+    const units::Seconds t =
+        profile_.base_latency_s +
+        static_cast<double>(bytes) / profile_.bandwidth_bytes_per_s;
+    busy_.AddBusy(t);
+    bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    if (meter_ != nullptr) {
+      meter_->AddJoules(energy::Component::kLink,
+                        static_cast<double>(bytes) * profile_.pj_per_byte * 1e-12);
+    }
+    return t;
+  }
+
+  std::uint64_t TotalBytes() const { return bytes_.load(std::memory_order_relaxed); }
+  units::Seconds BusySeconds() const { return busy_.BusySeconds(); }
+  const energy::LinkProfile& profile() const { return profile_; }
+
+  void ResetStats() {
+    bytes_.store(0, std::memory_order_relaxed);
+    busy_.Reset();
+  }
+
+ private:
+  energy::LinkProfile profile_;
+  energy::EnergyMeter* meter_;
+  BusyMeter busy_;
+  std::atomic<std::uint64_t> bytes_{0};
+};
+
+}  // namespace compstor::nvme

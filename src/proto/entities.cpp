@@ -1,0 +1,222 @@
+#include "proto/entities.hpp"
+
+#include "util/byte_io.hpp"
+#include "util/crc32c.hpp"
+
+namespace compstor::proto {
+namespace {
+
+constexpr std::uint8_t kFrameMinion = 0x4D;      // 'M'
+constexpr std::uint8_t kFrameQuery = 0x51;       // 'Q'
+constexpr std::uint8_t kFrameQueryReply = 0x52;  // 'R'
+constexpr std::uint8_t kVersion = 1;
+
+void PutStringList(util::ByteWriter& w, const std::vector<std::string>& list) {
+  w.PutU32(static_cast<std::uint32_t>(list.size()));
+  for (const std::string& s : list) w.PutString(s);
+}
+
+Result<std::vector<std::string>> GetStringList(util::ByteReader& r) {
+  COMPSTOR_ASSIGN_OR_RETURN(std::uint32_t n, r.GetU32());
+  std::vector<std::string> list;
+  list.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    COMPSTOR_ASSIGN_OR_RETURN(std::string s, r.GetString());
+    list.push_back(std::move(s));
+  }
+  return list;
+}
+
+void PutCommand(util::ByteWriter& w, const Command& c) {
+  w.PutU8(static_cast<std::uint8_t>(c.type));
+  w.PutString(c.executable);
+  PutStringList(w, c.args);
+  w.PutString(c.command_line);
+  PutStringList(w, c.input_files);
+  w.PutString(c.output_file);
+  w.PutString(c.stdin_data);
+  w.PutU32(c.permissions);
+}
+
+Result<Command> GetCommand(util::ByteReader& r) {
+  Command c;
+  COMPSTOR_ASSIGN_OR_RETURN(std::uint8_t type, r.GetU8());
+  if (type > static_cast<std::uint8_t>(CommandType::kShellScript)) {
+    return InvalidArgument("proto: bad command type");
+  }
+  c.type = static_cast<CommandType>(type);
+  COMPSTOR_ASSIGN_OR_RETURN(c.executable, r.GetString());
+  COMPSTOR_ASSIGN_OR_RETURN(c.args, GetStringList(r));
+  COMPSTOR_ASSIGN_OR_RETURN(c.command_line, r.GetString());
+  COMPSTOR_ASSIGN_OR_RETURN(c.input_files, GetStringList(r));
+  COMPSTOR_ASSIGN_OR_RETURN(c.output_file, r.GetString());
+  COMPSTOR_ASSIGN_OR_RETURN(c.stdin_data, r.GetString());
+  COMPSTOR_ASSIGN_OR_RETURN(c.permissions, r.GetU32());
+  return c;
+}
+
+void PutResponse(util::ByteWriter& w, const Response& resp) {
+  w.PutU16(resp.status_code);
+  w.PutString(resp.status_message);
+  w.PutU32(static_cast<std::uint32_t>(resp.exit_code));
+  w.PutString(resp.stdout_data);
+  w.PutString(resp.stderr_data);
+  w.PutU32(resp.pid);
+  w.PutF64(resp.start_time_s);
+  w.PutF64(resp.end_time_s);
+  w.PutF64(resp.cpu_seconds);
+  w.PutF64(resp.io_seconds);
+  w.PutU64(resp.bytes_read);
+  w.PutU64(resp.bytes_written);
+  w.PutF64(resp.energy_joules);
+}
+
+Result<Response> GetResponse(util::ByteReader& r) {
+  Response resp;
+  COMPSTOR_ASSIGN_OR_RETURN(resp.status_code, r.GetU16());
+  COMPSTOR_ASSIGN_OR_RETURN(resp.status_message, r.GetString());
+  COMPSTOR_ASSIGN_OR_RETURN(std::uint32_t exit_code, r.GetU32());
+  resp.exit_code = static_cast<std::int32_t>(exit_code);
+  COMPSTOR_ASSIGN_OR_RETURN(resp.stdout_data, r.GetString());
+  COMPSTOR_ASSIGN_OR_RETURN(resp.stderr_data, r.GetString());
+  COMPSTOR_ASSIGN_OR_RETURN(resp.pid, r.GetU32());
+  COMPSTOR_ASSIGN_OR_RETURN(resp.start_time_s, r.GetF64());
+  COMPSTOR_ASSIGN_OR_RETURN(resp.end_time_s, r.GetF64());
+  COMPSTOR_ASSIGN_OR_RETURN(resp.cpu_seconds, r.GetF64());
+  COMPSTOR_ASSIGN_OR_RETURN(resp.io_seconds, r.GetF64());
+  COMPSTOR_ASSIGN_OR_RETURN(resp.bytes_read, r.GetU64());
+  COMPSTOR_ASSIGN_OR_RETURN(resp.bytes_written, r.GetU64());
+  COMPSTOR_ASSIGN_OR_RETURN(resp.energy_joules, r.GetF64());
+  return resp;
+}
+
+/// Frame = tag | version | body | crc32c(tag..body).
+std::vector<std::uint8_t> Frame(std::uint8_t tag, util::ByteWriter body) {
+  util::ByteWriter w;
+  w.PutU8(tag);
+  w.PutU8(kVersion);
+  w.PutRaw(body.bytes());
+  const std::uint32_t crc = util::Crc32c(w.bytes().data(), w.bytes().size());
+  w.PutU32(crc);
+  return w.Take();
+}
+
+Result<util::ByteReader> Unframe(std::uint8_t expected_tag,
+                                 std::span<const std::uint8_t> data) {
+  if (data.size() < 6) return DataLoss("proto: frame too short");
+  const std::uint32_t stored =
+      static_cast<std::uint32_t>(data[data.size() - 4]) |
+      (static_cast<std::uint32_t>(data[data.size() - 3]) << 8) |
+      (static_cast<std::uint32_t>(data[data.size() - 2]) << 16) |
+      (static_cast<std::uint32_t>(data[data.size() - 1]) << 24);
+  if (util::Crc32c(data.data(), data.size() - 4) != stored) {
+    return DataLoss("proto: frame crc mismatch");
+  }
+  if (data[0] != expected_tag) return InvalidArgument("proto: unexpected frame tag");
+  if (data[1] != kVersion) return InvalidArgument("proto: unsupported version");
+  return util::ByteReader(data.subspan(2, data.size() - 6));
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> Serialize(const Minion& minion) {
+  util::ByteWriter body;
+  body.PutU64(minion.id);
+  PutCommand(body, minion.command);
+  PutResponse(body, minion.response);
+  return Frame(kFrameMinion, std::move(body));
+}
+
+Result<Minion> DeserializeMinion(std::span<const std::uint8_t> data) {
+  COMPSTOR_ASSIGN_OR_RETURN(util::ByteReader r, Unframe(kFrameMinion, data));
+  Minion m;
+  COMPSTOR_ASSIGN_OR_RETURN(m.id, r.GetU64());
+  COMPSTOR_ASSIGN_OR_RETURN(m.command, GetCommand(r));
+  COMPSTOR_ASSIGN_OR_RETURN(m.response, GetResponse(r));
+  return m;
+}
+
+std::vector<std::uint8_t> Serialize(const Query& query) {
+  util::ByteWriter body;
+  body.PutU64(query.id);
+  body.PutU8(static_cast<std::uint8_t>(query.type));
+  body.PutString(query.task_name);
+  body.PutString(query.task_script);
+  return Frame(kFrameQuery, std::move(body));
+}
+
+Result<Query> DeserializeQuery(std::span<const std::uint8_t> data) {
+  COMPSTOR_ASSIGN_OR_RETURN(util::ByteReader r, Unframe(kFrameQuery, data));
+  Query q;
+  COMPSTOR_ASSIGN_OR_RETURN(q.id, r.GetU64());
+  COMPSTOR_ASSIGN_OR_RETURN(std::uint8_t type, r.GetU8());
+  if (type > static_cast<std::uint8_t>(QueryType::kProcessTable)) {
+    return InvalidArgument("proto: bad query type");
+  }
+  q.type = static_cast<QueryType>(type);
+  COMPSTOR_ASSIGN_OR_RETURN(q.task_name, r.GetString());
+  COMPSTOR_ASSIGN_OR_RETURN(q.task_script, r.GetString());
+  return q;
+}
+
+std::vector<std::uint8_t> Serialize(const QueryReply& reply) {
+  util::ByteWriter body;
+  body.PutU64(reply.id);
+  body.PutU16(reply.status_code);
+  body.PutString(reply.status_message);
+  body.PutU32(reply.core_count);
+  body.PutF64(reply.utilization);
+  body.PutF64(reply.temperature_c);
+  body.PutU32(reply.running_tasks);
+  body.PutU32(reply.queued_minions);
+  body.PutF64(reply.uptime_virtual_s);
+  PutStringList(body, reply.task_names);
+  body.PutU32(static_cast<std::uint32_t>(reply.processes.size()));
+  for (const QueryReply::Process& p : reply.processes) {
+    body.PutU32(p.pid);
+    body.PutU8(p.state);
+    body.PutString(p.summary);
+    body.PutF64(p.start_time_s);
+    body.PutF64(p.end_time_s);
+  }
+  return Frame(kFrameQueryReply, std::move(body));
+}
+
+Result<QueryReply> DeserializeQueryReply(std::span<const std::uint8_t> data) {
+  COMPSTOR_ASSIGN_OR_RETURN(util::ByteReader r, Unframe(kFrameQueryReply, data));
+  QueryReply q;
+  COMPSTOR_ASSIGN_OR_RETURN(q.id, r.GetU64());
+  COMPSTOR_ASSIGN_OR_RETURN(q.status_code, r.GetU16());
+  COMPSTOR_ASSIGN_OR_RETURN(q.status_message, r.GetString());
+  COMPSTOR_ASSIGN_OR_RETURN(q.core_count, r.GetU32());
+  COMPSTOR_ASSIGN_OR_RETURN(q.utilization, r.GetF64());
+  COMPSTOR_ASSIGN_OR_RETURN(q.temperature_c, r.GetF64());
+  COMPSTOR_ASSIGN_OR_RETURN(q.running_tasks, r.GetU32());
+  COMPSTOR_ASSIGN_OR_RETURN(q.queued_minions, r.GetU32());
+  COMPSTOR_ASSIGN_OR_RETURN(q.uptime_virtual_s, r.GetF64());
+  COMPSTOR_ASSIGN_OR_RETURN(q.task_names, GetStringList(r));
+  COMPSTOR_ASSIGN_OR_RETURN(std::uint32_t n_procs, r.GetU32());
+  q.processes.reserve(n_procs);
+  for (std::uint32_t i = 0; i < n_procs; ++i) {
+    QueryReply::Process p;
+    COMPSTOR_ASSIGN_OR_RETURN(p.pid, r.GetU32());
+    COMPSTOR_ASSIGN_OR_RETURN(p.state, r.GetU8());
+    COMPSTOR_ASSIGN_OR_RETURN(p.summary, r.GetString());
+    COMPSTOR_ASSIGN_OR_RETURN(p.start_time_s, r.GetF64());
+    COMPSTOR_ASSIGN_OR_RETURN(p.end_time_s, r.GetF64());
+    q.processes.push_back(std::move(p));
+  }
+  return q;
+}
+
+void StatusToResponse(const Status& status, Response* response) {
+  response->status_code = static_cast<std::uint16_t>(status.code());
+  response->status_message = status.message();
+}
+
+Status ResponseToStatus(const Response& response) {
+  if (response.ok()) return OkStatus();
+  return Status(static_cast<StatusCode>(response.status_code), response.status_message);
+}
+
+}  // namespace compstor::proto

@@ -1,0 +1,131 @@
+// The virtual entities of the CompStor software stack (paper §III.B):
+//
+//   Command  — what to run in-storage (executable or shell line/script,
+//              arguments, IO files, access permissions);
+//   Response — the outcome (status, exit code, captured output, timing,
+//              energy) filled in by the device;
+//   Minion   — a Command plus its Response, traveling client -> CompStor ->
+//              client (Fig 3);
+//   Query    — an administrative message: device status for load balancing,
+//              dynamic task loading, task listing (cannot start a task).
+//
+// All entities serialize to an explicit little-endian wire format with a
+// CRC32C frame check, since they cross the emulated PCIe link.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace compstor::proto {
+
+enum class CommandType : std::uint8_t {
+  kExecutable = 0,   // run a registered application by name
+  kShellCommand = 1, // run one shell command line (may contain pipes)
+  kShellScript = 2,  // run a multi-line shell script
+};
+
+/// Access permissions the client grants the in-situ task.
+enum PermissionBits : std::uint32_t {
+  kPermRead = 1u << 0,
+  kPermWrite = 1u << 1,
+  kPermSpawn = 1u << 2,  // may invoke other commands (shell pipelines)
+};
+
+struct Command {
+  CommandType type = CommandType::kExecutable;
+  std::string executable;              // kExecutable: registered app name
+  std::vector<std::string> args;       // kExecutable: argv
+  std::string command_line;            // kShellCommand / kShellScript body
+  std::vector<std::string> input_files;   // declared inputs (documentation + ACL)
+  std::string output_file;             // if set, stdout is redirected here
+  std::string stdin_data;              // piped standard input
+  std::uint32_t permissions = kPermRead | kPermWrite | kPermSpawn;
+};
+
+struct Response {
+  std::uint16_t status_code = 0;  // StatusCode as integer; 0 = OK
+  std::string status_message;
+  std::int32_t exit_code = 0;
+  std::string stdout_data;        // truncated to kMaxInlineOutput
+  std::string stderr_data;
+  std::uint32_t pid = 0;
+  double start_time_s = 0;        // device virtual time
+  double end_time_s = 0;
+  double cpu_seconds = 0;
+  double io_seconds = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  double energy_joules = 0;       // device-side energy attributed to the task
+
+  bool ok() const { return status_code == 0; }
+  double elapsed_s() const { return end_time_s - start_time_s; }
+
+  static constexpr std::size_t kMaxInlineOutput = 1 << 20;
+};
+
+struct Minion {
+  std::uint64_t id = 0;
+  Command command;
+  Response response;
+};
+
+enum class QueryType : std::uint8_t {
+  kPing = 0,
+  kStatus = 1,
+  kLoadTask = 2,      // dynamic task loading: name + script body
+  kListTasks = 3,
+  kProcessTable = 4,  // running/finished in-storage processes (ps-style)
+};
+
+struct Query {
+  std::uint64_t id = 0;
+  QueryType type = QueryType::kPing;
+  std::string task_name;    // kLoadTask
+  std::string task_script;  // kLoadTask
+};
+
+struct QueryReply {
+  std::uint64_t id = 0;
+  std::uint16_t status_code = 0;
+  std::string status_message;
+  // kStatus payload (used by clients for load balancing, §III.B).
+  std::uint32_t core_count = 0;
+  double utilization = 0;        // 0..1 across cores
+  double temperature_c = 0;
+  std::uint32_t running_tasks = 0;
+  std::uint32_t queued_minions = 0;
+  double uptime_virtual_s = 0;
+  std::vector<std::string> task_names;  // kListTasks
+
+  // kProcessTable payload (ps-style rows).
+  struct Process {
+    std::uint32_t pid = 0;
+    std::uint8_t state = 0;  // 0 running, 1 done, 2 failed
+    std::string summary;
+    double start_time_s = 0;
+    double end_time_s = 0;
+  };
+  std::vector<Process> processes;
+
+  bool ok() const { return status_code == 0; }
+};
+
+// --- serialization (little-endian, CRC-framed) ---
+std::vector<std::uint8_t> Serialize(const Minion& minion);
+Result<Minion> DeserializeMinion(std::span<const std::uint8_t> data);
+
+std::vector<std::uint8_t> Serialize(const Query& query);
+Result<Query> DeserializeQuery(std::span<const std::uint8_t> data);
+
+std::vector<std::uint8_t> Serialize(const QueryReply& reply);
+Result<QueryReply> DeserializeQueryReply(std::span<const std::uint8_t> data);
+
+/// Converts a Status into response fields and back.
+void StatusToResponse(const Status& status, Response* response);
+Status ResponseToStatus(const Response& response);
+
+}  // namespace compstor::proto

@@ -1,0 +1,31 @@
+// Block-device abstraction consumed by the filesystem.
+//
+// The same SSD exposes two implementations: the host view (through NVMe
+// queues and the PCIe link — every byte pays the interface toll) and the
+// ISPS-internal view (through the flash-access device driver — bytes stay
+// inside the device). This split is the mechanism behind the paper's energy
+// results.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/status.hpp"
+
+namespace compstor::ssd {
+
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+
+  /// `out.size()` must be a multiple of block_size().
+  virtual Status Read(std::uint64_t lba, std::span<std::uint8_t> out) = 0;
+  /// `data.size()` must be a multiple of block_size().
+  virtual Status Write(std::uint64_t lba, std::span<const std::uint8_t> data) = 0;
+  virtual Status Trim(std::uint64_t lba, std::uint64_t nblocks) = 0;
+
+  virtual std::uint64_t block_count() const = 0;
+  virtual std::uint32_t block_size() const = 0;
+};
+
+}  // namespace compstor::ssd

@@ -1,0 +1,119 @@
+#include "ssd/profiles.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace compstor::ssd {
+
+using namespace compstor::units;
+
+namespace {
+
+std::uint32_t ScaledBlocks(std::uint32_t full_blocks, double scale) {
+  return std::max<std::uint32_t>(8, static_cast<std::uint32_t>(std::lround(full_blocks * scale)));
+}
+
+}  // namespace
+
+SsdProfile CompStorProfile(double capacity_scale) {
+  SsdProfile p;
+  p.model = "CompStor 24TB NVMe SSD";
+
+  // Full-scale geometry: 16 channels x 8 dies x 2 planes x 30720 blocks x
+  // 1024 pages x 4KiB ~= 32TB raw (24TB class usable after OP). Scaled-down
+  // variants shrink blocks-per-plane only; timing and bandwidth are
+  // scale-free. (Never instantiate an Ftl at scale 1.0 in tests: the flat
+  // mapping tables would be tens of GB.)
+  p.geometry.channels = 16;
+  p.geometry.dies_per_channel = 8;
+  p.geometry.planes_per_die = 2;
+  p.geometry.blocks_per_plane = ScaledBlocks(30720, capacity_scale);
+  p.geometry.pages_per_block = capacity_scale >= 1.0 ? 1024 : 256;
+  p.geometry.page_data_bytes = 4096;
+  p.geometry.page_spare_bytes = 544;
+
+  p.timing.read_page = usec(70);
+  p.timing.program_page = usec(600);
+  p.timing.erase_block = msec(3);
+  p.timing.channel_bandwidth = MBps(533);  // paper Fig 1
+
+  p.ftl.op_ratio = 0.10;
+  p.ftl.gc_low_watermark = 4;
+  p.ftl.gc_high_watermark = 8;
+  // The paper's "fast-release host data buffer": 8 MiB of controller DRAM.
+  p.ftl.write_cache_pages = 2048;
+
+  // PCIe gen3 x4 endpoint.
+  p.link.bandwidth_bytes_per_s = GBps(3.2);
+  p.link.base_latency_s = usec(5);
+  p.link.pj_per_byte = 450.0;
+
+  p.flash_power.read_uj_per_page = 15.0;
+  p.flash_power.program_uj_per_page = 90.0;
+  p.flash_power.erase_uj_per_block = 220.0;
+  p.flash_power.channel_pj_per_byte = 25.0;
+  p.flash_power.controller_pj_per_byte = 60.0;
+
+  // The modified controller gives the ISPS a direct, wide path to the media
+  // ("ISPS can access the flash data more efficiently than the host CPU").
+  p.internal_bandwidth_bytes_per_s = GBps(6.0);
+  p.internal_latency_s = usec(2);
+  return p;
+}
+
+SsdProfile OffTheShelfProfile(double capacity_scale) {
+  SsdProfile p;
+  p.model = "OTS 256GB NVMe SSD";
+
+  // Client-class part: 8 channels, shallower parallelism; full scale
+  // 8 x 2 x 2 x 4096 x 512 x 4KiB ~= 274 GB raw (256 GB class usable).
+  p.geometry.channels = 8;
+  p.geometry.dies_per_channel = 2;
+  p.geometry.planes_per_die = 2;
+  p.geometry.blocks_per_plane = ScaledBlocks(4096, capacity_scale);
+  p.geometry.pages_per_block = capacity_scale >= 1.0 ? 512 : 256;
+  p.geometry.page_data_bytes = 4096;
+  p.geometry.page_spare_bytes = 544;
+
+  p.timing.read_page = usec(80);
+  p.timing.program_page = usec(700);
+  p.timing.erase_block = msec(3.5);
+  p.timing.channel_bandwidth = MBps(400);
+
+  p.ftl.op_ratio = 0.07;
+  p.ftl.write_cache_pages = 1024;  // 4 MiB client-class write buffer
+
+  p.link.bandwidth_bytes_per_s = GBps(3.2);
+  p.link.base_latency_s = usec(6);
+  p.link.pj_per_byte = 450.0;
+
+  p.flash_power.read_uj_per_page = 18.0;
+  p.flash_power.program_uj_per_page = 100.0;
+  p.flash_power.erase_uj_per_block = 240.0;
+  p.flash_power.channel_pj_per_byte = 28.0;
+  p.flash_power.controller_pj_per_byte = 65.0;
+
+  p.internal_bandwidth_bytes_per_s = 0;  // no ISPS
+  return p;
+}
+
+SsdProfile TestProfile() {
+  SsdProfile p = CompStorProfile(1.0);
+  p.model = "CompStor test SSD";
+  p.geometry.channels = 4;
+  p.geometry.dies_per_channel = 2;
+  p.geometry.planes_per_die = 1;
+  p.geometry.blocks_per_plane = 48;
+  p.geometry.pages_per_block = 32;
+  p.geometry.page_data_bytes = 4096;
+  p.geometry.page_spare_bytes = 544;
+  p.ftl.op_ratio = 0.15;
+  p.ftl.gc_low_watermark = 3;
+  p.ftl.gc_high_watermark = 6;
+  // Write-through keeps unit tests deterministic about flash op counts;
+  // dedicated cache tests opt in explicitly.
+  p.ftl.write_cache_pages = 0;
+  return p;
+}
+
+}  // namespace compstor::ssd

@@ -1,0 +1,49 @@
+// Device profiles for the two SSDs of the paper's Table IV, plus scaled
+// variants for tests (full 24TB mapping tables would waste gigabytes of host
+// RAM for no modeling benefit; timing/bandwidth constants are scale-free).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "energy/energy.hpp"
+#include "flash/geometry.hpp"
+#include "ftl/ftl.hpp"
+
+namespace compstor::ssd {
+
+struct SsdProfile {
+  std::string model;
+  flash::Geometry geometry;
+  flash::Timing timing;
+  flash::Reliability reliability;
+  ftl::FtlConfig ftl;
+  energy::LinkProfile link;
+  energy::FlashPowerProfile flash_power;
+
+  /// ISPS <-> flash internal data path ("high bandwidth, low latency" per the
+  /// paper §III.A). Zero bandwidth marks a device with no ISPS (off-the-shelf).
+  double internal_bandwidth_bytes_per_s = 0;
+  units::Seconds internal_latency_s = 0;
+
+  std::uint64_t UserCapacityBytes() const {
+    // Mirrors the FTL's reservation formula.
+    const std::uint64_t total = geometry.total_blocks();
+    const auto reserved = static_cast<std::uint64_t>(ftl.op_ratio * static_cast<double>(total));
+    const std::uint64_t user_blocks =
+        total - std::max<std::uint64_t>(reserved, ftl.gc_high_watermark + 1);
+    return user_blocks * geometry.pages_per_block * geometry.page_data_bytes;
+  }
+};
+
+/// The CompStor prototype: 16-channel enterprise SSD with the in-situ path.
+/// `capacity_scale` shrinks blocks-per-plane; 1.0 would model the full 24TB.
+SsdProfile CompStorProfile(double capacity_scale = 0.001);
+
+/// The comparison device of Table IV: off-the-shelf 256GB NVMe SSD, no ISPS.
+SsdProfile OffTheShelfProfile(double capacity_scale = 0.01);
+
+/// Tiny geometry for unit tests (tens of MiB, GC reachable in milliseconds).
+SsdProfile TestProfile();
+
+}  // namespace compstor::ssd

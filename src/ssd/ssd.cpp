@@ -1,0 +1,158 @@
+#include "ssd/ssd.hpp"
+
+#include <cstring>
+
+namespace compstor::ssd {
+
+namespace {
+// Largest single NVMe IO the views issue; larger requests are split.
+constexpr std::uint32_t kMaxNlbPerCommand = 256;
+}  // namespace
+
+/// Host path: every block traverses the NVMe queues and the PCIe link.
+class Ssd::HostView final : public BlockDevice {
+ public:
+  explicit HostView(Ssd* ssd) : ssd_(ssd) {}
+
+  Status Read(std::uint64_t lba, std::span<std::uint8_t> out) override {
+    return DoIo(nvme::Opcode::kRead, lba, out.data(), nullptr, out.size());
+  }
+  Status Write(std::uint64_t lba, std::span<const std::uint8_t> data) override {
+    return DoIo(nvme::Opcode::kWrite, lba, nullptr, data.data(), data.size());
+  }
+  Status Trim(std::uint64_t lba, std::uint64_t nblocks) override {
+    while (nblocks > 0) {
+      const auto chunk = static_cast<std::uint32_t>(std::min<std::uint64_t>(nblocks, kMaxNlbPerCommand));
+      nvme::Completion cqe = ssd_->host_if_->TrimSync(lba, chunk);
+      if (!cqe.status.ok()) return cqe.status;
+      lba += chunk;
+      nblocks -= chunk;
+    }
+    return OkStatus();
+  }
+  std::uint64_t block_count() const override { return ssd_->ftl_->user_pages(); }
+  std::uint32_t block_size() const override { return ssd_->ftl_->page_data_bytes(); }
+
+ private:
+  Status DoIo(nvme::Opcode op, std::uint64_t lba, std::uint8_t* read_dst,
+              const std::uint8_t* write_src, std::size_t bytes) {
+    const std::uint32_t page = block_size();
+    if (bytes % page != 0) return InvalidArgument("block io: unaligned size");
+    std::uint64_t blocks = bytes / page;
+    std::size_t offset = 0;
+    while (blocks > 0) {
+      const auto nlb = static_cast<std::uint32_t>(std::min<std::uint64_t>(blocks, kMaxNlbPerCommand));
+      auto buf = std::make_shared<std::vector<std::uint8_t>>(static_cast<std::size_t>(nlb) * page);
+      if (op == nvme::Opcode::kWrite) {
+        std::memcpy(buf->data(), write_src + offset, buf->size());
+      }
+      nvme::Completion cqe = (op == nvme::Opcode::kRead)
+                                 ? ssd_->host_if_->ReadSync(lba, nlb, buf)
+                                 : ssd_->host_if_->WriteSync(lba, nlb, buf);
+      if (!cqe.status.ok()) return cqe.status;
+      if (op == nvme::Opcode::kRead) {
+        std::memcpy(read_dst + offset, buf->data(), buf->size());
+      }
+      offset += buf->size();
+      lba += nlb;
+      blocks -= nlb;
+    }
+    return OkStatus();
+  }
+
+  Ssd* ssd_;
+};
+
+/// Internal path: direct FTL access; bytes never leave the device.
+class Ssd::InternalView final : public BlockDevice {
+ public:
+  explicit InternalView(Ssd* ssd) : ssd_(ssd) {}
+
+  Status Read(std::uint64_t lba, std::span<std::uint8_t> out) override {
+    const std::uint32_t page = block_size();
+    if (out.size() % page != 0) return InvalidArgument("block io: unaligned size");
+    ftl::IoCost cost;
+    for (std::size_t i = 0; i < out.size() / page; ++i) {
+      COMPSTOR_RETURN_IF_ERROR(
+          ssd_->InternalRead(lba + i, out.subspan(i * page, page), &cost));
+    }
+    return OkStatus();
+  }
+  Status Write(std::uint64_t lba, std::span<const std::uint8_t> data) override {
+    const std::uint32_t page = block_size();
+    if (data.size() % page != 0) return InvalidArgument("block io: unaligned size");
+    ftl::IoCost cost;
+    for (std::size_t i = 0; i < data.size() / page; ++i) {
+      COMPSTOR_RETURN_IF_ERROR(
+          ssd_->InternalWrite(lba + i, data.subspan(i * page, page), &cost));
+    }
+    return OkStatus();
+  }
+  Status Trim(std::uint64_t lba, std::uint64_t nblocks) override {
+    ftl::IoCost cost;
+    return ssd_->InternalTrim(lba, nblocks, &cost);
+  }
+  std::uint64_t block_count() const override { return ssd_->ftl_->user_pages(); }
+  std::uint32_t block_size() const override { return ssd_->ftl_->page_data_bytes(); }
+
+ private:
+  Ssd* ssd_;
+};
+
+Ssd::Ssd(const SsdProfile& profile, std::uint64_t seed) : profile_(profile) {
+  array_ = std::make_unique<flash::Array>(profile_.geometry, profile_.timing,
+                                          profile_.reliability, seed);
+  ftl_ = std::make_unique<ftl::Ftl>(array_.get(), profile_.ftl);
+  link_ = std::make_unique<nvme::PcieLink>(profile_.link, &meter_);
+  controller_ = std::make_unique<nvme::Controller>(ftl_.get(), link_.get(), &meter_,
+                                                   profile_.flash_power, profile_.model);
+  controller_->Start();
+  host_if_ = std::make_unique<nvme::HostInterface>(controller_.get());
+  host_view_ = std::make_unique<HostView>(this);
+  internal_view_ = std::make_unique<InternalView>(this);
+}
+
+Ssd::~Ssd() {
+  // Host interface shutdown stops the controller and joins the reaper.
+  host_if_->Shutdown();
+}
+
+BlockDevice& Ssd::host_block_device() { return *host_view_; }
+BlockDevice& Ssd::internal_block_device() { return *internal_view_; }
+
+Status Ssd::InternalRead(std::uint64_t lpn, std::span<std::uint8_t> out,
+                         ftl::IoCost* cost) {
+  if (!has_isps_path()) return Unavailable("device has no in-situ subsystem");
+  ftl::IoCost local;
+  COMPSTOR_RETURN_IF_ERROR(ftl_->ReadPage(lpn, out, &local));
+  const units::Seconds bus =
+      profile_.internal_latency_s +
+      static_cast<double>(out.size()) / profile_.internal_bandwidth_bytes_per_s;
+  local.latency += bus;
+  internal_busy_.AddBusy(bus);
+  nvme::ChargeFlashEnergy(&meter_, profile_.flash_power, local, out.size());
+  if (cost != nullptr) cost->Add(local);
+  return OkStatus();
+}
+
+Status Ssd::InternalWrite(std::uint64_t lpn, std::span<const std::uint8_t> data,
+                          ftl::IoCost* cost) {
+  if (!has_isps_path()) return Unavailable("device has no in-situ subsystem");
+  ftl::IoCost local;
+  COMPSTOR_RETURN_IF_ERROR(ftl_->WritePage(lpn, data, &local));
+  const units::Seconds bus =
+      profile_.internal_latency_s +
+      static_cast<double>(data.size()) / profile_.internal_bandwidth_bytes_per_s;
+  local.latency += bus;
+  internal_busy_.AddBusy(bus);
+  nvme::ChargeFlashEnergy(&meter_, profile_.flash_power, local, data.size());
+  if (cost != nullptr) cost->Add(local);
+  return OkStatus();
+}
+
+Status Ssd::InternalTrim(std::uint64_t lpn, std::uint64_t count, ftl::IoCost* cost) {
+  if (!has_isps_path()) return Unavailable("device has no in-situ subsystem");
+  return ftl_->Trim(lpn, count, cost);
+}
+
+}  // namespace compstor::ssd

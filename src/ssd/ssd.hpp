@@ -1,0 +1,80 @@
+// The assembled SSD: flash array + FTL + NVMe controller + host driver +
+// the internal (ISPS-side) access path, with one energy meter per device.
+//
+// Host software reads/writes through `host_block_device()` (NVMe + PCIe);
+// in-situ software reads/writes through `internal_block_device()` (the
+// paper's flash-access device driver). Both resolve to the same FTL, so the
+// two sides share one coherent view of the media.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+
+#include "common/sim_clock.hpp"
+#include "energy/energy.hpp"
+#include "flash/array.hpp"
+#include "ftl/ftl.hpp"
+#include "nvme/controller.hpp"
+#include "nvme/host_interface.hpp"
+#include "nvme/pcie_link.hpp"
+#include "ssd/block_device.hpp"
+#include "ssd/profiles.hpp"
+
+namespace compstor::ssd {
+
+class Ssd {
+ public:
+  explicit Ssd(const SsdProfile& profile, std::uint64_t seed = 0xC0FFEE);
+  ~Ssd();
+
+  Ssd(const Ssd&) = delete;
+  Ssd& operator=(const Ssd&) = delete;
+
+  const SsdProfile& profile() const { return profile_; }
+  ftl::Ftl& ftl() { return *ftl_; }
+  flash::Array& array() { return *array_; }
+  nvme::Controller& controller() { return *controller_; }
+  nvme::HostInterface& host_interface() { return *host_if_; }
+  nvme::PcieLink& link() { return *link_; }
+  energy::EnergyMeter& meter() { return meter_; }
+
+  /// Block views (block == flash page == 4096 bytes).
+  BlockDevice& host_block_device();
+  BlockDevice& internal_block_device();
+
+  bool has_isps_path() const { return profile_.internal_bandwidth_bytes_per_s > 0; }
+
+  /// Mutex shared by every Filesystem instance mounted over this SSD (host
+  /// view and ISPS view must serialize against each other).
+  std::shared_ptr<std::mutex> fs_mutex() const { return fs_mutex_; }
+
+  /// Internal-path IO used by the ISPS view: direct FTL access plus the
+  /// internal bus charge. Returns model latency via `cost`.
+  Status InternalRead(std::uint64_t lpn, std::span<std::uint8_t> out, ftl::IoCost* cost);
+  Status InternalWrite(std::uint64_t lpn, std::span<const std::uint8_t> data,
+                       ftl::IoCost* cost);
+  Status InternalTrim(std::uint64_t lpn, std::uint64_t count, ftl::IoCost* cost);
+
+  /// Cumulative model-seconds the internal path has been busy.
+  units::Seconds InternalBusySeconds() const { return internal_busy_.BusySeconds(); }
+
+ private:
+  class HostView;
+  class InternalView;
+
+  SsdProfile profile_;
+  energy::EnergyMeter meter_;
+  std::unique_ptr<flash::Array> array_;
+  std::unique_ptr<ftl::Ftl> ftl_;
+  std::unique_ptr<nvme::PcieLink> link_;
+  std::unique_ptr<nvme::Controller> controller_;
+  std::unique_ptr<nvme::HostInterface> host_if_;
+  std::unique_ptr<HostView> host_view_;
+  std::unique_ptr<InternalView> internal_view_;
+  BusyMeter internal_busy_;
+  std::shared_ptr<std::mutex> fs_mutex_ = std::make_shared<std::mutex>();
+};
+
+}  // namespace compstor::ssd

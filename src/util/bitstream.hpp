@@ -1,0 +1,122 @@
+// Bit-level I/O for the compression codecs (LSB-first, DEFLATE convention).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace compstor::util {
+
+/// Accumulates bits LSB-first into a byte vector.
+class BitWriter {
+ public:
+  /// Writes the low `count` bits of `bits` (count <= 32).
+  void WriteBits(std::uint32_t bits, int count) {
+    assert(count >= 0 && count <= 32);
+    acc_ |= static_cast<std::uint64_t>(bits & ((count < 32) ? ((1u << count) - 1u) : ~0u))
+            << filled_;
+    filled_ += count;
+    while (filled_ >= 8) {
+      out_.push_back(static_cast<std::uint8_t>(acc_ & 0xFF));
+      acc_ >>= 8;
+      filled_ -= 8;
+    }
+  }
+
+  /// Pads with zero bits to the next byte boundary.
+  void AlignToByte() {
+    if (filled_ > 0) {
+      out_.push_back(static_cast<std::uint8_t>(acc_ & 0xFF));
+      acc_ = 0;
+      filled_ = 0;
+    }
+  }
+
+  /// Byte-aligned raw copy (caller must align first).
+  void WriteBytes(std::span<const std::uint8_t> bytes) {
+    assert(filled_ == 0 && "WriteBytes requires byte alignment");
+    out_.insert(out_.end(), bytes.begin(), bytes.end());
+  }
+
+  std::size_t BitCount() const { return out_.size() * 8 + filled_; }
+
+  std::vector<std::uint8_t> Finish() {
+    AlignToByte();
+    return std::move(out_);
+  }
+
+ private:
+  std::vector<std::uint8_t> out_;
+  std::uint64_t acc_ = 0;
+  int filled_ = 0;
+};
+
+/// Reads bits LSB-first from a byte span. Reading past the end yields zero
+/// bits and sets overrun() — codecs check it once per block rather than per
+/// symbol.
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint32_t ReadBits(int count) {
+    assert(count >= 0 && count <= 32);
+    while (filled_ < count) {
+      if (pos_ < data_.size()) {
+        acc_ |= static_cast<std::uint64_t>(data_[pos_++]) << filled_;
+        filled_ += 8;
+      } else {
+        overrun_ = true;
+        filled_ = count;  // zero-fill
+        break;
+      }
+    }
+    const auto mask = (count < 32) ? ((1u << count) - 1u) : ~0u;
+    const auto bits = static_cast<std::uint32_t>(acc_) & mask;
+    acc_ >>= count;
+    filled_ -= count;
+    return bits;
+  }
+
+  std::uint32_t ReadBit() { return ReadBits(1); }
+
+  void AlignToByte() {
+    const int drop = filled_ % 8;
+    acc_ >>= drop;
+    filled_ -= drop;
+  }
+
+  /// Byte-aligned raw read; returns false on overrun.
+  bool ReadBytes(std::span<std::uint8_t> out) {
+    assert(filled_ % 8 == 0);
+    // Drain buffered whole bytes first.
+    std::size_t i = 0;
+    while (filled_ > 0 && i < out.size()) {
+      out[i++] = static_cast<std::uint8_t>(acc_ & 0xFF);
+      acc_ >>= 8;
+      filled_ -= 8;
+    }
+    for (; i < out.size(); ++i) {
+      if (pos_ >= data_.size()) {
+        overrun_ = true;
+        return false;
+      }
+      out[i] = data_[pos_++];
+    }
+    return true;
+  }
+
+  bool overrun() const { return overrun_; }
+
+  /// Bits consumed so far (including buffered-but-unread bits).
+  std::size_t BitsConsumed() const { return pos_ * 8 - static_cast<std::size_t>(filled_); }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  std::uint64_t acc_ = 0;
+  int filled_ = 0;
+  bool overrun_ = false;
+};
+
+}  // namespace compstor::util

@@ -1,0 +1,118 @@
+// Byte-level serialization: little-endian writer/reader over a byte vector.
+//
+// The proto entities (Command/Response/Minion/Query) are serialized with
+// these before crossing the emulated PCIe link, so the wire format is
+// explicit and byte-order independent.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace compstor::util {
+
+class ByteWriter {
+ public:
+  void PutU8(std::uint8_t v) { buf_.push_back(v); }
+  void PutU16(std::uint16_t v) { PutLE(v); }
+  void PutU32(std::uint32_t v) { PutLE(v); }
+  void PutU64(std::uint64_t v) { PutLE(v); }
+  void PutI64(std::int64_t v) { PutLE(static_cast<std::uint64_t>(v)); }
+  void PutF64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutLE(bits);
+  }
+  /// Length-prefixed (u32) string.
+  void PutString(std::string_view s) {
+    PutU32(static_cast<std::uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+  /// Length-prefixed (u32) blob.
+  void PutBytes(std::span<const std::uint8_t> bytes) {
+    PutU32(static_cast<std::uint32_t>(bytes.size()));
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  }
+  void PutRaw(std::span<const std::uint8_t> bytes) {
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  }
+
+  const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  std::vector<std::uint8_t> Take() { return std::move(buf_); }
+
+ private:
+  template <typename T>
+  void PutLE(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Reader over a fixed span; every Get checks bounds and reports kOutOfRange
+/// so malformed wire data never reads past the buffer.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  Result<std::uint8_t> GetU8() { return GetLE<std::uint8_t>(); }
+  Result<std::uint16_t> GetU16() { return GetLE<std::uint16_t>(); }
+  Result<std::uint32_t> GetU32() { return GetLE<std::uint32_t>(); }
+  Result<std::uint64_t> GetU64() { return GetLE<std::uint64_t>(); }
+  Result<std::int64_t> GetI64() {
+    auto r = GetLE<std::uint64_t>();
+    if (!r.ok()) return r.status();
+    return static_cast<std::int64_t>(*r);
+  }
+  Result<double> GetF64() {
+    auto r = GetLE<std::uint64_t>();
+    if (!r.ok()) return r.status();
+    double v;
+    std::uint64_t bits = *r;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  Result<std::string> GetString() {
+    auto len = GetU32();
+    if (!len.ok()) return len.status();
+    if (remaining() < *len) return OutOfRange("string length exceeds buffer");
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), *len);
+    pos_ += *len;
+    return s;
+  }
+  Result<std::vector<std::uint8_t>> GetBytes() {
+    auto len = GetU32();
+    if (!len.ok()) return len.status();
+    if (remaining() < *len) return OutOfRange("blob length exceeds buffer");
+    std::vector<std::uint8_t> v(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                data_.begin() + static_cast<std::ptrdiff_t>(pos_ + *len));
+    pos_ += *len;
+    return v;
+  }
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  template <typename T>
+  Result<T> GetLE() {
+    if (remaining() < sizeof(T)) return OutOfRange("read past end of buffer");
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(static_cast<T>(data_[pos_ + i]) << (8 * i));
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace compstor::util

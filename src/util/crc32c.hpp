@@ -1,0 +1,21 @@
+// Software CRC32C (Castagnoli), table-driven, slice-by-1.
+//
+// Used by the ECC page envelope and by proto serialization to detect
+// corruption across the emulated PCIe link.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace compstor::util {
+
+/// CRC of `data`, seeded with `seed` (pass the previous CRC to continue an
+/// incremental computation over chunked input).
+std::uint32_t Crc32c(std::span<const std::uint8_t> data, std::uint32_t seed = 0);
+
+inline std::uint32_t Crc32c(const void* data, std::size_t len, std::uint32_t seed = 0) {
+  return Crc32c(std::span<const std::uint8_t>(static_cast<const std::uint8_t*>(data), len), seed);
+}
+
+}  // namespace compstor::util

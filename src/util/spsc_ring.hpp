@@ -1,0 +1,75 @@
+// Lock-free single-producer single-consumer ring buffer.
+//
+// Models the hardware doorbell rings between the NVMe front-end and the FTL
+// back-end: exactly one producer thread and one consumer thread per ring.
+// Classic Lamport ring with C++20 acquire/release atomics; head/tail on
+// separate cache lines to avoid false sharing.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <new>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace compstor::util {
+
+#ifdef __cpp_lib_hardware_interference_size
+inline constexpr std::size_t kCacheLine = std::hardware_destructive_interference_size;
+#else
+inline constexpr std::size_t kCacheLine = 64;
+#endif
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two; usable slots = capacity.
+  explicit SpscRing(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity + 1) cap <<= 1;  // one slot is kept empty
+    mask_ = cap - 1;
+    slots_.resize(cap);
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side. Returns false when full.
+  bool TryPush(T item) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t next = (head + 1) & mask_;
+    if (next == tail_.load(std::memory_order_acquire)) return false;  // full
+    slots_[head] = std::move(item);
+    head_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns nullopt when empty.
+  std::optional<T> TryPop() {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_.load(std::memory_order_acquire)) return std::nullopt;
+    T item = std::move(slots_[tail]);
+    tail_.store((tail + 1) & mask_, std::memory_order_release);
+    return item;
+  }
+
+  bool Empty() const {
+    return tail_.load(std::memory_order_acquire) ==
+           head_.load(std::memory_order_acquire);
+  }
+
+  std::size_t SizeApprox() const {
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    return (head - tail) & mask_;
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  alignas(kCacheLine) std::atomic<std::size_t> head_{0};  // producer-owned
+  alignas(kCacheLine) std::atomic<std::size_t> tail_{0};  // consumer-owned
+};
+
+}  // namespace compstor::util

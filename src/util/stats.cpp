@@ -1,0 +1,76 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace compstor::util {
+
+void RunningStats::Add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void LogHistogram::Add(double value) {
+  stats_.Add(value);
+  int bucket = 0;
+  if (value >= 1.0) {
+    bucket = std::min(kBuckets - 1, static_cast<int>(std::log2(value)) + 1);
+  }
+  ++buckets_[bucket];
+  ++total_;
+}
+
+double LogHistogram::Quantile(double q) const {
+  if (total_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(total_ - 1));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    if (seen + buckets_[i] > target) {
+      // Midpoint of the bucket's range as the representative value.
+      const double lo = (i == 0) ? 0.0 : std::pow(2.0, i - 1);
+      const double hi = std::pow(2.0, i);
+      return (lo + hi) / 2.0;
+    }
+    seen += buckets_[i];
+  }
+  return stats_.max();
+}
+
+std::string LogHistogram::ToString() const {
+  std::ostringstream os;
+  os << "n=" << total_ << " mean=" << stats_.mean() << " p50=" << Quantile(0.5)
+     << " p99=" << Quantile(0.99) << " max=" << stats_.max();
+  return os.str();
+}
+
+}  // namespace compstor::util

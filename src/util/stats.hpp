@@ -1,0 +1,52 @@
+// Streaming statistics and fixed-bucket latency histograms for the benches.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace compstor::util {
+
+/// Welford running mean/variance plus min/max. Single-threaded; aggregate
+/// per-thread instances with Merge().
+class RunningStats {
+ public:
+  void Add(double x);
+  void Merge(const RunningStats& other);
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Log-scaled histogram: bucket i covers [2^i, 2^(i+1)) in the chosen unit.
+/// Suited to latency distributions spanning several orders of magnitude.
+class LogHistogram {
+ public:
+  void Add(double value);
+  std::uint64_t TotalCount() const { return total_; }
+  /// Approximate quantile (q in [0,1]) via bucket interpolation.
+  double Quantile(double q) const;
+  std::string ToString() const;
+
+ private:
+  static constexpr int kBuckets = 64;
+  std::uint64_t buckets_[kBuckets] = {};
+  std::uint64_t total_ = 0;
+  RunningStats stats_;
+};
+
+}  // namespace compstor::util

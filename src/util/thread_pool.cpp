@@ -1,0 +1,40 @@
+#include "util/thread_pool.hpp"
+
+#include <utility>
+
+namespace compstor::util {
+
+namespace {
+// Deep enough that producers rarely block; bounded so a runaway producer
+// exerts back-pressure instead of exhausting memory.
+constexpr std::size_t kQueueDepth = 4096;
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t num_threads, std::string name_prefix)
+    : queue_(kQueueDepth), name_prefix_(std::move(name_prefix)) {
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+bool ThreadPool::Submit(std::function<void()> task) {
+  return queue_.Push(std::move(task));
+}
+
+void ThreadPool::Shutdown() {
+  queue_.Close();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void ThreadPool::WorkerLoop(std::size_t /*index*/) {
+  while (auto task = queue_.Pop()) {
+    (*task)();
+  }
+}
+
+}  // namespace compstor::util

@@ -1,0 +1,57 @@
+// Fixed-size thread pool with a shared work queue.
+//
+// Backs the ISPS core emulator (one worker per emulated ARM core) and the
+// host executor (one worker per emulated Xeon thread). Tasks are type-erased
+// std::function<void()>; callers needing results wrap them in
+// std::packaged_task / promise as usual.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "util/mpmc_queue.hpp"
+
+namespace compstor::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers. `name_prefix` is informational only.
+  explicit ThreadPool(std::size_t num_threads, std::string name_prefix = "worker");
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Returns false after Shutdown().
+  bool Submit(std::function<void()> task);
+
+  /// Enqueues a callable and returns a future for its result.
+  template <typename F, typename R = std::invoke_result_t<F>>
+  std::future<R> Async(F&& fn) {
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    Submit([task]() { (*task)(); });
+    return fut;
+  }
+
+  /// Stops accepting tasks, finishes queued ones, joins workers. Idempotent.
+  void Shutdown();
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop(std::size_t index);
+
+  MpmcQueue<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::string name_prefix_;
+};
+
+}  // namespace compstor::util

@@ -1,0 +1,113 @@
+#include "workload/dataset.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "apps/bwzip.hpp"
+#include "apps/deflate.hpp"
+#include "util/rng.hpp"
+#include "workload/textgen.hpp"
+
+namespace compstor::workload {
+namespace {
+
+std::string FileName(const DatasetSpec& spec, std::uint32_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "book_%03u.txt", index);
+  std::string name = spec.directory + "/" + buf;
+  switch (spec.format) {
+    case StoredFormat::kPlain: break;
+    case StoredFormat::kCzip: name += ".gz"; break;
+    case StoredFormat::kBwz: name += ".bz2"; break;
+  }
+  return name;
+}
+
+/// Per-file sizes: log-uniform in [mean/2, 2*mean] (rescaled to hit total).
+std::vector<std::uint64_t> FileSizes(const DatasetSpec& spec) {
+  util::Xoshiro256 rng(spec.seed ^ 0x5151AA55u);
+  std::vector<std::uint64_t> sizes(spec.num_files);
+  const double mean =
+      static_cast<double>(spec.total_bytes) / std::max<std::uint32_t>(1, spec.num_files);
+  double sum = 0;
+  for (auto& s : sizes) {
+    const double factor = spec.uniform_sizes ? 1.0 : std::exp2(rng.NextDouble() * 2 - 1);
+    s = static_cast<std::uint64_t>(mean * factor);
+    sum += static_cast<double>(s);
+  }
+  // Rescale to the requested total.
+  const double scale = static_cast<double>(spec.total_bytes) / sum;
+  for (auto& s : sizes) {
+    s = std::max<std::uint64_t>(1024, static_cast<std::uint64_t>(static_cast<double>(s) * scale));
+  }
+  return sizes;
+}
+
+Result<std::string> Render(const DatasetSpec& spec, std::uint32_t index,
+                           std::uint64_t size, std::uint64_t* original_bytes) {
+  TextGenOptions opt;
+  opt.seed = spec.seed * 1000003ull + index;
+  opt.approx_bytes = size;
+  opt.title = "Synthetic Book Volume " + std::to_string(index);
+  std::string text = GenerateBookText(opt);
+  *original_bytes = text.size();
+
+  switch (spec.format) {
+    case StoredFormat::kPlain:
+      return text;
+    case StoredFormat::kCzip: {
+      auto input = std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(text.data()), text.size());
+      COMPSTOR_ASSIGN_OR_RETURN(std::vector<std::uint8_t> z, apps::CzipCompress(input));
+      return std::string(reinterpret_cast<const char*>(z.data()), z.size());
+    }
+    case StoredFormat::kBwz: {
+      auto input = std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(text.data()), text.size());
+      COMPSTOR_ASSIGN_OR_RETURN(std::vector<std::uint8_t> z, apps::BwzCompress(input));
+      return std::string(reinterpret_cast<const char*>(z.data()), z.size());
+    }
+  }
+  return Internal("unreachable");
+}
+
+}  // namespace
+
+Result<Dataset> BuildDataset(fs::Filesystem* filesystem, const DatasetSpec& spec) {
+  Dataset ds;
+  ds.spec = spec;
+  Status st = filesystem->Mkdir(spec.directory);
+  if (!st.ok() && st.code() != StatusCode::kAlreadyExists) return st;
+
+  const std::vector<std::uint64_t> sizes = FileSizes(spec);
+  for (std::uint32_t i = 0; i < spec.num_files; ++i) {
+    DatasetFile file;
+    file.path = FileName(spec, i);
+    COMPSTOR_ASSIGN_OR_RETURN(std::string stored,
+                              Render(spec, i, sizes[i], &file.original_bytes));
+    file.stored_bytes = stored.size();
+    COMPSTOR_RETURN_IF_ERROR(filesystem->WriteFile(file.path, stored));
+    ds.files.push_back(std::move(file));
+  }
+  return ds;
+}
+
+Result<Dataset> BuildDatasetInMemory(const DatasetSpec& spec,
+                                     std::vector<std::string>* contents) {
+  Dataset ds;
+  ds.spec = spec;
+  contents->clear();
+  const std::vector<std::uint64_t> sizes = FileSizes(spec);
+  for (std::uint32_t i = 0; i < spec.num_files; ++i) {
+    DatasetFile file;
+    file.path = FileName(spec, i);
+    COMPSTOR_ASSIGN_OR_RETURN(std::string stored,
+                              Render(spec, i, sizes[i], &file.original_bytes));
+    file.stored_bytes = stored.size();
+    contents->push_back(std::move(stored));
+    ds.files.push_back(std::move(file));
+  }
+  return ds;
+}
+
+}  // namespace compstor::workload

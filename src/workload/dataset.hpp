@@ -1,0 +1,62 @@
+// Dataset builder: reproduces the structure of the paper's evaluation corpus
+// (§IV.B: 348 books, 11.3 GB total, individually compressed with gzip and
+// bzip2) at a configurable scale, staged into a device filesystem.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "fs/filesystem.hpp"
+
+namespace compstor::workload {
+
+enum class StoredFormat : std::uint8_t {
+  kPlain,  // book_NNN.txt
+  kCzip,   // book_NNN.txt.gz  (czip container)
+  kBwz,    // book_NNN.txt.bz2 (cbz container)
+};
+
+struct DatasetSpec {
+  std::uint32_t num_files = 16;          // paper: 348
+  std::uint64_t total_bytes = 8u << 20;  // paper: ~11.3 GB (uncompressed)
+  std::uint64_t seed = 42;
+  StoredFormat format = StoredFormat::kPlain;
+  std::string directory = "/data";
+  /// File sizes follow a log-uniform spread of about 4x around the mean,
+  /// like real book collections, unless uniform is requested.
+  bool uniform_sizes = false;
+};
+
+struct DatasetFile {
+  std::string path;                 // where it lives in the FS
+  std::uint64_t original_bytes = 0;
+  std::uint64_t stored_bytes = 0;
+};
+
+struct Dataset {
+  DatasetSpec spec;
+  std::vector<DatasetFile> files;
+
+  std::uint64_t TotalOriginalBytes() const {
+    std::uint64_t sum = 0;
+    for (const DatasetFile& f : files) sum += f.original_bytes;
+    return sum;
+  }
+  std::uint64_t TotalStoredBytes() const {
+    std::uint64_t sum = 0;
+    for (const DatasetFile& f : files) sum += f.stored_bytes;
+    return sum;
+  }
+};
+
+/// Generates the corpus and writes it into `filesystem` under
+/// spec.directory (created if needed).
+Result<Dataset> BuildDataset(fs::Filesystem* filesystem, const DatasetSpec& spec);
+
+/// Generates the corpus into memory (for host-less benches/tests).
+Result<Dataset> BuildDatasetInMemory(const DatasetSpec& spec,
+                                     std::vector<std::string>* contents);
+
+}  // namespace compstor::workload

@@ -1,0 +1,113 @@
+#include "workload/textgen.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace compstor::workload {
+namespace {
+
+// ~212 common English words; Zipf sampling over this list yields text whose
+// letter/word statistics are close enough to prose for compression ratios
+// and search selectivity to behave realistically.
+constexpr std::array<const char*, 212> kWords = {
+    "the", "of", "and", "a", "to", "in", "is", "was", "he", "for",
+    "it", "with", "as", "his", "on", "be", "at", "by", "had", "not",
+    "are", "but", "from", "or", "have", "an", "they", "which", "one", "you",
+    "were", "her", "all", "she", "there", "would", "their", "we", "him", "been",
+    "has", "when", "who", "will", "more", "no", "if", "out", "so", "said",
+    "what", "up", "its", "about", "into", "than", "them", "can", "only", "other",
+    "new", "some", "could", "time", "these", "two", "may", "then", "do", "first",
+    "any", "my", "now", "such", "like", "our", "over", "man", "me", "even",
+    "most", "made", "after", "also", "did", "many", "before", "must", "through",
+    "years", "where", "much", "your", "way", "well", "down", "should", "because",
+    "each", "just", "those", "people", "mr", "how", "too", "little", "state",
+    "good", "very", "make", "world", "still", "own", "see", "men", "work",
+    "long", "get", "here", "between", "both", "life", "being", "under", "never",
+    "day", "same", "another", "know", "while", "last", "might", "us", "great",
+    "old", "year", "off", "come", "since", "against", "go", "came", "right",
+    "used", "take", "three", "states", "himself", "few", "house", "use", "during",
+    "without", "again", "place", "american", "around", "however", "home", "small",
+    "found", "mrs", "thought", "went", "say", "part", "once", "general", "high",
+    "upon", "school", "every", "don", "does", "got", "united", "left", "number",
+    "course", "war", "until", "always", "away", "something", "fact", "though",
+    "water", "less", "public", "put", "think", "almost", "hand", "enough", "far",
+    "took", "head", "yet", "government", "system", "better", "set", "told",
+    "nothing", "night", "end", "why", "called", "didn", "eyes", "find", "going",
+};
+
+}  // namespace
+
+std::string GenerateBookText(const TextGenOptions& options) {
+  util::Xoshiro256 rng(options.seed);
+  std::string out;
+  out.reserve(options.approx_bytes + 256);
+
+  out += options.title;
+  out += "\n\n";
+
+  // Zipf(s=1.1) over the word list via inverse-CDF table.
+  std::array<double, kWords.size()> cdf;
+  double sum = 0;
+  for (std::size_t i = 0; i < kWords.size(); ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), 1.1);
+    cdf[i] = sum;
+  }
+  auto pick_word = [&]() -> const char* {
+    const double u = rng.NextDouble() * sum;
+    // Binary search the CDF.
+    std::size_t lo = 0, hi = kWords.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (cdf[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return kWords[lo];
+  };
+
+  int chapter = 1;
+  std::size_t paragraph_sentences = 0;
+  std::size_t sentences_target = 4 + rng.Below(5);
+  bool chapter_pending = true;
+
+  while (out.size() < options.approx_bytes) {
+    if (chapter_pending) {
+      out += "CHAPTER " + std::to_string(chapter++) + "\n\n";
+      chapter_pending = false;
+    }
+    // One sentence.
+    const std::size_t words = 6 + rng.Below(16);
+    for (std::size_t w = 0; w < words; ++w) {
+      std::string word = pick_word();
+      if (w == 0) word[0] = static_cast<char>(word[0] - 'a' + 'A');
+      out += word;
+      if (w + 1 < words) {
+        // Occasional comma or numeral.
+        if (rng.Chance(0.06)) out += ",";
+        out += " ";
+        if (rng.Chance(0.015)) {
+          out += std::to_string(rng.Below(1900) + 100);
+          out += " ";
+        }
+      }
+    }
+    out += rng.Chance(0.08) ? "!" : rng.Chance(0.1) ? "?" : ".";
+    ++paragraph_sentences;
+    if (paragraph_sentences >= sentences_target) {
+      out += "\n\n";
+      paragraph_sentences = 0;
+      sentences_target = 4 + rng.Below(5);
+      if (rng.Chance(0.04)) chapter_pending = true;
+    } else {
+      out += " ";
+    }
+  }
+  out += "\n";
+  return out;
+}
+
+}  // namespace compstor::workload

@@ -1,0 +1,365 @@
+// Tests for the AWK interpreter.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "apps/awk.hpp"
+
+namespace compstor::apps {
+namespace {
+
+/// Compiles and runs `program` over `input` (as one unnamed file).
+std::string Awk(std::string_view program, std::string_view input = "",
+                const AwkProgram::RunOptions& opts = {}) {
+  auto compiled = AwkProgram::Compile(program);
+  EXPECT_TRUE(compiled.ok()) << program << " -> " << compiled.status().ToString();
+  if (!compiled.ok()) return "<compile error>";
+  std::vector<std::pair<std::string, std::string>> files;
+  if (!input.empty()) files.emplace_back("input", std::string(input));
+  auto result = compiled->Run(files, "", opts);
+  EXPECT_TRUE(result.ok()) << program << " -> " << result.status().ToString();
+  if (!result.ok()) return "<runtime error>";
+  return result->output;
+}
+
+// (program, input, expected output)
+using AwkCase = std::tuple<const char*, const char*, const char*>;
+
+class AwkGolden : public ::testing::TestWithParam<AwkCase> {};
+
+TEST_P(AwkGolden, ProducesExpectedOutput) {
+  const auto& [program, input, expected] = GetParam();
+  EXPECT_EQ(Awk(program, input), expected) << program;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FieldsAndRecords, AwkGolden,
+    ::testing::Values(
+        AwkCase{"{ print }", "a b\nc d\n", "a b\nc d\n"},
+        AwkCase{"{ print $1 }", "a b\nc d\n", "a\nc\n"},
+        AwkCase{"{ print $2, $1 }", "a b\n", "b a\n"},
+        AwkCase{"{ print NF }", "one two three\n\nx\n", "3\n0\n1\n"},
+        AwkCase{"{ print NR, $0 }", "a\nb\n", "1 a\n2 b\n"},
+        AwkCase{"{ print $NF }", "a b c\n", "c\n"},
+        AwkCase{"{ $2 = \"X\"; print }", "a b c\n", "a X c\n"},
+        AwkCase{"{ $5 = \"v\"; print NF }", "a b\n", "5\n"},
+        AwkCase{"{ print $10 }", "a b\n", "\n"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, AwkGolden,
+    ::testing::Values(
+        AwkCase{"/b/", "abc\nxyz\ncab\n", "abc\ncab\n"},
+        AwkCase{"/^a/ { print \"hit\" }", "abc\nbac\n", "hit\n"},
+        AwkCase{"NR == 2", "a\nb\nc\n", "b\n"},
+        AwkCase{"$1 > 5 { print $1 }", "3\n7\n10\n", "7\n10\n"},
+        AwkCase{"BEGIN { print \"start\" } { print } END { print \"end\" }",
+                "mid\n", "start\nmid\nend\n"},
+        AwkCase{"$0 ~ /[0-9]+/ { print \"num\" }", "abc\nx1y\n", "num\n"},
+        AwkCase{"$0 !~ /x/", "ax\nb\n", "b\n"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    ExpressionsAndOps, AwkGolden,
+    ::testing::Values(
+        AwkCase{"BEGIN { print 2 + 3 * 4 }", "", "14\n"},
+        AwkCase{"BEGIN { print (2 + 3) * 4 }", "", "20\n"},
+        AwkCase{"BEGIN { print 2 ^ 10 }", "", "1024\n"},
+        AwkCase{"BEGIN { print 7 % 3 }", "", "1\n"},
+        AwkCase{"BEGIN { print 10 / 4 }", "", "2.5\n"},
+        AwkCase{"BEGIN { print -3 + 1 }", "", "-2\n"},
+        AwkCase{"BEGIN { print \"a\" \"b\" 3 }", "", "ab3\n"},
+        AwkCase{"BEGIN { x = 5; x += 2; print x }", "", "7\n"},
+        AwkCase{"BEGIN { x = 5; x *= 3; print x }", "", "15\n"},
+        AwkCase{"BEGIN { x = 4; print x++, x, ++x }", "", "4 5 6\n"},
+        AwkCase{"BEGIN { x = 4; print x--, x, --x }", "", "4 3 2\n"},
+        AwkCase{"BEGIN { print 1 < 2, 2 <= 2, 3 > 4, \"a\" == \"a\", \"a\" != \"b\" }",
+                "", "1 1 0 1 1\n"},
+        AwkCase{"BEGIN { print (1 && 0), (1 || 0), !1, !0 }", "", "0 1 0 1\n"},
+        AwkCase{"BEGIN { print 1 ? \"yes\" : \"no\" }", "", "yes\n"},
+        AwkCase{"BEGIN { print \"10\" + 5 }", "", "15\n"},
+        AwkCase{"BEGIN { if (\"abc\" < \"abd\") print \"lt\" }", "", "lt\n"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    ControlFlow, AwkGolden,
+    ::testing::Values(
+        AwkCase{"BEGIN { if (1) print \"t\"; else print \"f\" }", "", "t\n"},
+        AwkCase{"BEGIN { if (0) print \"t\"; else print \"f\" }", "", "f\n"},
+        AwkCase{"BEGIN { i = 0; while (i < 3) { print i; i++ } }", "", "0\n1\n2\n"},
+        AwkCase{"BEGIN { for (i = 0; i < 3; i++) print i }", "", "0\n1\n2\n"},
+        AwkCase{"BEGIN { i = 0; do { print i; i++ } while (i < 2) }", "", "0\n1\n"},
+        AwkCase{"BEGIN { for (i = 0; i < 5; i++) { if (i == 2) continue; if (i == 4) break; print i } }",
+                "", "0\n1\n3\n"},
+        AwkCase{"{ if ($1 == \"skip\") next; print }", "keep\nskip\nlast\n",
+                "keep\nlast\n"},
+        AwkCase{"BEGIN { exit 3 } END { print \"end\" }", "", "end\n"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Arrays, AwkGolden,
+    ::testing::Values(
+        AwkCase{"{ count[$1]++ } END { print count[\"a\"], count[\"b\"] }",
+                "a\nb\na\na\n", "3 1\n"},
+        AwkCase{"BEGIN { a[1] = \"x\"; a[2] = \"y\"; for (k in a) s = s a[k]; print s }",
+                "", "xy\n"},
+        AwkCase{"BEGIN { a[\"k\"] = 1; print (\"k\" in a), (\"z\" in a) }", "", "1 0\n"},
+        AwkCase{"BEGIN { a[\"k\"] = 1; delete a[\"k\"]; print (\"k\" in a) }", "", "0\n"},
+        AwkCase{"BEGIN { a[1,2] = \"multi\"; print a[1,2] }", "", "multi\n"},
+        AwkCase{"BEGIN { a[1]=1; a[2]=2; print length(a) }", "", "2\n"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Builtins, AwkGolden,
+    ::testing::Values(
+        AwkCase{"BEGIN { print length(\"hello\") }", "", "5\n"},
+        AwkCase{"{ print length }", "abcd\n", "4\n"},
+        AwkCase{"BEGIN { print substr(\"hello\", 2, 3) }", "", "ell\n"},
+        AwkCase{"BEGIN { print substr(\"hello\", 3) }", "", "llo\n"},
+        AwkCase{"BEGIN { print substr(\"hello\", 0, 2) }", "", "h\n"},
+        AwkCase{"BEGIN { print index(\"hello\", \"ll\"), index(\"hello\", \"z\") }",
+                "", "3 0\n"},
+        AwkCase{"BEGIN { n = split(\"a:b:c\", parts, \":\"); print n, parts[2] }",
+                "", "3 b\n"},
+        AwkCase{"BEGIN { s = \"aaa\"; n = gsub(/a/, \"b\", s); print n, s }",
+                "", "3 bbb\n"},
+        AwkCase{"BEGIN { s = \"aaa\"; sub(/a/, \"b\", s); print s }", "", "baa\n"},
+        AwkCase{"{ gsub(/o/, \"0\"); print }", "foo boo\n", "f00 b00\n"},
+        AwkCase{"BEGIN { s = \"xay\"; gsub(/a/, \"[&]\", s); print s }", "", "x[a]y\n"},
+        AwkCase{"BEGIN { if (match(\"foobar\", /o+/)) print RSTART, RLENGTH }",
+                "", "2 2\n"},
+        AwkCase{"BEGIN { print toupper(\"MiXeD\"), tolower(\"MiXeD\") }",
+                "", "MIXED mixed\n"},
+        AwkCase{"BEGIN { print int(3.9), int(-3.9) }", "", "3 -3\n"},
+        AwkCase{"BEGIN { print sqrt(16) }", "", "4\n"},
+        AwkCase{"BEGIN { print sprintf(\"%05.1f|%s|%d\", 3.14159, \"s\", 42) }",
+                "", "003.1|s|42\n"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Printf, AwkGolden,
+    ::testing::Values(
+        AwkCase{"BEGIN { printf \"%d-%d\\n\", 1, 2 }", "", "1-2\n"},
+        AwkCase{"BEGIN { printf \"%5d|\\n\", 42 }", "", "   42|\n"},
+        AwkCase{"BEGIN { printf \"%-5d|\\n\", 42 }", "", "42   |\n"},
+        AwkCase{"BEGIN { printf \"%.2f\\n\", 3.14159 }", "", "3.14\n"},
+        AwkCase{"BEGIN { printf \"%s%%\\n\", \"100\" }", "", "100%\n"},
+        AwkCase{"BEGIN { printf \"%x %o %e\\n\", 255, 8, 12345.678 }",
+                "", "ff 10 1.234568e+04\n"},
+        AwkCase{"BEGIN { printf \"%c%c\\n\", \"abc\", 66 }", "", "aB\n"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    SpecialVariables, AwkGolden,
+    ::testing::Values(
+        AwkCase{"BEGIN { OFS = \"-\" } { print $1, $2 }", "a b\n", "a-b\n"},
+        AwkCase{"BEGIN { ORS = \"|\" } { print $1 }", "a\nb\n", "a|b|"},
+        AwkCase{"END { print NR }", "x\ny\nz\n", "3\n"}));
+
+TEST(Awk, FieldSeparatorOption) {
+  AwkProgram::RunOptions opts;
+  opts.field_separator = ":";
+  EXPECT_EQ(Awk("{ print $2 }", "a:b:c\n", opts), "b\n");
+}
+
+TEST(Awk, FsAssignedInBegin) {
+  EXPECT_EQ(Awk("BEGIN { FS = \",\" } { print $2 }", "x,y,z\n"), "y\n");
+}
+
+TEST(Awk, RegexFieldSeparator) {
+  EXPECT_EQ(Awk("BEGIN { FS = \"[,;]\" } { print $3 }", "a,b;c\n"), "c\n");
+}
+
+TEST(Awk, VarAssignOption) {
+  AwkProgram::RunOptions opts;
+  opts.assigns.emplace_back("limit", "2");
+  EXPECT_EQ(Awk("$1 >= limit { print $1 }", "1\n2\n3\n", opts), "2\n3\n");
+}
+
+TEST(Awk, MultipleFilesTrackFnrAndFilename) {
+  auto compiled = AwkProgram::Compile("{ print FILENAME, FNR, NR }");
+  ASSERT_TRUE(compiled.ok());
+  auto r = compiled->Run({{"f1", "a\nb\n"}, {"f2", "c\n"}}, "", {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->output, "f1 1 1\nf1 2 2\nf2 1 3\n");
+}
+
+TEST(Awk, ExitCodePropagates) {
+  auto compiled = AwkProgram::Compile("BEGIN { exit 7 }");
+  ASSERT_TRUE(compiled.ok());
+  auto r = compiled->Run({}, "", {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->exit_code, 7);
+}
+
+TEST(Awk, PatternWithoutActionPrints) {
+  EXPECT_EQ(Awk("NR % 2 == 1", "a\nb\nc\n"), "a\nc\n");
+}
+
+TEST(Awk, WordFrequencyProgram) {
+  // The classic idiom the paper's gawk workloads resemble.
+  const char* program =
+      "{ for (i = 1; i <= NF; i++) freq[$i]++ } "
+      "END { print freq[\"the\"], freq[\"dog\"] }";
+  EXPECT_EQ(Awk(program, "the cat the dog\nthe end\n"), "3 1\n");
+}
+
+TEST(Awk, SumAndAverage) {
+  const char* program =
+      "{ sum += $1 } END { printf \"%d %.1f\\n\", sum, sum / NR }";
+  EXPECT_EQ(Awk(program, "10\n20\n30\n"), "60 20.0\n");
+}
+
+TEST(Awk, CompileErrors) {
+  EXPECT_FALSE(AwkProgram::Compile("{ print ").ok());
+  EXPECT_FALSE(AwkProgram::Compile("{ if }").ok());
+  EXPECT_FALSE(AwkProgram::Compile("{ 3 = x }").ok());
+  EXPECT_FALSE(AwkProgram::Compile("BEGIN { x = }").ok());
+  EXPECT_FALSE(AwkProgram::Compile("{ unknownfunc(1) }").ok() &&
+               AwkProgram::Compile("{ unknownfunc(1) }")
+                   ->Run({{"f", "x\n"}}, "", {})
+                   .ok());
+}
+
+TEST(Awk, DivisionByZeroIsRuntimeError) {
+  auto compiled = AwkProgram::Compile("BEGIN { print 1 / 0 }");
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_FALSE(compiled->Run({}, "", {}).ok());
+}
+
+TEST(Awk, WorkUnitsCountInputBytes) {
+  auto compiled = AwkProgram::Compile("{ x += NF }");
+  ASSERT_TRUE(compiled.ok());
+  auto r = compiled->Run({{"f", "abc def\nghi\n"}}, "", {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->work_units, 12u);  // 8 + 4 bytes including newlines
+}
+
+TEST(Awk, UninitializedVariablesBehave) {
+  EXPECT_EQ(Awk("BEGIN { print x + 0, \"[\" y \"]\" }"), "0 []\n");
+}
+
+TEST(Awk, CommentsAndBlankLines) {
+  EXPECT_EQ(Awk("# leading comment\nBEGIN { print 1 } # trailing\n\n"), "1\n");
+}
+
+}  // namespace
+}  // namespace compstor::apps
+namespace compstor::apps {
+namespace {
+
+// --- user-defined functions ---
+
+std::string AwkFn(std::string_view program, std::string_view input = "") {
+  auto compiled = AwkProgram::Compile(program);
+  EXPECT_TRUE(compiled.ok()) << program << " -> " << compiled.status().ToString();
+  if (!compiled.ok()) return "<compile error>";
+  std::vector<std::pair<std::string, std::string>> files;
+  if (!input.empty()) files.emplace_back("input", std::string(input));
+  auto result = compiled->Run(files, "", {});
+  EXPECT_TRUE(result.ok()) << program << " -> " << result.status().ToString();
+  if (!result.ok()) return "<runtime error>";
+  return result->output;
+}
+
+TEST(AwkFunctions, BasicCallAndReturn) {
+  EXPECT_EQ(AwkFn("function add(a, b) { return a + b } BEGIN { print add(2, 3) }"),
+            "5\n");
+}
+
+TEST(AwkFunctions, DefaultReturnIsEmpty) {
+  EXPECT_EQ(AwkFn("function noop() { x = 1 } BEGIN { print \"[\" noop() \"]\" }"),
+            "[]\n");
+}
+
+TEST(AwkFunctions, Recursion) {
+  EXPECT_EQ(AwkFn("function fact(n) { return n <= 1 ? 1 : n * fact(n - 1) } "
+                  "BEGIN { print fact(10) }"),
+            "3628800\n");
+}
+
+TEST(AwkFunctions, MutualRecursion) {
+  EXPECT_EQ(AwkFn("function is_even(n) { return n == 0 ? 1 : is_odd(n - 1) } "
+                  "function is_odd(n) { return n == 0 ? 0 : is_even(n - 1) } "
+                  "BEGIN { print is_even(10), is_odd(10) }"),
+            "1 0\n");
+}
+
+TEST(AwkFunctions, ScalarsPassByValue) {
+  EXPECT_EQ(AwkFn("function bump(x) { x = x + 1; return x } "
+                  "BEGIN { y = 5; bump(y); print y }"),
+            "5\n");
+}
+
+TEST(AwkFunctions, ArraysPassByReference) {
+  EXPECT_EQ(AwkFn("function fill(arr) { arr[\"k\"] = 42 } "
+                  "BEGIN { fill(data); print data[\"k\"] }"),
+            "42\n");
+}
+
+TEST(AwkFunctions, ExtraParamsAreLocals) {
+  // `tmp` is a local: the global of the same name is untouched.
+  EXPECT_EQ(AwkFn("function f(x, tmp) { tmp = x * 2; return tmp } "
+                  "BEGIN { tmp = 99; print f(4), tmp }"),
+            "8 99\n");
+}
+
+TEST(AwkFunctions, LocalArraysAreFresh) {
+  // Each invocation gets its own `seen` array.
+  EXPECT_EQ(AwkFn("function count(v, seen) { seen[v]++; return length(seen) } "
+                  "BEGIN { print count(1), count(2) }"),
+            "1 1\n");
+}
+
+TEST(AwkFunctions, DynamicScopingVisibleToCallees) {
+  // Classic awk dynamic scoping: a callee sees the caller's locals through
+  // globals it did not shadow... but a shadowed param hides the global.
+  EXPECT_EQ(AwkFn("function outer(g) { g = 7; return inner() } "
+                  "function inner() { return g } "
+                  "BEGIN { g = 1; print outer(0) }"),
+            "7\n");
+}
+
+TEST(AwkFunctions, UsedFromMainRules) {
+  EXPECT_EQ(AwkFn("function classify(n) { return n > 10 ? \"big\" : \"small\" } "
+                  "{ print classify($1) }",
+                  "5\n50\n"),
+            "small\nbig\n");
+}
+
+TEST(AwkFunctions, ReturnInsideLoop) {
+  EXPECT_EQ(AwkFn("function firstdiv(n, i) { for (i = 2; i < n; i++) "
+                  "if (n % i == 0) return i; return n } "
+                  "BEGIN { print firstdiv(91), firstdiv(13) }"),
+            "7 13\n");
+}
+
+TEST(AwkFunctions, ExitInsideFunctionStopsProgram) {
+  EXPECT_EQ(AwkFn("function bail() { exit 3 } "
+                  "BEGIN { bail(); print \"unreachable\" } END { print \"end\" }"),
+            "end\n");
+}
+
+TEST(AwkFunctions, TooManyArgsRejected) {
+  auto compiled = AwkProgram::Compile(
+      "function one(a) { return a } BEGIN { print one(1, 2) }");
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_FALSE(compiled->Run({}, "", {}).ok());
+}
+
+TEST(AwkFunctions, RunawayRecursionCaught) {
+  auto compiled = AwkProgram::Compile(
+      "function loop(n) { return loop(n + 1) } BEGIN { print loop(0) }");
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_FALSE(compiled->Run({}, "", {}).ok());
+}
+
+TEST(AwkFunctions, DuplicateDefinitionRejected) {
+  EXPECT_FALSE(AwkProgram::Compile(
+      "function f() { return 1 } function f() { return 2 } BEGIN { }").ok());
+}
+
+TEST(AwkFunctions, WordHistogramHelper) {
+  const char* program =
+      "function bump(arr, key) { arr[key]++ } "
+      "{ for (i = 1; i <= NF; i++) bump(freq, $i) } "
+      "END { print freq[\"the\"], length(freq) }";
+  EXPECT_EQ(AwkFn(program, "the cat the dog\n"), "2 3\n");
+}
+
+}  // namespace
+}  // namespace compstor::apps

@@ -1,0 +1,132 @@
+// Unit tests for the cluster orchestration layer (LPT assignment properties,
+// error handling) — complementing the end-to-end cluster tests in
+// test_integration.cpp.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "client/cluster.hpp"
+#include "isps/agent.hpp"
+#include "ssd/profiles.hpp"
+#include "ssd/ssd.hpp"
+#include "util/rng.hpp"
+
+namespace compstor::client {
+namespace {
+
+struct TwoDevices {
+  TwoDevices()
+      : ssd1(ssd::TestProfile(), 1),
+        ssd2(ssd::TestProfile(), 2),
+        agent1(&ssd1),
+        agent2(&ssd2),
+        h1(&ssd1),
+        h2(&ssd2) {
+    EXPECT_TRUE(h1.FormatFilesystem().ok());
+    EXPECT_TRUE(h2.FormatFilesystem().ok());
+    cluster.AddDevice(&h1);
+    cluster.AddDevice(&h2);
+  }
+  ssd::Ssd ssd1, ssd2;
+  isps::Agent agent1, agent2;
+  CompStorHandle h1, h2;
+  Cluster cluster;
+};
+
+TEST(Cluster, EmptyClusterAssignsZero) {
+  Cluster empty;
+  auto assignment = empty.AssignByWeight({5, 3});
+  EXPECT_EQ(assignment, (std::vector<std::size_t>{0, 0}));
+}
+
+TEST(Cluster, AssignmentCoversAllItems) {
+  TwoDevices t;
+  auto assignment = t.cluster.AssignByWeight({1, 2, 3, 4, 5});
+  ASSERT_EQ(assignment.size(), 5u);
+  for (std::size_t a : assignment) EXPECT_LT(a, 2u);
+}
+
+// LPT property sweep: makespan within 4/3 of the lower bound for random
+// weights across several seeds.
+class LptProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LptProperty, WithinFourThirdsOfLowerBound) {
+  TwoDevices t;
+  util::Xoshiro256 rng(GetParam());
+  std::vector<std::uint64_t> weights(20);
+  for (auto& w : weights) w = 1 + rng.Below(1000);
+
+  auto assignment = t.cluster.AssignByWeight(weights);
+  std::uint64_t load[2] = {0, 0};
+  std::uint64_t total = 0, max_w = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    load[assignment[i]] += weights[i];
+    total += weights[i];
+    max_w = std::max(max_w, weights[i]);
+  }
+  const std::uint64_t makespan = std::max(load[0], load[1]);
+  const double lower_bound =
+      std::max(static_cast<double>(total) / 2.0, static_cast<double>(max_w));
+  EXPECT_LE(static_cast<double>(makespan), lower_bound * 4.0 / 3.0 + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LptProperty,
+                         ::testing::Values(1, 7, 42, 1234, 99999));
+
+TEST(Cluster, RunAllRejectsBadDeviceIndex) {
+  TwoDevices t;
+  proto::Command cmd;
+  cmd.type = proto::CommandType::kExecutable;
+  cmd.executable = "echo";
+  std::vector<Cluster::WorkItem> work = {{5, cmd}};  // no device 5
+  EXPECT_EQ(t.cluster.RunAll(work).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(Cluster, RunAllPreservesOrder) {
+  TwoDevices t;
+  std::vector<Cluster::WorkItem> work;
+  for (int i = 0; i < 6; ++i) {
+    proto::Command cmd;
+    cmd.type = proto::CommandType::kExecutable;
+    cmd.executable = "echo";
+    cmd.args = {"item" + std::to_string(i)};
+    work.push_back({static_cast<std::size_t>(i % 2), cmd});
+  }
+  auto results = t.cluster.RunAll(work);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 6u);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ((*results)[static_cast<std::size_t>(i)].response.stdout_data,
+              "item" + std::to_string(i) + "\n");
+  }
+}
+
+TEST(Cluster, MakespanFoldsResponses) {
+  std::vector<proto::Minion> minions(3);
+  minions[0].response.end_time_s = 1.5;
+  minions[1].response.end_time_s = 3.25;
+  minions[2].response.end_time_s = 2.0;
+  EXPECT_DOUBLE_EQ(Cluster::Makespan(minions), 3.25);
+  EXPECT_DOUBLE_EQ(Cluster::Makespan({}), 0.0);
+}
+
+TEST(Cluster, ProcessTableQueryAcrossDevices) {
+  TwoDevices t;
+  proto::Command cmd;
+  cmd.type = proto::CommandType::kExecutable;
+  cmd.executable = "echo";
+  cmd.args = {"x"};
+  ASSERT_TRUE(t.h1.RunMinion(cmd).ok());
+  auto table = t.h1.ProcessTable();
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ(table->size(), 1u);
+  EXPECT_EQ((*table)[0].summary, "echo");
+  EXPECT_EQ((*table)[0].state, 1);  // done
+
+  auto other = t.h2.ProcessTable();
+  ASSERT_TRUE(other.ok());
+  EXPECT_TRUE(other->empty());  // per-device isolation
+}
+
+}  // namespace
+}  // namespace compstor::client

@@ -1,0 +1,379 @@
+// Tests for the compression codecs: canonical Huffman, czip (DEFLATE-family),
+// cbz (bzip2-family), and the BWT itself.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+
+#include "apps/bwzip.hpp"
+#include "apps/deflate.hpp"
+#include "apps/huffman.hpp"
+#include "util/bitstream.hpp"
+#include "util/rng.hpp"
+#include "workload/textgen.hpp"
+
+namespace compstor::apps {
+namespace {
+
+std::vector<std::uint8_t> Bytes(std::string_view s) {
+  return {s.begin(), s.end()};
+}
+
+std::vector<std::uint8_t> RandomBytes(std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> v(n);
+  for (auto& b : v) b = static_cast<std::uint8_t>(rng.Next());
+  return v;
+}
+
+std::vector<std::uint8_t> TextBytes(std::size_t n, std::uint64_t seed) {
+  workload::TextGenOptions opt;
+  opt.seed = seed;
+  opt.approx_bytes = n;
+  const std::string text = workload::GenerateBookText(opt);
+  return Bytes(text);
+}
+
+// --- Huffman ---
+
+TEST(Huffman, RoundTripSkewedAlphabet) {
+  std::vector<std::uint64_t> freqs = {1000, 500, 100, 10, 1, 0, 0, 3};
+  auto code = BuildCanonicalCode(freqs, 15);
+  ASSERT_TRUE(code.ok());
+  EXPECT_EQ(code->lengths[5], 0);  // unused symbol
+  EXPECT_LE(code->lengths[0], code->lengths[4]);  // frequent -> shorter
+
+  util::BitWriter w;
+  std::vector<int> symbols = {0, 1, 0, 7, 4, 2, 0, 3, 1, 0};
+  for (int s : symbols) code->EncodeSymbol(w, static_cast<std::size_t>(s));
+  const auto bytes = w.Finish();
+
+  CanonicalDecoder dec;
+  ASSERT_TRUE(dec.Init(code->lengths).ok());
+  util::BitReader r(bytes);
+  for (int s : symbols) EXPECT_EQ(dec.Decode(r), s);
+}
+
+TEST(Huffman, SingleSymbolAlphabet) {
+  std::vector<std::uint64_t> freqs(10, 0);
+  freqs[4] = 100;
+  auto code = BuildCanonicalCode(freqs, 15);
+  ASSERT_TRUE(code.ok());
+  EXPECT_EQ(code->lengths[4], 1);
+
+  util::BitWriter w;
+  for (int i = 0; i < 5; ++i) code->EncodeSymbol(w, 4);
+  const auto bytes = w.Finish();
+  CanonicalDecoder dec;
+  ASSERT_TRUE(dec.Init(code->lengths).ok());
+  util::BitReader r(bytes);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(dec.Decode(r), 4);
+}
+
+TEST(Huffman, LengthLimitHolds) {
+  // Fibonacci-ish frequencies force deep trees; the limiter must cap them.
+  std::vector<std::uint64_t> freqs(40);
+  std::uint64_t a = 1, b = 1;
+  for (auto& f : freqs) {
+    f = a;
+    const std::uint64_t next = a + b;
+    a = b;
+    b = next;
+  }
+  auto code = BuildCanonicalCode(freqs, 15);
+  ASSERT_TRUE(code.ok());
+  for (std::uint8_t l : code->lengths) EXPECT_LE(l, 15);
+
+  // And the limited code still round-trips.
+  CanonicalDecoder dec;
+  ASSERT_TRUE(dec.Init(code->lengths).ok());
+  util::BitWriter w;
+  for (std::size_t s = 0; s < freqs.size(); ++s) code->EncodeSymbol(w, s);
+  const auto bytes = w.Finish();
+  util::BitReader r(bytes);
+  for (std::size_t s = 0; s < freqs.size(); ++s) {
+    EXPECT_EQ(dec.Decode(r), static_cast<int>(s));
+  }
+}
+
+TEST(Huffman, OversubscribedLengthsRejected) {
+  std::vector<std::uint8_t> bad = {1, 1, 1};  // three codes of length 1
+  CanonicalDecoder dec;
+  EXPECT_FALSE(dec.Init(bad).ok());
+}
+
+TEST(Huffman, EmptyAlphabetRejected) {
+  std::vector<std::uint64_t> freqs(8, 0);
+  EXPECT_FALSE(BuildCanonicalCode(freqs, 15).ok());
+}
+
+// --- czip ---
+
+class CzipRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(CzipRoundTrip, TextAtEveryLevel) {
+  const int level = GetParam();
+  const auto input = TextBytes(100 * 1024, 7);
+  CzipOptions opt;
+  opt.level = level;
+  auto z = CzipCompress(input, opt);
+  ASSERT_TRUE(z.ok());
+  EXPECT_LT(z->size(), input.size() / 2) << "text should compress >2x";
+  auto back = CzipDecompress(*z);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, input);
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, CzipRoundTrip, ::testing::Values(1, 3, 6, 9));
+
+TEST(Czip, EmptyInput) {
+  auto z = CzipCompress({});
+  ASSERT_TRUE(z.ok());
+  auto back = CzipDecompress(*z);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(Czip, TinyInputs) {
+  for (std::size_t n : {1u, 2u, 3u, 4u, 7u}) {
+    const auto input = RandomBytes(n, n);
+    auto z = CzipCompress(input);
+    ASSERT_TRUE(z.ok());
+    auto back = CzipDecompress(*z);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, input) << n;
+  }
+}
+
+TEST(Czip, IncompressibleRandomData) {
+  const auto input = RandomBytes(64 * 1024, 5);
+  auto z = CzipCompress(input);
+  ASSERT_TRUE(z.ok());
+  auto back = CzipDecompress(*z);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, input);
+}
+
+TEST(Czip, HighlyRepetitiveData) {
+  std::vector<std::uint8_t> input(256 * 1024, 'x');
+  auto z = CzipCompress(input);
+  ASSERT_TRUE(z.ok());
+  EXPECT_LT(z->size(), input.size() / 50);
+  auto back = CzipDecompress(*z);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, input);
+}
+
+TEST(Czip, OverlappingMatchPattern) {
+  // "abcabcabc..." forces matches with dist < len (the replicating copy).
+  std::vector<std::uint8_t> input;
+  for (int i = 0; i < 10000; ++i) input.push_back(static_cast<std::uint8_t>("abc"[i % 3]));
+  auto z = CzipCompress(input);
+  ASSERT_TRUE(z.ok());
+  auto back = CzipDecompress(*z);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, input);
+}
+
+TEST(Czip, AllByteValues) {
+  std::vector<std::uint8_t> input(4096);
+  std::iota(input.begin(), input.end(), 0);
+  for (int i = 0; i < 4; ++i) input.insert(input.end(), input.begin(), input.begin() + 4096);
+  auto z = CzipCompress(input);
+  ASSERT_TRUE(z.ok());
+  auto back = CzipDecompress(*z);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, input);
+}
+
+TEST(Czip, CorruptionDetected) {
+  const auto input = TextBytes(50000, 9);
+  auto z = CzipCompress(input);
+  ASSERT_TRUE(z.ok());
+  // Flip a byte in the middle of the stream.
+  (*z)[z->size() / 2] ^= 0x40;
+  auto back = CzipDecompress(*z);
+  EXPECT_FALSE(back.ok());
+}
+
+TEST(Czip, BadMagicRejected) {
+  EXPECT_FALSE(CzipDecompress(Bytes("not a czip stream")).ok());
+  EXPECT_FALSE(CzipDecompress({}).ok());
+}
+
+TEST(Czip, TruncationDetected) {
+  const auto input = TextBytes(50000, 10);
+  auto z = CzipCompress(input);
+  ASSERT_TRUE(z.ok());
+  z->resize(z->size() / 2);
+  EXPECT_FALSE(CzipDecompress(*z).ok());
+}
+
+TEST(Czip, BadLevelRejected) {
+  CzipOptions opt;
+  opt.level = 0;
+  EXPECT_FALSE(CzipCompress(Bytes("x"), opt).ok());
+  opt.level = 10;
+  EXPECT_FALSE(CzipCompress(Bytes("x"), opt).ok());
+}
+
+TEST(Czip, MultiBlockStream) {
+  // > 64K tokens of incompressible data forces several blocks.
+  const auto input = RandomBytes(300 * 1024, 11);
+  auto z = CzipCompress(input);
+  ASSERT_TRUE(z.ok());
+  auto back = CzipDecompress(*z);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, input);
+}
+
+// --- BWT ---
+
+TEST(Bwt, KnownTransform) {
+  // Classic example: "banana". Rotation-sorted BWT = "nnbaaa", primary = 3.
+  const auto input = Bytes("banana");
+  std::uint32_t primary = 0;
+  auto last = BwtForward(input, &primary);
+  EXPECT_EQ(std::string(last.begin(), last.end()), "nnbaaa");
+  auto back = BwtInverse(last, primary);
+  EXPECT_EQ(back, input);
+}
+
+class BwtRoundTrip : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BwtRoundTrip, InvertsExactly) {
+  const auto input = Bytes(GetParam());
+  std::uint32_t primary = 0;
+  auto last = BwtForward(input, &primary);
+  ASSERT_EQ(last.size(), input.size());
+  EXPECT_EQ(BwtInverse(last, primary), input);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, BwtRoundTrip,
+                         ::testing::Values("", "a", "ab", "aa", "abab", "aaaa",
+                                           "abcabcabc", "mississippi",
+                                           "the quick brown fox"));
+
+TEST(Bwt, RandomAndTextRoundTrips) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const auto input =
+        seed % 2 == 0 ? RandomBytes(3000 + seed * 101, seed) : TextBytes(5000, seed);
+    std::uint32_t primary = 0;
+    auto last = BwtForward(input, &primary);
+    EXPECT_EQ(BwtInverse(last, primary), input) << seed;
+  }
+}
+
+// --- cbz ---
+
+class BwzRoundTrip : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(BwzRoundTrip, TextAtBlockSize) {
+  BwzOptions opt;
+  opt.block_size = GetParam();
+  const auto input = TextBytes(120 * 1024, 13);
+  auto z = BwzCompress(input, opt);
+  ASSERT_TRUE(z.ok());
+  if (opt.block_size >= 16 * 1024) {
+    // Tiny blocks pay the per-block code-length header; only expect real
+    // compression once blocks amortize it.
+    EXPECT_LT(z->size(), input.size() / 2) << "text should compress >2x";
+  } else {
+    EXPECT_LT(z->size(), input.size());
+  }
+  auto back = BwzDecompress(*z);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, input);
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockSizes, BwzRoundTrip,
+                         ::testing::Values(1024, 16 * 1024, 100 * 1024, 900 * 1024));
+
+TEST(Bwz, EmptyAndTiny) {
+  for (std::size_t n : {0u, 1u, 2u, 5u}) {
+    const auto input = RandomBytes(n, n + 1);
+    auto z = BwzCompress(input);
+    ASSERT_TRUE(z.ok());
+    auto back = BwzDecompress(*z);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, input) << n;
+  }
+}
+
+TEST(Bwz, AllSameByte) {
+  std::vector<std::uint8_t> input(100000, 'z');
+  auto z = BwzCompress(input);
+  ASSERT_TRUE(z.ok());
+  EXPECT_LT(z->size(), 2048u);  // zero-run coding crushes it
+  auto back = BwzDecompress(*z);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, input);
+}
+
+TEST(Bwz, RandomData) {
+  const auto input = RandomBytes(80 * 1024, 17);
+  auto z = BwzCompress(input);
+  ASSERT_TRUE(z.ok());
+  auto back = BwzDecompress(*z);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, input);
+}
+
+TEST(Bwz, CorruptionDetected) {
+  const auto input = TextBytes(60000, 19);
+  auto z = BwzCompress(input);
+  ASSERT_TRUE(z.ok());
+  (*z)[z->size() / 2] ^= 0x01;
+  EXPECT_FALSE(BwzDecompress(*z).ok());
+}
+
+TEST(Bwz, BadMagicAndTruncation) {
+  EXPECT_FALSE(BwzDecompress(Bytes("garbage")).ok());
+  const auto input = TextBytes(60000, 21);
+  auto z = BwzCompress(input);
+  ASSERT_TRUE(z.ok());
+  z->resize(20);
+  EXPECT_FALSE(BwzDecompress(*z).ok());
+}
+
+TEST(Bwz, CompressesBetterThanCzipOnText) {
+  // The block-sorting pipeline should beat LZ77 on prose, as bzip2 beats gzip.
+  const auto input = TextBytes(256 * 1024, 23);
+  auto gz = CzipCompress(input);
+  auto bz = BwzCompress(input);
+  ASSERT_TRUE(gz.ok());
+  ASSERT_TRUE(bz.ok());
+  EXPECT_LT(bz->size(), gz->size());
+}
+
+}  // namespace
+}  // namespace compstor::apps
+namespace compstor::apps {
+namespace {
+
+TEST(Czip, StoredFallbackBoundsExpansion) {
+  // Incompressible data: the stored fallback caps overhead at the constant
+  // header + trailer instead of entropy-coding expansion.
+  util::Xoshiro256 rng(31337);
+  std::vector<std::uint8_t> input(100000);
+  for (auto& b : input) b = static_cast<std::uint8_t>(rng.Next());
+  auto z = CzipCompress(input);
+  ASSERT_TRUE(z.ok());
+  EXPECT_LE(z->size(), input.size() + 32);
+  auto back = CzipDecompress(*z);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, input);
+}
+
+TEST(Czip, StoredFallbackCorruptionDetected) {
+  util::Xoshiro256 rng(9);
+  std::vector<std::uint8_t> input(5000);
+  for (auto& b : input) b = static_cast<std::uint8_t>(rng.Next());
+  auto z = CzipCompress(input);
+  ASSERT_TRUE(z.ok());
+  (*z)[z->size() / 2] ^= 0x20;
+  EXPECT_FALSE(CzipDecompress(*z).ok());
+}
+
+}  // namespace
+}  // namespace compstor::apps

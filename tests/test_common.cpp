@@ -1,0 +1,142 @@
+// Tests for the common layer: Status/Result, virtual clocks, busy meters.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/sim_clock.hpp"
+#include "common/status.hpp"
+#include "common/units.hpp"
+
+namespace compstor {
+namespace {
+
+// --- Status / Result ---
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage) {
+  Status s = DataLoss("page 7 gone");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(s.message(), "page 7 gone");
+  EXPECT_EQ(s.ToString(), "DATA_LOSS: page 7 gone");
+}
+
+TEST(Status, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kUnimplemented); ++c) {
+    EXPECT_NE(StatusCodeName(static_cast<StatusCode>(c)), "UNKNOWN");
+  }
+}
+
+TEST(Result, HoldsValueOrStatus) {
+  Result<int> ok = 42;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  EXPECT_TRUE(ok.status().ok());
+
+  Result<int> err = NotFound("nope");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(err.value_or(-1), -1);
+  EXPECT_EQ(ok.value_or(-1), 42);
+}
+
+TEST(Result, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+Status Fails() { return Internal("boom"); }
+Status PropagateHelper() {
+  COMPSTOR_RETURN_IF_ERROR(Fails());
+  return OkStatus();
+}
+Result<int> AssignHelper(bool fail) {
+  Result<int> source = fail ? Result<int>(OutOfRange("x")) : Result<int>(7);
+  COMPSTOR_ASSIGN_OR_RETURN(int v, std::move(source));
+  return v * 2;
+}
+
+TEST(Result, Macros) {
+  EXPECT_EQ(PropagateHelper().code(), StatusCode::kInternal);
+  EXPECT_EQ(*AssignHelper(false), 14);
+  EXPECT_EQ(AssignHelper(true).status().code(), StatusCode::kOutOfRange);
+}
+
+// --- virtual clocks ---
+
+TEST(VirtualClock, AdvanceAccumulates) {
+  VirtualClock c;
+  c.Advance(1.5);
+  c.Advance(0.25);
+  EXPECT_NEAR(c.Now(), 1.75, 1e-9);
+  c.Advance(-1.0);  // clamped: no time travel
+  EXPECT_NEAR(c.Now(), 1.75, 1e-9);
+  c.Reset();
+  EXPECT_EQ(c.Now(), 0.0);
+}
+
+TEST(VirtualClock, AdvanceToIsMonotone) {
+  VirtualClock c;
+  c.AdvanceTo(2.0);
+  EXPECT_NEAR(c.Now(), 2.0, 1e-9);
+  c.AdvanceTo(1.0);  // already past: no-op
+  EXPECT_NEAR(c.Now(), 2.0, 1e-9);
+  c.AdvanceTo(3.0);
+  EXPECT_NEAR(c.Now(), 3.0, 1e-9);
+}
+
+TEST(VirtualClock, ConcurrentAdvancesSum) {
+  VirtualClock c;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < 1000; ++i) c.Advance(0.001);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_NEAR(c.Now(), 8.0, 1e-5);
+}
+
+TEST(MaxTime, PicksSlowestTimeline) {
+  VirtualClock a, b, c;
+  a.Advance(1.0);
+  b.Advance(3.0);
+  c.Advance(2.0);
+  EXPECT_NEAR(MaxTime({&a, &b, &c}), 3.0, 1e-9);
+  EXPECT_EQ(MaxTime({}), 0.0);
+  EXPECT_NEAR(MaxTime({nullptr, &a}), 1.0, 1e-9);
+}
+
+TEST(BusyMeter, Accumulates) {
+  BusyMeter m;
+  m.AddBusy(0.5);
+  m.AddBusy(0.25);
+  m.AddBusy(-1.0);  // ignored
+  EXPECT_NEAR(m.BusySeconds(), 0.75, 1e-9);
+  m.Reset();
+  EXPECT_EQ(m.BusySeconds(), 0.0);
+}
+
+// --- units ---
+
+TEST(Units, Conversions) {
+  EXPECT_EQ(units::KiB, 1024u);
+  EXPECT_EQ(units::MiB, 1024u * 1024);
+  EXPECT_EQ(units::GB, 1000000000u);
+  EXPECT_DOUBLE_EQ(units::usec(5), 5e-6);
+  EXPECT_DOUBLE_EQ(units::msec(3), 3e-3);
+  EXPECT_DOUBLE_EQ(units::GHz(1.5), 1.5e9);
+  EXPECT_DOUBLE_EQ(units::MBps(533), 533e6);
+}
+
+}  // namespace
+}  // namespace compstor

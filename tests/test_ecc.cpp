@@ -1,0 +1,160 @@
+// Unit + property tests for the SECDED Hamming codec and the page envelope.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ecc/hamming.hpp"
+#include "ecc/page_codec.hpp"
+#include "util/rng.hpp"
+
+namespace compstor::ecc {
+namespace {
+
+TEST(Hamming, CleanWordDecodesClean) {
+  util::Xoshiro256 rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t data = rng.Next();
+    std::uint64_t d = data;
+    std::uint8_t check = EncodeWord(d);
+    EXPECT_EQ(DecodeWord(d, check), DecodeOutcome::kClean);
+    EXPECT_EQ(d, data);
+  }
+}
+
+// Property: every single data-bit flip is corrected, for many random words.
+class HammingSingleBit : public ::testing::TestWithParam<int> {};
+
+TEST_P(HammingSingleBit, DataBitCorrected) {
+  const int bit = GetParam();
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(bit) + 77);
+  for (int i = 0; i < 50; ++i) {
+    const std::uint64_t data = rng.Next();
+    std::uint64_t corrupted = data ^ (1ull << bit);
+    std::uint8_t check = EncodeWord(data);
+    EXPECT_EQ(DecodeWord(corrupted, check), DecodeOutcome::kCorrected);
+    EXPECT_EQ(corrupted, data) << "bit " << bit;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBits, HammingSingleBit, ::testing::Range(0, 64));
+
+TEST(Hamming, CheckBitFlipCorrected) {
+  util::Xoshiro256 rng(99);
+  for (int bit = 0; bit < 8; ++bit) {
+    const std::uint64_t data = rng.Next();
+    std::uint64_t d = data;
+    std::uint8_t check = EncodeWord(data);
+    std::uint8_t corrupted_check = check ^ static_cast<std::uint8_t>(1u << bit);
+    EXPECT_EQ(DecodeWord(d, corrupted_check), DecodeOutcome::kCorrected)
+        << "check bit " << bit;
+    EXPECT_EQ(d, data);
+  }
+}
+
+TEST(Hamming, DoubleBitDetected) {
+  util::Xoshiro256 rng(1234);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t data = rng.Next();
+    const int b1 = static_cast<int>(rng.Below(64));
+    int b2 = static_cast<int>(rng.Below(64));
+    while (b2 == b1) b2 = static_cast<int>(rng.Below(64));
+    std::uint64_t corrupted = data ^ (1ull << b1) ^ (1ull << b2);
+    std::uint8_t check = EncodeWord(data);
+    EXPECT_EQ(DecodeWord(corrupted, check), DecodeOutcome::kUncorrectable)
+        << "bits " << b1 << "," << b2;
+  }
+}
+
+TEST(Hamming, DataPlusCheckDoubleDetected) {
+  util::Xoshiro256 rng(555);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t data = rng.Next();
+    const int db = static_cast<int>(rng.Below(64));
+    const int cb = static_cast<int>(rng.Below(8));
+    std::uint64_t corrupted = data ^ (1ull << db);
+    std::uint8_t check = EncodeWord(data) ^ static_cast<std::uint8_t>(1u << cb);
+    EXPECT_EQ(DecodeWord(corrupted, check), DecodeOutcome::kUncorrectable);
+  }
+}
+
+// --- page codec ---
+
+constexpr std::uint32_t kData = 4096;
+constexpr std::uint32_t kSpare = 544;
+
+std::vector<std::uint8_t> RandomPage(std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> page(kData);
+  for (auto& b : page) b = static_cast<std::uint8_t>(rng.Next());
+  return page;
+}
+
+TEST(PageCodec, SpareFitsCheck) {
+  EXPECT_TRUE(PageCodec::SpareFits(4096, 544));
+  EXPECT_TRUE(PageCodec::SpareFits(4096, 520));
+  EXPECT_FALSE(PageCodec::SpareFits(4096, 512));  // needs 512 + 8
+  EXPECT_FALSE(PageCodec::SpareFits(4095, 544));  // not a word multiple
+}
+
+TEST(PageCodec, CleanRoundTrip) {
+  PageCodec codec(kData, kSpare);
+  std::vector<std::uint8_t> data = RandomPage(1);
+  const std::vector<std::uint8_t> original = data;
+  std::vector<std::uint8_t> spare(kSpare, 0);
+  ASSERT_TRUE(codec.Encode(data, spare).ok());
+  auto r = codec.Decode(data, spare);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->corrected_words, 0u);
+  EXPECT_EQ(data, original);
+}
+
+TEST(PageCodec, CorrectsScatteredSingleBitErrors) {
+  PageCodec codec(kData, kSpare);
+  std::vector<std::uint8_t> data = RandomPage(2);
+  const std::vector<std::uint8_t> original = data;
+  std::vector<std::uint8_t> spare(kSpare, 0);
+  ASSERT_TRUE(codec.Encode(data, spare).ok());
+
+  // One flipped bit in each of 20 distinct words.
+  util::Xoshiro256 rng(3);
+  for (int w = 0; w < 20; ++w) {
+    const std::size_t word = static_cast<std::size_t>(w) * 25;  // distinct words
+    const int bit = static_cast<int>(rng.Below(64));
+    data[word * 8 + static_cast<std::size_t>(bit / 8)] ^=
+        static_cast<std::uint8_t>(1u << (bit % 8));
+  }
+  auto r = codec.Decode(data, spare);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->corrected_words, 20u);
+  EXPECT_EQ(data, original);
+}
+
+TEST(PageCodec, DoubleBitInWordIsDataLoss) {
+  PageCodec codec(kData, kSpare);
+  std::vector<std::uint8_t> data = RandomPage(4);
+  std::vector<std::uint8_t> spare(kSpare, 0);
+  ASSERT_TRUE(codec.Encode(data, spare).ok());
+  data[0] ^= 0x03;  // two bits within word 0
+  auto r = codec.Decode(data, spare);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(PageCodec, ErasedPageIsNotFound) {
+  PageCodec codec(kData, kSpare);
+  std::vector<std::uint8_t> data(kData, 0xFF);
+  std::vector<std::uint8_t> spare(kSpare, 0xFF);
+  auto r = codec.Decode(data, spare);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(PageCodec, SizeMismatchRejected) {
+  PageCodec codec(kData, kSpare);
+  std::vector<std::uint8_t> data(kData - 8);
+  std::vector<std::uint8_t> spare(kSpare);
+  EXPECT_FALSE(codec.Encode(data, spare).ok());
+}
+
+}  // namespace
+}  // namespace compstor::ecc

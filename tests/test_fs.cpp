@@ -1,0 +1,337 @@
+// Tests for CompStorFS: formatting, namespace ops, file IO across the
+// direct/indirect/double-indirect boundaries, truncation, coherence between
+// the host and internal views, and a randomized property test against a
+// reference model.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "fs/filesystem.hpp"
+#include "ssd/profiles.hpp"
+#include "ssd/ssd.hpp"
+#include "util/rng.hpp"
+
+namespace compstor::fs {
+namespace {
+
+struct FsFixture {
+  FsFixture() : ssd(ssd::TestProfile()), fs(&ssd.host_block_device(), ssd.fs_mutex()) {
+    EXPECT_TRUE(Filesystem::Format(&ssd.host_block_device()).ok());
+    EXPECT_TRUE(fs.Mount().ok());
+  }
+  ssd::Ssd ssd;
+  Filesystem fs;
+};
+
+std::string Blob(std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::string s(n, 0);
+  for (auto& c : s) c = static_cast<char>('a' + rng.Below(26));
+  return s;
+}
+
+TEST(Fs, MountWithoutFormatFails) {
+  ssd::Ssd ssd(ssd::TestProfile());
+  Filesystem fs(&ssd.host_block_device(), ssd.fs_mutex());
+  EXPECT_EQ(fs.Mount().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(Fs, WriteReadSmallFile) {
+  FsFixture f;
+  ASSERT_TRUE(f.fs.WriteFile("/hello.txt", "hello world").ok());
+  auto text = f.fs.ReadFileText("/hello.txt");
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(*text, "hello world");
+}
+
+TEST(Fs, EmptyFile) {
+  FsFixture f;
+  ASSERT_TRUE(f.fs.WriteFile("/empty", "").ok());
+  auto data = f.fs.ReadFileAll("/empty");
+  ASSERT_TRUE(data.ok());
+  EXPECT_TRUE(data->empty());
+  auto st = f.fs.Stat("/empty");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->size, 0u);
+}
+
+// File sizes spanning the mapping tiers: direct covers 12*4K=48K, single
+// indirect up to 48K + 512*4K = 2.1M; exercise boundaries on both sides.
+class FsFileSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FsFileSizes, RoundTrip) {
+  FsFixture f;
+  const std::size_t size = GetParam();
+  const std::string blob = Blob(size, size);
+  ASSERT_TRUE(f.fs.WriteFile("/blob", blob).ok());
+  auto read = f.fs.ReadFileText("/blob");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->size(), size);
+  EXPECT_EQ(*read, blob);
+}
+
+INSTANTIATE_TEST_SUITE_P(Boundaries, FsFileSizes,
+                         ::testing::Values(1, 4095, 4096, 4097, 12 * 4096 - 1,
+                                           12 * 4096, 12 * 4096 + 1, 200 * 1024,
+                                           (12 + 512) * 4096 + 5000));
+
+TEST(Fs, OverwriteReplacesContent) {
+  FsFixture f;
+  ASSERT_TRUE(f.fs.WriteFile("/f", Blob(100000, 1)).ok());
+  ASSERT_TRUE(f.fs.WriteFile("/f", "short").ok());
+  auto text = f.fs.ReadFileText("/f");
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(*text, "short");
+}
+
+TEST(Fs, PartialReadAndOffsetWrite) {
+  FsFixture f;
+  auto ino = f.fs.Create("/f");
+  ASSERT_TRUE(ino.ok());
+  const std::string a(5000, 'A');
+  ASSERT_TRUE(f.fs.Write(*ino, 0, std::span<const std::uint8_t>(
+                                       reinterpret_cast<const std::uint8_t*>(a.data()),
+                                       a.size())).ok());
+  // Overwrite the middle across a block boundary.
+  const std::string b(1000, 'B');
+  ASSERT_TRUE(f.fs.Write(*ino, 3900, std::span<const std::uint8_t>(
+                                          reinterpret_cast<const std::uint8_t*>(b.data()),
+                                          b.size())).ok());
+  std::vector<std::uint8_t> out(5000);
+  auto n = f.fs.Read(*ino, 0, out);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 5000u);
+  EXPECT_EQ(out[3899], 'A');
+  EXPECT_EQ(out[3900], 'B');
+  EXPECT_EQ(out[4899], 'B');
+  EXPECT_EQ(out[4900], 'A');
+}
+
+TEST(Fs, SparseHoleReadsZero) {
+  FsFixture f;
+  auto ino = f.fs.Create("/sparse");
+  ASSERT_TRUE(ino.ok());
+  const std::string tail = "tail";
+  // Write at 100KB without touching anything before: the hole reads zero.
+  ASSERT_TRUE(f.fs.Write(*ino, 100 * 1024, std::span<const std::uint8_t>(
+                                               reinterpret_cast<const std::uint8_t*>(tail.data()),
+                                               tail.size())).ok());
+  std::vector<std::uint8_t> out(16);
+  auto n = f.fs.Read(*ino, 50 * 1024, out);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 16u);
+  for (std::uint8_t b : out) EXPECT_EQ(b, 0);
+}
+
+TEST(Fs, TruncateShrinkAndExtend) {
+  FsFixture f;
+  const std::string blob = Blob(10000, 3);
+  ASSERT_TRUE(f.fs.WriteFile("/t", blob).ok());
+  auto ino = f.fs.Lookup("/t");
+  ASSERT_TRUE(ino.ok());
+
+  ASSERT_TRUE(f.fs.Truncate(*ino, 5000).ok());
+  auto text = f.fs.ReadFileText("/t");
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(*text, blob.substr(0, 5000));
+
+  // Extend past the old end: the gap must read zero (not stale bytes).
+  ASSERT_TRUE(f.fs.Truncate(*ino, 8000).ok());
+  auto data = f.fs.ReadFileAll("/t");
+  ASSERT_TRUE(data.ok());
+  ASSERT_EQ(data->size(), 8000u);
+  for (std::size_t i = 5000; i < 8000; ++i) EXPECT_EQ((*data)[i], 0) << i;
+}
+
+TEST(Fs, DirectoriesNestAndList) {
+  FsFixture f;
+  ASSERT_TRUE(f.fs.Mkdir("/a").ok());
+  ASSERT_TRUE(f.fs.Mkdir("/a/b").ok());
+  ASSERT_TRUE(f.fs.WriteFile("/a/b/c.txt", "deep").ok());
+  auto text = f.fs.ReadFileText("/a/b/c.txt");
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(*text, "deep");
+
+  auto root = f.fs.ReadDir("/");
+  ASSERT_TRUE(root.ok());
+  ASSERT_EQ(root->size(), 1u);
+  EXPECT_EQ((*root)[0].name, "a");
+  EXPECT_EQ((*root)[0].type, FileType::kDir);
+
+  auto sub = f.fs.ReadDir("/a/b");
+  ASSERT_TRUE(sub.ok());
+  ASSERT_EQ(sub->size(), 1u);
+  EXPECT_EQ((*sub)[0].name, "c.txt");
+  EXPECT_EQ((*sub)[0].type, FileType::kFile);
+}
+
+TEST(Fs, MkdirTwiceFails) {
+  FsFixture f;
+  ASSERT_TRUE(f.fs.Mkdir("/d").ok());
+  EXPECT_EQ(f.fs.Mkdir("/d").code(), StatusCode::kAlreadyExists);
+}
+
+TEST(Fs, CreateThroughFileFails) {
+  FsFixture f;
+  ASSERT_TRUE(f.fs.WriteFile("/file", "x").ok());
+  EXPECT_EQ(f.fs.Create("/file/child").status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(Fs, UnlinkFreesSpace) {
+  FsFixture f;
+  auto before = f.fs.Info();
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(f.fs.WriteFile("/big", Blob(500 * 1024, 9)).ok());
+  auto during = f.fs.Info();
+  ASSERT_TRUE(during.ok());
+  EXPECT_LT(during->free_blocks, before->free_blocks);
+  ASSERT_TRUE(f.fs.Unlink("/big").ok());
+  auto after = f.fs.Info();
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->free_blocks, before->free_blocks);
+  EXPECT_EQ(after->free_inodes, before->free_inodes);
+  EXPECT_EQ(f.fs.Stat("/big").status().code(), StatusCode::kNotFound);
+}
+
+TEST(Fs, RmdirOnlyEmpty) {
+  FsFixture f;
+  ASSERT_TRUE(f.fs.Mkdir("/d").ok());
+  ASSERT_TRUE(f.fs.WriteFile("/d/f", "x").ok());
+  EXPECT_EQ(f.fs.Rmdir("/d").code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(f.fs.Unlink("/d/f").ok());
+  EXPECT_TRUE(f.fs.Rmdir("/d").ok());
+  EXPECT_EQ(f.fs.Stat("/d").status().code(), StatusCode::kNotFound);
+}
+
+TEST(Fs, UnlinkDirectoryFails) {
+  FsFixture f;
+  ASSERT_TRUE(f.fs.Mkdir("/d").ok());
+  EXPECT_EQ(f.fs.Unlink("/d").code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(Fs, RenameMovesAcrossDirectories) {
+  FsFixture f;
+  ASSERT_TRUE(f.fs.Mkdir("/src").ok());
+  ASSERT_TRUE(f.fs.Mkdir("/dst").ok());
+  ASSERT_TRUE(f.fs.WriteFile("/src/f", "contents").ok());
+  ASSERT_TRUE(f.fs.Rename("/src/f", "/dst/g").ok());
+  EXPECT_EQ(f.fs.Stat("/src/f").status().code(), StatusCode::kNotFound);
+  auto text = f.fs.ReadFileText("/dst/g");
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(*text, "contents");
+}
+
+TEST(Fs, RenameOntoExistingFails) {
+  FsFixture f;
+  ASSERT_TRUE(f.fs.WriteFile("/a", "1").ok());
+  ASSERT_TRUE(f.fs.WriteFile("/b", "2").ok());
+  EXPECT_EQ(f.fs.Rename("/a", "/b").code(), StatusCode::kAlreadyExists);
+}
+
+TEST(Fs, PathValidation) {
+  FsFixture f;
+  EXPECT_EQ(f.fs.Stat("relative/path").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(f.fs.Stat("/missing").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(f.fs.Stat("/missing/deeper").status().code(), StatusCode::kNotFound);
+}
+
+TEST(Fs, ManyFilesAndInodeExhaustion) {
+  ssd::Ssd ssd(ssd::TestProfile());
+  FormatOptions opt;
+  opt.inode_count = 32;  // small: 31 creatable files (root uses one)
+  ASSERT_TRUE(Filesystem::Format(&ssd.host_block_device(), opt).ok());
+  Filesystem fs(&ssd.host_block_device(), ssd.fs_mutex());
+  ASSERT_TRUE(fs.Mount().ok());
+
+  int created = 0;
+  for (int i = 0; i < 64; ++i) {
+    auto r = fs.Create("/f" + std::to_string(i));
+    if (!r.ok()) {
+      EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+      break;
+    }
+    ++created;
+  }
+  EXPECT_EQ(created, 31);
+  // Deleting frees an inode for reuse.
+  ASSERT_TRUE(fs.Unlink("/f0").ok());
+  EXPECT_TRUE(fs.Create("/again").ok());
+}
+
+TEST(Fs, OutOfSpaceSurfacesCleanly) {
+  FsFixture f;
+  // Keep writing files until the filesystem reports exhaustion.
+  Status last = OkStatus();
+  for (int i = 0; i < 1000 && last.ok(); ++i) {
+    last = f.fs.WriteFile("/x" + std::to_string(i), Blob(256 * 1024, i));
+  }
+  EXPECT_EQ(last.code(), StatusCode::kResourceExhausted);
+  // The filesystem is still usable after cleanup.
+  ASSERT_TRUE(f.fs.Unlink("/x0").ok());
+  EXPECT_TRUE(f.fs.WriteFile("/recovered", "ok").ok());
+}
+
+TEST(Fs, HostAndInternalViewsAreCoherent) {
+  FsFixture f;
+  Filesystem internal(&f.ssd.internal_block_device(), f.ssd.fs_mutex());
+  ASSERT_TRUE(internal.Mount().ok());
+
+  // Host writes, device reads.
+  ASSERT_TRUE(f.fs.WriteFile("/shared.txt", "written by host").ok());
+  auto via_internal = internal.ReadFileText("/shared.txt");
+  ASSERT_TRUE(via_internal.ok());
+  EXPECT_EQ(*via_internal, "written by host");
+
+  // Device writes, host reads.
+  ASSERT_TRUE(internal.WriteFile("/result.txt", "computed in-storage").ok());
+  auto via_host = f.fs.ReadFileText("/result.txt");
+  ASSERT_TRUE(via_host.ok());
+  EXPECT_EQ(*via_host, "computed in-storage");
+}
+
+// Randomized property test against a map<string,string> reference model.
+TEST(Fs, RandomOpsMatchReferenceModel) {
+  FsFixture f;
+  util::Xoshiro256 rng(20260705);
+  std::map<std::string, std::string> model;
+
+  for (int op = 0; op < 400; ++op) {
+    const int which = static_cast<int>(rng.Below(100));
+    const std::string name = "/n" + std::to_string(rng.Below(20));
+    if (which < 45) {
+      const std::string content = Blob(rng.Below(30000), rng.Next());
+      Status st = f.fs.WriteFile(name, content);
+      if (st.ok()) {
+        model[name] = content;
+      } else {
+        ASSERT_EQ(st.code(), StatusCode::kResourceExhausted);
+      }
+    } else if (which < 65) {
+      Status st = f.fs.Unlink(name);
+      if (model.count(name)) {
+        ASSERT_TRUE(st.ok()) << name << " op " << op;
+        model.erase(name);
+      } else {
+        ASSERT_FALSE(st.ok());
+      }
+    } else {
+      auto text = f.fs.ReadFileText(name);
+      auto it = model.find(name);
+      if (it == model.end()) {
+        ASSERT_FALSE(text.ok());
+      } else {
+        ASSERT_TRUE(text.ok()) << name;
+        ASSERT_EQ(*text, it->second) << name << " op " << op;
+      }
+    }
+  }
+  // Directory listing matches the model keys.
+  auto entries = f.fs.ReadDir("/");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), model.size());
+}
+
+}  // namespace
+}  // namespace compstor::fs

@@ -1,0 +1,247 @@
+// Tests for the ISPS: core emulator charging/makespan, task runtime
+// execution, process table, permissions, agent queries.
+#include <gtest/gtest.h>
+
+#include <future>
+
+#include "client/in_situ.hpp"
+#include "isps/agent.hpp"
+#include "isps/cores.hpp"
+#include "isps/profile.hpp"
+#include "isps/task_runtime.hpp"
+#include "ssd/profiles.hpp"
+#include "ssd/ssd.hpp"
+
+namespace compstor::isps {
+namespace {
+
+TEST(CoreEmulator, ChargesClockAndEnergy) {
+  energy::EnergyMeter meter;
+  energy::CpuProfile profile = IspsCpuProfile();
+  CoreEmulator cores(profile, &meter);
+
+  cores.SubmitWithFuture([](WorkContext& ctx) { ctx.ChargeCompute(2.0); }).get();
+  EXPECT_NEAR(cores.Makespan(), 2.0, 1e-9);
+  EXPECT_NEAR(cores.TotalBusySeconds(), 2.0, 1e-9);
+  EXPECT_NEAR(meter.Joules(energy::Component::kCpu),
+              profile.active_watts_per_core * 2.0, 1e-9);
+}
+
+TEST(CoreEmulator, ParallelWorkOverlapsInVirtualTime) {
+  energy::EnergyMeter meter;
+  CoreEmulator cores(IspsCpuProfile(), &meter);  // 4 cores
+
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 4; ++i) {
+    futures.push_back(
+        cores.SubmitWithFuture([](WorkContext& ctx) { ctx.ChargeCompute(1.0); }));
+  }
+  for (auto& f : futures) f.get();
+  // Four 1s tasks on four cores: makespan ~1s, total busy 4s.
+  EXPECT_NEAR(cores.Makespan(), 1.0, 1e-9);
+  EXPECT_NEAR(cores.TotalBusySeconds(), 4.0, 1e-9);
+}
+
+TEST(CoreEmulator, MoreTasksThanCoresQueue) {
+  energy::EnergyMeter meter;
+  CoreEmulator cores(IspsCpuProfile(), &meter);
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(
+        cores.SubmitWithFuture([](WorkContext& ctx) { ctx.ChargeCompute(1.0); }));
+  }
+  for (auto& f : futures) f.get();
+  // 8 x 1s over 4 cores: some core ran (at least) two tasks.
+  EXPECT_GE(cores.Makespan(), 2.0 - 1e-9);
+  EXPECT_NEAR(cores.TotalBusySeconds(), 8.0, 1e-9);
+}
+
+TEST(CoreEmulator, IoWaitChargesClockAtReducedPower) {
+  energy::EnergyMeter meter;
+  energy::CpuProfile profile = IspsCpuProfile();
+  CoreEmulator cores(profile, &meter);
+  cores.SubmitWithFuture([](WorkContext& ctx) { ctx.ChargeIoWait(1.0); }).get();
+  EXPECT_NEAR(cores.Makespan(), 1.0, 1e-9);
+  EXPECT_NEAR(meter.Joules(energy::Component::kCpu),
+              0.3 * profile.active_watts_per_core, 1e-9);
+}
+
+TEST(CoreEmulator, ResetClocks) {
+  energy::EnergyMeter meter;
+  CoreEmulator cores(IspsCpuProfile(), &meter);
+  cores.SubmitWithFuture([](WorkContext& ctx) { ctx.ChargeCompute(1.0); }).get();
+  cores.ResetClocks();
+  EXPECT_EQ(cores.Makespan(), 0.0);
+}
+
+// --- task runtime on a real device ---
+
+struct RuntimeFixture {
+  RuntimeFixture() : ssd(ssd::TestProfile()) {
+    agent = std::make_unique<Agent>(&ssd);
+    EXPECT_TRUE(fs::Filesystem::Format(&ssd.host_block_device()).ok());
+    EXPECT_TRUE(agent->filesystem().Mount().ok());
+    EXPECT_TRUE(agent->filesystem().WriteFile("/in.txt", "red\nblue\nred\n").ok());
+  }
+  ssd::Ssd ssd;
+  std::unique_ptr<Agent> agent;
+};
+
+TEST(TaskRuntime, ExecutableRuns) {
+  RuntimeFixture f;
+  proto::Command cmd;
+  cmd.type = proto::CommandType::kExecutable;
+  cmd.executable = "grep";
+  cmd.args = {"-c", "red", "/in.txt"};
+  proto::Response r = f.agent->runtime().SpawnSync(cmd);
+  ASSERT_TRUE(r.ok()) << r.status_message;
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.stdout_data, "2\n");
+  EXPECT_GT(r.cpu_seconds, 0.0);
+  EXPECT_GT(r.io_seconds, 0.0);
+  EXPECT_GT(r.bytes_read, 0u);
+  EXPECT_GT(r.energy_joules, 0.0);
+  EXPECT_GT(r.end_time_s, r.start_time_s);
+}
+
+TEST(TaskRuntime, ShellCommandRuns) {
+  RuntimeFixture f;
+  proto::Command cmd;
+  cmd.type = proto::CommandType::kShellCommand;
+  cmd.command_line = "cat /in.txt | grep blue | wc -l";
+  proto::Response r = f.agent->runtime().SpawnSync(cmd);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.stdout_data, "1\n");
+}
+
+TEST(TaskRuntime, OutputFileRedirection) {
+  RuntimeFixture f;
+  proto::Command cmd;
+  cmd.type = proto::CommandType::kExecutable;
+  cmd.executable = "grep";
+  cmd.args = {"red", "/in.txt"};
+  cmd.output_file = "/result.txt";
+  proto::Response r = f.agent->runtime().SpawnSync(cmd);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.stdout_data.empty());  // redirected
+  auto text = f.agent->filesystem().ReadFileText("/result.txt");
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(*text, "red\nred\n");
+}
+
+TEST(TaskRuntime, UnknownExecutableFails) {
+  RuntimeFixture f;
+  proto::Command cmd;
+  cmd.type = proto::CommandType::kExecutable;
+  cmd.executable = "no-such-tool";
+  proto::Response r = f.agent->runtime().SpawnSync(cmd);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(static_cast<StatusCode>(r.status_code), StatusCode::kNotFound);
+}
+
+TEST(TaskRuntime, PermissionsEnforced) {
+  RuntimeFixture f;
+  proto::Command cmd;
+  cmd.type = proto::CommandType::kShellCommand;
+  cmd.command_line = "echo hi";
+  cmd.permissions = proto::kPermRead;  // no spawn
+  proto::Response r = f.agent->runtime().SpawnSync(cmd);
+  EXPECT_EQ(static_cast<StatusCode>(r.status_code), StatusCode::kPermissionDenied);
+
+  proto::Command cmd2;
+  cmd2.type = proto::CommandType::kExecutable;
+  cmd2.executable = "echo";
+  cmd2.args = {"x"};
+  cmd2.output_file = "/blocked.txt";
+  cmd2.permissions = proto::kPermRead;  // no write
+  proto::Response r2 = f.agent->runtime().SpawnSync(cmd2);
+  EXPECT_EQ(static_cast<StatusCode>(r2.status_code), StatusCode::kPermissionDenied);
+}
+
+TEST(TaskRuntime, ProcessTableTracksTasks) {
+  RuntimeFixture f;
+  proto::Command cmd;
+  cmd.type = proto::CommandType::kExecutable;
+  cmd.executable = "wc";
+  cmd.args = {"/in.txt"};
+  proto::Response r = f.agent->runtime().SpawnSync(cmd);
+  ASSERT_TRUE(r.ok());
+  auto table = f.agent->runtime().ProcessTable();
+  ASSERT_FALSE(table.empty());
+  bool found = false;
+  for (const TaskInfo& t : table) {
+    if (t.pid == r.pid) {
+      found = true;
+      EXPECT_EQ(t.state, TaskInfo::State::kDone);
+      EXPECT_EQ(t.summary, "wc");
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_EQ(f.agent->runtime().RunningCount(), 0u);
+}
+
+TEST(TaskRuntime, ConcurrentSpawnsAllComplete) {
+  RuntimeFixture f;
+  std::vector<std::future<proto::Response>> futures;
+  std::vector<std::shared_ptr<std::promise<proto::Response>>> promises;
+  for (int i = 0; i < 12; ++i) {
+    auto p = std::make_shared<std::promise<proto::Response>>();
+    futures.push_back(p->get_future());
+    promises.push_back(p);
+    proto::Command cmd;
+    cmd.type = proto::CommandType::kExecutable;
+    cmd.executable = "grep";
+    cmd.args = {"-c", "red", "/in.txt"};
+    f.agent->runtime().Spawn(cmd, [p](proto::Response r) { p->set_value(std::move(r)); });
+  }
+  for (auto& fut : futures) {
+    proto::Response r = fut.get();
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.stdout_data, "2\n");
+  }
+}
+
+// --- agent-level behaviour ---
+
+TEST(Agent, TemperatureTracksUtilization) {
+  RuntimeFixture f;
+  const double idle_temp = f.agent->TemperatureC();
+  EXPECT_NEAR(idle_temp, 42.0, 1.0);  // ambient when idle
+}
+
+TEST(Agent, StatusQueryThroughClient) {
+  RuntimeFixture f;
+  client::CompStorHandle handle(&f.ssd);
+  auto status = handle.GetStatus();
+  ASSERT_TRUE(status.ok()) << status.status().ToString();
+  EXPECT_EQ(status->core_count, 4u);
+  EXPECT_GE(status->temperature_c, 40.0);
+  EXPECT_EQ(status->running_tasks, 0u);
+}
+
+TEST(Agent, CountsMinionsAndQueries) {
+  RuntimeFixture f;
+  client::CompStorHandle handle(&f.ssd);
+  ASSERT_TRUE(handle.GetStatus().ok());
+  proto::Command cmd;
+  cmd.type = proto::CommandType::kExecutable;
+  cmd.executable = "echo";
+  cmd.args = {"hello"};
+  ASSERT_TRUE(handle.RunMinion(cmd).ok());
+  EXPECT_EQ(f.agent->queries_handled(), 1u);
+  EXPECT_EQ(f.agent->minions_handled(), 1u);
+}
+
+TEST(Profile, TableIIConstants) {
+  // Paper Table II: quad-core A53 @ 1.5 GHz, 32KB L1, 1MB L2, 8GB DDR4.
+  IspsCharacteristics c;
+  EXPECT_EQ(c.cores, 4u);
+  EXPECT_DOUBLE_EQ(c.frequency_hz, 1.5e9);
+  EXPECT_EQ(c.l1_icache_bytes, 32u * 1024);
+  EXPECT_EQ(c.l2_cache_bytes, 1024u * 1024);
+  EXPECT_EQ(c.dram_bytes, 8ull * 1024 * 1024 * 1024);
+  EXPECT_EQ(c.dram_mts, 2133u);
+}
+
+}  // namespace
+}  // namespace compstor::isps

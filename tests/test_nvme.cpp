@@ -1,0 +1,204 @@
+// Tests for the NVMe layer: queue pair flow, IO commands, identify, trim,
+// async vendor handling, link accounting, concurrent submissions.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "ssd/profiles.hpp"
+#include "ssd/ssd.hpp"
+#include "util/byte_io.hpp"
+#include "util/rng.hpp"
+
+namespace compstor::nvme {
+namespace {
+
+std::shared_ptr<std::vector<std::uint8_t>> Buffer(std::size_t pages,
+                                                  std::uint8_t fill = 0) {
+  return std::make_shared<std::vector<std::uint8_t>>(pages * 4096, fill);
+}
+
+struct SsdFixture {
+  SsdFixture() : ssd(ssd::TestProfile()) {}
+  ssd::Ssd ssd;
+};
+
+TEST(Nvme, WriteReadRoundTrip) {
+  SsdFixture f;
+  auto wbuf = Buffer(4);
+  util::Xoshiro256 rng(1);
+  for (auto& b : *wbuf) b = static_cast<std::uint8_t>(rng.Next());
+
+  Completion w = f.ssd.host_interface().WriteSync(10, 4, wbuf);
+  ASSERT_TRUE(w.status.ok()) << w.status.ToString();
+  EXPECT_GT(w.latency, 0.0);
+
+  auto rbuf = Buffer(4);
+  Completion r = f.ssd.host_interface().ReadSync(10, 4, rbuf);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(*rbuf, *wbuf);
+}
+
+TEST(Nvme, TrimThenReadZero) {
+  SsdFixture f;
+  auto wbuf = Buffer(1, 0x77);
+  ASSERT_TRUE(f.ssd.host_interface().WriteSync(3, 1, wbuf).status.ok());
+  ASSERT_TRUE(f.ssd.host_interface().TrimSync(3, 1).status.ok());
+  auto rbuf = Buffer(1, 0xFF);
+  ASSERT_TRUE(f.ssd.host_interface().ReadSync(3, 1, rbuf).status.ok());
+  for (std::uint8_t b : *rbuf) EXPECT_EQ(b, 0);
+}
+
+TEST(Nvme, IdentifyReportsModelAndCapacity) {
+  SsdFixture f;
+  Completion cqe = f.ssd.host_interface().VendorSync(Opcode::kIdentify, {});
+  ASSERT_TRUE(cqe.status.ok());
+  util::ByteReader r(cqe.payload);
+  auto model = r.GetString();
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(*model, "CompStor test SSD");
+  auto pages = r.GetU64();
+  ASSERT_TRUE(pages.ok());
+  EXPECT_EQ(*pages, f.ssd.ftl().user_pages());
+}
+
+TEST(Nvme, FlushCompletes) {
+  SsdFixture f;
+  Command cmd;
+  cmd.opcode = Opcode::kFlush;
+  Completion cqe = f.ssd.host_interface().Submit(std::move(cmd)).get();
+  EXPECT_TRUE(cqe.status.ok());
+}
+
+TEST(Nvme, BadBufferRejected) {
+  SsdFixture f;
+  auto small = Buffer(1);
+  Completion cqe = f.ssd.host_interface().ReadSync(0, 4, small);
+  EXPECT_EQ(cqe.status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Nvme, OutOfRangeIoFails) {
+  SsdFixture f;
+  auto buf = Buffer(1);
+  Completion cqe =
+      f.ssd.host_interface().WriteSync(f.ssd.ftl().user_pages(), 1, buf);
+  EXPECT_FALSE(cqe.status.ok());
+}
+
+TEST(Nvme, VendorWithoutAgentUnavailable) {
+  SsdFixture f;
+  Completion cqe = f.ssd.host_interface().VendorSync(Opcode::kInSituMinion, {1, 2, 3});
+  EXPECT_EQ(cqe.status.code(), StatusCode::kUnavailable);
+}
+
+TEST(Nvme, AsyncVendorHandlerCompletesLater) {
+  SsdFixture f;
+  std::atomic<bool> invoked{false};
+  f.ssd.controller().SetVendorHandler(
+      [&invoked](const Command& cmd, Controller::CompletionSink done) {
+        invoked.store(true);
+        // Complete from a different thread, later.
+        std::thread([payload = cmd.payload, done = std::move(done)]() mutable {
+          Completion cqe;
+          cqe.payload = std::move(payload);  // echo
+          done(std::move(cqe));
+        }).detach();
+      });
+  Completion cqe =
+      f.ssd.host_interface().VendorSync(Opcode::kInSituQuery, {9, 8, 7});
+  EXPECT_TRUE(invoked.load());
+  ASSERT_TRUE(cqe.status.ok());
+  EXPECT_EQ(cqe.payload, (std::vector<std::uint8_t>{9, 8, 7}));
+  f.ssd.controller().SetVendorHandler(nullptr);
+}
+
+TEST(Nvme, LinkAccountsTransferredBytes) {
+  SsdFixture f;
+  const std::uint64_t before = f.ssd.link().TotalBytes();
+  auto buf = Buffer(8, 0x11);
+  ASSERT_TRUE(f.ssd.host_interface().WriteSync(0, 8, buf).status.ok());
+  EXPECT_GE(f.ssd.link().TotalBytes() - before, 8ull * 4096);
+  EXPECT_GT(f.ssd.meter().Joules(energy::Component::kLink), 0.0);
+}
+
+TEST(Nvme, ConcurrentSubmissionsAllComplete) {
+  SsdFixture f;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 32;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&f, &failures, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::uint64_t lba =
+            static_cast<std::uint64_t>(t) * kPerThread + static_cast<std::uint64_t>(i);
+        auto buf = Buffer(1, static_cast<std::uint8_t>(t * 16 + (i % 16)));
+        if (!f.ssd.host_interface().WriteSync(lba, 1, buf).status.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        auto rbuf = Buffer(1);
+        if (!f.ssd.host_interface().ReadSync(lba, 1, rbuf).status.ok() ||
+            *rbuf != *buf) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(f.ssd.controller().Stats().io_commands,
+            static_cast<std::uint64_t>(kThreads) * kPerThread * 2);
+}
+
+TEST(Nvme, BlockDeviceViewsShareData) {
+  SsdFixture f;
+  std::vector<std::uint8_t> data(4096, 0xCD);
+  ASSERT_TRUE(f.ssd.host_block_device().Write(42, data).ok());
+  std::vector<std::uint8_t> out(4096);
+  ASSERT_TRUE(f.ssd.internal_block_device().Read(42, out).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST(Nvme, InternalPathUnavailableOnPlainSsd) {
+  ssd::SsdProfile p = ssd::TestProfile();
+  p.internal_bandwidth_bytes_per_s = 0;  // no ISPS
+  ssd::Ssd plain(p);
+  std::vector<std::uint8_t> out(4096);
+  EXPECT_EQ(plain.internal_block_device().Read(0, out).code(),
+            StatusCode::kUnavailable);
+}
+
+TEST(Nvme, InternalPathTracksBusyTime) {
+  SsdFixture f;
+  std::vector<std::uint8_t> data(4096, 1);
+  ASSERT_TRUE(f.ssd.internal_block_device().Write(0, data).ok());
+  EXPECT_GT(f.ssd.InternalBusySeconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace compstor::nvme
+namespace compstor::nvme {
+namespace {
+
+TEST(Nvme, FormatNvmDiscardsEverything) {
+  ssd::Ssd device(ssd::TestProfile());
+  auto buf = std::make_shared<std::vector<std::uint8_t>>(4096, 0x66);
+  for (std::uint64_t lba = 0; lba < 16; ++lba) {
+    ASSERT_TRUE(device.host_interface().WriteSync(lba, 1, buf).status.ok());
+  }
+  Command cmd;
+  cmd.opcode = Opcode::kFormatNvm;
+  Completion cqe = device.host_interface().Submit(std::move(cmd)).get();
+  ASSERT_TRUE(cqe.status.ok());
+
+  auto out = std::make_shared<std::vector<std::uint8_t>>(4096, 0xFF);
+  for (std::uint64_t lba = 0; lba < 16; ++lba) {
+    ASSERT_TRUE(device.host_interface().ReadSync(lba, 1, out).status.ok());
+    for (std::uint8_t b : *out) ASSERT_EQ(b, 0) << "lba " << lba;
+  }
+  EXPECT_GE(device.ftl().Stats().trimmed_pages, 16u);
+}
+
+}  // namespace
+}  // namespace compstor::nvme

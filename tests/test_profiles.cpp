@@ -1,0 +1,89 @@
+// Tests pinning the device/server profiles to the paper's Tables II and IV
+// and Fig 1 bandwidth arithmetic.
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "isps/profile.hpp"
+#include "ssd/profiles.hpp"
+
+namespace compstor {
+namespace {
+
+using namespace compstor::units;
+
+TEST(Profiles, CompStorMatchesPaperArchitecture) {
+  ssd::SsdProfile p = ssd::CompStorProfile();
+  EXPECT_EQ(p.model, "CompStor 24TB NVMe SSD");
+  EXPECT_EQ(p.geometry.channels, 16u);                       // Fig 1
+  EXPECT_NEAR(p.timing.channel_bandwidth, MBps(533), 1e3);   // Fig 1
+  EXPECT_GT(p.internal_bandwidth_bytes_per_s, 0.0);          // has ISPS
+  // 16ch x 533MB/s ~= 8.5 GB/s media-side bandwidth (paper Fig 1).
+  EXPECT_NEAR(p.timing.channel_bandwidth * p.geometry.channels, 8.5e9, 0.1e9);
+}
+
+TEST(Profiles, FullScaleCompStorIsTensOfTB) {
+  ssd::SsdProfile p = ssd::CompStorProfile(1.0);
+  // Raw geometry ~= 32 TiB; usable after OP lands in the 24TB class.
+  const double usable = static_cast<double>(p.UserCapacityBytes());
+  EXPECT_GT(usable, 20e12);
+  EXPECT_LT(usable, 36e12);
+}
+
+TEST(Profiles, OffTheShelfHasNoIsps) {
+  ssd::SsdProfile p = ssd::OffTheShelfProfile();
+  EXPECT_EQ(p.internal_bandwidth_bytes_per_s, 0.0);
+}
+
+TEST(Profiles, OffTheShelfFullScaleIsQuarterTB) {
+  ssd::SsdProfile p = ssd::OffTheShelfProfile(1.0);
+  const double usable = static_cast<double>(p.UserCapacityBytes());
+  // Table IV: 256 GB class.
+  EXPECT_GT(usable, 180e9);
+  EXPECT_LT(usable, 300e9);
+}
+
+TEST(Profiles, IspsCpuMatchesTableII) {
+  energy::CpuProfile p = isps::IspsCpuProfile();
+  EXPECT_EQ(p.cores, 4);
+  EXPECT_DOUBLE_EQ(p.frequency_hz, 1.5e9);
+  EXPECT_LT(p.ipc_factor, 1.0);  // A53 slower per clock than Xeon
+  EXPECT_TRUE(p.in_order);
+  // Whole-device draw while one core works (~idle + 1 active) is the ~10W
+  // the paper's Fig 8 joules imply; even all-cores-busy stays tiny next to
+  // the host server's baseline.
+  EXPECT_NEAR(p.package_idle_watts + p.active_watts_per_core, 10.8, 1.5);
+  EXPECT_LT(p.active_watts_per_core * p.cores + p.package_idle_watts,
+            isps::XeonCpuProfile().package_idle_watts);
+}
+
+TEST(Profiles, XeonMatchesTableIV) {
+  energy::CpuProfile p = isps::XeonCpuProfile();
+  EXPECT_DOUBLE_EQ(p.frequency_hz, 2.1e9);  // E5-2620 v4 base clock
+  EXPECT_EQ(p.cores, 16);                   // 8C/16T
+  EXPECT_DOUBLE_EQ(p.ipc_factor, 1.0);      // reference core
+}
+
+TEST(Profiles, Fig1BandwidthMismatch) {
+  // The paper's server math: 64 SSDs x 16 ch x 533 MB/s = ~545 GB/s of media
+  // bandwidth behind a 16 GB/s PCIe x16 host link -> ~34x mismatch at the
+  // host link, ~80x counting per-SSD shares (2 GB/s each).
+  const double per_ssd_media = 16 * 533e6;
+  const double media_total = 64 * per_ssd_media;
+  EXPECT_NEAR(media_total, 545e9, 15e9);
+  const double host_link = 16e9;
+  EXPECT_GT(media_total / host_link, 30.0);
+  // Per-SSD: 8.5 GB/s of media behind a 16/64 = 0.25 GB/s host-link share —
+  // a ~34x mismatch (the paper quotes "as high as 80x" with its switch
+  // fan-out assumptions; the order of magnitude is the point).
+  const double per_ssd_share = host_link / 64;
+  EXPECT_NEAR(per_ssd_media / per_ssd_share, 34.1, 2.0);
+}
+
+TEST(Profiles, TestProfileSmallEnoughForUnitTests) {
+  ssd::SsdProfile p = ssd::TestProfile();
+  EXPECT_LT(p.geometry.raw_capacity_bytes(), 200ull * 1024 * 1024);
+  EXPECT_GT(p.internal_bandwidth_bytes_per_s, 0.0);
+}
+
+}  // namespace
+}  // namespace compstor

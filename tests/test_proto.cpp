@@ -1,0 +1,138 @@
+// Tests for the proto entities and their wire format.
+#include <gtest/gtest.h>
+
+#include "proto/entities.hpp"
+
+namespace compstor::proto {
+namespace {
+
+Minion SampleMinion() {
+  Minion m;
+  m.id = 42;
+  m.command.type = CommandType::kShellCommand;
+  m.command.executable = "grep";
+  m.command.args = {"-c", "pattern"};
+  m.command.command_line = "grep -c pattern /data/book_001.txt";
+  m.command.input_files = {"/data/book_001.txt", "/data/book_002.txt"};
+  m.command.output_file = "/results/out.txt";
+  m.command.stdin_data = "piped\ninput\n";
+  m.command.permissions = kPermRead | kPermWrite;
+  m.response.status_code = 0;
+  m.response.exit_code = 1;
+  m.response.stdout_data = "7\n";
+  m.response.stderr_data = "warning: x\n";
+  m.response.pid = 19;
+  m.response.start_time_s = 1.5;
+  m.response.end_time_s = 2.75;
+  m.response.cpu_seconds = 0.8;
+  m.response.io_seconds = 0.45;
+  m.response.bytes_read = 123456;
+  m.response.bytes_written = 789;
+  m.response.energy_joules = 3.25;
+  return m;
+}
+
+TEST(Proto, MinionRoundTrip) {
+  const Minion m = SampleMinion();
+  auto bytes = Serialize(m);
+  auto back = DeserializeMinion(bytes);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->id, m.id);
+  EXPECT_EQ(back->command.type, m.command.type);
+  EXPECT_EQ(back->command.executable, m.command.executable);
+  EXPECT_EQ(back->command.args, m.command.args);
+  EXPECT_EQ(back->command.command_line, m.command.command_line);
+  EXPECT_EQ(back->command.input_files, m.command.input_files);
+  EXPECT_EQ(back->command.output_file, m.command.output_file);
+  EXPECT_EQ(back->command.stdin_data, m.command.stdin_data);
+  EXPECT_EQ(back->command.permissions, m.command.permissions);
+  EXPECT_EQ(back->response.exit_code, m.response.exit_code);
+  EXPECT_EQ(back->response.stdout_data, m.response.stdout_data);
+  EXPECT_EQ(back->response.stderr_data, m.response.stderr_data);
+  EXPECT_EQ(back->response.pid, m.response.pid);
+  EXPECT_DOUBLE_EQ(back->response.start_time_s, m.response.start_time_s);
+  EXPECT_DOUBLE_EQ(back->response.end_time_s, m.response.end_time_s);
+  EXPECT_DOUBLE_EQ(back->response.cpu_seconds, m.response.cpu_seconds);
+  EXPECT_DOUBLE_EQ(back->response.io_seconds, m.response.io_seconds);
+  EXPECT_EQ(back->response.bytes_read, m.response.bytes_read);
+  EXPECT_EQ(back->response.bytes_written, m.response.bytes_written);
+  EXPECT_DOUBLE_EQ(back->response.energy_joules, m.response.energy_joules);
+}
+
+TEST(Proto, EmptyMinionRoundTrip) {
+  Minion m;
+  auto back = DeserializeMinion(Serialize(m));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->id, 0u);
+  EXPECT_TRUE(back->command.executable.empty());
+}
+
+TEST(Proto, QueryRoundTrip) {
+  Query q;
+  q.id = 9;
+  q.type = QueryType::kLoadTask;
+  q.task_name = "count-chapters";
+  q.task_script = "grep -c CHAPTER $1";
+  auto back = DeserializeQuery(Serialize(q));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->id, 9u);
+  EXPECT_EQ(back->type, QueryType::kLoadTask);
+  EXPECT_EQ(back->task_name, "count-chapters");
+  EXPECT_EQ(back->task_script, "grep -c CHAPTER $1");
+}
+
+TEST(Proto, QueryReplyRoundTrip) {
+  QueryReply r;
+  r.id = 4;
+  r.core_count = 4;
+  r.utilization = 0.75;
+  r.temperature_c = 63.5;
+  r.running_tasks = 3;
+  r.queued_minions = 2;
+  r.uptime_virtual_s = 120.5;
+  r.task_names = {"grep", "gzip"};
+  auto back = DeserializeQueryReply(Serialize(r));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->core_count, 4u);
+  EXPECT_DOUBLE_EQ(back->utilization, 0.75);
+  EXPECT_DOUBLE_EQ(back->temperature_c, 63.5);
+  EXPECT_EQ(back->task_names, (std::vector<std::string>{"grep", "gzip"}));
+}
+
+TEST(Proto, CorruptedFrameRejected) {
+  auto bytes = Serialize(SampleMinion());
+  bytes[bytes.size() / 2] ^= 0x01;
+  auto back = DeserializeMinion(bytes);
+  EXPECT_FALSE(back.ok());
+  EXPECT_EQ(back.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(Proto, TruncatedFrameRejected) {
+  auto bytes = Serialize(SampleMinion());
+  bytes.resize(bytes.size() / 2);
+  EXPECT_FALSE(DeserializeMinion(bytes).ok());
+  EXPECT_FALSE(DeserializeMinion({}).ok());
+}
+
+TEST(Proto, WrongFrameTagRejected) {
+  Query q;
+  auto bytes = Serialize(q);
+  EXPECT_FALSE(DeserializeMinion(bytes).ok());  // query frame is not a minion
+}
+
+TEST(Proto, StatusConversionRoundTrip) {
+  Response resp;
+  StatusToResponse(DataLoss("flash gone"), &resp);
+  EXPECT_FALSE(resp.ok());
+  Status st = ResponseToStatus(resp);
+  EXPECT_EQ(st.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(st.message(), "flash gone");
+
+  Response ok_resp;
+  StatusToResponse(OkStatus(), &ok_resp);
+  EXPECT_TRUE(ok_resp.ok());
+  EXPECT_TRUE(ResponseToStatus(ok_resp).ok());
+}
+
+}  // namespace
+}  // namespace compstor::proto

@@ -1,0 +1,135 @@
+// Tests for the Thompson-NFA regex engine.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "apps/regex.hpp"
+
+namespace compstor::apps {
+namespace {
+
+bool Matches(std::string_view pattern, std::string_view text,
+             bool case_insensitive = false) {
+  auto re = Regex::Compile(pattern, case_insensitive);
+  EXPECT_TRUE(re.ok()) << pattern << ": " << re.status().ToString();
+  if (!re.ok()) return false;
+  return re->Search(text);
+}
+
+// (pattern, text, expected)
+using MatchCase = std::tuple<const char*, const char*, bool>;
+
+class RegexMatch : public ::testing::TestWithParam<MatchCase> {};
+
+TEST_P(RegexMatch, SearchSemantics) {
+  const auto& [pattern, text, expected] = GetParam();
+  EXPECT_EQ(Matches(pattern, text), expected)
+      << "/" << pattern << "/ on \"" << text << "\"";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Basics, RegexMatch,
+    ::testing::Values(
+        MatchCase{"abc", "xxabcxx", true}, MatchCase{"abc", "abx", false},
+        MatchCase{"a.c", "abc", true}, MatchCase{"a.c", "ac", false},
+        MatchCase{"a.c", "a\nc", false},  // '.' excludes newline
+        MatchCase{"ab*c", "ac", true}, MatchCase{"ab*c", "abbbc", true},
+        MatchCase{"ab+c", "ac", false}, MatchCase{"ab+c", "abc", true},
+        MatchCase{"ab?c", "ac", true}, MatchCase{"ab?c", "abbc", false},
+        MatchCase{"a|b", "zzbzz", true}, MatchCase{"a|b", "zzz", false},
+        MatchCase{"(ab)+", "ababab", true}, MatchCase{"(ab)+c", "abac", false},
+        MatchCase{"x(a|b)*y", "xy", true}, MatchCase{"x(a|b)*y", "xababy", true},
+        MatchCase{"x(a|b)*y", "xacy", false}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Classes, RegexMatch,
+    ::testing::Values(
+        MatchCase{"[abc]", "zbz", true}, MatchCase{"[abc]", "zdz", false},
+        MatchCase{"[a-f]+", "beef", true}, MatchCase{"[a-f]", "g", false},
+        MatchCase{"[^abc]", "a", false}, MatchCase{"[^abc]", "d", true},
+        MatchCase{"[0-9][0-9]*", "year 1984 was", true},
+        MatchCase{"[]]", "]", true},       // ']' first in class is literal
+        MatchCase{"[a-]", "-", true},      // trailing '-' is literal
+        MatchCase{"[\\d]+", "42", true}));
+
+INSTANTIATE_TEST_SUITE_P(
+    AnchorsAndEscapes, RegexMatch,
+    ::testing::Values(
+        MatchCase{"^abc", "abcdef", true}, MatchCase{"^abc", "xabc", false},
+        MatchCase{"abc$", "xxabc", true}, MatchCase{"abc$", "abcx", false},
+        MatchCase{"^abc$", "abc", true}, MatchCase{"^abc$", "aabc", false},
+        MatchCase{"^$", "", true}, MatchCase{"^$", "a", false},
+        MatchCase{"\\d+", "abc123", true}, MatchCase{"\\d", "abc", false},
+        MatchCase{"\\w+", "hi_there", true}, MatchCase{"\\W", "a b", true},
+        MatchCase{"\\s", "a b", true}, MatchCase{"\\S+", "   x", true},
+        MatchCase{"a\\.c", "a.c", true}, MatchCase{"a\\.c", "abc", false},
+        MatchCase{"\\\\", "back\\slash", true},
+        MatchCase{"a\\tb", "a\tb", true}));
+
+TEST(Regex, CaseInsensitive) {
+  EXPECT_TRUE(Matches("chapter", "CHAPTER 5", true));
+  EXPECT_TRUE(Matches("[a-z]+", "HELLO", true));
+  EXPECT_FALSE(Matches("chapter", "CHAPTER 5", false));
+}
+
+TEST(Regex, FindFirstLeftmostLongest) {
+  auto re = Regex::Compile("ab+");
+  ASSERT_TRUE(re.ok());
+  std::size_t b = 0, e = 0;
+  ASSERT_TRUE(re->FindFirst("xxabbbxxab", &b, &e));
+  EXPECT_EQ(b, 2u);
+  EXPECT_EQ(e, 6u);  // longest at leftmost start
+}
+
+TEST(Regex, FindFirstEmptyMatch) {
+  auto re = Regex::Compile("x*");
+  ASSERT_TRUE(re.ok());
+  std::size_t b = 0, e = 0;
+  ASSERT_TRUE(re->FindFirst("abc", &b, &e));
+  EXPECT_EQ(b, 0u);
+  EXPECT_EQ(e, 0u);  // empty match at position 0
+}
+
+TEST(Regex, SyntaxErrors) {
+  EXPECT_FALSE(Regex::Compile("(abc").ok());
+  EXPECT_FALSE(Regex::Compile("abc)").ok());
+  EXPECT_FALSE(Regex::Compile("*a").ok());
+  EXPECT_FALSE(Regex::Compile("[abc").ok());
+  EXPECT_FALSE(Regex::Compile("a\\").ok());
+  EXPECT_FALSE(Regex::Compile("[z-a]").ok());
+}
+
+TEST(Regex, EmptyPatternMatchesEverything) {
+  EXPECT_TRUE(Matches("", ""));
+  EXPECT_TRUE(Matches("", "anything"));
+}
+
+TEST(Regex, EmptyAlternative) {
+  EXPECT_TRUE(Matches("a|", "zzz"));  // empty right side matches anywhere
+  EXPECT_TRUE(Matches("(a|)b", "b"));
+}
+
+TEST(Regex, NoBacktrackingBlowup) {
+  // Classic exponential-backtracking killer: (a*)*b against many a's. A
+  // Thompson simulation handles it in linear time.
+  std::string text(2000, 'a');
+  EXPECT_FALSE(Matches("(a*)*b", text));
+  EXPECT_TRUE(Matches("(a*)*b", text + "b"));
+}
+
+TEST(Regex, LongLineScaling) {
+  std::string line(100000, 'x');
+  line += "needle";
+  EXPECT_TRUE(Matches("needle", line));
+  EXPECT_FALSE(Matches("absent", line));
+}
+
+TEST(Regex, PatternAccessor) {
+  auto re = Regex::Compile("a+b");
+  ASSERT_TRUE(re.ok());
+  EXPECT_EQ(re->pattern(), "a+b");
+}
+
+}  // namespace
+}  // namespace compstor::apps

@@ -1,0 +1,274 @@
+// Tests for the reliability features: grown bad blocks (program/erase
+// failure injection + FTL retirement) and the fast-release write cache.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "flash/array.hpp"
+#include "ftl/ftl.hpp"
+#include "ssd/profiles.hpp"
+#include "ssd/ssd.hpp"
+#include "util/rng.hpp"
+
+namespace compstor::ftl {
+namespace {
+
+flash::Geometry TinyGeometry() {
+  flash::Geometry g;
+  g.channels = 2;
+  g.dies_per_channel = 2;
+  g.planes_per_die = 1;
+  g.blocks_per_plane = 8;
+  g.pages_per_block = 16;
+  g.page_data_bytes = 4096;
+  g.page_spare_bytes = 544;
+  return g;
+}
+
+std::vector<std::uint8_t> PageOf(std::uint64_t tag) {
+  std::vector<std::uint8_t> page(4096);
+  util::Xoshiro256 rng(tag * 0x9E3779B9u + 5);
+  for (auto& b : page) b = static_cast<std::uint8_t>(rng.Next());
+  return page;
+}
+
+// --- grown bad blocks ---
+
+TEST(BadBlocks, ProgramFailureRetiresAndDataSurvives) {
+  flash::Geometry g = TinyGeometry();
+  flash::Reliability rel;
+  rel.program_fail_rate = 0.01;  // exaggerated vs real NAND to force retirements
+  rel.rated_erase_cycles = 10;    // ramp reaches full rate quickly
+  flash::Array array(g, flash::Timing{}, rel, /*seed=*/7);
+  FtlConfig cfg;
+  cfg.op_ratio = 0.3;
+  Ftl ftl(&array, cfg);
+
+  const std::uint64_t user = ftl.user_pages();
+  std::map<std::uint64_t, std::uint64_t> model;
+  util::Xoshiro256 rng(3);
+  // Write until the traffic budget runs out or retirements eat the spare
+  // capacity (a real SSD goes read-only at that point). The invariant is
+  // that every ACKNOWLEDGED write stays readable.
+  for (int op = 0; op < 4000; ++op) {
+    const std::uint64_t lpn = rng.Below(user);
+    const std::uint64_t tag = rng.Next();
+    Status st = ftl.WritePage(lpn, PageOf(tag));
+    if (!st.ok()) {
+      EXPECT_EQ(st.code(), StatusCode::kResourceExhausted) << st.ToString();
+      break;
+    }
+    model[lpn] = tag;
+  }
+  FtlStats s = ftl.Stats();
+  EXPECT_GT(s.program_failures, 0u);
+  EXPECT_GT(s.grown_bad_blocks, 0u);
+
+  // Every acknowledged write still reads back correctly.
+  std::vector<std::uint8_t> out(4096);
+  for (const auto& [lpn, tag] : model) {
+    ASSERT_TRUE(ftl.ReadPage(lpn, out).ok()) << lpn;
+    ASSERT_EQ(out, PageOf(tag)) << lpn;
+  }
+}
+
+TEST(BadBlocks, EraseFailureRetiresDuringGc) {
+  flash::Geometry g = TinyGeometry();
+  flash::Reliability rel;
+  rel.erase_fail_rate = 0.03;
+  rel.rated_erase_cycles = 10;
+  flash::Array array(g, flash::Timing{}, rel, /*seed=*/11);
+  FtlConfig cfg;
+  cfg.op_ratio = 0.3;
+  Ftl ftl(&array, cfg);
+
+  const std::uint64_t user = ftl.user_pages();
+  util::Xoshiro256 rng(5);
+  std::map<std::uint64_t, std::uint64_t> model;
+  for (int op = 0; op < 5000; ++op) {
+    const std::uint64_t lpn = rng.Below(user);
+    const std::uint64_t tag = rng.Next();
+    Status st = ftl.WritePage(lpn, PageOf(tag));
+    if (!st.ok()) {
+      EXPECT_EQ(st.code(), StatusCode::kResourceExhausted) << st.ToString();
+      break;
+    }
+    model[lpn] = tag;
+  }
+  FtlStats s = ftl.Stats();
+  EXPECT_GT(s.erase_failures, 0u);
+  EXPECT_GT(s.grown_bad_blocks, 0u);
+
+  std::vector<std::uint8_t> out(4096);
+  for (const auto& [lpn, tag] : model) {
+    ASSERT_TRUE(ftl.ReadPage(lpn, out).ok());
+    ASSERT_EQ(out, PageOf(tag));
+  }
+}
+
+TEST(BadBlocks, RetirementRelocationsCounted) {
+  flash::Geometry g = TinyGeometry();
+  flash::Reliability rel;
+  rel.program_fail_rate = 0.01;
+  rel.rated_erase_cycles = 4;
+  flash::Array array(g, flash::Timing{}, rel, /*seed=*/23);
+  FtlConfig cfg;
+  cfg.op_ratio = 0.3;
+  Ftl ftl(&array, cfg);
+  util::Xoshiro256 rng(9);
+  for (int op = 0; op < 4000; ++op) {
+    if (!ftl.WritePage(rng.Below(ftl.user_pages()), PageOf(rng.Next())).ok()) break;
+  }
+  const FtlStats s = ftl.Stats();
+  if (s.program_failures > 0) {
+    // Valid pages sitting in the failed block were moved out.
+    EXPECT_GE(s.retirement_relocations + s.gc_relocated_pages, 0u);
+    EXPECT_GT(s.grown_bad_blocks, 0u);
+  }
+}
+
+// --- write cache ---
+
+struct CachedFtl {
+  CachedFtl()
+      : array(TinyGeometry(), flash::Timing{}, flash::Reliability{}) {
+    FtlConfig cfg;
+    cfg.op_ratio = 0.25;
+    cfg.write_cache_pages = 8;
+    ftl = std::make_unique<Ftl>(&array, cfg);
+  }
+  flash::Array array;
+  std::unique_ptr<Ftl> ftl;
+};
+
+TEST(WriteCache, AbsorbsWritesUntilEviction) {
+  CachedFtl f;
+  for (std::uint64_t lpn = 0; lpn < 8; ++lpn) {
+    ASSERT_TRUE(f.ftl->WritePage(lpn, PageOf(lpn)).ok());
+  }
+  FtlStats s = f.ftl->Stats();
+  EXPECT_EQ(s.cache_write_hits, 8u);
+  EXPECT_EQ(s.flash_programs, 0u);  // nothing hit NAND yet
+
+  // The 9th write overflows and evicts down to 6 (3/4 of 8).
+  ASSERT_TRUE(f.ftl->WritePage(8, PageOf(8)).ok());
+  s = f.ftl->Stats();
+  EXPECT_GT(s.cache_flushes, 0u);
+  EXPECT_GT(s.flash_programs, 0u);
+}
+
+TEST(WriteCache, ReadYourWrites) {
+  CachedFtl f;
+  ASSERT_TRUE(f.ftl->WritePage(3, PageOf(42)).ok());
+  std::vector<std::uint8_t> out(4096);
+  ASSERT_TRUE(f.ftl->ReadPage(3, out).ok());
+  EXPECT_EQ(out, PageOf(42));
+  EXPECT_EQ(f.ftl->Stats().cache_read_hits, 1u);
+  EXPECT_EQ(f.ftl->Stats().flash_reads, 0u);
+}
+
+TEST(WriteCache, RewriteCoalescesInCache) {
+  CachedFtl f;
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(f.ftl->WritePage(0, PageOf(static_cast<std::uint64_t>(i))).ok());
+  }
+  // Hot-page rewrites coalesce: no NAND programs at all.
+  EXPECT_EQ(f.ftl->Stats().flash_programs, 0u);
+  std::vector<std::uint8_t> out(4096);
+  ASSERT_TRUE(f.ftl->ReadPage(0, out).ok());
+  EXPECT_EQ(out, PageOf(49));
+}
+
+TEST(WriteCache, FlushDrainsToNand) {
+  CachedFtl f;
+  for (std::uint64_t lpn = 0; lpn < 5; ++lpn) {
+    ASSERT_TRUE(f.ftl->WritePage(lpn, PageOf(lpn)).ok());
+  }
+  IoCost cost;
+  ASSERT_TRUE(f.ftl->Flush(&cost).ok());
+  FtlStats s = f.ftl->Stats();
+  EXPECT_EQ(s.cache_flushes, 5u);
+  EXPECT_EQ(s.flash_programs, 5u);
+  EXPECT_GT(cost.latency, 0.0);
+
+  // After a flush, reads come from NAND and still match.
+  std::vector<std::uint8_t> out(4096);
+  for (std::uint64_t lpn = 0; lpn < 5; ++lpn) {
+    ASSERT_TRUE(f.ftl->ReadPage(lpn, out).ok());
+    EXPECT_EQ(out, PageOf(lpn));
+  }
+  EXPECT_GT(f.ftl->Stats().flash_reads, 0u);
+}
+
+TEST(WriteCache, TrimDropsCachedPage) {
+  CachedFtl f;
+  ASSERT_TRUE(f.ftl->WritePage(2, PageOf(7)).ok());
+  ASSERT_TRUE(f.ftl->Trim(2, 1).ok());
+  std::vector<std::uint8_t> out(4096, 0xFF);
+  ASSERT_TRUE(f.ftl->ReadPage(2, out).ok());
+  for (std::uint8_t b : out) EXPECT_EQ(b, 0);  // not resurrected
+  ASSERT_TRUE(f.ftl->Flush().ok());            // nothing stale flushes
+  EXPECT_EQ(f.ftl->Stats().flash_programs, 0u);
+}
+
+TEST(WriteCache, CachedWriteIsFasterThanNand) {
+  CachedFtl f;
+  IoCost cached;
+  ASSERT_TRUE(f.ftl->WritePage(0, PageOf(1), &cached).ok());
+
+  flash::Array raw_array(TinyGeometry(), flash::Timing{}, flash::Reliability{});
+  Ftl raw(&raw_array, FtlConfig{});  // write-through
+  IoCost direct;
+  ASSERT_TRUE(raw.WritePage(0, PageOf(1), &direct).ok());
+
+  EXPECT_LT(cached.latency, direct.latency / 10);
+}
+
+TEST(WriteCache, RandomTrafficMatchesModelWithCache) {
+  CachedFtl f;
+  const std::uint64_t user = f.ftl->user_pages();
+  util::Xoshiro256 rng(77);
+  std::map<std::uint64_t, std::uint64_t> model;
+  for (int op = 0; op < 3000; ++op) {
+    const std::uint64_t lpn = rng.Below(user);
+    const double dice = rng.NextDouble();
+    if (dice < 0.6) {
+      const std::uint64_t tag = rng.Next();
+      ASSERT_TRUE(f.ftl->WritePage(lpn, PageOf(tag)).ok());
+      model[lpn] = tag;
+    } else if (dice < 0.75) {
+      ASSERT_TRUE(f.ftl->Trim(lpn, 1).ok());
+      model.erase(lpn);
+    } else if (dice < 0.8) {
+      ASSERT_TRUE(f.ftl->Flush().ok());
+    } else {
+      std::vector<std::uint8_t> out(4096);
+      ASSERT_TRUE(f.ftl->ReadPage(lpn, out).ok());
+      auto it = model.find(lpn);
+      if (it == model.end()) {
+        for (std::uint8_t b : out) ASSERT_EQ(b, 0);
+      } else {
+        ASSERT_EQ(out, PageOf(it->second)) << "op " << op;
+      }
+    }
+  }
+  EXPECT_GT(f.ftl->Stats().cache_read_hits + f.ftl->Stats().cache_write_hits, 0u);
+}
+
+TEST(WriteCache, SsdLevelFlushCommand) {
+  ssd::SsdProfile profile = ssd::TestProfile();
+  profile.ftl.write_cache_pages = 16;
+  ssd::Ssd device(profile);
+  auto buf = std::make_shared<std::vector<std::uint8_t>>(4096, 0x3D);
+  ASSERT_TRUE(device.host_interface().WriteSync(0, 1, buf).status.ok());
+  EXPECT_EQ(device.ftl().Stats().flash_programs, 0u);
+
+  nvme::Command cmd;
+  cmd.opcode = nvme::Opcode::kFlush;
+  nvme::Completion cqe = device.host_interface().Submit(std::move(cmd)).get();
+  ASSERT_TRUE(cqe.status.ok());
+  EXPECT_EQ(device.ftl().Stats().flash_programs, 1u);
+}
+
+}  // namespace
+}  // namespace compstor::ftl

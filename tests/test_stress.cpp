@@ -1,0 +1,190 @@
+// Concurrency stress tests: real threads hammering the full stack at once —
+// host IO + in-situ minions + filesystem traffic from both sides. These
+// exist to catch lock-ordering and lifetime bugs the single-flow tests
+// cannot; assertions are about correctness of every observed result, not
+// timing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "client/in_situ.hpp"
+#include "isps/agent.hpp"
+#include "ssd/profiles.hpp"
+#include "ssd/ssd.hpp"
+#include "util/rng.hpp"
+
+namespace compstor {
+namespace {
+
+struct Stack {
+  Stack() : ssd(ssd::TestProfile()), agent(&ssd), handle(&ssd) {
+    EXPECT_TRUE(handle.FormatFilesystem().ok());
+  }
+  ssd::Ssd ssd;
+  isps::Agent agent;
+  client::CompStorHandle handle;
+};
+
+TEST(Stress, HostIoAndMinionsAndQueriesConcurrently) {
+  Stack s;
+  ASSERT_TRUE(s.handle.UploadFile("/needle.txt", "hay\nneedle\nhay\nneedle\n").ok());
+
+  std::atomic<int> failures{0};
+  std::atomic<bool> stop{false};
+
+  // Thread 1: raw host IO against the top of the LBA space.
+  std::thread io_thread([&] {
+    const std::uint64_t base = s.ssd.ftl().user_pages() - 64;
+    util::Xoshiro256 rng(1);
+    auto buf = std::make_shared<std::vector<std::uint8_t>>(4096, 0x21);
+    for (int i = 0; i < 200 && !stop.load(); ++i) {
+      if (!s.ssd.host_interface().WriteSync(base + rng.Below(64), 1, buf).status.ok() ||
+          !s.ssd.host_interface().ReadSync(base + rng.Below(64), 1, buf).status.ok()) {
+        failures.fetch_add(1);
+      }
+    }
+  });
+
+  // Thread 2: a stream of grep minions.
+  std::thread minion_thread([&] {
+    for (int i = 0; i < 60 && !stop.load(); ++i) {
+      proto::Command cmd;
+      cmd.type = proto::CommandType::kExecutable;
+      cmd.executable = "grep";
+      cmd.args = {"-c", "needle", "/needle.txt"};
+      auto m = s.handle.RunMinion(cmd);
+      if (!m.ok() || m->response.stdout_data != "2\n") failures.fetch_add(1);
+    }
+  });
+
+  // Thread 3: status/process-table queries (the load-balancer's view).
+  std::thread query_thread([&] {
+    for (int i = 0; i < 100 && !stop.load(); ++i) {
+      if (!s.handle.GetStatus().ok()) failures.fetch_add(1);
+      if (!s.handle.ProcessTable().ok()) failures.fetch_add(1);
+    }
+  });
+
+  // Thread 4: filesystem churn from the host side (distinct namespace).
+  std::thread fs_thread([&] {
+    util::Xoshiro256 rng(2);
+    for (int i = 0; i < 80 && !stop.load(); ++i) {
+      const std::string name = "/churn" + std::to_string(rng.Below(8));
+      const std::string content(512 + rng.Below(8192), 'c');
+      Status st = s.handle.host_fs().WriteFile(name, content);
+      if (!st.ok() && st.code() != StatusCode::kResourceExhausted) failures.fetch_add(1);
+      auto back = s.handle.host_fs().ReadFileText(name);
+      if (back.ok() && back->size() != content.size() && !back->empty()) {
+        // A concurrent overwrite of the same name is fine; a torn read of a
+        // mismatched length that is neither old nor new would not be, but
+        // distinguishing requires versioning — keep the check coarse.
+      }
+    }
+  });
+
+  io_thread.join();
+  minion_thread.join();
+  query_thread.join();
+  fs_thread.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(Stress, ManyConcurrentMinionsSaturateCoresCorrectly) {
+  Stack s;
+  ASSERT_TRUE(s.handle.UploadFile("/w.txt", "one two three four\n").ok());
+  std::vector<client::MinionFuture> futures;
+  for (int i = 0; i < 48; ++i) {
+    proto::Command cmd;
+    cmd.type = proto::CommandType::kShellCommand;
+    cmd.command_line = "cat /w.txt | wc -w";
+    futures.push_back(s.handle.SendMinion(cmd));
+  }
+  for (auto& f : futures) {
+    auto m = f.Get();
+    ASSERT_TRUE(m.ok());
+    EXPECT_EQ(m->response.stdout_data, "4\n");
+  }
+  // Work spread across all four virtual cores.
+  int busy_cores = 0;
+  for (unsigned c = 0; c < s.agent.cores().core_count(); ++c) {
+    busy_cores += s.agent.cores().CoreTime(c) > 0 ? 1 : 0;
+  }
+  EXPECT_EQ(busy_cores, 4);
+}
+
+TEST(Stress, DynamicLoadingWhileTasksRun) {
+  Stack s;
+  ASSERT_TRUE(s.handle.UploadFile("/d.txt", "x\n").ok());
+  std::atomic<int> failures{0};
+
+  std::thread loader([&] {
+    for (int i = 0; i < 30; ++i) {
+      if (!s.handle.LoadTask("task" + std::to_string(i), "echo v" + std::to_string(i))
+               .ok()) {
+        failures.fetch_add(1);
+      }
+    }
+  });
+  std::thread runner([&] {
+    for (int i = 0; i < 30; ++i) {
+      proto::Command cmd;
+      cmd.type = proto::CommandType::kExecutable;
+      cmd.executable = "cat";
+      cmd.args = {"/d.txt"};
+      auto m = s.handle.RunMinion(cmd);
+      if (!m.ok() || m->response.stdout_data != "x\n") failures.fetch_add(1);
+    }
+  });
+  loader.join();
+  runner.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Everything that was loaded is invocable afterwards.
+  proto::Command cmd;
+  cmd.type = proto::CommandType::kExecutable;
+  cmd.executable = "task29";
+  auto m = s.handle.RunMinion(cmd);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->response.stdout_data, "v29\n");
+}
+
+TEST(Stress, AgentTeardownWithInFlightWork) {
+  // Destroying the agent while minions are queued must not crash or hang:
+  // in-flight tasks drain, and the client receives completions for all of
+  // them (the cores shut down only after the queue empties).
+  auto ssd = std::make_unique<ssd::Ssd>(ssd::TestProfile());
+  auto agent = std::make_unique<isps::Agent>(ssd.get());
+  client::CompStorHandle handle(ssd.get());
+  ASSERT_TRUE(handle.FormatFilesystem().ok());
+  ASSERT_TRUE(handle.UploadFile("/t.txt", "z\n").ok());
+
+  std::vector<client::MinionFuture> futures;
+  for (int i = 0; i < 16; ++i) {
+    proto::Command cmd;
+    cmd.type = proto::CommandType::kExecutable;
+    cmd.executable = "grep";
+    cmd.args = {"-c", "z", "/t.txt"};
+    futures.push_back(handle.SendMinion(cmd));
+  }
+  agent.reset();  // tears down mid-stream
+
+  // The guarantee is a clean outcome for EVERY submission: minions the agent
+  // had already accepted drain and succeed; minions still sitting in the
+  // NVMe queue when the agent detached fail with UNAVAILABLE. Nothing hangs,
+  // nothing crashes, nothing is silently dropped.
+  int completed = 0;
+  int rejected = 0;
+  for (auto& f : futures) {
+    auto m = f.Get();
+    if (m.ok() && m->response.ok() && m->response.stdout_data == "1\n") {
+      ++completed;
+    } else if (!m.ok() && m.status().code() == StatusCode::kUnavailable) {
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(completed + rejected, 16);
+}
+
+}  // namespace
+}  // namespace compstor

@@ -1,0 +1,265 @@
+// Tests for sort / uniq / cut / tr, including classic pipeline compositions
+// through the shell.
+#include <gtest/gtest.h>
+
+#include "apps/registry.hpp"
+#include "apps/shell.hpp"
+#include "apps/textutils.hpp"
+#include "fs/filesystem.hpp"
+#include "ssd/profiles.hpp"
+#include "ssd/ssd.hpp"
+
+namespace compstor::apps {
+namespace {
+
+struct TextFixture {
+  TextFixture()
+      : ssd(ssd::TestProfile()),
+        filesystem(&ssd.internal_block_device(), ssd.fs_mutex()) {
+    EXPECT_TRUE(fs::Filesystem::Format(&ssd.internal_block_device()).ok());
+    EXPECT_TRUE(filesystem.Mount().ok());
+    registry = Registry::WithBuiltins();
+  }
+
+  std::pair<int, AppContext> Run(std::string_view app_name,
+                                 std::vector<std::string> args,
+                                 std::string stdin_data = "") {
+    AppContext ctx;
+    ctx.fs = &filesystem;
+    ctx.stdin_data = std::move(stdin_data);
+    auto app = registry->Create(app_name);
+    EXPECT_TRUE(app.ok()) << app_name;
+    auto rc = (*app)->Run(ctx, args);
+    EXPECT_TRUE(rc.ok()) << rc.status().ToString();
+    return {rc.ok() ? *rc : -1, std::move(ctx)};
+  }
+
+  ssd::Ssd ssd;
+  fs::Filesystem filesystem;
+  std::unique_ptr<Registry> registry;
+};
+
+// --- sort ---
+
+TEST(Sort, LexicographicDefault) {
+  TextFixture f;
+  auto [rc, ctx] = f.Run("sort", {}, "banana\napple\ncherry\n");
+  EXPECT_EQ(ctx.stdout_data, "apple\nbanana\ncherry\n");
+}
+
+TEST(Sort, ReverseAndNumeric) {
+  TextFixture f;
+  auto [rc1, asc] = f.Run("sort", {"-n"}, "10\n9\n100\n");
+  EXPECT_EQ(asc.stdout_data, "9\n10\n100\n");
+  auto [rc2, desc] = f.Run("sort", {"-rn"}, "10\n9\n100\n");
+  EXPECT_EQ(desc.stdout_data, "100\n10\n9\n");
+  // Lexicographic would order differently:
+  auto [rc3, lex] = f.Run("sort", {}, "10\n9\n100\n");
+  EXPECT_EQ(lex.stdout_data, "10\n100\n9\n");
+}
+
+TEST(Sort, UniqueFlag) {
+  TextFixture f;
+  auto [rc, ctx] = f.Run("sort", {"-u"}, "b\na\nb\na\n");
+  EXPECT_EQ(ctx.stdout_data, "a\nb\n");
+}
+
+TEST(Sort, KeyField) {
+  TextFixture f;
+  auto [rc, ctx] = f.Run("sort", {"-n", "-k", "2"}, "x 30\ny 4\nz 100\n");
+  EXPECT_EQ(ctx.stdout_data, "y 4\nx 30\nz 100\n");
+}
+
+TEST(Sort, StableForEqualKeys) {
+  TextFixture f;
+  auto [rc, ctx] = f.Run("sort", {"-n", "-k", "2"}, "b 1\na 1\nc 1\n");
+  // strtod of "1" ties; text fallback compares the field ("1" == "1"), so
+  // stable sort preserves input order.
+  EXPECT_EQ(ctx.stdout_data, "b 1\na 1\nc 1\n");
+}
+
+TEST(Sort, FromFile) {
+  TextFixture f;
+  ASSERT_TRUE(f.filesystem.WriteFile("/s.txt", "2\n1\n").ok());
+  auto [rc, ctx] = f.Run("sort", {"/s.txt"});
+  EXPECT_EQ(ctx.stdout_data, "1\n2\n");
+}
+
+// --- uniq ---
+
+TEST(Uniq, CollapsesAdjacent) {
+  TextFixture f;
+  auto [rc, ctx] = f.Run("uniq", {}, "a\na\nb\na\n");
+  EXPECT_EQ(ctx.stdout_data, "a\nb\na\n");  // non-adjacent 'a' stays
+}
+
+TEST(Uniq, CountsRuns) {
+  TextFixture f;
+  auto [rc, ctx] = f.Run("uniq", {"-c"}, "a\na\nb\n");
+  EXPECT_EQ(ctx.stdout_data, "      2 a\n      1 b\n");
+}
+
+TEST(Uniq, DuplicatesOnly) {
+  TextFixture f;
+  auto [rc, ctx] = f.Run("uniq", {"-d"}, "a\na\nb\nc\nc\n");
+  EXPECT_EQ(ctx.stdout_data, "a\nc\n");
+}
+
+// --- cut ---
+
+TEST(Cut, FieldsWithDelimiter) {
+  TextFixture f;
+  auto [rc, ctx] = f.Run("cut", {"-d", ":", "-f", "1,3"}, "a:b:c\nx:y:z\n");
+  EXPECT_EQ(ctx.stdout_data, "a:c\nx:z\n");
+}
+
+TEST(Cut, FieldRange) {
+  TextFixture f;
+  auto [rc, ctx] = f.Run("cut", {"-d", ",", "-f", "2-"}, "1,2,3,4\n");
+  EXPECT_EQ(ctx.stdout_data, "2,3,4\n");
+}
+
+TEST(Cut, Characters) {
+  TextFixture f;
+  auto [rc, ctx] = f.Run("cut", {"-c", "1-3,5"}, "abcdef\n");
+  EXPECT_EQ(ctx.stdout_data, "abce\n");
+}
+
+TEST(Cut, RequiresExactlyOneMode) {
+  TextFixture f;
+  AppContext ctx;
+  ctx.fs = &f.filesystem;
+  auto app = f.registry->Create("cut");
+  ASSERT_TRUE(app.ok());
+  EXPECT_FALSE((*app)->Run(ctx, {}).ok());
+  EXPECT_FALSE((*app)->Run(ctx, {"-f", "1", "-c", "1"}).ok());
+}
+
+// --- tr ---
+
+TEST(Tr, MapsCharacters) {
+  TextFixture f;
+  auto [rc, ctx] = f.Run("tr", {"a-z", "A-Z"}, "hello World\n");
+  EXPECT_EQ(ctx.stdout_data, "HELLO WORLD\n");
+}
+
+TEST(Tr, Set2Padding) {
+  TextFixture f;
+  auto [rc, ctx] = f.Run("tr", {"abc", "x"}, "aabbcc\n");
+  EXPECT_EQ(ctx.stdout_data, "xxxxxx\n");
+}
+
+TEST(Tr, DeleteMode) {
+  TextFixture f;
+  auto [rc, ctx] = f.Run("tr", {"-d", "aeiou"}, "education\n");
+  EXPECT_EQ(ctx.stdout_data, "dctn\n");
+}
+
+TEST(Tr, EscapesAndNewlines) {
+  TextFixture f;
+  auto [rc, ctx] = f.Run("tr", {" ", "\\n"}, "a b c");
+  EXPECT_EQ(ctx.stdout_data, "a\nb\nc");
+}
+
+// --- pipeline compositions ---
+
+TEST(TextPipeline, WordFrequencyTopList) {
+  TextFixture f;
+  ASSERT_TRUE(f.filesystem.WriteFile(
+      "/words.txt", "dog\ncat\ndog\nbird\ndog\ncat\n").ok());
+  Shell shell(f.registry.get(), &f.filesystem);
+  auto r = shell.RunCommandLine("sort /words.txt | uniq -c | sort -rn | head -n 2");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->stdout_data, "      3 dog\n      2 cat\n");
+}
+
+TEST(TextPipeline, CutThenSort) {
+  TextFixture f;
+  ASSERT_TRUE(f.filesystem.WriteFile("/csv.txt", "3,c\n1,a\n2,b\n").ok());
+  Shell shell(f.registry.get(), &f.filesystem);
+  auto r = shell.RunCommandLine("cut -d , -f 2 /csv.txt | sort");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->stdout_data, "a\nb\nc\n");
+}
+
+TEST(TextPipeline, TrSquashCase) {
+  TextFixture f;
+  ASSERT_TRUE(f.filesystem.WriteFile("/m.txt", "Dog dog DOG\n").ok());
+  Shell shell(f.registry.get(), &f.filesystem);
+  auto r = shell.RunCommandLine(
+      "cat /m.txt | tr A-Z a-z | tr ' ' '\\n' | sort | uniq -c");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->stdout_data, "      3 dog\n");
+}
+
+}  // namespace
+}  // namespace compstor::apps
+#include "apps/fsutils.hpp"
+
+namespace compstor::apps {
+namespace {
+
+TEST(Glob, Matching) {
+  EXPECT_TRUE(GlobMatch("*.txt", "book.txt"));
+  EXPECT_FALSE(GlobMatch("*.txt", "book.gz"));
+  EXPECT_TRUE(GlobMatch("book_??.txt", "book_01.txt"));
+  EXPECT_FALSE(GlobMatch("book_??.txt", "book_001.txt"));
+  EXPECT_TRUE(GlobMatch("*", "anything"));
+  EXPECT_TRUE(GlobMatch("a*b*c", "aXXbYYc"));
+  EXPECT_FALSE(GlobMatch("a*b*c", "aXXbYY"));
+  EXPECT_TRUE(GlobMatch("", ""));
+  EXPECT_FALSE(GlobMatch("", "x"));
+}
+
+TEST(Find, WalksTreeWithFilters) {
+  TextFixture f;
+  ASSERT_TRUE(f.filesystem.Mkdir("/data").ok());
+  ASSERT_TRUE(f.filesystem.Mkdir("/data/sub").ok());
+  ASSERT_TRUE(f.filesystem.WriteFile("/data/a.txt", "1").ok());
+  ASSERT_TRUE(f.filesystem.WriteFile("/data/b.gz", "2").ok());
+  ASSERT_TRUE(f.filesystem.WriteFile("/data/sub/c.txt", "3").ok());
+
+  auto [rc1, all] = f.Run("find", {"/data"});
+  EXPECT_NE(all.stdout_data.find("/data/a.txt"), std::string::npos);
+  EXPECT_NE(all.stdout_data.find("/data/sub"), std::string::npos);
+  EXPECT_NE(all.stdout_data.find("/data/sub/c.txt"), std::string::npos);
+
+  auto [rc2, txt] = f.Run("find", {"/data", "-name", "*.txt"});
+  EXPECT_NE(txt.stdout_data.find("/data/a.txt"), std::string::npos);
+  EXPECT_NE(txt.stdout_data.find("/data/sub/c.txt"), std::string::npos);
+  EXPECT_EQ(txt.stdout_data.find("b.gz"), std::string::npos);
+
+  auto [rc3, dirs] = f.Run("find", {"/data", "-type", "d"});
+  EXPECT_EQ(dirs.stdout_data, "/data/sub\n");
+}
+
+TEST(Find, MissingRootReportsError) {
+  TextFixture f;
+  auto [rc, ctx] = f.Run("find", {"/missing"});
+  EXPECT_EQ(rc, 1);
+  EXPECT_FALSE(ctx.stderr_data.empty());
+}
+
+TEST(Df, ReportsUsage) {
+  TextFixture f;
+  ASSERT_TRUE(f.filesystem.WriteFile("/blob", std::string(64 * 1024, 'x')).ok());
+  auto [rc, ctx] = f.Run("df", {});
+  EXPECT_NE(ctx.stdout_data.find("blocks:"), std::string::npos);
+  EXPECT_NE(ctx.stdout_data.find("inodes:"), std::string::npos);
+  EXPECT_NE(ctx.stdout_data.find("block size: 4096"), std::string::npos);
+}
+
+TEST(Find, ComposesWithPipelines) {
+  TextFixture f;
+  ASSERT_TRUE(f.filesystem.Mkdir("/d").ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(f.filesystem.WriteFile("/d/f" + std::to_string(i) + ".log", "x").ok());
+  }
+  Shell shell(f.registry.get(), &f.filesystem);
+  auto r = shell.RunCommandLine("find /d -name '*.log' | wc -l");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->stdout_data, "5\n");
+}
+
+}  // namespace
+}  // namespace compstor::apps

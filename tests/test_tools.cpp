@@ -1,0 +1,394 @@
+// Tests for the shell tools: grep, wc, cat, head/tail, ls, echo, the
+// compression wrappers, the shell itself (tokenizer, pipelines, redirects,
+// scripts), and the registry (including dynamic script loading).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/compress.hpp"
+#include "apps/coreutils.hpp"
+#include "apps/grep.hpp"
+#include "apps/registry.hpp"
+#include "apps/shell.hpp"
+#include "fs/filesystem.hpp"
+#include "ssd/profiles.hpp"
+#include "ssd/ssd.hpp"
+
+namespace compstor::apps {
+namespace {
+
+struct ToolFixture {
+  ToolFixture()
+      : ssd(ssd::TestProfile()),
+        filesystem(&ssd.internal_block_device(), ssd.fs_mutex()) {
+    EXPECT_TRUE(fs::Filesystem::Format(&ssd.internal_block_device()).ok());
+    EXPECT_TRUE(filesystem.Mount().ok());
+    registry = Registry::WithBuiltins();
+  }
+
+  /// Runs a registered app with args; returns (exit_code, ctx).
+  std::pair<int, AppContext> Run(std::string_view app_name,
+                                 std::vector<std::string> args,
+                                 std::string stdin_data = "") {
+    AppContext ctx;
+    ctx.fs = &filesystem;
+    ctx.stdin_data = std::move(stdin_data);
+    auto app = registry->Create(app_name);
+    EXPECT_TRUE(app.ok()) << app_name;
+    auto rc = (*app)->Run(ctx, args);
+    EXPECT_TRUE(rc.ok()) << rc.status().ToString();
+    return {rc.ok() ? *rc : -1, std::move(ctx)};
+  }
+
+  ssd::Ssd ssd;
+  fs::Filesystem filesystem;
+  std::unique_ptr<Registry> registry;
+};
+
+// --- Horspool ---
+
+TEST(Horspool, FindsFirstOccurrence) {
+  EXPECT_EQ(HorspoolFind("hello world", "world"), 6u);
+  EXPECT_EQ(HorspoolFind("aaaa", "aa"), 0u);
+  EXPECT_EQ(HorspoolFind("abc", "abcd"), std::string_view::npos);
+  EXPECT_EQ(HorspoolFind("abc", ""), 0u);
+  EXPECT_EQ(HorspoolFind("", "x"), std::string_view::npos);
+  EXPECT_EQ(HorspoolFind("HeLLo", "hello", true), 0u);
+  EXPECT_EQ(HorspoolFind("HeLLo", "hello", false), std::string_view::npos);
+}
+
+// --- grep ---
+
+constexpr const char* kGrepFile = "/lines.txt";
+constexpr const char* kGrepText =
+    "alpha one\n"
+    "beta two\n"
+    "ALPHA THREE\n"
+    "gamma four\n"
+    "alphabet soup\n";
+
+struct GrepFixture : ToolFixture {
+  GrepFixture() { EXPECT_TRUE(filesystem.WriteFile(kGrepFile, kGrepText).ok()); }
+};
+
+TEST(Grep, BasicMatchPrintsLines) {
+  GrepFixture f;
+  auto [rc, ctx] = f.Run("grep", {"alpha", kGrepFile});
+  EXPECT_EQ(rc, 0);
+  EXPECT_EQ(ctx.stdout_data, "alpha one\nalphabet soup\n");
+}
+
+TEST(Grep, NoMatchExitCodeOne) {
+  GrepFixture f;
+  auto [rc, ctx] = f.Run("grep", {"zeta", kGrepFile});
+  EXPECT_EQ(rc, 1);
+  EXPECT_TRUE(ctx.stdout_data.empty());
+}
+
+TEST(Grep, CountOption) {
+  GrepFixture f;
+  auto [rc, ctx] = f.Run("grep", {"-c", "alpha", kGrepFile});
+  EXPECT_EQ(rc, 0);
+  EXPECT_EQ(ctx.stdout_data, "2\n");
+}
+
+TEST(Grep, LineNumbers) {
+  GrepFixture f;
+  auto [rc, ctx] = f.Run("grep", {"-n", "beta", kGrepFile});
+  EXPECT_EQ(ctx.stdout_data, "2:beta two\n");
+}
+
+TEST(Grep, InvertMatch) {
+  GrepFixture f;
+  auto [rc, ctx] = f.Run("grep", {"-vc", "alpha", kGrepFile});
+  EXPECT_EQ(ctx.stdout_data, "3\n");
+}
+
+TEST(Grep, IgnoreCase) {
+  GrepFixture f;
+  auto [rc, ctx] = f.Run("grep", {"-ic", "alpha", kGrepFile});
+  EXPECT_EQ(ctx.stdout_data, "3\n");
+}
+
+TEST(Grep, FixedStringMode) {
+  GrepFixture f;
+  // "a.pha" as regex matches "alpha"; as a fixed string it must not.
+  auto [rc1, ctx1] = f.Run("grep", {"-c", "a.pha", kGrepFile});
+  EXPECT_EQ(ctx1.stdout_data, "2\n");
+  auto [rc2, ctx2] = f.Run("grep", {"-Fc", "a.pha", kGrepFile});
+  EXPECT_EQ(ctx2.stdout_data, "0\n");
+}
+
+TEST(Grep, WholeWordOption) {
+  GrepFixture f;
+  auto [rc, ctx] = f.Run("grep", {"-wc", "alpha", kGrepFile});
+  EXPECT_EQ(ctx.stdout_data, "1\n");  // "alphabet" no longer matches
+}
+
+TEST(Grep, NamesOnlyAndMultipleFiles) {
+  GrepFixture f;
+  ASSERT_TRUE(f.filesystem.WriteFile("/other.txt", "nothing here\n").ok());
+  auto [rc, ctx] = f.Run("grep", {"-l", "alpha", kGrepFile, "/other.txt"});
+  EXPECT_EQ(ctx.stdout_data, std::string(kGrepFile) + "\n");
+}
+
+TEST(Grep, MultiFilePrefixesNames) {
+  GrepFixture f;
+  ASSERT_TRUE(f.filesystem.WriteFile("/b.txt", "alpha again\n").ok());
+  auto [rc, ctx] = f.Run("grep", {"alpha", kGrepFile, "/b.txt"});
+  EXPECT_NE(ctx.stdout_data.find("/lines.txt:alpha one"), std::string::npos);
+  EXPECT_NE(ctx.stdout_data.find("/b.txt:alpha again"), std::string::npos);
+}
+
+TEST(Grep, MaxMatches) {
+  GrepFixture f;
+  auto [rc, ctx] = f.Run("grep", {"-m", "1", "alpha", kGrepFile});
+  EXPECT_EQ(ctx.stdout_data, "alpha one\n");
+}
+
+TEST(Grep, StdinWhenNoFiles) {
+  ToolFixture f;
+  auto [rc, ctx] = f.Run("grep", {"-c", "x"}, "x\ny\nxx\n");
+  EXPECT_EQ(ctx.stdout_data, "2\n");
+}
+
+TEST(Grep, MissingFileReportsToStderr) {
+  GrepFixture f;
+  auto [rc, ctx] = f.Run("grep", {"alpha", "/nope.txt"});
+  EXPECT_EQ(rc, 1);
+  EXPECT_NE(ctx.stderr_data.find("/nope.txt"), std::string::npos);
+}
+
+TEST(Grep, RegexFeaturesInline) {
+  GrepFixture f;
+  // "alpha one" starts with 'a' and ends with 'e'.
+  auto [rc, ctx] = f.Run("grep", {"-c", "^a.*e$", kGrepFile});
+  EXPECT_EQ(ctx.stdout_data, "1\n");
+  // "alpha one", "beta two", and "alphabet soup" all start with alpha|beta.
+  auto [rc2, ctx2] = f.Run("grep", {"-c", "^(alpha|beta)", kGrepFile});
+  EXPECT_EQ(ctx2.stdout_data, "3\n");
+}
+
+// --- wc / cat / head / tail / ls / echo ---
+
+TEST(Wc, CountsLinesWordsBytes) {
+  ToolFixture f;
+  ASSERT_TRUE(f.filesystem.WriteFile("/w.txt", "one two\nthree\n").ok());
+  auto [rc, ctx] = f.Run("wc", {"/w.txt"});
+  EXPECT_EQ(ctx.stdout_data, "2 3 14 /w.txt\n");
+}
+
+TEST(Wc, SelectiveFlagsAndTotals) {
+  ToolFixture f;
+  ASSERT_TRUE(f.filesystem.WriteFile("/a", "x\n").ok());
+  ASSERT_TRUE(f.filesystem.WriteFile("/b", "y y\n").ok());
+  auto [rc, ctx] = f.Run("wc", {"-l", "/a", "/b"});
+  EXPECT_EQ(ctx.stdout_data, "1 /a\n1 /b\n2 total\n");
+}
+
+TEST(Cat, ConcatenatesFiles) {
+  ToolFixture f;
+  ASSERT_TRUE(f.filesystem.WriteFile("/1", "first\n").ok());
+  ASSERT_TRUE(f.filesystem.WriteFile("/2", "second\n").ok());
+  auto [rc, ctx] = f.Run("cat", {"/1", "/2"});
+  EXPECT_EQ(ctx.stdout_data, "first\nsecond\n");
+}
+
+TEST(Cat, StdinPassthrough) {
+  ToolFixture f;
+  auto [rc, ctx] = f.Run("cat", {}, "pipe me");
+  EXPECT_EQ(ctx.stdout_data, "pipe me");
+}
+
+TEST(HeadTail, SelectLines) {
+  ToolFixture f;
+  ASSERT_TRUE(f.filesystem.WriteFile("/n", "1\n2\n3\n4\n5\n").ok());
+  auto [rc1, head] = f.Run("head", {"-n", "2", "/n"});
+  EXPECT_EQ(head.stdout_data, "1\n2\n");
+  auto [rc2, tail] = f.Run("tail", {"-2", "/n"});
+  EXPECT_EQ(tail.stdout_data, "4\n5\n");
+}
+
+TEST(Ls, ListsSortedWithSizes) {
+  ToolFixture f;
+  ASSERT_TRUE(f.filesystem.WriteFile("/bb", "123").ok());
+  ASSERT_TRUE(f.filesystem.Mkdir("/aa").ok());
+  auto [rc, ctx] = f.Run("ls", {"-l", "/"});
+  EXPECT_EQ(ctx.stdout_data, "d 0 aa\n- 3 bb\n");
+}
+
+TEST(Echo, JoinsArgs) {
+  ToolFixture f;
+  auto [rc, ctx] = f.Run("echo", {"hello", "world"});
+  EXPECT_EQ(ctx.stdout_data, "hello world\n");
+}
+
+// --- compression wrappers ---
+
+TEST(CompressTools, GzipRoundTripReplacesFile) {
+  ToolFixture f;
+  const std::string content(20000, 'q');
+  ASSERT_TRUE(f.filesystem.WriteFile("/doc.txt", content).ok());
+
+  auto [rc1, c1] = f.Run("gzip", {"/doc.txt"});
+  EXPECT_EQ(rc1, 0);
+  EXPECT_FALSE(f.filesystem.Stat("/doc.txt").ok());  // original gone
+  auto gz = f.filesystem.Stat("/doc.txt.gz");
+  ASSERT_TRUE(gz.ok());
+  EXPECT_LT(gz->size, content.size());
+
+  auto [rc2, c2] = f.Run("gunzip", {"/doc.txt.gz"});
+  EXPECT_EQ(rc2, 0);
+  auto text = f.filesystem.ReadFileText("/doc.txt");
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(*text, content);
+  EXPECT_FALSE(f.filesystem.Stat("/doc.txt.gz").ok());
+}
+
+TEST(CompressTools, Bzip2KeepFlag) {
+  ToolFixture f;
+  const std::string content(30000, 'r');
+  ASSERT_TRUE(f.filesystem.WriteFile("/k.txt", content).ok());
+  auto [rc, ctx] = f.Run("bzip2", {"-k", "/k.txt"});
+  EXPECT_EQ(rc, 0);
+  EXPECT_TRUE(f.filesystem.Stat("/k.txt").ok());      // kept
+  EXPECT_TRUE(f.filesystem.Stat("/k.txt.bz2").ok());  // created
+
+  auto [rc2, ctx2] = f.Run("bunzip2", {"/k.txt.bz2"});
+  EXPECT_EQ(rc2, 0);
+  auto text = f.filesystem.ReadFileText("/k.txt");
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(*text, content);
+}
+
+TEST(CompressTools, DFlagDecompresses) {
+  ToolFixture f;
+  ASSERT_TRUE(f.filesystem.WriteFile("/d.txt", std::string(5000, 's')).ok());
+  auto [rc1, c1] = f.Run("gzip", {"/d.txt"});
+  auto [rc2, c2] = f.Run("gzip", {"-d", "/d.txt.gz"});
+  EXPECT_EQ(rc2, 0);
+  EXPECT_TRUE(f.filesystem.Stat("/d.txt").ok());
+}
+
+TEST(CompressTools, UnknownSuffixFails) {
+  ToolFixture f;
+  ASSERT_TRUE(f.filesystem.WriteFile("/plain", "data").ok());
+  auto [rc, ctx] = f.Run("gunzip", {"/plain"});
+  EXPECT_EQ(rc, 1);
+  EXPECT_NE(ctx.stderr_data.find("unknown suffix"), std::string::npos);
+}
+
+TEST(CompressTools, WorkAccountingRecorded) {
+  ToolFixture f;
+  ASSERT_TRUE(f.filesystem.WriteFile("/w.txt", std::string(10000, 'w')).ok());
+  auto [rc, ctx] = f.Run("gzip", {"-k", "/w.txt"});
+  EXPECT_EQ(ctx.cost.compute_units, 10000u);
+  EXPECT_GT(ctx.cost.ref_cycles, 0.0);
+  EXPECT_GE(ctx.cost.bytes_in, 10000u);
+  EXPECT_GT(ctx.cost.bytes_out, 0u);
+}
+
+// --- shell ---
+
+TEST(ShellTokenize, QuotesAndEscapes) {
+  auto t = Shell::Tokenize("grep -c \"two words\" 'single quoted' back\\ slash");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(*t, (std::vector<std::string>{"grep", "-c", "two words",
+                                          "single quoted", "back slash"}));
+}
+
+TEST(ShellTokenize, OperatorsSplit) {
+  auto t = Shell::Tokenize("cat /a|wc -l>/out");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(*t, (std::vector<std::string>{"cat", "/a", "|", "wc", "-l", ">", "/out"}));
+}
+
+TEST(ShellTokenize, CommentsIgnored) {
+  auto t = Shell::Tokenize("echo hi # trailing comment");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(*t, (std::vector<std::string>{"echo", "hi"}));
+}
+
+TEST(ShellTokenize, UnterminatedQuoteFails) {
+  EXPECT_FALSE(Shell::Tokenize("echo \"oops").ok());
+  EXPECT_FALSE(Shell::Tokenize("echo 'oops").ok());
+}
+
+TEST(Shell, Pipeline) {
+  ToolFixture f;
+  ASSERT_TRUE(f.filesystem.WriteFile("/p.txt", "cat\ndog\ncat\nbird\n").ok());
+  Shell shell(f.registry.get(), &f.filesystem);
+  auto r = shell.RunCommandLine("cat /p.txt | grep cat | wc -l");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->stdout_data, "2\n");
+  EXPECT_EQ(r->exit_code, 0);
+}
+
+TEST(Shell, RedirectionWritesFile) {
+  ToolFixture f;
+  ASSERT_TRUE(f.filesystem.WriteFile("/in.txt", "b\na\nc\n").ok());
+  Shell shell(f.registry.get(), &f.filesystem);
+  auto r = shell.RunCommandLine("grep -v b /in.txt > /out.txt");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->stdout_data.empty());
+  auto out = f.filesystem.ReadFileText("/out.txt");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, "a\nc\n");
+}
+
+TEST(Shell, UnknownCommandFails) {
+  ToolFixture f;
+  Shell shell(f.registry.get(), &f.filesystem);
+  auto r = shell.RunCommandLine("frobnicate /x");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Shell, ScriptWithPositionalParams) {
+  ToolFixture f;
+  ASSERT_TRUE(f.filesystem.WriteFile("/s.txt", "hay\nneedle\nhay\n").ok());
+  Shell shell(f.registry.get(), &f.filesystem);
+  auto r = shell.RunScript("# search script\ngrep -c $1 $2\n", {"needle", "/s.txt"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->stdout_data, "1\n");
+}
+
+TEST(Shell, MultiLineScriptAccumulatesOutput) {
+  ToolFixture f;
+  Shell shell(f.registry.get(), &f.filesystem);
+  auto r = shell.RunScript("echo one; echo two\necho three");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->stdout_data, "one\ntwo\nthree\n");
+}
+
+// --- registry ---
+
+TEST(Registry, BuiltinsPresent) {
+  auto r = Registry::WithBuiltins();
+  for (const char* name : {"gzip", "gunzip", "bzip2", "bunzip2", "grep", "gawk",
+                           "awk", "wc", "cat", "head", "tail", "ls", "echo"}) {
+    EXPECT_TRUE(r->Contains(name)) << name;
+  }
+  EXPECT_FALSE(r->Contains("nope"));
+  EXPECT_FALSE(r->Create("nope").ok());
+}
+
+TEST(Registry, DynamicScriptActsLikeCommand) {
+  ToolFixture f;
+  ASSERT_TRUE(f.filesystem.WriteFile("/data.txt", "a\nb\na\n").ok());
+  f.registry->RegisterScript("count-a", "grep -c a $1");
+  auto [rc, ctx] = f.Run("count-a", {"/data.txt"});
+  EXPECT_EQ(rc, 0);
+  EXPECT_EQ(ctx.stdout_data, "2\n");
+}
+
+TEST(Registry, ScriptCanBeReplaced) {
+  ToolFixture f;
+  f.registry->RegisterScript("task", "echo v1");
+  f.registry->RegisterScript("task", "echo v2");
+  auto [rc, ctx] = f.Run("task", {});
+  EXPECT_EQ(ctx.stdout_data, "v2\n");
+}
+
+}  // namespace
+}  // namespace compstor::apps

@@ -1,0 +1,338 @@
+// Unit tests for src/util: CRC32C, RNG, stats, byte IO, bit IO, queues,
+// thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <set>
+#include <thread>
+
+#include "util/bitstream.hpp"
+#include "util/byte_io.hpp"
+#include "util/crc32c.hpp"
+#include "util/mpmc_queue.hpp"
+#include "util/rng.hpp"
+#include "util/spsc_ring.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace compstor::util {
+namespace {
+
+// --- CRC32C ---
+
+TEST(Crc32c, KnownVectors) {
+  // RFC 3720 test vector: 32 bytes of zeros.
+  std::vector<std::uint8_t> zeros(32, 0);
+  EXPECT_EQ(Crc32c(zeros), 0x8A9136AAu);
+
+  std::vector<std::uint8_t> ones(32, 0xFF);
+  EXPECT_EQ(Crc32c(ones), 0x62A8AB43u);
+
+  // "123456789" -> 0xE3069283 (standard check value).
+  const char* digits = "123456789";
+  EXPECT_EQ(Crc32c(digits, 9), 0xE3069283u);
+}
+
+TEST(Crc32c, IncrementalMatchesOneShot) {
+  std::vector<std::uint8_t> data(1000);
+  Xoshiro256 rng(7);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.Next());
+  const std::uint32_t whole = Crc32c(data);
+  const std::uint32_t first = Crc32c(std::span(data).subspan(0, 400));
+  const std::uint32_t both = Crc32c(std::span(data).subspan(400), first);
+  EXPECT_EQ(whole, both);
+}
+
+TEST(Crc32c, DetectsSingleBitFlip) {
+  std::vector<std::uint8_t> data(64, 0xAB);
+  const std::uint32_t base = Crc32c(data);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] ^= 0x10;
+    EXPECT_NE(Crc32c(data), base) << "flip at " << i;
+    data[i] ^= 0x10;
+  }
+}
+
+// --- RNG ---
+
+TEST(Rng, DeterministicForSeed) {
+  Xoshiro256 a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.Next();
+    EXPECT_EQ(va, b.Next());
+    (void)c.Next();
+  }
+  Xoshiro256 a2(123), c2(124);
+  bool all_same = true;
+  for (int i = 0; i < 100; ++i) all_same &= a2.Next() == c2.Next();
+  EXPECT_FALSE(all_same);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Below(17), 17u);
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+// --- stats ---
+
+TEST(RunningStats, MeanVarianceMinMax) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats all, a, b;
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextDouble() * 100;
+    all.Add(x);
+    (i % 2 == 0 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+}
+
+TEST(LogHistogram, QuantilesMonotone) {
+  LogHistogram h;
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10000; ++i) h.Add(static_cast<double>(rng.Below(100000)));
+  EXPECT_LE(h.Quantile(0.5), h.Quantile(0.9));
+  EXPECT_LE(h.Quantile(0.9), h.Quantile(0.999));
+}
+
+// --- byte IO ---
+
+TEST(ByteIo, RoundTripAllTypes) {
+  ByteWriter w;
+  w.PutU8(0xAB);
+  w.PutU16(0xBEEF);
+  w.PutU32(0xDEADBEEF);
+  w.PutU64(0x0123456789ABCDEFull);
+  w.PutI64(-42);
+  w.PutF64(3.14159);
+  w.PutString("hello");
+  w.PutBytes(std::vector<std::uint8_t>{1, 2, 3});
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(*r.GetU8(), 0xAB);
+  EXPECT_EQ(*r.GetU16(), 0xBEEF);
+  EXPECT_EQ(*r.GetU32(), 0xDEADBEEFu);
+  EXPECT_EQ(*r.GetU64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(*r.GetI64(), -42);
+  EXPECT_DOUBLE_EQ(*r.GetF64(), 3.14159);
+  EXPECT_EQ(*r.GetString(), "hello");
+  EXPECT_EQ(*r.GetBytes(), (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(ByteIo, ReadPastEndFails) {
+  ByteWriter w;
+  w.PutU16(7);
+  ByteReader r(w.bytes());
+  EXPECT_TRUE(r.GetU16().ok());
+  EXPECT_FALSE(r.GetU32().ok());
+}
+
+TEST(ByteIo, MalformedStringLengthFails) {
+  ByteWriter w;
+  w.PutU32(1000);  // claims 1000 bytes follow, none do
+  ByteReader r(w.bytes());
+  EXPECT_FALSE(r.GetString().ok());
+}
+
+// --- bit IO ---
+
+TEST(BitIo, RoundTripVariousWidths) {
+  BitWriter w;
+  Xoshiro256 rng(9);
+  std::vector<std::pair<std::uint32_t, int>> values;
+  for (int i = 0; i < 1000; ++i) {
+    const int bits = 1 + static_cast<int>(rng.Below(24));
+    const std::uint32_t v = static_cast<std::uint32_t>(rng.Next()) &
+                            ((bits < 32) ? ((1u << bits) - 1) : ~0u);
+    values.emplace_back(v, bits);
+    w.WriteBits(v, bits);
+  }
+  const std::vector<std::uint8_t> bytes = w.Finish();
+  BitReader r(bytes);
+  for (const auto& [v, bits] : values) {
+    EXPECT_EQ(r.ReadBits(bits), v);
+  }
+  EXPECT_FALSE(r.overrun());
+}
+
+TEST(BitIo, OverrunDetected) {
+  BitWriter w;
+  w.WriteBits(0x5, 3);
+  const std::vector<std::uint8_t> bytes = w.Finish();
+  BitReader r(bytes);
+  r.ReadBits(8);
+  r.ReadBits(8);  // past the single byte
+  EXPECT_TRUE(r.overrun());
+}
+
+TEST(BitIo, AlignAndRawBytes) {
+  BitWriter w;
+  w.WriteBits(0x3, 2);
+  w.AlignToByte();
+  const std::uint8_t raw[] = {10, 20, 30};
+  w.WriteBytes(raw);
+  const std::vector<std::uint8_t> bytes = w.Finish();
+  BitReader r(bytes);
+  EXPECT_EQ(r.ReadBits(2), 0x3u);
+  r.AlignToByte();
+  std::uint8_t out[3];
+  EXPECT_TRUE(r.ReadBytes(out));
+  EXPECT_EQ(out[0], 10);
+  EXPECT_EQ(out[2], 30);
+}
+
+// --- MPMC queue ---
+
+TEST(MpmcQueue, FifoSingleThread) {
+  MpmcQueue<int> q(4);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_EQ(*q.TryPop(), 1);
+  EXPECT_EQ(*q.TryPop(), 2);
+  EXPECT_FALSE(q.TryPop().has_value());
+}
+
+TEST(MpmcQueue, TryPushFullFails) {
+  MpmcQueue<int> q(2);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_FALSE(q.TryPush(3));
+}
+
+TEST(MpmcQueue, CloseDrainsThenStops) {
+  MpmcQueue<int> q(8);
+  q.Push(1);
+  q.Push(2);
+  q.Close();
+  EXPECT_FALSE(q.Push(3));
+  EXPECT_EQ(*q.Pop(), 1);
+  EXPECT_EQ(*q.Pop(), 2);
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(MpmcQueue, StressManyProducersConsumers) {
+  MpmcQueue<int> q(64);
+  constexpr int kPerProducer = 5000;
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  std::atomic<long long> sum{0};
+  std::atomic<int> count{0};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) q.Push(p * kPerProducer + i);
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (auto v = q.Pop()) {
+        sum.fetch_add(*v);
+        count.fetch_add(1);
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[static_cast<std::size_t>(p)].join();
+  q.Close();
+  for (std::size_t c = kProducers; c < threads.size(); ++c) threads[c].join();
+
+  const long long n = kProducers * kPerProducer;
+  EXPECT_EQ(count.load(), n);
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+// --- SPSC ring ---
+
+TEST(SpscRing, FifoAndFull) {
+  SpscRing<int> ring(4);
+  EXPECT_TRUE(ring.Empty());
+  int pushed = 0;
+  while (ring.TryPush(pushed)) ++pushed;
+  EXPECT_GE(pushed, 4);  // capacity rounded up to power of two
+  EXPECT_EQ(*ring.TryPop(), 0);
+  EXPECT_TRUE(ring.TryPush(999));
+  for (int i = 1; i < pushed; ++i) EXPECT_EQ(*ring.TryPop(), i);
+  EXPECT_EQ(*ring.TryPop(), 999);
+  EXPECT_FALSE(ring.TryPop().has_value());
+}
+
+TEST(SpscRing, StressProducerConsumer) {
+  SpscRing<std::uint64_t> ring(256);
+  constexpr std::uint64_t kCount = 200000;
+  std::atomic<bool> fail{false};
+
+  std::thread producer([&] {
+    for (std::uint64_t i = 0; i < kCount; ++i) {
+      while (!ring.TryPush(i)) std::this_thread::yield();
+    }
+  });
+  std::thread consumer([&] {
+    std::uint64_t expected = 0;
+    while (expected < kCount) {
+      if (auto v = ring.TryPop()) {
+        if (*v != expected) {
+          fail.store(true);
+          break;
+        }
+        ++expected;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  producer.join();
+  consumer.join();
+  EXPECT_FALSE(fail.load());
+}
+
+// --- thread pool ---
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(pool.Submit([&count] { count.fetch_add(1); }));
+  }
+  pool.Shutdown();
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPool, AsyncReturnsValue) {
+  ThreadPool pool(2);
+  auto fut = pool.Async([] { return 6 * 7; });
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPool, SubmitAfterShutdownFails) {
+  ThreadPool pool(1);
+  pool.Shutdown();
+  EXPECT_FALSE(pool.Submit([] {}));
+}
+
+}  // namespace
+}  // namespace compstor::util

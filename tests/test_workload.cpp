@@ -1,0 +1,144 @@
+// Tests for the synthetic corpus generator and dataset builder.
+#include <gtest/gtest.h>
+
+#include "apps/bwzip.hpp"
+#include "apps/deflate.hpp"
+#include "fs/filesystem.hpp"
+#include "ssd/profiles.hpp"
+#include "ssd/ssd.hpp"
+#include "workload/dataset.hpp"
+#include "workload/textgen.hpp"
+
+namespace compstor::workload {
+namespace {
+
+TEST(TextGen, DeterministicForSeed) {
+  TextGenOptions opt;
+  opt.seed = 5;
+  opt.approx_bytes = 10000;
+  const std::string a = GenerateBookText(opt);
+  const std::string b = GenerateBookText(opt);
+  EXPECT_EQ(a, b);
+  opt.seed = 6;
+  EXPECT_NE(GenerateBookText(opt), a);
+}
+
+TEST(TextGen, SizeNearTarget) {
+  TextGenOptions opt;
+  opt.approx_bytes = 50000;
+  const std::string text = GenerateBookText(opt);
+  EXPECT_GE(text.size(), 50000u);
+  EXPECT_LT(text.size(), 52000u);
+}
+
+TEST(TextGen, LooksLikeProse) {
+  TextGenOptions opt;
+  opt.approx_bytes = 30000;
+  opt.title = "My Title";
+  const std::string text = GenerateBookText(opt);
+  EXPECT_EQ(text.rfind("My Title", 0), 0u);  // starts with the title
+  EXPECT_NE(text.find("CHAPTER 1"), std::string::npos);
+  EXPECT_NE(text.find(". "), std::string::npos);
+  EXPECT_NE(text.find(" the "), std::string::npos);
+  // Newlines present (paragraphs) and lines are not absurdly long on average.
+  const std::size_t newlines = static_cast<std::size_t>(
+      std::count(text.begin(), text.end(), '\n'));
+  EXPECT_GT(newlines, 10u);
+}
+
+TEST(TextGen, CompressesLikeText) {
+  TextGenOptions opt;
+  opt.approx_bytes = 200000;
+  const std::string text = GenerateBookText(opt);
+  auto input = std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(text.data()), text.size());
+  auto gz = apps::CzipCompress(input);
+  ASSERT_TRUE(gz.ok());
+  const double ratio = static_cast<double>(text.size()) / static_cast<double>(gz->size());
+  // English prose lands around 2.5-4x with DEFLATE-class codecs.
+  EXPECT_GT(ratio, 2.0);
+  EXPECT_LT(ratio, 6.0);
+}
+
+TEST(Dataset, InMemoryBuildMatchesSpec) {
+  DatasetSpec spec;
+  spec.num_files = 8;
+  spec.total_bytes = 1 << 20;
+  std::vector<std::string> contents;
+  auto ds = BuildDatasetInMemory(spec, &contents);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->files.size(), 8u);
+  EXPECT_EQ(contents.size(), 8u);
+  // Total within 20% of the requested size.
+  EXPECT_NEAR(static_cast<double>(ds->TotalOriginalBytes()),
+              static_cast<double>(spec.total_bytes), 0.2 * spec.total_bytes);
+  // Plain format: stored == original.
+  for (const auto& f : ds->files) EXPECT_EQ(f.original_bytes, f.stored_bytes);
+}
+
+TEST(Dataset, SizesVaryUnlessUniform) {
+  DatasetSpec spec;
+  spec.num_files = 12;
+  spec.total_bytes = 600 * 1024;
+  std::vector<std::string> contents;
+  auto varied = BuildDatasetInMemory(spec, &contents);
+  ASSERT_TRUE(varied.ok());
+  std::uint64_t min = ~0ull, max = 0;
+  for (const auto& f : varied->files) {
+    min = std::min(min, f.original_bytes);
+    max = std::max(max, f.original_bytes);
+  }
+  EXPECT_GT(max, min * 2);  // log-uniform spread of ~4x
+}
+
+TEST(Dataset, CompressedFormatsDecodeBack) {
+  DatasetSpec spec;
+  spec.num_files = 3;
+  spec.total_bytes = 300 * 1024;
+  spec.format = StoredFormat::kCzip;
+  std::vector<std::string> contents;
+  auto ds = BuildDatasetInMemory(spec, &contents);
+  ASSERT_TRUE(ds.ok());
+  for (std::size_t i = 0; i < contents.size(); ++i) {
+    EXPECT_LT(ds->files[i].stored_bytes, ds->files[i].original_bytes);
+    EXPECT_TRUE(ds->files[i].path.ends_with(".gz"));
+    auto input = std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(contents[i].data()), contents[i].size());
+    auto back = apps::CzipDecompress(input);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back->size(), ds->files[i].original_bytes);
+  }
+
+  spec.format = StoredFormat::kBwz;
+  auto bz = BuildDatasetInMemory(spec, &contents);
+  ASSERT_TRUE(bz.ok());
+  EXPECT_TRUE(bz->files[0].path.ends_with(".bz2"));
+  auto input = std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(contents[0].data()), contents[0].size());
+  EXPECT_TRUE(apps::BwzDecompress(input).ok());
+}
+
+TEST(Dataset, StagesIntoFilesystem) {
+  ssd::Ssd ssd(ssd::TestProfile());
+  ASSERT_TRUE(fs::Filesystem::Format(&ssd.host_block_device()).ok());
+  fs::Filesystem filesystem(&ssd.host_block_device(), ssd.fs_mutex());
+  ASSERT_TRUE(filesystem.Mount().ok());
+
+  DatasetSpec spec;
+  spec.num_files = 4;
+  spec.total_bytes = 512 * 1024;
+  auto ds = BuildDataset(&filesystem, spec);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+
+  auto entries = filesystem.ReadDir("/data");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 4u);
+  for (const auto& f : ds->files) {
+    auto st = filesystem.Stat(f.path);
+    ASSERT_TRUE(st.ok()) << f.path;
+    EXPECT_EQ(st->size, f.stored_bytes);
+  }
+}
+
+}  // namespace
+}  // namespace compstor::workload
