@@ -1,6 +1,8 @@
 #include "client/cluster.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <numeric>
 
 namespace compstor::client {
@@ -32,13 +34,30 @@ std::vector<std::size_t> Cluster::AssignByUtilization(
   if (devices_.empty()) return assignment;
 
   // Seed bins with live utilization so an already-busy device receives less
-  // new work (the paper's stated use of the status query).
-  std::vector<double> load(devices_.size(), 0);
+  // new work (the paper's stated use of the status query). A device whose
+  // query fails must not look idle — that would make the *failing* device
+  // the most attractive target — so it is excluded from assignment, and the
+  // failure feeds the circuit breaker like any other command.
+  constexpr double kExcluded = std::numeric_limits<double>::infinity();
+  std::vector<double> load(devices_.size(), kExcluded);
+  std::size_t usable = 0;
   for (std::size_t d = 0; d < devices_.size(); ++d) {
+    if (health_[d].state == DeviceHealth::State::kOffline) continue;
     auto status = devices_[d]->GetStatus();
     if (status.ok()) {
+      RecordSuccess(d);
       load[d] = status->utilization * 1e9;  // bias in pseudo-bytes
+      ++usable;
+    } else {
+      RecordFailure(d);
     }
+  }
+  if (usable == 0) {
+    // No device answered: the documented round-robin fallback.
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      assignment[i] = i % devices_.size();
+    }
+    return assignment;
   }
   std::vector<std::size_t> order(weights.size());
   std::iota(order.begin(), order.end(), 0);
@@ -54,20 +73,121 @@ std::vector<std::size_t> Cluster::AssignByUtilization(
   return assignment;
 }
 
+std::size_t Cluster::PickDevice(std::size_t preferred, bool* probe) {
+  const std::size_t n = devices_.size();
+  bool any_healthy = false;
+  for (const DeviceHealth& h : health_) {
+    any_healthy |= h.state == DeviceHealth::State::kHealthy;
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t d = (preferred + k) % n;
+    DeviceHealth& h = health_[d];
+    if (h.state == DeviceHealth::State::kHealthy) return d;
+    // Offline device: send a half-open probe once every probe_interval
+    // skipped dispatches — or immediately when nothing healthy remains
+    // (probing is then the only way forward).
+    if (!any_healthy || ++h.skipped_dispatches >= policy_.probe_interval) {
+      h.skipped_dispatches = 0;
+      h.probes++;
+      *probe = true;
+      return d;
+    }
+  }
+  return kNoDevice;
+}
+
+void Cluster::RecordSuccess(std::size_t device) {
+  DeviceHealth& h = health_[device];
+  h.successes++;
+  h.consecutive_failures = 0;
+  if (h.state == DeviceHealth::State::kOffline) {
+    h.state = DeviceHealth::State::kHealthy;
+    h.recoveries++;
+  }
+}
+
+void Cluster::RecordFailure(std::size_t device) {
+  DeviceHealth& h = health_[device];
+  h.failures++;
+  h.consecutive_failures++;
+  if (h.state == DeviceHealth::State::kHealthy &&
+      h.consecutive_failures >= policy_.circuit_failure_threshold) {
+    h.state = DeviceHealth::State::kOffline;
+    h.skipped_dispatches = 0;
+    h.trips++;
+  }
+}
+
 Result<std::vector<proto::Minion>> Cluster::RunAll(const std::vector<WorkItem>& work) {
-  std::vector<MinionFuture> futures;
-  futures.reserve(work.size());
   for (const WorkItem& item : work) {
     if (item.device_index >= devices_.size()) {
       return OutOfRange("work item references unknown device");
     }
-    futures.push_back(devices_[item.device_index]->SendMinion(item.command));
   }
-  std::vector<proto::Minion> results;
-  results.reserve(work.size());
-  for (MinionFuture& f : futures) {
-    COMPSTOR_ASSIGN_OR_RETURN(proto::Minion m, f.Get());
-    results.push_back(std::move(m));
+  std::vector<proto::Minion> results(work.size());
+  std::vector<std::size_t> pending(work.size());
+  std::iota(pending.begin(), pending.end(), 0);
+  std::vector<std::size_t> last_tried(work.size());
+  for (std::size_t i = 0; i < work.size(); ++i) last_tried[i] = work[i].device_index;
+
+  struct InFlight {
+    std::size_t item;
+    std::size_t device;
+    MinionFuture future;
+  };
+
+  for (std::uint32_t round = 0; round < policy_.max_rounds && !pending.empty();
+       ++round) {
+    if (round > 0) {
+      // Exponential backoff before re-dispatching, charged in virtual time:
+      // the emulation never sleeps, but the degradation curve accounts for
+      // the wait a real host would insert.
+      retry_clock_.Advance(policy_.call.backoff_initial_s *
+                           std::pow(policy_.call.backoff_multiplier, round - 1));
+    }
+
+    std::vector<InFlight> batch;
+    std::vector<std::size_t> next_pending;
+    for (std::size_t i : pending) {
+      const std::size_t preferred =
+          round == 0 ? work[i].device_index : (last_tried[i] + 1) % devices_.size();
+      bool probe = false;
+      const std::size_t d = PickDevice(preferred, &probe);
+      if (d == kNoDevice) {
+        next_pending.push_back(i);  // every device offline and no probe due
+        continue;
+      }
+      last_tried[i] = d;
+      batch.push_back({i, d, devices_[d]->SendMinion(work[i].command)});
+    }
+    if (batch.empty()) {
+      return Unavailable("cluster: no healthy devices remaining");
+    }
+
+    for (InFlight& f : batch) {
+      auto minion = f.future.Get(policy_.call.deadline_s);
+      const Status st = minion.ok() ? proto::ResponseToStatus(minion->response)
+                                    : minion.status();
+      if (st.ok()) {
+        RecordSuccess(f.device);
+        results[f.item] = std::move(*minion);
+        continue;
+      }
+      RecordFailure(f.device);
+      if (!IsRetriable(st.code())) {
+        return st;  // permanent failure: re-dispatching cannot help
+      }
+      redispatches_++;
+      next_pending.push_back(f.item);
+    }
+    std::sort(next_pending.begin(), next_pending.end());
+    pending = std::move(next_pending);
+  }
+
+  if (!pending.empty()) {
+    return DeadlineExceeded("cluster: " + std::to_string(pending.size()) +
+                            " work items unfinished after " +
+                            std::to_string(policy_.max_rounds) + " rounds");
   }
   return results;
 }

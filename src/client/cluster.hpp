@@ -5,8 +5,16 @@
 // The cluster partitions work across devices (LPT by size, or least-loaded
 // by live utilization queries), launches concurrent minions, and gathers
 // results. This is the machinery behind the Fig 6/7 scaling experiments.
+//
+// Degraded mode: every device carries a circuit breaker (N consecutive
+// failures mark it offline; offline devices receive periodic half-open
+// probes) and RunAll re-dispatches failed or orphaned minions onto the
+// surviving devices in exponential-backoff rounds — so the Fig 6/7
+// experiments can be rerun with k-of-n devices failing and still complete
+// every work item (see bench/degraded_scaling.cpp).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -15,11 +23,54 @@
 
 namespace compstor::client {
 
+/// Degraded-mode execution policy for RunAll.
+struct ClusterPolicy {
+  /// Per-command deadline (and virtual backoff parameters). Retries happen
+  /// through RunAll's re-dispatch rounds, so `call.max_attempts` is unused
+  /// here; it still applies to direct RunMinionRobust calls.
+  CallOptions call;
+  /// Consecutive failures that trip a device's circuit breaker.
+  std::uint32_t circuit_failure_threshold = 3;
+  /// Dispatch decisions that skip an offline device before one work item is
+  /// routed to it anyway as a recovery probe (half-open trial).
+  std::uint32_t probe_interval = 4;
+  /// Maximum dispatch rounds before RunAll gives up on remaining items.
+  std::uint32_t max_rounds = 8;
+};
+
+/// Per-device health as tracked by the cluster's circuit breaker.
+struct DeviceHealth {
+  enum class State : std::uint8_t { kHealthy, kOffline };
+  State state = State::kHealthy;
+  std::uint32_t consecutive_failures = 0;
+  std::uint64_t successes = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t trips = 0;       // healthy -> offline transitions
+  std::uint64_t probes = 0;      // half-open trials while offline
+  std::uint64_t recoveries = 0;  // offline -> healthy transitions
+  std::uint64_t skipped_dispatches = 0;  // dispatches skipped since last probe
+};
+
 class Cluster {
  public:
-  void AddDevice(CompStorHandle* device) { devices_.push_back(device); }
+  void AddDevice(CompStorHandle* device) {
+    devices_.push_back(device);
+    health_.emplace_back();
+  }
   std::size_t size() const { return devices_.size(); }
   CompStorHandle& device(std::size_t i) { return *devices_[i]; }
+
+  void set_policy(const ClusterPolicy& policy) { policy_ = policy; }
+  const ClusterPolicy& policy() const { return policy_; }
+
+  const DeviceHealth& health(std::size_t i) const { return health_[i]; }
+  /// Force a device's breaker state (tests, planned maintenance).
+  void MarkOffline(std::size_t i) { health_[i].state = DeviceHealth::State::kOffline; }
+
+  /// Work items re-sent to another device after a failure, cumulative.
+  std::uint64_t redispatches() const { return redispatches_; }
+  /// Virtual seconds charged as backoff between re-dispatch rounds.
+  double retry_backoff_s() const { return retry_clock_.Now(); }
 
   /// Longest-processing-time-first assignment: item i (with weight
   /// `weights[i]`) goes to the device returned in slot i. Greedy LPT is a
@@ -28,7 +79,9 @@ class Cluster {
 
   /// Least-loaded assignment using live status queries (utilization per
   /// device); items are placed one by one onto the device with the lowest
-  /// estimated load. Falls back to round-robin when queries fail.
+  /// estimated load. A device whose query fails (or whose breaker is open)
+  /// is excluded from assignment; when no device answers, assignment falls
+  /// back to round-robin across all devices.
   std::vector<std::size_t> AssignByUtilization(
       const std::vector<std::uint64_t>& weights);
 
@@ -38,7 +91,14 @@ class Cluster {
   };
 
   /// Sends every work item concurrently (minions per device) and waits for
-  /// all. Results are in the same order as `work`.
+  /// all. Results are in the same order as `work`. Failed or orphaned items
+  /// (device offline, command dropped, in-storage crash) are re-dispatched
+  /// onto surviving devices in later rounds, with exponential backoff
+  /// charged in virtual time; only a non-retriable failure or exhausting
+  /// `policy().max_rounds` aborts the run. Re-dispatch assumes an item's
+  /// input files are staged on the fallback devices too (replicated
+  /// corpora, as in the degraded-scaling experiments). Not thread-safe: one
+  /// RunAll at a time per cluster.
   Result<std::vector<proto::Minion>> RunAll(const std::vector<WorkItem>& work);
 
   /// Max end-to-end device makespan across the cluster (virtual seconds) —
@@ -48,7 +108,21 @@ class Cluster {
   static double Makespan(const std::vector<proto::Minion>& minions);
 
  private:
+  static constexpr std::size_t kNoDevice = static_cast<std::size_t>(-1);
+
+  /// Routing decision for one work item: the preferred device if its breaker
+  /// is closed, else the next healthy device round-robin; offline devices
+  /// get a half-open probe every `probe_interval` skipped dispatches (or
+  /// immediately when no healthy device remains).
+  std::size_t PickDevice(std::size_t preferred, bool* probe);
+  void RecordSuccess(std::size_t device);
+  void RecordFailure(std::size_t device);
+
   std::vector<CompStorHandle*> devices_;
+  std::vector<DeviceHealth> health_;
+  ClusterPolicy policy_;
+  std::uint64_t redispatches_ = 0;
+  VirtualClock retry_clock_;
 };
 
 }  // namespace compstor::client

@@ -1,11 +1,19 @@
 #include "client/in_situ.hpp"
 
+#include <algorithm>
+#include <chrono>
+
 #include "util/byte_io.hpp"
 
 namespace compstor::client {
 
-Result<proto::Minion> MinionFuture::Get() {
+Result<proto::Minion> MinionFuture::Get(double deadline_s) {
   if (!completion_.valid()) return FailedPrecondition("minion future not valid");
+  if (deadline_s > 0 &&
+      completion_.wait_for(std::chrono::duration<double>(deadline_s)) !=
+          std::future_status::ready) {
+    return DeadlineExceeded("minion completion deadline exceeded");
+  }
   nvme::Completion cqe = completion_.get();
   if (!cqe.status.ok()) return cqe.status;
   return proto::DeserializeMinion(cqe.payload);
@@ -52,10 +60,50 @@ Result<proto::Minion> CompStorHandle::RunMinion(proto::Command command) {
   return SendMinion(std::move(command)).Get();
 }
 
+Result<MinionOutcome> CompStorHandle::RunMinionRobust(const proto::Command& command,
+                                                      const CallOptions& options) {
+  const std::uint32_t max_attempts = std::max<std::uint32_t>(1, options.max_attempts);
+  double backoff = options.backoff_initial_s;
+  MinionOutcome out;
+  Status last = Unavailable("no attempt made");
+  for (std::uint32_t attempt = 1; attempt <= max_attempts; ++attempt) {
+    out.attempts = attempt;
+    auto minion = SendMinion(command).Get(options.deadline_s);
+    // A failure can live at the transport level (dropped/failed command) or
+    // inside an otherwise-delivered response (crashed process): both count.
+    Status st = minion.ok() ? proto::ResponseToStatus(minion->response)
+                            : minion.status();
+    if (st.code() == StatusCode::kDeadlineExceeded) {
+      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (st.ok()) {
+      out.minion = std::move(*minion);
+      return out;
+    }
+    last = st;
+    if (attempt == max_attempts || !IsRetriable(st.code())) break;
+    retries_.fetch_add(1, std::memory_order_relaxed);
+    retry_clock_.Advance(backoff);
+    out.backoff_s += backoff;
+    backoff *= options.backoff_multiplier;
+  }
+  return last;
+}
+
 Result<proto::QueryReply> CompStorHandle::SendQuery(proto::Query query) {
   query.id = next_id_.fetch_add(1, std::memory_order_relaxed);
-  nvme::Completion cqe = ssd_->host_interface().VendorSync(
-      nvme::Opcode::kInSituQuery, proto::Serialize(query));
+  nvme::Command cmd;
+  cmd.opcode = nvme::Opcode::kInSituQuery;
+  cmd.payload = proto::Serialize(query);
+  auto future = ssd_->host_interface().Submit(std::move(cmd));
+  const double deadline_s = default_call_options_.deadline_s;
+  if (deadline_s > 0 &&
+      future.wait_for(std::chrono::duration<double>(deadline_s)) !=
+          std::future_status::ready) {
+    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    return DeadlineExceeded("query deadline exceeded");
+  }
+  nvme::Completion cqe = future.get();
   if (!cqe.status.ok()) return cqe.status;
   COMPSTOR_ASSIGN_OR_RETURN(proto::QueryReply reply,
                             proto::DeserializeQueryReply(cqe.payload));

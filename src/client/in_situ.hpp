@@ -16,11 +16,28 @@
 #include <string_view>
 #include <vector>
 
+#include "common/sim_clock.hpp"
 #include "fs/filesystem.hpp"
 #include "proto/entities.hpp"
 #include "ssd/ssd.hpp"
 
 namespace compstor::client {
+
+/// Per-command robustness knobs: how long to wait for a completion and how
+/// to retry transient failures. Backoff is charged to the handle's virtual
+/// retry clock (model time) — the client never sleeps in wall-clock terms
+/// beyond the deadline wait itself.
+struct CallOptions {
+  /// Real-time bound on waiting for one completion; a command whose reply
+  /// never arrives (dropped by a fault, dead agent) surfaces as
+  /// kDeadlineExceeded. <= 0 waits forever (the legacy behavior).
+  double deadline_s = 0;
+  /// Total attempts for IsRetriable failures (1 = no retries).
+  std::uint32_t max_attempts = 1;
+  /// Exponential backoff between attempts, in virtual seconds.
+  double backoff_initial_s = 0.010;
+  double backoff_multiplier = 2.0;
+};
 
 /// Resolves to the round-tripped minion when the device completes the task.
 class MinionFuture {
@@ -30,13 +47,23 @@ class MinionFuture {
       : completion_(std::move(completion)) {}
 
   /// Blocks until the response arrives. Includes the NVMe-level latency in
-  /// the returned minion's response timing.
-  Result<proto::Minion> Get();
+  /// the returned minion's response timing. `deadline_s > 0` bounds the
+  /// real-time wait and yields kDeadlineExceeded on expiry (the command's
+  /// eventual completion, if any, is abandoned).
+  Result<proto::Minion> Get(double deadline_s = 0);
 
   bool valid() const { return completion_.valid(); }
 
  private:
   std::future<nvme::Completion> completion_;
+};
+
+/// A minion that completed through the retry path, with the bookkeeping the
+/// degraded-mode experiments report.
+struct MinionOutcome {
+  proto::Minion minion;
+  std::uint32_t attempts = 1;   // send attempts consumed (1 = first try won)
+  double backoff_s = 0;         // virtual backoff charged before success
 };
 
 class CompStorHandle {
@@ -61,6 +88,29 @@ class CompStorHandle {
   MinionFuture SendMinion(proto::Command command);
   Result<proto::Minion> RunMinion(proto::Command command);  // send + wait
 
+  /// Send + wait with deadline and retry for IsRetriable failures (both
+  /// transport-level and in-response statuses). Exponential backoff between
+  /// attempts is charged to the handle's virtual retry clock.
+  Result<MinionOutcome> RunMinionRobust(const proto::Command& command,
+                                        const CallOptions& options);
+  Result<MinionOutcome> RunMinionRobust(const proto::Command& command) {
+    return RunMinionRobust(command, default_call_options_);
+  }
+
+  /// Default options applied by RunMinionRobust() and queries.
+  void set_default_call_options(const CallOptions& options) {
+    default_call_options_ = options;
+  }
+  const CallOptions& default_call_options() const { return default_call_options_; }
+
+  /// Robustness counters (cumulative over the handle's lifetime).
+  std::uint64_t retries() const { return retries_.load(std::memory_order_relaxed); }
+  std::uint64_t deadline_exceeded() const {
+    return deadline_exceeded_.load(std::memory_order_relaxed);
+  }
+  /// Virtual seconds spent backing off between retry attempts.
+  double retry_backoff_s() const { return retry_clock_.Now(); }
+
   // --- queries ---
   Result<proto::QueryReply> SendQuery(proto::Query query);
   Result<proto::QueryReply> GetStatus();
@@ -77,6 +127,10 @@ class CompStorHandle {
   ssd::Ssd* ssd_;
   std::unique_ptr<fs::Filesystem> fs_;
   std::atomic<std::uint64_t> next_id_{1};
+  CallOptions default_call_options_;
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> deadline_exceeded_{0};
+  VirtualClock retry_clock_;
 };
 
 }  // namespace compstor::client

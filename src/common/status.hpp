@@ -33,6 +33,22 @@ enum class StatusCode {
 /// Human-readable name for a status code ("OK", "DATA_LOSS", ...).
 std::string_view StatusCodeName(StatusCode code);
 
+/// True when a failed operation is safe and worthwhile to retry: the failure
+/// is transient (device busy/offline, deadline, queue full) or the operation
+/// was killed before producing effects (kAborted). Permanent failures
+/// (kDataLoss, kInvalidArgument, ...) and kOk are not retriable.
+inline bool IsRetriable(StatusCode code) {
+  switch (code) {
+    case StatusCode::kUnavailable:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kAborted:
+      return true;
+    default:
+      return false;
+  }
+}
+
 class [[nodiscard]] Status {
  public:
   Status() = default;  // OK

@@ -28,10 +28,20 @@ double Agent::TemperatureC() const {
   return thermal_.ambient_c + thermal_.full_load_delta_c * cores_->Utilization();
 }
 
+void Agent::SetFaultInjector(sim::FaultInjector* injector) {
+  fault_ = injector;
+  runtime_->SetFaultInjector(injector);
+}
+
 void Agent::HandleVendor(const nvme::Command& cmd,
                          nvme::Controller::CompletionSink done) {
   if (cmd.opcode == nvme::Opcode::kInSituQuery) {
     queries_.fetch_add(1, std::memory_order_relaxed);
+    if (fault_ != nullptr &&
+        fault_->OnAgentOp(cores_->Makespan()).action != sim::AgentFault::Action::kNone) {
+      // Unresponsive agent: the query reply is lost; the host deadline fires.
+      return;
+    }
     auto query = proto::DeserializeQuery(cmd.payload);
     nvme::Completion cqe;
     if (!query.ok()) {

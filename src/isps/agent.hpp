@@ -46,6 +46,10 @@ class Agent {
   /// Device temperature from the thermal model at current utilization.
   double TemperatureC() const;
 
+  /// Attaches a fault injector (minion crash, agent unresponsive) shared
+  /// with the task runtime. nullptr detaches. Call before sending traffic.
+  void SetFaultInjector(sim::FaultInjector* injector);
+
  private:
   void HandleVendor(const nvme::Command& cmd, nvme::Controller::CompletionSink done);
   proto::QueryReply HandleQuery(const proto::Query& query);
@@ -58,6 +62,7 @@ class Agent {
   std::unique_ptr<TaskRuntime> runtime_;
   std::atomic<std::uint64_t> minions_{0};
   std::atomic<std::uint64_t> queries_{0};
+  sim::FaultInjector* fault_ = nullptr;
 };
 
 }  // namespace compstor::isps

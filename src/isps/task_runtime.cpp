@@ -15,6 +15,8 @@ TaskRuntime::TaskRuntime(CoreEmulator* cores, fs::Filesystem* filesystem,
 
 std::uint32_t TaskRuntime::Spawn(const proto::Command& command, Callback done) {
   const std::uint32_t pid = next_pid_.fetch_add(1, std::memory_order_relaxed);
+  sim::AgentFault fault;
+  if (fault_ != nullptr) fault = fault_->OnAgentOp(cores_->Makespan());
   {
     std::lock_guard<std::mutex> lock(table_mutex_);
     TaskInfo info;
@@ -35,8 +37,20 @@ std::uint32_t TaskRuntime::Spawn(const proto::Command& command, Callback done) {
   }
 
   const proto::Command cmd = command;  // own a copy across the async boundary
-  cores_->Submit([this, cmd, pid, done = std::move(done)](WorkContext& core) {
-    proto::Response response = Execute(core, cmd, pid);
+  cores_->Submit([this, cmd, pid, fault, done = std::move(done)](WorkContext& core) {
+    proto::Response response;
+    if (fault.action == sim::AgentFault::Action::kCrash) {
+      // The in-storage process died before producing output; the host sees a
+      // kAborted response and may re-dispatch elsewhere.
+      response.pid = pid;
+      response.start_time_s = core.Now();
+      proto::StatusToResponse(Aborted("fault injected: in-storage process crashed"),
+                              &response);
+      response.exit_code = -1;
+      response.end_time_s = core.Now();
+    } else {
+      response = Execute(core, cmd, pid);
+    }
     {
       std::lock_guard<std::mutex> lock(table_mutex_);
       for (TaskInfo& info : table_) {
@@ -50,7 +64,11 @@ std::uint32_t TaskRuntime::Spawn(const proto::Command& command, Callback done) {
         }
       }
     }
-    if (done) done(std::move(response));
+    // An unresponsive agent finishes the work but the response is lost; the
+    // host-side deadline turns this into kDeadlineExceeded.
+    if (done && fault.action != sim::AgentFault::Action::kDropResponse) {
+      done(std::move(response));
+    }
   });
   return pid;
 }

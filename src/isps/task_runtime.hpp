@@ -20,6 +20,7 @@
 #include "fs/filesystem.hpp"
 #include "isps/cores.hpp"
 #include "proto/entities.hpp"
+#include "sim/fault.hpp"
 
 namespace compstor::isps {
 
@@ -52,6 +53,11 @@ class TaskRuntime {
   std::vector<TaskInfo> ProcessTable() const;
   std::uint32_t RunningCount() const;
 
+  /// Attaches a fault injector consulted once per spawned minion, at spawn
+  /// time (arrival order), so the same schedule picks the same victims
+  /// regardless of core scheduling. nullptr detaches.
+  void SetFaultInjector(sim::FaultInjector* injector) { fault_ = injector; }
+
  private:
   proto::Response Execute(WorkContext& core, const proto::Command& command,
                           std::uint32_t pid);
@@ -61,6 +67,7 @@ class TaskRuntime {
   apps::Registry* registry_;
   const bool internal_path_;
   const energy::IoRates io_rates_;
+  sim::FaultInjector* fault_ = nullptr;
 
   mutable std::mutex table_mutex_;
   std::vector<TaskInfo> table_;

@@ -46,8 +46,46 @@ void Controller::Stop() {
 
 void Controller::FrontEndLoop() {
   while (auto cmd = sq_.Pop()) {
+    double injected_delay_s = 0;
+    if (sim::FaultInjector* fi = fault_.load(std::memory_order_acquire)) {
+      const sim::NvmeFault f =
+          fi->OnNvmeCommand(cmd->opcode == Opcode::kRead, front_end_time_s_);
+      if (f.action != sim::NvmeFault::Action::kNone) {
+        faults_injected_.fetch_add(1, std::memory_order_relaxed);
+      }
+      switch (f.action) {
+        case sim::NvmeFault::Action::kDrop:
+          // Swallowed: no completion ever posts; the host deadline fires.
+          continue;
+        case sim::NvmeFault::Action::kFailUnavailable: {
+          Completion cqe;
+          cqe.cid = cmd->cid;
+          cqe.status = Unavailable("fault injected: device offline");
+          cqe.latency = kCommandOverhead;
+          errors_.fetch_add(1, std::memory_order_relaxed);
+          cq_.Push(std::move(cqe));
+          continue;
+        }
+        case sim::NvmeFault::Action::kFailDataLoss: {
+          Completion cqe;
+          cqe.cid = cmd->cid;
+          cqe.status = DataLoss("fault injected: uncorrectable ECC burst");
+          cqe.latency = kCommandOverhead;
+          errors_.fetch_add(1, std::memory_order_relaxed);
+          cq_.Push(std::move(cqe));
+          continue;
+        }
+        case sim::NvmeFault::Action::kDelay:
+          injected_delay_s = f.extra_latency_s;
+          break;
+        case sim::NvmeFault::Action::kNone:
+          break;
+      }
+    }
     Completion cqe;
     if (Execute(*cmd, &cqe)) {
+      cqe.latency += injected_delay_s;
+      front_end_time_s_ += cqe.latency;
       if (!cqe.status.ok()) errors_.fetch_add(1, std::memory_order_relaxed);
       cq_.Push(std::move(cqe));
     }

@@ -18,6 +18,7 @@
 #include "ftl/ftl.hpp"
 #include "nvme/command.hpp"
 #include "nvme/pcie_link.hpp"
+#include "sim/fault.hpp"
 #include "util/mpmc_queue.hpp"
 
 namespace compstor::nvme {
@@ -30,6 +31,7 @@ struct ControllerStats {
   std::uint64_t io_commands = 0;
   std::uint64_t vendor_commands = 0;
   std::uint64_t errors = 0;
+  std::uint64_t faults_injected = 0;  // commands the fault injector altered
 };
 
 class Controller {
@@ -60,6 +62,13 @@ class Controller {
     vendor_handler_ = std::move(handler);
   }
 
+  /// Attaches (or detaches, with nullptr) a fault injector consulted once
+  /// per popped command, before execution. Thread-safe; the injector must
+  /// outlive the controller or be detached first.
+  void SetFaultInjector(sim::FaultInjector* injector) {
+    fault_.store(injector, std::memory_order_release);
+  }
+
   /// Submission queue. Blocks when the queue is full (device back-pressure);
   /// returns false after Stop().
   bool Submit(Command cmd) { return sq_.Push(std::move(cmd)); }
@@ -68,7 +77,8 @@ class Controller {
   std::optional<Completion> PopCompletion() { return cq_.Pop(); }
 
   ControllerStats Stats() const {
-    return {io_commands_.load(), vendor_commands_.load(), errors_.load()};
+    return {io_commands_.load(), vendor_commands_.load(), errors_.load(),
+            faults_injected_.load()};
   }
 
   /// Fixed firmware overhead charged per command (submission handling,
@@ -99,6 +109,13 @@ class Controller {
   std::atomic<std::uint64_t> io_commands_{0};
   std::atomic<std::uint64_t> vendor_commands_{0};
   std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> faults_injected_{0};
+
+  std::atomic<sim::FaultInjector*> fault_{nullptr};
+  /// Accumulated model latency of synchronous completions; the front-end's
+  /// local virtual timeline, handed to time-windowed fault rules. Touched
+  /// only on the front-end thread.
+  double front_end_time_s_ = 0;
 };
 
 }  // namespace compstor::nvme

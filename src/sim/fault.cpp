@@ -1,0 +1,131 @@
+#include "sim/fault.hpp"
+
+#include <algorithm>
+
+namespace compstor::sim {
+
+std::string_view FaultTypeName(FaultType type) {
+  switch (type) {
+    case FaultType::kDeviceOffline: return "DEVICE_OFFLINE";
+    case FaultType::kDropCommand: return "DROP_COMMAND";
+    case FaultType::kDelayCompletion: return "DELAY_COMPLETION";
+    case FaultType::kFailCommand: return "FAIL_COMMAND";
+    case FaultType::kReadDataLoss: return "READ_DATA_LOSS";
+    case FaultType::kCrashMinion: return "CRASH_MINION";
+    case FaultType::kAgentUnresponsive: return "AGENT_UNRESPONSIVE";
+  }
+  return "UNKNOWN";
+}
+
+FaultSite SiteOf(FaultType type) {
+  switch (type) {
+    case FaultType::kDeviceOffline:
+    case FaultType::kDropCommand:
+    case FaultType::kDelayCompletion:
+    case FaultType::kFailCommand:
+    case FaultType::kReadDataLoss:
+      return FaultSite::kNvme;
+    case FaultType::kCrashMinion:
+    case FaultType::kAgentUnresponsive:
+      return FaultSite::kAgent;
+  }
+  return FaultSite::kNvme;
+}
+
+void FaultInjector::Schedule(FaultRule rule) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rules_.push_back(rule);
+}
+
+void FaultInjector::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rules_.clear();
+  fired_.clear();
+  nvme_ops_ = 0;
+  agent_ops_ = 0;
+}
+
+bool FaultInjector::RuleFires(const FaultRule& rule, std::uint64_t op, double now_s) {
+  if (op < rule.first_op) return false;
+  if (rule.last_op != 0 && op > rule.last_op) return false;
+  if (rule.after_s >= 0 && now_s < rule.after_s) return false;
+  if (rule.until_s >= 0 && now_s >= rule.until_s) return false;
+  if (rule.probability < 1.0 && !rng_.Chance(rule.probability)) return false;
+  return true;
+}
+
+NvmeFault FaultInjector::OnNvmeCommand(bool is_read, double now_s) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t op = ++nvme_ops_;
+  for (const FaultRule& rule : rules_) {
+    if (SiteOf(rule.type) != FaultSite::kNvme) continue;
+    if (rule.type == FaultType::kReadDataLoss && !is_read) continue;
+    if (!RuleFires(rule, op, now_s)) continue;
+    fired_.push_back({rule.type, op, now_s});
+    NvmeFault f;
+    switch (rule.type) {
+      case FaultType::kDeviceOffline:
+      case FaultType::kFailCommand:
+        f.action = NvmeFault::Action::kFailUnavailable;
+        break;
+      case FaultType::kDropCommand:
+        f.action = NvmeFault::Action::kDrop;
+        break;
+      case FaultType::kReadDataLoss:
+        f.action = NvmeFault::Action::kFailDataLoss;
+        break;
+      case FaultType::kDelayCompletion:
+        f.action = NvmeFault::Action::kDelay;
+        f.extra_latency_s = rule.extra_latency_s;
+        break;
+      default:
+        break;
+    }
+    return f;
+  }
+  return {};
+}
+
+AgentFault FaultInjector::OnAgentOp(double now_s) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t op = ++agent_ops_;
+  for (const FaultRule& rule : rules_) {
+    if (SiteOf(rule.type) != FaultSite::kAgent) continue;
+    if (!RuleFires(rule, op, now_s)) continue;
+    fired_.push_back({rule.type, op, now_s});
+    AgentFault f;
+    f.action = rule.type == FaultType::kCrashMinion ? AgentFault::Action::kCrash
+                                                    : AgentFault::Action::kDropResponse;
+    return f;
+  }
+  return {};
+}
+
+std::vector<FiredFault> FaultInjector::Fired() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fired_;
+}
+
+std::uint64_t FaultInjector::FiredCount(FaultType type) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<std::uint64_t>(
+      std::count_if(fired_.begin(), fired_.end(),
+                    [type](const FiredFault& f) { return f.type == type; }));
+}
+
+std::uint64_t FaultInjector::FiredTotal() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fired_.size();
+}
+
+std::uint64_t FaultInjector::nvme_ops() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return nvme_ops_;
+}
+
+std::uint64_t FaultInjector::agent_ops() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return agent_ops_;
+}
+
+}  // namespace compstor::sim

@@ -1,0 +1,133 @@
+// Deterministic fault-injection framework for the emulated stack.
+//
+// A FaultInjector holds a scriptable schedule of FaultRules and is consulted
+// by hooks in the layers that can fail on real hardware: the NVMe front-end
+// (command drop / timeout / device offline / uncorrectable-ECC bursts
+// surfacing as kDataLoss) and the ISPS agent + task runtime (minion crash,
+// agent unresponsive). Rules fire on site-local operation indices and/or
+// caller-supplied virtual time, with an optional probability evaluated
+// against the injector's seeded RNG — so the same seed and the same
+// submission order reproduce the identical fault sequence, which is what the
+// degraded-mode experiments assert.
+//
+// The injector never sleeps or touches wall-clock time; a "timeout" is
+// modeled by swallowing the command so the host-side deadline fires.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace compstor::sim {
+
+enum class FaultType : std::uint8_t {
+  kDeviceOffline,      // NVMe: every matching command completes kUnavailable
+  kDropCommand,        // NVMe: command swallowed, no completion ever posted
+  kDelayCompletion,    // NVMe: extra model latency added to the completion
+  kFailCommand,        // NVMe: command completes kUnavailable (transient)
+  kReadDataLoss,       // NVMe reads: completes kDataLoss (uncorrectable ECC)
+  kCrashMinion,        // ISPS: in-storage process dies -> kAborted response
+  kAgentUnresponsive,  // ISPS: agent never answers -> host deadline fires
+};
+
+std::string_view FaultTypeName(FaultType type);
+
+/// Which hook consults a rule of this type.
+enum class FaultSite : std::uint8_t { kNvme = 0, kAgent = 1 };
+FaultSite SiteOf(FaultType type);
+
+struct FaultRule {
+  FaultType type = FaultType::kFailCommand;
+
+  /// Site-local operation window, 1-based and inclusive. `last_op == 0`
+  /// means unbounded, so the defaults match every op at the rule's site.
+  std::uint64_t first_op = 1;
+  std::uint64_t last_op = 0;
+
+  /// Optional virtual-time window [after_s, until_s). Negative bounds are
+  /// ignored. The hook supplies its layer-local virtual time (the NVMe
+  /// front-end passes accumulated command latency, the ISPS passes the core
+  /// cluster makespan).
+  double after_s = -1;
+  double until_s = -1;
+
+  /// Probability that a matching op actually trips the rule, drawn from the
+  /// injector's seeded RNG. 1.0 = scripted/always.
+  double probability = 1.0;
+
+  /// Extra model latency for kDelayCompletion.
+  double extra_latency_s = 0;
+};
+
+/// One fault that actually fired, recorded for reproducibility assertions.
+struct FiredFault {
+  FaultType type = FaultType::kFailCommand;
+  std::uint64_t op = 0;  // site-local op index that tripped the rule
+  double time_s = 0;     // caller-supplied virtual time at the hook
+
+  friend bool operator==(const FiredFault& a, const FiredFault& b) {
+    return a.type == b.type && a.op == b.op;
+  }
+};
+
+/// Decision returned to the NVMe front-end for the current command.
+struct NvmeFault {
+  enum class Action : std::uint8_t {
+    kNone,
+    kDrop,
+    kFailUnavailable,
+    kFailDataLoss,
+    kDelay,
+  };
+  Action action = Action::kNone;
+  double extra_latency_s = 0;
+};
+
+/// Decision returned to the ISPS for the current minion/query.
+struct AgentFault {
+  enum class Action : std::uint8_t { kNone, kCrash, kDropResponse };
+  Action action = Action::kNone;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed = 0) : rng_(seed) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  void Schedule(FaultRule rule);
+  void Clear();
+
+  /// NVMe front-end hook: called once per popped command, in submission
+  /// order. `is_read` gates kReadDataLoss rules. The first matching rule in
+  /// schedule order wins.
+  NvmeFault OnNvmeCommand(bool is_read, double now_s);
+
+  /// ISPS hook: called once per minion spawn (task runtime) or query
+  /// (agent), in arrival order.
+  AgentFault OnAgentOp(double now_s);
+
+  /// Everything that fired so far, in fire order.
+  std::vector<FiredFault> Fired() const;
+  std::uint64_t FiredCount(FaultType type) const;
+  std::uint64_t FiredTotal() const;
+
+  std::uint64_t nvme_ops() const;
+  std::uint64_t agent_ops() const;
+
+ private:
+  bool RuleFires(const FaultRule& rule, std::uint64_t op, double now_s);
+
+  mutable std::mutex mutex_;
+  util::Xoshiro256 rng_;
+  std::vector<FaultRule> rules_;
+  std::vector<FiredFault> fired_;
+  std::uint64_t nvme_ops_ = 0;
+  std::uint64_t agent_ops_ = 0;
+};
+
+}  // namespace compstor::sim

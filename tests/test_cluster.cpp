@@ -1,12 +1,16 @@
 // Unit tests for the cluster orchestration layer (LPT assignment properties,
-// error handling) — complementing the end-to-end cluster tests in
-// test_integration.cpp.
+// error handling, degraded-mode execution under injected faults) —
+// complementing the end-to-end cluster tests in test_integration.cpp.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <numeric>
+#include <string>
+#include <vector>
 
 #include "client/cluster.hpp"
 #include "isps/agent.hpp"
+#include "sim/fault.hpp"
 #include "ssd/profiles.hpp"
 #include "ssd/ssd.hpp"
 #include "util/rng.hpp"
@@ -126,6 +130,240 @@ TEST(Cluster, ProcessTableQueryAcrossDevices) {
   auto other = t.h2.ProcessTable();
   ASSERT_TRUE(other.ok());
   EXPECT_TRUE(other->empty());  // per-device isolation
+}
+
+// --- degraded-mode execution under injected faults ---
+
+using sim::FaultRule;
+using sim::FaultType;
+
+/// N full device stacks, each with its own (initially detached) fault
+/// injector, assembled into one cluster.
+struct FaultCluster {
+  explicit FaultCluster(std::size_t n, std::uint64_t seed_base = 100) {
+    for (std::size_t i = 0; i < n; ++i) {
+      injectors.push_back(std::make_unique<sim::FaultInjector>(seed_base + i));
+      ssds.push_back(std::make_unique<ssd::Ssd>(ssd::TestProfile(), seed_base + i));
+      agents.push_back(std::make_unique<isps::Agent>(ssds[i].get()));
+      handles.push_back(std::make_unique<CompStorHandle>(ssds[i].get()));
+      EXPECT_TRUE(handles[i]->FormatFilesystem().ok());
+      cluster.AddDevice(handles[i].get());
+    }
+  }
+
+  /// Re-dispatch needs replicated inputs: stage the same file everywhere.
+  void StageAll(const std::string& path, const std::string& content) {
+    for (auto& h : handles) EXPECT_TRUE(h->UploadFile(path, content).ok());
+  }
+
+  /// Hook every injector into its device. Do this after staging so setup IO
+  /// does not consume fault-schedule op indices.
+  void Attach() {
+    for (std::size_t i = 0; i < ssds.size(); ++i) {
+      ssds[i]->controller().SetFaultInjector(injectors[i].get());
+      agents[i]->SetFaultInjector(injectors[i].get());
+    }
+  }
+
+  // Injectors first: destroyed last, after the device threads that use them.
+  std::vector<std::unique_ptr<sim::FaultInjector>> injectors;
+  std::vector<std::unique_ptr<ssd::Ssd>> ssds;
+  std::vector<std::unique_ptr<isps::Agent>> agents;
+  std::vector<std::unique_ptr<CompStorHandle>> handles;
+  Cluster cluster;
+};
+
+ClusterPolicy FastPolicy() {
+  ClusterPolicy p;
+  p.call.deadline_s = 0.25;  // real-time bound; dropped commands resolve fast
+  p.call.backoff_initial_s = 0.01;
+  p.circuit_failure_threshold = 2;
+  p.probe_interval = 2;
+  p.max_rounds = 8;
+  return p;
+}
+
+proto::Command EchoCommand(int i) {
+  proto::Command cmd;
+  cmd.type = proto::CommandType::kExecutable;
+  cmd.executable = "echo";
+  cmd.args = {"item" + std::to_string(i)};
+  return cmd;
+}
+
+std::vector<Cluster::WorkItem> EchoWork(int items, std::size_t devices) {
+  std::vector<Cluster::WorkItem> work;
+  for (int i = 0; i < items; ++i) {
+    work.push_back({static_cast<std::size_t>(i) % devices, EchoCommand(i)});
+  }
+  return work;
+}
+
+TEST(DegradedCluster, AssignByUtilizationExcludesFailingDevice) {
+  FaultCluster t(2);
+  // Device 0's status queries fail (it is offline); the old bug made a
+  // failed query look like utilization 0 — the most attractive target.
+  t.injectors[0]->Schedule({.type = FaultType::kDeviceOffline});
+  t.Attach();
+  auto assignment = t.cluster.AssignByUtilization({5, 5, 5, 5});
+  ASSERT_EQ(assignment.size(), 4u);
+  for (std::size_t a : assignment) EXPECT_EQ(a, 1u);
+  EXPECT_GE(t.cluster.health(0).failures, 1u);
+}
+
+TEST(DegradedCluster, AssignByUtilizationFallsBackToRoundRobin) {
+  FaultCluster t(2);
+  t.injectors[0]->Schedule({.type = FaultType::kDeviceOffline});
+  t.injectors[1]->Schedule({.type = FaultType::kDeviceOffline});
+  t.Attach();
+  // No device answers its status query: the documented round-robin fallback.
+  auto assignment = t.cluster.AssignByUtilization({5, 5, 5, 5});
+  EXPECT_EQ(assignment, (std::vector<std::size_t>{0, 1, 0, 1}));
+}
+
+TEST(DegradedCluster, OneDeviceOfflineStillCompletesAllWork) {
+  FaultCluster t(4);
+  t.injectors[0]->Schedule({.type = FaultType::kDeviceOffline});
+  t.Attach();
+  t.cluster.set_policy(FastPolicy());
+  const auto work = EchoWork(12, 4);
+  auto results = t.cluster.RunAll(work);
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  ASSERT_EQ(results->size(), 12u);
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_EQ((*results)[static_cast<std::size_t>(i)].response.stdout_data,
+              "item" + std::to_string(i) + "\n");
+  }
+  EXPECT_EQ(t.cluster.health(0).state, DeviceHealth::State::kOffline);
+  EXPECT_EQ(t.cluster.health(0).trips, 1u);
+  EXPECT_GE(t.cluster.redispatches(), 3u);  // the three items aimed at device 0
+  EXPECT_GT(t.cluster.retry_backoff_s(), 0.0);
+}
+
+TEST(DegradedCluster, MidRunCrashIsRedispatched) {
+  FaultCluster t(2);
+  // The second minion handled by device 1 crashes mid-run.
+  t.injectors[1]->Schedule(
+      {.type = FaultType::kCrashMinion, .first_op = 2, .last_op = 2});
+  t.Attach();
+  t.cluster.set_policy(FastPolicy());
+  auto results = t.cluster.RunAll(EchoWork(6, 2));
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ((*results)[static_cast<std::size_t>(i)].response.stdout_data,
+              "item" + std::to_string(i) + "\n");
+  }
+  EXPECT_EQ(t.injectors[1]->FiredCount(FaultType::kCrashMinion), 1u);
+  EXPECT_GE(t.cluster.redispatches(), 1u);
+  EXPECT_EQ(t.cluster.health(1).state, DeviceHealth::State::kHealthy);
+}
+
+TEST(DegradedCluster, CircuitBreakerTripsProbesAndRecovers) {
+  FaultCluster t(2);
+  // Device 0 rejects its first 6 commands after attach, then works again.
+  t.injectors[0]->Schedule(
+      {.type = FaultType::kDeviceOffline, .first_op = 1, .last_op = 6});
+  t.Attach();
+  ClusterPolicy policy = FastPolicy();
+  policy.probe_interval = 1;  // probe the open circuit on every skip
+  t.cluster.set_policy(policy);
+
+  // First batch: enough failures to trip the breaker; everything still
+  // completes on device 1.
+  auto first = t.cluster.RunAll(EchoWork(4, 1));  // all prefer device 0
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(t.cluster.health(0).state, DeviceHealth::State::kOffline);
+  EXPECT_EQ(t.cluster.health(0).trips, 1u);
+
+  // Later batches keep probing the open circuit until the fault window is
+  // exhausted and the device recovers.
+  for (int batch = 0;
+       batch < 6 && t.cluster.health(0).state != DeviceHealth::State::kHealthy;
+       ++batch) {
+    auto r = t.cluster.RunAll(EchoWork(2, 1));
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+  EXPECT_EQ(t.cluster.health(0).state, DeviceHealth::State::kHealthy);
+  EXPECT_GE(t.cluster.health(0).probes, 1u);
+  EXPECT_GE(t.cluster.health(0).recoveries, 1u);
+  // Recovered device serves traffic again.
+  auto after = t.cluster.RunAll(EchoWork(2, 1));
+  ASSERT_TRUE(after.ok());
+  EXPECT_GT(t.cluster.health(0).successes, 0u);
+}
+
+// Acceptance scenario: 4 devices, scripted schedule — one device offline at
+// t0, one minion crash mid-run, one transient timeout burst. All work
+// completes with byte-identical results to the fault-free run, and the same
+// seeds reproduce the identical fault sequence and retry counts.
+struct ScenarioResult {
+  std::vector<std::string> outputs;
+  std::uint64_t redispatches = 0;
+  std::vector<std::vector<sim::FiredFault>> fired;
+};
+
+ScenarioResult RunScenario(bool inject) {
+  ScenarioResult out;
+  FaultCluster t(4, /*seed_base=*/900);
+  std::string corpus;
+  for (int i = 0; i < 5; ++i) corpus += "a needle in the haystack\n";
+  t.StageAll("/corpus.txt", corpus);
+  if (inject) {
+    t.injectors[0]->Schedule({.type = FaultType::kDeviceOffline});
+    t.injectors[1]->Schedule(
+        {.type = FaultType::kCrashMinion, .first_op = 2, .last_op = 2});
+    t.injectors[2]->Schedule(
+        {.type = FaultType::kDropCommand, .first_op = 2, .last_op = 3});
+    t.Attach();
+  }
+  t.cluster.set_policy(FastPolicy());
+
+  std::vector<Cluster::WorkItem> work;
+  for (int i = 0; i < 16; ++i) {
+    proto::Command cmd;
+    cmd.type = proto::CommandType::kExecutable;
+    if (i % 2 == 0) {
+      cmd.executable = "grep";
+      cmd.args = {"-c", "needle", "/corpus.txt"};
+    } else {
+      cmd = EchoCommand(i);
+    }
+    work.push_back({static_cast<std::size_t>(i) % 4, cmd});
+  }
+  auto results = t.cluster.RunAll(work);
+  EXPECT_TRUE(results.ok()) << results.status().ToString();
+  if (results.ok()) {
+    for (const proto::Minion& m : *results) {
+      EXPECT_TRUE(m.response.ok()) << m.response.status_message;
+      out.outputs.push_back(m.response.stdout_data);
+    }
+  }
+  out.redispatches = t.cluster.redispatches();
+  for (auto& injector : t.injectors) out.fired.push_back(injector->Fired());
+  return out;
+}
+
+TEST(DegradedCluster, ScriptedScheduleMatchesHealthyRunAndReproduces) {
+  const ScenarioResult healthy = RunScenario(/*inject=*/false);
+  const ScenarioResult faulty = RunScenario(/*inject=*/true);
+  const ScenarioResult faulty_again = RunScenario(/*inject=*/true);
+
+  // 100% of work items completed, byte-identical to the fault-free run.
+  ASSERT_EQ(healthy.outputs.size(), 16u);
+  EXPECT_EQ(faulty.outputs, healthy.outputs);
+  EXPECT_EQ(faulty.outputs[0], "5\n");  // grep -c over the replicated corpus
+
+  // Faults actually happened and forced re-dispatch.
+  EXPECT_EQ(healthy.redispatches, 0u);
+  EXPECT_GT(faulty.redispatches, 0u);
+  EXPECT_GT(faulty.fired[0].size(), 0u);  // offline device rejected commands
+  EXPECT_EQ(faulty.fired[1].size(), 1u);  // exactly one crash
+  EXPECT_EQ(faulty.fired[2].size(), 2u);  // two dropped commands
+
+  // Same seed, same schedule: identical fault sequence and retry counts.
+  EXPECT_EQ(faulty_again.outputs, faulty.outputs);
+  EXPECT_EQ(faulty_again.redispatches, faulty.redispatches);
+  EXPECT_EQ(faulty_again.fired, faulty.fired);
 }
 
 }  // namespace

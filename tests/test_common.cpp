@@ -34,6 +34,24 @@ TEST(Status, AllCodesHaveNames) {
   }
 }
 
+TEST(Status, RetriableCodesAreTransientOnly) {
+  // Transient failures: safe and worthwhile to retry.
+  EXPECT_TRUE(IsRetriable(StatusCode::kUnavailable));
+  EXPECT_TRUE(IsRetriable(StatusCode::kDeadlineExceeded));
+  EXPECT_TRUE(IsRetriable(StatusCode::kResourceExhausted));
+  EXPECT_TRUE(IsRetriable(StatusCode::kAborted));
+  // Permanent failures: a retry would fail identically (or mask data loss).
+  EXPECT_FALSE(IsRetriable(StatusCode::kDataLoss));
+  EXPECT_FALSE(IsRetriable(StatusCode::kInvalidArgument));
+  EXPECT_FALSE(IsRetriable(StatusCode::kNotFound));
+  EXPECT_FALSE(IsRetriable(StatusCode::kPermissionDenied));
+  EXPECT_FALSE(IsRetriable(StatusCode::kFailedPrecondition));
+  EXPECT_FALSE(IsRetriable(StatusCode::kInternal));
+  EXPECT_FALSE(IsRetriable(StatusCode::kUnimplemented));
+  // Success is not "retriable" either.
+  EXPECT_FALSE(IsRetriable(StatusCode::kOk));
+}
+
 TEST(Result, HoldsValueOrStatus) {
   Result<int> ok = 42;
   EXPECT_TRUE(ok.ok());

@@ -1,0 +1,259 @@
+// Unit tests for the fault-injection framework: rule windows, seeded
+// determinism, fired-fault accounting, and the NVMe controller hook driven
+// through a full device stack.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "client/in_situ.hpp"
+#include "isps/agent.hpp"
+#include "sim/fault.hpp"
+#include "ssd/profiles.hpp"
+#include "ssd/ssd.hpp"
+
+namespace compstor {
+namespace {
+
+using sim::FaultInjector;
+using sim::FaultRule;
+using sim::FaultType;
+
+TEST(FaultInjector, NoRulesNoFaults) {
+  FaultInjector fi;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(fi.OnNvmeCommand(false, 0).action, sim::NvmeFault::Action::kNone);
+  }
+  EXPECT_EQ(fi.FiredTotal(), 0u);
+  EXPECT_EQ(fi.nvme_ops(), 10u);
+}
+
+TEST(FaultInjector, OpWindowFiresInclusively) {
+  FaultInjector fi;
+  FaultRule rule;
+  rule.type = FaultType::kFailCommand;
+  rule.first_op = 3;
+  rule.last_op = 5;
+  fi.Schedule(rule);
+  for (std::uint64_t op = 1; op <= 8; ++op) {
+    const auto f = fi.OnNvmeCommand(false, 0);
+    const bool in_window = op >= 3 && op <= 5;
+    EXPECT_EQ(f.action == sim::NvmeFault::Action::kFailUnavailable, in_window)
+        << "op " << op;
+  }
+  EXPECT_EQ(fi.FiredCount(FaultType::kFailCommand), 3u);
+}
+
+TEST(FaultInjector, UnboundedWindowMatchesEveryOp) {
+  FaultInjector fi;
+  fi.Schedule({.type = FaultType::kDeviceOffline});
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(fi.OnNvmeCommand(false, 0).action,
+              sim::NvmeFault::Action::kFailUnavailable);
+  }
+}
+
+TEST(FaultInjector, TimeWindowUsesCallerVirtualTime) {
+  FaultInjector fi;
+  FaultRule rule;
+  rule.type = FaultType::kFailCommand;
+  rule.after_s = 1.0;
+  rule.until_s = 2.0;
+  fi.Schedule(rule);
+  EXPECT_EQ(fi.OnNvmeCommand(false, 0.5).action, sim::NvmeFault::Action::kNone);
+  EXPECT_EQ(fi.OnNvmeCommand(false, 1.5).action,
+            sim::NvmeFault::Action::kFailUnavailable);
+  EXPECT_EQ(fi.OnNvmeCommand(false, 2.5).action, sim::NvmeFault::Action::kNone);
+}
+
+TEST(FaultInjector, ReadDataLossOnlyHitsReads) {
+  FaultInjector fi;
+  fi.Schedule({.type = FaultType::kReadDataLoss});
+  EXPECT_EQ(fi.OnNvmeCommand(/*is_read=*/false, 0).action,
+            sim::NvmeFault::Action::kNone);
+  EXPECT_EQ(fi.OnNvmeCommand(/*is_read=*/true, 0).action,
+            sim::NvmeFault::Action::kFailDataLoss);
+}
+
+TEST(FaultInjector, DelayCarriesExtraLatency) {
+  FaultInjector fi;
+  FaultRule rule;
+  rule.type = FaultType::kDelayCompletion;
+  rule.extra_latency_s = 0.125;
+  fi.Schedule(rule);
+  const auto f = fi.OnNvmeCommand(false, 0);
+  EXPECT_EQ(f.action, sim::NvmeFault::Action::kDelay);
+  EXPECT_DOUBLE_EQ(f.extra_latency_s, 0.125);
+}
+
+TEST(FaultInjector, AgentSiteHasIndependentCounter) {
+  FaultInjector fi;
+  FaultRule rule;
+  rule.type = FaultType::kCrashMinion;
+  rule.first_op = 2;
+  rule.last_op = 2;
+  fi.Schedule(rule);
+  // NVMe ops must not advance the agent counter.
+  for (int i = 0; i < 5; ++i) fi.OnNvmeCommand(false, 0);
+  EXPECT_EQ(fi.OnAgentOp(0).action, sim::AgentFault::Action::kNone);
+  EXPECT_EQ(fi.OnAgentOp(0).action, sim::AgentFault::Action::kCrash);
+  EXPECT_EQ(fi.OnAgentOp(0).action, sim::AgentFault::Action::kNone);
+  EXPECT_EQ(fi.nvme_ops(), 5u);
+  EXPECT_EQ(fi.agent_ops(), 3u);
+}
+
+TEST(FaultInjector, SeededProbabilityIsReproducible) {
+  auto roll = [](std::uint64_t seed) {
+    FaultInjector fi(seed);
+    FaultRule rule;
+    rule.type = FaultType::kFailCommand;
+    rule.probability = 0.5;
+    fi.Schedule(rule);
+    std::vector<bool> hits;
+    for (int i = 0; i < 64; ++i) {
+      hits.push_back(fi.OnNvmeCommand(false, 0).action !=
+                     sim::NvmeFault::Action::kNone);
+    }
+    return hits;
+  };
+  const auto a = roll(42);
+  EXPECT_EQ(a, roll(42));       // same seed, same fault sequence
+  EXPECT_NE(a, roll(43));       // different seed, different sequence
+  // Not degenerate: some ops faulted, some survived.
+  EXPECT_NE(std::count(a.begin(), a.end(), true), 0);
+  EXPECT_NE(std::count(a.begin(), a.end(), true), 64);
+}
+
+TEST(FaultInjector, FiredLogRecordsTypeAndOp) {
+  FaultInjector fi;
+  FaultRule rule;
+  rule.type = FaultType::kDropCommand;
+  rule.first_op = 2;
+  rule.last_op = 3;
+  fi.Schedule(rule);
+  for (int i = 0; i < 4; ++i) fi.OnNvmeCommand(false, 0);
+  const auto fired = fi.Fired();
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[0], (sim::FiredFault{FaultType::kDropCommand, 2, 0}));
+  EXPECT_EQ(fired[1], (sim::FiredFault{FaultType::kDropCommand, 3, 0}));
+}
+
+TEST(FaultInjector, TypeNamesAreDistinct) {
+  EXPECT_EQ(FaultTypeName(FaultType::kDeviceOffline), "DEVICE_OFFLINE");
+  EXPECT_EQ(FaultTypeName(FaultType::kCrashMinion), "CRASH_MINION");
+  EXPECT_NE(FaultTypeName(FaultType::kDropCommand),
+            FaultTypeName(FaultType::kAgentUnresponsive));
+}
+
+// --- controller hook, end to end through an assembled device ---
+
+struct FaultyDevice {
+  FaultyDevice() : ssd(ssd::TestProfile(), /*seed=*/7), agent(&ssd), handle(&ssd) {
+    EXPECT_TRUE(handle.FormatFilesystem().ok());
+  }
+  void Attach() {
+    ssd.controller().SetFaultInjector(&injector);
+    agent.SetFaultInjector(&injector);
+  }
+  ssd::Ssd ssd;
+  isps::Agent agent;
+  client::CompStorHandle handle;
+  sim::FaultInjector injector;
+};
+
+TEST(FaultHooks, FailCommandSurfacesUnavailableOnce) {
+  FaultyDevice d;
+  FaultRule rule;
+  rule.type = FaultType::kFailCommand;
+  rule.first_op = 1;
+  rule.last_op = 1;
+  d.injector.Schedule(rule);
+  d.Attach();
+  auto buf = std::make_shared<std::vector<std::uint8_t>>(4096);
+  const auto first = d.ssd.host_interface().ReadSync(0, 1, buf);
+  EXPECT_EQ(first.status.code(), StatusCode::kUnavailable);
+  const auto second = d.ssd.host_interface().ReadSync(0, 1, buf);
+  EXPECT_TRUE(second.status.ok()) << second.status.ToString();
+  EXPECT_EQ(d.ssd.controller().Stats().faults_injected, 1u);
+}
+
+TEST(FaultHooks, DroppedCommandHitsHostDeadline) {
+  FaultyDevice d;
+  FaultRule rule;
+  rule.type = FaultType::kDropCommand;
+  rule.first_op = 1;
+  rule.last_op = 1;
+  d.injector.Schedule(rule);
+  d.Attach();
+  proto::Command cmd;
+  cmd.type = proto::CommandType::kExecutable;
+  cmd.executable = "echo";
+  cmd.args = {"hi"};
+  auto r = d.handle.SendMinion(cmd).Get(/*deadline_s=*/0.1);
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(FaultHooks, MinionCrashYieldsAbortedResponse) {
+  FaultyDevice d;
+  FaultRule rule;
+  rule.type = FaultType::kCrashMinion;
+  rule.first_op = 1;
+  rule.last_op = 1;
+  d.injector.Schedule(rule);
+  d.Attach();
+  proto::Command cmd;
+  cmd.type = proto::CommandType::kExecutable;
+  cmd.executable = "echo";
+  cmd.args = {"hi"};
+  auto m = d.handle.RunMinion(cmd);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  EXPECT_EQ(static_cast<StatusCode>(m->response.status_code), StatusCode::kAborted);
+  auto again = d.handle.RunMinion(cmd);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->response.ok());
+  EXPECT_EQ(again->response.stdout_data, "hi\n");
+}
+
+TEST(FaultHooks, RobustRunRetriesThroughAgentUnresponsiveness) {
+  FaultyDevice d;
+  FaultRule rule;
+  rule.type = FaultType::kAgentUnresponsive;
+  rule.first_op = 1;
+  rule.last_op = 1;
+  d.injector.Schedule(rule);
+  d.Attach();
+  proto::Command cmd;
+  cmd.type = proto::CommandType::kExecutable;
+  cmd.executable = "echo";
+  cmd.args = {"back"};
+  client::CallOptions opts;
+  opts.deadline_s = 0.15;
+  opts.max_attempts = 3;
+  auto out = d.handle.RunMinionRobust(cmd, opts);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out->minion.response.stdout_data, "back\n");
+  EXPECT_EQ(out->attempts, 2u);
+  EXPECT_GT(out->backoff_s, 0.0);
+  EXPECT_EQ(d.handle.retries(), 1u);
+  EXPECT_EQ(d.handle.deadline_exceeded(), 1u);
+  EXPECT_GT(d.handle.retry_backoff_s(), 0.0);
+}
+
+TEST(FaultHooks, NonRetriableFailureDoesNotRetry) {
+  FaultyDevice d;
+  d.Attach();  // no rules: failure comes from the task itself
+  proto::Command cmd;
+  cmd.type = proto::CommandType::kExecutable;
+  cmd.executable = "no-such-app";
+  client::CallOptions opts;
+  opts.deadline_s = 0.5;
+  opts.max_attempts = 3;
+  auto out = d.handle.RunMinionRobust(cmd, opts);
+  ASSERT_FALSE(out.ok());
+  EXPECT_FALSE(IsRetriable(out.status().code()));
+  EXPECT_EQ(d.handle.retries(), 0u);
+}
+
+}  // namespace
+}  // namespace compstor
