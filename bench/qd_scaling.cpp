@@ -1,0 +1,146 @@
+// Queue-depth scaling: sweeps NVMe queue pairs x outstanding commands per
+// pair over a 4KiB random-read workload and reports modeled IOPS, makespan,
+// and per-channel utilization against the single-queue, single-worker
+// baseline (the paper's front-end/back-end subsystem split, §III.A).
+//
+// The model: back-end workers are parallel resources, so device makespan is
+// the max over the workers' virtual clocks; IOPS = completed commands /
+// makespan. One queue pair with one worker serializes every command behind
+// kCommandOverhead + flash latency; more pairs + workers overlap commands
+// across flash channels until the channels (not the front-end) saturate.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "harness.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace compstor;
+
+constexpr std::uint64_t kWorkingSetPages = 2048;
+constexpr std::uint64_t kCommandsPerSubmitter = 512;
+constexpr std::uint32_t kPage = 4096;
+
+struct SweepPoint {
+  std::size_t queue_pairs = 0;
+  std::size_t queue_depth = 0;
+  bool ok = false;
+  double iops = 0;
+  double makespan_s = 0;
+  double channel_util_mean = 0;  // busy seconds / makespan, averaged
+};
+
+/// Builds a device with the given pipeline shape, preloads the working set,
+/// then replays a random 4KiB read storm from `queue_pairs` submitter
+/// threads, each keeping `queue_depth` commands in flight.
+SweepPoint Run(std::size_t queue_pairs, std::size_t queue_depth) {
+  SweepPoint pt;
+  pt.queue_pairs = queue_pairs;
+  pt.queue_depth = queue_depth;
+
+  ssd::SsdProfile profile = ssd::CompStorProfile(/*capacity_scale=*/0.0015);
+  profile.ftl.write_cache_pages = 0;  // reads only; keep the path uniform
+  profile.nvme_queue_pairs = queue_pairs;
+  profile.nvme_queue_depth = queue_depth;
+  // Back-end workers scale with the front-end: the paper's controller runs
+  // one back-end engine per queue pair.
+  profile.nvme_backend_workers = queue_pairs;
+  ssd::Ssd device(profile, /*seed=*/42);
+
+  // Preload (unmeasured): fill the working set once.
+  auto buf = std::make_shared<std::vector<std::uint8_t>>(kPage);
+  for (std::uint64_t lpn = 0; lpn < kWorkingSetPages; ++lpn) {
+    std::fill(buf->begin(), buf->end(), static_cast<std::uint8_t>(lpn * 13 + 7));
+    if (!device.host_interface().WriteSync(lpn, 1, buf).status.ok()) return pt;
+  }
+
+  // Measured phase: random reads. Each submitter thread gets its own queue
+  // pair (thread affinity in the driver) and keeps `queue_depth` futures in
+  // flight, the closed-loop equivalent of an fio job at that QD.
+  const units::Seconds preload_makespan = device.controller().Makespan();
+  std::vector<std::thread> submitters;
+  std::atomic<std::uint64_t> completed{0};
+  for (std::size_t s = 0; s < queue_pairs; ++s) {
+    submitters.emplace_back([&device, &completed, s] {
+      util::Xoshiro256 rng(1000 + s);
+      std::vector<std::future<nvme::Completion>> window;
+      auto reap = [&completed](std::future<nvme::Completion> f) {
+        if (f.get().status.ok()) completed.fetch_add(1, std::memory_order_relaxed);
+      };
+      for (std::uint64_t i = 0; i < kCommandsPerSubmitter; ++i) {
+        nvme::Command cmd;
+        cmd.opcode = nvme::Opcode::kRead;
+        cmd.slba = rng.Next() % kWorkingSetPages;
+        cmd.nlb = 1;
+        cmd.data = std::make_shared<std::vector<std::uint8_t>>(kPage);
+        window.push_back(device.host_interface().Submit(std::move(cmd)));
+        if (window.size() >= device.profile().nvme_queue_depth) {
+          reap(std::move(window.front()));
+          window.erase(window.begin());
+        }
+      }
+      for (auto& f : window) reap(std::move(f));
+    });
+  }
+  for (auto& t : submitters) t.join();
+
+  const double makespan = device.controller().Makespan() - preload_makespan;
+  const std::uint64_t ops = completed.load();
+  if (makespan <= 0 || ops == 0) return pt;
+  pt.ok = true;
+  pt.makespan_s = makespan;
+  pt.iops = static_cast<double>(ops) / makespan;
+
+  // Channel utilization over the whole run (preload + reads): busy seconds
+  // per channel against the device timeline. Rising with queue pairs means
+  // the parallelism reaches the flash, not just the front-end.
+  const double span = device.controller().Makespan();
+  double util_sum = 0;
+  const std::uint32_t channels = device.array().channel_count();
+  for (std::uint32_t ch = 0; ch < channels; ++ch) {
+    util_sum += device.array().ChannelBusySeconds(ch) / span;
+  }
+  pt.channel_util_mean = util_sum / channels;
+  return pt;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Queue-depth scaling - multi-queue NVMe pipeline");
+  std::printf("random 4KiB reads, %llu-page working set, %llu commands per"
+              " submitter,\nback-end workers = queue pairs:\n\n",
+              static_cast<unsigned long long>(kWorkingSetPages),
+              static_cast<unsigned long long>(kCommandsPerSubmitter));
+  std::printf("%-6s %-5s %12s %12s %10s %10s\n", "qpairs", "qd", "IOPS",
+              "makespan(s)", "chan util", "vs 1q/qd1");
+
+  const std::size_t pairs_sweep[] = {1, 2, 4};
+  const std::size_t depth_sweep[] = {1, 4, 16, 64};
+  double base_iops = 0;
+  double best_4q_qd16 = 0;
+  for (std::size_t qp : pairs_sweep) {
+    for (std::size_t qd : depth_sweep) {
+      const SweepPoint pt = Run(qp, qd);
+      if (!pt.ok) {
+        std::fprintf(stderr, "sweep point %zux%zu failed\n", qp, qd);
+        continue;
+      }
+      if (qp == 1 && qd == 1) base_iops = pt.iops;
+      if (qp == 4 && qd >= 16) best_4q_qd16 = std::max(best_4q_qd16, pt.iops);
+      const double rel = base_iops > 0 ? pt.iops / base_iops : 0;
+      std::printf("%-6zu %-5zu %12.0f %12.6f %9.1f%% %9.2fx\n", qp, qd, pt.iops,
+                  pt.makespan_s, pt.channel_util_mean * 100, rel);
+    }
+    std::printf("\n");
+  }
+
+  const double speedup = base_iops > 0 ? best_4q_qd16 / base_iops : 0;
+  std::printf("4 queue pairs at QD>=16 vs single queue at QD1: %.2fx %s\n",
+              speedup, speedup >= 2.0 ? "(PASS: >= 2x)" : "(FAIL: < 2x)");
+  return speedup >= 2.0 ? 0 : 1;
+}

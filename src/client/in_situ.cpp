@@ -142,10 +142,20 @@ Result<std::vector<proto::QueryReply::Process>> CompStorHandle::ProcessTable() {
 }
 
 Result<std::string> CompStorHandle::IdentifyModel() {
+  COMPSTOR_ASSIGN_OR_RETURN(IdentifyInfo info, Identify());
+  return info.model;
+}
+
+Result<CompStorHandle::IdentifyInfo> CompStorHandle::Identify() {
   nvme::Completion cqe = ssd_->host_interface().VendorSync(nvme::Opcode::kIdentify, {});
   if (!cqe.status.ok()) return cqe.status;
   util::ByteReader r(cqe.payload);
-  return r.GetString();
+  IdentifyInfo info;
+  COMPSTOR_ASSIGN_OR_RETURN(info.model, r.GetString());
+  COMPSTOR_ASSIGN_OR_RETURN(info.user_pages, r.GetU64());
+  COMPSTOR_ASSIGN_OR_RETURN(info.page_data_bytes, r.GetU32());
+  COMPSTOR_ASSIGN_OR_RETURN(info.queue_pairs, r.GetU32());
+  return info;
 }
 
 }  // namespace compstor::client

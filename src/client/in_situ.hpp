@@ -123,6 +123,15 @@ class CompStorHandle {
   /// NVMe Identify: model string + capacity.
   Result<std::string> IdentifyModel();
 
+  /// Full Identify payload.
+  struct IdentifyInfo {
+    std::string model;
+    std::uint64_t user_pages = 0;
+    std::uint32_t page_data_bytes = 0;
+    std::uint32_t queue_pairs = 0;  // host-visible SQ/CQ pairs
+  };
+  Result<IdentifyInfo> Identify();
+
  private:
   ssd::Ssd* ssd_;
   std::unique_ptr<fs::Filesystem> fs_;

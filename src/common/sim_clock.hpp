@@ -10,12 +10,20 @@
 #pragma once
 
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
 #include "common/units.hpp"
 
 namespace compstor {
+
+/// Seconds -> nanosecond ticks, rounded to nearest. Truncation would drop the
+/// fractional nanosecond of every charge, and the cost model issues millions
+/// of sub-microsecond charges per bench — the undercount compounds.
+inline std::uint64_t ToNanoTicks(units::Seconds s) {
+  return static_cast<std::uint64_t>(std::llround(s * 1e9));
+}
 
 /// Monotonic virtual clock, nanosecond resolution internally.
 class VirtualClock {
@@ -26,13 +34,13 @@ class VirtualClock {
   /// to zero (cost formulas can round to tiny negatives).
   void Advance(units::Seconds s) {
     if (s <= 0) return;
-    nanos_.fetch_add(static_cast<std::uint64_t>(s * 1e9), std::memory_order_relaxed);
+    nanos_.fetch_add(ToNanoTicks(s), std::memory_order_relaxed);
   }
 
   /// Moves the clock forward to at least `s` model-seconds (used when a
   /// resource must wait for an event that completes at absolute time `s`).
   void AdvanceTo(units::Seconds s) {
-    auto target = static_cast<std::uint64_t>(s * 1e9);
+    const std::uint64_t target = ToNanoTicks(s);
     std::uint64_t cur = nanos_.load(std::memory_order_relaxed);
     while (cur < target &&
            !nanos_.compare_exchange_weak(cur, target, std::memory_order_relaxed)) {
@@ -58,7 +66,7 @@ class BusyMeter {
  public:
   void AddBusy(units::Seconds s) {
     if (s <= 0) return;
-    busy_nanos_.fetch_add(static_cast<std::uint64_t>(s * 1e9), std::memory_order_relaxed);
+    busy_nanos_.fetch_add(ToNanoTicks(s), std::memory_order_relaxed);
   }
   units::Seconds BusySeconds() const {
     return static_cast<double>(busy_nanos_.load(std::memory_order_relaxed)) * 1e-9;

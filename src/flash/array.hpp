@@ -56,6 +56,13 @@ class Array {
     return timing_.channel_bandwidth * geometry_.channels;
   }
 
+  /// Per-channel ONFI bus occupancy, for utilization reports: how evenly a
+  /// workload spreads across the media interface.
+  std::uint32_t channel_count() const { return geometry_.channels; }
+  units::Seconds ChannelBusySeconds(std::uint32_t channel) const {
+    return channel_busy_[channel]->BusySeconds();
+  }
+
   std::size_t page_total_bytes() const {
     return geometry_.page_data_bytes + geometry_.page_spare_bytes;
   }

@@ -10,7 +10,11 @@ namespace compstor::ftl {
 
 namespace {
 IoCost g_null_cost;  // sink when the caller does not want cost accounting
-}
+/// Program retries before a write gives up with kDataLoss (each failure
+/// retires a whole block, so consecutive failures are astronomically rare on
+/// healthy media and a strong end-of-life signal otherwise).
+constexpr int kProgramAttempts = 4;
+}  // namespace
 
 Ftl::Ftl(flash::Array* array, FtlConfig config)
     : array_(array),
@@ -23,15 +27,20 @@ Ftl::Ftl(flash::Array* array, FtlConfig config)
   const std::uint64_t user_blocks = total_blocks - std::max<std::uint64_t>(reserved, config_.gc_high_watermark + 1);
   user_pages_ = user_blocks * g.pages_per_block;
 
-  l2p_.assign(user_pages_, flash::kInvalidPpn);
+  const std::uint32_t nshards = std::max<std::uint32_t>(1, config_.map_shards);
+  shards_.reserve(nshards);
+  for (std::uint32_t s = 0; s < nshards; ++s) shards_.push_back(std::make_unique<MapShard>());
+  dies_.reserve(g.dies());
+  for (std::uint32_t d = 0; d < g.dies(); ++d) dies_.push_back(std::make_unique<DieState>());
+
+  l2p_ = std::vector<std::atomic<flash::Ppn>>(user_pages_);
+  for (auto& e : l2p_) e.store(flash::kInvalidPpn, std::memory_order_relaxed);
   p2l_.assign(g.total_pages(), kUnmappedLpn);
-  blocks_.assign(total_blocks, BlockInfo{});
-  free_blocks_.resize(g.dies());
+  blocks_ = std::make_unique<BlockInfo[]>(total_blocks);
   for (flash::Pbn b = 0; b < total_blocks; ++b) {
-    free_blocks_[DieOfBlock(b)].push_back(b);
+    dies_[DieOfBlock(b)]->free_blocks.push_back(b);
   }
-  free_block_count_ = total_blocks;
-  active_block_.assign(g.dies(), kNoActive);
+  free_block_count_.store(total_blocks, std::memory_order_relaxed);
 }
 
 Status Ftl::ReadPage(std::uint64_t lpn, std::span<std::uint8_t> out, IoCost* cost) {
@@ -42,31 +51,33 @@ Status Ftl::ReadPage(std::uint64_t lpn, std::span<std::uint8_t> out, IoCost* cos
   }
   if (lpn >= user_pages_) return OutOfRange("ftl read: lpn out of range");
 
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++stats_.host_page_reads;
+  MapShard& shard = ShardOf(lpn);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  counters_.host_page_reads.fetch_add(1, std::memory_order_relaxed);
 
   // The write cache holds the newest copy of recently written pages.
-  auto cached = cache_index_.find(lpn);
-  if (cached != cache_index_.end()) {
+  auto cached = shard.cache_index.find(lpn);
+  if (cached != shard.cache_index.end()) {
     std::memcpy(out.data(), cached->second->data.data(), out.size());
     cost->latency += kCacheLatency;
-    ++stats_.cache_read_hits;
+    counters_.cache_read_hits.fetch_add(1, std::memory_order_relaxed);
     return OkStatus();
   }
 
-  const flash::Ppn ppn = l2p_[lpn];
+  const flash::Ppn ppn = l2p_[lpn].load(std::memory_order_relaxed);
   if (ppn == flash::kInvalidPpn) {
     std::memset(out.data(), 0, out.size());  // thin-provisioned zero read
     return OkStatus();
   }
+  // Holding the shard lock pins the mapping: GC must take this lock to move
+  // the page, so the physical location cannot be erased under the read.
   std::vector<std::uint8_t> page(array_->page_total_bytes());
-  COMPSTOR_RETURN_IF_ERROR(ReadAndDecodeLocked(ppn, page, cost));
+  COMPSTOR_RETURN_IF_ERROR(ReadAndDecode(ppn, page, cost));
   std::memcpy(out.data(), page.data(), out.size());
   return OkStatus();
 }
 
-Status Ftl::ReadAndDecodeLocked(flash::Ppn ppn, std::span<std::uint8_t> page_buf,
-                                IoCost* cost) {
+Status Ftl::ReadAndDecode(flash::Ppn ppn, std::span<std::uint8_t> page_buf, IoCost* cost) {
   const flash::Geometry& g = array_->geometry();
   // Read retry: raw NAND bit errors are partly transient (read noise), so
   // controllers re-read before declaring a page lost.
@@ -77,15 +88,16 @@ Status Ftl::ReadAndDecodeLocked(flash::Ppn ppn, std::span<std::uint8_t> page_buf
     if (!r.status.ok()) return r.status;
     cost->latency += r.latency;
     ++cost->flash_reads;
-    ++stats_.flash_reads;
-    if (attempt > 0) ++stats_.read_retries;
+    counters_.flash_reads.fetch_add(1, std::memory_order_relaxed);
+    if (attempt > 0) counters_.read_retries.fetch_add(1, std::memory_order_relaxed);
 
     auto data = std::span<std::uint8_t>(page_buf.data(), g.page_data_bytes);
     auto spare = std::span<std::uint8_t>(page_buf.data() + g.page_data_bytes,
                                          g.page_spare_bytes);
     auto decoded = codec_.Decode(data, spare);
     if (decoded.ok()) {
-      stats_.ecc_corrected_words += decoded->corrected_words;
+      counters_.ecc_corrected_words.fetch_add(decoded->corrected_words,
+                                              std::memory_order_relaxed);
       return OkStatus();
     }
     // kNotFound (corrupted magic) is retried too: the FTL only reads pages
@@ -102,243 +114,267 @@ Status Ftl::WritePage(std::uint64_t lpn, std::span<const std::uint8_t> data, IoC
     return InvalidArgument("ftl write: buffer must be one page");
   }
   if (lpn >= user_pages_) return OutOfRange("ftl write: lpn out of range");
-
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++stats_.host_page_writes;
+  counters_.host_page_writes.fetch_add(1, std::memory_order_relaxed);
 
   if (config_.write_cache_pages > 0) {
     // Fast release: stage in controller DRAM, flush on eviction. The entry
     // moves to the FIFO tail on rewrite so hot pages coalesce.
-    auto it = cache_index_.find(lpn);
-    if (it != cache_index_.end()) {
-      it->second->data.assign(data.begin(), data.end());
-      cache_fifo_.splice(cache_fifo_.end(), cache_fifo_, it->second);
-    } else {
-      cache_fifo_.push_back(CacheEntry{lpn, {data.begin(), data.end()}});
-      cache_index_[lpn] = std::prev(cache_fifo_.end());
+    {
+      MapShard& shard = ShardOf(lpn);
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      auto it = shard.cache_index.find(lpn);
+      if (it != shard.cache_index.end()) {
+        it->second->data.assign(data.begin(), data.end());
+        it->second->seq = cache_seq_.fetch_add(1, std::memory_order_relaxed);
+        shard.cache_fifo.splice(shard.cache_fifo.end(), shard.cache_fifo, it->second);
+      } else {
+        shard.cache_fifo.push_back(
+            CacheEntry{lpn, cache_seq_.fetch_add(1, std::memory_order_relaxed),
+                       {data.begin(), data.end()}});
+        shard.cache_index[lpn] = std::prev(shard.cache_fifo.end());
+        cache_entries_.fetch_add(1, std::memory_order_relaxed);
+      }
+      cost->latency += kCacheLatency;
+      counters_.cache_write_hits.fetch_add(1, std::memory_order_relaxed);
     }
-    cost->latency += kCacheLatency;
-    ++stats_.cache_write_hits;
-    if (cache_fifo_.size() > config_.write_cache_pages) {
+    if (cache_entries_.load(std::memory_order_relaxed) > config_.write_cache_pages) {
       // Evict down to 3/4 capacity so streaming writes batch their flushes.
-      COMPSTOR_RETURN_IF_ERROR(
-          EvictCacheLocked(config_.write_cache_pages * 3 / 4, cost));
+      return EvictWithGcRetry(config_.write_cache_pages * 3 / 4, cost);
     }
     return OkStatus();
   }
-  return WritePageLocked(lpn, data, cost);
+
+  // Write-through: GC before allocation when the pool is low, then retry
+  // through forced collection when allocation still comes up empty.
+  Status st = ResourceExhausted("ftl: no free blocks on any die");
+  for (int attempt = 0; attempt < kProgramAttempts; ++attempt) {
+    if (free_block_count_.load(std::memory_order_relaxed) <= config_.gc_low_watermark) {
+      MaybeMaintain(cost);
+    }
+    {
+      std::lock_guard<std::mutex> lock(ShardOf(lpn).mutex);
+      st = ProgramShardLocked(lpn, data, cost);
+    }
+    if (st.ok() || st.code() != StatusCode::kResourceExhausted) return st;
+    COMPSTOR_RETURN_IF_ERROR(ForceCollect(cost));  // genuinely full propagates
+  }
+  return st;
 }
 
-Status Ftl::EvictCacheLocked(std::size_t target_size, IoCost* cost) {
-  while (cache_fifo_.size() > target_size) {
-    CacheEntry entry = std::move(cache_fifo_.front());
-    cache_fifo_.pop_front();
-    cache_index_.erase(entry.lpn);
-    COMPSTOR_RETURN_IF_ERROR(WritePageLocked(entry.lpn, entry.data, cost));
-    ++stats_.cache_flushes;
-  }
+Status Ftl::EncodePage(std::span<const std::uint8_t> data, std::vector<std::uint8_t>& page) {
+  const flash::Geometry& g = array_->geometry();
+  std::memcpy(page.data(), data.data(), g.page_data_bytes);
+  return codec_.Encode(
+      std::span<const std::uint8_t>(page.data(), g.page_data_bytes),
+      std::span<std::uint8_t>(page.data() + g.page_data_bytes, g.page_spare_bytes));
+}
+
+Status Ftl::ProgramShardLocked(std::uint64_t lpn, std::span<const std::uint8_t> data,
+                               IoCost* cost) {
+  std::vector<std::uint8_t> page(array_->page_total_bytes());
+  COMPSTOR_RETURN_IF_ERROR(EncodePage(data, page));
+  COMPSTOR_ASSIGN_OR_RETURN(const flash::Ppn ppn, ProgramAnywhere(lpn, page, cost));
+  // Map the new location, then invalidate the previous one. The shard lock
+  // makes the pair atomic for readers and GC.
+  const flash::Ppn old = l2p_[lpn].load(std::memory_order_relaxed);
+  l2p_[lpn].store(ppn, std::memory_order_release);
+  if (old != flash::kInvalidPpn) InvalidatePpn(old);
   return OkStatus();
 }
 
-Status Ftl::Flush(IoCost* cost) {
-  if (cost == nullptr) cost = &g_null_cost;
-  std::lock_guard<std::mutex> lock(mutex_);
-  return EvictCacheLocked(0, cost);
-}
-
-Status Ftl::WritePageLocked(std::uint64_t lpn, std::span<const std::uint8_t> data,
-                            IoCost* cost) {
+Result<flash::Ppn> Ftl::ProgramAnywhere(std::uint64_t lpn,
+                                        std::span<const std::uint8_t> page, IoCost* cost) {
   const flash::Geometry& g = array_->geometry();
-  std::vector<std::uint8_t> page(array_->page_total_bytes());
-  std::memcpy(page.data(), data.data(), g.page_data_bytes);
-  COMPSTOR_RETURN_IF_ERROR(codec_.Encode(
-      std::span<const std::uint8_t>(page.data(), g.page_data_bytes),
-      std::span<std::uint8_t>(page.data() + g.page_data_bytes, g.page_spare_bytes)));
+  const auto ndies = static_cast<std::uint32_t>(dies_.size());
+  const std::uint32_t start =
+      next_write_die_.fetch_add(1, std::memory_order_relaxed) % ndies;
+  int failures = 0;
+  std::uint32_t offset = 0;
+  while (offset < ndies) {
+    const std::uint32_t d = (start + offset) % ndies;
+    DieState& die = *dies_[d];
+    std::unique_lock<std::mutex> lock(die.mutex);
+    if (die.active == kNoActive) {
+      die.active = TakeFreeBlockDieLocked(die, /*for_gc=*/false);
+      if (die.active == kNoActive) {
+        ++offset;  // die exhausted (or only the GC reserve remains)
+        continue;
+      }
+    }
+    const flash::Pbn block = die.active;
+    BlockInfo& info = blocks_[block];
+    const flash::Ppn ppn = block * g.pages_per_block + info.next_page;
+    ++info.next_page;
+    const bool frontier_full = info.next_page >= g.pages_per_block;
 
-  // Program failures grow a bad block; retire it and retry elsewhere.
-  constexpr int kMaxAttempts = 4;
-  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
-    Result<flash::Ppn> ppn = in_gc_ ? AllocateGcPageLocked()
-                                    : AllocatePageLocked(next_write_die_, cost);
-    if (!in_gc_) next_write_die_ = (next_write_die_ + 1) % g.dies();
-    if (!ppn.ok()) return ppn.status();
-
-    flash::OpResult r = array_->ProgramPage(*ppn, page);
+    // The die lock is held across the program — a die works one page at a
+    // time — and across the p2l/valid update, so GC never sees a programmed
+    // page without its reverse mapping.
+    flash::OpResult r = array_->ProgramPage(ppn, page);
     cost->latency += r.latency;
     if (r.status.ok()) {
       ++cost->flash_programs;
-      ++stats_.flash_programs;
-      // Invalidate the previous location, then map the new one.
-      if (l2p_[lpn] != flash::kInvalidPpn) InvalidatePpnLocked(l2p_[lpn]);
-      l2p_[lpn] = *ppn;
-      p2l_[*ppn] = lpn;
-      ++blocks_[flash::BlockOfPpn(g, *ppn)].valid_pages;
-      return OkStatus();
+      counters_.flash_programs.fetch_add(1, std::memory_order_relaxed);
+      p2l_[ppn] = lpn;
+      info.valid_pages.fetch_add(1, std::memory_order_relaxed);
+      if (frontier_full) {
+        // Close and detach immediately: a closed block is a legal GC victim,
+        // and a stale frontier pointer would alias a recycled block.
+        info.state.store(BlockState::kClosed, std::memory_order_release);
+        die.active = kNoActive;
+      }
+      return ppn;
     }
     if (r.status.code() != StatusCode::kDataLoss) return r.status;
-    ++stats_.program_failures;
-    COMPSTOR_RETURN_IF_ERROR(RetireBlockLocked(flash::BlockOfPpn(g, *ppn), cost));
-  }
-  return DataLoss("ftl write: repeated program failures");
-}
-
-Status Ftl::RetireBlockLocked(flash::Pbn bad_block, IoCost* cost) {
-  // Detach from every write frontier first: the block takes no more writes.
-  if (gc_active_ == bad_block) gc_active_ = kNoActive;
-  for (auto& active : active_block_) {
-    if (active == bad_block) active = kNoActive;
-  }
-  BlockInfo& info = blocks_[bad_block];
-  if (info.state == BlockState::kBad) return OkStatus();  // already retired
-  info.state = BlockState::kBad;
-  ++stats_.grown_bad_blocks;
-
-  // Relocate surviving valid pages: the paper-class device must not lose
-  // data to a grown bad block (reads still work; programs/erases do not).
-  const flash::Geometry& g = array_->geometry();
-  std::vector<std::uint8_t> page(array_->page_total_bytes());
-  for (std::uint32_t p = 0; p < g.pages_per_block; ++p) {
-    const flash::Ppn ppn = bad_block * g.pages_per_block + p;
-    const std::uint64_t lpn = p2l_[ppn];
-    if (lpn == kUnmappedLpn) continue;
-    COMPSTOR_RETURN_IF_ERROR(ReadAndDecodeLocked(ppn, page, cost));
-    COMPSTOR_RETURN_IF_ERROR(WritePageLocked(
-        lpn, std::span<const std::uint8_t>(page.data(), g.page_data_bytes), cost));
-    ++stats_.retirement_relocations;
-  }
-  return OkStatus();
-}
-
-Result<flash::Ppn> Ftl::AllocateGcPageLocked() {
-  const flash::Geometry& g = array_->geometry();
-  if (gc_active_ == kNoActive) {
-    // Take from any die: the frontier is a single block regardless of where
-    // it lives, so GC consumes at most one block of reserve at a time.
-    COMPSTOR_ASSIGN_OR_RETURN(gc_active_, TakeFreeBlockLocked(0));
-    blocks_[gc_active_].state = BlockState::kActive;
-    blocks_[gc_active_].next_page = 0;
-  }
-  BlockInfo& info = blocks_[gc_active_];
-  const flash::Ppn ppn = gc_active_ * g.pages_per_block + info.next_page;
-  ++info.next_page;
-  if (info.next_page >= g.pages_per_block) {
-    // Close the frontier and DROP the reference immediately: a closed
-    // frontier is a legal GC victim, and a stale gc_active_ pointing at an
-    // erased-and-freed block would let GC scribble into the free pool.
-    info.state = BlockState::kClosed;
-    gc_active_ = kNoActive;
-  }
-  return ppn;
-}
-
-Result<flash::Ppn> Ftl::AllocatePageLocked(std::uint32_t die, IoCost* cost) {
-  const flash::Geometry& g = array_->geometry();
-
-  // GC before allocation when the free pool is low; relocation writes use
-  // the dedicated frontier via AllocateGcPageLocked instead.
-  if (!in_gc_ && free_block_count_ <= config_.gc_low_watermark) {
-    COMPSTOR_RETURN_IF_ERROR(GarbageCollectLocked(cost));
-  }
-
-  flash::Pbn active = active_block_[die];
-  if (active == kNoActive) {
-    auto fresh = TakeFreeBlockLocked(die);
-    if (!fresh.ok()) return fresh.status();
-    active = *fresh;
-    blocks_[active].state = BlockState::kActive;
-    blocks_[active].next_page = 0;
-    active_block_[die] = active;
-  }
-  BlockInfo& info = blocks_[active];
-  const flash::Ppn ppn = active * g.pages_per_block + info.next_page;
-  ++info.next_page;
-  if (info.next_page >= g.pages_per_block) {
-    // Close and drop the reference now (see AllocateGcPageLocked): a closed
-    // block may be garbage-collected, and a stale active pointer would
-    // alias a block that returned to the free pool.
-    info.state = BlockState::kClosed;
-    active_block_[die] = kNoActive;
-  }
-  return ppn;
-}
-
-Result<flash::Pbn> Ftl::TakeFreeBlockLocked(std::uint32_t die) {
-  // Prefer the requested die (keeps striping even); fall back to any die.
-  auto take_from = [&](std::uint32_t d) -> Result<flash::Pbn> {
-    auto& pool = free_blocks_[d];
-    if (pool.empty()) return ResourceExhausted("no free block on die");
-    // Take the least-worn free block: cheap dynamic wear leveling.
-    auto it = std::min_element(pool.begin(), pool.end(),
-                               [&](flash::Pbn a, flash::Pbn b) {
-                                 return blocks_[a].erase_count < blocks_[b].erase_count;
-                               });
-    const flash::Pbn b = *it;
-    *it = pool.back();
-    pool.pop_back();
-    --free_block_count_;
-    return b;
-  };
-  auto r = take_from(die);
-  if (r.ok()) return r;
-  for (std::uint32_t d = 0; d < free_blocks_.size(); ++d) {
-    if (d == die) continue;
-    r = take_from(d);
-    if (r.ok()) return r;
+    // Program failure grows a bad block. Retire it (valid pages relocate on
+    // the next maintenance pass; reads still work meanwhile) and retry on
+    // this die, which may open a fresh block.
+    counters_.program_failures.fetch_add(1, std::memory_order_relaxed);
+    die.active = kNoActive;
+    MarkBadQueueRetire(block);
+    if (++failures >= kProgramAttempts) {
+      return DataLoss("ftl write: repeated program failures");
+    }
   }
   return ResourceExhausted("ftl: no free blocks on any die");
 }
 
-Status Ftl::GarbageCollectLocked(IoCost* cost) {
-  in_gc_ = true;
-  ++stats_.gc_runs;
+flash::Pbn Ftl::TakeFreeBlockDieLocked(DieState& die, bool for_gc) {
+  if (die.free_blocks.empty()) return kNoActive;
+  if (for_gc) {
+    free_block_count_.fetch_sub(1, std::memory_order_relaxed);
+  } else {
+    // Leave the reserve for the GC frontier; CAS so concurrent writers on
+    // different dies cannot jointly drain past it.
+    std::uint64_t cur = free_block_count_.load(std::memory_order_relaxed);
+    do {
+      if (cur <= kGcReserveBlocks) return kNoActive;
+    } while (!free_block_count_.compare_exchange_weak(cur, cur - 1,
+                                                      std::memory_order_relaxed));
+  }
+  // Take the least-worn free block: cheap dynamic wear leveling.
+  auto it = std::min_element(die.free_blocks.begin(), die.free_blocks.end(),
+                             [&](flash::Pbn a, flash::Pbn b) {
+                               return blocks_[a].erase_count.load(std::memory_order_relaxed) <
+                                      blocks_[b].erase_count.load(std::memory_order_relaxed);
+                             });
+  const flash::Pbn b = *it;
+  *it = die.free_blocks.back();
+  die.free_blocks.pop_back();
+  BlockInfo& info = blocks_[b];
+  info.state.store(BlockState::kActive, std::memory_order_relaxed);
+  info.next_page = 0;
+  return b;
+}
+
+void Ftl::MarkBadQueueRetire(flash::Pbn block) {
+  BlockInfo& info = blocks_[block];
+  if (info.state.exchange(BlockState::kBad, std::memory_order_acq_rel) ==
+      BlockState::kBad) {
+    return;  // already retired
+  }
+  counters_.grown_bad_blocks.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(retire_mutex_);
+    pending_retire_.push_back(block);
+  }
+  pending_retire_count_.fetch_add(1, std::memory_order_release);
+}
+
+void Ftl::MaybeMaintain(IoCost* cost) {
+  std::lock_guard<std::mutex> lock(maintenance_mutex_);
+  DrainRetirementsLocked(cost);
+  if (free_block_count_.load(std::memory_order_relaxed) <= config_.gc_low_watermark) {
+    // Error swallowed on purpose: the caller's allocation decides whether
+    // the write fails, so a transiently unreclaimable pool is not an error.
+    (void)CollectLocked(cost);
+  }
+}
+
+Status Ftl::ForceCollect(IoCost* cost) {
+  std::lock_guard<std::mutex> lock(maintenance_mutex_);
+  DrainRetirementsLocked(cost);
+  return CollectLocked(cost);
+}
+
+Status Ftl::CollectLocked(IoCost* cost) {
+  const flash::Geometry& g = array_->geometry();
+  if (free_block_count_.load(std::memory_order_relaxed) >= config_.gc_high_watermark) {
+    return OkStatus();  // another thread already collected while we waited
+  }
+  counters_.gc_runs.fetch_add(1, std::memory_order_relaxed);
   Status result = OkStatus();
-  while (free_block_count_ < config_.gc_high_watermark) {
+  while (free_block_count_.load(std::memory_order_relaxed) < config_.gc_high_watermark) {
     // Greedy victim: closed block with fewest valid pages; erase-count breaks
     // ties toward younger blocks to avoid grinding a hot block.
     flash::Pbn victim = kNoActive;
     std::uint32_t best_valid = std::numeric_limits<std::uint32_t>::max();
-    for (flash::Pbn b = 0; b < blocks_.size(); ++b) {
+    for (flash::Pbn b = 0; b < g.total_blocks(); ++b) {
       const BlockInfo& info = blocks_[b];
-      if (info.state != BlockState::kClosed) continue;
-      if (info.valid_pages < best_valid ||
-          (info.valid_pages == best_valid && victim != kNoActive &&
-           info.erase_count < blocks_[victim].erase_count)) {
-        best_valid = info.valid_pages;
+      if (info.state.load(std::memory_order_acquire) != BlockState::kClosed) continue;
+      const std::uint32_t valid = info.valid_pages.load(std::memory_order_relaxed);
+      if (valid < best_valid ||
+          (valid == best_valid && victim != kNoActive &&
+           info.erase_count.load(std::memory_order_relaxed) <
+               blocks_[victim].erase_count.load(std::memory_order_relaxed))) {
+        best_valid = valid;
         victim = b;
       }
     }
-    if (victim == kNoActive ||
-        best_valid >= array_->geometry().pages_per_block) {
+    if (victim == kNoActive || best_valid >= g.pages_per_block) {
       // No reclaimable space: every closed block is fully valid.
       result = ResourceExhausted("ftl: device full, GC found no reclaimable block");
       break;
     }
-    Status st = RelocateBlockLocked(victim, cost);
+    Status st = RelocateAndErase(victim, /*erase_after=*/true,
+                                 &counters_.gc_relocated_pages, cost);
     if (!st.ok()) {
       result = st;
       break;
     }
   }
   MaybeWearLevelLocked(cost);
-  in_gc_ = false;
   return result;
 }
 
-Status Ftl::RelocateBlockLocked(flash::Pbn victim, IoCost* cost) {
+Status Ftl::RelocateAndErase(flash::Pbn victim, bool erase_after,
+                             std::atomic<std::uint64_t>* relocation_counter,
+                             IoCost* cost) {
   const flash::Geometry& g = array_->geometry();
+  DieState& vdie = *dies_[DieOfBlock(victim)];
   std::vector<std::uint8_t> page(array_->page_total_bytes());
 
-  for (std::uint32_t p = 0; p < g.pages_per_block; ++p) {
-    const flash::Ppn ppn = victim * g.pages_per_block + p;
-    const std::uint64_t lpn = p2l_[ppn];
-    if (lpn == kUnmappedLpn) continue;  // stale page
+  // A victim is kClosed or kBad, so no new valid pages can appear; host
+  // overwrites may still invalidate pages concurrently (fine — fewer to
+  // move). One pass normally empties the block; the re-check catches a
+  // page whose mapping flipped between the p2l read and the shard lock.
+  int rounds = 0;
+  while (blocks_[victim].valid_pages.load(std::memory_order_acquire) > 0 &&
+         rounds++ < kProgramAttempts) {
+    for (std::uint32_t p = 0; p < g.pages_per_block; ++p) {
+      const flash::Ppn ppn = victim * g.pages_per_block + p;
+      std::uint64_t lpn;
+      {
+        std::lock_guard<std::mutex> die_lock(vdie.mutex);
+        lpn = p2l_[ppn];
+      }
+      if (lpn == kUnmappedLpn) continue;  // stale page
 
-    COMPSTOR_RETURN_IF_ERROR(ReadAndDecodeLocked(ppn, page, cost));
-    auto data = std::span<std::uint8_t>(page.data(), g.page_data_bytes);
-    COMPSTOR_RETURN_IF_ERROR(WritePageLocked(lpn, data, cost));
-    ++stats_.gc_relocated_pages;
+      std::lock_guard<std::mutex> shard_lock(ShardOf(lpn).mutex);
+      if (l2p_[lpn].load(std::memory_order_relaxed) != ppn) {
+        continue;  // overwritten or trimmed since; already invalidated
+      }
+      COMPSTOR_RETURN_IF_ERROR(ReadAndDecode(ppn, page, cost));
+      auto data = std::span<const std::uint8_t>(page.data(), g.page_data_bytes);
+      COMPSTOR_ASSIGN_OR_RETURN(const flash::Ppn np, ProgramGcPage(lpn, data, cost));
+      l2p_[lpn].store(np, std::memory_order_release);
+      InvalidatePpn(ppn);
+      relocation_counter->fetch_add(1, std::memory_order_relaxed);
+    }
   }
+  if (!erase_after) return OkStatus();  // grown-bad block: drained, not erasable
 
+  std::lock_guard<std::mutex> die_lock(vdie.mutex);
   flash::OpResult er = array_->EraseBlock(victim);
   cost->latency += er.latency;
   if (!er.status.ok()) {
@@ -346,13 +382,13 @@ Status Ftl::RelocateBlockLocked(flash::Pbn victim, IoCost* cost) {
       // Erase failure: the block is grown-bad. Its pages are already fully
       // relocated (nothing valid remains), so just retire it and move on —
       // GC continues with the next victim.
-      ++stats_.erase_failures;
+      counters_.erase_failures.fetch_add(1, std::memory_order_relaxed);
       BlockInfo& bad = blocks_[victim];
-      if (bad.state != BlockState::kBad) {
-        bad.state = BlockState::kBad;
-        ++stats_.grown_bad_blocks;
+      if (bad.state.exchange(BlockState::kBad, std::memory_order_acq_rel) !=
+          BlockState::kBad) {
+        counters_.grown_bad_blocks.fetch_add(1, std::memory_order_relaxed);
       }
-      bad.valid_pages = 0;
+      bad.valid_pages.store(0, std::memory_order_relaxed);
       return OkStatus();
     }
     return er.status;
@@ -360,42 +396,192 @@ Status Ftl::RelocateBlockLocked(flash::Pbn victim, IoCost* cost) {
   ++cost->flash_erases;
 
   BlockInfo& info = blocks_[victim];
-  info.state = BlockState::kFree;
-  info.valid_pages = 0;
+  info.state.store(BlockState::kFree, std::memory_order_relaxed);
+  info.valid_pages.store(0, std::memory_order_relaxed);
   info.next_page = 0;
-  ++info.erase_count;
-  free_blocks_[DieOfBlock(victim)].push_back(victim);
-  ++free_block_count_;
+  info.erase_count.fetch_add(1, std::memory_order_relaxed);
+  vdie.free_blocks.push_back(victim);
+  free_block_count_.fetch_add(1, std::memory_order_release);
   return OkStatus();
+}
+
+Result<flash::Ppn> Ftl::ProgramGcPage(std::uint64_t lpn,
+                                      std::span<const std::uint8_t> page_data,
+                                      IoCost* cost) {
+  const flash::Geometry& g = array_->geometry();
+  std::vector<std::uint8_t> page(array_->page_total_bytes());
+  COMPSTOR_RETURN_IF_ERROR(EncodePage(page_data, page));
+
+  for (int failures = 0; failures < kProgramAttempts;) {
+    if (gc_active_ == kNoActive) {
+      // Take from any die: the frontier is a single block regardless of where
+      // it lives, so GC consumes at most one block of reserve at a time.
+      for (auto& die : dies_) {
+        std::lock_guard<std::mutex> lock(die->mutex);
+        const flash::Pbn b = TakeFreeBlockDieLocked(*die, /*for_gc=*/true);
+        if (b != kNoActive) {
+          gc_active_ = b;
+          break;
+        }
+      }
+      if (gc_active_ == kNoActive) {
+        return ResourceExhausted("ftl gc: no free block for the relocation frontier");
+      }
+    }
+    const flash::Pbn block = gc_active_;
+    DieState& die = *dies_[DieOfBlock(block)];
+    std::lock_guard<std::mutex> lock(die.mutex);
+    BlockInfo& info = blocks_[block];
+    const flash::Ppn ppn = block * g.pages_per_block + info.next_page;
+    ++info.next_page;
+    const bool frontier_full = info.next_page >= g.pages_per_block;
+
+    flash::OpResult r = array_->ProgramPage(ppn, page);
+    cost->latency += r.latency;
+    if (r.status.ok()) {
+      ++cost->flash_programs;
+      counters_.flash_programs.fetch_add(1, std::memory_order_relaxed);
+      p2l_[ppn] = lpn;
+      info.valid_pages.fetch_add(1, std::memory_order_relaxed);
+      if (frontier_full) {
+        // Close and DROP the reference immediately: a closed frontier is a
+        // legal GC victim, and a stale gc_active_ pointing at an erased-and-
+        // freed block would let GC scribble into the free pool.
+        info.state.store(BlockState::kClosed, std::memory_order_release);
+        gc_active_ = kNoActive;
+      }
+      return ppn;
+    }
+    if (r.status.code() != StatusCode::kDataLoss) return r.status;
+    counters_.program_failures.fetch_add(1, std::memory_order_relaxed);
+    gc_active_ = kNoActive;
+    MarkBadQueueRetire(block);
+    ++failures;
+  }
+  return DataLoss("ftl gc: repeated program failures");
 }
 
 void Ftl::MaybeWearLevelLocked(IoCost* cost) {
   // Static wear leveling: when the wear spread exceeds the threshold, migrate
   // the coldest closed block (likely static data pinning a young block) so
   // its block rejoins the free pool.
+  const flash::Geometry& g = array_->geometry();
   std::uint32_t min_ec = std::numeric_limits<std::uint32_t>::max();
   std::uint32_t max_ec = 0;
   flash::Pbn coldest = kNoActive;
-  for (flash::Pbn b = 0; b < blocks_.size(); ++b) {
+  for (flash::Pbn b = 0; b < g.total_blocks(); ++b) {
     const BlockInfo& info = blocks_[b];
-    min_ec = std::min(min_ec, info.erase_count);
-    max_ec = std::max(max_ec, info.erase_count);
-    if (info.state == BlockState::kClosed &&
-        (coldest == kNoActive || info.erase_count < blocks_[coldest].erase_count)) {
+    const std::uint32_t ec = info.erase_count.load(std::memory_order_relaxed);
+    min_ec = std::min(min_ec, ec);
+    max_ec = std::max(max_ec, ec);
+    if (info.state.load(std::memory_order_acquire) == BlockState::kClosed &&
+        (coldest == kNoActive ||
+         ec < blocks_[coldest].erase_count.load(std::memory_order_relaxed))) {
       coldest = b;
     }
   }
   if (coldest == kNoActive || max_ec - min_ec <= config_.wear_delta_threshold) return;
-  if (blocks_[coldest].erase_count != min_ec) return;  // coldest data already moves
-  if (RelocateBlockLocked(coldest, cost).ok()) {
-    ++stats_.wear_level_moves;
+  if (blocks_[coldest].erase_count.load(std::memory_order_relaxed) != min_ec) {
+    return;  // coldest data already moves
+  }
+  if (RelocateAndErase(coldest, /*erase_after=*/true, &counters_.gc_relocated_pages,
+                       cost)
+          .ok()) {
+    counters_.wear_level_moves.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
-void Ftl::InvalidatePpnLocked(flash::Ppn ppn) {
+void Ftl::DrainRetirementsLocked(IoCost* cost) {
+  if (pending_retire_count_.load(std::memory_order_acquire) == 0) return;
+  std::vector<flash::Pbn> todo;
+  {
+    std::lock_guard<std::mutex> lock(retire_mutex_);
+    todo.swap(pending_retire_);
+    pending_retire_count_.fetch_sub(todo.size(), std::memory_order_relaxed);
+  }
+  for (std::size_t i = 0; i < todo.size(); ++i) {
+    // Relocate surviving valid pages: the paper-class device must not lose
+    // data to a grown bad block (reads still work; programs/erases do not).
+    Status st = RelocateAndErase(todo[i], /*erase_after=*/false,
+                                 &counters_.retirement_relocations, cost);
+    if (!st.ok()) {
+      // Out of space (or worse): requeue what's left. The data stays readable
+      // on the bad block, so deferring costs nothing but another attempt.
+      std::lock_guard<std::mutex> lock(retire_mutex_);
+      pending_retire_.insert(pending_retire_.end(), todo.begin() + i, todo.end());
+      pending_retire_count_.fetch_add(todo.size() - i, std::memory_order_release);
+      return;
+    }
+  }
+}
+
+void Ftl::InvalidatePpn(flash::Ppn ppn) {
+  const flash::Pbn block = flash::BlockOfPpn(array_->geometry(), ppn);
+  DieState& die = *dies_[DieOfBlock(block)];
+  std::lock_guard<std::mutex> lock(die.mutex);
   p2l_[ppn] = kUnmappedLpn;
-  BlockInfo& info = blocks_[flash::BlockOfPpn(array_->geometry(), ppn)];
-  if (info.valid_pages > 0) --info.valid_pages;
+  BlockInfo& info = blocks_[block];
+  if (info.valid_pages.load(std::memory_order_relaxed) > 0) {
+    info.valid_pages.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+Status Ftl::EvictWithGcRetry(std::size_t target, IoCost* cost) {
+  // One evictor at a time: eviction order is global-FIFO and a single drain
+  // writes enough to amortize; other writers just stage and move on.
+  std::lock_guard<std::mutex> evict_lock(cache_evict_mutex_);
+  int stalls = 0;
+  while (cache_entries_.load(std::memory_order_relaxed) > target) {
+    if (free_block_count_.load(std::memory_order_relaxed) <= config_.gc_low_watermark) {
+      MaybeMaintain(cost);  // keep watermark pacing during long flushes
+    }
+    // Globally-oldest entry = smallest seq across the shard FIFO fronts.
+    std::size_t best = shards_.size();
+    std::uint64_t best_seq = std::numeric_limits<std::uint64_t>::max();
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      std::lock_guard<std::mutex> lock(shards_[s]->mutex);
+      if (!shards_[s]->cache_fifo.empty() &&
+          shards_[s]->cache_fifo.front().seq < best_seq) {
+        best_seq = shards_[s]->cache_fifo.front().seq;
+        best = s;
+      }
+    }
+    if (best == shards_.size()) break;  // drained underneath us (trim race)
+
+    Status st;
+    {
+      MapShard& shard = *shards_[best];
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      if (shard.cache_fifo.empty()) continue;
+      CacheEntry entry = std::move(shard.cache_fifo.front());
+      shard.cache_fifo.pop_front();
+      shard.cache_index.erase(entry.lpn);
+      st = ProgramShardLocked(entry.lpn, entry.data, cost);
+      if (st.ok()) {
+        cache_entries_.fetch_sub(1, std::memory_order_relaxed);
+        counters_.cache_flushes.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        // Put it back where it was; a trimmed-meanwhile page cannot be here
+        // (trim takes the same shard lock), so reinsertion is always safe.
+        shard.cache_fifo.push_front(std::move(entry));
+        shard.cache_index[shard.cache_fifo.front().lpn] = shard.cache_fifo.begin();
+      }
+    }
+    if (st.ok()) {
+      stalls = 0;
+      continue;
+    }
+    if (st.code() != StatusCode::kResourceExhausted || ++stalls > kProgramAttempts) {
+      return st;
+    }
+    COMPSTOR_RETURN_IF_ERROR(ForceCollect(cost));
+  }
+  return OkStatus();
+}
+
+Status Ftl::Flush(IoCost* cost) {
+  if (cost == nullptr) cost = &g_null_cost;
+  return EvictWithGcRetry(0, cost);
 }
 
 Status Ftl::Trim(std::uint64_t lpn, std::uint64_t count, IoCost* cost) {
@@ -403,23 +589,26 @@ Status Ftl::Trim(std::uint64_t lpn, std::uint64_t count, IoCost* cost) {
   if (lpn + count > user_pages_ || lpn + count < lpn) {
     return OutOfRange("ftl trim: range out of bounds");
   }
-  std::lock_guard<std::mutex> lock(mutex_);
   for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t cur = lpn + i;
+    MapShard& shard = ShardOf(cur);
+    std::lock_guard<std::mutex> lock(shard.mutex);
     bool existed = false;
     // A trimmed page must not resurrect from the write cache.
-    auto cached = cache_index_.find(lpn + i);
-    if (cached != cache_index_.end()) {
-      cache_fifo_.erase(cached->second);
-      cache_index_.erase(cached);
+    auto cached = shard.cache_index.find(cur);
+    if (cached != shard.cache_index.end()) {
+      shard.cache_fifo.erase(cached->second);
+      shard.cache_index.erase(cached);
+      cache_entries_.fetch_sub(1, std::memory_order_relaxed);
       existed = true;
     }
-    const flash::Ppn ppn = l2p_[lpn + i];
+    const flash::Ppn ppn = l2p_[cur].load(std::memory_order_relaxed);
     if (ppn != flash::kInvalidPpn) {
-      InvalidatePpnLocked(ppn);
-      l2p_[lpn + i] = flash::kInvalidPpn;
+      l2p_[cur].store(flash::kInvalidPpn, std::memory_order_release);
+      InvalidatePpn(ppn);
       existed = true;
     }
-    if (existed) ++stats_.trimmed_pages;
+    if (existed) counters_.trimmed_pages.fetch_add(1, std::memory_order_relaxed);
   }
   // Trim is a metadata operation: model a small fixed controller cost.
   cost->latency += units::usec(5);
@@ -427,16 +616,37 @@ Status Ftl::Trim(std::uint64_t lpn, std::uint64_t count, IoCost* cost) {
 }
 
 FtlStats Ftl::Stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  FtlStats s = stats_;
-  s.free_blocks = free_block_count_;
+  const auto load = [](const std::atomic<std::uint64_t>& a) {
+    return a.load(std::memory_order_relaxed);
+  };
+  FtlStats s;
+  s.host_page_writes = load(counters_.host_page_writes);
+  s.host_page_reads = load(counters_.host_page_reads);
+  s.flash_programs = load(counters_.flash_programs);
+  s.flash_reads = load(counters_.flash_reads);
+  s.gc_runs = load(counters_.gc_runs);
+  s.gc_relocated_pages = load(counters_.gc_relocated_pages);
+  s.wear_level_moves = load(counters_.wear_level_moves);
+  s.trimmed_pages = load(counters_.trimmed_pages);
+  s.ecc_corrected_words = load(counters_.ecc_corrected_words);
+  s.read_retries = load(counters_.read_retries);
+  s.program_failures = load(counters_.program_failures);
+  s.erase_failures = load(counters_.erase_failures);
+  s.grown_bad_blocks = load(counters_.grown_bad_blocks);
+  s.retirement_relocations = load(counters_.retirement_relocations);
+  s.cache_write_hits = load(counters_.cache_write_hits);
+  s.cache_read_hits = load(counters_.cache_read_hits);
+  s.cache_flushes = load(counters_.cache_flushes);
+  s.free_blocks = free_block_count_.load(std::memory_order_relaxed);
+  const std::uint64_t total_blocks = array_->geometry().total_blocks();
   std::uint32_t min_ec = std::numeric_limits<std::uint32_t>::max();
   std::uint32_t max_ec = 0;
-  for (const BlockInfo& b : blocks_) {
-    min_ec = std::min(min_ec, b.erase_count);
-    max_ec = std::max(max_ec, b.erase_count);
+  for (flash::Pbn b = 0; b < total_blocks; ++b) {
+    const std::uint32_t ec = blocks_[b].erase_count.load(std::memory_order_relaxed);
+    min_ec = std::min(min_ec, ec);
+    max_ec = std::max(max_ec, ec);
   }
-  s.min_erase_count = blocks_.empty() ? 0 : min_ec;
+  s.min_erase_count = total_blocks == 0 ? 0 : min_ec;
   s.max_erase_count = max_ec;
   return s;
 }

@@ -3,16 +3,27 @@
 //
 // Writes stripe across dies round-robin (one active block per die) to exploit
 // channel parallelism; reads route through the page codec so every user read
-// exercises ECC decode. All metadata is guarded by one mutex: the functional
-// emulation's flash ops are memory copies, so fine-grained locking would buy
-// nothing, while virtual-time parallelism is preserved by the per-die clocks.
+// exercises ECC decode.
+//
+// Locking (multi-queue back-end: several NVMe workers call in concurrently):
+//   1. maintenance mutex — GC, wear leveling, bad-block retirement drain.
+//   2. shard mutex       — mapping shard of the LPN (l2p entry + cache shard).
+//   3. die mutex         — a die's free pool, write frontier, p2l entries,
+//                          held across the NAND program (a die programs one
+//                          page at a time, so this is also physical).
+// Acquisition strictly follows that order; no path holds two locks of the
+// same level. GC relocations re-verify `l2p[lpn] == ppn` under the shard
+// lock before switching the mapping, so data-path overwrites win races
+// against relocation. Stats are atomics; IoCost stays caller-local.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <list>
-#include <unordered_map>
+#include <memory>
 #include <mutex>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.hpp"
@@ -34,9 +45,13 @@ struct FtlConfig {
   /// Writes complete at buffer speed and flush to NAND on eviction or an
   /// explicit Flush(). 0 disables the cache (write-through).
   std::uint32_t write_cache_pages = 0;
+  /// Lock shards over the LPN space (mapping table + write cache). More
+  /// shards, less data-path contention; capacity checks stay global.
+  std::uint32_t map_shards = 16;
 };
 
 /// Model cost of one FTL operation (latency plus op counts for energy).
+/// Caller-local: each back-end worker passes its own instance, so no locking.
 struct IoCost {
   units::Seconds latency = 0;
   std::uint64_t flash_reads = 0;
@@ -111,36 +126,97 @@ class Ftl {
  private:
   enum class BlockState : std::uint8_t { kFree, kActive, kClosed, kBad };
 
+  /// Per-block metadata. `state`/`valid_pages`/`erase_count` are atomics so
+  /// GC victim selection and Stats() can scan without taking every die lock;
+  /// transitions still happen under the owning die lock (or the maintenance
+  /// lock for closed blocks). `next_page` is only touched for frontiers,
+  /// under the die lock (host frontiers) or maintenance (GC frontier).
   struct BlockInfo {
-    BlockState state = BlockState::kFree;
-    std::uint32_t valid_pages = 0;
-    std::uint32_t next_page = 0;     // for active blocks
-    std::uint32_t erase_count = 0;
+    std::atomic<BlockState> state{BlockState::kFree};
+    std::atomic<std::uint32_t> valid_pages{0};
+    std::atomic<std::uint32_t> erase_count{0};
+    std::uint32_t next_page = 0;
   };
 
-  // All private helpers assume mutex_ is held.
+  struct CacheEntry {
+    std::uint64_t lpn;
+    std::uint64_t seq;  // global FIFO position, for cross-shard eviction order
+    std::vector<std::uint8_t> data;
+  };
+
+  /// One lock shard of the mapping: guards l2p entries with lpn % shards ==
+  /// index, plus that slice of the write cache.
+  struct MapShard {
+    std::mutex mutex;
+    std::list<CacheEntry> cache_fifo;
+    std::unordered_map<std::uint64_t, std::list<CacheEntry>::iterator> cache_index;
+  };
+
+  /// One die's allocation state: free pool and write frontier.
+  struct DieState {
+    std::mutex mutex;
+    std::vector<flash::Pbn> free_blocks;
+    flash::Pbn active = ~0ull;
+  };
+
+  MapShard& ShardOf(std::uint64_t lpn) { return *shards_[lpn % shards_.size()]; }
+  const MapShard& ShardOf(std::uint64_t lpn) const {
+    return *shards_[lpn % shards_.size()];
+  }
+
   /// Reads + ECC-decodes a physical page with read-retry (transient raw bit
-  /// errors re-sample on every array read, as on real NAND).
-  Status ReadAndDecodeLocked(flash::Ppn ppn, std::span<std::uint8_t> page_buf,
-                             IoCost* cost);
-  Status WritePageLocked(std::uint64_t lpn, std::span<const std::uint8_t> data,
-                         IoCost* cost);
-  /// Picks/advances the active block of `die` and returns the PPN to program.
-  /// GC relocation writes instead use a single dedicated frontier block
-  /// (`gc_active_`) so garbage collection can always make progress with one
-  /// free block — striping relocations across every die could open
-  /// dies-many fresh blocks and drain the reserve mid-collection.
-  Result<flash::Ppn> AllocatePageLocked(std::uint32_t die, IoCost* cost);
-  Result<flash::Ppn> AllocateGcPageLocked();
-  Result<flash::Pbn> TakeFreeBlockLocked(std::uint32_t die);
-  Status GarbageCollectLocked(IoCost* cost);
-  Status RelocateBlockLocked(flash::Pbn victim, IoCost* cost);
-  /// Grown-bad-block handling: detaches the block from any write frontier,
-  /// marks it retired, and relocates its surviving valid pages (bad blocks
-  /// stay readable; they just refuse further program/erase).
-  Status RetireBlockLocked(flash::Pbn bad_block, IoCost* cost);
+  /// errors re-sample on every array read, as on real NAND). The caller must
+  /// hold the shard lock of the mapping that points at `ppn`, which pins it.
+  Status ReadAndDecode(flash::Ppn ppn, std::span<std::uint8_t> page_buf, IoCost* cost);
+
+  /// Encodes and programs `data` for `lpn` on some die's write frontier,
+  /// then flips the mapping. Caller holds the shard lock of `lpn`.
+  Status ProgramShardLocked(std::uint64_t lpn, std::span<const std::uint8_t> data,
+                            IoCost* cost);
+  /// Encodes `data` into a full raw page image (data + ECC spare).
+  Status EncodePage(std::span<const std::uint8_t> data, std::vector<std::uint8_t>& page);
+  /// Allocates a frontier page on a die with space and programs `page` into
+  /// it; sets p2l/valid under the same die-lock hold so GC never observes a
+  /// programmed page without its reverse mapping. Non-GC callers leave the
+  /// last free block for the GC frontier (kGcReserveBlocks).
+  Result<flash::Ppn> ProgramAnywhere(std::uint64_t lpn,
+                                     std::span<const std::uint8_t> page, IoCost* cost);
+  /// Pops the least-worn free block of `die` and opens it as a frontier.
+  /// Caller holds the die lock. kNoActive == nothing available (for non-GC
+  /// callers this includes "only the GC reserve is left").
+  flash::Pbn TakeFreeBlockDieLocked(DieState& die, bool for_gc);
+  /// Marks a block grown-bad and queues its valid pages for relocation.
+  /// Caller holds the owning die lock (host frontier) or maintenance (GC).
+  void MarkBadQueueRetire(flash::Pbn block);
+
+  /// Runs watermark GC if the pool is still low after taking the maintenance
+  /// lock; also drains pending retirements and wear-levels. Errors are
+  /// swallowed — the caller's allocation decides whether the write fails.
+  void MaybeMaintain(IoCost* cost);
+  /// Unconditional collection toward the high watermark (called after an
+  /// allocation failed). kResourceExhausted == nothing reclaimable.
+  Status ForceCollect(IoCost* cost);
+  /// Core GC loop; maintenance lock held.
+  Status CollectLocked(IoCost* cost);
+  /// Relocates every still-valid page of `victim`, then erases it
+  /// (`erase_after` is false for grown-bad blocks, which cannot erase).
+  /// Maintenance lock held.
+  Status RelocateAndErase(flash::Pbn victim, bool erase_after,
+                          std::atomic<std::uint64_t>* relocation_counter, IoCost* cost);
+  /// GC-frontier program (single dedicated frontier so collection consumes
+  /// at most one reserve block at a time). Maintenance + shard(lpn) held.
+  Result<flash::Ppn> ProgramGcPage(std::uint64_t lpn,
+                                   std::span<const std::uint8_t> page, IoCost* cost);
   void MaybeWearLevelLocked(IoCost* cost);
-  void InvalidatePpnLocked(flash::Ppn ppn);
+  void DrainRetirementsLocked(IoCost* cost);
+  /// Clears the reverse mapping of `ppn` and drops the block's valid count.
+  void InvalidatePpn(flash::Ppn ppn);
+
+  /// Evicts globally-oldest cache entries (min seq across shard fronts) until
+  /// `target` entries remain, forcing collection when the pool runs dry.
+  /// Shared by WritePage's over-capacity path and Flush.
+  Status EvictWithGcRetry(std::size_t target, IoCost* cost);
+
   std::uint32_t DieOfBlock(flash::Pbn pbn) const {
     return static_cast<std::uint32_t>(pbn / array_->geometry().blocks_per_die());
   }
@@ -150,30 +226,51 @@ class Ftl {
   ecc::PageCodec codec_;
   std::uint64_t user_pages_;
 
-  mutable std::mutex mutex_;
-  std::vector<flash::Ppn> l2p_;            // lpn -> ppn (kInvalidPpn if unmapped)
-  std::vector<std::uint64_t> p2l_;         // ppn -> lpn (kUnmappedLpn if invalid)
-  std::vector<BlockInfo> blocks_;          // per pbn
-  std::vector<std::vector<flash::Pbn>> free_blocks_;  // per die
-  std::uint64_t free_block_count_ = 0;
-  std::vector<flash::Pbn> active_block_;   // per die; kNoActive if none
-  flash::Pbn gc_active_ = ~0ull;           // GC relocation frontier
-  std::uint32_t next_write_die_ = 0;       // round-robin write striping
-  bool in_gc_ = false;                     // relocation writes must not recurse
-  FtlStats stats_;
+  std::vector<std::unique_ptr<MapShard>> shards_;
+  std::vector<std::unique_ptr<DieState>> dies_;
+  std::vector<std::atomic<flash::Ppn>> l2p_;   // lpn -> ppn; shard lock to write
+  std::vector<std::uint64_t> p2l_;             // ppn -> lpn; die lock
+  std::unique_ptr<BlockInfo[]> blocks_;        // per pbn
+  std::atomic<std::uint64_t> free_block_count_{0};
+  std::atomic<std::uint32_t> next_write_die_{0};  // round-robin write striping
 
-  // Write cache: FIFO of dirty pages with an index. Evicting flushes the
-  // oldest quarter so a streaming writer amortizes NAND programming.
-  struct CacheEntry {
-    std::uint64_t lpn;
-    std::vector<std::uint8_t> data;
+  std::mutex maintenance_mutex_;
+  flash::Pbn gc_active_ = ~0ull;  // GC relocation frontier; maintenance lock
+  std::mutex retire_mutex_;
+  std::vector<flash::Pbn> pending_retire_;
+  std::atomic<std::size_t> pending_retire_count_{0};
+
+  std::mutex cache_evict_mutex_;  // one evictor drains at a time
+  std::atomic<std::size_t> cache_entries_{0};
+  std::atomic<std::uint64_t> cache_seq_{0};
+
+  struct Counters {
+    std::atomic<std::uint64_t> host_page_writes{0};
+    std::atomic<std::uint64_t> host_page_reads{0};
+    std::atomic<std::uint64_t> flash_programs{0};
+    std::atomic<std::uint64_t> flash_reads{0};
+    std::atomic<std::uint64_t> gc_runs{0};
+    std::atomic<std::uint64_t> gc_relocated_pages{0};
+    std::atomic<std::uint64_t> wear_level_moves{0};
+    std::atomic<std::uint64_t> trimmed_pages{0};
+    std::atomic<std::uint64_t> ecc_corrected_words{0};
+    std::atomic<std::uint64_t> read_retries{0};
+    std::atomic<std::uint64_t> program_failures{0};
+    std::atomic<std::uint64_t> erase_failures{0};
+    std::atomic<std::uint64_t> grown_bad_blocks{0};
+    std::atomic<std::uint64_t> retirement_relocations{0};
+    std::atomic<std::uint64_t> cache_write_hits{0};
+    std::atomic<std::uint64_t> cache_read_hits{0};
+    std::atomic<std::uint64_t> cache_flushes{0};
   };
-  std::list<CacheEntry> cache_fifo_;
-  std::unordered_map<std::uint64_t, std::list<CacheEntry>::iterator> cache_index_;
-  Status EvictCacheLocked(std::size_t target_size, IoCost* cost);
+  mutable Counters counters_;
 
   /// Model latency of staging/serving one page in controller DRAM.
   static constexpr units::Seconds kCacheLatency = units::usec(4);
+  /// Free blocks the data path must leave behind so the GC frontier can
+  /// always open (otherwise a racing burst of writers could drain the pool
+  /// to zero and wedge collection with reclaimable space still on disk).
+  static constexpr std::uint64_t kGcReserveBlocks = 1;
 
   static constexpr std::uint64_t kUnmappedLpn = ~0ull;
   static constexpr flash::Pbn kNoActive = ~0ull;

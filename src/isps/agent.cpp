@@ -85,7 +85,11 @@ proto::QueryReply Agent::HandleQuery(const proto::Query& query) {
       reply.utilization = cores_->Utilization();
       reply.temperature_c = TemperatureC();
       reply.running_tasks = runtime_->RunningCount();
-      reply.queued_minions = 0;  // minions dispatch immediately to the cores
+      // Device-side backlog: commands waiting in the submission rings or the
+      // dispatch stage. With multiple queue pairs this is the honest "how
+      // busy is the front-end" signal for load balancers.
+      reply.queued_minions =
+          static_cast<std::uint32_t>(ssd_->controller().BacklogDepth());
       reply.uptime_virtual_s = cores_->Makespan();
       break;
     case proto::QueryType::kLoadTask:

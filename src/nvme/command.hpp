@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -27,6 +28,8 @@ enum class Opcode : std::uint8_t {
   kInSituQuery = 0xC1,   // payload: serialized Query; completion: answer
 };
 
+struct Completion;
+
 struct Command {
   std::uint16_t cid = 0;  // command identifier, matches completion to request
   Opcode opcode = Opcode::kFlush;
@@ -40,6 +43,22 @@ struct Command {
 
   /// Opaque payload for vendor/admin commands (serialized proto entities).
   std::vector<std::uint8_t> payload;
+
+  /// Submission queue this command arrived on; stamped by the controller so
+  /// the completion posts to the paired completion queue.
+  std::uint16_t sqid = 0;
+
+  /// Device-internal command (the ISPS flash-access path). Internal commands
+  /// skip the PCIe link, the per-command firmware overhead, and the host
+  /// fault hooks — they never left the device — but share the back-end
+  /// arbitration and worker pool with host IO, so host-vs-in-situ contention
+  /// is modeled.
+  bool internal = false;
+
+  /// When set, the back-end invokes this with the completion instead of
+  /// posting to a completion queue. Required for internal commands (the
+  /// internal ring has no paired CQ and no host reaper).
+  std::function<void(Completion)> on_complete;
 };
 
 struct Completion {
@@ -50,5 +69,10 @@ struct Completion {
   /// Response payload for vendor/admin commands.
   std::vector<std::uint8_t> payload;
 };
+
+/// Completion delivery for commands that bypass the completion queues: the
+/// internal submission ring has no paired CQ (no host driver reaps it), so
+/// internal submitters attach a callback invoked by the back-end worker.
+using CompletionCallback = std::function<void(Completion)>;
 
 }  // namespace compstor::nvme

@@ -1,5 +1,6 @@
 #include "nvme/controller.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/logging.hpp"
@@ -21,75 +22,214 @@ void ChargeFlashEnergy(energy::EnergyMeter* meter, const energy::FlashPowerProfi
 
 Controller::Controller(ftl::Ftl* ftl, PcieLink* link, energy::EnergyMeter* meter,
                        const energy::FlashPowerProfile& flash_power,
-                       std::string model_name, std::size_t queue_depth)
+                       std::string model_name, ControllerConfig config)
     : ftl_(ftl),
       link_(link),
       meter_(meter),
       flash_power_(flash_power),
       model_name_(std::move(model_name)),
-      sq_(queue_depth),
-      cq_(queue_depth) {}
+      config_{std::max<std::size_t>(1, config.queue_pairs),
+              std::max<std::size_t>(1, config.queue_depth),
+              std::max<std::size_t>(1, config.backend_workers)},
+      internal_sq_(config_.queue_depth),
+      dispatch_(config_.queue_depth) {
+  qps_.reserve(config_.queue_pairs);
+  for (std::size_t i = 0; i < config_.queue_pairs; ++i) {
+    qps_.push_back(std::make_unique<QueuePair>(config_.queue_depth));
+  }
+  worker_clocks_.reserve(config_.backend_workers);
+  for (std::size_t i = 0; i < config_.backend_workers; ++i) {
+    worker_clocks_.push_back(std::make_unique<VirtualClock>());
+  }
+}
 
 Controller::~Controller() { Stop(); }
 
 void Controller::Start() {
   if (running_.exchange(true)) return;
-  front_end_ = std::thread([this] { FrontEndLoop(); });
+  arbiter_ = std::thread([this] { ArbitrateLoop(); });
+  workers_.reserve(config_.backend_workers);
+  for (std::size_t w = 0; w < config_.backend_workers; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
 }
 
 void Controller::Stop() {
   if (!running_.exchange(false)) return;
-  sq_.Close();
-  if (front_end_.joinable()) front_end_.join();
-  cq_.Close();
+  for (auto& qp : qps_) qp->sq.Close();
+  internal_sq_.Close();
+  doorbell_.Close();
+  if (arbiter_.joinable()) arbiter_.join();  // closes dispatch_ on exit
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  // A submission that slipped in between its Push and its doorbell Ring can
+  // survive arbitration shutdown; abort it so no submitter waits forever.
+  auto abort_leftover = [this](Command cmd) {
+    Completion cqe;
+    cqe.cid = cmd.cid;
+    cqe.status = Aborted("controller stopped with command in queue");
+    Deliver(cmd, std::move(cqe));
+  };
+  for (auto& qp : qps_) {
+    while (auto cmd = qp->sq.TryPop()) abort_leftover(std::move(*cmd));
+  }
+  while (auto cmd = internal_sq_.TryPop()) abort_leftover(std::move(*cmd));
+  for (auto& qp : qps_) qp->cq.Close();
+  workers_.clear();
 }
 
-void Controller::FrontEndLoop() {
-  while (auto cmd = sq_.Pop()) {
-    double injected_delay_s = 0;
-    if (sim::FaultInjector* fi = fault_.load(std::memory_order_acquire)) {
-      const sim::NvmeFault f =
-          fi->OnNvmeCommand(cmd->opcode == Opcode::kRead, front_end_time_s_);
-      if (f.action != sim::NvmeFault::Action::kNone) {
-        faults_injected_.fetch_add(1, std::memory_order_relaxed);
-      }
-      switch (f.action) {
-        case sim::NvmeFault::Action::kDrop:
-          // Swallowed: no completion ever posts; the host deadline fires.
-          continue;
-        case sim::NvmeFault::Action::kFailUnavailable: {
-          Completion cqe;
-          cqe.cid = cmd->cid;
-          cqe.status = Unavailable("fault injected: device offline");
-          cqe.latency = kCommandOverhead;
-          errors_.fetch_add(1, std::memory_order_relaxed);
-          cq_.Push(std::move(cqe));
-          continue;
-        }
-        case sim::NvmeFault::Action::kFailDataLoss: {
-          Completion cqe;
-          cqe.cid = cmd->cid;
-          cqe.status = DataLoss("fault injected: uncorrectable ECC burst");
-          cqe.latency = kCommandOverhead;
-          errors_.fetch_add(1, std::memory_order_relaxed);
-          cq_.Push(std::move(cqe));
-          continue;
-        }
-        case sim::NvmeFault::Action::kDelay:
-          injected_delay_s = f.extra_latency_s;
-          break;
-        case sim::NvmeFault::Action::kNone:
-          break;
-      }
-    }
-    Completion cqe;
-    if (Execute(*cmd, &cqe)) {
-      cqe.latency += injected_delay_s;
-      front_end_time_s_ += cqe.latency;
-      if (!cqe.status.ok()) errors_.fetch_add(1, std::memory_order_relaxed);
-      cq_.Push(std::move(cqe));
-    }
+bool Controller::Submit(Command cmd, std::uint16_t sqid) {
+  if (sqid >= qps_.size()) return false;
+  cmd.sqid = sqid;
+  cmd.internal = false;
+  if (!qps_[sqid]->sq.Push(std::move(cmd))) return false;
+  doorbell_.Ring();
+  return true;
+}
+
+bool Controller::SubmitInternal(Command cmd) {
+  if (!cmd.on_complete) return false;  // internal ring has no CQ to fall back on
+  cmd.internal = true;
+  if (!internal_sq_.Push(std::move(cmd))) return false;
+  doorbell_.Ring();
+  return true;
+}
+
+std::optional<Completion> Controller::PopCompletion(std::uint16_t sqid) {
+  if (sqid >= qps_.size()) return std::nullopt;
+  return qps_[sqid]->cq.Pop();
+}
+
+std::vector<Completion> Controller::PopCompletionBatch(std::uint16_t sqid,
+                                                       std::size_t max_items) {
+  if (sqid >= qps_.size()) return {};
+  return qps_[sqid]->cq.PopBatch(max_items);
+}
+
+std::size_t Controller::BacklogDepth() const {
+  std::size_t depth = internal_sq_.size() + dispatch_.size();
+  for (const auto& qp : qps_) depth += qp->sq.size();
+  return depth;
+}
+
+ControllerStats Controller::Stats() const {
+  ControllerStats s;
+  s.io_commands = io_commands_.load();
+  s.vendor_commands = vendor_commands_.load();
+  s.internal_commands = internal_commands_.load();
+  s.errors = errors_.load();
+  s.faults_injected = faults_injected_.load();
+  s.per_queue_commands.reserve(qps_.size());
+  for (const auto& qp : qps_) {
+    s.per_queue_commands.push_back(qp->arbitrated.load(std::memory_order_relaxed));
   }
+  return s;
+}
+
+units::Seconds Controller::WorkerTime(std::size_t i) const {
+  return i < worker_clocks_.size() ? worker_clocks_[i]->Now() : 0;
+}
+
+units::Seconds Controller::Makespan() const {
+  units::Seconds m = 0;
+  for (const auto& clock : worker_clocks_) m = std::max(m, clock->Now());
+  return m;
+}
+
+void Controller::ArbitrateLoop() {
+  // Round-robin over the host queue pairs plus the internal ring (index
+  // qps_.size()): NVMe's default arbitration, with the ISPS ring treated as
+  // one more contender — exactly the paper's shared back-end.
+  const std::size_t rings = qps_.size() + 1;
+  std::size_t rr = 0;
+  while (doorbell_.Wait()) {
+    // One doorbell signal per accepted submission, and only this thread
+    // pops, so a command is guaranteed to be waiting in some ring.
+    std::optional<Command> cmd;
+    while (!cmd) {
+      for (std::size_t i = 0; i < rings && !cmd; ++i) {
+        const std::size_t q = (rr + i) % rings;
+        cmd = q == qps_.size() ? internal_sq_.TryPop() : qps_[q]->sq.TryPop();
+        if (cmd && q < qps_.size()) {
+          qps_[q]->arbitrated.fetch_add(1, std::memory_order_relaxed);
+          rr = (q + 1) % rings;
+        } else if (cmd) {
+          rr = 0;
+        }
+      }
+    }
+
+    double injected_delay_s = 0;
+    if (!cmd->internal) {
+      if (sim::FaultInjector* fi = fault_.load(std::memory_order_acquire)) {
+        const sim::NvmeFault f =
+            fi->OnNvmeCommand(cmd->opcode == Opcode::kRead, device_time_.Now());
+        if (f.action != sim::NvmeFault::Action::kNone) {
+          faults_injected_.fetch_add(1, std::memory_order_relaxed);
+        }
+        switch (f.action) {
+          case sim::NvmeFault::Action::kDrop:
+            // Swallowed: no completion ever posts; the host deadline fires.
+            cmd.reset();
+            continue;
+          case sim::NvmeFault::Action::kFailUnavailable: {
+            Completion cqe;
+            cqe.cid = cmd->cid;
+            cqe.status = Unavailable("fault injected: device offline");
+            cqe.latency = kCommandOverhead;
+            errors_.fetch_add(1, std::memory_order_relaxed);
+            Deliver(*cmd, std::move(cqe));
+            cmd.reset();
+            continue;
+          }
+          case sim::NvmeFault::Action::kFailDataLoss: {
+            Completion cqe;
+            cqe.cid = cmd->cid;
+            cqe.status = DataLoss("fault injected: uncorrectable ECC burst");
+            cqe.latency = kCommandOverhead;
+            errors_.fetch_add(1, std::memory_order_relaxed);
+            Deliver(*cmd, std::move(cqe));
+            cmd.reset();
+            continue;
+          }
+          case sim::NvmeFault::Action::kDelay:
+            injected_delay_s = f.extra_latency_s;
+            break;
+          case sim::NvmeFault::Action::kNone:
+            break;
+        }
+      }
+    }
+    dispatch_.Push(Dispatched{std::move(*cmd), injected_delay_s});
+  }
+  dispatch_.Close();
+}
+
+void Controller::WorkerLoop(std::size_t worker) {
+  while (auto d = dispatch_.Pop()) {
+    ExecuteAndComplete(std::move(d->cmd), d->injected_delay_s, worker);
+  }
+}
+
+void Controller::ExecuteAndComplete(Command cmd, double injected_delay_s,
+                                    std::size_t worker) {
+  if (cmd.internal) internal_commands_.fetch_add(1, std::memory_order_relaxed);
+  Completion cqe;
+  if (!Execute(cmd, &cqe)) return;  // vendor: completes asynchronously
+  cqe.latency += injected_delay_s;
+  worker_clocks_[worker]->Advance(cqe.latency);
+  device_time_.Advance(cqe.latency);
+  if (!cqe.status.ok()) errors_.fetch_add(1, std::memory_order_relaxed);
+  Deliver(cmd, std::move(cqe));
+}
+
+void Controller::Deliver(const Command& cmd, Completion cqe) {
+  if (cmd.on_complete) {
+    cmd.on_complete(std::move(cqe));
+    return;
+  }
+  qps_[cmd.sqid]->cq.Push(std::move(cqe));
 }
 
 bool Controller::Execute(Command& cmd, Completion* out) {
@@ -137,14 +277,20 @@ bool Controller::Execute(Command& cmd, Completion* out) {
       // Command payload crosses the link toward the device; the response
       // payload crosses back later. Both are tiny compared to the data the
       // task touches — that is the point of in-situ processing. The handler
-      // completes asynchronously so this thread stays free for IO.
+      // completes asynchronously so this worker stays free for IO.
       const units::Seconds in_lat = link_->Transfer(cmd.payload.size());
       const std::uint16_t cid = cmd.cid;
-      handler(cmd, [this, cid, in_lat](Completion cqe) {
+      const std::uint16_t sqid = cmd.sqid;
+      auto on_complete = cmd.on_complete;
+      handler(cmd, [this, cid, sqid, on_complete, in_lat](Completion cqe) {
         cqe.cid = cid;
         cqe.latency += in_lat + link_->Transfer(cqe.payload.size()) + kCommandOverhead;
         if (!cqe.status.ok()) errors_.fetch_add(1, std::memory_order_relaxed);
-        cq_.Push(std::move(cqe));
+        if (on_complete) {
+          on_complete(std::move(cqe));
+        } else {
+          qps_[sqid]->cq.Push(std::move(cqe));
+        }
       });
       return false;
     }
@@ -157,7 +303,10 @@ bool Controller::Execute(Command& cmd, Completion* out) {
 Completion Controller::ExecuteIo(Command& cmd) {
   Completion cqe;
   cqe.cid = cmd.cid;
-  cqe.latency = kCommandOverhead;
+  // Internal commands never cross the host doorbell/completion path, so the
+  // per-command firmware overhead and the PCIe transfer do not apply — the
+  // internal bus charge is added by the Ssd wrapper instead.
+  cqe.latency = cmd.internal ? 0 : kCommandOverhead;
   const std::uint32_t page = ftl_->page_data_bytes();
 
   if (cmd.opcode == Opcode::kDatasetManagement) {
@@ -185,8 +334,10 @@ Completion Controller::ExecuteIo(Command& cmd) {
   }
   cqe.status = st;
   cqe.latency += cost.latency;
-  // User data crosses PCIe in both directions (DMA) regardless of direction.
-  cqe.latency += link_->Transfer(bytes);
+  if (!cmd.internal) {
+    // User data crosses PCIe in both directions (DMA) regardless of direction.
+    cqe.latency += link_->Transfer(bytes);
+  }
   ChargeFlashEnergy(meter_, flash_power_, cost, bytes);
   return cqe;
 }
@@ -199,6 +350,7 @@ Completion Controller::ExecuteIdentify(const Command& cmd) {
   w.PutString(model_name_);
   w.PutU64(ftl_->user_pages());
   w.PutU32(ftl_->page_data_bytes());
+  w.PutU32(static_cast<std::uint32_t>(config_.queue_pairs));
   cqe.payload = w.Take();
   cqe.latency += link_->Transfer(cqe.payload.size());
   return cqe;

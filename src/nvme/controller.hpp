@@ -1,19 +1,32 @@
-// NVMe front-end controller: pops commands from the submission queue on a
-// dedicated thread (the paper's "front-end subsystem"), executes IO against
-// the FTL (the "back-end"), and posts completions.
+// NVMe front-end controller: N submission/completion queue pairs drained by
+// a round-robin arbiter (the paper's "front-end subsystem"), feeding a pool
+// of back-end workers that execute IO against the FTL concurrently (the
+// "back-end"). One extra, host-invisible submission ring carries the ISPS
+// internal flash traffic through the same arbitration, so host-vs-in-situ
+// contention is part of the model rather than an assumption.
 //
 // Vendor in-situ commands are delegated to a handler installed by the ISPS
-// agent — the front-end only ferries them, mirroring the hardware where the
+// agent — the controller only ferries them, mirroring the hardware where the
 // NVMe controller and the ISPS are separate subsystems.
+//
+// Fault injection: the arbiter consults the FaultInjector once per *host*
+// command, in arbitration order, before dispatch. Internal commands bypass
+// the hook — they model firmware-to-flash traffic that a host-visible fault
+// schedule must not perturb (and PR 1's scripted op windows depend on host
+// submissions keeping their 1-based indices).
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <thread>
+#include <vector>
 
+#include "common/sim_clock.hpp"
 #include "energy/energy.hpp"
 #include "ftl/ftl.hpp"
 #include "nvme/command.hpp"
@@ -27,25 +40,39 @@ namespace compstor::nvme {
 void ChargeFlashEnergy(energy::EnergyMeter* meter, const energy::FlashPowerProfile& p,
                        const ftl::IoCost& cost, std::uint64_t bytes_moved);
 
+/// Shape of the controller's command pipeline.
+struct ControllerConfig {
+  /// Host-visible submission/completion queue pairs. The device adds one
+  /// internal submission ring on top for the ISPS flash path.
+  std::size_t queue_pairs = 1;
+  /// Depth of each submission/completion queue (and of the dispatch stage).
+  std::size_t queue_depth = 256;
+  /// Back-end workers executing commands concurrently.
+  std::size_t backend_workers = 1;
+};
+
 struct ControllerStats {
   std::uint64_t io_commands = 0;
   std::uint64_t vendor_commands = 0;
+  std::uint64_t internal_commands = 0;  // ISPS-ring commands executed
   std::uint64_t errors = 0;
   std::uint64_t faults_injected = 0;  // commands the fault injector altered
+  /// Commands arbitrated per host queue pair (index == sqid).
+  std::vector<std::uint64_t> per_queue_commands;
 };
 
 class Controller {
  public:
   /// Vendor commands (minions/queries) complete asynchronously: the handler
   /// receives a sink and may call it later from any thread. This keeps the
-  /// front-end free to serve read/write/trim while in-situ tasks run — the
+  /// back-end free to serve read/write/trim while in-situ tasks run — the
   /// paper's "no degradation" property depends on it.
   using CompletionSink = std::function<void(Completion)>;
   using VendorHandler = std::function<void(const Command&, CompletionSink)>;
 
   Controller(ftl::Ftl* ftl, PcieLink* link, energy::EnergyMeter* meter,
              const energy::FlashPowerProfile& flash_power,
-             std::string model_name, std::size_t queue_depth = 256);
+             std::string model_name, ControllerConfig config = {});
   ~Controller();
 
   Controller(const Controller&) = delete;
@@ -55,67 +82,147 @@ class Controller {
   void Stop();
 
   /// Installed by the ISPS agent; called on kInSituMinion / kInSituQuery.
-  /// Thread-safe: the agent detaches its handler during teardown while the
-  /// front-end thread may be dispatching.
+  /// Thread-safe: the agent detaches its handler during teardown while a
+  /// back-end worker may be dispatching.
   void SetVendorHandler(VendorHandler handler) {
     std::lock_guard<std::mutex> lock(vendor_mutex_);
     vendor_handler_ = std::move(handler);
   }
 
-  /// Attaches (or detaches, with nullptr) a fault injector consulted once
-  /// per popped command, before execution. Thread-safe; the injector must
-  /// outlive the controller or be detached first.
+  /// Attaches (or detaches, with nullptr) a fault injector consulted by the
+  /// arbiter once per host command, in arbitration order. Thread-safe; the
+  /// injector must outlive the controller or be detached first.
   void SetFaultInjector(sim::FaultInjector* injector) {
     fault_.store(injector, std::memory_order_release);
   }
 
-  /// Submission queue. Blocks when the queue is full (device back-pressure);
-  /// returns false after Stop().
-  bool Submit(Command cmd) { return sq_.Push(std::move(cmd)); }
+  /// Submits to host queue pair `sqid`. Blocks when that queue is full
+  /// (device back-pressure); returns false after Stop() or for an unknown
+  /// queue.
+  bool Submit(Command cmd, std::uint16_t sqid = 0);
 
-  /// Completion queue, consumed by the host driver's reaper.
-  std::optional<Completion> PopCompletion() { return cq_.Pop(); }
+  /// Submits to the internal (ISPS) ring. The command must carry an
+  /// `on_complete` callback: the internal ring has no completion queue.
+  bool SubmitInternal(Command cmd);
 
-  ControllerStats Stats() const {
-    return {io_commands_.load(), vendor_commands_.load(), errors_.load(),
-            faults_injected_.load()};
-  }
+  /// Completion queue of pair `sqid`, consumed by the host driver's reaper.
+  std::optional<Completion> PopCompletion(std::uint16_t sqid = 0);
+  /// Batched reap: blocks for >=1 completion, drains up to `max_items`.
+  /// Empty result == queue closed and drained.
+  std::vector<Completion> PopCompletionBatch(std::uint16_t sqid, std::size_t max_items);
 
-  /// Fixed firmware overhead charged per command (submission handling,
-  /// doorbell, completion post).
+  std::size_t queue_pair_count() const { return config_.queue_pairs; }
+  std::size_t backend_worker_count() const { return config_.backend_workers; }
+
+  /// Commands sitting in submission rings or the dispatch stage right now —
+  /// the device-side backlog the status query reports.
+  std::size_t BacklogDepth() const;
+
+  ControllerStats Stats() const;
+
+  /// Virtual timeline of back-end worker `i`: total model latency of the
+  /// commands it executed. Workers are parallel resources, so the modeled
+  /// device makespan for a closed workload is the max over workers.
+  units::Seconds WorkerTime(std::size_t i) const;
+  units::Seconds Makespan() const;
+
+  /// Fixed firmware overhead charged per host command (submission handling,
+  /// doorbell, completion post). Internal commands skip it: no doorbell, no
+  /// host-side completion path.
   static constexpr units::Seconds kCommandOverhead = units::usec(8);
 
  private:
-  void FrontEndLoop();
+  /// Counting doorbell: one signal per submitted command, so the arbiter
+  /// wakes exactly as often as there is work and drains everything that was
+  /// accepted before Close().
+  class Doorbell {
+   public:
+    void Ring() {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++count_;
+      }
+      cv_.notify_one();
+    }
+    /// Blocks for a signal. False == closed and every signal consumed.
+    bool Wait() {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [&] { return count_ > 0 || closed_; });
+      if (count_ == 0) return false;
+      --count_;
+      return true;
+    }
+    void Close() {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        closed_ = true;
+      }
+      cv_.notify_all();
+    }
+
+   private:
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::size_t count_ = 0;
+    bool closed_ = false;
+  };
+
+  struct QueuePair {
+    explicit QueuePair(std::size_t depth) : sq(depth), cq(depth) {}
+    util::MpmcQueue<Command> sq;
+    util::MpmcQueue<Completion> cq;
+    std::atomic<std::uint64_t> arbitrated{0};
+  };
+
+  /// A command the arbiter has admitted, with any injected delay attached.
+  struct Dispatched {
+    Command cmd;
+    double injected_delay_s = 0;
+  };
+
+  void ArbitrateLoop();
+  void WorkerLoop(std::size_t worker);
+  void ExecuteAndComplete(Command cmd, double injected_delay_s, std::size_t worker);
   /// Executes a synchronous (IO/admin) command; vendor commands are handed
   /// to the async handler and produce no immediate completion.
   bool Execute(Command& cmd, Completion* cqe);
   Completion ExecuteIo(Command& cmd);
   Completion ExecuteIdentify(const Command& cmd);
+  /// Routes a finished completion: `on_complete` callback when present,
+  /// otherwise the CQ paired with the command's submission queue.
+  void Deliver(const Command& cmd, Completion cqe);
 
   ftl::Ftl* ftl_;
   PcieLink* link_;
   energy::EnergyMeter* meter_;
   energy::FlashPowerProfile flash_power_;
   std::string model_name_;
+  const ControllerConfig config_;
 
-  util::MpmcQueue<Command> sq_;
-  util::MpmcQueue<Completion> cq_;
-  std::thread front_end_;
+  std::vector<std::unique_ptr<QueuePair>> qps_;
+  util::MpmcQueue<Command> internal_sq_;
+  Doorbell doorbell_;
+  util::MpmcQueue<Dispatched> dispatch_;
+
+  std::thread arbiter_;
+  std::vector<std::thread> workers_;
+  std::vector<std::unique_ptr<VirtualClock>> worker_clocks_;
   std::atomic<bool> running_{false};
   std::mutex vendor_mutex_;
   VendorHandler vendor_handler_;
 
   std::atomic<std::uint64_t> io_commands_{0};
   std::atomic<std::uint64_t> vendor_commands_{0};
+  std::atomic<std::uint64_t> internal_commands_{0};
   std::atomic<std::uint64_t> errors_{0};
   std::atomic<std::uint64_t> faults_injected_{0};
 
   std::atomic<sim::FaultInjector*> fault_{nullptr};
-  /// Accumulated model latency of synchronous completions; the front-end's
-  /// local virtual timeline, handed to time-windowed fault rules. Touched
-  /// only on the front-end thread.
-  double front_end_time_s_ = 0;
+  /// Device-local virtual timeline: accumulated model latency of synchronous
+  /// completions across all workers. Time-windowed fault rules read it at
+  /// the arbiter, so a command submitted "after 1s of device activity" sees
+  /// the activity of every queue, not one thread's slice.
+  VirtualClock device_time_;
 };
 
 }  // namespace compstor::nvme

@@ -1,76 +1,109 @@
 #include "nvme/host_interface.hpp"
 
+#include <functional>
+
 #include "common/logging.hpp"
 
 namespace compstor::nvme {
 
 HostInterface::HostInterface(Controller* controller) : controller_(controller) {
-  reaper_ = std::thread([this] { ReaperLoop(); });
+  const std::size_t pairs = controller_->queue_pair_count();
+  queues_.reserve(pairs);
+  for (std::size_t q = 0; q < pairs; ++q) {
+    queues_.push_back(std::make_unique<QueueState>());
+  }
+  for (std::size_t q = 0; q < pairs; ++q) {
+    queues_[q]->reaper =
+        std::thread([this, q] { ReaperLoop(static_cast<std::uint16_t>(q)); });
+  }
 }
 
 HostInterface::~HostInterface() { Shutdown(); }
 
+std::uint16_t HostInterface::PreferredQueue() const {
+  // Per-submitter affinity: a thread keeps hitting the same pair, so its
+  // commands stay ordered relative to each other and never contend with
+  // other threads' CID locks (the driver analogue of per-core queues).
+  const std::size_t h = std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return static_cast<std::uint16_t>(h % queues_.size());
+}
+
 void HostInterface::Shutdown() {
   if (!running_.exchange(false)) return;
-  // Stopping the controller closes the completion queue, unblocking the
+  // Stopping the controller closes the completion queues, unblocking each
   // reaper after it drains outstanding completions.
   controller_->Stop();
-  if (reaper_.joinable()) reaper_.join();
-  // Fail any promises that will never complete.
-  std::lock_guard<std::mutex> lock(pending_mutex_);
-  for (auto& [cid, promise] : pending_) {
-    Completion cqe;
-    cqe.cid = cid;
-    cqe.status = Unavailable("device shut down");
-    promise.set_value(std::move(cqe));
+  for (auto& q : queues_) {
+    if (q->reaper.joinable()) q->reaper.join();
   }
-  pending_.clear();
+  // Fail any promises that will never complete: the command was accepted but
+  // the device died under it.
+  for (auto& q : queues_) {
+    std::lock_guard<std::mutex> lock(q->mutex);
+    for (auto& [cid, promise] : q->pending) {
+      Completion cqe;
+      cqe.cid = cid;
+      cqe.status = Aborted("device shut down with command in flight");
+      promise.set_value(std::move(cqe));
+    }
+    q->pending.clear();
+  }
 }
 
 std::future<Completion> HostInterface::Submit(Command cmd) {
   std::promise<Completion> promise;
   std::future<Completion> future = promise.get_future();
 
+  const std::uint16_t sqid = PreferredQueue();
+  QueueState& q = *queues_[sqid];
+
   // CID assignment: skip 0 and values still in flight (u16 wraparound with
   // >64k outstanding commands is impossible at our queue depths, but guard).
   std::uint16_t cid;
   {
-    std::lock_guard<std::mutex> lock(pending_mutex_);
+    std::lock_guard<std::mutex> lock(q.mutex);
     do {
-      cid = next_cid_.fetch_add(1, std::memory_order_relaxed);
-    } while (cid == 0 || pending_.count(cid) != 0);
-    pending_.emplace(cid, std::move(promise));
+      cid = q.next_cid++;
+    } while (cid == 0 || q.pending.count(cid) != 0);
+    q.pending.emplace(cid, std::move(promise));
   }
   cmd.cid = cid;
 
-  if (!controller_->Submit(std::move(cmd))) {
-    std::lock_guard<std::mutex> lock(pending_mutex_);
-    auto it = pending_.find(cid);
-    if (it != pending_.end()) {
+  if (!controller_->Submit(std::move(cmd), sqid)) {
+    std::lock_guard<std::mutex> lock(q.mutex);
+    auto it = q.pending.find(cid);
+    if (it != q.pending.end()) {
       Completion cqe;
       cqe.cid = cid;
       cqe.status = Unavailable("controller stopped");
       it->second.set_value(std::move(cqe));
-      pending_.erase(it);
+      q.pending.erase(it);
     }
   }
   return future;
 }
 
-void HostInterface::ReaperLoop() {
-  while (auto cqe = controller_->PopCompletion()) {
-    std::promise<Completion> promise;
+void HostInterface::ReaperLoop(std::uint16_t sqid) {
+  QueueState& q = *queues_[sqid];
+  while (true) {
+    std::vector<Completion> batch = controller_->PopCompletionBatch(sqid, kReapBatch);
+    if (batch.empty()) break;  // closed and drained
+    // Detach all promises under one lock hold, resolve outside it.
+    std::vector<std::pair<std::promise<Completion>, Completion>> ready;
+    ready.reserve(batch.size());
     {
-      std::lock_guard<std::mutex> lock(pending_mutex_);
-      auto it = pending_.find(cqe->cid);
-      if (it == pending_.end()) {
-        LOG_WARN << "completion for unknown cid " << cqe->cid;
-        continue;
+      std::lock_guard<std::mutex> lock(q.mutex);
+      for (Completion& cqe : batch) {
+        auto it = q.pending.find(cqe.cid);
+        if (it == q.pending.end()) {
+          LOG_WARN << "completion for unknown cid " << cqe.cid << " on qp " << sqid;
+          continue;
+        }
+        ready.emplace_back(std::move(it->second), std::move(cqe));
+        q.pending.erase(it);
       }
-      promise = std::move(it->second);
-      pending_.erase(it);
     }
-    promise.set_value(std::move(*cqe));
+    for (auto& [promise, cqe] : ready) promise.set_value(std::move(cqe));
   }
 }
 

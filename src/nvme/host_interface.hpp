@@ -1,6 +1,7 @@
-// Host-side NVMe driver: assigns command identifiers, submits to the
-// controller, and reaps completions on a background thread, fulfilling
-// per-command futures.
+// Host-side NVMe driver: assigns command identifiers, spreads submitters
+// across the controller's queue pairs (per-thread QP affinity, like a kernel
+// driver's per-core queues), and reaps completions in batches on one reaper
+// thread per pair, fulfilling per-command futures.
 //
 // This plays the role of the kernel NVMe driver on the paper's host server;
 // the in-situ client library sits on top of it.
@@ -9,9 +10,11 @@
 #include <atomic>
 #include <cstdint>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
+#include <vector>
 
 #include "nvme/command.hpp"
 #include "nvme/controller.hpp"
@@ -27,8 +30,11 @@ class HostInterface {
   HostInterface& operator=(const HostInterface&) = delete;
 
   /// Asynchronous submission; the future resolves when the device posts the
-  /// completion.
+  /// completion. The command goes to the calling thread's affine queue pair.
   std::future<Completion> Submit(Command cmd);
+
+  /// Queue pair the calling thread submits on.
+  std::uint16_t PreferredQueue() const;
 
   /// Synchronous convenience wrappers.
   Completion ReadSync(std::uint64_t slba, std::uint32_t nlb,
@@ -38,18 +44,30 @@ class HostInterface {
   Completion TrimSync(std::uint64_t slba, std::uint32_t nlb);
   Completion VendorSync(Opcode opcode, std::vector<std::uint8_t> payload);
 
+  /// Stops the controller, joins the reapers, and fails every still-pending
+  /// future with kAborted (the command will never complete; callers must not
+  /// hang on a dead reaper).
   void Shutdown();
 
  private:
-  void ReaperLoop();
+  /// Per-queue-pair driver state: CID space, in-flight map, reaper thread.
+  /// Keeping these per-pair means submitters on different pairs share no
+  /// locks — the point of multi-queue.
+  struct QueueState {
+    std::mutex mutex;
+    std::unordered_map<std::uint16_t, std::promise<Completion>> pending;
+    std::uint16_t next_cid = 1;
+    std::thread reaper;
+  };
+
+  void ReaperLoop(std::uint16_t sqid);
+
+  /// Completions drained per reaper wakeup.
+  static constexpr std::size_t kReapBatch = 64;
 
   Controller* controller_;
-  std::thread reaper_;
+  std::vector<std::unique_ptr<QueueState>> queues_;
   std::atomic<bool> running_{true};
-
-  std::mutex pending_mutex_;
-  std::unordered_map<std::uint16_t, std::promise<Completion>> pending_;
-  std::atomic<std::uint16_t> next_cid_{1};
 };
 
 }  // namespace compstor::nvme

@@ -102,9 +102,11 @@ class FaultInjector {
   void Schedule(FaultRule rule);
   void Clear();
 
-  /// NVMe front-end hook: called once per popped command, in submission
-  /// order. `is_read` gates kReadDataLoss rules. The first matching rule in
-  /// schedule order wins.
+  /// NVMe front-end hook: called by the controller's arbiter once per *host*
+  /// command, in arbitration order (internal ISPS-ring commands bypass the
+  /// hook so a host-visible fault schedule keeps its 1-based op indices).
+  /// `now_s` is the device's shared virtual timeline. `is_read` gates
+  /// kReadDataLoss rules. The first matching rule in schedule order wins.
   NvmeFault OnNvmeCommand(bool is_read, double now_s);
 
   /// ISPS hook: called once per minion spawn (task runtime) or query

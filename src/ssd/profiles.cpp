@@ -58,6 +58,12 @@ SsdProfile CompStorProfile(double capacity_scale) {
   // ("ISPS can access the flash data more efficiently than the host CPU").
   p.internal_bandwidth_bytes_per_s = GBps(6.0);
   p.internal_latency_s = usec(2);
+
+  // Enterprise multi-queue front-end: four host queue pairs feeding four
+  // back-end workers, so host IO and ISPS traffic overlap in the model.
+  p.nvme_queue_pairs = 4;
+  p.nvme_queue_depth = 256;
+  p.nvme_backend_workers = 4;
   return p;
 }
 
@@ -94,6 +100,11 @@ SsdProfile OffTheShelfProfile(double capacity_scale) {
   p.flash_power.controller_pj_per_byte = 65.0;
 
   p.internal_bandwidth_bytes_per_s = 0;  // no ISPS
+
+  // Client-class part: fewer queue pairs, shallower device parallelism.
+  p.nvme_queue_pairs = 2;
+  p.nvme_queue_depth = 128;
+  p.nvme_backend_workers = 2;
   return p;
 }
 
@@ -113,6 +124,11 @@ SsdProfile TestProfile() {
   // Write-through keeps unit tests deterministic about flash op counts;
   // dedicated cache tests opt in explicitly.
   p.ftl.write_cache_pages = 0;
+  // Two pairs / two workers so every unit test exercises the concurrent
+  // pipeline, while op counters stay small enough to reason about.
+  p.nvme_queue_pairs = 2;
+  p.nvme_queue_depth = 64;
+  p.nvme_backend_workers = 2;
   return p;
 }
 

@@ -26,6 +26,13 @@ struct SsdProfile {
   double internal_bandwidth_bytes_per_s = 0;
   units::Seconds internal_latency_s = 0;
 
+  /// NVMe pipeline shape (plain ints; the Ssd assembles a ControllerConfig
+  /// from them). Host-visible queue pairs, per-queue depth, and back-end
+  /// workers executing against the FTL concurrently.
+  std::size_t nvme_queue_pairs = 1;
+  std::size_t nvme_queue_depth = 256;
+  std::size_t nvme_backend_workers = 1;
+
   std::uint64_t UserCapacityBytes() const {
     // Mirrors the FTL's reservation formula.
     const std::uint64_t total = geometry.total_blocks();

@@ -1,6 +1,7 @@
 #include "ssd/ssd.hpp"
 
 #include <cstring>
+#include <future>
 
 namespace compstor::ssd {
 
@@ -104,8 +105,13 @@ Ssd::Ssd(const SsdProfile& profile, std::uint64_t seed) : profile_(profile) {
                                           profile_.reliability, seed);
   ftl_ = std::make_unique<ftl::Ftl>(array_.get(), profile_.ftl);
   link_ = std::make_unique<nvme::PcieLink>(profile_.link, &meter_);
+  nvme::ControllerConfig config;
+  config.queue_pairs = profile_.nvme_queue_pairs;
+  config.queue_depth = profile_.nvme_queue_depth;
+  config.backend_workers = profile_.nvme_backend_workers;
   controller_ = std::make_unique<nvme::Controller>(ftl_.get(), link_.get(), &meter_,
-                                                   profile_.flash_power, profile_.model);
+                                                   profile_.flash_power, profile_.model,
+                                                   config);
   controller_->Start();
   host_if_ = std::make_unique<nvme::HostInterface>(controller_.get());
   host_view_ = std::make_unique<HostView>(this);
@@ -120,39 +126,82 @@ Ssd::~Ssd() {
 BlockDevice& Ssd::host_block_device() { return *host_view_; }
 BlockDevice& Ssd::internal_block_device() { return *internal_view_; }
 
+nvme::Completion Ssd::SubmitInternalSync(nvme::Command cmd) {
+  // The internal ring has no completion queue; a stack promise plays the
+  // role of the ISPS's completion doorbell.
+  std::promise<nvme::Completion> done;
+  std::future<nvme::Completion> future = done.get_future();
+  cmd.internal = true;
+  cmd.on_complete = [&done](nvme::Completion cqe) { done.set_value(std::move(cqe)); };
+  if (!controller_->SubmitInternal(std::move(cmd))) {
+    nvme::Completion cqe;
+    cqe.status = Unavailable("controller stopped");
+    return cqe;
+  }
+  return future.get();
+}
+
+units::Seconds Ssd::ChargeInternalBus(std::size_t bytes) {
+  const units::Seconds bus =
+      profile_.internal_latency_s +
+      static_cast<double>(bytes) / profile_.internal_bandwidth_bytes_per_s;
+  internal_busy_.AddBusy(bus);
+  return bus;
+}
+
 Status Ssd::InternalRead(std::uint64_t lpn, std::span<std::uint8_t> out,
                          ftl::IoCost* cost) {
   if (!has_isps_path()) return Unavailable("device has no in-situ subsystem");
-  ftl::IoCost local;
-  COMPSTOR_RETURN_IF_ERROR(ftl_->ReadPage(lpn, out, &local));
-  const units::Seconds bus =
-      profile_.internal_latency_s +
-      static_cast<double>(out.size()) / profile_.internal_bandwidth_bytes_per_s;
-  local.latency += bus;
-  internal_busy_.AddBusy(bus);
-  nvme::ChargeFlashEnergy(&meter_, profile_.flash_power, local, out.size());
-  if (cost != nullptr) cost->Add(local);
+  const std::uint32_t page = ftl_->page_data_bytes();
+  if (out.size() != page) return InvalidArgument("internal io: one page at a time");
+  auto buf = std::make_shared<std::vector<std::uint8_t>>(page);
+  nvme::Command cmd;
+  cmd.opcode = nvme::Opcode::kRead;
+  cmd.slba = lpn;
+  cmd.nlb = 1;
+  cmd.data = buf;
+  nvme::Completion cqe = SubmitInternalSync(std::move(cmd));
+  COMPSTOR_RETURN_IF_ERROR(cqe.status);
+  std::memcpy(out.data(), buf->data(), out.size());
+  if (cost != nullptr) cost->latency += cqe.latency + ChargeInternalBus(out.size());
+  else (void)ChargeInternalBus(out.size());
   return OkStatus();
 }
 
 Status Ssd::InternalWrite(std::uint64_t lpn, std::span<const std::uint8_t> data,
                           ftl::IoCost* cost) {
   if (!has_isps_path()) return Unavailable("device has no in-situ subsystem");
-  ftl::IoCost local;
-  COMPSTOR_RETURN_IF_ERROR(ftl_->WritePage(lpn, data, &local));
-  const units::Seconds bus =
-      profile_.internal_latency_s +
-      static_cast<double>(data.size()) / profile_.internal_bandwidth_bytes_per_s;
-  local.latency += bus;
-  internal_busy_.AddBusy(bus);
-  nvme::ChargeFlashEnergy(&meter_, profile_.flash_power, local, data.size());
-  if (cost != nullptr) cost->Add(local);
+  const std::uint32_t page = ftl_->page_data_bytes();
+  if (data.size() != page) return InvalidArgument("internal io: one page at a time");
+  auto buf = std::make_shared<std::vector<std::uint8_t>>(data.begin(), data.end());
+  nvme::Command cmd;
+  cmd.opcode = nvme::Opcode::kWrite;
+  cmd.slba = lpn;
+  cmd.nlb = 1;
+  cmd.data = buf;
+  nvme::Completion cqe = SubmitInternalSync(std::move(cmd));
+  COMPSTOR_RETURN_IF_ERROR(cqe.status);
+  if (cost != nullptr) cost->latency += cqe.latency + ChargeInternalBus(data.size());
+  else (void)ChargeInternalBus(data.size());
   return OkStatus();
 }
 
 Status Ssd::InternalTrim(std::uint64_t lpn, std::uint64_t count, ftl::IoCost* cost) {
   if (!has_isps_path()) return Unavailable("device has no in-situ subsystem");
-  return ftl_->Trim(lpn, count, cost);
+  while (count > 0) {
+    const auto chunk = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(count, kMaxNlbPerCommand));
+    nvme::Command cmd;
+    cmd.opcode = nvme::Opcode::kDatasetManagement;
+    cmd.slba = lpn;
+    cmd.nlb = chunk;
+    nvme::Completion cqe = SubmitInternalSync(std::move(cmd));
+    COMPSTOR_RETURN_IF_ERROR(cqe.status);
+    if (cost != nullptr) cost->latency += cqe.latency;
+    lpn += chunk;
+    count -= chunk;
+  }
+  return OkStatus();
 }
 
 }  // namespace compstor::ssd

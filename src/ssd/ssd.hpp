@@ -50,8 +50,10 @@ class Ssd {
   /// view and ISPS view must serialize against each other).
   std::shared_ptr<std::mutex> fs_mutex() const { return fs_mutex_; }
 
-  /// Internal-path IO used by the ISPS view: direct FTL access plus the
-  /// internal bus charge. Returns model latency via `cost`.
+  /// Internal-path IO used by the ISPS view: one page per command through the
+  /// controller's internal submission ring (same back-end arbitration as host
+  /// IO, no PCIe/overhead charges) plus the internal bus charge. Returns
+  /// model latency via `cost`.
   Status InternalRead(std::uint64_t lpn, std::span<std::uint8_t> out, ftl::IoCost* cost);
   Status InternalWrite(std::uint64_t lpn, std::span<const std::uint8_t> data,
                        ftl::IoCost* cost);
@@ -63,6 +65,11 @@ class Ssd {
  private:
   class HostView;
   class InternalView;
+
+  /// Submits on the internal ring and blocks on the completion callback.
+  nvme::Completion SubmitInternalSync(nvme::Command cmd);
+  /// Accounts one internal-bus transfer; returns its model latency.
+  units::Seconds ChargeInternalBus(std::size_t bytes);
 
   SsdProfile profile_;
   energy::EnergyMeter meter_;

@@ -12,6 +12,7 @@
 #include <mutex>
 #include <optional>
 #include <utility>
+#include <vector>
 
 namespace compstor::util {
 
@@ -23,6 +24,12 @@ class MpmcQueue {
   MpmcQueue(const MpmcQueue&) = delete;
   MpmcQueue& operator=(const MpmcQueue&) = delete;
 
+  // All notifications below happen while the lock is held. Notifying after
+  // unlock would be marginally faster, but it lets a peer observe the state
+  // change, finish, and destroy the queue while this thread is still inside
+  // the condvar call — a use-after-free under the "last pop releases the
+  // queue" teardown pattern the NVMe completion path relies on.
+
   /// Blocks until space is available or the queue is closed.
   /// Returns false if the queue was closed (item not enqueued).
   bool Push(T item) {
@@ -30,18 +37,15 @@ class MpmcQueue {
     not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
     if (closed_) return false;
     items_.push_back(std::move(item));
-    lock.unlock();
     not_empty_.notify_one();
     return true;
   }
 
   /// Non-blocking push. Returns false if full or closed.
   bool TryPush(T item) {
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (closed_ || items_.size() >= capacity_) return false;
-      items_.push_back(std::move(item));
-    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(item));
     not_empty_.notify_one();
     return true;
   }
@@ -53,9 +57,24 @@ class MpmcQueue {
     if (items_.empty()) return std::nullopt;  // closed and drained
     T item = std::move(items_.front());
     items_.pop_front();
-    lock.unlock();
     not_full_.notify_one();
     return item;
+  }
+
+  /// Blocking batch pop: waits for at least one item, then drains up to
+  /// `max_items` in one critical section. An empty result means the queue is
+  /// closed and drained. Used by completion reapers to amortize the lock and
+  /// wakeup per reaped completion (the NVMe driver's "completion coalescing").
+  std::vector<T> PopBatch(std::size_t max_items) {
+    std::vector<T> out;
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    while (!items_.empty() && out.size() < max_items) {
+      out.push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    not_full_.notify_all();
+    return out;
   }
 
   /// Non-blocking pop.
@@ -64,7 +83,6 @@ class MpmcQueue {
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
-    lock.unlock();
     not_full_.notify_one();
     return item;
   }
@@ -72,10 +90,8 @@ class MpmcQueue {
   /// Closes the queue: pending Pops drain remaining items then return
   /// nullopt; Pushes fail immediately.
   void Close() {
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      closed_ = true;
-    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
     not_empty_.notify_all();
     not_full_.notify_all();
   }

@@ -112,6 +112,30 @@ TEST(VirtualClock, AdvanceToIsMonotone) {
   EXPECT_NEAR(c.Now(), 3.0, 1e-9);
 }
 
+TEST(VirtualClock, SubNanosecondAdvancesAreRoundedNotTruncated) {
+  // Advance() quantizes to integer nanoseconds. Truncation would silently
+  // drop any advance below 1ns — a 0.9ns command latency repeated a million
+  // times would register as zero elapsed time. Rounding keeps the error
+  // bounded at half a tick per call.
+  VirtualClock c;
+  c.Advance(0.9e-9);
+  EXPECT_NEAR(c.Now(), 1e-9, 1e-15);  // rounds up, not to zero
+
+  c.Reset();
+  for (int i = 0; i < 1000; ++i) c.Advance(0.6e-9);
+  EXPECT_NEAR(c.Now(), 1000e-9, 1e-12);  // 0.6ns rounds to 1ns each
+
+  // Below half a tick the advance legitimately rounds to nothing.
+  c.Reset();
+  c.Advance(0.4e-9);
+  EXPECT_EQ(c.Now(), 0.0);
+
+  // Same policy for busy accounting.
+  BusyMeter m;
+  m.AddBusy(0.9e-9);
+  EXPECT_NEAR(m.BusySeconds(), 1e-9, 1e-15);
+}
+
 TEST(VirtualClock, ConcurrentAdvancesSum) {
   VirtualClock c;
   std::vector<std::thread> threads;
