@@ -44,7 +44,7 @@ void PrintModelTable() {
               per_ssd_media / per_ssd_share);
 }
 
-void MeasureEmulatedDevice() {
+void MeasureEmulatedDevice(bench::BenchReport& report) {
   bench::PrintHeader("Fig 1 - measured on the emulated CompStor device");
 
   auto dev = bench::DeviceStack::Make(/*seed=*/7);
@@ -87,12 +87,23 @@ void MeasureEmulatedDevice() {
               dev->ssd->array().AggregateMediaBandwidth() / link_bw);
   std::printf("\nIn-situ processing reads at media speed and ships only results\n"
               "across the link - the premise of the CompStor design.\n");
+
+  report.Config("seed", 7);
+  report.Config("pages", pages);
+  report.Config("page_data_bytes", page);
+  report.Metric("media_peak_gbps", dev->ssd->array().AggregateMediaBandwidth() / 1e9);
+  report.Metric("media_read_gbps", media_bw / 1e9);
+  report.Metric("link_gbps", link_bw / 1e9);
+  report.Metric("device_mismatch_x",
+                dev->ssd->array().AggregateMediaBandwidth() / link_bw);
+  report.Telemetry(dev->ssd->telemetry().Snapshot());
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReport report("fig1_bandwidth", argc, argv);
   PrintModelTable();
-  MeasureEmulatedDevice();
-  return 0;
+  MeasureEmulatedDevice(report);
+  return report.Write() ? 0 : 1;
 }

@@ -9,6 +9,8 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "client/cluster.hpp"
@@ -18,9 +20,110 @@
 #include "isps/profile.hpp"
 #include "ssd/profiles.hpp"
 #include "ssd/ssd.hpp"
+#include "telemetry/metrics.hpp"
 #include "workload/dataset.hpp"
 
 namespace compstor::bench {
+
+/// Machine-readable bench output, the perf-trajectory file format.
+///
+/// Every bench constructs one of these from argv; `--json [path]` enables it
+/// (default path `BENCH_<name>.json` in the working directory). Without the
+/// flag every call is a no-op, so benches report unconditionally and the
+/// human-readable tables stay the default output.
+///
+/// The file is one JSON object: {"name": ..., "config": {...},
+/// "metrics": {...}, "telemetry": {...}} — config holds the knobs the run
+/// was shaped by, metrics the numbers the bench's printed table reports, and
+/// telemetry an optional registry snapshot (telemetry::MetricsToJson form).
+class BenchReport {
+ public:
+  BenchReport(std::string name, int argc, char** argv) : name_(std::move(name)) {
+    for (int i = 1; i < argc; ++i) {
+      if (std::string_view(argv[i]) == "--json") {
+        enabled_ = true;
+        if (i + 1 < argc && argv[i + 1][0] != '-') path_ = argv[++i];
+      }
+    }
+    if (enabled_ && path_.empty()) path_ = "BENCH_" + name_ + ".json";
+  }
+
+  bool enabled() const { return enabled_; }
+  const std::string& path() const { return path_; }
+
+  void Config(const std::string& key, double value) {
+    if (enabled_) config_.emplace_back(key, Number(value));
+  }
+  void Config(const std::string& key, const std::string& value) {
+    if (enabled_) config_.emplace_back(key, "\"" + Escape(value) + "\"");
+  }
+  void Metric(const std::string& key, double value) {
+    if (enabled_) metrics_.emplace_back(key, Number(value));
+  }
+  /// Attaches a registry snapshot (device- or cluster-wide) verbatim.
+  void Telemetry(const std::vector<telemetry::MetricValue>& metrics) {
+    if (enabled_) telemetry_json_ = telemetry::MetricsToJson(metrics);
+  }
+
+  /// Writes the file (no-op without --json). Returns false on IO error.
+  bool Write() const {
+    if (!enabled_) return true;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "BenchReport: cannot open %s\n", path_.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"name\": \"%s\",\n  \"config\": {", Escape(name_).c_str());
+    WriteSection(f, config_);
+    std::fprintf(f, "},\n  \"metrics\": {");
+    WriteSection(f, metrics_);
+    std::fprintf(f, "}");
+    if (!telemetry_json_.empty()) {
+      std::fprintf(f, ",\n  \"telemetry\": %s", telemetry_json_.c_str());
+    }
+    std::fprintf(f, "\n}\n");
+    std::fclose(f);
+    std::printf("\n[--json] wrote %s\n", path_.c_str());
+    return true;
+  }
+
+ private:
+  using Fields = std::vector<std::pair<std::string, std::string>>;
+
+  static std::string Number(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    return buf;
+  }
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+        out += buf;
+        continue;
+      }
+      out += c;
+    }
+    return out;
+  }
+  static void WriteSection(std::FILE* f, const Fields& fields) {
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      std::fprintf(f, "%s\n    \"%s\": %s", i ? "," : "",
+                   Escape(fields[i].first).c_str(), fields[i].second.c_str());
+    }
+    if (!fields.empty()) std::fprintf(f, "\n  ");
+  }
+
+  std::string name_;
+  bool enabled_ = false;
+  std::string path_;
+  Fields config_;
+  Fields metrics_;
+  std::string telemetry_json_;
+};
 
 /// One CompStor device with its agent and a client handle, ready to use.
 struct DeviceStack {

@@ -110,7 +110,10 @@ SweepPoint Run(std::size_t queue_pairs, std::size_t queue_depth) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReport report("qd_scaling", argc, argv);
+  report.Config("working_set_pages", static_cast<double>(kWorkingSetPages));
+  report.Config("commands_per_submitter", static_cast<double>(kCommandsPerSubmitter));
   bench::PrintHeader("Queue-depth scaling - multi-queue NVMe pipeline");
   std::printf("random 4KiB reads, %llu-page working set, %llu commands per"
               " submitter,\nback-end workers = queue pairs:\n\n",
@@ -135,6 +138,10 @@ int main() {
       const double rel = base_iops > 0 ? pt.iops / base_iops : 0;
       std::printf("%-6zu %-5zu %12.0f %12.6f %9.1f%% %9.2fx\n", qp, qd, pt.iops,
                   pt.makespan_s, pt.channel_util_mean * 100, rel);
+      const std::string key = "qp" + std::to_string(qp) + ".qd" + std::to_string(qd);
+      report.Metric(key + ".iops", pt.iops);
+      report.Metric(key + ".makespan_s", pt.makespan_s);
+      report.Metric(key + ".channel_util", pt.channel_util_mean);
     }
     std::printf("\n");
   }
@@ -142,5 +149,7 @@ int main() {
   const double speedup = base_iops > 0 ? best_4q_qd16 / base_iops : 0;
   std::printf("4 queue pairs at QD>=16 vs single queue at QD1: %.2fx %s\n",
               speedup, speedup >= 2.0 ? "(PASS: >= 2x)" : "(FAIL: < 2x)");
+  report.Metric("speedup_4q_qd16plus", speedup);
+  report.Write();
   return speedup >= 2.0 ? 0 : 1;
 }

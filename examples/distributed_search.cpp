@@ -7,9 +7,17 @@
 // the device count (Fig 6) and the host link carries only commands+results.
 //
 // Build & run:  cmake --build build && ./build/examples/distributed_search
+//
+// Telemetry:
+//   --trace <path>  dump a merged Chrome trace_event JSON of the run (one
+//                   trace pid per device) — open in chrome://tracing or
+//                   https://ui.perfetto.dev
+//   --stats         print the cluster-wide merged kStats snapshot
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <numeric>
+#include <string>
 #include <vector>
 
 #include "client/cluster.hpp"
@@ -17,6 +25,8 @@
 #include "isps/agent.hpp"
 #include "ssd/profiles.hpp"
 #include "ssd/ssd.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 #include "workload/dataset.hpp"
 
 using namespace compstor;
@@ -31,9 +41,19 @@ struct Device {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   constexpr std::size_t kDevices = 4;
   constexpr std::uint32_t kFiles = 12;
+
+  std::string trace_path;
+  bool print_stats = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      print_stats = true;
+    }
+  }
 
   // Bring up the cluster.
   std::vector<Device> devices(kDevices);
@@ -121,5 +141,28 @@ int main() {
               "(staging included)\n",
               static_cast<double>(link_bytes) / (1 << 20),
               static_cast<double>(data_bytes) / (1 << 20));
+
+  // Cluster-wide merged stats snapshot: every device's registry fetched over
+  // the wire (kStats) plus the cluster's own breaker counters.
+  if (print_stats) {
+    std::printf("\n--- cluster stats (kStats merge) ---\n");
+    telemetry::PrintMetricsTable(stdout, cluster.CollectStats());
+  }
+
+  // Virtual-time trace of the whole run: one trace pid per device, NVMe
+  // command spans and minion dispatch/run/respond spans on their lanes.
+  if (!trace_path.empty()) {
+    std::vector<std::vector<telemetry::TraceEvent>> per_device;
+    for (std::size_t d = 0; d < kDevices; ++d) {
+      per_device.push_back(devices[d].ssd->trace().Events());
+    }
+    const std::string json = telemetry::MergeChromeTraceJson(per_device);
+    if (!telemetry::WriteTraceFile(trace_path, json).ok()) {
+      std::fprintf(stderr, "failed to write trace %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s - open in chrome://tracing or ui.perfetto.dev\n",
+                trace_path.c_str());
+  }
   return 0;
 }

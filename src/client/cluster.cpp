@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 #include <limits>
 #include <numeric>
+#include <string>
 
 namespace compstor::client {
 
@@ -46,7 +48,13 @@ std::vector<std::size_t> Cluster::AssignByUtilization(
     auto status = devices_[d]->GetStatus();
     if (status.ok()) {
       RecordSuccess(d);
-      load[d] = status->utilization * 1e9;  // bias in pseudo-bytes
+      // Utilization dominates (scaled into pseudo-bytes); the summed SQ
+      // depths break utilization ties so two idle devices are ordered by
+      // real backlog, and min_element's first-minimum rule breaks the rest
+      // by index. Deterministic for a given set of replies.
+      double backlog = 0;
+      for (std::uint32_t depth : status->sq_depths) backlog += depth;
+      load[d] = status->utilization * 1e9 + backlog;
       ++usable;
     } else {
       RecordFailure(d);
@@ -71,6 +79,46 @@ std::vector<std::size_t> Cluster::AssignByUtilization(
     load[bin] += static_cast<double>(weights[item]);
   }
   return assignment;
+}
+
+std::vector<telemetry::MetricValue> Cluster::CollectStats() {
+  std::vector<telemetry::MetricValue> merged;
+  for (std::size_t d = 0; d < devices_.size(); ++d) {
+    if (health_[d].state != DeviceHealth::State::kOffline) {
+      auto metrics = devices_[d]->GetStatsSnapshot();
+      if (metrics.ok()) {
+        RecordSuccess(d);
+        auto prefixed =
+            telemetry::WithPrefix("dev" + std::to_string(d) + ".", std::move(*metrics));
+        merged.insert(merged.end(), std::make_move_iterator(prefixed.begin()),
+                      std::make_move_iterator(prefixed.end()));
+      } else {
+        RecordFailure(d);
+      }
+    }
+    // The cluster's own view of the device, merged under the same namespace
+    // the paper's load balancer reads ("cluster.dev3.minions_failed").
+    const DeviceHealth& h = health_[d];
+    const std::string p = "cluster.dev" + std::to_string(d) + ".";
+    const auto counter = [&merged, &p](const std::string& name, std::uint64_t v) {
+      telemetry::MetricValue m;
+      m.name = p + name;
+      m.kind = telemetry::MetricKind::kCounter;
+      m.value = static_cast<double>(v);
+      merged.push_back(std::move(m));
+    };
+    counter("minions_ok", h.successes);
+    counter("minions_failed", h.failures);
+    counter("breaker_trips", h.trips);
+    counter("probes", h.probes);
+    counter("recoveries", h.recoveries);
+  }
+  telemetry::MetricValue re;
+  re.name = "cluster.redispatches";
+  re.kind = telemetry::MetricKind::kCounter;
+  re.value = static_cast<double>(redispatches_);
+  merged.push_back(std::move(re));
+  return merged;
 }
 
 std::size_t Cluster::PickDevice(std::size_t preferred, bool* probe) {

@@ -79,11 +79,20 @@ class Cluster {
 
   /// Least-loaded assignment using live status queries (utilization per
   /// device); items are placed one by one onto the device with the lowest
-  /// estimated load. A device whose query fails (or whose breaker is open)
-  /// is excluded from assignment; when no device answers, assignment falls
-  /// back to round-robin across all devices.
+  /// estimated load. Utilization ties break on total submission-queue depth
+  /// (from the per-queue-pair depths in the status reply), then on device
+  /// index — so the assignment is deterministic for a given set of replies.
+  /// A device whose query fails (or whose breaker is open) is excluded from
+  /// assignment; when no device answers, assignment falls back to
+  /// round-robin across all devices.
   std::vector<std::size_t> AssignByUtilization(
       const std::vector<std::uint64_t>& weights);
+
+  /// Host-side merge of every healthy device's kStats snapshot: each metric
+  /// is prefixed with "dev<i>.", and the cluster's own circuit-breaker
+  /// bookkeeping is appended as "cluster.dev<i>.*" counters. Devices whose
+  /// query fails are skipped (and the failure feeds their breaker).
+  std::vector<telemetry::MetricValue> CollectStats();
 
   struct WorkItem {
     std::size_t device_index;

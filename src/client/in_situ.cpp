@@ -119,6 +119,13 @@ Result<proto::QueryReply> CompStorHandle::GetStatus() {
   return SendQuery(std::move(q));
 }
 
+Result<std::vector<telemetry::MetricValue>> CompStorHandle::GetStatsSnapshot() {
+  proto::Query q;
+  q.type = proto::QueryType::kStats;
+  COMPSTOR_ASSIGN_OR_RETURN(proto::QueryReply reply, SendQuery(std::move(q)));
+  return std::move(reply.metrics);
+}
+
 Status CompStorHandle::LoadTask(std::string_view name, std::string_view script) {
   proto::Query q;
   q.type = proto::QueryType::kLoadTask;

@@ -114,6 +114,9 @@ class CompStorHandle {
   // --- queries ---
   Result<proto::QueryReply> SendQuery(proto::Query query);
   Result<proto::QueryReply> GetStatus();
+  /// kStats: point-in-time snapshot of the device-side telemetry registry,
+  /// fetched over the wire (CRC-framed like every entity).
+  Result<std::vector<telemetry::MetricValue>> GetStatsSnapshot();
   /// Dynamic task loading: install `script` as command `name` on the device.
   Status LoadTask(std::string_view name, std::string_view script);
   Result<std::vector<std::string>> ListTasks();

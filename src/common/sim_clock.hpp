@@ -51,6 +51,10 @@ class VirtualClock {
     return static_cast<double>(nanos_.load(std::memory_order_relaxed)) * 1e-9;
   }
 
+  /// Raw nanosecond ticks — the exact representation, for trace timestamps
+  /// that must nest without floating-point rounding at the boundaries.
+  std::uint64_t NowNanos() const { return nanos_.load(std::memory_order_relaxed); }
+
   void Reset() { nanos_.store(0, std::memory_order_relaxed); }
 
  private:

@@ -42,6 +42,7 @@ OpResult Array::ReadPage(Ppn ppn, std::span<std::uint8_t> out) {
   OpResult r = ref->die->ReadPage(ref->block, ref->page, out);
   if (!r.status.ok()) return r;
   r.latency += ChargeChannel(ref->channel, out.size());
+  if (read_us_ != nullptr) read_us_->Add(r.latency * 1e6);
   return r;
 }
 
@@ -54,6 +55,7 @@ OpResult Array::ProgramPage(Ppn ppn, std::span<const std::uint8_t> data) {
   const units::Seconds xfer = ChargeChannel(ref->channel, data.size());
   OpResult r = ref->die->ProgramPage(ref->block, ref->page, data);
   r.latency += xfer;
+  if (program_us_ != nullptr && r.status.ok()) program_us_->Add(r.latency * 1e6);
   return r;
 }
 
@@ -63,7 +65,9 @@ OpResult Array::EraseBlock(Pbn pbn) {
   }
   const std::uint32_t die_global = static_cast<std::uint32_t>(pbn / geometry_.blocks_per_die());
   const std::uint32_t block = static_cast<std::uint32_t>(pbn % geometry_.blocks_per_die());
-  return dies_[die_global]->EraseBlock(block);
+  OpResult r = dies_[die_global]->EraseBlock(block);
+  if (erase_us_ != nullptr && r.status.ok()) erase_us_->Add(r.latency * 1e6);
+  return r;
 }
 
 std::uint32_t Array::EraseCount(Pbn pbn) const {
@@ -85,6 +89,34 @@ ArrayStats Array::Stats() const {
     s.channel_busy_total += ch->BusySeconds();
   }
   return s;
+}
+
+void Array::RegisterMetrics(telemetry::Registry* registry) {
+  if (registry == nullptr) return;
+  const auto sum_probe = [this, registry](std::string_view name,
+                                          std::uint64_t (Die::*getter)() const) {
+    registry->RegisterProbe(name, telemetry::MetricKind::kCounter, [this, getter] {
+      std::uint64_t total = 0;
+      for (const auto& die : dies_) total += (die.get()->*getter)();
+      return static_cast<double>(total);
+    });
+  };
+  sum_probe("flash.reads", &Die::reads);
+  sum_probe("flash.programs", &Die::programs);
+  sum_probe("flash.erases", &Die::erases);
+  registry->RegisterProbe("flash.busiest_die_s", telemetry::MetricKind::kGauge,
+                          [this] { return Stats().busiest_die_time; });
+  for (std::uint32_t c = 0; c < geometry_.channels; ++c) {
+    registry->RegisterProbe("flash.ch" + std::to_string(c) + ".busy_s",
+                            telemetry::MetricKind::kGauge,
+                            [this, c] { return ChannelBusySeconds(c); });
+  }
+  read_us_ = &registry->GetHistogram("flash.read_us",
+                                     telemetry::Histogram::LatencyUsBounds());
+  program_us_ = &registry->GetHistogram("flash.program_us",
+                                        telemetry::Histogram::LatencyUsBounds());
+  erase_us_ = &registry->GetHistogram("flash.erase_us",
+                                      telemetry::Histogram::LatencyUsBounds());
 }
 
 }  // namespace compstor::flash

@@ -16,6 +16,7 @@
 #include "common/status.hpp"
 #include "flash/chip.hpp"
 #include "flash/geometry.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace compstor::flash {
 
@@ -50,6 +51,11 @@ class Array {
 
   ArrayStats Stats() const;
 
+  /// Exports op counts and per-channel busy time as `flash.*` probes, plus
+  /// per-op latency histograms (`flash.read_us` / `flash.program_us` /
+  /// `flash.erase_us`) sampled on the hot path with relaxed atomics only.
+  void RegisterMetrics(telemetry::Registry* registry);
+
   /// Sum of per-channel peak bandwidths — the "enormous aggregated bandwidth
   /// at the media interface" of the paper's Fig 1.
   double AggregateMediaBandwidth() const {
@@ -81,6 +87,10 @@ class Array {
   const Timing timing_;
   std::vector<std::unique_ptr<Die>> dies_;
   std::vector<std::unique_ptr<BusyMeter>> channel_busy_;
+  // Owned by the device registry; null until RegisterMetrics.
+  telemetry::Histogram* read_us_ = nullptr;
+  telemetry::Histogram* program_us_ = nullptr;
+  telemetry::Histogram* erase_us_ = nullptr;
 };
 
 }  // namespace compstor::flash

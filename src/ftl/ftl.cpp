@@ -14,6 +14,25 @@ IoCost g_null_cost;  // sink when the caller does not want cost accounting
 /// retires a whole block, so consecutive failures are astronomically rare on
 /// healthy media and a strong end-of-life signal otherwise).
 constexpr int kProgramAttempts = 4;
+
+/// lock_guard that counts blocked acquisitions: a failed try_lock means some
+/// other back-end worker holds the lock, so the caller is serialized.
+class ContendedLock {
+ public:
+  ContendedLock(std::mutex& mutex, std::atomic<std::uint64_t>& contended)
+      : mutex_(mutex) {
+    if (!mutex_.try_lock()) {
+      contended.fetch_add(1, std::memory_order_relaxed);
+      mutex_.lock();
+    }
+  }
+  ~ContendedLock() { mutex_.unlock(); }
+  ContendedLock(const ContendedLock&) = delete;
+  ContendedLock& operator=(const ContendedLock&) = delete;
+
+ private:
+  std::mutex& mutex_;
+};
 }  // namespace
 
 Ftl::Ftl(flash::Array* array, FtlConfig config)
@@ -52,7 +71,7 @@ Status Ftl::ReadPage(std::uint64_t lpn, std::span<std::uint8_t> out, IoCost* cos
   if (lpn >= user_pages_) return OutOfRange("ftl read: lpn out of range");
 
   MapShard& shard = ShardOf(lpn);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  ContendedLock lock(shard.mutex, counters_.shard_lock_contended);
   counters_.host_page_reads.fetch_add(1, std::memory_order_relaxed);
 
   // The write cache holds the newest copy of recently written pages.
@@ -121,7 +140,7 @@ Status Ftl::WritePage(std::uint64_t lpn, std::span<const std::uint8_t> data, IoC
     // moves to the FIFO tail on rewrite so hot pages coalesce.
     {
       MapShard& shard = ShardOf(lpn);
-      std::lock_guard<std::mutex> lock(shard.mutex);
+      ContendedLock lock(shard.mutex, counters_.shard_lock_contended);
       auto it = shard.cache_index.find(lpn);
       if (it != shard.cache_index.end()) {
         it->second->data.assign(data.begin(), data.end());
@@ -152,7 +171,7 @@ Status Ftl::WritePage(std::uint64_t lpn, std::span<const std::uint8_t> data, IoC
       MaybeMaintain(cost);
     }
     {
-      std::lock_guard<std::mutex> lock(ShardOf(lpn).mutex);
+      ContendedLock lock(ShardOf(lpn).mutex, counters_.shard_lock_contended);
       st = ProgramShardLocked(lpn, data, cost);
     }
     if (st.ok() || st.code() != StatusCode::kResourceExhausted) return st;
@@ -193,7 +212,7 @@ Result<flash::Ppn> Ftl::ProgramAnywhere(std::uint64_t lpn,
   while (offset < ndies) {
     const std::uint32_t d = (start + offset) % ndies;
     DieState& die = *dies_[d];
-    std::unique_lock<std::mutex> lock(die.mutex);
+    ContendedLock lock(die.mutex, counters_.die_lock_contended);
     if (die.active == kNoActive) {
       die.active = TakeFreeBlockDieLocked(die, /*for_gc=*/false);
       if (die.active == kNoActive) {
@@ -282,7 +301,7 @@ void Ftl::MarkBadQueueRetire(flash::Pbn block) {
 }
 
 void Ftl::MaybeMaintain(IoCost* cost) {
-  std::lock_guard<std::mutex> lock(maintenance_mutex_);
+  ContendedLock lock(maintenance_mutex_, counters_.maintenance_lock_contended);
   DrainRetirementsLocked(cost);
   if (free_block_count_.load(std::memory_order_relaxed) <= config_.gc_low_watermark) {
     // Error swallowed on purpose: the caller's allocation decides whether
@@ -292,7 +311,7 @@ void Ftl::MaybeMaintain(IoCost* cost) {
 }
 
 Status Ftl::ForceCollect(IoCost* cost) {
-  std::lock_guard<std::mutex> lock(maintenance_mutex_);
+  ContendedLock lock(maintenance_mutex_, counters_.maintenance_lock_contended);
   DrainRetirementsLocked(cost);
   return CollectLocked(cost);
 }
@@ -355,12 +374,12 @@ Status Ftl::RelocateAndErase(flash::Pbn victim, bool erase_after,
       const flash::Ppn ppn = victim * g.pages_per_block + p;
       std::uint64_t lpn;
       {
-        std::lock_guard<std::mutex> die_lock(vdie.mutex);
+        ContendedLock die_lock(vdie.mutex, counters_.die_lock_contended);
         lpn = p2l_[ppn];
       }
       if (lpn == kUnmappedLpn) continue;  // stale page
 
-      std::lock_guard<std::mutex> shard_lock(ShardOf(lpn).mutex);
+      ContendedLock shard_lock(ShardOf(lpn).mutex, counters_.shard_lock_contended);
       if (l2p_[lpn].load(std::memory_order_relaxed) != ppn) {
         continue;  // overwritten or trimmed since; already invalidated
       }
@@ -374,7 +393,7 @@ Status Ftl::RelocateAndErase(flash::Pbn victim, bool erase_after,
   }
   if (!erase_after) return OkStatus();  // grown-bad block: drained, not erasable
 
-  std::lock_guard<std::mutex> die_lock(vdie.mutex);
+  ContendedLock die_lock(vdie.mutex, counters_.die_lock_contended);
   flash::OpResult er = array_->EraseBlock(victim);
   cost->latency += er.latency;
   if (!er.status.ok()) {
@@ -417,7 +436,7 @@ Result<flash::Ppn> Ftl::ProgramGcPage(std::uint64_t lpn,
       // Take from any die: the frontier is a single block regardless of where
       // it lives, so GC consumes at most one block of reserve at a time.
       for (auto& die : dies_) {
-        std::lock_guard<std::mutex> lock(die->mutex);
+        ContendedLock lock(die->mutex, counters_.die_lock_contended);
         const flash::Pbn b = TakeFreeBlockDieLocked(*die, /*for_gc=*/true);
         if (b != kNoActive) {
           gc_active_ = b;
@@ -430,7 +449,7 @@ Result<flash::Ppn> Ftl::ProgramGcPage(std::uint64_t lpn,
     }
     const flash::Pbn block = gc_active_;
     DieState& die = *dies_[DieOfBlock(block)];
-    std::lock_guard<std::mutex> lock(die.mutex);
+    ContendedLock lock(die.mutex, counters_.die_lock_contended);
     BlockInfo& info = blocks_[block];
     const flash::Ppn ppn = block * g.pages_per_block + info.next_page;
     ++info.next_page;
@@ -539,7 +558,7 @@ Status Ftl::EvictWithGcRetry(std::size_t target, IoCost* cost) {
     std::size_t best = shards_.size();
     std::uint64_t best_seq = std::numeric_limits<std::uint64_t>::max();
     for (std::size_t s = 0; s < shards_.size(); ++s) {
-      std::lock_guard<std::mutex> lock(shards_[s]->mutex);
+      ContendedLock lock(shards_[s]->mutex, counters_.shard_lock_contended);
       if (!shards_[s]->cache_fifo.empty() &&
           shards_[s]->cache_fifo.front().seq < best_seq) {
         best_seq = shards_[s]->cache_fifo.front().seq;
@@ -551,7 +570,7 @@ Status Ftl::EvictWithGcRetry(std::size_t target, IoCost* cost) {
     Status st;
     {
       MapShard& shard = *shards_[best];
-      std::lock_guard<std::mutex> lock(shard.mutex);
+      ContendedLock lock(shard.mutex, counters_.shard_lock_contended);
       if (shard.cache_fifo.empty()) continue;
       CacheEntry entry = std::move(shard.cache_fifo.front());
       shard.cache_fifo.pop_front();
@@ -592,7 +611,7 @@ Status Ftl::Trim(std::uint64_t lpn, std::uint64_t count, IoCost* cost) {
   for (std::uint64_t i = 0; i < count; ++i) {
     const std::uint64_t cur = lpn + i;
     MapShard& shard = ShardOf(cur);
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    ContendedLock lock(shard.mutex, counters_.shard_lock_contended);
     bool existed = false;
     // A trimmed page must not resurrect from the write cache.
     auto cached = shard.cache_index.find(cur);
@@ -637,6 +656,9 @@ FtlStats Ftl::Stats() const {
   s.cache_write_hits = load(counters_.cache_write_hits);
   s.cache_read_hits = load(counters_.cache_read_hits);
   s.cache_flushes = load(counters_.cache_flushes);
+  s.shard_lock_contended = load(counters_.shard_lock_contended);
+  s.die_lock_contended = load(counters_.die_lock_contended);
+  s.maintenance_lock_contended = load(counters_.maintenance_lock_contended);
   s.free_blocks = free_block_count_.load(std::memory_order_relaxed);
   const std::uint64_t total_blocks = array_->geometry().total_blocks();
   std::uint32_t min_ec = std::numeric_limits<std::uint32_t>::max();
@@ -649,6 +671,42 @@ FtlStats Ftl::Stats() const {
   s.min_erase_count = total_blocks == 0 ? 0 : min_ec;
   s.max_erase_count = max_ec;
   return s;
+}
+
+void Ftl::RegisterMetrics(telemetry::Registry* registry) {
+  if (registry == nullptr) return;
+  const auto probe = [registry](std::string_view name,
+                                const std::atomic<std::uint64_t>& counter) {
+    registry->RegisterProbe(name, telemetry::MetricKind::kCounter, [&counter] {
+      return static_cast<double>(counter.load(std::memory_order_relaxed));
+    });
+  };
+  probe("ftl.host_page_reads", counters_.host_page_reads);
+  probe("ftl.host_page_writes", counters_.host_page_writes);
+  probe("ftl.flash_reads", counters_.flash_reads);
+  probe("ftl.flash_programs", counters_.flash_programs);
+  probe("ftl.gc.runs", counters_.gc_runs);
+  probe("ftl.gc.relocations", counters_.gc_relocated_pages);
+  probe("ftl.wear_level_moves", counters_.wear_level_moves);
+  probe("ftl.trimmed_pages", counters_.trimmed_pages);
+  probe("ftl.ecc_corrected_words", counters_.ecc_corrected_words);
+  probe("ftl.read_retries", counters_.read_retries);
+  probe("ftl.program_failures", counters_.program_failures);
+  probe("ftl.erase_failures", counters_.erase_failures);
+  probe("ftl.grown_bad_blocks", counters_.grown_bad_blocks);
+  probe("ftl.retirement_relocations", counters_.retirement_relocations);
+  probe("ftl.cache.write_hits", counters_.cache_write_hits);
+  probe("ftl.cache.read_hits", counters_.cache_read_hits);
+  probe("ftl.cache.flushes", counters_.cache_flushes);
+  probe("ftl.lock.shard_contended", counters_.shard_lock_contended);
+  probe("ftl.lock.die_contended", counters_.die_lock_contended);
+  probe("ftl.lock.maintenance_contended", counters_.maintenance_lock_contended);
+  registry->RegisterProbe("ftl.free_blocks", telemetry::MetricKind::kGauge, [this] {
+    return static_cast<double>(free_block_count_.load(std::memory_order_relaxed));
+  });
+  registry->RegisterProbe("ftl.cache.entries", telemetry::MetricKind::kGauge, [this] {
+    return static_cast<double>(cache_entries_.load(std::memory_order_relaxed));
+  });
 }
 
 }  // namespace compstor::ftl

@@ -29,6 +29,7 @@
 #include "common/status.hpp"
 #include "ecc/page_codec.hpp"
 #include "flash/array.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace compstor::ftl {
 
@@ -84,6 +85,12 @@ struct FtlStats {
   std::uint64_t cache_write_hits = 0;   // writes absorbed by the buffer
   std::uint64_t cache_read_hits = 0;    // reads served from the buffer
   std::uint64_t cache_flushes = 0;      // buffered pages written to NAND
+  // Lock-contention counts: acquisitions that found the lock already held
+  // (try_lock failed and the caller blocked). The honest "how parallel is the
+  // back-end really" signal for the multi-queue experiments.
+  std::uint64_t shard_lock_contended = 0;
+  std::uint64_t die_lock_contended = 0;
+  std::uint64_t maintenance_lock_contended = 0;
   std::uint32_t min_erase_count = 0;
   std::uint32_t max_erase_count = 0;
   std::uint64_t free_blocks = 0;
@@ -122,6 +129,10 @@ class Ftl {
   Status Flush(IoCost* cost = nullptr);
 
   FtlStats Stats() const;
+
+  /// Exports the FTL counters as probes under `ftl.*` (evaluated lazily at
+  /// snapshot time; the data path keeps its relaxed atomics untouched).
+  void RegisterMetrics(telemetry::Registry* registry);
 
  private:
   enum class BlockState : std::uint8_t { kFree, kActive, kClosed, kBad };
@@ -262,6 +273,9 @@ class Ftl {
     std::atomic<std::uint64_t> cache_write_hits{0};
     std::atomic<std::uint64_t> cache_read_hits{0};
     std::atomic<std::uint64_t> cache_flushes{0};
+    std::atomic<std::uint64_t> shard_lock_contended{0};
+    std::atomic<std::uint64_t> die_lock_contended{0};
+    std::atomic<std::uint64_t> maintenance_lock_contended{0};
   };
   mutable Counters counters_;
 

@@ -11,6 +11,17 @@ HostExecutor::HostExecutor(ssd::Ssd* storage, const energy::CpuProfile& profile)
   runtime_ = std::make_unique<isps::TaskRuntime>(cores_.get(), fs_.get(),
                                                  registry_.get(),
                                                  /*internal_path=*/false);
+  runtime_->AttachTelemetry(&telemetry_, nullptr, "host");
+  telemetry_.RegisterProbe("host.makespan_s", telemetry::MetricKind::kGauge,
+                           [this] { return cores_->Makespan(); });
+  telemetry_.RegisterProbe("host.energy_j", telemetry::MetricKind::kGauge,
+                           [this] { return meter_.TotalJoules(); });
+  for (std::uint32_t c = 0; c < cores_->core_count(); ++c) {
+    telemetry_.RegisterProbe("host.core" + std::to_string(c) + ".busy_ns",
+                             telemetry::MetricKind::kGauge, [this, c] {
+                               return cores_->CoreBusySeconds(c) * 1e9;
+                             });
+  }
 }
 
 HostExecutor::~HostExecutor() { cores_->Shutdown(); }

@@ -15,6 +15,7 @@
 #include "isps/profile.hpp"
 #include "isps/task_runtime.hpp"
 #include "ssd/ssd.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace compstor::host {
 
@@ -37,6 +38,10 @@ class HostExecutor {
   energy::EnergyMeter& meter() { return meter_; }
   const energy::CpuProfile& profile() const { return profile_; }
 
+  /// Host-side metrics registry (`host.*`): the baseline's counterpart of
+  /// the device registry, so experiment reports can merge both sides.
+  telemetry::Registry& telemetry() { return telemetry_; }
+
   /// Formats the storage filesystem (destroys data).
   Status FormatFilesystem(const fs::FormatOptions& options = {});
 
@@ -49,6 +54,7 @@ class HostExecutor {
   ssd::Ssd* storage_;
   energy::CpuProfile profile_;
   energy::EnergyMeter meter_;
+  telemetry::Registry telemetry_;  // before cores_/runtime_: probes capture them
   std::unique_ptr<apps::Registry> registry_;
   std::unique_ptr<fs::Filesystem> fs_;
   std::unique_ptr<isps::CoreEmulator> cores_;

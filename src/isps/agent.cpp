@@ -11,6 +11,24 @@ Agent::Agent(ssd::Ssd* ssd, const ThermalModel& thermal)
   cores_ = std::make_unique<CoreEmulator>(IspsCpuProfile(), &ssd->meter());
   runtime_ = std::make_unique<TaskRuntime>(cores_.get(), fs_.get(), registry_.get(),
                                            /*internal_path=*/true);
+  runtime_->AttachTelemetry(&ssd->telemetry(), &ssd->trace(), "isps");
+  telemetry::Registry& metrics = ssd->telemetry();
+  metrics.RegisterProbe("isps.minions_handled", telemetry::MetricKind::kCounter,
+                        [this] { return static_cast<double>(minions_handled()); });
+  metrics.RegisterProbe("isps.queries_handled", telemetry::MetricKind::kCounter,
+                        [this] { return static_cast<double>(queries_handled()); });
+  metrics.RegisterProbe("isps.utilization", telemetry::MetricKind::kGauge,
+                        [this] { return cores_->Utilization(); });
+  metrics.RegisterProbe("isps.temperature_c", telemetry::MetricKind::kGauge,
+                        [this] { return TemperatureC(); });
+  metrics.RegisterProbe("isps.makespan_s", telemetry::MetricKind::kGauge,
+                        [this] { return cores_->Makespan(); });
+  for (std::uint32_t c = 0; c < cores_->core_count(); ++c) {
+    metrics.RegisterProbe("isps.core" + std::to_string(c) + ".busy_ns",
+                          telemetry::MetricKind::kGauge, [this, c] {
+                            return cores_->CoreBusySeconds(c) * 1e9;
+                          });
+  }
   ssd_->controller().SetVendorHandler(
       [this](const nvme::Command& cmd, nvme::Controller::CompletionSink done) {
         HandleVendor(cmd, std::move(done));
@@ -22,6 +40,9 @@ Agent::~Agent() {
   // minions arrive mid-destruction, then drain the cores.
   ssd_->controller().SetVendorHandler(nullptr);
   cores_->Shutdown();
+  // The device registry outlives this agent; its `isps.*` probes capture
+  // `this` and must go with it.
+  ssd_->telemetry().UnregisterPrefix("isps.");
 }
 
 double Agent::TemperatureC() const {
@@ -91,6 +112,12 @@ proto::QueryReply Agent::HandleQuery(const proto::Query& query) {
       reply.queued_minions =
           static_cast<std::uint32_t>(ssd_->controller().BacklogDepth());
       reply.uptime_virtual_s = cores_->Makespan();
+      reply.sq_depths = ssd_->controller().QueueDepths();
+      break;
+    case proto::QueryType::kStats:
+      // Point-in-time export of the whole device registry; the reply crosses
+      // the link CRC-framed like every other entity.
+      reply.metrics = ssd_->telemetry().Snapshot();
       break;
     case proto::QueryType::kLoadTask:
       if (query.task_name.empty() || query.task_script.empty()) {

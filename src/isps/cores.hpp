@@ -74,6 +74,10 @@ class CoreEmulator {
   /// Max over per-core virtual clocks: the cluster's makespan.
   units::Seconds Makespan() const;
   units::Seconds CoreTime(std::uint32_t core) const { return clocks_[core]->Now(); }
+  /// Busy (compute-charged) model-seconds of one core, for utilization probes.
+  units::Seconds CoreBusySeconds(std::uint32_t core) const {
+    return busy_[core]->BusySeconds();
+  }
   /// Total busy model-seconds across cores.
   units::Seconds TotalBusySeconds() const;
   /// Instantaneous utilization: running work items / cores.

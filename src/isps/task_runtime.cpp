@@ -13,6 +13,18 @@ TaskRuntime::TaskRuntime(CoreEmulator* cores, fs::Filesystem* filesystem,
     : cores_(cores), fs_(filesystem), registry_(registry),
       internal_path_(internal_path), io_rates_(io_rates) {}
 
+void TaskRuntime::AttachTelemetry(telemetry::Registry* registry,
+                                  telemetry::TraceRing* trace,
+                                  std::string_view prefix) {
+  trace_ = trace;
+  if (registry == nullptr) return;
+  const std::string p(prefix);
+  tasks_spawned_ = &registry->GetCounter(p + ".tasks_spawned");
+  tasks_failed_ = &registry->GetCounter(p + ".tasks_failed");
+  task_us_ = &registry->GetHistogram(p + ".task_us",
+                                     telemetry::Histogram::LatencyUsBounds());
+}
+
 std::uint32_t TaskRuntime::Spawn(const proto::Command& command, Callback done) {
   const std::uint32_t pid = next_pid_.fetch_add(1, std::memory_order_relaxed);
   sim::AgentFault fault;
@@ -36,8 +48,13 @@ std::uint32_t TaskRuntime::Spawn(const proto::Command& command, Callback done) {
     }
   }
 
+  if (tasks_spawned_ != nullptr) tasks_spawned_->Add();
   const proto::Command cmd = command;  // own a copy across the async boundary
   cores_->Submit([this, cmd, pid, fault, done = std::move(done)](WorkContext& core) {
+    // Dispatch instant on the executing core's timeline: every charge of
+    // this task lands on the same clock, so the run span nests inside the
+    // dispatch->respond span by construction.
+    const std::uint64_t dispatch_ns = ToNanoTicks(core.Now());
     proto::Response response;
     if (fault.action == sim::AgentFault::Action::kCrash) {
       // The in-storage process died before producing output; the host sees a
@@ -63,6 +80,22 @@ std::uint32_t TaskRuntime::Spawn(const proto::Command& command, Callback done) {
           break;
         }
       }
+    }
+    const bool failed = !response.ok() || response.exit_code != 0;
+    if (failed && tasks_failed_ != nullptr) tasks_failed_->Add();
+    if (task_us_ != nullptr) task_us_->Add(response.elapsed_s() * 1e6);
+    if (trace_ != nullptr) {
+      const std::uint64_t run_start = ToNanoTicks(response.start_time_s);
+      const std::uint64_t run_end = ToNanoTicks(response.end_time_s);
+      const std::uint64_t end_ns = ToNanoTicks(core.Now());
+      const std::uint32_t tid = core.core_index();
+      trace_->Record("minion", "run", pid, run_start, run_end, tid);
+      trace_->Record("minion", "respond", pid, run_end, end_ns, tid);
+      trace_->Record("minion",
+                     cmd.type == proto::CommandType::kExecutable
+                         ? cmd.executable
+                         : std::string("shell"),
+                     pid, dispatch_ns, end_ns, tid);
     }
     // An unresponsive agent finishes the work but the response is lost; the
     // host-side deadline turns this into kDeadlineExceeded.

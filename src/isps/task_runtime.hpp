@@ -21,6 +21,8 @@
 #include "isps/cores.hpp"
 #include "proto/entities.hpp"
 #include "sim/fault.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace compstor::isps {
 
@@ -58,6 +60,14 @@ class TaskRuntime {
   /// regardless of core scheduling. nullptr detaches.
   void SetFaultInjector(sim::FaultInjector* injector) { fault_ = injector; }
 
+  /// Hooks the device telemetry under `prefix` (e.g. "isps" or "host"):
+  /// task counters become registry instruments and every task records
+  /// dispatch->respond spans (with a nested "run" child) into `trace`,
+  /// keyed by pid on the executing core's virtual timeline. Either pointer
+  /// may be null. Call before spawning work.
+  void AttachTelemetry(telemetry::Registry* registry, telemetry::TraceRing* trace,
+                       std::string_view prefix);
+
  private:
   proto::Response Execute(WorkContext& core, const proto::Command& command,
                           std::uint32_t pid);
@@ -68,6 +78,11 @@ class TaskRuntime {
   const bool internal_path_;
   const energy::IoRates io_rates_;
   sim::FaultInjector* fault_ = nullptr;
+
+  telemetry::TraceRing* trace_ = nullptr;
+  telemetry::Counter* tasks_spawned_ = nullptr;  // owned by the registry
+  telemetry::Counter* tasks_failed_ = nullptr;
+  telemetry::Histogram* task_us_ = nullptr;
 
   mutable std::mutex table_mutex_;
   std::vector<TaskInfo> table_;

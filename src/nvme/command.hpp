@@ -48,6 +48,11 @@ struct Command {
   /// the completion posts to the paired completion queue.
   std::uint16_t sqid = 0;
 
+  /// Device virtual time (ns) when the command entered a submission ring;
+  /// stamped by the controller at Submit so trace spans measure queueing +
+  /// execution on one timeline.
+  std::uint64_t submit_ns = 0;
+
   /// Device-internal command (the ISPS flash-access path). Internal commands
   /// skip the PCIe link, the per-command firmware overhead, and the host
   /// fault hooks — they never left the device — but share the back-end

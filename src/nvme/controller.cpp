@@ -8,6 +8,22 @@
 
 namespace compstor::nvme {
 
+namespace {
+const char* OpcodeName(Opcode op) {
+  switch (op) {
+    case Opcode::kFlush: return "flush";
+    case Opcode::kWrite: return "write";
+    case Opcode::kRead: return "read";
+    case Opcode::kDatasetManagement: return "trim";
+    case Opcode::kIdentify: return "identify";
+    case Opcode::kFormatNvm: return "format";
+    case Opcode::kInSituMinion: return "minion";
+    case Opcode::kInSituQuery: return "query";
+  }
+  return "unknown";
+}
+}  // namespace
+
 void ChargeFlashEnergy(energy::EnergyMeter* meter, const energy::FlashPowerProfile& p,
                        const ftl::IoCost& cost, std::uint64_t bytes_moved) {
   if (meter == nullptr) return;
@@ -83,6 +99,7 @@ bool Controller::Submit(Command cmd, std::uint16_t sqid) {
   if (sqid >= qps_.size()) return false;
   cmd.sqid = sqid;
   cmd.internal = false;
+  cmd.submit_ns = device_time_.NowNanos();
   if (!qps_[sqid]->sq.Push(std::move(cmd))) return false;
   doorbell_.Ring();
   return true;
@@ -91,6 +108,7 @@ bool Controller::Submit(Command cmd, std::uint16_t sqid) {
 bool Controller::SubmitInternal(Command cmd) {
   if (!cmd.on_complete) return false;  // internal ring has no CQ to fall back on
   cmd.internal = true;
+  cmd.submit_ns = device_time_.NowNanos();
   if (!internal_sq_.Push(std::move(cmd))) return false;
   doorbell_.Ring();
   return true;
@@ -111,6 +129,51 @@ std::size_t Controller::BacklogDepth() const {
   std::size_t depth = internal_sq_.size() + dispatch_.size();
   for (const auto& qp : qps_) depth += qp->sq.size();
   return depth;
+}
+
+std::vector<std::uint32_t> Controller::QueueDepths() const {
+  std::vector<std::uint32_t> depths;
+  depths.reserve(qps_.size());
+  for (const auto& qp : qps_) {
+    depths.push_back(static_cast<std::uint32_t>(qp->sq.size()));
+  }
+  return depths;
+}
+
+void Controller::AttachTelemetry(telemetry::Registry* registry,
+                                 telemetry::TraceRing* trace) {
+  trace_ = trace;
+  registry_ = registry;
+  if (registry == nullptr) return;
+  const auto probe = [registry](std::string_view name,
+                                const std::atomic<std::uint64_t>& counter) {
+    registry->RegisterProbe(name, telemetry::MetricKind::kCounter, [&counter] {
+      return static_cast<double>(counter.load(std::memory_order_relaxed));
+    });
+  };
+  probe("nvme.io_commands", io_commands_);
+  probe("nvme.vendor_commands", vendor_commands_);
+  probe("nvme.internal_commands", internal_commands_);
+  probe("nvme.errors", errors_);
+  probe("nvme.faults_injected", faults_injected_);
+  registry->RegisterProbe("nvme.backlog", telemetry::MetricKind::kGauge, [this] {
+    return static_cast<double>(BacklogDepth());
+  });
+  for (std::size_t i = 0; i < qps_.size(); ++i) {
+    const std::string qp = "nvme.qp" + std::to_string(i);
+    registry->RegisterProbe(qp + ".sq_depth", telemetry::MetricKind::kGauge,
+                            [this, i] {
+                              return static_cast<double>(qps_[i]->sq.size());
+                            });
+    probe(qp + ".arbitrated", qps_[i]->arbitrated);
+  }
+  for (std::size_t w = 0; w < worker_clocks_.size(); ++w) {
+    registry->RegisterProbe("nvme.worker" + std::to_string(w) + ".busy_s",
+                            telemetry::MetricKind::kGauge,
+                            [this, w] { return worker_clocks_[w]->Now(); });
+  }
+  cmd_us_ = &registry->GetHistogram("nvme.cmd_us",
+                                    telemetry::Histogram::LatencyUsBounds());
 }
 
 ControllerStats Controller::Stats() const {
@@ -215,12 +278,27 @@ void Controller::WorkerLoop(std::size_t worker) {
 void Controller::ExecuteAndComplete(Command cmd, double injected_delay_s,
                                     std::size_t worker) {
   if (cmd.internal) internal_commands_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t worker_before_ns = worker_clocks_[worker]->NowNanos();
   Completion cqe;
   if (!Execute(cmd, &cqe)) return;  // vendor: completes asynchronously
   cqe.latency += injected_delay_s;
   worker_clocks_[worker]->Advance(cqe.latency);
   device_time_.Advance(cqe.latency);
   if (!cqe.status.ok()) errors_.fetch_add(1, std::memory_order_relaxed);
+  if (cmd_us_ != nullptr) cmd_us_->Add(cqe.latency * 1e6);
+  if (trace_ != nullptr) {
+    // The execution phase starts when the worker picked the command up — no
+    // earlier than submission, no earlier than the worker's own timeline —
+    // so the parent enqueue->completion span [submit, exec end] contains it
+    // by construction.
+    const std::uint64_t exec_start =
+        std::max(cmd.submit_ns, worker_before_ns);
+    const std::uint64_t exec_end = exec_start + ToNanoTicks(cqe.latency);
+    const std::string name = OpcodeName(cmd.opcode);
+    const auto tid = static_cast<std::uint32_t>(worker);
+    trace_->Record("nvme", name + ".exec", cmd.cid, exec_start, exec_end, tid);
+    trace_->Record("nvme", name, cmd.cid, cmd.submit_ns, exec_end, tid);
+  }
   Deliver(cmd, std::move(cqe));
 }
 
@@ -281,11 +359,22 @@ bool Controller::Execute(Command& cmd, Completion* out) {
       const units::Seconds in_lat = link_->Transfer(cmd.payload.size());
       const std::uint16_t cid = cmd.cid;
       const std::uint16_t sqid = cmd.sqid;
+      const std::uint64_t submit_ns = cmd.submit_ns;
+      const Opcode opcode = cmd.opcode;
       auto on_complete = cmd.on_complete;
-      handler(cmd, [this, cid, sqid, on_complete, in_lat](Completion cqe) {
+      handler(cmd, [this, cid, sqid, submit_ns, opcode, on_complete,
+                    in_lat](Completion cqe) {
         cqe.cid = cid;
         cqe.latency += in_lat + link_->Transfer(cqe.payload.size()) + kCommandOverhead;
         if (!cqe.status.ok()) errors_.fetch_add(1, std::memory_order_relaxed);
+        if (cmd_us_ != nullptr) cmd_us_->Add(cqe.latency * 1e6);
+        if (trace_ != nullptr) {
+          // Vendor commands complete off the worker pool; their span lives on
+          // a lane one past the back-end workers.
+          trace_->Record("nvme", OpcodeName(opcode), cid, submit_ns,
+                         submit_ns + ToNanoTicks(cqe.latency),
+                         static_cast<std::uint32_t>(config_.backend_workers));
+        }
         if (on_complete) {
           on_complete(std::move(cqe));
         } else {

@@ -32,6 +32,8 @@
 #include "nvme/command.hpp"
 #include "nvme/pcie_link.hpp"
 #include "sim/fault.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 #include "util/mpmc_queue.hpp"
 
 namespace compstor::nvme {
@@ -117,6 +119,17 @@ class Controller {
   /// Commands sitting in submission rings or the dispatch stage right now —
   /// the device-side backlog the status query reports.
   std::size_t BacklogDepth() const;
+
+  /// Instantaneous submission-queue depth per host queue pair (index ==
+  /// sqid). The kStatus reply ships this so load balancers can see *where*
+  /// the backlog sits, not just its total.
+  std::vector<std::uint32_t> QueueDepths() const;
+
+  /// Hooks the device telemetry: counters/per-queue depths become registry
+  /// probes (read at snapshot time), command latencies feed `nvme.cmd_us`,
+  /// and executed commands emit enqueue->completion spans into `trace`.
+  /// Call before Start(); either pointer may be null.
+  void AttachTelemetry(telemetry::Registry* registry, telemetry::TraceRing* trace);
 
   ControllerStats Stats() const;
 
@@ -216,6 +229,10 @@ class Controller {
   std::atomic<std::uint64_t> internal_commands_{0};
   std::atomic<std::uint64_t> errors_{0};
   std::atomic<std::uint64_t> faults_injected_{0};
+
+  telemetry::Registry* registry_ = nullptr;
+  telemetry::TraceRing* trace_ = nullptr;
+  telemetry::Histogram* cmd_us_ = nullptr;  // owned by registry_
 
   std::atomic<sim::FaultInjector*> fault_{nullptr};
   /// Device-local virtual timeline: accumulated model latency of synchronous

@@ -9,7 +9,10 @@ namespace {
 constexpr std::uint8_t kFrameMinion = 0x4D;      // 'M'
 constexpr std::uint8_t kFrameQuery = 0x51;       // 'Q'
 constexpr std::uint8_t kFrameQueryReply = 0x52;  // 'R'
-constexpr std::uint8_t kVersion = 1;
+// v2: QueryReply gained per-queue-pair SQ depths and the kStats metrics
+// payload. Both sides of the emulated link ship together, so no
+// cross-version compatibility shims.
+constexpr std::uint8_t kVersion = 2;
 
 void PutStringList(util::ByteWriter& w, const std::vector<std::string>& list) {
   w.PutU32(static_cast<std::uint32_t>(list.size()));
@@ -150,7 +153,7 @@ Result<Query> DeserializeQuery(std::span<const std::uint8_t> data) {
   Query q;
   COMPSTOR_ASSIGN_OR_RETURN(q.id, r.GetU64());
   COMPSTOR_ASSIGN_OR_RETURN(std::uint8_t type, r.GetU8());
-  if (type > static_cast<std::uint8_t>(QueryType::kProcessTable)) {
+  if (type > static_cast<std::uint8_t>(QueryType::kStats)) {
     return InvalidArgument("proto: bad query type");
   }
   q.type = static_cast<QueryType>(type);
@@ -170,7 +173,22 @@ std::vector<std::uint8_t> Serialize(const QueryReply& reply) {
   body.PutU32(reply.running_tasks);
   body.PutU32(reply.queued_minions);
   body.PutF64(reply.uptime_virtual_s);
+  body.PutU32(static_cast<std::uint32_t>(reply.sq_depths.size()));
+  for (std::uint32_t d : reply.sq_depths) body.PutU32(d);
   PutStringList(body, reply.task_names);
+  body.PutU32(static_cast<std::uint32_t>(reply.metrics.size()));
+  for (const telemetry::MetricValue& m : reply.metrics) {
+    body.PutString(m.name);
+    body.PutU8(static_cast<std::uint8_t>(m.kind));
+    body.PutF64(m.value);
+    body.PutU64(m.count);
+    body.PutF64(m.sum);
+    body.PutF64(m.min);
+    body.PutF64(m.max);
+    body.PutF64(m.p50);
+    body.PutF64(m.p95);
+    body.PutF64(m.p99);
+  }
   body.PutU32(static_cast<std::uint32_t>(reply.processes.size()));
   for (const QueryReply::Process& p : reply.processes) {
     body.PutU32(p.pid);
@@ -194,7 +212,33 @@ Result<QueryReply> DeserializeQueryReply(std::span<const std::uint8_t> data) {
   COMPSTOR_ASSIGN_OR_RETURN(q.running_tasks, r.GetU32());
   COMPSTOR_ASSIGN_OR_RETURN(q.queued_minions, r.GetU32());
   COMPSTOR_ASSIGN_OR_RETURN(q.uptime_virtual_s, r.GetF64());
+  COMPSTOR_ASSIGN_OR_RETURN(std::uint32_t n_depths, r.GetU32());
+  q.sq_depths.reserve(n_depths);
+  for (std::uint32_t i = 0; i < n_depths; ++i) {
+    COMPSTOR_ASSIGN_OR_RETURN(std::uint32_t d, r.GetU32());
+    q.sq_depths.push_back(d);
+  }
   COMPSTOR_ASSIGN_OR_RETURN(q.task_names, GetStringList(r));
+  COMPSTOR_ASSIGN_OR_RETURN(std::uint32_t n_metrics, r.GetU32());
+  q.metrics.reserve(n_metrics);
+  for (std::uint32_t i = 0; i < n_metrics; ++i) {
+    telemetry::MetricValue m;
+    COMPSTOR_ASSIGN_OR_RETURN(m.name, r.GetString());
+    COMPSTOR_ASSIGN_OR_RETURN(std::uint8_t kind, r.GetU8());
+    if (kind > static_cast<std::uint8_t>(telemetry::MetricKind::kHistogram)) {
+      return InvalidArgument("proto: bad metric kind");
+    }
+    m.kind = static_cast<telemetry::MetricKind>(kind);
+    COMPSTOR_ASSIGN_OR_RETURN(m.value, r.GetF64());
+    COMPSTOR_ASSIGN_OR_RETURN(m.count, r.GetU64());
+    COMPSTOR_ASSIGN_OR_RETURN(m.sum, r.GetF64());
+    COMPSTOR_ASSIGN_OR_RETURN(m.min, r.GetF64());
+    COMPSTOR_ASSIGN_OR_RETURN(m.max, r.GetF64());
+    COMPSTOR_ASSIGN_OR_RETURN(m.p50, r.GetF64());
+    COMPSTOR_ASSIGN_OR_RETURN(m.p95, r.GetF64());
+    COMPSTOR_ASSIGN_OR_RETURN(m.p99, r.GetF64());
+    q.metrics.push_back(std::move(m));
+  }
   COMPSTOR_ASSIGN_OR_RETURN(std::uint32_t n_procs, r.GetU32());
   q.processes.reserve(n_procs);
   for (std::uint32_t i = 0; i < n_procs; ++i) {

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace compstor::proto {
 
@@ -79,6 +80,7 @@ enum class QueryType : std::uint8_t {
   kLoadTask = 2,      // dynamic task loading: name + script body
   kListTasks = 3,
   kProcessTable = 4,  // running/finished in-storage processes (ps-style)
+  kStats = 5,         // snapshot of the device-side telemetry registry
 };
 
 struct Query {
@@ -99,7 +101,14 @@ struct QueryReply {
   std::uint32_t running_tasks = 0;
   std::uint32_t queued_minions = 0;
   double uptime_virtual_s = 0;
+  /// Per-queue-pair submission-queue depth (index == sqid). Finer-grained
+  /// than `queued_minions`: load balancers can see *where* the backlog sits
+  /// and break utilization ties deterministically.
+  std::vector<std::uint32_t> sq_depths;
   std::vector<std::string> task_names;  // kListTasks
+
+  /// kStats payload: the device-side telemetry registry, materialized.
+  std::vector<telemetry::MetricValue> metrics;
 
   // kProcessTable payload (ps-style rows).
   struct Process {

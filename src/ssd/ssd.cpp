@@ -112,6 +112,13 @@ Ssd::Ssd(const SsdProfile& profile, std::uint64_t seed) : profile_(profile) {
   controller_ = std::make_unique<nvme::Controller>(ftl_.get(), link_.get(), &meter_,
                                                    profile_.flash_power, profile_.model,
                                                    config);
+  array_->RegisterMetrics(&registry_);
+  ftl_->RegisterMetrics(&registry_);
+  controller_->AttachTelemetry(&registry_, &trace_);
+  registry_.RegisterProbe("ssd.internal_bus_busy_s", telemetry::MetricKind::kGauge,
+                          [this] { return InternalBusySeconds(); });
+  registry_.RegisterProbe("ssd.energy_j", telemetry::MetricKind::kGauge,
+                          [this] { return meter_.TotalJoules(); });
   controller_->Start();
   host_if_ = std::make_unique<nvme::HostInterface>(controller_.get());
   host_view_ = std::make_unique<HostView>(this);

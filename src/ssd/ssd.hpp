@@ -21,6 +21,8 @@
 #include "nvme/pcie_link.hpp"
 #include "ssd/block_device.hpp"
 #include "ssd/profiles.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace compstor::ssd {
 
@@ -39,6 +41,13 @@ class Ssd {
   nvme::HostInterface& host_interface() { return *host_if_; }
   nvme::PcieLink& link() { return *link_; }
   energy::EnergyMeter& meter() { return meter_; }
+
+  /// Device-wide metrics registry: every layer (flash, ftl, nvme, isps)
+  /// registers its instruments here; the kStats query snapshots it.
+  telemetry::Registry& telemetry() { return registry_; }
+  const telemetry::Registry& telemetry() const { return registry_; }
+  /// Device-wide span ring on the virtual-time axis (Chrome trace export).
+  telemetry::TraceRing& trace() { return trace_; }
 
   /// Block views (block == flash page == 4096 bytes).
   BlockDevice& host_block_device();
@@ -73,6 +82,10 @@ class Ssd {
 
   SsdProfile profile_;
   energy::EnergyMeter meter_;
+  // Declared before the subsystems: instruments registered by array/ftl/
+  // controller must outlive them (members destroy in reverse order).
+  telemetry::Registry registry_;
+  telemetry::TraceRing trace_;
   std::unique_ptr<flash::Array> array_;
   std::unique_ptr<ftl::Ftl> ftl_;
   std::unique_ptr<nvme::PcieLink> link_;

@@ -1,0 +1,285 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <sstream>
+
+namespace compstor::telemetry {
+
+std::uint64_t Gauge::Bits(double v) {
+  std::uint64_t b;
+  std::memcpy(&b, &v, sizeof(b));
+  return b;
+}
+
+double Gauge::FromBits(std::uint64_t b) {
+  double v;
+  std::memcpy(&v, &b, sizeof(v));
+  return v;
+}
+
+namespace {
+
+std::uint64_t DoubleBits(double v) {
+  std::uint64_t b;
+  std::memcpy(&b, &v, sizeof(b));
+  return b;
+}
+
+double BitsDouble(std::uint64_t b) {
+  double v;
+  std::memcpy(&v, &b, sizeof(v));
+  return v;
+}
+
+/// Relaxed fetch-min/fetch-max over double bits.
+void AtomicMinDouble(std::atomic<std::uint64_t>& bits, double v) {
+  std::uint64_t cur = bits.load(std::memory_order_relaxed);
+  while (v < BitsDouble(cur) &&
+         !bits.compare_exchange_weak(cur, DoubleBits(v), std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMaxDouble(std::atomic<std::uint64_t>& bits, double v) {
+  std::uint64_t cur = bits.load(std::memory_order_relaxed);
+  while (v > BitsDouble(cur) &&
+         !bits.compare_exchange_weak(cur, DoubleBits(v), std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicAddDouble(std::atomic<std::uint64_t>& bits, double v) {
+  std::uint64_t cur = bits.load(std::memory_order_relaxed);
+  while (!bits.compare_exchange_weak(cur, DoubleBits(BitsDouble(cur) + v),
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(new std::atomic<std::uint64_t>[bounds_.size() + 1]),
+      min_bits_(DoubleBits(std::numeric_limits<double>::infinity())),
+      max_bits_(DoubleBits(-std::numeric_limits<double>::infinity())) {
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()));
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::Add(double v) {
+  // First bound that is >= v: boundary samples land in the lower bucket,
+  // i.e. bucket i covers (bounds[i-1], bounds[i]].
+  const std::size_t idx = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(sum_bits_, v);
+  AtomicMinDouble(min_bits_, v);
+  AtomicMaxDouble(max_bits_, v);
+}
+
+std::uint64_t Histogram::BucketCount(std::size_t i) const {
+  return i <= bounds_.size() ? buckets_[i].load(std::memory_order_relaxed) : 0;
+}
+
+double Histogram::Quantile(double q) const {
+  const std::uint64_t n = Count();
+  if (n == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double lo_seen = BitsDouble(min_bits_.load(std::memory_order_relaxed));
+  const double hi_seen = BitsDouble(max_bits_.load(std::memory_order_relaxed));
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(n - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    const std::uint64_t b = buckets_[i].load(std::memory_order_relaxed);
+    if (seen + b > target) {
+      double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      double hi = i == bounds_.size() ? hi_seen : bounds_[i];
+      // Position within the bucket, then clamp to the observed range so a
+      // degenerate distribution (one sample, all-equal) is reported exactly.
+      const double frac =
+          b <= 1 ? 0.5
+                 : static_cast<double>(target - seen) / static_cast<double>(b - 1);
+      return std::clamp(lo + frac * (hi - lo), lo_seen, hi_seen);
+    }
+    seen += b;
+  }
+  return hi_seen;
+}
+
+MetricValue Histogram::Snapshot(std::string name) const {
+  MetricValue m;
+  m.name = std::move(name);
+  m.kind = MetricKind::kHistogram;
+  m.count = Count();
+  m.value = static_cast<double>(m.count);
+  if (m.count > 0) {
+    m.sum = BitsDouble(sum_bits_.load(std::memory_order_relaxed));
+    m.min = BitsDouble(min_bits_.load(std::memory_order_relaxed));
+    m.max = BitsDouble(max_bits_.load(std::memory_order_relaxed));
+    m.p50 = Quantile(0.50);
+    m.p95 = Quantile(0.95);
+    m.p99 = Quantile(0.99);
+  }
+  return m;
+}
+
+std::vector<double> Histogram::LatencyUsBounds() {
+  // 1us .. 16.7s in powers of two: 25 buckets, enough resolution for every
+  // modeled latency from a cache hit to a worst-case GC stall.
+  std::vector<double> b;
+  for (double v = 1; v <= 16'777'216.0; v *= 2) b.push_back(v);
+  return b;
+}
+
+std::vector<double> Histogram::SizeBytesBounds() {
+  std::vector<double> b;
+  for (double v = 64; v <= 16.0 * 1024 * 1024; v *= 4) b.push_back(v);
+  return b;
+}
+
+Registry::Entry& Registry::Register(std::string_view name, MetricKind kind) {
+  // Caller holds mutex_.
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    if (it->second.kind == kind) return it->second;
+    assert(false && "telemetry: metric re-registered with a different kind");
+    return Register(std::string(name) + ".dup", kind);
+  }
+  Entry e;
+  e.kind = kind;
+  return entries_.emplace(std::string(name), std::move(e)).first->second;
+}
+
+Counter& Registry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& e = Register(name, MetricKind::kCounter);
+  if (!e.counter && !e.probe) e.counter = std::make_unique<Counter>();
+  return *e.counter;
+}
+
+Gauge& Registry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& e = Register(name, MetricKind::kGauge);
+  if (!e.gauge && !e.probe) e.gauge = std::make_unique<Gauge>();
+  return *e.gauge;
+}
+
+Histogram& Registry::GetHistogram(std::string_view name, std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& e = Register(name, MetricKind::kHistogram);
+  if (!e.histogram) e.histogram = std::make_unique<Histogram>(std::move(bounds));
+  return *e.histogram;
+}
+
+void Registry::RegisterProbe(std::string_view name, MetricKind kind,
+                             std::function<double()> fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& e = Register(name, kind);
+  e.probe = std::move(fn);
+}
+
+void Registry::UnregisterPrefix(std::string_view prefix) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = entries_.lower_bound(prefix); it != entries_.end();) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    it = entries_.erase(it);
+  }
+}
+
+std::vector<MetricValue> Registry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<MetricValue> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, e] : entries_) {
+    if (e.histogram) {
+      out.push_back(e.histogram->Snapshot(name));
+      continue;
+    }
+    MetricValue m;
+    m.name = name;
+    m.kind = e.kind;
+    if (e.probe) {
+      m.value = e.probe();
+    } else if (e.counter) {
+      m.value = static_cast<double>(e.counter->Value());
+    } else if (e.gauge) {
+      m.value = e.gauge->Value();
+    }
+    out.push_back(std::move(m));
+  }
+  return out;  // std::map iterates sorted by name
+}
+
+std::size_t Registry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void PrintMetricsTable(std::FILE* out, const std::vector<MetricValue>& metrics) {
+  std::fprintf(out, "%-44s %14s %10s %10s %10s\n", "metric", "value", "p50", "p95",
+               "p99");
+  for (const MetricValue& m : metrics) {
+    if (m.kind == MetricKind::kHistogram) {
+      std::fprintf(out, "%-44s %14llu %10.2f %10.2f %10.2f\n", m.name.c_str(),
+                   static_cast<unsigned long long>(m.count), m.p50, m.p95, m.p99);
+    } else {
+      std::fprintf(out, "%-44s %14.6g\n", m.name.c_str(), m.value);
+    }
+  }
+}
+
+namespace {
+
+void AppendJsonNumber(std::ostringstream& os, double v) {
+  if (std::isfinite(v)) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os << buf;
+  } else {
+    os << "0";
+  }
+}
+
+}  // namespace
+
+std::string MetricsToJson(const std::vector<MetricValue>& metrics) {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const MetricValue& m : metrics) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << m.name << "\":";
+    if (m.kind == MetricKind::kHistogram) {
+      os << "{\"count\":" << m.count << ",\"sum\":";
+      AppendJsonNumber(os, m.sum);
+      os << ",\"min\":";
+      AppendJsonNumber(os, m.min);
+      os << ",\"max\":";
+      AppendJsonNumber(os, m.max);
+      os << ",\"p50\":";
+      AppendJsonNumber(os, m.p50);
+      os << ",\"p95\":";
+      AppendJsonNumber(os, m.p95);
+      os << ",\"p99\":";
+      AppendJsonNumber(os, m.p99);
+      os << "}";
+    } else {
+      AppendJsonNumber(os, m.value);
+    }
+  }
+  os << "}";
+  return os.str();
+}
+
+std::vector<MetricValue> WithPrefix(std::string_view prefix,
+                                    std::vector<MetricValue> metrics) {
+  for (MetricValue& m : metrics) m.name.insert(0, prefix);
+  return metrics;
+}
+
+}  // namespace compstor::telemetry

@@ -1,0 +1,178 @@
+// Device-wide metrics registry (paper §IV: every evaluation figure is built
+// from measurements; this is the layer that produces them uniformly).
+//
+// Every subsystem registers instruments under a hierarchical dot-separated
+// name ("flash.ch0.busy_s", "ftl.gc.relocations", "nvme.qp2.sq_depth").
+// Registration takes a mutex once; after that the hot path is a single
+// relaxed atomic op per update — cheap enough to leave enabled in every
+// bench. Snapshot() walks the registry under the same mutex and materializes
+// plain values, so concurrent writers never block each other, only the
+// (rare) snapshotter.
+//
+// Four instrument kinds:
+//   Counter   — monotonically increasing u64 (events, bytes, errors);
+//   Gauge     — last-written double (depths, temperatures);
+//   Histogram — fixed-bucket distribution with p50/p95/p99 (latencies,
+//               sizes); bucket bounds are chosen at registration;
+//   Probe     — a callback evaluated at snapshot time, for exporting
+//               pre-existing atomics (FtlStats counters, BusyMeters) without
+//               touching their hot paths at all.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace compstor::telemetry {
+
+enum class MetricKind : std::uint8_t {
+  kCounter = 0,
+  kGauge = 1,
+  kHistogram = 2,
+};
+
+/// Materialized value of one metric: what Snapshot() returns and what the
+/// kStats query ships over the wire. For counters and gauges only `value`
+/// is meaningful; histograms fill the distribution fields.
+struct MetricValue {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  double value = 0;  // counter total / gauge reading / histogram count
+
+  // Histogram-only distribution summary.
+  std::uint64_t count = 0;
+  double sum = 0;
+  double min = 0;
+  double max = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+};
+
+class Counter {
+ public:
+  void Add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(double v) { bits_.store(Bits(v), std::memory_order_relaxed); }
+  void Add(double delta) {
+    std::uint64_t cur = bits_.load(std::memory_order_relaxed);
+    while (!bits_.compare_exchange_weak(cur, Bits(FromBits(cur) + delta),
+                                        std::memory_order_relaxed)) {
+    }
+  }
+  double Value() const { return FromBits(bits_.load(std::memory_order_relaxed)); }
+
+ private:
+  static std::uint64_t Bits(double v);
+  static double FromBits(std::uint64_t b);
+  std::atomic<std::uint64_t> bits_{0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts samples in (bounds[i-1], bounds[i]];
+/// a sample above the last bound lands in the implicit overflow bucket.
+/// Quantiles interpolate linearly inside the winning bucket and are clamped
+/// to the observed [min, max], so a single sample (or all-equal samples)
+/// reports the exact value rather than a bucket midpoint.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Add(double v);
+
+  std::uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Quantile(double q) const;
+  /// Count in bucket `i` (i == bounds.size() is the overflow bucket).
+  std::uint64_t BucketCount(std::size_t i) const;
+  std::size_t bucket_count() const { return bounds_.size() + 1; }
+
+  MetricValue Snapshot(std::string name) const;
+
+  /// Standard bounds for microsecond-scale latencies (1us .. ~16s).
+  static std::vector<double> LatencyUsBounds();
+  /// Standard bounds for byte sizes (64B .. 16MiB).
+  static std::vector<double> SizeBytesBounds();
+
+ private:
+  const std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_bits_{0};
+  std::atomic<std::uint64_t> min_bits_;
+  std::atomic<std::uint64_t> max_bits_;
+};
+
+/// The per-device registry. Get* registers on first use and returns a stable
+/// reference; later calls with the same name return the same instrument.
+/// Kind mismatches on a name are a programming error and abort in debug
+/// (assert); in release the existing instrument wins and the caller gets a
+/// freshly-registered name with a ".dup" suffix, so nothing ever dangles.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  Histogram& GetHistogram(std::string_view name, std::vector<double> bounds);
+
+  /// Registers a callback evaluated at snapshot time. `kind` tags how the
+  /// value should be interpreted (counter vs gauge) by consumers.
+  void RegisterProbe(std::string_view name, MetricKind kind,
+                     std::function<double()> fn);
+
+  /// Drops every instrument whose name starts with `prefix`. For subsystems
+  /// with a shorter lifetime than the registry (an ISPS agent detaching from
+  /// its device): probes capture `this`, so they must not outlive it.
+  void UnregisterPrefix(std::string_view prefix);
+
+  /// Consistent point-in-time export, sorted by name. Histogram quantiles
+  /// are computed here, not on the hot path.
+  std::vector<MetricValue> Snapshot() const;
+
+  std::size_t size() const;
+
+ private:
+  struct Entry {
+    MetricKind kind = MetricKind::kCounter;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+    std::function<double()> probe;
+  };
+
+  Entry& Register(std::string_view name, MetricKind kind);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+// --- export helpers (host-side merge / human output) ---
+
+/// Prints a metrics table ("name  value  [p50 p95 p99]") to `out`.
+void PrintMetricsTable(std::FILE* out, const std::vector<MetricValue>& metrics);
+
+/// Serializes metrics as a JSON object: {"name": value, ...} for scalars and
+/// {"name": {"count":..,"sum":..,"p50":..}, ...} for histograms.
+std::string MetricsToJson(const std::vector<MetricValue>& metrics);
+
+/// Prefixes every metric name with `prefix` (the cluster's per-device merge:
+/// "dev3." + "nvme.qp0.sq_depth").
+std::vector<MetricValue> WithPrefix(std::string_view prefix,
+                                    std::vector<MetricValue> metrics);
+
+}  // namespace compstor::telemetry

@@ -1,0 +1,113 @@
+#include "telemetry/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace compstor::telemetry {
+
+TraceRing::TraceRing(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {
+  ring_.resize(capacity_);
+}
+
+void TraceRing::Record(std::string_view category, std::string_view name,
+                       std::uint64_t id, std::uint64_t start_ns, std::uint64_t end_ns,
+                       std::uint32_t tid) {
+  TraceEvent e;
+  e.category = std::string(category);
+  e.name = std::string(name);
+  e.id = id;
+  e.start_ns = start_ns;
+  e.end_ns = std::max(start_ns, end_ns);
+  e.tid = tid;
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_[next_ % capacity_] = std::move(e);
+  ++next_;
+}
+
+std::vector<TraceEvent> TraceRing::Events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEvent> out;
+  const std::uint64_t retained = std::min<std::uint64_t>(next_, capacity_);
+  out.reserve(retained);
+  for (std::uint64_t i = next_ - retained; i < next_; ++i) {
+    out.push_back(ring_[i % capacity_]);
+  }
+  return out;
+}
+
+std::uint64_t TraceRing::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_ > capacity_ ? next_ - capacity_ : 0;
+}
+
+void TraceRing::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  next_ = 0;
+}
+
+namespace {
+
+void AppendEscaped(std::ostringstream& os, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) >= 0x20) {
+      os << c;
+    }
+  }
+}
+
+void AppendEvent(std::ostringstream& os, const TraceEvent& e, int pid, bool* first) {
+  if (!*first) os << ",\n";
+  *first = false;
+  char num[64];
+  os << "{\"name\":\"";
+  AppendEscaped(os, e.name);
+  os << "\",\"cat\":\"";
+  AppendEscaped(os, e.category);
+  // Chrome expects microseconds; keep three decimals of sub-us resolution.
+  std::snprintf(num, sizeof(num), "%.3f", static_cast<double>(e.start_ns) / 1e3);
+  os << "\",\"ph\":\"X\",\"ts\":" << num;
+  std::snprintf(num, sizeof(num), "%.3f",
+                static_cast<double>(e.end_ns - e.start_ns) / 1e3);
+  os << ",\"dur\":" << num;
+  os << ",\"pid\":" << pid << ",\"tid\":" << e.tid;
+  os << ",\"args\":{\"id\":" << e.id << "}}";
+}
+
+}  // namespace
+
+std::string ToChromeTraceJson(const std::vector<TraceEvent>& events, int pid) {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[\n";
+  bool first = true;
+  for (const TraceEvent& e : events) AppendEvent(os, e, pid, &first);
+  os << "\n],\"displayTimeUnit\":\"ns\"}\n";
+  return os.str();
+}
+
+std::string MergeChromeTraceJson(const std::vector<std::vector<TraceEvent>>& devices) {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[\n";
+  bool first = true;
+  for (std::size_t d = 0; d < devices.size(); ++d) {
+    for (const TraceEvent& e : devices[d]) {
+      AppendEvent(os, e, static_cast<int>(d), &first);
+    }
+  }
+  os << "\n],\"displayTimeUnit\":\"ns\"}\n";
+  return os.str();
+}
+
+Status WriteTraceFile(const std::string& path, const std::string& json) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return NotFound("trace: cannot open " + path);
+  const std::size_t n = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (n != json.size()) return DataLoss("trace: short write to " + path);
+  return OkStatus();
+}
+
+}  // namespace compstor::telemetry

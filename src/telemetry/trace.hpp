@@ -1,0 +1,70 @@
+// Virtual-time trace ring: spans of modeled work, dumpable as Chrome
+// trace_event JSON and viewable in chrome://tracing or Perfetto.
+//
+// Real wall-clock timestamps are meaningless on an emulator; every span is
+// stamped from the VirtualClock timeline of the resource it ran on (an NVMe
+// back-end worker, an ISPS core). A span is recorded once, at completion,
+// with both endpoints known — so recording is one mutex-protected ring slot
+// write per span, never on the per-page hot path. The ring is fixed-size;
+// old spans are overwritten and `dropped()` reports how many.
+//
+// Span taxonomy (id correlates parent and child):
+//   cat "nvme",   name "<opcode>"      — enqueue -> completion, id = cid
+//   cat "nvme",   name "<opcode>.exec" — back-end execution, id = cid
+//   cat "minion", name "<executable>"  — vendor dispatch -> response, id = pid
+//   cat "minion", name "run"/"respond" — in-storage process stages, id = pid
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace compstor::telemetry {
+
+struct TraceEvent {
+  std::string category;
+  std::string name;
+  std::uint64_t id = 0;        // correlation key (cid / pid / minion id)
+  std::uint64_t start_ns = 0;  // virtual nanoseconds
+  std::uint64_t end_ns = 0;
+  std::uint32_t tid = 0;  // resource lane: worker / core index
+};
+
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity = 8192);
+
+  void Record(std::string_view category, std::string_view name, std::uint64_t id,
+              std::uint64_t start_ns, std::uint64_t end_ns, std::uint32_t tid);
+
+  /// Retained events, oldest first.
+  std::vector<TraceEvent> Events() const;
+  /// Events overwritten because the ring was full.
+  std::uint64_t dropped() const;
+  std::size_t capacity() const { return capacity_; }
+
+  void Clear();
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> ring_;
+  std::uint64_t next_ = 0;  // total events ever recorded
+};
+
+/// Renders spans as Chrome trace_event JSON ("X" complete events, ts/dur in
+/// virtual microseconds). `pid` distinguishes devices in a merged trace.
+std::string ToChromeTraceJson(const std::vector<TraceEvent>& events, int pid = 0);
+
+/// Merges per-device event lists (device index becomes the trace pid) into
+/// one JSON document.
+std::string MergeChromeTraceJson(const std::vector<std::vector<TraceEvent>>& devices);
+
+/// Writes `json` to `path`.
+Status WriteTraceFile(const std::string& path, const std::string& json);
+
+}  // namespace compstor::telemetry

@@ -1,0 +1,467 @@
+// Telemetry subsystem tests: registry semantics (incl. concurrent writers),
+// histogram bucket boundaries and percentile edges, the kStats wire query
+// (CRC-framed round trip), and end-to-end tracing on a 2-device cluster
+// whose spans must nest correctly in virtual time.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "client/cluster.hpp"
+#include "client/in_situ.hpp"
+#include "isps/agent.hpp"
+#include "proto/entities.hpp"
+#include "ssd/profiles.hpp"
+#include "ssd/ssd.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace compstor::telemetry {
+namespace {
+
+// --- registry ---
+
+TEST(Registry, InstrumentsAreStableAndSnapshotSorted) {
+  Registry reg;
+  Counter& c = reg.GetCounter("b.count");
+  Gauge& g = reg.GetGauge("a.gauge");
+  c.Add(3);
+  g.Set(2.5);
+  EXPECT_EQ(&c, &reg.GetCounter("b.count"));  // same name, same instrument
+  c.Add(2);
+
+  auto snap = reg.Snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].name, "a.gauge");  // sorted by name
+  EXPECT_EQ(snap[0].kind, MetricKind::kGauge);
+  EXPECT_DOUBLE_EQ(snap[0].value, 2.5);
+  EXPECT_EQ(snap[1].name, "b.count");
+  EXPECT_EQ(snap[1].kind, MetricKind::kCounter);
+  EXPECT_DOUBLE_EQ(snap[1].value, 5.0);
+}
+
+TEST(Registry, ProbeEvaluatedAtSnapshotTime) {
+  Registry reg;
+  double source = 1.0;
+  reg.RegisterProbe("probe.value", MetricKind::kGauge, [&source] { return source; });
+  EXPECT_DOUBLE_EQ(reg.Snapshot()[0].value, 1.0);
+  source = 7.0;
+  EXPECT_DOUBLE_EQ(reg.Snapshot()[0].value, 7.0);
+}
+
+TEST(Registry, UnregisterPrefixDropsOnlyMatches) {
+  Registry reg;
+  reg.GetCounter("isps.core0.tasks");
+  reg.GetCounter("isps.queries");
+  reg.GetCounter("ispsx.other");  // shares a string prefix but not the dot
+  reg.GetCounter("ftl.gc.runs");
+  reg.UnregisterPrefix("isps.");
+  auto snap = reg.Snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].name, "ftl.gc.runs");
+  EXPECT_EQ(snap[1].name, "ispsx.other");
+}
+
+TEST(Registry, GaugeAddAccumulates) {
+  Registry reg;
+  Gauge& g = reg.GetGauge("g");
+  g.Set(1.5);
+  g.Add(2.0);
+  g.Add(-0.5);
+  EXPECT_DOUBLE_EQ(g.Value(), 3.0);
+}
+
+// Concurrent writers against one registry while a reader snapshots: the
+// final snapshot must account for every write, and the interleaved
+// snapshots must never tear (this is the TSan target of the suite).
+TEST(Registry, SnapshotConsistentUnderConcurrentWriters) {
+  Registry reg;
+  Counter& counter = reg.GetCounter("stress.count");
+  Histogram& hist = reg.GetHistogram("stress.lat_us", Histogram::LatencyUsBounds());
+  Gauge& gauge = reg.GetGauge("stress.depth");
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::atomic<bool> stop{false};
+  std::thread reader([&reg, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (const MetricValue& m : reg.Snapshot()) {
+        // A histogram snapshot may lag individual adds but must never go
+        // backwards past zero or report a count above the final total.
+        ASSERT_LE(m.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+      }
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&counter, &hist, &gauge, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.Add(1);
+        hist.Add(static_cast<double>((i % 1000) + 1));
+        gauge.Set(static_cast<double>(t));
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop.store(true);
+  reader.join();
+
+  const auto snap = reg.Snapshot();
+  const auto by_name = [&snap](const std::string& n) {
+    for (const auto& m : snap) {
+      if (m.name == n) return m;
+    }
+    ADD_FAILURE() << "missing metric " << n;
+    return MetricValue{};
+  };
+  EXPECT_DOUBLE_EQ(by_name("stress.count").value, kThreads * kPerThread);
+  EXPECT_EQ(by_name("stress.lat_us").count,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_GE(by_name("stress.depth").value, 0.0);
+  EXPECT_LT(by_name("stress.depth").value, kThreads);
+}
+
+// --- histogram buckets & percentile edges ---
+
+// Bucket i covers (bounds[i-1], bounds[i]]: a sample exactly on a bound
+// belongs to the lower bucket; above the last bound is the overflow bucket.
+TEST(Histogram, BucketBoundariesAreLowerInclusive) {
+  Histogram h({1.0, 2.0, 4.0});
+  ASSERT_EQ(h.bucket_count(), 4u);
+  h.Add(0.5);  // bucket 0: (-inf, 1]
+  h.Add(1.0);  // bucket 0: exactly on the bound
+  h.Add(1.5);  // bucket 1: (1, 2]
+  h.Add(2.0);  // bucket 1: exactly on the bound
+  h.Add(4.0);  // bucket 2: (2, 4]
+  h.Add(4.1);  // overflow: (4, inf)
+  EXPECT_EQ(h.BucketCount(0), 2u);
+  EXPECT_EQ(h.BucketCount(1), 2u);
+  EXPECT_EQ(h.BucketCount(2), 1u);
+  EXPECT_EQ(h.BucketCount(3), 1u);
+  EXPECT_EQ(h.Count(), 6u);
+}
+
+TEST(Histogram, QuantileOfEmptyIsZero) {
+  Histogram h(Histogram::LatencyUsBounds());
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+  const MetricValue m = h.Snapshot("empty");
+  EXPECT_EQ(m.count, 0u);
+  EXPECT_EQ(m.p50, 0.0);
+  EXPECT_EQ(m.p99, 0.0);
+}
+
+TEST(Histogram, QuantileOfSingleSampleIsExact) {
+  Histogram h(Histogram::LatencyUsBounds());
+  h.Add(37.0);  // interior of the (32, 64] bucket
+  for (double q : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.Quantile(q), 37.0) << "q=" << q;
+  }
+}
+
+TEST(Histogram, QuantileOfAllEqualSamplesIsExact) {
+  Histogram h(Histogram::LatencyUsBounds());
+  for (int i = 0; i < 1000; ++i) h.Add(100.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 100.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 100.0);
+  const MetricValue m = h.Snapshot("equal");
+  EXPECT_DOUBLE_EQ(m.min, 100.0);
+  EXPECT_DOUBLE_EQ(m.max, 100.0);
+  EXPECT_DOUBLE_EQ(m.sum, 100000.0);
+}
+
+TEST(Histogram, QuantilesClampToObservedRange) {
+  Histogram h({1000.0});  // one huge bucket (0, 1000]
+  h.Add(10.0);
+  h.Add(20.0);
+  h.Add(30.0);
+  // Interpolation inside (0, 1000] would wildly overshoot; the clamp keeps
+  // every quantile inside [10, 30].
+  for (double q : {0.0, 0.5, 0.95, 1.0}) {
+    EXPECT_GE(h.Quantile(q), 10.0) << "q=" << q;
+    EXPECT_LE(h.Quantile(q), 30.0) << "q=" << q;
+  }
+  EXPECT_LE(h.Quantile(0.1), h.Quantile(0.9));  // monotone
+}
+
+// --- trace ring ---
+
+TEST(TraceRing, RecordsAndOverwritesOldest) {
+  TraceRing ring(/*capacity=*/4);
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    ring.Record("cat", "span" + std::to_string(i), i, i * 10, i * 10 + 5, 0);
+  }
+  EXPECT_EQ(ring.dropped(), 2u);
+  const auto events = ring.Events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().name, "span2");  // oldest retained
+  EXPECT_EQ(events.back().name, "span5");
+}
+
+TEST(TraceRing, ChromeJsonHasCompleteEvents) {
+  TraceRing ring;
+  ring.Record("nvme", "read", 7, 1000, 3000, 2);
+  const std::string json = ToChromeTraceJson(ring.Events(), /*pid=*/3);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"read\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":2"), std::string::npos);
+  // ts/dur are virtual microseconds: 1000ns -> 1us, 2000ns -> 2us.
+  EXPECT_NE(json.find("\"ts\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":2"), std::string::npos);
+}
+
+// --- kStats wire round trip ---
+
+TEST(StatsQuery, QueryReplyMetricsRoundTripOverWire) {
+  proto::QueryReply reply;
+  reply.id = 42;
+  MetricValue c;
+  c.name = "ftl.gc.runs";
+  c.kind = MetricKind::kCounter;
+  c.value = 17;
+  MetricValue h;
+  h.name = "nvme.cmd_us";
+  h.kind = MetricKind::kHistogram;
+  h.value = 3;
+  h.count = 3;
+  h.sum = 300.5;
+  h.min = 50.25;
+  h.max = 150.125;
+  h.p50 = 100.0;
+  h.p95 = 149.0;
+  h.p99 = 150.0;
+  reply.metrics = {c, h};
+  reply.sq_depths = {0, 3, 1};
+
+  const auto bytes = proto::Serialize(reply);
+  auto back = proto::DeserializeQueryReply(bytes);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->id, 42u);
+  EXPECT_EQ(back->sq_depths, (std::vector<std::uint32_t>{0, 3, 1}));
+  ASSERT_EQ(back->metrics.size(), 2u);
+  EXPECT_EQ(back->metrics[0].name, "ftl.gc.runs");
+  EXPECT_EQ(back->metrics[0].kind, MetricKind::kCounter);
+  EXPECT_DOUBLE_EQ(back->metrics[0].value, 17.0);
+  EXPECT_EQ(back->metrics[1].name, "nvme.cmd_us");
+  EXPECT_EQ(back->metrics[1].kind, MetricKind::kHistogram);
+  EXPECT_EQ(back->metrics[1].count, 3u);
+  EXPECT_DOUBLE_EQ(back->metrics[1].sum, 300.5);
+  EXPECT_DOUBLE_EQ(back->metrics[1].min, 50.25);
+  EXPECT_DOUBLE_EQ(back->metrics[1].max, 150.125);
+  EXPECT_DOUBLE_EQ(back->metrics[1].p50, 100.0);
+  EXPECT_DOUBLE_EQ(back->metrics[1].p95, 149.0);
+  EXPECT_DOUBLE_EQ(back->metrics[1].p99, 150.0);
+}
+
+TEST(StatsQuery, CorruptedFrameFailsCrcCheck) {
+  proto::QueryReply reply;
+  MetricValue c;
+  c.name = "flash.reads";
+  c.kind = MetricKind::kCounter;
+  c.value = 5;
+  reply.metrics = {c};
+  auto bytes = proto::Serialize(reply);
+  bytes[bytes.size() / 2] ^= 0xFF;  // flip bits mid-body
+  auto back = proto::DeserializeQueryReply(bytes);
+  EXPECT_FALSE(back.ok());
+  EXPECT_EQ(back.status().code(), StatusCode::kDataLoss);
+}
+
+// --- device-level kStats + status depths ---
+
+struct OneDevice {
+  OneDevice() : ssd(ssd::TestProfile(), 1), agent(&ssd), handle(&ssd) {
+    EXPECT_TRUE(handle.FormatFilesystem().ok());
+  }
+  ssd::Ssd ssd;
+  isps::Agent agent;
+  client::CompStorHandle handle;
+};
+
+TEST(StatsQuery, DeviceSnapshotCoversEveryLayer) {
+  OneDevice dev;
+  // Touch the device so the counters move: one minion run.
+  proto::Command cmd;
+  cmd.type = proto::CommandType::kExecutable;
+  cmd.executable = "echo";
+  cmd.args = {"hello"};
+  auto minion = dev.handle.RunMinion(cmd);
+  ASSERT_TRUE(minion.ok());
+
+  auto stats = dev.handle.GetStatsSnapshot();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  std::map<std::string, MetricValue> by_name;
+  for (const MetricValue& m : *stats) by_name[m.name] = m;
+
+  // One representative per instrumented layer.
+  ASSERT_TRUE(by_name.count("flash.reads"));
+  ASSERT_TRUE(by_name.count("ftl.host_page_writes"));
+  ASSERT_TRUE(by_name.count("nvme.io_commands"));
+  ASSERT_TRUE(by_name.count("nvme.qp0.sq_depth"));
+  ASSERT_TRUE(by_name.count("nvme.cmd_us"));
+  ASSERT_TRUE(by_name.count("isps.minions_handled"));
+  ASSERT_TRUE(by_name.count("isps.core0.busy_ns"));
+  ASSERT_TRUE(by_name.count("ssd.energy_j"));
+
+  EXPECT_GE(by_name["ftl.host_page_writes"].value, 1.0);   // format wrote pages
+  EXPECT_GE(by_name["isps.minions_handled"].value, 1.0);   // the echo minion
+  EXPECT_GE(by_name["isps.core0.busy_ns"].value, 0.0);
+  EXPECT_EQ(by_name["nvme.cmd_us"].kind, MetricKind::kHistogram);
+  EXPECT_GT(by_name["nvme.cmd_us"].count, 0u);
+}
+
+TEST(StatsQuery, StatusReportsPerQueuePairDepths) {
+  OneDevice dev;
+  auto status = dev.handle.GetStatus();
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->sq_depths.size(), dev.ssd.profile().nvme_queue_pairs);
+  // Idle device: nothing outstanding in any submission queue.
+  for (std::uint32_t d : status->sq_depths) EXPECT_EQ(d, 0u);
+}
+
+TEST(StatsQuery, AgentDetachUnregistersIspsProbes) {
+  ssd::Ssd ssd(ssd::TestProfile(), 1);
+  {
+    isps::Agent agent(&ssd);
+    bool has_isps = false;
+    for (const auto& m : ssd.telemetry().Snapshot()) {
+      has_isps |= m.name.rfind("isps.", 0) == 0;
+    }
+    EXPECT_TRUE(has_isps);
+  }
+  // Probes captured the agent; after detach the snapshot must not call them.
+  for (const auto& m : ssd.telemetry().Snapshot()) {
+    EXPECT_NE(m.name.rfind("isps.", 0), 0u) << m.name << " outlived the agent";
+  }
+}
+
+// --- 2-device cluster: merged stats + virtual-time trace nesting ---
+
+struct TwoDevices {
+  TwoDevices()
+      : ssd1(ssd::TestProfile(), 1),
+        ssd2(ssd::TestProfile(), 2),
+        agent1(&ssd1),
+        agent2(&ssd2),
+        h1(&ssd1),
+        h2(&ssd2) {
+    EXPECT_TRUE(h1.FormatFilesystem().ok());
+    EXPECT_TRUE(h2.FormatFilesystem().ok());
+    cluster.AddDevice(&h1);
+    cluster.AddDevice(&h2);
+  }
+  ssd::Ssd ssd1, ssd2;
+  isps::Agent agent1, agent2;
+  client::CompStorHandle h1, h2;
+  client::Cluster cluster;
+};
+
+TEST(ClusterStats, CollectStatsMergesDevicesUnderPrefixes) {
+  TwoDevices t;
+  proto::Command cmd;
+  cmd.type = proto::CommandType::kExecutable;
+  cmd.executable = "echo";
+  cmd.args = {"x"};
+  std::vector<client::Cluster::WorkItem> work = {{0, cmd}, {1, cmd}};
+  ASSERT_TRUE(t.cluster.RunAll(work).ok());
+
+  const auto merged = t.cluster.CollectStats();
+  bool dev0 = false, dev1 = false, ok0 = false, failed1 = false;
+  for (const MetricValue& m : merged) {
+    dev0 |= m.name == "dev0.isps.minions_handled" && m.value >= 1;
+    dev1 |= m.name == "dev1.isps.minions_handled" && m.value >= 1;
+    ok0 |= m.name == "cluster.dev0.minions_ok" && m.value >= 1;
+    failed1 |= m.name == "cluster.dev1.minions_failed";
+  }
+  EXPECT_TRUE(dev0);
+  EXPECT_TRUE(dev1);
+  EXPECT_TRUE(ok0);
+  EXPECT_TRUE(failed1);
+}
+
+TEST(ClusterTrace, MinionSpansNestInVirtualTime) {
+  TwoDevices t;
+  proto::Command cmd;
+  cmd.type = proto::CommandType::kExecutable;
+  cmd.executable = "echo";
+  cmd.args = {"trace", "me"};
+  std::vector<client::Cluster::WorkItem> work = {{0, cmd}, {1, cmd}, {0, cmd}};
+  ASSERT_TRUE(t.cluster.RunAll(work).ok());
+
+  std::vector<std::vector<TraceEvent>> per_device = {t.ssd1.trace().Events(),
+                                                     t.ssd2.trace().Events()};
+  std::size_t checked_minions = 0;
+  std::size_t checked_nvme = 0;
+  for (const auto& events : per_device) {
+    ASSERT_FALSE(events.empty());
+    // Group by (category, id); every span must be well-formed.
+    std::map<std::uint64_t, std::vector<const TraceEvent*>> minions;
+    std::map<std::uint64_t, std::vector<const TraceEvent*>> commands;
+    for (const TraceEvent& e : events) {
+      ASSERT_LE(e.start_ns, e.end_ns) << e.category << "/" << e.name;
+      if (e.category == "minion") minions[e.id].push_back(&e);
+      if (e.category == "nvme") commands[e.id].push_back(&e);
+    }
+    // Minion spans: run and respond nest inside (and tile the tail of) the
+    // dispatch->response parent, all on the executing core's clock.
+    for (const auto& [pid, spans] : minions) {
+      const TraceEvent* parent = nullptr;
+      const TraceEvent* run = nullptr;
+      const TraceEvent* respond = nullptr;
+      for (const TraceEvent* e : spans) {
+        if (e->name == "run") {
+          run = e;
+        } else if (e->name == "respond") {
+          respond = e;
+        } else {
+          parent = e;  // named after the executable
+        }
+      }
+      ASSERT_NE(parent, nullptr);
+      ASSERT_NE(run, nullptr);
+      ASSERT_NE(respond, nullptr);
+      EXPECT_EQ(parent->name, "echo");
+      EXPECT_LE(parent->start_ns, run->start_ns);
+      EXPECT_EQ(run->end_ns, respond->start_ns);  // respond picks up where run ends
+      EXPECT_EQ(respond->end_ns, parent->end_ns);
+      EXPECT_EQ(run->tid, parent->tid);  // one core ran all stages
+      ++checked_minions;
+    }
+    // NVMe spans: back-end execution nests inside the enqueue->completion
+    // parent (it can never start before submission).
+    for (const auto& [cid, spans] : commands) {
+      const TraceEvent* parent = nullptr;
+      const TraceEvent* exec = nullptr;
+      for (const TraceEvent* e : spans) {
+        if (e->name.size() > 5 && e->name.rfind(".exec") == e->name.size() - 5) {
+          exec = e;
+        } else {
+          parent = e;
+        }
+      }
+      if (parent == nullptr || exec == nullptr) continue;  // ring overwrote one
+      EXPECT_LE(parent->start_ns, exec->start_ns);
+      EXPECT_EQ(exec->end_ns, parent->end_ns);
+      ++checked_nvme;
+    }
+  }
+  EXPECT_EQ(checked_minions, 3u);  // every work item produced a full span set
+  EXPECT_GT(checked_nvme, 0u);
+
+  // The merged Chrome JSON carries both devices as separate trace pids.
+  const std::string json = MergeChromeTraceJson(per_device);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"minion\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace compstor::telemetry

@@ -119,6 +119,64 @@ TEST(LogHistogram, QuantilesMonotone) {
   EXPECT_LE(h.Quantile(0.9), h.Quantile(0.999));
 }
 
+// Percentile edges: an empty histogram has no representative value, a single
+// sample dominates every quantile, and identical samples keep every quantile
+// inside the one occupied bucket.
+TEST(LogHistogram, QuantileOfEmptyIsZero) {
+  LogHistogram h;
+  EXPECT_EQ(h.TotalCount(), 0u);
+  EXPECT_EQ(h.Quantile(0.0), 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_EQ(h.Quantile(1.0), 0.0);
+}
+
+TEST(LogHistogram, QuantileOfSingleSampleStaysInItsBucket) {
+  LogHistogram h;
+  h.Add(10.0);  // bucket [8, 16)
+  for (double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_GE(h.Quantile(q), 8.0) << "q=" << q;
+    EXPECT_LE(h.Quantile(q), 16.0) << "q=" << q;
+  }
+}
+
+TEST(LogHistogram, QuantileOfAllEqualSamplesStaysInOneBucket) {
+  LogHistogram h;
+  for (int i = 0; i < 100; ++i) h.Add(3.0);  // bucket [2, 4)
+  EXPECT_EQ(h.Quantile(0.01), h.Quantile(0.99));
+  EXPECT_GE(h.Quantile(0.5), 2.0);
+  EXPECT_LE(h.Quantile(0.5), 4.0);
+}
+
+TEST(LogHistogram, QuantileClampsOutOfRangeQ) {
+  LogHistogram h;
+  h.Add(1.0);
+  h.Add(100.0);
+  EXPECT_EQ(h.Quantile(-1.0), h.Quantile(0.0));
+  EXPECT_EQ(h.Quantile(2.0), h.Quantile(1.0));
+}
+
+TEST(RunningStats, EmptyAndSingleSampleEdges) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.min(), 0.0);  // not +inf: empty stats read as zeros
+  EXPECT_EQ(s.max(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  s.Add(42.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 42.0);
+  EXPECT_EQ(s.min(), 42.0);
+  EXPECT_EQ(s.max(), 42.0);
+  EXPECT_EQ(s.variance(), 0.0);  // n-1 denominator undefined below 2 samples
+}
+
+TEST(RunningStats, AllEqualSamplesHaveZeroVariance) {
+  RunningStats s;
+  for (int i = 0; i < 1000; ++i) s.Add(7.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 7.5);
+  EXPECT_NEAR(s.variance(), 0.0, 1e-12);
+  EXPECT_EQ(s.min(), s.max());
+}
+
 // --- byte IO ---
 
 TEST(ByteIo, RoundTripAllTypes) {
