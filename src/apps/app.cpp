@@ -1,8 +1,32 @@
 #include "apps/app.hpp"
 
+#include <algorithm>
+
 #include "energy/cost_model.hpp"
 
 namespace compstor::apps {
+namespace {
+
+/// Forwards to a ring/source owned by the pipeline, firing `on_chunk` on the
+/// consumer thread (the stage reading it).
+class ForwardingSource final : public fs::ByteSource {
+ public:
+  ForwardingSource(fs::ByteSource* inner, std::function<void(std::size_t)> on_chunk)
+      : inner_(inner), on_chunk_(std::move(on_chunk)) {}
+
+  Result<std::size_t> Read(std::span<std::uint8_t> out) override {
+    COMPSTOR_ASSIGN_OR_RETURN(std::size_t n, inner_->Read(out));
+    if (n > 0 && on_chunk_) on_chunk_(n);
+    return n;
+  }
+  std::uint64_t SizeHint() const override { return inner_->SizeHint(); }
+
+ private:
+  fs::ByteSource* inner_;
+  std::function<void(std::size_t)> on_chunk_;
+};
+
+}  // namespace
 
 void CostRecorder::AddWork(std::string_view app, std::uint64_t units) {
   compute_units += units;
@@ -10,24 +34,107 @@ void CostRecorder::AddWork(std::string_view app, std::uint64_t units) {
   ref_cycles_in_order += energy::AdjustedCycles(app, units, /*in_order_target=*/true);
 }
 
-Result<std::string> AppContext::ReadInputFile(std::string_view path) {
+void AppContext::OnStreamChunk(std::size_t bytes) {
+  if (platform.stream_bytes_per_s <= 0) return;
+  const double io_s = static_cast<double>(bytes) / platform.stream_bytes_per_s;
+  cost.streamed_bytes += bytes;
+  cost.stream_io_s += io_s;
+  if (platform.cycles_per_second <= 0 || !platform.prefetch) {
+    // No overlap model / no read-ahead: the core waits out the full transfer.
+    cost.stream_stall_s += io_s;
+    return;
+  }
+  // Depth-1 read-ahead: this chunk's transfer ran while the core computed on
+  // the previous one. Only the transfer time that exceeds the compute accrued
+  // since then stalls the core. The very first chunk has nothing to hide
+  // behind and stalls fully.
+  const double cycles = platform.in_order ? cost.ref_cycles_in_order : cost.ref_cycles;
+  const double compute_s = cycles / platform.cycles_per_second;
+  const double hidden = std::max(0.0, compute_s - compute_mark_s_);
+  compute_mark_s_ = compute_s;
+  cost.stream_stall_s += std::max(0.0, io_s - hidden);
+}
+
+Result<std::unique_ptr<fs::ByteSource>> AppContext::OpenInput(std::string_view path) {
   if (fs == nullptr) return FailedPrecondition("no filesystem in context");
-  COMPSTOR_ASSIGN_OR_RETURN(std::string data, fs->ReadFileText(path));
-  cost.bytes_in += data.size();
-  return data;
+  fs::StreamOptions options;
+  options.chunk_bytes = platform.chunk_bytes;
+  options.prefetch = platform.prefetch;
+  options.budget = budget;
+  options.on_chunk = [this](std::size_t n) {
+    cost.bytes_in += n;
+    OnStreamChunk(n);
+  };
+  return fs->OpenRead(path, options);
+}
+
+Result<std::unique_ptr<fs::ByteSink>> AppContext::OpenOutput(std::string_view path) {
+  if (fs == nullptr) return FailedPrecondition("no filesystem in context");
+  fs::StreamOptions options;
+  options.chunk_bytes = platform.chunk_bytes;
+  options.budget = budget;
+  options.on_chunk = [this](std::size_t n) {
+    cost.bytes_out += n;
+    OnStreamChunk(n);
+  };
+  return fs->OpenWrite(path, options);
+}
+
+std::unique_ptr<fs::ByteSource> AppContext::In() {
+  auto charge = [this](std::size_t n) { cost.bytes_in += n; };
+  if (in_source != nullptr) {
+    return std::make_unique<ForwardingSource>(in_source, charge);
+  }
+  fs::StreamOptions options;
+  options.chunk_bytes = platform.chunk_bytes;
+  options.on_chunk = charge;
+  return std::make_unique<fs::MemorySource>(stdin_data, options);
+}
+
+Result<std::string> AppContext::ReadInputFile(std::string_view path) {
+  COMPSTOR_ASSIGN_OR_RETURN(std::unique_ptr<fs::ByteSource> src, OpenInput(path));
+  retained.Attach(budget);
+  return fs::DrainToString(*src, &retained, platform.chunk_bytes);
 }
 
 Status AppContext::WriteOutputFile(std::string_view path, std::string_view data) {
-  if (fs == nullptr) return FailedPrecondition("no filesystem in context");
-  COMPSTOR_RETURN_IF_ERROR(fs->WriteFile(path, data));
-  cost.bytes_out += data.size();
-  return OkStatus();
+  COMPSTOR_ASSIGN_OR_RETURN(std::unique_ptr<fs::ByteSink> sink, OpenOutput(path));
+  COMPSTOR_RETURN_IF_ERROR(sink->Write(data));
+  return sink->Close();
 }
 
 Status AppContext::WriteOutputFile(std::string_view path,
                                    std::span<const std::uint8_t> data) {
   return WriteOutputFile(
       path, std::string_view(reinterpret_cast<const char*>(data.data()), data.size()));
+}
+
+void AppContext::Out(std::string_view s) {
+  cost.bytes_out += s.size();
+  if (out_sink != nullptr) {
+    // Pipeline/redirect mode: never capped — the downstream consumer or file
+    // takes everything.
+    (void)out_sink->Write(s);
+    return;
+  }
+  const std::size_t cap = platform.max_capture_bytes;
+  if (stdout_data.size() >= cap) {
+    stdout_truncated = true;
+    return;
+  }
+  const std::size_t room = cap - stdout_data.size();
+  if (s.size() > room) {
+    stdout_data.append(s.substr(0, room));
+    stdout_truncated = true;
+  } else {
+    stdout_data.append(s);
+  }
+}
+
+void AppContext::Err(std::string_view s) {
+  const std::size_t cap = platform.max_capture_bytes;
+  if (stderr_data.size() >= cap) return;
+  stderr_data.append(s.substr(0, std::min(s.size(), cap - stderr_data.size())));
 }
 
 std::vector<std::string_view> SplitLines(std::string_view text) {

@@ -3,8 +3,14 @@
 // The paper's key flexibility claim is that the same unmodified program runs
 // on the host and inside the CompStor. Here that is literal: an Application
 // subclass is instantiated by the host executor and by the ISPS task runtime
-// alike; only the AppContext (which filesystem view, whose cost meter)
-// differs.
+// alike; only the AppContext (which filesystem view, whose cost meter,
+// which platform's DRAM budget and stream rates) differs.
+//
+// I/O is chunked: apps open files as ByteSource/ByteSink streams and process
+// them incrementally, so memory stays bounded by the platform's DRAM budget
+// and the cost model can overlap flash reads with compute (per-chunk stall
+// accounting in OnStreamChunk) instead of charging IO serially after the
+// fact.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +20,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/mem_budget.hpp"
 #include "common/status.hpp"
 #include "fs/filesystem.hpp"
 
@@ -32,6 +39,15 @@ struct CostRecorder {
   /// record time, since the app identity is gone afterwards).
   double ref_cycles_in_order = 0;
 
+  // Chunked-stream accounting (subset of bytes_in/bytes_out that moved
+  // through file sources/sinks). stream_io_s is those bytes' full transfer
+  // time; stream_stall_s is the part the core actually waited for — with
+  // read-ahead, transfer that fits under the compute accrued since the
+  // previous chunk is hidden.
+  std::uint64_t streamed_bytes = 0;
+  double stream_io_s = 0;
+  double stream_stall_s = 0;
+
   /// Records `units` work units of application `app`.
   void AddWork(std::string_view app, std::uint64_t units);
 
@@ -41,28 +57,87 @@ struct CostRecorder {
     compute_units += other.compute_units;
     ref_cycles += other.ref_cycles;
     ref_cycles_in_order += other.ref_cycles_in_order;
+    streamed_bytes += other.streamed_bytes;
+    stream_io_s += other.stream_io_s;
+    stream_stall_s += other.stream_stall_s;
   }
+};
+
+/// The executing platform as the app's data path sees it. Filled in by the
+/// task runtime (ISPS A53 + internal path with read-ahead, or host Xeon +
+/// NVMe path); the zero-initialized default disables overlap modeling and
+/// keeps bare test fixtures behaving like plain code.
+struct PlatformModel {
+  /// Effective work rate (frequency_hz x ipc_factor) for converting recorded
+  /// reference cycles into elapsed compute seconds; 0 disables stall
+  /// modeling.
+  double cycles_per_second = 0;
+  bool in_order = false;
+  /// Data-path stream rate for chunked file IO (bytes/s); 0 disables.
+  double stream_bytes_per_s = 0;
+  /// Depth-1 read-ahead on file sources (ISPS internal path).
+  bool prefetch = false;
+  std::size_t chunk_bytes = fs::kDefaultChunkBytes;
+  /// Cap on captured stdout/stderr (a streamed response, not a file); excess
+  /// is dropped and flagged via AppContext::stdout_truncated.
+  std::size_t max_capture_bytes = 1 << 20;
 };
 
 struct AppContext {
   /// Filesystem view (host path or ISPS-internal path).
   fs::Filesystem* fs = nullptr;
-  /// Piped input (shell `|`) or pre-loaded stdin.
+  /// Piped input (shell `|`) or pre-loaded stdin. In pipeline mode
+  /// `in_source` supersedes this; apps should read via In().
   std::string stdin_data;
-  /// Captured output streams.
+  /// Captured output streams (capped at platform.max_capture_bytes).
   std::string stdout_data;
   std::string stderr_data;
   CostRecorder cost;
 
+  PlatformModel platform;
+  /// Platform DRAM budget every retained buffer reserves against (nullptr =
+  /// unaccounted).
+  MemoryBudget* budget = nullptr;
+  /// Pipeline wiring: when set, stdin comes from this stream and/or stdout
+  /// goes to this sink instead of the captured strings.
+  fs::ByteSource* in_source = nullptr;
+  fs::ByteSink* out_sink = nullptr;
+  /// Set when captured stdout overflowed max_capture_bytes and was dropped.
+  bool stdout_truncated = false;
+
   // -- helpers used by every app --
+
+  /// Opens `path` as a chunked stream charged per chunk (bytes_in + overlap
+  /// accounting) against this context.
+  Result<std::unique_ptr<fs::ByteSource>> OpenInput(std::string_view path);
+  /// Create-or-truncate `path` as a chunked sink (bytes_out per flushed
+  /// chunk).
+  Result<std::unique_ptr<fs::ByteSink>> OpenOutput(std::string_view path);
+  /// Stdin as a stream: the upstream pipe when running in a pipeline,
+  /// otherwise a chunked view of stdin_data. Pipe bytes are already in DRAM,
+  /// so they charge bytes_in but no flash transfer time.
+  std::unique_ptr<fs::ByteSource> In();
+
+  /// Whole-file read over the chunked path; the retained buffer stays
+  /// reserved against the DRAM budget for the life of this context. Prefer
+  /// OpenInput — this is for apps that genuinely need the full content.
   Result<std::string> ReadInputFile(std::string_view path);
   Status WriteOutputFile(std::string_view path, std::string_view data);
   Status WriteOutputFile(std::string_view path, std::span<const std::uint8_t> data);
-  void Out(std::string_view s) {
-    stdout_data.append(s);
-    cost.bytes_out += s.size();
-  }
-  void Err(std::string_view s) { stderr_data.append(s); }
+
+  void Out(std::string_view s);
+  void Err(std::string_view s);
+
+  /// Per-chunk virtual-time hook for file streams: accrues the chunk's
+  /// transfer time and the stall the core could not hide behind compute.
+  void OnStreamChunk(std::size_t bytes);
+
+  /// Grows with every whole-buffer retention (ReadInputFile, gathered line
+  /// sets, codec scratch); released when the context dies.
+  MemoryReservation retained;
+
+ private:
+  double compute_mark_s_ = 0;  // compute seconds accrued at the last chunk
 };
 
 class Application {

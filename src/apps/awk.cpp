@@ -1949,9 +1949,49 @@ Result<AwkProgram> AwkProgram::Compile(std::string_view source) {
 Result<AwkProgram::RunResult> AwkProgram::Run(
     const std::vector<std::pair<std::string, std::string>>& files,
     std::string_view stdin_data, const RunOptions& options) const {
+  // Adapt the in-memory inputs to pull-based record sources. Splitting
+  // matches SplitLines: a trailing '\n' does not yield an empty final record.
+  struct MemCursor {
+    std::string_view text;
+    std::size_t pos = 0;
+  };
+  std::vector<std::unique_ptr<MemCursor>> cursors;
+  std::vector<RecordSource> sources;
+  auto add = [&](std::string name, std::string_view text) {
+    cursors.push_back(std::make_unique<MemCursor>(MemCursor{text}));
+    MemCursor* c = cursors.back().get();
+    sources.push_back({std::move(name), /*lazy=*/false,
+                       [c](std::string* line) -> Result<bool> {
+                         if (c->pos >= c->text.size()) return false;
+                         std::size_t nl = c->text.find('\n', c->pos);
+                         if (nl == std::string_view::npos) {
+                           line->assign(c->text.substr(c->pos));
+                           c->pos = c->text.size();
+                         } else {
+                           line->assign(c->text.substr(c->pos, nl - c->pos));
+                           c->pos = nl + 1;
+                         }
+                         return true;
+                       }});
+  };
+  for (const auto& [name, content] : files) add(name, content);
+  if (files.empty() && !stdin_data.empty()) add("-", stdin_data);
+  return RunStreaming(sources, options, nullptr);
+}
+
+Result<AwkProgram::RunResult> AwkProgram::RunStreaming(
+    std::vector<RecordSource>& sources, const RunOptions& options,
+    const std::function<void(std::string_view)>& emit) const {
   Impl::Runtime rt;
   RunResult result;
   rt.out = &result.output;
+
+  auto flush = [&] {
+    if (emit && !result.output.empty()) {
+      emit(result.output);
+      result.output.clear();
+    }
+  };
 
   rt.vars["FS"] = Value::Str(options.field_separator.empty() ? " " : options.field_separator);
   rt.vars["OFS"] = Value::Str(" ");
@@ -1974,6 +2014,7 @@ Result<AwkProgram::RunResult> AwkProgram::Run(
       break;
     }
   }
+  flush();
 
   // Main loop over records.
   bool has_main = false;
@@ -1984,28 +2025,26 @@ Result<AwkProgram::RunResult> AwkProgram::Run(
   for (const Rule& rule : impl_->rules) has_end |= rule.k == Rule::K::kEnd;
 
   if (!exited && (has_main || has_end)) {
-    std::vector<std::pair<std::string, std::string>> inputs(files.begin(), files.end());
-    if (inputs.empty() && !stdin_data.empty()) {
-      inputs.emplace_back("-", std::string(stdin_data));
-    }
     std::uint64_t nr = 0;
-    for (const auto& [fname, content] : inputs) {
+    for (RecordSource& src : sources) {
       if (exited) break;
-      rt.vars["FILENAME"] = Value::Str(fname);
+      std::string first;
+      bool have_first = false;
+      if (src.lazy) {
+        COMPSTOR_ASSIGN_OR_RETURN(have_first, src.next(&first));
+        if (!have_first) continue;  // empty stdin: FILENAME stays ""
+      }
+      rt.vars["FILENAME"] = Value::Str(src.name);
       rt.vars["FNR"] = Value::Number(0);
       std::uint64_t fnr = 0;
-      std::size_t start = 0;
-      while (start <= content.size()) {
-        if (start == content.size() && content.size() > 0) break;
-        std::size_t nl = content.find('\n', start);
+      for (;;) {
         std::string line;
-        if (nl == std::string::npos) {
-          if (start >= content.size()) break;
-          line = content.substr(start);
-          start = content.size();
+        if (have_first) {
+          line = std::move(first);
+          have_first = false;
         } else {
-          line = content.substr(start, nl - start);
-          start = nl + 1;
+          COMPSTOR_ASSIGN_OR_RETURN(bool more, src.next(&line));
+          if (!more) break;
         }
         result.work_units += line.size() + 1;
         ++nr;
@@ -2035,6 +2074,7 @@ Result<AwkProgram::RunResult> AwkProgram::Run(
             break;
           }
         }
+        flush();
         if (exited) break;
       }
     }
@@ -2052,6 +2092,7 @@ Result<AwkProgram::RunResult> AwkProgram::Run(
       }
     }
   }
+  flush();
   return result;
 }
 
@@ -2089,17 +2130,37 @@ Result<int> AwkApp::Run(AppContext& ctx, const std::vector<std::string>& args) {
 
   COMPSTOR_ASSIGN_OR_RETURN(AwkProgram program, AwkProgram::Compile(program_text));
 
-  std::vector<std::pair<std::string, std::string>> files;
+  // Pull records straight off chunked file streams; work is charged per
+  // record so IO/compute overlap accounting tracks actual progress.
+  struct OpenInput {
+    std::unique_ptr<fs::ByteSource> source;
+    std::unique_ptr<fs::LineReader> reader;
+  };
+  std::vector<std::unique_ptr<OpenInput>> inputs;
+  std::vector<AwkProgram::RecordSource> sources;
+  auto add = [&](std::string name, std::unique_ptr<fs::ByteSource> src, bool lazy) {
+    auto in = std::make_unique<OpenInput>();
+    in->source = std::move(src);
+    in->reader = std::make_unique<fs::LineReader>(in->source.get(), ctx.platform.chunk_bytes);
+    fs::LineReader* reader = in->reader.get();
+    inputs.push_back(std::move(in));
+    sources.push_back({std::move(name), lazy,
+                       [reader, &ctx](std::string* line) -> Result<bool> {
+                         COMPSTOR_ASSIGN_OR_RETURN(bool more, reader->Next(line));
+                         if (more) ctx.cost.AddWork("gawk", line->size() + 1);
+                         return more;
+                       }});
+  };
   for (const std::string& f : file_names) {
-    COMPSTOR_ASSIGN_OR_RETURN(std::string content, ctx.ReadInputFile(f));
-    files.emplace_back(f, std::move(content));
+    COMPSTOR_ASSIGN_OR_RETURN(std::unique_ptr<fs::ByteSource> src, ctx.OpenInput(f));
+    add(f, std::move(src), /*lazy=*/false);
   }
-  if (files.empty()) ctx.cost.bytes_in += ctx.stdin_data.size();
+  if (file_names.empty()) add("-", ctx.In(), /*lazy=*/true);
 
-  COMPSTOR_ASSIGN_OR_RETURN(AwkProgram::RunResult r,
-                            program.Run(files, ctx.stdin_data, opts));
-  ctx.cost.AddWork("gawk", r.work_units);
-  ctx.Out(r.output);
+  COMPSTOR_ASSIGN_OR_RETURN(
+      AwkProgram::RunResult r,
+      program.RunStreaming(sources, opts,
+                           [&ctx](std::string_view out) { ctx.Out(out); }));
   return r.exit_code;
 }
 

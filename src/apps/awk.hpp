@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -48,8 +49,27 @@ class AwkProgram {
 
   /// Runs the program over named inputs (name used for FILENAME). An empty
   /// file list runs BEGIN/END only (plus `stdin_data` as input if nonempty).
+  /// Convenience wrapper over RunStreaming with in-memory record sources.
   Result<RunResult> Run(const std::vector<std::pair<std::string, std::string>>& files,
                         std::string_view stdin_data, const RunOptions& options) const;
+
+  /// A pull-based record input. `next` fills one record (without its
+  /// terminator) and returns false at end of input; it may do IO and fail.
+  struct RecordSource {
+    std::string name;  // FILENAME value
+    /// When set, FILENAME/FNR are only touched once a first record exists —
+    /// used for implicit stdin, whose emptiness is unknown until read.
+    bool lazy = false;
+    std::function<Result<bool>(std::string*)> next;
+  };
+
+  /// Streaming run: records are pulled from `sources` one at a time and, when
+  /// `emit` is set, output is handed over after BEGIN, after each record, and
+  /// after END instead of accumulating in RunResult::output. Memory held is
+  /// one record plus interpreter state, regardless of input size.
+  Result<RunResult> RunStreaming(std::vector<RecordSource>& sources,
+                                 const RunOptions& options,
+                                 const std::function<void(std::string_view)>& emit) const;
 
  private:
   AwkProgram();

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <numeric>
 
+#include "apps/byte_feed.hpp"
 #include "apps/huffman.hpp"
 #include "util/bitstream.hpp"
 #include "util/crc32c.hpp"
@@ -101,6 +102,72 @@ bool IsBwz(std::span<const std::uint8_t> data) {
   return data.size() >= kMagic.size() &&
          std::memcmp(data.data(), kMagic.data(), kMagic.size()) == 0;
 }
+
+namespace {
+
+/// Decodes one self-delimited block payload (Huffman -> zero-run -> MTF ->
+/// inverse BWT) back into plaintext. Shared by the buffered and streaming
+/// decoders.
+Result<std::vector<std::uint8_t>> DecodeBwzBlock(std::span<const std::uint8_t> payload,
+                                                 std::uint32_t block_len,
+                                                 std::uint32_t primary) {
+  util::BitReader r(payload);
+  std::vector<std::uint8_t> lengths(kNumSymbols);
+  for (auto& l : lengths) l = static_cast<std::uint8_t>(r.ReadBits(4));
+  if (r.overrun()) return DataLoss("cbz: truncated code lengths");
+  CanonicalDecoder dec;
+  COMPSTOR_RETURN_IF_ERROR(dec.Init(lengths));
+
+  // Decode symbols -> MTF values (undoing the zero-run code).
+  std::vector<std::uint16_t> mtf;
+  mtf.reserve(block_len);
+  std::uint64_t run = 0;
+  std::uint64_t run_bit = 1;
+  auto flush_run = [&]() -> Status {
+    if (run > 0) {
+      if (mtf.size() + run > block_len) return DataLoss("cbz: zero run overflows block");
+      mtf.insert(mtf.end(), run, 0);
+      run = 0;
+    }
+    run_bit = 1;
+    return OkStatus();
+  };
+  for (;;) {
+    const int sym = dec.Decode(r);
+    if (sym < 0) return DataLoss("cbz: bad symbol");
+    if (sym == kEob) {
+      COMPSTOR_RETURN_IF_ERROR(flush_run());
+      break;
+    }
+    if (sym == kRunA || sym == kRunB) {
+      run += run_bit * (sym == kRunA ? 1 : 2);
+      run_bit <<= 1;
+      continue;
+    }
+    COMPSTOR_RETURN_IF_ERROR(flush_run());
+    if (mtf.size() >= block_len) return DataLoss("cbz: symbols overflow block");
+    mtf.push_back(static_cast<std::uint16_t>(sym - 1));
+  }
+  if (mtf.size() != block_len) return DataLoss("cbz: block length mismatch");
+
+  // Undo MTF.
+  std::array<std::uint8_t, 256> order;
+  for (int i = 0; i < 256; ++i) order[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i);
+  std::vector<std::uint8_t> bwt(block_len);
+  for (std::size_t i = 0; i < mtf.size(); ++i) {
+    const int idx = mtf[i];
+    const std::uint8_t c = order[static_cast<std::size_t>(idx)];
+    bwt[i] = c;
+    std::memmove(order.data() + 1, order.data(), static_cast<std::size_t>(idx));
+    order[0] = c;
+  }
+  if (primary >= std::max<std::uint32_t>(block_len, 1)) {
+    return DataLoss("cbz: bad primary index");
+  }
+  return BwtInverse(bwt, primary);
+}
+
+}  // namespace
 
 Result<std::vector<std::uint8_t>> BwzCompress(std::span<const std::uint8_t> input,
                                               const BwzOptions& options) {
@@ -218,63 +285,10 @@ Result<std::vector<std::uint8_t>> BwzDecompress(std::span<const std::uint8_t> in
     COMPSTOR_RETURN_IF_ERROR(read_u32(&primary));
     COMPSTOR_RETURN_IF_ERROR(read_u32(&nbits_bytes));
     if (pos + nbits_bytes > end) return DataLoss("cbz: truncated block payload");
-    util::BitReader r(input.subspan(pos, nbits_bytes));
+    COMPSTOR_ASSIGN_OR_RETURN(
+        std::vector<std::uint8_t> block,
+        DecodeBwzBlock(input.subspan(pos, nbits_bytes), block_len, primary));
     pos += nbits_bytes;
-
-    std::vector<std::uint8_t> lengths(kNumSymbols);
-    for (auto& l : lengths) l = static_cast<std::uint8_t>(r.ReadBits(4));
-    if (r.overrun()) return DataLoss("cbz: truncated code lengths");
-    CanonicalDecoder dec;
-    COMPSTOR_RETURN_IF_ERROR(dec.Init(lengths));
-
-    // Decode symbols -> MTF values (undoing the zero-run code).
-    std::vector<std::uint16_t> mtf;
-    mtf.reserve(block_len);
-    std::uint64_t run = 0;
-    std::uint64_t run_bit = 1;
-    auto flush_run = [&]() -> Status {
-      if (run > 0) {
-        if (mtf.size() + run > block_len) return DataLoss("cbz: zero run overflows block");
-        mtf.insert(mtf.end(), run, 0);
-        run = 0;
-      }
-      run_bit = 1;
-      return OkStatus();
-    };
-    for (;;) {
-      const int sym = dec.Decode(r);
-      if (sym < 0) return DataLoss("cbz: bad symbol");
-      if (sym == kEob) {
-        COMPSTOR_RETURN_IF_ERROR(flush_run());
-        break;
-      }
-      if (sym == kRunA || sym == kRunB) {
-        run += run_bit * (sym == kRunA ? 1 : 2);
-        run_bit <<= 1;
-        continue;
-      }
-      COMPSTOR_RETURN_IF_ERROR(flush_run());
-      if (mtf.size() >= block_len) return DataLoss("cbz: symbols overflow block");
-      mtf.push_back(static_cast<std::uint16_t>(sym - 1));
-    }
-    if (mtf.size() != block_len) return DataLoss("cbz: block length mismatch");
-
-    // Undo MTF.
-    std::array<std::uint8_t, 256> order;
-    for (int i = 0; i < 256; ++i) order[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i);
-    std::vector<std::uint8_t> bwt(block_len);
-    for (std::size_t i = 0; i < mtf.size(); ++i) {
-      const int idx = mtf[i];
-      const std::uint8_t c = order[static_cast<std::size_t>(idx)];
-      bwt[i] = c;
-      std::memmove(order.data() + 1, order.data(), static_cast<std::size_t>(idx));
-      order[0] = c;
-    }
-    if (primary >= std::max<std::uint32_t>(block_len, 1)) {
-      return DataLoss("cbz: bad primary index");
-    }
-
-    std::vector<std::uint8_t> block = BwtInverse(bwt, primary);
     out.insert(out.end(), block.begin(), block.end());
     if (out.size() > original) return DataLoss("cbz: output exceeds declared size");
   }
@@ -282,6 +296,59 @@ Result<std::vector<std::uint8_t>> BwzDecompress(std::span<const std::uint8_t> in
   if (out.size() != original) return DataLoss("cbz: size mismatch");
   if (util::Crc32c(out) != stored_crc) return DataLoss("cbz: crc mismatch");
   return out;
+}
+
+Status BwzDecompressStream(fs::ByteSource& src, fs::ByteSink& sink,
+                           std::size_t chunk_bytes) {
+  ByteFeed feed(&src, chunk_bytes);
+  bool first = true;
+  for (;;) {
+    COMPSTOR_ASSIGN_OR_RETURN(bool have, feed.Ensure(1));
+    if (!have) {
+      if (first) return InvalidArgument("cbz: bad magic");
+      return OkStatus();  // clean end between members
+    }
+    COMPSTOR_ASSIGN_OR_RETURN(have, feed.Ensure(kMagic.size() + 8));
+    if (!have) return DataLoss("cbz: truncated header");
+    auto hdr = feed.Avail();
+    if (std::memcmp(hdr.data(), kMagic.data(), kMagic.size()) != 0) {
+      return InvalidArgument("cbz: bad magic");
+    }
+    const std::uint64_t original = FeedU64(hdr.subspan(kMagic.size()));
+    feed.Consume(kMagic.size() + 8);
+
+    std::uint64_t emitted = 0;
+    std::uint32_t crc = 0;
+    while (emitted < original) {
+      COMPSTOR_ASSIGN_OR_RETURN(have, feed.Ensure(12));
+      if (!have) return DataLoss("cbz: truncated block header");
+      auto bh = feed.Avail();
+      const std::uint32_t block_len = FeedU32(bh);
+      const std::uint32_t primary = FeedU32(bh.subspan(4));
+      const std::uint32_t nbits_bytes = FeedU32(bh.subspan(8));
+      if (nbits_bytes > (1u << 30)) return DataLoss("cbz: truncated block payload");
+      feed.Consume(12);
+      COMPSTOR_ASSIGN_OR_RETURN(have, feed.Ensure(nbits_bytes));
+      if (!have) return DataLoss("cbz: truncated block payload");
+      COMPSTOR_ASSIGN_OR_RETURN(
+          std::vector<std::uint8_t> block,
+          DecodeBwzBlock(feed.Avail().first(nbits_bytes), block_len, primary));
+      feed.Consume(nbits_bytes);
+      if (emitted + block.size() > original) {
+        return DataLoss("cbz: output exceeds declared size");
+      }
+      crc = util::Crc32c(block, crc);
+      COMPSTOR_RETURN_IF_ERROR(sink.Write(block));
+      emitted += block.size();
+      if (block.empty()) return DataLoss("cbz: empty block");  // no progress
+    }
+
+    COMPSTOR_ASSIGN_OR_RETURN(have, feed.Ensure(4));
+    if (!have) return DataLoss("cbz: truncated stream");
+    if (crc != FeedU32(feed.Avail())) return DataLoss("cbz: crc mismatch");
+    feed.Consume(4);
+    first = false;
+  }
 }
 
 }  // namespace compstor::apps

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "fs/stream.hpp"
 
 namespace compstor::apps {
 
@@ -31,6 +32,12 @@ Result<std::vector<std::uint8_t>> BwzCompress(std::span<const std::uint8_t> inpu
                                               const BwzOptions& options = {});
 
 Result<std::vector<std::uint8_t>> BwzDecompress(std::span<const std::uint8_t> input);
+
+/// Streaming decode of one or more concatenated cbz members from `src` into
+/// `sink`. Blocks are length-prefixed, so at most one compressed block plus
+/// its plaintext is resident at a time — never the whole archive.
+Status BwzDecompressStream(fs::ByteSource& src, fs::ByteSink& sink,
+                           std::size_t chunk_bytes = 0);
 
 bool IsBwz(std::span<const std::uint8_t> data);
 

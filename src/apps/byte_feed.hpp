@@ -1,0 +1,79 @@
+// Pull-buffer over a ByteSource for the streaming codec decoders: keeps a
+// compacted window of not-yet-consumed compressed bytes and grows it on
+// demand, so members/blocks can be decoded without the whole archive in
+// memory.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+#include "fs/stream.hpp"
+
+namespace compstor::apps {
+
+class ByteFeed {
+ public:
+  explicit ByteFeed(fs::ByteSource* src, std::size_t chunk_bytes = 0)
+      : src_(src),
+        chunk_(std::max<std::size_t>(
+            chunk_bytes == 0 ? fs::kDefaultChunkBytes : chunk_bytes, 1)) {}
+
+  /// Tries to buffer at least `n` unconsumed bytes; false means the source
+  /// ended first (whatever is buffered stays available).
+  Result<bool> Ensure(std::size_t n) {
+    while (available() < n) {
+      COMPSTOR_ASSIGN_OR_RETURN(std::size_t got, Fill());
+      if (got == 0) return false;
+    }
+    return true;
+  }
+
+  /// Reads one more chunk from the source; 0 at end of input.
+  Result<std::size_t> Fill() {
+    if (eof_) return std::size_t{0};
+    if (head_ > 0) {
+      buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(head_));
+      head_ = 0;
+    }
+    const std::size_t old = buf_.size();
+    buf_.resize(old + chunk_);
+    auto got = src_->Read(std::span<std::uint8_t>(buf_).subspan(old));
+    if (!got.ok()) {
+      buf_.resize(old);
+      return got.status();
+    }
+    buf_.resize(old + *got);
+    if (*got == 0) eof_ = true;
+    return *got;
+  }
+
+  std::span<const std::uint8_t> Avail() const {
+    return std::span<const std::uint8_t>(buf_).subspan(head_);
+  }
+  std::size_t available() const { return buf_.size() - head_; }
+  void Consume(std::size_t n) { head_ += std::min(n, available()); }
+
+ private:
+  fs::ByteSource* src_;
+  std::size_t chunk_;
+  std::vector<std::uint8_t> buf_;
+  std::size_t head_ = 0;
+  bool eof_ = false;
+};
+
+inline std::uint32_t FeedU32(std::span<const std::uint8_t> b) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(b[static_cast<std::size_t>(i)]) << (8 * i);
+  return v;
+}
+
+inline std::uint64_t FeedU64(std::span<const std::uint8_t> b) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(b[static_cast<std::size_t>(i)]) << (8 * i);
+  return v;
+}
+
+}  // namespace compstor::apps

@@ -1,5 +1,6 @@
 #include "apps/compress.hpp"
 
+#include <algorithm>
 #include <cctype>
 
 #include "apps/bwzip.hpp"
@@ -23,6 +24,34 @@ std::string_view ToolName(Tool t) {
   return "?";
 }
 bool IsCompressor(Tool t) { return t == Tool::kGzip || t == Tool::kBzip2; }
+
+// Compression member granularity: follows the platform chunk size so memory
+// scales with it, but stays large enough that small files are single-member
+// (byte-identical to the whole-buffer format) and ratios stay reasonable.
+constexpr std::size_t kMinMemberBytes = 64 * 1024;
+constexpr std::size_t kMaxMemberBytes = 8 * 1024 * 1024;
+
+/// Sink wrapper charging decompression work by produced (uncompressed)
+/// bytes — the same accounting the buffered path used — and routing output
+/// to a file sink or captured stdout.
+class WorkSink final : public fs::ByteSink {
+ public:
+  WorkSink(AppContext* ctx, fs::ByteSink* inner, std::string_view app)
+      : ctx_(ctx), inner_(inner), app_(app) {}
+
+  Status Write(std::span<const std::uint8_t> data) override {
+    ctx_->cost.AddWork(app_, data.size());
+    if (inner_ != nullptr) return inner_->Write(data);
+    ctx_->Out(std::string_view(reinterpret_cast<const char*>(data.data()), data.size()));
+    return OkStatus();
+  }
+  Status Close() override { return inner_ != nullptr ? inner_->Close() : OkStatus(); }
+
+ private:
+  AppContext* ctx_;
+  fs::ByteSink* inner_;
+  std::string_view app_;
+};
 
 Result<int> RunTool(AppContext& ctx, const std::vector<std::string>& args, Tool tool) {
   bool keep = false;
@@ -53,85 +82,105 @@ Result<int> RunTool(AppContext& ctx, const std::vector<std::string>& args, Tool 
   int rc = 0;
   for (const std::string& f : files) {
     // Real gunzip/bunzip2 reject unknown suffixes before touching the data.
-    if (!IsCompressor(tool) && !to_stdout) {
+    std::string out_name;
+    if (IsCompressor(tool)) {
+      out_name = f + std::string(Suffix(tool));
+    } else if (!to_stdout) {
       const std::string_view sfx = Suffix(tool);
       if (f.size() <= sfx.size() || !f.ends_with(sfx)) {
         ctx.Err(std::string(ToolName(tool)) + ": " + f + ": unknown suffix\n");
         rc = 1;
         continue;
       }
+      out_name = f.substr(0, f.size() - sfx.size());
     }
-    auto content = ctx.ReadInputFile(f);
-    if (!content.ok()) {
-      ctx.Err(std::string(ToolName(tool)) + ": " + f + ": " +
-              content.status().ToString() + "\n");
-      rc = 1;
-      continue;
-    }
-    auto input = std::span<const std::uint8_t>(
-        reinterpret_cast<const std::uint8_t*>(content->data()), content->size());
 
-    Result<std::vector<std::uint8_t>> transformed = [&]() -> Result<std::vector<std::uint8_t>> {
-      switch (tool) {
-        case Tool::kGzip: {
-          CzipOptions o;
-          o.level = level;
-          return CzipCompress(input, o);
-        }
-        case Tool::kGunzip:
-          return CzipDecompress(input);
-        case Tool::kBzip2: {
-          BwzOptions o;
-          o.block_size = static_cast<std::uint32_t>(level) * 100 * 1024;
-          return BwzCompress(input, o);
-        }
-        case Tool::kBunzip2:
-          return BwzDecompress(input);
-      }
-      return Internal("unreachable");
-    }();
-    if (!transformed.ok()) {
+    auto source = ctx.OpenInput(f);
+    if (!source.ok()) {
       ctx.Err(std::string(ToolName(tool)) + ": " + f + ": " +
-              transformed.status().ToString() + "\n");
+              source.status().ToString() + "\n");
       rc = 1;
       continue;
     }
 
-    // Work accounting: compressors are charged by input bytes, decompressors
-    // by produced bytes (both proportional to the uncompressed volume, which
-    // is what dominates the real tools' runtime).
-    ctx.cost.AddWork(ToolName(tool),
-                     IsCompressor(tool) ? content->size() : transformed->size());
-
-    if (to_stdout) {
-      ctx.Out(std::string_view(reinterpret_cast<const char*>(transformed->data()),
-                               transformed->size()));
-      continue;
-    }
-
-    std::string out_name;
-    if (IsCompressor(tool)) {
-      out_name = f + std::string(Suffix(tool));
-    } else {
-      const std::string_view sfx = Suffix(tool);
-      if (f.size() > sfx.size() && f.ends_with(sfx)) {
-        out_name = f.substr(0, f.size() - sfx.size());
-      } else {
-        ctx.Err(std::string(ToolName(tool)) + ": " + f + ": unknown suffix\n");
+    std::unique_ptr<fs::ByteSink> file_sink;
+    if (!to_stdout) {
+      auto sink = ctx.OpenOutput(out_name);
+      if (!sink.ok()) {
+        ctx.Err(std::string(ToolName(tool)) + ": " + out_name + ": " +
+                sink.status().ToString() + "\n");
         rc = 1;
         continue;
       }
+      file_sink = std::move(*sink);
     }
-    Status st = ctx.WriteOutputFile(out_name, *transformed);
+
+    Status st = OkStatus();
+    if (IsCompressor(tool)) {
+      // Member-at-a-time: each member compresses independently (the decoders
+      // accept concatenated members), so only one member's plaintext and
+      // compressed bytes are resident at once.
+      const std::size_t member_bytes =
+          std::clamp(ctx.platform.chunk_bytes, kMinMemberBytes, kMaxMemberBytes);
+      std::vector<std::uint8_t> member(member_bytes);
+      bool first = true;
+      for (;;) {
+        std::size_t filled = 0;
+        while (filled < member_bytes && st.ok()) {
+          auto got = (*source)->Read(std::span(member).subspan(filled));
+          if (!got.ok()) {
+            st = got.status();
+            break;
+          }
+          if (*got == 0) break;
+          filled += *got;
+        }
+        if (!st.ok()) break;
+        if (filled == 0 && !first) break;
+        auto in = std::span<const std::uint8_t>(member).first(filled);
+        Result<std::vector<std::uint8_t>> archive = [&]() {
+          if (tool == Tool::kGzip) {
+            CzipOptions o;
+            o.level = level;
+            return CzipCompress(in, o);
+          }
+          BwzOptions o;
+          o.block_size = static_cast<std::uint32_t>(level) * 100 * 1024;
+          return BwzCompress(in, o);
+        }();
+        if (!archive.ok()) {
+          st = archive.status();
+          break;
+        }
+        ctx.cost.AddWork(ToolName(tool), filled);
+        if (file_sink != nullptr) {
+          st = file_sink->Write(*archive);
+          if (!st.ok()) break;
+        } else {
+          ctx.Out(std::string_view(reinterpret_cast<const char*>(archive->data()),
+                                   archive->size()));
+        }
+        first = false;
+        if (filled < member_bytes) break;  // short fill == end of input
+      }
+    } else {
+      WorkSink sink(&ctx, file_sink.get(), ToolName(tool));
+      st = tool == Tool::kGunzip
+               ? CzipDecompressStream(**source, sink, ctx.platform.chunk_bytes)
+               : BwzDecompressStream(**source, sink, ctx.platform.chunk_bytes);
+    }
+    if (st.ok() && file_sink != nullptr) st = file_sink->Close();
+
     if (!st.ok()) {
-      ctx.Err(std::string(ToolName(tool)) + ": " + out_name + ": " + st.ToString() + "\n");
+      ctx.Err(std::string(ToolName(tool)) + ": " + f + ": " + st.ToString() + "\n");
       rc = 1;
+      if (!to_stdout) (void)ctx.fs->Unlink(out_name);  // drop partial output
       continue;
     }
-    if (!keep) {
-      st = ctx.fs->Unlink(f);
-      if (!st.ok()) {
-        ctx.Err(std::string(ToolName(tool)) + ": unlink " + f + ": " + st.ToString() + "\n");
+    if (!keep && !to_stdout) {
+      Status un = ctx.fs->Unlink(f);
+      if (!un.ok()) {
+        ctx.Err(std::string(ToolName(tool)) + ": unlink " + f + ": " + un.ToString() + "\n");
         rc = 1;
       }
     }

@@ -2,26 +2,42 @@
 
 #include <algorithm>
 #include <cctype>
+#include <deque>
 
 namespace compstor::apps {
 
+namespace {
+
+/// Pumps `src` chunk-by-chunk through `ctx.Out`, charging `app` work per
+/// chunk. Memory stays one chunk regardless of file size.
+Status PumpOut(AppContext& ctx, fs::ByteSource& src, std::string_view app) {
+  std::vector<std::uint8_t> buf(std::max<std::size_t>(ctx.platform.chunk_bytes, 1));
+  for (;;) {
+    COMPSTOR_ASSIGN_OR_RETURN(std::size_t n, src.Read(buf));
+    if (n == 0) break;
+    ctx.cost.AddWork(app, n);
+    ctx.Out(std::string_view(reinterpret_cast<const char*>(buf.data()), n));
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
 Result<int> CatApp::Run(AppContext& ctx, const std::vector<std::string>& args) {
   if (args.empty()) {
-    ctx.Out(ctx.stdin_data);
-    ctx.cost.bytes_in += ctx.stdin_data.size();
-    ctx.cost.AddWork("cat", ctx.stdin_data.size());
+    std::unique_ptr<fs::ByteSource> in = ctx.In();
+    COMPSTOR_RETURN_IF_ERROR(PumpOut(ctx, *in, "cat"));
     return 0;
   }
   int rc = 0;
   for (const std::string& f : args) {
-    auto content = ctx.ReadInputFile(f);
-    if (!content.ok()) {
-      ctx.Err("cat: " + f + ": " + content.status().ToString() + "\n");
+    auto source = ctx.OpenInput(f);
+    if (!source.ok()) {
+      ctx.Err("cat: " + f + ": " + source.status().ToString() + "\n");
       rc = 1;
       continue;
     }
-    ctx.cost.AddWork("cat", content->size());
-    ctx.Out(*content);
+    COMPSTOR_RETURN_IF_ERROR(PumpOut(ctx, **source, "cat"));
   }
   return rc;
 }
@@ -48,20 +64,27 @@ Result<int> WcApp::Run(AppContext& ctx, const std::vector<std::string>& args) {
   struct Counts {
     std::uint64_t l = 0, w = 0, c = 0;
   };
-  auto count = [&](std::string_view text) {
+  // Chunked count: only `in_word` carries across chunk boundaries.
+  auto count = [&](fs::ByteSource& src) -> Result<Counts> {
     Counts n;
-    n.c = text.size();
     bool in_word = false;
-    for (char ch : text) {
-      if (ch == '\n') ++n.l;
-      if (std::isspace(static_cast<unsigned char>(ch))) {
-        in_word = false;
-      } else if (!in_word) {
-        in_word = true;
-        ++n.w;
+    std::vector<std::uint8_t> buf(std::max<std::size_t>(ctx.platform.chunk_bytes, 1));
+    for (;;) {
+      COMPSTOR_ASSIGN_OR_RETURN(std::size_t got, src.Read(buf));
+      if (got == 0) break;
+      n.c += got;
+      for (std::size_t i = 0; i < got; ++i) {
+        const char ch = static_cast<char>(buf[i]);
+        if (ch == '\n') ++n.l;
+        if (std::isspace(static_cast<unsigned char>(ch))) {
+          in_word = false;
+        } else if (!in_word) {
+          in_word = true;
+          ++n.w;
+        }
       }
+      ctx.cost.AddWork("wc", got);
     }
-    ctx.cost.AddWork("wc", text.size());
     return n;
   };
   auto emit = [&](const Counts& n, std::string_view label) {
@@ -76,20 +99,21 @@ Result<int> WcApp::Run(AppContext& ctx, const std::vector<std::string>& args) {
   };
 
   if (files.empty()) {
-    ctx.cost.bytes_in += ctx.stdin_data.size();
-    emit(count(ctx.stdin_data), "");
+    std::unique_ptr<fs::ByteSource> in = ctx.In();
+    COMPSTOR_ASSIGN_OR_RETURN(Counts n, count(*in));
+    emit(n, "");
     return 0;
   }
   Counts total;
   int rc = 0;
   for (const std::string& f : files) {
-    auto content = ctx.ReadInputFile(f);
-    if (!content.ok()) {
-      ctx.Err("wc: " + f + ": " + content.status().ToString() + "\n");
+    auto source = ctx.OpenInput(f);
+    if (!source.ok()) {
+      ctx.Err("wc: " + f + ": " + source.status().ToString() + "\n");
       rc = 1;
       continue;
     }
-    Counts n = count(*content);
+    COMPSTOR_ASSIGN_OR_RETURN(Counts n, count(**source));
     emit(n, f);
     total.l += n.l;
     total.w += n.w;
@@ -116,35 +140,48 @@ Result<int> HeadTail(AppContext& ctx, const std::vector<std::string>& args, bool
     }
   }
 
-  auto emit = [&](std::string_view text) {
-    auto all = SplitLines(text);
-    ctx.cost.AddWork("head", text.size());
-    std::size_t begin = 0, end = all.size();
-    if (head) {
-      end = std::min<std::size_t>(end, n);
-    } else {
-      begin = all.size() > n ? all.size() - n : 0;
+  // head stops reading after n lines; tail keeps a bounded window of the
+  // last n lines, so neither holds the whole file.
+  auto emit = [&](fs::ByteSource& src) -> Status {
+    fs::LineReader reader(&src, ctx.platform.chunk_bytes);
+    std::string line;
+    std::uint64_t emitted = 0;
+    std::deque<std::string> window;
+    for (;;) {
+      COMPSTOR_ASSIGN_OR_RETURN(bool more, reader.Next(&line));
+      if (!more) break;
+      ctx.cost.AddWork("head", line.size() + 1);
+      if (head) {
+        if (emitted >= n) break;
+        ctx.Out(line + "\n");
+        ++emitted;
+        if (emitted >= n) break;
+      } else {
+        window.push_back(line);
+        if (window.size() > n) window.pop_front();
+      }
     }
-    for (std::size_t i = begin; i < end; ++i) {
-      ctx.Out(std::string(all[i]) + "\n");
+    if (!head) {
+      for (const std::string& l : window) ctx.Out(l + "\n");
     }
+    return OkStatus();
   };
 
   if (files.empty()) {
-    ctx.cost.bytes_in += ctx.stdin_data.size();
-    emit(ctx.stdin_data);
+    std::unique_ptr<fs::ByteSource> in = ctx.In();
+    COMPSTOR_RETURN_IF_ERROR(emit(*in));
     return 0;
   }
   int rc = 0;
   for (const std::string& f : files) {
-    auto content = ctx.ReadInputFile(f);
-    if (!content.ok()) {
+    auto source = ctx.OpenInput(f);
+    if (!source.ok()) {
       ctx.Err(std::string(head ? "head: " : "tail: ") + f + ": " +
-              content.status().ToString() + "\n");
+              source.status().ToString() + "\n");
       rc = 1;
       continue;
     }
-    emit(*content);
+    COMPSTOR_RETURN_IF_ERROR(emit(**source));
   }
   return rc;
 }

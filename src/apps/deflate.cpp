@@ -4,6 +4,7 @@
 #include <array>
 #include <cstring>
 
+#include "apps/byte_feed.hpp"
 #include "apps/huffman.hpp"
 #include "util/bitstream.hpp"
 #include "util/crc32c.hpp"
@@ -349,6 +350,149 @@ Result<std::vector<std::uint8_t>> CzipDecompress(std::span<const std::uint8_t> i
   if (out.size() != original) return DataLoss("czip: size mismatch");
   if (util::Crc32c(out) != stored_crc) return DataLoss("czip: crc mismatch");
   return out;
+}
+
+namespace {
+
+/// Decodes one deflate block from `r`, appending plaintext to `window`.
+/// `flushed` is the member output already emitted past the window (for the
+/// declared-size check). Callers must check r.overrun() — an overrun attempt
+/// may "succeed" on zero-filled bits and must be retried with more data.
+Status DecodeOneBlock(util::BitReader& r, std::vector<std::uint8_t>& window,
+                      std::uint64_t flushed, std::uint64_t original, bool* final) {
+  *final = r.ReadBit() != 0;
+  std::vector<std::uint8_t> lit_lengths(kNumLitLen);
+  std::vector<std::uint8_t> dist_lengths(kNumDist);
+  COMPSTOR_RETURN_IF_ERROR(ReadLengths(r, lit_lengths));
+  COMPSTOR_RETURN_IF_ERROR(ReadLengths(r, dist_lengths));
+  CanonicalDecoder lit_dec, dist_dec;
+  COMPSTOR_RETURN_IF_ERROR(lit_dec.Init(lit_lengths));
+  COMPSTOR_RETURN_IF_ERROR(dist_dec.Init(dist_lengths));
+
+  for (;;) {
+    const int sym = lit_dec.Decode(r);
+    if (sym < 0) return DataLoss("czip: bad literal/length symbol");
+    if (sym == kEob) break;
+    if (sym < 256) {
+      window.push_back(static_cast<std::uint8_t>(sym));
+    } else {
+      const int lc = sym - 257;
+      if (lc >= 29) return DataLoss("czip: bad length code");
+      const int len = kLenCodes[lc].base +
+                      static_cast<int>(r.ReadBits(kLenCodes[lc].extra));
+      const int dc = dist_dec.Decode(r);
+      if (dc < 0 || dc >= kNumDist) return DataLoss("czip: bad distance code");
+      const int dist = static_cast<int>(kDistCodes[dc].base) +
+                       static_cast<int>(r.ReadBits(kDistCodes[dc].extra));
+      if (r.overrun()) return DataLoss("czip: truncated stream");
+      if (dist <= 0 || static_cast<std::size_t>(dist) > window.size()) {
+        return DataLoss("czip: distance before start of output");
+      }
+      std::size_t from = window.size() - static_cast<std::size_t>(dist);
+      for (int i = 0; i < len; ++i) window.push_back(window[from + static_cast<std::size_t>(i)]);
+    }
+    if (flushed + window.size() > original) {
+      return DataLoss("czip: output exceeds declared size");
+    }
+  }
+  return OkStatus();
+}
+
+/// Decodes a deflate-mode member payload from `feed`. Blocks are not length-
+/// prefixed, so each one is attempted against the buffered compressed bytes
+/// and retried with a bigger buffer on bit-reader overrun; a block's size is
+/// bounded (kMaxTokensPerBlock), so the retry buffer is too.
+Status DecodeDeflatePayload(ByteFeed& feed, fs::ByteSink& sink,
+                            std::uint64_t original, std::uint32_t* crc) {
+  std::vector<std::uint8_t> window;
+  std::uint64_t flushed = 0;
+  int bit_off = 0;  // bits of the first buffered byte already consumed
+  bool final = false;
+  while (!final) {
+    for (;;) {  // attempt/refill loop for one block
+      util::BitReader r(feed.Avail());
+      if (bit_off > 0) r.ReadBits(bit_off);
+      const std::size_t mark = window.size();
+      Status st = DecodeOneBlock(r, window, flushed, original, &final);
+      if (!r.overrun()) {
+        if (!st.ok()) return st;
+        const std::size_t bits = r.BitsConsumed();
+        feed.Consume(bits / 8);
+        bit_off = static_cast<int>(bits % 8);
+        break;
+      }
+      // Ran past the buffered bytes mid-block: roll back and read more.
+      window.resize(mark);
+      final = false;
+      COMPSTOR_ASSIGN_OR_RETURN(std::size_t got, feed.Fill());
+      if (got == 0) return st.ok() ? DataLoss("czip: truncated stream") : st;
+    }
+    if (window.size() > 2 * static_cast<std::size_t>(kWindowSize)) {
+      const std::size_t n = window.size() - static_cast<std::size_t>(kWindowSize);
+      auto head = std::span<const std::uint8_t>(window).first(n);
+      *crc = util::Crc32c(head, *crc);
+      COMPSTOR_RETURN_IF_ERROR(sink.Write(head));
+      window.erase(window.begin(), window.begin() + static_cast<std::ptrdiff_t>(n));
+      flushed += n;
+    }
+  }
+  if (bit_off > 0) feed.Consume(1);  // encoder pads the member to a byte
+  *crc = util::Crc32c(window, *crc);
+  COMPSTOR_RETURN_IF_ERROR(sink.Write(window));
+  flushed += window.size();
+  if (flushed != original) return DataLoss("czip: size mismatch");
+  return OkStatus();
+}
+
+}  // namespace
+
+Status CzipDecompressStream(fs::ByteSource& src, fs::ByteSink& sink,
+                            std::size_t chunk_bytes) {
+  ByteFeed feed(&src, chunk_bytes);
+  bool first = true;
+  for (;;) {
+    COMPSTOR_ASSIGN_OR_RETURN(bool have, feed.Ensure(1));
+    if (!have) {
+      if (first) return InvalidArgument("czip: bad magic");
+      return OkStatus();  // clean end between members
+    }
+    COMPSTOR_ASSIGN_OR_RETURN(have, feed.Ensure(kMagic.size() + 9));
+    if (!have) return DataLoss("czip: truncated header");
+    auto hdr = feed.Avail();
+    if (std::memcmp(hdr.data(), kMagic.data(), kMagic.size()) != 0) {
+      return InvalidArgument("czip: bad magic");
+    }
+    const std::uint64_t original = FeedU64(hdr.subspan(kMagic.size()));
+    const std::uint8_t mode = hdr[kMagic.size() + 8];
+    feed.Consume(kMagic.size() + 9);
+
+    std::uint32_t crc = 0;
+    if (mode == kModeStored) {
+      std::uint64_t remaining = original;
+      while (remaining > 0) {
+        COMPSTOR_ASSIGN_OR_RETURN(have, feed.Ensure(1));
+        if (!have) return DataLoss("czip: stored size mismatch");
+        auto avail = feed.Avail();
+        const std::size_t take = static_cast<std::size_t>(
+            std::min<std::uint64_t>(avail.size(), remaining));
+        auto part = avail.first(take);
+        crc = util::Crc32c(part, crc);
+        COMPSTOR_RETURN_IF_ERROR(sink.Write(part));
+        feed.Consume(take);
+        remaining -= take;
+      }
+    } else if (mode == kModeDeflate) {
+      COMPSTOR_RETURN_IF_ERROR(DecodeDeflatePayload(feed, sink, original, &crc));
+    } else {
+      return DataLoss("czip: unknown mode byte");
+    }
+
+    COMPSTOR_ASSIGN_OR_RETURN(have, feed.Ensure(4));
+    if (!have) return DataLoss("czip: truncated stream");
+    if (crc != FeedU32(feed.Avail())) return DataLoss("czip: crc mismatch");
+    feed.Consume(4);
+    first = false;
+  }
 }
 
 }  // namespace compstor::apps

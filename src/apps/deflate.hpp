@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "fs/stream.hpp"
 
 namespace compstor::apps {
 
@@ -30,6 +31,14 @@ Result<std::vector<std::uint8_t>> CzipCompress(std::span<const std::uint8_t> inp
                                                const CzipOptions& options = {});
 
 Result<std::vector<std::uint8_t>> CzipDecompress(std::span<const std::uint8_t> input);
+
+/// Streaming decode of one or more concatenated czip members from `src` into
+/// `sink`. Memory held is the compressed look-ahead plus a bounded output
+/// window (back-references reach at most 32 KiB), never the whole archive or
+/// plaintext. Single-member archives are exactly the CzipCompress format, so
+/// this also decodes everything CzipDecompress does.
+Status CzipDecompressStream(fs::ByteSource& src, fs::ByteSink& sink,
+                            std::size_t chunk_bytes = 0);
 
 /// True if `data` starts with the czip magic.
 bool IsCzip(std::span<const std::uint8_t> data);

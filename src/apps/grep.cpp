@@ -142,10 +142,16 @@ Result<int> GrepApp::Run(AppContext& ctx, const std::vector<std::string>& args) 
   const bool multi = files.size() > 1;
   std::uint64_t total_matches = 0;
 
-  auto scan = [&](std::string_view label, std::string_view content) {
+  // Streams one input line-at-a-time; an early exit (-q, -l, -m) simply stops
+  // reading, so unconsumed chunks are never fetched from flash.
+  auto scan = [&](std::string_view label, fs::ByteSource& src) -> Status {
+    fs::LineReader reader(&src, ctx.platform.chunk_bytes);
+    std::string line;
     std::uint64_t file_matches = 0;
     std::uint64_t line_no = 0;
-    for (std::string_view line : SplitLines(content)) {
+    for (;;) {
+      COMPSTOR_ASSIGN_OR_RETURN(bool more, reader.Next(&line));
+      if (!more) break;
       ++line_no;
       ctx.cost.AddWork("grep", line.size() + 1);
       if (!line_matches(line)) continue;
@@ -165,7 +171,7 @@ Result<int> GrepApp::Run(AppContext& ctx, const std::vector<std::string>& args) 
         ctx.Out(out_line);
       }
       if (opt.max_matches != 0 && file_matches >= opt.max_matches) break;
-      if (opt.quiet) return;
+      if (opt.quiet) return OkStatus();
     }
     if (opt.count) {
       std::string out_line;
@@ -175,19 +181,20 @@ Result<int> GrepApp::Run(AppContext& ctx, const std::vector<std::string>& args) 
     } else if (opt.names_only && file_matches > 0) {
       ctx.Out(std::string(label) + "\n");
     }
+    return OkStatus();
   };
 
   if (files.empty()) {
-    scan("(standard input)", ctx.stdin_data);
-    ctx.cost.bytes_in += ctx.stdin_data.size();
+    std::unique_ptr<fs::ByteSource> in = ctx.In();
+    COMPSTOR_RETURN_IF_ERROR(scan("(standard input)", *in));
   } else {
     for (const std::string& f : files) {
-      auto content = ctx.ReadInputFile(f);
-      if (!content.ok()) {
-        ctx.Err("grep: " + f + ": " + content.status().ToString() + "\n");
+      auto source = ctx.OpenInput(f);
+      if (!source.ok()) {
+        ctx.Err("grep: " + f + ": " + source.status().ToString() + "\n");
         continue;
       }
-      scan(f, *content);
+      COMPSTOR_RETURN_IF_ERROR(scan(f, **source));
       if (opt.quiet && total_matches > 0) break;
     }
   }

@@ -1,8 +1,39 @@
 #include "apps/shell.hpp"
 
 #include <cctype>
+#include <memory>
+#include <thread>
+
+#include "fs/stream.hpp"
 
 namespace compstor::apps {
+namespace {
+
+struct StageOutcome {
+  Status status = OkStatus();
+  int exit_code = 0;
+};
+
+/// Runs one pipeline stage to completion and then releases its pipes: the
+/// read side is closed so an upstream producer still writing never blocks on
+/// a consumer that exited early, and the write side is closed so the
+/// downstream stage sees end of stream.
+StageOutcome RunStage(Application& app, AppContext& ctx,
+                      const std::vector<std::string>& args,
+                      fs::PipeRing* ring_in, fs::PipeRing* ring_out) {
+  StageOutcome out;
+  auto rc = app.Run(ctx, args);
+  if (rc.ok()) {
+    out.exit_code = *rc;
+  } else {
+    out.status = rc.status();
+  }
+  if (ring_in != nullptr) ring_in->CloseRead();
+  if (ring_out != nullptr) ring_out->CloseWrite();
+  return out;
+}
+
+}  // namespace
 
 Result<std::vector<std::string>> Shell::Tokenize(std::string_view line) {
   std::vector<std::string> tokens;
@@ -93,30 +124,93 @@ Result<Shell::ExecResult> Shell::RunCommandLine(std::string_view line,
   }
   if (segments.back().empty()) return InvalidArgument("shell: empty pipeline segment");
 
-  std::string pipe_data(stdin_data);
-  for (std::size_t s = 0; s < segments.size(); ++s) {
-    const std::vector<std::string>& argv = segments[s];
+  const std::size_t n = segments.size();
+
+  // Instantiate every stage up front: a bad command anywhere fails the whole
+  // pipeline before any stage runs.
+  std::vector<std::unique_ptr<Application>> apps;
+  std::vector<std::vector<std::string>> stage_args;
+  apps.reserve(n);
+  stage_args.reserve(n);
+  for (const std::vector<std::string>& argv : segments) {
     COMPSTOR_ASSIGN_OR_RETURN(std::unique_ptr<Application> app,
                               registry_->Create(argv[0]));
-    AppContext ctx;
-    ctx.fs = fs_;
-    ctx.stdin_data = std::move(pipe_data);
-    std::vector<std::string> args(argv.begin() + 1, argv.end());
-    auto rc = app->Run(ctx, args);
-    result.stderr_data += ctx.stderr_data;
-    result.cost.Merge(ctx.cost);
-    if (!rc.ok()) return rc.status();
-    result.exit_code = *rc;
-    pipe_data = std::move(ctx.stdout_data);
+    apps.push_back(std::move(app));
+    stage_args.emplace_back(argv.begin() + 1, argv.end());
   }
 
+  // One bounded ring between each pair of adjacent stages.
+  std::vector<std::unique_ptr<fs::PipeRing>> rings;
+  std::vector<std::unique_ptr<fs::RingSource>> ring_sources;
+  std::vector<std::unique_ptr<fs::RingSink>> ring_sinks;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    rings.push_back(
+        std::make_unique<fs::PipeRing>(env_.platform.chunk_bytes, env_.budget));
+    ring_sources.push_back(std::make_unique<fs::RingSource>(rings.back().get()));
+    ring_sinks.push_back(std::make_unique<fs::RingSink>(rings.back().get()));
+  }
+
+  std::vector<std::unique_ptr<AppContext>> ctxs;
+  ctxs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto ctx = std::make_unique<AppContext>();
+    ctx->fs = fs_;
+    ctx->platform = env_.platform;
+    ctx->budget = env_.budget;
+    if (i == 0) {
+      ctx->stdin_data = std::string(stdin_data);
+    } else {
+      ctx->in_source = ring_sources[i - 1].get();
+    }
+    if (i + 1 < n) ctx->out_sink = ring_sinks[i].get();
+    ctxs.push_back(std::move(ctx));
+  }
+
+  // Redirection becomes the last stage's output sink, so file bytes are
+  // written (and charged) chunk by chunk as the stage produces them.
+  std::unique_ptr<fs::ByteSink> redirect_sink;
   if (!redirect_target.empty()) {
     if (fs_ == nullptr) return FailedPrecondition("shell: no filesystem for redirection");
-    COMPSTOR_RETURN_IF_ERROR(fs_->WriteFile(redirect_target, pipe_data));
-    result.cost.bytes_out += pipe_data.size();
-  } else {
-    result.stdout_data = std::move(pipe_data);
+    auto sink = ctxs.back()->OpenOutput(redirect_target);
+    if (!sink.ok()) return sink.status();
+    redirect_sink = std::move(*sink);
+    ctxs.back()->out_sink = redirect_sink.get();
   }
+
+  // Stages 0..n-2 run on their own threads; the final stage runs on the
+  // calling thread. Back-pressure through the rings paces the producers.
+  std::vector<StageOutcome> outcomes(n);
+  std::vector<std::thread> threads;
+  threads.reserve(n > 0 ? n - 1 : 0);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    fs::PipeRing* in = i > 0 ? rings[i - 1].get() : nullptr;
+    fs::PipeRing* out = rings[i].get();
+    threads.emplace_back([&, i, in, out] {
+      outcomes[i] = RunStage(*apps[i], *ctxs[i], stage_args[i], in, out);
+    });
+  }
+  outcomes[n - 1] = RunStage(*apps[n - 1], *ctxs[n - 1], stage_args[n - 1],
+                             n > 1 ? rings[n - 2].get() : nullptr, nullptr);
+  for (std::thread& t : threads) t.join();
+
+  if (redirect_sink != nullptr) {
+    const Status close_status = redirect_sink->Close();
+    if (!close_status.ok() && outcomes[n - 1].status.ok()) {
+      outcomes[n - 1].status = close_status;
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    result.stderr_data += ctxs[i]->stderr_data;
+    result.stage_costs.push_back(ctxs[i]->cost);
+    result.cost.Merge(ctxs[i]->cost);
+    if (ctxs[i]->stdout_truncated) result.stdout_truncated = true;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!outcomes[i].status.ok()) return outcomes[i].status;
+  }
+  result.exit_code = outcomes[n - 1].exit_code;
+  if (redirect_target.empty()) result.stdout_data = std::move(ctxs.back()->stdout_data);
   return result;
 }
 
@@ -166,6 +260,9 @@ Result<Shell::ExecResult> Shell::RunScript(std::string_view script,
     total.stdout_data += r.stdout_data;
     total.stderr_data += r.stderr_data;
     total.cost.Merge(r.cost);
+    total.stage_costs.insert(total.stage_costs.end(), r.stage_costs.begin(),
+                             r.stage_costs.end());
+    if (r.stdout_truncated) total.stdout_truncated = true;
     if (end == expanded.size()) break;
   }
   return total;

@@ -7,6 +7,14 @@
 //   - scripts: newline/';'-separated command lines, '#' comments,
 //     positional parameters $1..$9 and $@ (for dynamically loaded tasks).
 //
+// Pipeline stages run concurrently on real threads connected by bounded
+// PipeRings: a stage's output is consumed as it is produced, so pipe memory
+// stays at ring capacity (one chunk) instead of the whole intermediate
+// stream, and stage costs interleave on the virtual timeline. A consumer
+// that exits early (head, grep -q) closes its read side and upstream writes
+// discard, so producers still run to completion and the serial-execution
+// golden output and cost totals are preserved.
+//
 // Exit code is the last pipeline's; `set -e` style abort is not implemented
 // (matches sh default).
 #pragma once
@@ -22,14 +30,30 @@ namespace compstor::apps {
 
 class Shell {
  public:
+  /// Execution environment shared by every stage: the platform cost model
+  /// (stream rates, chunking, capture cap) and the DRAM budget ring and
+  /// chunk buffers reserve against.
+  struct Env {
+    PlatformModel platform;
+    MemoryBudget* budget = nullptr;
+  };
+
   Shell(const Registry* registry, fs::Filesystem* fs)
       : registry_(registry), fs_(fs) {}
+  Shell(const Registry* registry, fs::Filesystem* fs, Env env)
+      : registry_(registry), fs_(fs), env_(env) {}
 
   struct ExecResult {
     int exit_code = 0;
     std::string stdout_data;
     std::string stderr_data;
     CostRecorder cost;
+    /// Per-stage recorders in pipeline order, one entry per command run
+    /// (across every line for scripts). The task runtime derives the
+    /// pipeline's critical path from these.
+    std::vector<CostRecorder> stage_costs;
+    /// Captured stdout hit the platform capture cap and was truncated.
+    bool stdout_truncated = false;
   };
 
   /// Runs one command line (may contain pipes / redirection).
@@ -47,6 +71,7 @@ class Shell {
  private:
   const Registry* registry_;
   fs::Filesystem* fs_;
+  Env env_;
 };
 
 }  // namespace compstor::apps

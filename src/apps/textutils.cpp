@@ -3,38 +3,56 @@
 #include <algorithm>
 #include <cctype>
 #include <cstdlib>
+#include <functional>
 
 namespace compstor::apps {
 namespace {
 
-/// Gathers input lines from files (or stdin when none), charging IO.
+/// Streams input lines from files (or stdin when none) through `fn`,
+/// line-at-a-time. Only the current line is held; IO is charged per chunk by
+/// the underlying source.
+Status ForEachLine(AppContext& ctx, const std::vector<std::string>& files,
+                   const char* tool, const std::function<void(std::string&)>& fn) {
+  auto drain = [&](fs::ByteSource& src) -> Status {
+    fs::LineReader reader(&src, ctx.platform.chunk_bytes);
+    std::string line;
+    for (;;) {
+      COMPSTOR_ASSIGN_OR_RETURN(bool more, reader.Next(&line));
+      if (!more) break;
+      fn(line);
+    }
+    return OkStatus();
+  };
+  if (files.empty()) {
+    std::unique_ptr<fs::ByteSource> in = ctx.In();
+    return drain(*in);
+  }
+  for (const std::string& f : files) {
+    auto source = ctx.OpenInput(f);
+    if (!source.ok()) {
+      ctx.Err(std::string(tool) + ": " + f + ": " + source.status().ToString() + "\n");
+      return source.status();
+    }
+    COMPSTOR_RETURN_IF_ERROR(drain(**source));
+  }
+  return OkStatus();
+}
+
+/// Gathers all input lines — only for tools that genuinely need the full set
+/// (sort). The retained bytes are reserved against the DRAM budget.
 Result<std::vector<std::string>> GatherLines(AppContext& ctx,
                                              const std::vector<std::string>& files,
                                              const char* tool) {
   std::vector<std::string> lines;
-  auto take = [&](std::string_view text) {
-    for (std::string_view line : SplitLines(text)) lines.emplace_back(line);
-  };
-  if (files.empty()) {
-    ctx.cost.bytes_in += ctx.stdin_data.size();
-    take(ctx.stdin_data);
-    return lines;
-  }
-  for (const std::string& f : files) {
-    auto content = ctx.ReadInputFile(f);
-    if (!content.ok()) {
-      ctx.Err(std::string(tool) + ": " + f + ": " + content.status().ToString() + "\n");
-      return content.status();
-    }
-    take(*content);
-  }
+  ctx.retained.Attach(ctx.budget);
+  Status grow = OkStatus();
+  COMPSTOR_RETURN_IF_ERROR(ForEachLine(ctx, files, tool, [&](std::string& line) {
+    if (!grow.ok()) return;
+    grow = ctx.retained.Grow(line.size() + 1);
+    if (grow.ok()) lines.push_back(std::move(line));
+  }));
+  COMPSTOR_RETURN_IF_ERROR(grow);
   return lines;
-}
-
-std::uint64_t LineBytes(const std::vector<std::string>& lines) {
-  std::uint64_t n = 0;
-  for (const std::string& l : lines) n += l.size() + 1;
-  return n;
 }
 
 /// Extracts field `k` (1-based, whitespace-separated); empty if absent.
@@ -132,9 +150,10 @@ Result<int> SortApp::Run(AppContext& ctx, const std::vector<std::string>& args) 
     }
   }
 
+  // sort is the one text tool that genuinely needs every line resident.
   auto lines = GatherLines(ctx, files, "sort");
   if (!lines.ok()) return lines.status();
-  ctx.cost.AddWork("sort", LineBytes(*lines));
+  for (const std::string& l : *lines) ctx.cost.AddWork("sort", l.size() + 1);
 
   auto key_of = [&](const std::string& line) -> std::string_view {
     return key_field > 0 ? FieldOf(line, key_field) : std::string_view(line);
@@ -172,26 +191,34 @@ Result<int> UniqApp::Run(AppContext& ctx, const std::vector<std::string>& args) 
       files.push_back(a);
     }
   }
-  auto lines = GatherLines(ctx, files, "uniq");
-  if (!lines.ok()) return lines.status();
-  ctx.cost.AddWork("uniq", LineBytes(*lines));
 
-  std::size_t i = 0;
-  while (i < lines->size()) {
-    std::size_t j = i;
-    while (j < lines->size() && (*lines)[j] == (*lines)[i]) ++j;
-    const std::size_t run = j - i;
+  // Streaming run-length pass: only the current run's line is held.
+  std::string current;
+  std::uint64_t run = 0;
+  auto flush = [&] {
+    if (run == 0) return;
     if (!dups_only || run > 1) {
       if (count) {
         char buf[24];
-        std::snprintf(buf, sizeof(buf), "%7zu ", run);
-        ctx.Out(std::string(buf) + (*lines)[i] + "\n");
+        std::snprintf(buf, sizeof(buf), "%7llu ", static_cast<unsigned long long>(run));
+        ctx.Out(std::string(buf) + current + "\n");
       } else {
-        ctx.Out((*lines)[i] + "\n");
+        ctx.Out(current + "\n");
       }
     }
-    i = j;
-  }
+    run = 0;
+  };
+  COMPSTOR_RETURN_IF_ERROR(ForEachLine(ctx, files, "uniq", [&](std::string& line) {
+    ctx.cost.AddWork("uniq", line.size() + 1);
+    if (run > 0 && line == current) {
+      ++run;
+      return;
+    }
+    flush();
+    current = std::move(line);
+    run = 1;
+  }));
+  flush();
   return 0;
 }
 
@@ -224,11 +251,8 @@ Result<int> CutApp::Run(AppContext& ctx, const std::vector<std::string>& args) {
   COMPSTOR_ASSIGN_OR_RETURN(auto ranges,
                             ParseCutList(field_list.empty() ? char_list : field_list));
 
-  auto lines = GatherLines(ctx, files, "cut");
-  if (!lines.ok()) return lines.status();
-  ctx.cost.AddWork("cut", LineBytes(*lines));
-
-  for (const std::string& line : *lines) {
+  COMPSTOR_RETURN_IF_ERROR(ForEachLine(ctx, files, "cut", [&](std::string& line) {
+    ctx.cost.AddWork("cut", line.size() + 1);
     std::string out;
     if (!char_list.empty()) {
       for (std::size_t c = 0; c < line.size(); ++c) {
@@ -253,7 +277,7 @@ Result<int> CutApp::Run(AppContext& ctx, const std::vector<std::string>& args) {
       }
     }
     ctx.Out(out + "\n");
-  }
+  }));
   return 0;
 }
 
@@ -274,34 +298,40 @@ Result<int> TrApp::Run(AppContext& ctx, const std::vector<std::string>& args) {
   }
   COMPSTOR_ASSIGN_OR_RETURN(std::string set1, ExpandTrSet(sets[0]));
 
-  // tr reads stdin only (like the real tool).
-  ctx.cost.bytes_in += ctx.stdin_data.size();
-  ctx.cost.AddWork("tr", ctx.stdin_data.size());
-
+  char map[256];
+  bool drop[256] = {};
+  for (int c = 0; c < 256; ++c) map[c] = static_cast<char>(c);
   if (delete_mode) {
-    bool drop[256] = {};
     for (char c : set1) drop[static_cast<unsigned char>(c)] = true;
-    std::string out;
-    out.reserve(ctx.stdin_data.size());
-    for (char c : ctx.stdin_data) {
-      if (!drop[static_cast<unsigned char>(c)]) out.push_back(c);
+  } else {
+    COMPSTOR_ASSIGN_OR_RETURN(std::string set2, ExpandTrSet(sets[1]));
+    if (set2.empty()) return InvalidArgument("tr: empty SET2");
+    for (std::size_t i = 0; i < set1.size(); ++i) {
+      // POSIX: SET2 is padded with its last character.
+      map[static_cast<unsigned char>(set1[i])] = set2[std::min(i, set2.size() - 1)];
+    }
+  }
+
+  // tr reads stdin only (like the real tool), one chunk at a time.
+  std::unique_ptr<fs::ByteSource> in = ctx.In();
+  std::vector<std::uint8_t> buf(std::max<std::size_t>(ctx.platform.chunk_bytes, 1));
+  std::string out;
+  for (;;) {
+    COMPSTOR_ASSIGN_OR_RETURN(std::size_t n, in->Read(buf));
+    if (n == 0) break;
+    ctx.cost.AddWork("tr", n);
+    out.clear();
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const unsigned char c = buf[i];
+      if (delete_mode) {
+        if (!drop[c]) out.push_back(static_cast<char>(c));
+      } else {
+        out.push_back(map[c]);
+      }
     }
     ctx.Out(out);
-    return 0;
   }
-
-  COMPSTOR_ASSIGN_OR_RETURN(std::string set2, ExpandTrSet(sets[1]));
-  if (set2.empty()) return InvalidArgument("tr: empty SET2");
-  char map[256];
-  for (int c = 0; c < 256; ++c) map[c] = static_cast<char>(c);
-  for (std::size_t i = 0; i < set1.size(); ++i) {
-    // POSIX: SET2 is padded with its last character.
-    map[static_cast<unsigned char>(set1[i])] = set2[std::min(i, set2.size() - 1)];
-  }
-  std::string out;
-  out.reserve(ctx.stdin_data.size());
-  for (char c : ctx.stdin_data) out.push_back(map[static_cast<unsigned char>(c)]);
-  ctx.Out(out);
   return 0;
 }
 

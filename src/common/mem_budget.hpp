@@ -1,0 +1,118 @@
+// DRAM budget accounting for the streaming data path.
+//
+// The paper's ISPS processes a 24 TB flash array with 8 GB of DDR4 — only
+// possible because no stage ever buffers a whole file. MemoryBudget makes
+// that constraint explicit: every retained buffer on a platform (chunk
+// buffers, pipe rings, gathered line sets) reserves against the platform's
+// DRAM size and fails with kResourceExhausted instead of growing unbounded.
+// The high-water mark is exported as a telemetry gauge (`<prefix>.mem.*`).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/status.hpp"
+
+namespace compstor {
+
+/// Thread-safe byte budget with a high-water mark. `limit() == 0` means
+/// unlimited (accounting only), which keeps bare test fixtures permissive.
+class MemoryBudget {
+ public:
+  explicit MemoryBudget(std::uint64_t limit_bytes = 0) : limit_(limit_bytes) {}
+
+  /// Reserves `bytes`; fails without side effects when the limit would be
+  /// exceeded.
+  Status Reserve(std::uint64_t bytes) {
+    const std::uint64_t limit = limit_.load(std::memory_order_relaxed);
+    const std::uint64_t now =
+        used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    if (limit != 0 && now > limit) {
+      used_.fetch_sub(bytes, std::memory_order_relaxed);
+      return ResourceExhausted("memory budget exceeded: " + std::to_string(now) +
+                               " > " + std::to_string(limit) + " bytes");
+    }
+    std::uint64_t hw = highwater_.load(std::memory_order_relaxed);
+    while (now > hw &&
+           !highwater_.compare_exchange_weak(hw, now, std::memory_order_relaxed)) {
+    }
+    return OkStatus();
+  }
+
+  void Release(std::uint64_t bytes) {
+    used_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  std::uint64_t used() const { return used_.load(std::memory_order_relaxed); }
+  std::uint64_t highwater() const {
+    return highwater_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t limit() const { return limit_.load(std::memory_order_relaxed); }
+  void set_limit(std::uint64_t bytes) {
+    limit_.store(bytes, std::memory_order_relaxed);
+  }
+
+  /// Clears the high-water mark (between measured bench phases). Live
+  /// reservations are kept.
+  void ResetHighwater() {
+    highwater_.store(used_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> limit_;
+  std::atomic<std::uint64_t> used_{0};
+  std::atomic<std::uint64_t> highwater_{0};
+};
+
+/// RAII handle over a growing reservation; releases everything on
+/// destruction. A null budget makes every operation a no-op.
+class MemoryReservation {
+ public:
+  MemoryReservation() = default;
+  explicit MemoryReservation(MemoryBudget* budget) : budget_(budget) {}
+  MemoryReservation(const MemoryReservation&) = delete;
+  MemoryReservation& operator=(const MemoryReservation&) = delete;
+  MemoryReservation(MemoryReservation&& other) noexcept
+      : budget_(other.budget_), bytes_(other.bytes_) {
+    other.budget_ = nullptr;
+    other.bytes_ = 0;
+  }
+  MemoryReservation& operator=(MemoryReservation&& other) noexcept {
+    if (this != &other) {
+      ReleaseAll();
+      budget_ = other.budget_;
+      bytes_ = other.bytes_;
+      other.budget_ = nullptr;
+      other.bytes_ = 0;
+    }
+    return *this;
+  }
+  ~MemoryReservation() { ReleaseAll(); }
+
+  void Attach(MemoryBudget* budget) {
+    ReleaseAll();
+    budget_ = budget;
+  }
+
+  Status Grow(std::uint64_t bytes) {
+    if (budget_ != nullptr) {
+      COMPSTOR_RETURN_IF_ERROR(budget_->Reserve(bytes));
+    }
+    bytes_ += bytes;
+    return OkStatus();
+  }
+
+  void ReleaseAll() {
+    if (budget_ != nullptr && bytes_ > 0) budget_->Release(bytes_);
+    bytes_ = 0;
+  }
+
+  std::uint64_t bytes() const { return bytes_; }
+
+ private:
+  MemoryBudget* budget_ = nullptr;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace compstor

@@ -74,6 +74,9 @@ struct CpuProfile {
   /// In-order core (A53-class): byte-stream tools lose less IPC than
   /// branchy compressors; the cost model applies per-app affinity factors.
   bool in_order = false;
+  /// DRAM attached to this platform; the task runtime enforces it as the
+  /// working-set budget for streamed/retained buffers (0 = unmodeled).
+  std::uint64_t dram_bytes = 0;
 };
 
 /// PCIe link energy/cost.

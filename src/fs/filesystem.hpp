@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "fs/stream.hpp"
 #include "ssd/block_device.hpp"
 
 namespace compstor::fs {
@@ -95,6 +96,18 @@ class Filesystem {
   Status WriteFile(std::string_view path, std::string_view text);
   Result<std::vector<std::uint8_t>> ReadFileAll(std::string_view path);
   Result<std::string> ReadFileText(std::string_view path);
+
+  // --- extent-granular streaming ---
+  /// Opens `path` for sequential chunked reading. Each chunk is one device
+  /// round trip (flash/NVMe latency lands per chunk via options.on_chunk, not
+  /// per whole file); with options.prefetch the next chunk's read is issued
+  /// on a reader thread while the caller processes the current one.
+  Result<std::unique_ptr<ByteSource>> OpenRead(std::string_view path,
+                                               const StreamOptions& options = {});
+  /// Create-or-truncate `path` and return a chunk-buffered sink; Close()
+  /// flushes the tail. The file exists (possibly empty) once this returns.
+  Result<std::unique_ptr<ByteSink>> OpenWrite(std::string_view path,
+                                              const StreamOptions& options = {});
 
   Result<FsInfo> Info();
 

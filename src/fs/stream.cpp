@@ -1,0 +1,143 @@
+#include "fs/stream.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace compstor::fs {
+
+Result<std::size_t> MemorySource::Read(std::span<std::uint8_t> out) {
+  if (pos_ >= data_.size() || out.empty()) return std::size_t{0};
+  const std::size_t chunk = options_.chunk_bytes == 0 ? out.size() : options_.chunk_bytes;
+  const std::size_t n = std::min({out.size(), chunk, data_.size() - pos_});
+  std::memcpy(out.data(), data_.data() + pos_, n);
+  pos_ += n;
+  if (options_.on_chunk) options_.on_chunk(n);
+  return n;
+}
+
+Result<bool> LineReader::Next(std::string* line) {
+  line->clear();
+  for (;;) {
+    const std::size_t nl = buf_.find('\n', pos_);
+    if (nl != std::string::npos) {
+      line->append(buf_, pos_, nl - pos_);
+      pos_ = nl + 1;
+      return true;
+    }
+    // No newline buffered: keep the tail, pull the next chunk.
+    line->append(buf_, pos_, buf_.size() - pos_);
+    buf_.clear();
+    pos_ = 0;
+    if (eof_) return !line->empty();
+    buf_.resize(chunk_bytes_);
+    COMPSTOR_ASSIGN_OR_RETURN(
+        std::size_t n,
+        source_->Read(std::span<std::uint8_t>(
+            reinterpret_cast<std::uint8_t*>(buf_.data()), buf_.size())));
+    buf_.resize(n);
+    if (n == 0) eof_ = true;
+  }
+}
+
+PipeRing::PipeRing(std::size_t capacity_bytes, MemoryBudget* budget)
+    : capacity_(std::max<std::size_t>(capacity_bytes, 1)), reservation_(budget) {
+  // The ring is the pipeline's entire inter-stage footprint; reserve it up
+  // front. A budget too small for even one ring surfaces at first write.
+  (void)reservation_.Grow(capacity_);
+  ring_.resize(capacity_);
+}
+
+PipeRing::~PipeRing() {
+  CloseWrite();
+  CloseRead();
+}
+
+Status PipeRing::Write(std::span<const std::uint8_t> data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (read_closed_) {
+      // Downstream exited early: swallow the rest so the producer finishes.
+      total_ += data.size() - off;
+      return OkStatus();
+    }
+    if (write_closed_) return FailedPrecondition("pipe: write after close");
+    writable_.wait(lock, [&] { return size_ < capacity_ || read_closed_; });
+    if (read_closed_) continue;  // re-checks and discards above
+    const std::size_t n = std::min(data.size() - off, capacity_ - size_);
+    std::size_t tail = (head_ + size_) % capacity_;
+    for (std::size_t i = 0; i < n; ++i) {
+      ring_[tail] = data[off + i];
+      tail = tail + 1 == capacity_ ? 0 : tail + 1;
+    }
+    size_ += n;
+    total_ += n;
+    off += n;
+    readable_.notify_one();
+  }
+  return OkStatus();
+}
+
+std::size_t PipeRing::Read(std::span<std::uint8_t> out) {
+  if (out.empty()) return 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  readable_.wait(lock, [&] { return size_ > 0 || write_closed_; });
+  const std::size_t n = std::min(out.size(), size_);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = ring_[head_];
+    head_ = head_ + 1 == capacity_ ? 0 : head_ + 1;
+  }
+  size_ -= n;
+  if (n > 0) writable_.notify_one();
+  return n;
+}
+
+void PipeRing::CloseWrite() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  write_closed_ = true;
+  readable_.notify_all();
+}
+
+void PipeRing::CloseRead() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  read_closed_ = true;
+  size_ = 0;  // drop buffered bytes nobody will read
+  writable_.notify_all();
+}
+
+std::uint64_t PipeRing::total_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+Result<std::size_t> RingSource::Read(std::span<std::uint8_t> out) {
+  const std::size_t n = ring_->Read(out);
+  if (n > 0 && on_chunk_) on_chunk_(n);
+  return n;
+}
+
+Result<std::uint64_t> CopyStream(ByteSource& source, ByteSink& sink,
+                                 std::size_t chunk_bytes) {
+  std::vector<std::uint8_t> buf(std::max<std::size_t>(chunk_bytes, 1));
+  std::uint64_t moved = 0;
+  for (;;) {
+    COMPSTOR_ASSIGN_OR_RETURN(std::size_t n, source.Read(buf));
+    if (n == 0) return moved;
+    COMPSTOR_RETURN_IF_ERROR(sink.Write(std::span<const std::uint8_t>(buf.data(), n)));
+    moved += n;
+  }
+}
+
+Result<std::string> DrainToString(ByteSource& source, MemoryReservation* reservation,
+                                  std::size_t chunk_bytes) {
+  std::string out;
+  std::vector<std::uint8_t> buf(std::max<std::size_t>(chunk_bytes, 1));
+  for (;;) {
+    COMPSTOR_ASSIGN_OR_RETURN(std::size_t n, source.Read(buf));
+    if (n == 0) return out;
+    if (reservation != nullptr) COMPSTOR_RETURN_IF_ERROR(reservation->Grow(n));
+    out.append(reinterpret_cast<const char*>(buf.data()), n);
+  }
+}
+
+}  // namespace compstor::fs

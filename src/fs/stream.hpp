@@ -1,0 +1,200 @@
+// Chunked byte-stream abstractions for the data path.
+//
+// The paper's in-storage workloads stream: flash reads overlap compute and
+// no stage buffers a whole file (8 GB DDR4 against a 24 TB array). These
+// interfaces carry that shape through the whole emulation: Filesystem hands
+// out ByteSource/ByteSink over extents (fs/filesystem.hpp), apps consume
+// them chunk by chunk, and shell pipelines connect stages with a bounded
+// PipeRing instead of whole strings.
+//
+// Virtual-time awareness is injected, not built in: StreamOptions::on_chunk
+// fires once per chunk moved, and the app layer charges flash/NVMe latency
+// (and computes the compute/IO overlap) from there — the fs layer stays a
+// pure byte mover.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/mem_budget.hpp"
+#include "common/status.hpp"
+
+namespace compstor::fs {
+
+/// Default transfer granularity of the chunked data path. Small enough that
+/// per-chunk DRAM stays negligible against the 8 GB ISPS budget, large
+/// enough to amortize per-chunk model costs.
+inline constexpr std::size_t kDefaultChunkBytes = 256 * 1024;
+
+struct StreamOptions {
+  std::size_t chunk_bytes = kDefaultChunkBytes;
+  /// Depth-1 read-ahead: the next chunk's flash read is issued (through the
+  /// owning device's IO path, on a real thread) while the caller processes
+  /// the current chunk. File sources only.
+  bool prefetch = false;
+  /// Chunk buffers reserve here (nullptr = unaccounted).
+  MemoryBudget* budget = nullptr;
+  /// Fired on the consumer thread once per chunk moved, with the chunk's
+  /// byte count. The app layer hooks IO-latency charging and overlap
+  /// accounting here.
+  std::function<void(std::size_t)> on_chunk;
+};
+
+/// Pull-based byte stream. Reads are sequential; short reads happen only at
+/// end of stream.
+class ByteSource {
+ public:
+  virtual ~ByteSource() = default;
+  /// Reads up to out.size() bytes; returns the count, 0 at end of stream.
+  virtual Result<std::size_t> Read(std::span<std::uint8_t> out) = 0;
+  /// Total bytes this source will produce, if known up front (0 = unknown).
+  /// A hint for buffer reservation, not a contract.
+  virtual std::uint64_t SizeHint() const { return 0; }
+};
+
+/// Push-based byte stream. Close() flushes; writing after Close is an error.
+class ByteSink {
+ public:
+  virtual ~ByteSink() = default;
+  virtual Status Write(std::span<const std::uint8_t> data) = 0;
+  Status Write(std::string_view s) {
+    return Write(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+  }
+  virtual Status Close() { return OkStatus(); }
+};
+
+/// Source over a caller-owned buffer (stdin views, tests). Serves at chunk
+/// granularity so per-chunk hooks fire the same way file sources do.
+class MemorySource final : public ByteSource {
+ public:
+  explicit MemorySource(std::string_view data, const StreamOptions& options = {})
+      : data_(data), options_(options) {}
+
+  Result<std::size_t> Read(std::span<std::uint8_t> out) override;
+  std::uint64_t SizeHint() const override { return data_.size() - pos_; }
+
+ private:
+  std::string_view data_;
+  StreamOptions options_;
+  std::size_t pos_ = 0;
+};
+
+/// Sink appending to a caller-owned string (captured stdout, tests).
+class StringSink final : public ByteSink {
+ public:
+  explicit StringSink(std::string* out) : out_(out) {}
+  Status Write(std::span<const std::uint8_t> data) override {
+    out_->append(reinterpret_cast<const char*>(data.data()), data.size());
+    return OkStatus();
+  }
+
+ private:
+  std::string* out_;
+};
+
+/// Incremental line iterator over a ByteSource with SplitLines semantics:
+/// lines come without the trailing '\n', and a trailing newline does not
+/// produce an empty final line. Holds at most one chunk plus one line.
+class LineReader {
+ public:
+  explicit LineReader(ByteSource* source,
+                      std::size_t chunk_bytes = kDefaultChunkBytes)
+      : source_(source), chunk_bytes_(chunk_bytes == 0 ? 1 : chunk_bytes) {}
+
+  /// Fills `*line` with the next line; returns false at end of stream.
+  Result<bool> Next(std::string* line);
+
+ private:
+  ByteSource* source_;
+  std::size_t chunk_bytes_;
+  std::string buf_;
+  std::size_t pos_ = 0;
+  bool eof_ = false;
+};
+
+/// Bounded byte FIFO connecting two shell pipeline stages running on real
+/// threads. Back-pressure: writers block while the ring is full; readers
+/// block while it is empty and the write side is open.
+///
+/// CloseRead() models the consumer exiting early (head, grep -q): further
+/// writes succeed and discard, so producers always run to completion — the
+/// serial-pipeline golden output and cost accounting are preserved while the
+/// downstream stage stops waiting.
+class PipeRing {
+ public:
+  explicit PipeRing(std::size_t capacity_bytes = kDefaultChunkBytes,
+                    MemoryBudget* budget = nullptr);
+  ~PipeRing();
+
+  PipeRing(const PipeRing&) = delete;
+  PipeRing& operator=(const PipeRing&) = delete;
+
+  /// Blocks while full; data larger than the capacity is moved in pieces.
+  Status Write(std::span<const std::uint8_t> data);
+  /// Blocks while empty and the writer is open; returns 0 at end of stream.
+  std::size_t Read(std::span<std::uint8_t> out);
+
+  void CloseWrite();
+  void CloseRead();
+
+  std::uint64_t total_bytes() const;
+
+ private:
+  const std::size_t capacity_;
+  MemoryReservation reservation_;
+  mutable std::mutex mutex_;
+  std::condition_variable readable_;
+  std::condition_variable writable_;
+  std::vector<std::uint8_t> ring_;
+  std::size_t head_ = 0;  // read position
+  std::size_t size_ = 0;  // bytes currently buffered
+  std::uint64_t total_ = 0;
+  bool write_closed_ = false;
+  bool read_closed_ = false;
+};
+
+/// ByteSource face of a PipeRing (a pipeline stage's stdin).
+class RingSource final : public ByteSource {
+ public:
+  explicit RingSource(PipeRing* ring, std::function<void(std::size_t)> on_chunk = {})
+      : ring_(ring), on_chunk_(std::move(on_chunk)) {}
+  Result<std::size_t> Read(std::span<std::uint8_t> out) override;
+
+ private:
+  PipeRing* ring_;
+  std::function<void(std::size_t)> on_chunk_;
+};
+
+/// ByteSink face of a PipeRing (a pipeline stage's stdout).
+class RingSink final : public ByteSink {
+ public:
+  explicit RingSink(PipeRing* ring) : ring_(ring) {}
+  Status Write(std::span<const std::uint8_t> data) override {
+    return ring_->Write(data);
+  }
+  Status Close() override {
+    ring_->CloseWrite();
+    return OkStatus();
+  }
+
+ private:
+  PipeRing* ring_;
+};
+
+/// Drains `source` into `sink` chunk by chunk. Returns bytes moved.
+Result<std::uint64_t> CopyStream(ByteSource& source, ByteSink& sink,
+                                 std::size_t chunk_bytes = kDefaultChunkBytes);
+
+/// Drains `source` into an owned string, growing `reservation` as it goes
+/// (the chunked replacement for whole-file slurps that must still buffer).
+Result<std::string> DrainToString(ByteSource& source, MemoryReservation* reservation,
+                                  std::size_t chunk_bytes = kDefaultChunkBytes);
+
+}  // namespace compstor::fs

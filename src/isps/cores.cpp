@@ -25,6 +25,27 @@ void WorkContext::ChargeIoWait(units::Seconds s) {
   }
 }
 
+void WorkContext::ChargeOverlapped(units::Seconds busy, units::Seconds iowait,
+                                   units::Seconds elapsed) {
+  if (busy < 0) busy = 0;
+  if (iowait < 0) iowait = 0;
+  if (elapsed <= 0) {
+    // Degenerate span: fall back to serial charging so no work goes unpaid.
+    ChargeCompute(busy);
+    ChargeIoWait(iowait);
+    return;
+  }
+  owner_->clocks_[core_]->Advance(elapsed);
+  // The busy meter tracks occupancy of this core's timeline, so it cannot
+  // exceed the elapsed span even when parallel pipeline stages computed more.
+  owner_->busy_[core_]->AddBusy(std::min(busy, elapsed));
+  if (owner_->meter_ != nullptr) {
+    owner_->meter_->AddJoules(energy::Component::kCpu,
+                              owner_->profile_.active_watts_per_core * busy +
+                                  0.3 * owner_->profile_.active_watts_per_core * iowait);
+  }
+}
+
 units::Seconds WorkContext::Now() const { return owner_->clocks_[core_]->Now(); }
 
 CoreEmulator::CoreEmulator(const energy::CpuProfile& profile, energy::EnergyMeter* meter)

@@ -39,6 +39,12 @@ class WorkContext {
   /// Charges `s` model-seconds of IO wait on this core (clock only; the IO
   /// energy is charged by the device the IO ran against).
   void ChargeIoWait(units::Seconds s);
+  /// Charges a span where compute and IO overlapped (chunked streaming with
+  /// read-ahead): the clock advances only `elapsed`, while the energy meter
+  /// still pays for the full `busy` compute and `iowait` stall — work done
+  /// concurrently costs the same joules, it just finishes sooner.
+  void ChargeOverlapped(units::Seconds busy, units::Seconds iowait,
+                        units::Seconds elapsed);
 
   std::uint32_t core_index() const { return core_; }
   /// Virtual time on this core right now.

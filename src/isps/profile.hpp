@@ -35,6 +35,7 @@ inline energy::CpuProfile IspsCpuProfile() {
   // FPGA + 8GB DDR4 + idle flash array. The paper's Fig 8 joules imply
   // roughly this (~10W device draw during single-stream processing).
   p.package_idle_watts = 9.0;
+  p.dram_bytes = 8ull * 1024 * 1024 * 1024;  // Table II: 8GB DDR4-2133
   return p;
 }
 
@@ -52,6 +53,7 @@ inline energy::CpuProfile XeonCpuProfile() {
   // platform (board, fans, PSU loss) + the baseline SSD. ~48W matches the
   // single-stream joules of the paper's Fig 8.
   p.package_idle_watts = 48.0;
+  p.dram_bytes = 32ull * 1024 * 1024 * 1024;  // Table IV: 32GB DDR4
   return p;
 }
 

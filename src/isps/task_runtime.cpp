@@ -1,5 +1,6 @@
 #include "isps/task_runtime.hpp"
 
+#include <algorithm>
 #include <future>
 
 #include "apps/shell.hpp"
@@ -11,7 +12,9 @@ TaskRuntime::TaskRuntime(CoreEmulator* cores, fs::Filesystem* filesystem,
                          apps::Registry* registry, bool internal_path,
                          const energy::IoRates& io_rates)
     : cores_(cores), fs_(filesystem), registry_(registry),
-      internal_path_(internal_path), io_rates_(io_rates) {}
+      internal_path_(internal_path), io_rates_(io_rates),
+      budget_(cores->profile().dram_bytes),
+      max_capture_bytes_(proto::Response::kMaxInlineOutput) {}
 
 void TaskRuntime::AttachTelemetry(telemetry::Registry* registry,
                                   telemetry::TraceRing* trace,
@@ -21,8 +24,18 @@ void TaskRuntime::AttachTelemetry(telemetry::Registry* registry,
   const std::string p(prefix);
   tasks_spawned_ = &registry->GetCounter(p + ".tasks_spawned");
   tasks_failed_ = &registry->GetCounter(p + ".tasks_failed");
+  stdout_truncated_ = &registry->GetCounter(p + ".stdout_truncated");
   task_us_ = &registry->GetHistogram(p + ".task_us",
                                      telemetry::Histogram::LatencyUsBounds());
+  // DRAM budget occupancy of the streamed data path. Probes read the budget's
+  // atomics at snapshot time, so this runtime must outlive the registry or
+  // UnregisterPrefix(prefix) must run first.
+  registry->RegisterProbe(p + ".mem.used", telemetry::MetricKind::kGauge,
+                          [this] { return static_cast<double>(budget_.used()); });
+  registry->RegisterProbe(p + ".mem.highwater", telemetry::MetricKind::kGauge,
+                          [this] { return static_cast<double>(budget_.highwater()); });
+  registry->RegisterProbe(p + ".mem.limit_bytes", telemetry::MetricKind::kGauge,
+                          [this] { return static_cast<double>(budget_.limit()); });
 }
 
 std::uint32_t TaskRuntime::Spawn(const proto::Command& command, Callback done) {
@@ -38,13 +51,17 @@ std::uint32_t TaskRuntime::Spawn(const proto::Command& command, Callback done) {
                        : command.command_line.substr(0, 64);
     table_.push_back(std::move(info));
     if (table_.size() > kMaxTableEntries) {
-      // Evict the oldest finished entry.
+      // Evict the oldest finished entry; when every entry is still running
+      // (a spawn storm outpacing completion), evict the oldest running one —
+      // the table is bounded history, not the source of truth for results.
+      auto victim = table_.begin();
       for (auto it = table_.begin(); it != table_.end(); ++it) {
         if (it->state != TaskInfo::State::kRunning) {
-          table_.erase(it);
+          victim = it;
           break;
         }
       }
+      table_.erase(victim);
     }
   }
 
@@ -125,9 +142,27 @@ proto::Response TaskRuntime::Execute(WorkContext& core, const proto::Command& co
     return response;
   }
 
+  // The executing platform as this task's data path sees it: work rate from
+  // the CPU profile, stream rate from this side's data path, read-ahead only
+  // on the device-internal flash connection, and the platform DRAM budget.
+  const energy::CpuProfile& profile = cores_->profile();
+  apps::PlatformModel platform;
+  platform.cycles_per_second = profile.frequency_hz * profile.ipc_factor;
+  platform.in_order = profile.in_order;
+  platform.stream_bytes_per_s =
+      internal_path_ ? io_rates_.internal_stream : io_rates_.host_stream;
+  platform.prefetch = internal_path_;
+  platform.chunk_bytes = chunk_bytes_;
+  platform.max_capture_bytes = max_capture_bytes_;
+
   apps::AppContext ctx;
   ctx.fs = fs_;
   ctx.stdin_data = command.stdin_data;
+  ctx.platform = platform;
+  ctx.budget = &budget_;
+
+  std::vector<apps::CostRecorder> stage_costs;
+  bool stdout_truncated = false;
 
   Result<int> exit_code = 1;
   switch (command.type) {
@@ -138,6 +173,7 @@ proto::Response TaskRuntime::Execute(WorkContext& core, const proto::Command& co
         break;
       }
       exit_code = (*app)->Run(ctx, command.args);
+      stdout_truncated = ctx.stdout_truncated;
       break;
     }
     case proto::CommandType::kShellCommand:
@@ -146,7 +182,7 @@ proto::Response TaskRuntime::Execute(WorkContext& core, const proto::Command& co
         exit_code = PermissionDenied("task lacks spawn permission");
         break;
       }
-      apps::Shell shell(registry_, fs_);
+      apps::Shell shell(registry_, fs_, apps::Shell::Env{platform, &budget_});
       auto r = command.type == proto::CommandType::kShellCommand
                    ? shell.RunCommandLine(command.command_line, command.stdin_data)
                    : shell.RunScript(command.command_line, command.args,
@@ -158,6 +194,8 @@ proto::Response TaskRuntime::Execute(WorkContext& core, const proto::Command& co
       ctx.stdout_data = std::move(r->stdout_data);
       ctx.stderr_data = std::move(r->stderr_data);
       ctx.cost.Merge(r->cost);
+      stage_costs = std::move(r->stage_costs);
+      stdout_truncated = r->stdout_truncated;
       exit_code = r->exit_code;
       break;
     }
@@ -178,24 +216,55 @@ proto::Response TaskRuntime::Execute(WorkContext& core, const proto::Command& co
   // bytes over this side's data path. The work already physically happened
   // on the emulating machine; these charges are what the modeled platform
   // would have spent.
-  const energy::CpuProfile& profile = cores_->profile();
-  const double cycles =
-      profile.in_order ? ctx.cost.ref_cycles_in_order : ctx.cost.ref_cycles;
-  const units::Seconds cpu_s = energy::SecondsForCycles(cycles, profile);
-  const std::uint64_t bytes_moved = ctx.cost.bytes_in + ctx.cost.bytes_out;
-  const units::Seconds io_s = energy::IoSeconds(bytes_moved, internal_path_, io_rates_);
-  core.ChargeCompute(cpu_s);
-  core.ChargeIoWait(io_s);
+  //
+  // Streamed bytes (chunked file IO) charge only their stall time — the part
+  // of the transfer read-ahead could not hide behind compute — while bulk
+  // bytes (captured stdout, pipe copies, whole-buffer reads) pay the full
+  // data-path rate as before.
+  struct PathCost {
+    units::Seconds cpu = 0;
+    units::Seconds io = 0;
+  };
+  auto path_cost = [&](const apps::CostRecorder& c) {
+    PathCost p;
+    const double cycles = profile.in_order ? c.ref_cycles_in_order : c.ref_cycles;
+    p.cpu = energy::SecondsForCycles(cycles, profile);
+    const std::uint64_t moved = c.bytes_in + c.bytes_out;
+    const std::uint64_t bulk = moved - std::min(c.streamed_bytes, moved);
+    p.io = energy::IoSeconds(bulk, internal_path_, io_rates_) + c.stream_stall_s;
+    return p;
+  };
 
-  response.cpu_seconds = cpu_s;
-  response.io_seconds = io_s;
+  const PathCost total = path_cost(ctx.cost);
+  const std::uint64_t bytes_moved = ctx.cost.bytes_in + ctx.cost.bytes_out;
+
+  // Elapsed virtual time: pipeline stages ran concurrently, so the clock
+  // advances by the slowest stage's path plus any cost charged outside the
+  // stages (output-file write, stdin staging); every other stage's work
+  // overlapped it. Energy still pays for all work done.
+  units::Seconds elapsed = total.cpu + total.io;
+  if (stage_costs.size() > 1) {
+    units::Seconds critical = 0;
+    units::Seconds staged = 0;
+    for (const apps::CostRecorder& sc : stage_costs) {
+      const PathCost p = path_cost(sc);
+      critical = std::max(critical, p.cpu + p.io);
+      staged += p.cpu + p.io;
+    }
+    const units::Seconds residual = std::max(0.0, total.cpu + total.io - staged);
+    elapsed = critical + residual;
+  }
+  core.ChargeOverlapped(total.cpu, total.io, elapsed);
+
+  response.cpu_seconds = total.cpu;
+  response.io_seconds = total.io;
   response.bytes_read = ctx.cost.bytes_in;
   response.bytes_written = ctx.cost.bytes_out;
   // Active energy attributed to this task: busy core + stalled-core share +
   // the data-path cost of every byte it moved. Platform/device baseline
   // power is a system cost the experiment harness charges over makespan.
-  response.energy_joules = profile.active_watts_per_core * cpu_s +
-                           0.3 * profile.active_watts_per_core * io_s +
+  response.energy_joules = profile.active_watts_per_core * total.cpu +
+                           0.3 * profile.active_watts_per_core * total.io +
                            energy::DatapathJoules(bytes_moved, internal_path_);
 
   if (exit_code.ok()) {
@@ -206,7 +275,11 @@ proto::Response TaskRuntime::Execute(WorkContext& core, const proto::Command& co
   }
   if (ctx.stdout_data.size() > proto::Response::kMaxInlineOutput) {
     ctx.stdout_data.resize(proto::Response::kMaxInlineOutput);
+    stdout_truncated = true;
+  }
+  if (stdout_truncated) {
     ctx.stderr_data += "[stdout truncated]\n";
+    if (stdout_truncated_ != nullptr) stdout_truncated_->Add();
   }
   response.stdout_data = std::move(ctx.stdout_data);
   response.stderr_data = std::move(ctx.stderr_data);

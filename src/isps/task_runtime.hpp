@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "apps/registry.hpp"
+#include "common/mem_budget.hpp"
 #include "energy/cost_model.hpp"
 #include "fs/filesystem.hpp"
 #include "isps/cores.hpp"
@@ -68,6 +69,21 @@ class TaskRuntime {
   void AttachTelemetry(telemetry::Registry* registry, telemetry::TraceRing* trace,
                        std::string_view prefix);
 
+  /// Platform DRAM budget every task's streamed/retained buffers reserve
+  /// against; the limit comes from the CPU profile's dram_bytes.
+  MemoryBudget* budget() { return &budget_; }
+
+  /// Overrides the chunk granularity of the streamed data path (default
+  /// fs::kDefaultChunkBytes; 0 restores the default). For chunk-size sweeps.
+  void SetChunkBytes(std::size_t bytes) {
+    chunk_bytes_ = bytes == 0 ? fs::kDefaultChunkBytes : bytes;
+  }
+  std::size_t chunk_bytes() const { return chunk_bytes_; }
+
+  /// Cap on inline captured stdout/stderr per task (default
+  /// proto::Response::kMaxInlineOutput). For capture-budget tests.
+  void SetMaxCaptureBytes(std::size_t bytes) { max_capture_bytes_ = bytes; }
+
  private:
   proto::Response Execute(WorkContext& core, const proto::Command& command,
                           std::uint32_t pid);
@@ -79,9 +95,14 @@ class TaskRuntime {
   const energy::IoRates io_rates_;
   sim::FaultInjector* fault_ = nullptr;
 
+  MemoryBudget budget_;
+  std::size_t chunk_bytes_ = fs::kDefaultChunkBytes;
+  std::size_t max_capture_bytes_;
+
   telemetry::TraceRing* trace_ = nullptr;
   telemetry::Counter* tasks_spawned_ = nullptr;  // owned by the registry
   telemetry::Counter* tasks_failed_ = nullptr;
+  telemetry::Counter* stdout_truncated_ = nullptr;
   telemetry::Histogram* task_us_ = nullptr;
 
   mutable std::mutex table_mutex_;
