@@ -32,12 +32,18 @@ namespace compstor::bench {
 /// flag every call is a no-op, so benches report unconditionally and the
 /// human-readable tables stay the default output.
 ///
-/// The file is one JSON object: {"name": ..., "config": {...},
-/// "metrics": {...}, "telemetry": {...}} — config holds the knobs the run
-/// was shaped by, metrics the numbers the bench's printed table reports, and
-/// telemetry an optional registry snapshot (telemetry::MetricsToJson form).
+/// The file is one JSON object: {"schema_version": N, "name": ...,
+/// "bench": ..., "git": ..., "config": {...}, "metrics": {...},
+/// "telemetry": {...}} — config holds the knobs the run was shaped by,
+/// metrics the numbers the bench's printed table reports, and telemetry an
+/// optional registry snapshot (telemetry::MetricsToJson form). `git` is the
+/// `git describe` of the tree the binary was built from, so every
+/// perf-trajectory point is traceable to a commit.
 class BenchReport {
  public:
+  /// Bump when the file shape changes; consumers gate parsing on this.
+  /// v2 added schema_version / bench / git provenance fields.
+  static constexpr int kSchemaVersion = 2;
   BenchReport(std::string name, int argc, char** argv) : name_(std::move(name)) {
     for (int i = 1; i < argc; ++i) {
       if (std::string_view(argv[i]) == "--json") {
@@ -73,7 +79,16 @@ class BenchReport {
       std::fprintf(stderr, "BenchReport: cannot open %s\n", path_.c_str());
       return false;
     }
-    std::fprintf(f, "{\n  \"name\": \"%s\",\n  \"config\": {", Escape(name_).c_str());
+#ifdef COMPSTOR_GIT_DESCRIBE
+    const char* git = COMPSTOR_GIT_DESCRIBE;
+#else
+    const char* git = "unknown";
+#endif
+    std::fprintf(f,
+                 "{\n  \"schema_version\": %d,\n  \"name\": \"%s\",\n"
+                 "  \"bench\": \"%s\",\n  \"git\": \"%s\",\n  \"config\": {",
+                 kSchemaVersion, Escape(name_).c_str(), Escape(name_).c_str(),
+                 Escape(git).c_str());
     WriteSection(f, config_);
     std::fprintf(f, "},\n  \"metrics\": {");
     WriteSection(f, metrics_);

@@ -9,10 +9,15 @@
 // Build & run:  cmake --build build && ./build/examples/distributed_search
 //
 // Telemetry:
-//   --trace <path>  dump a merged Chrome trace_event JSON of the run (one
-//                   trace pid per device) — open in chrome://tracing or
-//                   https://ui.perfetto.dev
-//   --stats         print the cluster-wide merged kStats snapshot
+//   --trace <path>   dump a merged Chrome trace_event JSON of the run (one
+//                    trace pid per device) — open in chrome://tracing or
+//                    https://ui.perfetto.dev, or feed to tools/trace_analyze
+//   --analyze        stitch the per-device rings and print the per-query
+//                    critical-path report (host+wire / dispatch / compute /
+//                    io / flash / respond self-time split)
+//   --stats          print the cluster-wide merged kStats snapshot plus the
+//                    per-device and per-query cost/energy ledger tables
+//   --ledger <path>  write the merged per-query ledger as JSON (CI artifact)
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -25,6 +30,8 @@
 #include "isps/agent.hpp"
 #include "ssd/profiles.hpp"
 #include "ssd/ssd.hpp"
+#include "telemetry/analyze.hpp"
+#include "telemetry/ledger.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 #include "workload/dataset.hpp"
@@ -46,12 +53,18 @@ int main(int argc, char** argv) {
   constexpr std::uint32_t kFiles = 12;
 
   std::string trace_path;
+  std::string ledger_path;
   bool print_stats = false;
+  bool analyze = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--ledger") == 0 && i + 1 < argc) {
+      ledger_path = argv[++i];
     } else if (std::strcmp(argv[i], "--stats") == 0) {
       print_stats = true;
+    } else if (std::strcmp(argv[i], "--analyze") == 0) {
+      analyze = true;
     }
   }
 
@@ -93,6 +106,9 @@ int main(int argc, char** argv) {
     stored_per_device[d] += sizes[i];
   }
   for (std::size_t d = 0; d < kDevices; ++d) {
+    // Staging is done: drain the write cache so the searches below read the
+    // NAND itself (and the trace/ledger attribute real flash work).
+    if (!devices[d].ssd->ftl().Flush().ok()) return 1;
     std::printf("  device %zu stores %6.2f MiB\n", d,
                 static_cast<double>(stored_per_device[d]) / (1 << 20));
   }
@@ -143,26 +159,58 @@ int main(int argc, char** argv) {
               static_cast<double>(data_bytes) / (1 << 20));
 
   // Cluster-wide merged stats snapshot: every device's registry fetched over
-  // the wire (kStats) plus the cluster's own breaker counters.
+  // the wire (kStats) plus the cluster's own breaker counters and ledgers.
   if (print_stats) {
     std::printf("\n--- cluster stats (kStats merge) ---\n");
     telemetry::PrintMetricsTable(stdout, cluster.CollectStats());
+    for (std::size_t d = 0; d < kDevices; ++d) {
+      std::printf("\n--- device %zu per-query ledger ---\n", d);
+      telemetry::PrintQueryLedgerTable(stdout,
+                                       devices[d].ssd->query_ledger().Snapshot());
+    }
+    std::printf("\n--- host (cluster) per-query ledger ---\n");
+    telemetry::PrintQueryLedgerTable(stdout, cluster.query_ledger().Snapshot());
+  }
+
+  // Merged per-query ledger artifact: the device ledgers partition the
+  // queries (each attempt lands on one device) and carry the flash columns
+  // the host cannot see, so their union is the complete attribution.
+  if (!ledger_path.empty()) {
+    telemetry::QueryLedger merged;
+    for (std::size_t d = 0; d < kDevices; ++d) {
+      for (const auto& [id, cost] : devices[d].ssd->query_ledger().Snapshot()) {
+        merged.Add(id, cost);
+      }
+    }
+    const std::string json = telemetry::QueryLedgerToJson(merged.Snapshot());
+    if (!telemetry::WriteTraceFile(ledger_path, json).ok()) {
+      std::fprintf(stderr, "failed to write ledger %s\n", ledger_path.c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s (per-query cost/energy ledger)\n", ledger_path.c_str());
   }
 
   // Virtual-time trace of the whole run: one trace pid per device, NVMe
-  // command spans and minion dispatch/run/respond spans on their lanes.
+  // command spans and minion dispatch/run/respond spans on their lanes, all
+  // tagged with the originating query id.
   if (!trace_path.empty()) {
-    std::vector<std::vector<telemetry::TraceEvent>> per_device;
-    for (std::size_t d = 0; d < kDevices; ++d) {
-      per_device.push_back(devices[d].ssd->trace().Events());
-    }
-    const std::string json = telemetry::MergeChromeTraceJson(per_device);
+    const std::string json = cluster.StitchedTraceJson();
     if (!telemetry::WriteTraceFile(trace_path, json).ok()) {
       std::fprintf(stderr, "failed to write trace %s\n", trace_path.c_str());
       return 1;
     }
-    std::printf("\nwrote %s - open in chrome://tracing or ui.perfetto.dev\n",
+    std::printf("\nwrote %s - open in chrome://tracing or ui.perfetto.dev, or "
+                "run tools/trace_analyze on it\n",
                 trace_path.c_str());
+  }
+
+  // In-process stitch + critical-path report (same analysis trace_analyze
+  // runs offline on a --trace file).
+  if (analyze) {
+    const telemetry::ClusterTraceReport report =
+        telemetry::AnalyzeDeviceTraces(cluster.CollectTraces());
+    std::printf("\n--- stitched cluster trace analysis ---\n%s",
+                telemetry::ReportToText(report).c_str());
   }
   return 0;
 }

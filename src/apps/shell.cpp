@@ -179,6 +179,10 @@ Result<Shell::ExecResult> Shell::RunCommandLine(std::string_view line,
 
   // Stages 0..n-2 run on their own threads; the final stage runs on the
   // calling thread. Back-pressure through the rings paces the producers.
+  // Each stage thread carries the task's trace context, so work it issues
+  // (streaming reads, prefetch) stays attributed to the owning query.
+  const telemetry::TraceContext stage_trace =
+      env_.trace.traced() ? env_.trace : telemetry::CurrentTraceContext();
   std::vector<StageOutcome> outcomes(n);
   std::vector<std::thread> threads;
   threads.reserve(n > 0 ? n - 1 : 0);
@@ -186,6 +190,7 @@ Result<Shell::ExecResult> Shell::RunCommandLine(std::string_view line,
     fs::PipeRing* in = i > 0 ? rings[i - 1].get() : nullptr;
     fs::PipeRing* out = rings[i].get();
     threads.emplace_back([&, i, in, out] {
+      telemetry::ScopedTraceContext tracing(stage_trace);
       outcomes[i] = RunStage(*apps[i], *ctxs[i], stage_args[i], in, out);
     });
   }
@@ -203,6 +208,7 @@ Result<Shell::ExecResult> Shell::RunCommandLine(std::string_view line,
   for (std::size_t i = 0; i < n; ++i) {
     result.stderr_data += ctxs[i]->stderr_data;
     result.stage_costs.push_back(ctxs[i]->cost);
+    result.stage_names.push_back(segments[i][0]);
     result.cost.Merge(ctxs[i]->cost);
     if (ctxs[i]->stdout_truncated) result.stdout_truncated = true;
   }
@@ -262,6 +268,8 @@ Result<Shell::ExecResult> Shell::RunScript(std::string_view script,
     total.cost.Merge(r.cost);
     total.stage_costs.insert(total.stage_costs.end(), r.stage_costs.begin(),
                              r.stage_costs.end());
+    total.stage_names.insert(total.stage_names.end(), r.stage_names.begin(),
+                             r.stage_names.end());
     if (r.stdout_truncated) total.stdout_truncated = true;
     if (end == expanded.size()) break;
   }

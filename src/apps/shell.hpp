@@ -25,6 +25,7 @@
 
 #include "apps/app.hpp"
 #include "apps/registry.hpp"
+#include "telemetry/trace.hpp"
 
 namespace compstor::apps {
 
@@ -36,6 +37,12 @@ class Shell {
   struct Env {
     PlatformModel platform;
     MemoryBudget* budget = nullptr;
+    /// Distributed-tracing context of the task this shell serves. Pipeline
+    /// stages run on their own threads, which would otherwise lose the
+    /// calling thread's context; the shell installs this one on each stage
+    /// thread. When untagged, the calling thread's current context is
+    /// propagated instead.
+    telemetry::TraceContext trace;
   };
 
   Shell(const Registry* registry, fs::Filesystem* fs)
@@ -52,6 +59,9 @@ class Shell {
     /// (across every line for scripts). The task runtime derives the
     /// pipeline's critical path from these.
     std::vector<CostRecorder> stage_costs;
+    /// Command name of each stage, parallel to `stage_costs` — the task
+    /// runtime labels per-stage trace spans with these.
+    std::vector<std::string> stage_names;
     /// Captured stdout hit the platform capture cap and was truncated.
     bool stdout_truncated = false;
   };

@@ -7,6 +7,8 @@
 #include <numeric>
 #include <string>
 
+#include "telemetry/trace.hpp"
+
 namespace compstor::client {
 
 std::vector<std::size_t> Cluster::AssignByWeight(
@@ -118,7 +120,25 @@ std::vector<telemetry::MetricValue> Cluster::CollectStats() {
   re.kind = telemetry::MetricKind::kCounter;
   re.value = static_cast<double>(redispatches_);
   merged.push_back(std::move(re));
+  // The host's own per-query view (from round-tripped responses), alongside
+  // the per-device "dev<i>.query.*" rows merged above.
+  auto ledger = query_ledger_.ToMetrics("cluster.query.");
+  merged.insert(merged.end(), std::make_move_iterator(ledger.begin()),
+                std::make_move_iterator(ledger.end()));
   return merged;
+}
+
+std::vector<std::vector<telemetry::TraceEvent>> Cluster::CollectTraces() const {
+  std::vector<std::vector<telemetry::TraceEvent>> traces;
+  traces.reserve(devices_.size());
+  for (CompStorHandle* device : devices_) {
+    traces.push_back(device->ssd().trace().Events());
+  }
+  return traces;
+}
+
+std::string Cluster::StitchedTraceJson() const {
+  return telemetry::MergeChromeTraceJson(CollectTraces());
 }
 
 std::size_t Cluster::PickDevice(std::size_t preferred, bool* probe) {
@@ -178,6 +198,19 @@ Result<std::vector<proto::Minion>> Cluster::RunAll(const std::vector<WorkItem>& 
   std::vector<std::size_t> last_tried(work.size());
   for (std::size_t i = 0; i < work.size(); ++i) last_tried[i] = work[i].device_index;
 
+  // One trace query id per work item, stamped before the first dispatch so
+  // every attempt — including re-dispatches onto other devices — carries the
+  // same query id and the stitched trace shows one query with N root spans.
+  // A caller-provided id is kept (nested orchestration).
+  std::vector<proto::Command> commands;
+  commands.reserve(work.size());
+  for (const WorkItem& item : work) {
+    commands.push_back(item.command);
+    if (commands.back().trace_query_id == 0) {
+      commands.back().trace_query_id = telemetry::NextQueryId();
+    }
+  }
+
   struct InFlight {
     std::size_t item;
     std::size_t device;
@@ -206,7 +239,7 @@ Result<std::vector<proto::Minion>> Cluster::RunAll(const std::vector<WorkItem>& 
         continue;
       }
       last_tried[i] = d;
-      batch.push_back({i, d, devices_[d]->SendMinion(work[i].command)});
+      batch.push_back({i, d, devices_[d]->SendMinion(commands[i])});
     }
     if (batch.empty()) {
       return Unavailable("cluster: no healthy devices remaining");
@@ -218,6 +251,17 @@ Result<std::vector<proto::Minion>> Cluster::RunAll(const std::vector<WorkItem>& 
                                     : minion.status();
       if (st.ok()) {
         RecordSuccess(f.device);
+        // Host-side attribution: the response's round-tripped accounting,
+        // keyed by the query id the command carried out (echoed back in
+        // minion->command). Flash ops/joules stay device-side.
+        telemetry::QueryCost cost;
+        cost.minions = 1;
+        cost.bytes_read = minion->response.bytes_read;
+        cost.bytes_written = minion->response.bytes_written;
+        cost.compute_s = minion->response.cpu_seconds;
+        cost.io_s = minion->response.io_seconds;
+        cost.energy_j = minion->response.energy_joules;
+        query_ledger_.Add(minion->command.trace_query_id, cost);
         results[f.item] = std::move(*minion);
         continue;
       }

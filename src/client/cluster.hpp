@@ -20,6 +20,8 @@
 #include <vector>
 
 #include "client/in_situ.hpp"
+#include "telemetry/ledger.hpp"
+#include "telemetry/trace.hpp"
 
 namespace compstor::client {
 
@@ -90,9 +92,26 @@ class Cluster {
 
   /// Host-side merge of every healthy device's kStats snapshot: each metric
   /// is prefixed with "dev<i>.", and the cluster's own circuit-breaker
-  /// bookkeeping is appended as "cluster.dev<i>.*" counters. Devices whose
-  /// query fails are skipped (and the failure feeds their breaker).
+  /// bookkeeping is appended as "cluster.dev<i>.*" counters, followed by the
+  /// host-side per-query ledger as "cluster.query.<id>.*" rows. Devices
+  /// whose query fails are skipped (and the failure feeds their breaker).
   std::vector<telemetry::MetricValue> CollectStats();
+
+  /// Host-side per-query attribution ledger, built from the round-tripped
+  /// responses of every RunAll: compute/IO seconds, bytes, and task energy
+  /// keyed by the originating trace query id. Complements the device-side
+  /// ledgers (which add flash ops/joules) fetched through CollectStats.
+  const telemetry::QueryLedger& query_ledger() const { return query_ledger_; }
+
+  /// Per-device trace-ring snapshots (index == device index), the input to
+  /// telemetry::MergeChromeTraceJson / AnalyzeDeviceTraces. Offline devices
+  /// still contribute — the rings live host-side in the emulation, so no
+  /// wire round-trip is involved.
+  std::vector<std::vector<telemetry::TraceEvent>> CollectTraces() const;
+
+  /// The cluster's stitched Chrome trace (every device ring merged; the
+  /// device index becomes the trace pid).
+  std::string StitchedTraceJson() const;
 
   struct WorkItem {
     std::size_t device_index;
@@ -132,6 +151,7 @@ class Cluster {
   ClusterPolicy policy_;
   std::uint64_t redispatches_ = 0;
   VirtualClock retry_clock_;
+  telemetry::QueryLedger query_ledger_;
 };
 
 }  // namespace compstor::client

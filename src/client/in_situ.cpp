@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "telemetry/trace.hpp"
 #include "util/byte_io.hpp"
 
 namespace compstor::client {
@@ -46,12 +47,24 @@ Result<std::string> CompStorHandle::DownloadFileText(std::string_view path) {
 }
 
 MinionFuture CompStorHandle::SendMinion(proto::Command command) {
+  // Stamp the distributed-tracing context: a query id (kept if the caller —
+  // e.g. Cluster — already assigned one, so re-dispatches stay one query)
+  // and a fresh root span for this dispatch. The root identity rides on the
+  // NVMe command, so the device records the enqueue->response span under it,
+  // and the proto command carries it as the parent for the task span.
+  if (command.trace_query_id == 0) {
+    command.trace_query_id = telemetry::NextQueryId();
+  }
+  const std::uint64_t root_span = telemetry::NextSpanId();
+  command.trace_parent_span = root_span;
+
   proto::Minion minion;
   minion.id = next_id_.fetch_add(1, std::memory_order_relaxed);
   minion.command = std::move(command);
 
   nvme::Command cmd;
   cmd.opcode = nvme::Opcode::kInSituMinion;
+  cmd.trace = {minion.command.trace_query_id, root_span, 0};
   cmd.payload = proto::Serialize(minion);
   return MinionFuture(ssd_->host_interface().Submit(std::move(cmd)));
 }

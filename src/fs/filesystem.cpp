@@ -6,6 +6,7 @@
 #include <future>
 
 #include "common/logging.hpp"
+#include "telemetry/trace.hpp"
 
 namespace compstor::fs {
 
@@ -878,9 +879,15 @@ class FileSource final : public fs::ByteSource {
       eof_ = true;
     } else if (options_.prefetch) {
       // Read-ahead: the next chunk's flash read overlaps the caller's
-      // compute on the current one.
+      // compute on the current one. The reader thread inherits the caller's
+      // trace context so the prefetched flash IO stays attributed to the
+      // owning query.
       pending_ = std::async(std::launch::async,
-                            [this, off = offset_] { return FetchAt(off); });
+                            [this, off = offset_,
+                             ctx = telemetry::CurrentTraceContext()] {
+                              telemetry::ScopedTraceContext tracing(ctx);
+                              return FetchAt(off);
+                            });
     }
     if (!chunk_.empty() && options_.on_chunk) options_.on_chunk(chunk_.size());
     return OkStatus();

@@ -1,5 +1,7 @@
 #include "isps/agent.hpp"
 
+#include <iterator>
+
 #include "common/logging.hpp"
 
 namespace compstor::isps {
@@ -11,7 +13,8 @@ Agent::Agent(ssd::Ssd* ssd, const ThermalModel& thermal)
   cores_ = std::make_unique<CoreEmulator>(IspsCpuProfile(), &ssd->meter());
   runtime_ = std::make_unique<TaskRuntime>(cores_.get(), fs_.get(), registry_.get(),
                                            /*internal_path=*/true);
-  runtime_->AttachTelemetry(&ssd->telemetry(), &ssd->trace(), "isps");
+  runtime_->AttachTelemetry(&ssd->telemetry(), &ssd->trace(), "isps",
+                            &ssd->query_ledger());
   telemetry::Registry& metrics = ssd->telemetry();
   metrics.RegisterProbe("isps.minions_handled", telemetry::MetricKind::kCounter,
                         [this] { return static_cast<double>(minions_handled()); });
@@ -114,11 +117,18 @@ proto::QueryReply Agent::HandleQuery(const proto::Query& query) {
       reply.uptime_virtual_s = cores_->Makespan();
       reply.sq_depths = ssd_->controller().QueueDepths();
       break;
-    case proto::QueryType::kStats:
+    case proto::QueryType::kStats: {
       // Point-in-time export of the whole device registry; the reply crosses
-      // the link CRC-framed like every other entity.
+      // the link CRC-framed like every other entity. The per-query ledger
+      // rides along as "query.<id>.<field>" metrics.
       reply.metrics = ssd_->telemetry().Snapshot();
+      std::vector<telemetry::MetricValue> ledger =
+          ssd_->query_ledger().ToMetrics();
+      reply.metrics.insert(reply.metrics.end(),
+                           std::make_move_iterator(ledger.begin()),
+                           std::make_move_iterator(ledger.end()));
       break;
+    }
     case proto::QueryType::kLoadTask:
       if (query.task_name.empty() || query.task_script.empty()) {
         reply.status_code = static_cast<std::uint16_t>(StatusCode::kInvalidArgument);

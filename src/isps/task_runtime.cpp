@@ -18,8 +18,10 @@ TaskRuntime::TaskRuntime(CoreEmulator* cores, fs::Filesystem* filesystem,
 
 void TaskRuntime::AttachTelemetry(telemetry::Registry* registry,
                                   telemetry::TraceRing* trace,
-                                  std::string_view prefix) {
+                                  std::string_view prefix,
+                                  telemetry::QueryLedger* ledger) {
   trace_ = trace;
+  ledger_ = ledger;
   if (registry == nullptr) return;
   const std::string p(prefix);
   tasks_spawned_ = &registry->GetCounter(p + ".tasks_spawned");
@@ -72,6 +74,18 @@ std::uint32_t TaskRuntime::Spawn(const proto::Command& command, Callback done) {
     // this task lands on the same clock, so the run span nests inside the
     // dispatch->respond span by construction.
     const std::uint64_t dispatch_ns = ToNanoTicks(core.Now());
+    // Distributed tracing: the task span nests under the client's root span
+    // (carried in the command), the run span under the task span, and the
+    // run context is installed on this core thread so every downstream span
+    // (shell stages, internal flash IO, prefetch) inherits the query id.
+    telemetry::TraceContext task_ctx, run_ctx, respond_ctx;
+    if (cmd.trace_query_id != 0) {
+      task_ctx = {cmd.trace_query_id, telemetry::NextSpanId(),
+                  cmd.trace_parent_span};
+      run_ctx = {cmd.trace_query_id, telemetry::NextSpanId(), task_ctx.span_id};
+      respond_ctx = {cmd.trace_query_id, telemetry::NextSpanId(),
+                     task_ctx.span_id};
+    }
     proto::Response response;
     if (fault.action == sim::AgentFault::Action::kCrash) {
       // The in-storage process died before producing output; the host sees a
@@ -83,7 +97,19 @@ std::uint32_t TaskRuntime::Spawn(const proto::Command& command, Callback done) {
       response.exit_code = -1;
       response.end_time_s = core.Now();
     } else {
+      telemetry::ScopedTraceContext tracing(run_ctx);
       response = Execute(core, cmd, pid);
+    }
+    response.root_span_id = run_ctx.span_id;
+    if (ledger_ != nullptr && cmd.trace_query_id != 0) {
+      telemetry::QueryCost qc;
+      qc.minions = 1;
+      qc.bytes_read = response.bytes_read;
+      qc.bytes_written = response.bytes_written;
+      qc.compute_s = response.cpu_seconds;
+      qc.io_s = response.io_seconds;
+      qc.energy_j = response.energy_joules;
+      ledger_->Add(cmd.trace_query_id, qc);
     }
     {
       std::lock_guard<std::mutex> lock(table_mutex_);
@@ -106,13 +132,13 @@ std::uint32_t TaskRuntime::Spawn(const proto::Command& command, Callback done) {
       const std::uint64_t run_end = ToNanoTicks(response.end_time_s);
       const std::uint64_t end_ns = ToNanoTicks(core.Now());
       const std::uint32_t tid = core.core_index();
-      trace_->Record("minion", "run", pid, run_start, run_end, tid);
-      trace_->Record("minion", "respond", pid, run_end, end_ns, tid);
+      trace_->Record("minion", "run", pid, run_start, run_end, tid, run_ctx);
+      trace_->Record("minion", "respond", pid, run_end, end_ns, tid, respond_ctx);
       trace_->Record("minion",
                      cmd.type == proto::CommandType::kExecutable
                          ? cmd.executable
                          : std::string("shell"),
-                     pid, dispatch_ns, end_ns, tid);
+                     pid, dispatch_ns, end_ns, tid, task_ctx);
     }
     // An unresponsive agent finishes the work but the response is lost; the
     // host-side deadline turns this into kDeadlineExceeded.
@@ -162,6 +188,7 @@ proto::Response TaskRuntime::Execute(WorkContext& core, const proto::Command& co
   ctx.budget = &budget_;
 
   std::vector<apps::CostRecorder> stage_costs;
+  std::vector<std::string> stage_names;
   bool stdout_truncated = false;
 
   Result<int> exit_code = 1;
@@ -182,7 +209,9 @@ proto::Response TaskRuntime::Execute(WorkContext& core, const proto::Command& co
         exit_code = PermissionDenied("task lacks spawn permission");
         break;
       }
-      apps::Shell shell(registry_, fs_, apps::Shell::Env{platform, &budget_});
+      apps::Shell shell(registry_, fs_,
+                        apps::Shell::Env{platform, &budget_,
+                                         telemetry::CurrentTraceContext()});
       auto r = command.type == proto::CommandType::kShellCommand
                    ? shell.RunCommandLine(command.command_line, command.stdin_data)
                    : shell.RunScript(command.command_line, command.args,
@@ -195,6 +224,7 @@ proto::Response TaskRuntime::Execute(WorkContext& core, const proto::Command& co
       ctx.stderr_data = std::move(r->stderr_data);
       ctx.cost.Merge(r->cost);
       stage_costs = std::move(r->stage_costs);
+      stage_names = std::move(r->stage_names);
       stdout_truncated = r->stdout_truncated;
       exit_code = r->exit_code;
       break;
@@ -255,6 +285,25 @@ proto::Response TaskRuntime::Execute(WorkContext& core, const proto::Command& co
     elapsed = critical + residual;
   }
   core.ChargeOverlapped(total.cpu, total.io, elapsed);
+
+  // One span per pipeline stage: stages ran concurrently, so each starts at
+  // the run start and lasts its own path time. Children of the run span via
+  // the thread-local context installed by Spawn.
+  if (trace_ != nullptr && !stage_costs.empty()) {
+    const std::uint64_t run_start_ns = ToNanoTicks(response.start_time_s);
+    const telemetry::TraceContext& cur = telemetry::CurrentTraceContext();
+    for (std::size_t i = 0; i < stage_costs.size(); ++i) {
+      const PathCost p = path_cost(stage_costs[i]);
+      telemetry::TraceContext stage_ctx;
+      if (cur.traced()) {
+        stage_ctx = {cur.query_id, telemetry::NextSpanId(), cur.span_id};
+      }
+      trace_->Record("shell",
+                     i < stage_names.size() ? stage_names[i] : "stage", pid,
+                     run_start_ns, run_start_ns + ToNanoTicks(p.cpu + p.io),
+                     core.core_index(), stage_ctx);
+    }
+  }
 
   response.cpu_seconds = total.cpu;
   response.io_seconds = total.io;

@@ -22,6 +22,7 @@
 #include "isps/cores.hpp"
 #include "proto/entities.hpp"
 #include "sim/fault.hpp"
+#include "telemetry/ledger.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 
@@ -64,10 +65,13 @@ class TaskRuntime {
   /// Hooks the device telemetry under `prefix` (e.g. "isps" or "host"):
   /// task counters become registry instruments and every task records
   /// dispatch->respond spans (with a nested "run" child) into `trace`,
-  /// keyed by pid on the executing core's virtual timeline. Either pointer
-  /// may be null. Call before spawning work.
+  /// keyed by pid on the executing core's virtual timeline. Tasks whose
+  /// Command carries a trace context additionally charge their compute/IO/
+  /// energy to `ledger` under the originating query id. Any pointer may be
+  /// null. Call before spawning work.
   void AttachTelemetry(telemetry::Registry* registry, telemetry::TraceRing* trace,
-                       std::string_view prefix);
+                       std::string_view prefix,
+                       telemetry::QueryLedger* ledger = nullptr);
 
   /// Platform DRAM budget every task's streamed/retained buffers reserve
   /// against; the limit comes from the CPU profile's dram_bytes.
@@ -100,6 +104,7 @@ class TaskRuntime {
   std::size_t max_capture_bytes_;
 
   telemetry::TraceRing* trace_ = nullptr;
+  telemetry::QueryLedger* ledger_ = nullptr;
   telemetry::Counter* tasks_spawned_ = nullptr;  // owned by the registry
   telemetry::Counter* tasks_failed_ = nullptr;
   telemetry::Counter* stdout_truncated_ = nullptr;

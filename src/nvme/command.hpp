@@ -11,6 +11,7 @@
 
 #include "common/status.hpp"
 #include "common/units.hpp"
+#include "telemetry/trace.hpp"
 
 namespace compstor::nvme {
 
@@ -52,6 +53,14 @@ struct Command {
   /// stamped by the controller at Submit so trace spans measure queueing +
   /// execution on one timeline.
   std::uint64_t submit_ns = 0;
+
+  /// Distributed-tracing identity of the submitter. For vendor commands the
+  /// client allocates a dedicated root span and the controller records the
+  /// enqueue->response span with exactly this identity; for IO commands
+  /// `trace.span_id` is the span the controller's own spans nest *under*
+  /// (fresh child span ids are allocated per recorded span). Untagged when
+  /// query_id == 0.
+  telemetry::TraceContext trace;
 
   /// Device-internal command (the ISPS flash-access path). Internal commands
   /// skip the PCIe link, the per-command firmware overhead, and the host

@@ -24,16 +24,24 @@ const char* OpcodeName(Opcode op) {
 }
 }  // namespace
 
+double FlashJoules(const energy::FlashPowerProfile& p, const ftl::IoCost& cost,
+                   std::uint64_t bytes_moved) {
+  return cost.flash_reads * p.read_uj_per_page * 1e-6 +
+         cost.flash_programs * p.program_uj_per_page * 1e-6 +
+         cost.flash_erases * p.erase_uj_per_block * 1e-6 +
+         static_cast<double>(bytes_moved) * p.channel_pj_per_byte * 1e-12;
+}
+
+double ControllerJoules(const energy::FlashPowerProfile& p,
+                        std::uint64_t bytes_moved) {
+  return static_cast<double>(bytes_moved) * p.controller_pj_per_byte * 1e-12;
+}
+
 void ChargeFlashEnergy(energy::EnergyMeter* meter, const energy::FlashPowerProfile& p,
                        const ftl::IoCost& cost, std::uint64_t bytes_moved) {
   if (meter == nullptr) return;
-  const double flash_j = cost.flash_reads * p.read_uj_per_page * 1e-6 +
-                         cost.flash_programs * p.program_uj_per_page * 1e-6 +
-                         cost.flash_erases * p.erase_uj_per_block * 1e-6 +
-                         static_cast<double>(bytes_moved) * p.channel_pj_per_byte * 1e-12;
-  meter->AddJoules(energy::Component::kFlash, flash_j);
-  meter->AddJoules(energy::Component::kController,
-                   static_cast<double>(bytes_moved) * p.controller_pj_per_byte * 1e-12);
+  meter->AddJoules(energy::Component::kFlash, FlashJoules(p, cost, bytes_moved));
+  meter->AddJoules(energy::Component::kController, ControllerJoules(p, bytes_moved));
 }
 
 Controller::Controller(ftl::Ftl* ftl, PcieLink* link, energy::EnergyMeter* meter,
@@ -141,8 +149,10 @@ std::vector<std::uint32_t> Controller::QueueDepths() const {
 }
 
 void Controller::AttachTelemetry(telemetry::Registry* registry,
-                                 telemetry::TraceRing* trace) {
+                                 telemetry::TraceRing* trace,
+                                 telemetry::QueryLedger* ledger) {
   trace_ = trace;
+  ledger_ = ledger;
   registry_ = registry;
   if (registry == nullptr) return;
   const auto probe = [registry](std::string_view name,
@@ -280,12 +290,21 @@ void Controller::ExecuteAndComplete(Command cmd, double injected_delay_s,
   if (cmd.internal) internal_commands_.fetch_add(1, std::memory_order_relaxed);
   const std::uint64_t worker_before_ns = worker_clocks_[worker]->NowNanos();
   Completion cqe;
-  if (!Execute(cmd, &cqe)) return;  // vendor: completes asynchronously
+  ExecCost cost;
+  if (!Execute(cmd, &cqe, &cost)) return;  // vendor: completes asynchronously
   cqe.latency += injected_delay_s;
   worker_clocks_[worker]->Advance(cqe.latency);
   device_time_.Advance(cqe.latency);
   if (!cqe.status.ok()) errors_.fetch_add(1, std::memory_order_relaxed);
   if (cmd_us_ != nullptr) cmd_us_->Add(cqe.latency * 1e6);
+  if (ledger_ != nullptr && cmd.trace.traced()) {
+    telemetry::QueryCost qc;
+    qc.flash_reads = cost.flash.flash_reads;
+    qc.flash_programs = cost.flash.flash_programs;
+    qc.flash_energy_j = FlashJoules(flash_power_, cost.flash, cost.bytes_moved) +
+                        ControllerJoules(flash_power_, cost.bytes_moved);
+    ledger_->Add(cmd.trace.query_id, qc);
+  }
   if (trace_ != nullptr) {
     // The execution phase starts when the worker picked the command up — no
     // earlier than submission, no earlier than the worker's own timeline —
@@ -296,8 +315,32 @@ void Controller::ExecuteAndComplete(Command cmd, double injected_delay_s,
     const std::uint64_t exec_end = exec_start + ToNanoTicks(cqe.latency);
     const std::string name = OpcodeName(cmd.opcode);
     const auto tid = static_cast<std::uint32_t>(worker);
-    trace_->Record("nvme", name + ".exec", cmd.cid, exec_start, exec_end, tid);
-    trace_->Record("nvme", name, cmd.cid, cmd.submit_ns, exec_end, tid);
+    telemetry::TraceContext span_ctx, exec_ctx;
+    if (cmd.trace.traced()) {
+      span_ctx = {cmd.trace.query_id, telemetry::NextSpanId(), cmd.trace.span_id};
+      exec_ctx = {cmd.trace.query_id, telemetry::NextSpanId(), span_ctx.span_id};
+    }
+    trace_->Record("nvme", name + ".exec", cmd.cid, exec_start, exec_end, tid,
+                   exec_ctx);
+    trace_->Record("nvme", name, cmd.cid, cmd.submit_ns, exec_end, tid, span_ctx);
+    // Flash media time as a child of the execution span, so the stitched
+    // tree reaches from the host query down to the NAND.
+    const std::uint64_t flash_ns = ToNanoTicks(cost.flash.latency);
+    if (flash_ns > 0 &&
+        (cost.flash.flash_reads != 0 || cost.flash.flash_programs != 0 ||
+         cost.flash.flash_erases != 0)) {
+      telemetry::TraceContext flash_ctx;
+      if (cmd.trace.traced()) {
+        flash_ctx = {cmd.trace.query_id, telemetry::NextSpanId(),
+                     exec_ctx.span_id};
+      }
+      const char* media_op = cost.flash.flash_programs != 0  ? "program"
+                             : cost.flash.flash_erases != 0 ? "erase"
+                                                            : "read";
+      trace_->Record("flash", media_op, cmd.cid,
+                     exec_end > flash_ns ? exec_end - flash_ns : 0, exec_end,
+                     tid, flash_ctx);
+    }
   }
   Deliver(cmd, std::move(cqe));
 }
@@ -310,21 +353,20 @@ void Controller::Deliver(const Command& cmd, Completion cqe) {
   qps_[cmd.sqid]->cq.Push(std::move(cqe));
 }
 
-bool Controller::Execute(Command& cmd, Completion* out) {
+bool Controller::Execute(Command& cmd, Completion* out, ExecCost* cost) {
   switch (cmd.opcode) {
     case Opcode::kRead:
     case Opcode::kWrite:
     case Opcode::kDatasetManagement:
       io_commands_.fetch_add(1, std::memory_order_relaxed);
-      *out = ExecuteIo(cmd);
+      *out = ExecuteIo(cmd, cost);
       return true;
     case Opcode::kFlush: {
       // Drain the fast-release write buffer to NAND.
-      ftl::IoCost cost;
       out->cid = cmd.cid;
-      out->status = ftl_->Flush(&cost);
-      out->latency = kCommandOverhead + cost.latency;
-      ChargeFlashEnergy(meter_, flash_power_, cost, 0);
+      out->status = ftl_->Flush(&cost->flash);
+      out->latency = kCommandOverhead + cost->flash.latency;
+      ChargeFlashEnergy(meter_, flash_power_, cost->flash, 0);
       return true;
     }
     case Opcode::kIdentify:
@@ -333,10 +375,9 @@ bool Controller::Execute(Command& cmd, Completion* out) {
     case Opcode::kFormatNvm: {
       // Secure erase: every logical page is discarded (data unrecoverable
       // through the FTL; GC reclaims the physical blocks lazily).
-      ftl::IoCost cost;
       out->cid = cmd.cid;
-      out->status = ftl_->Trim(0, ftl_->user_pages(), &cost);
-      out->latency = kCommandOverhead + cost.latency;
+      out->status = ftl_->Trim(0, ftl_->user_pages(), &cost->flash);
+      out->latency = kCommandOverhead + cost->flash.latency;
       return true;
     }
     case Opcode::kInSituMinion:
@@ -361,8 +402,9 @@ bool Controller::Execute(Command& cmd, Completion* out) {
       const std::uint16_t sqid = cmd.sqid;
       const std::uint64_t submit_ns = cmd.submit_ns;
       const Opcode opcode = cmd.opcode;
+      const telemetry::TraceContext trace_ctx = cmd.trace;
       auto on_complete = cmd.on_complete;
-      handler(cmd, [this, cid, sqid, submit_ns, opcode, on_complete,
+      handler(cmd, [this, cid, sqid, submit_ns, opcode, trace_ctx, on_complete,
                     in_lat](Completion cqe) {
         cqe.cid = cid;
         cqe.latency += in_lat + link_->Transfer(cqe.payload.size()) + kCommandOverhead;
@@ -370,10 +412,13 @@ bool Controller::Execute(Command& cmd, Completion* out) {
         if (cmd_us_ != nullptr) cmd_us_->Add(cqe.latency * 1e6);
         if (trace_ != nullptr) {
           // Vendor commands complete off the worker pool; their span lives on
-          // a lane one past the back-end workers.
+          // a lane one past the back-end workers. The recorded span carries
+          // the client-allocated root identity, so every device-side span for
+          // this query nests under it.
           trace_->Record("nvme", OpcodeName(opcode), cid, submit_ns,
                          submit_ns + ToNanoTicks(cqe.latency),
-                         static_cast<std::uint32_t>(config_.backend_workers));
+                         static_cast<std::uint32_t>(config_.backend_workers),
+                         trace_ctx);
         }
         if (on_complete) {
           on_complete(std::move(cqe));
@@ -389,7 +434,7 @@ bool Controller::Execute(Command& cmd, Completion* out) {
   return true;
 }
 
-Completion Controller::ExecuteIo(Command& cmd) {
+Completion Controller::ExecuteIo(Command& cmd, ExecCost* cost) {
   Completion cqe;
   cqe.cid = cmd.cid;
   // Internal commands never cross the host doorbell/completion path, so the
@@ -399,9 +444,8 @@ Completion Controller::ExecuteIo(Command& cmd) {
   const std::uint32_t page = ftl_->page_data_bytes();
 
   if (cmd.opcode == Opcode::kDatasetManagement) {
-    ftl::IoCost cost;
-    cqe.status = ftl_->Trim(cmd.slba, cmd.nlb, &cost);
-    cqe.latency += cost.latency;
+    cqe.status = ftl_->Trim(cmd.slba, cmd.nlb, &cost->flash);
+    cqe.latency += cost->flash.latency;
     return cqe;
   }
 
@@ -411,23 +455,23 @@ Completion Controller::ExecuteIo(Command& cmd) {
     return cqe;
   }
 
-  ftl::IoCost cost;
   Status st;
   for (std::uint32_t i = 0; i < cmd.nlb && st.ok(); ++i) {
     auto slice = std::span<std::uint8_t>(cmd.data->data() + static_cast<std::size_t>(i) * page, page);
     if (cmd.opcode == Opcode::kRead) {
-      st = ftl_->ReadPage(cmd.slba + i, slice, &cost);
+      st = ftl_->ReadPage(cmd.slba + i, slice, &cost->flash);
     } else {
-      st = ftl_->WritePage(cmd.slba + i, slice, &cost);
+      st = ftl_->WritePage(cmd.slba + i, slice, &cost->flash);
     }
   }
   cqe.status = st;
-  cqe.latency += cost.latency;
+  cqe.latency += cost->flash.latency;
+  cost->bytes_moved = bytes;
   if (!cmd.internal) {
     // User data crosses PCIe in both directions (DMA) regardless of direction.
     cqe.latency += link_->Transfer(bytes);
   }
-  ChargeFlashEnergy(meter_, flash_power_, cost, bytes);
+  ChargeFlashEnergy(meter_, flash_power_, cost->flash, bytes);
   return cqe;
 }
 

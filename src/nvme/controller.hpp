@@ -32,11 +32,22 @@
 #include "nvme/command.hpp"
 #include "nvme/pcie_link.hpp"
 #include "sim/fault.hpp"
+#include "telemetry/ledger.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 #include "util/mpmc_queue.hpp"
 
 namespace compstor::nvme {
+
+/// Media + channel joules of one FTL cost — the flash component of
+/// ChargeFlashEnergy, factored out so per-query attribution charges the
+/// exact same joules the whole-run meter sees.
+double FlashJoules(const energy::FlashPowerProfile& p, const ftl::IoCost& cost,
+                   std::uint64_t bytes_moved);
+
+/// Controller-side DMA joules for `bytes_moved`.
+double ControllerJoules(const energy::FlashPowerProfile& p,
+                        std::uint64_t bytes_moved);
 
 /// Converts FTL op counts + moved bytes into flash/controller joules.
 void ChargeFlashEnergy(energy::EnergyMeter* meter, const energy::FlashPowerProfile& p,
@@ -128,8 +139,11 @@ class Controller {
   /// Hooks the device telemetry: counters/per-queue depths become registry
   /// probes (read at snapshot time), command latencies feed `nvme.cmd_us`,
   /// and executed commands emit enqueue->completion spans into `trace`.
-  /// Call before Start(); either pointer may be null.
-  void AttachTelemetry(telemetry::Registry* registry, telemetry::TraceRing* trace);
+  /// Commands tagged with a TraceContext additionally charge their flash
+  /// ops/joules to `ledger` under the originating query id. Call before
+  /// Start(); any pointer may be null.
+  void AttachTelemetry(telemetry::Registry* registry, telemetry::TraceRing* trace,
+                       telemetry::QueryLedger* ledger = nullptr);
 
   ControllerStats Stats() const;
 
@@ -193,13 +207,20 @@ class Controller {
     double injected_delay_s = 0;
   };
 
+  /// Flash work a synchronous command performed, surfaced out of Execute so
+  /// the caller can trace the media time and attribute it per query.
+  struct ExecCost {
+    ftl::IoCost flash;
+    std::uint64_t bytes_moved = 0;
+  };
+
   void ArbitrateLoop();
   void WorkerLoop(std::size_t worker);
   void ExecuteAndComplete(Command cmd, double injected_delay_s, std::size_t worker);
   /// Executes a synchronous (IO/admin) command; vendor commands are handed
   /// to the async handler and produce no immediate completion.
-  bool Execute(Command& cmd, Completion* cqe);
-  Completion ExecuteIo(Command& cmd);
+  bool Execute(Command& cmd, Completion* cqe, ExecCost* cost);
+  Completion ExecuteIo(Command& cmd, ExecCost* cost);
   Completion ExecuteIdentify(const Command& cmd);
   /// Routes a finished completion: `on_complete` callback when present,
   /// otherwise the CQ paired with the command's submission queue.
@@ -232,6 +253,7 @@ class Controller {
 
   telemetry::Registry* registry_ = nullptr;
   telemetry::TraceRing* trace_ = nullptr;
+  telemetry::QueryLedger* ledger_ = nullptr;
   telemetry::Histogram* cmd_us_ = nullptr;  // owned by registry_
 
   std::atomic<sim::FaultInjector*> fault_{nullptr};

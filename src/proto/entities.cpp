@@ -9,10 +9,14 @@ namespace {
 constexpr std::uint8_t kFrameMinion = 0x4D;      // 'M'
 constexpr std::uint8_t kFrameQuery = 0x51;       // 'Q'
 constexpr std::uint8_t kFrameQueryReply = 0x52;  // 'R'
-// v2: QueryReply gained per-queue-pair SQ depths and the kStats metrics
-// payload. Both sides of the emulated link ship together, so no
-// cross-version compatibility shims.
-constexpr std::uint8_t kVersion = 2;
+// Version history:
+//   v2: QueryReply gained per-queue-pair SQ depths and the kStats metrics
+//       payload.
+//   v3: distributed tracing — Command carries trace_query_id /
+//       trace_parent_span, Response carries root_span_id. The new fields sit
+//       at the end of their sections and are read only when the frame's
+//       version byte says v3, so v2 frames (persisted traces, down-level
+//       peers) still decode.
 
 void PutStringList(util::ByteWriter& w, const std::vector<std::string>& list) {
   w.PutU32(static_cast<std::uint32_t>(list.size()));
@@ -30,7 +34,7 @@ Result<std::vector<std::string>> GetStringList(util::ByteReader& r) {
   return list;
 }
 
-void PutCommand(util::ByteWriter& w, const Command& c) {
+void PutCommand(util::ByteWriter& w, const Command& c, std::uint8_t version) {
   w.PutU8(static_cast<std::uint8_t>(c.type));
   w.PutString(c.executable);
   PutStringList(w, c.args);
@@ -39,9 +43,13 @@ void PutCommand(util::ByteWriter& w, const Command& c) {
   w.PutString(c.output_file);
   w.PutString(c.stdin_data);
   w.PutU32(c.permissions);
+  if (version >= 3) {
+    w.PutU64(c.trace_query_id);
+    w.PutU64(c.trace_parent_span);
+  }
 }
 
-Result<Command> GetCommand(util::ByteReader& r) {
+Result<Command> GetCommand(util::ByteReader& r, std::uint8_t version) {
   Command c;
   COMPSTOR_ASSIGN_OR_RETURN(std::uint8_t type, r.GetU8());
   if (type > static_cast<std::uint8_t>(CommandType::kShellScript)) {
@@ -55,10 +63,14 @@ Result<Command> GetCommand(util::ByteReader& r) {
   COMPSTOR_ASSIGN_OR_RETURN(c.output_file, r.GetString());
   COMPSTOR_ASSIGN_OR_RETURN(c.stdin_data, r.GetString());
   COMPSTOR_ASSIGN_OR_RETURN(c.permissions, r.GetU32());
+  if (version >= 3) {
+    COMPSTOR_ASSIGN_OR_RETURN(c.trace_query_id, r.GetU64());
+    COMPSTOR_ASSIGN_OR_RETURN(c.trace_parent_span, r.GetU64());
+  }
   return c;
 }
 
-void PutResponse(util::ByteWriter& w, const Response& resp) {
+void PutResponse(util::ByteWriter& w, const Response& resp, std::uint8_t version) {
   w.PutU16(resp.status_code);
   w.PutString(resp.status_message);
   w.PutU32(static_cast<std::uint32_t>(resp.exit_code));
@@ -72,9 +84,10 @@ void PutResponse(util::ByteWriter& w, const Response& resp) {
   w.PutU64(resp.bytes_read);
   w.PutU64(resp.bytes_written);
   w.PutF64(resp.energy_joules);
+  if (version >= 3) w.PutU64(resp.root_span_id);
 }
 
-Result<Response> GetResponse(util::ByteReader& r) {
+Result<Response> GetResponse(util::ByteReader& r, std::uint8_t version) {
   Response resp;
   COMPSTOR_ASSIGN_OR_RETURN(resp.status_code, r.GetU16());
   COMPSTOR_ASSIGN_OR_RETURN(resp.status_message, r.GetString());
@@ -90,14 +103,18 @@ Result<Response> GetResponse(util::ByteReader& r) {
   COMPSTOR_ASSIGN_OR_RETURN(resp.bytes_read, r.GetU64());
   COMPSTOR_ASSIGN_OR_RETURN(resp.bytes_written, r.GetU64());
   COMPSTOR_ASSIGN_OR_RETURN(resp.energy_joules, r.GetF64());
+  if (version >= 3) {
+    COMPSTOR_ASSIGN_OR_RETURN(resp.root_span_id, r.GetU64());
+  }
   return resp;
 }
 
 /// Frame = tag | version | body | crc32c(tag..body).
-std::vector<std::uint8_t> Frame(std::uint8_t tag, util::ByteWriter body) {
+std::vector<std::uint8_t> Frame(std::uint8_t tag, util::ByteWriter body,
+                                std::uint8_t version = kWireVersion) {
   util::ByteWriter w;
   w.PutU8(tag);
-  w.PutU8(kVersion);
+  w.PutU8(version);
   w.PutRaw(body.bytes());
   const std::uint32_t crc = util::Crc32c(w.bytes().data(), w.bytes().size());
   w.PutU32(crc);
@@ -105,7 +122,8 @@ std::vector<std::uint8_t> Frame(std::uint8_t tag, util::ByteWriter body) {
 }
 
 Result<util::ByteReader> Unframe(std::uint8_t expected_tag,
-                                 std::span<const std::uint8_t> data) {
+                                 std::span<const std::uint8_t> data,
+                                 std::uint8_t* version) {
   if (data.size() < 6) return DataLoss("proto: frame too short");
   const std::uint32_t stored =
       static_cast<std::uint32_t>(data[data.size() - 4]) |
@@ -116,26 +134,31 @@ Result<util::ByteReader> Unframe(std::uint8_t expected_tag,
     return DataLoss("proto: frame crc mismatch");
   }
   if (data[0] != expected_tag) return InvalidArgument("proto: unexpected frame tag");
-  if (data[1] != kVersion) return InvalidArgument("proto: unsupported version");
+  if (data[1] < kMinWireVersion || data[1] > kWireVersion) {
+    return InvalidArgument("proto: unsupported version");
+  }
+  if (version != nullptr) *version = data[1];
   return util::ByteReader(data.subspan(2, data.size() - 6));
 }
 
 }  // namespace
 
-std::vector<std::uint8_t> Serialize(const Minion& minion) {
+std::vector<std::uint8_t> Serialize(const Minion& minion, std::uint8_t version) {
   util::ByteWriter body;
   body.PutU64(minion.id);
-  PutCommand(body, minion.command);
-  PutResponse(body, minion.response);
-  return Frame(kFrameMinion, std::move(body));
+  PutCommand(body, minion.command, version);
+  PutResponse(body, minion.response, version);
+  return Frame(kFrameMinion, std::move(body), version);
 }
 
 Result<Minion> DeserializeMinion(std::span<const std::uint8_t> data) {
-  COMPSTOR_ASSIGN_OR_RETURN(util::ByteReader r, Unframe(kFrameMinion, data));
+  std::uint8_t version = kMinWireVersion;
+  COMPSTOR_ASSIGN_OR_RETURN(util::ByteReader r,
+                            Unframe(kFrameMinion, data, &version));
   Minion m;
   COMPSTOR_ASSIGN_OR_RETURN(m.id, r.GetU64());
-  COMPSTOR_ASSIGN_OR_RETURN(m.command, GetCommand(r));
-  COMPSTOR_ASSIGN_OR_RETURN(m.response, GetResponse(r));
+  COMPSTOR_ASSIGN_OR_RETURN(m.command, GetCommand(r, version));
+  COMPSTOR_ASSIGN_OR_RETURN(m.response, GetResponse(r, version));
   return m;
 }
 
@@ -149,7 +172,8 @@ std::vector<std::uint8_t> Serialize(const Query& query) {
 }
 
 Result<Query> DeserializeQuery(std::span<const std::uint8_t> data) {
-  COMPSTOR_ASSIGN_OR_RETURN(util::ByteReader r, Unframe(kFrameQuery, data));
+  COMPSTOR_ASSIGN_OR_RETURN(util::ByteReader r,
+                            Unframe(kFrameQuery, data, nullptr));
   Query q;
   COMPSTOR_ASSIGN_OR_RETURN(q.id, r.GetU64());
   COMPSTOR_ASSIGN_OR_RETURN(std::uint8_t type, r.GetU8());
@@ -201,7 +225,8 @@ std::vector<std::uint8_t> Serialize(const QueryReply& reply) {
 }
 
 Result<QueryReply> DeserializeQueryReply(std::span<const std::uint8_t> data) {
-  COMPSTOR_ASSIGN_OR_RETURN(util::ByteReader r, Unframe(kFrameQueryReply, data));
+  COMPSTOR_ASSIGN_OR_RETURN(util::ByteReader r,
+                            Unframe(kFrameQueryReply, data, nullptr));
   QueryReply q;
   COMPSTOR_ASSIGN_OR_RETURN(q.id, r.GetU64());
   COMPSTOR_ASSIGN_OR_RETURN(q.status_code, r.GetU16());

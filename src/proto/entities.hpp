@@ -23,6 +23,14 @@
 
 namespace compstor::proto {
 
+/// Wire version this build emits. v3 added the distributed-tracing fields
+/// (Command.trace_query_id / trace_parent_span, Response.root_span_id),
+/// appended at the end of their sections so a v3 decoder still reads v2
+/// frames: the extra fields are only consumed when the frame says v3.
+inline constexpr std::uint8_t kWireVersion = 3;
+/// Oldest version this build still decodes.
+inline constexpr std::uint8_t kMinWireVersion = 2;
+
 enum class CommandType : std::uint8_t {
   kExecutable = 0,   // run a registered application by name
   kShellCommand = 1, // run one shell command line (may contain pipes)
@@ -45,6 +53,12 @@ struct Command {
   std::string output_file;             // if set, stdout is redirected here
   std::string stdin_data;              // piped standard input
   std::uint32_t permissions = kPermRead | kPermWrite | kPermSpawn;
+
+  // Distributed-tracing context (v3+; 0 = untraced). The client stamps the
+  // originating query id and the host-side root span; every device span on
+  // this command's behalf nests under them.
+  std::uint64_t trace_query_id = 0;
+  std::uint64_t trace_parent_span = 0;
 };
 
 struct Response {
@@ -61,6 +75,9 @@ struct Response {
   std::uint64_t bytes_read = 0;
   std::uint64_t bytes_written = 0;
   double energy_joules = 0;       // device-side energy attributed to the task
+  /// v3+: span id of the device-side "run" span for this task, so the host
+  /// can link its view of the query to the device trace without heuristics.
+  std::uint64_t root_span_id = 0;
 
   bool ok() const { return status_code == 0; }
   double elapsed_s() const { return end_time_s - start_time_s; }
@@ -124,7 +141,10 @@ struct QueryReply {
 };
 
 // --- serialization (little-endian, CRC-framed) ---
-std::vector<std::uint8_t> Serialize(const Minion& minion);
+/// `version` selects the emitted wire version (tests use it to produce
+/// down-level frames); decode accepts [kMinWireVersion, kWireVersion].
+std::vector<std::uint8_t> Serialize(const Minion& minion,
+                                    std::uint8_t version = kWireVersion);
 Result<Minion> DeserializeMinion(std::span<const std::uint8_t> data);
 
 std::vector<std::uint8_t> Serialize(const Query& query);

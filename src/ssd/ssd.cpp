@@ -114,7 +114,9 @@ Ssd::Ssd(const SsdProfile& profile, std::uint64_t seed) : profile_(profile) {
                                                    config);
   array_->RegisterMetrics(&registry_);
   ftl_->RegisterMetrics(&registry_);
-  controller_->AttachTelemetry(&registry_, &trace_);
+  controller_->AttachTelemetry(&registry_, &trace_, &query_ledger_);
+  registry_.RegisterProbe("trace.dropped_spans", telemetry::MetricKind::kCounter,
+                          [this] { return static_cast<double>(trace_.dropped()); });
   registry_.RegisterProbe("ssd.internal_bus_busy_s", telemetry::MetricKind::kGauge,
                           [this] { return InternalBusySeconds(); });
   registry_.RegisterProbe("ssd.energy_j", telemetry::MetricKind::kGauge,
@@ -139,6 +141,10 @@ nvme::Completion Ssd::SubmitInternalSync(nvme::Command cmd) {
   std::promise<nvme::Completion> done;
   std::future<nvme::Completion> future = done.get_future();
   cmd.internal = true;
+  // The submitting thread (an ISPS core running a traced task) carries the
+  // owning query's context; stamp it so the back-end can tag and attribute
+  // the flash work, even though it executes on a worker thread.
+  cmd.trace = telemetry::CurrentTraceContext();
   cmd.on_complete = [&done](nvme::Completion cqe) { done.set_value(std::move(cqe)); };
   if (!controller_->SubmitInternal(std::move(cmd))) {
     nvme::Completion cqe;

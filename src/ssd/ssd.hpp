@@ -21,6 +21,7 @@
 #include "nvme/pcie_link.hpp"
 #include "ssd/block_device.hpp"
 #include "ssd/profiles.hpp"
+#include "telemetry/ledger.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 
@@ -48,6 +49,10 @@ class Ssd {
   const telemetry::Registry& telemetry() const { return registry_; }
   /// Device-wide span ring on the virtual-time axis (Chrome trace export).
   telemetry::TraceRing& trace() { return trace_; }
+  /// Per-query cost/energy attribution, fed by the task runtime (compute,
+  /// bytes, task energy) and the NVMe back-end (flash ops/joules of tagged
+  /// commands). The kStats query exports it as "query.<id>.<field>" metrics.
+  telemetry::QueryLedger& query_ledger() { return query_ledger_; }
 
   /// Block views (block == flash page == 4096 bytes).
   BlockDevice& host_block_device();
@@ -86,6 +91,7 @@ class Ssd {
   // controller must outlive them (members destroy in reverse order).
   telemetry::Registry registry_;
   telemetry::TraceRing trace_;
+  telemetry::QueryLedger query_ledger_;
   std::unique_ptr<flash::Array> array_;
   std::unique_ptr<ftl::Ftl> ftl_;
   std::unique_ptr<nvme::PcieLink> link_;

@@ -1,0 +1,286 @@
+#include "telemetry/analyze.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace compstor::telemetry {
+
+namespace {
+
+double Seconds(std::uint64_t ns) { return static_cast<double>(ns) / 1e9; }
+
+double Duration(const TraceEvent& e) {
+  return e.end_ns > e.start_ns ? Seconds(e.end_ns - e.start_ns) : 0.0;
+}
+
+/// Adds `self` seconds to the bucket a span belongs to. `depth` 0 is the
+/// query root (the vendor command's enqueue->completion on the host-facing
+/// queue), whose self-time is everything the device rings cannot see: host
+/// wait, wire transfer, and SQ queueing.
+void Bucket(QueryTrace* q, const StitchedEvent& s, int depth, double self) {
+  const std::string& cat = s.event.category;
+  const std::string& name = s.event.name;
+  if (depth == 0) {
+    q->host_wire_s += self;
+  } else if (cat == "flash") {
+    q->flash_s += self;
+  } else if (cat == "nvme") {
+    q->io_s += self;
+  } else if (cat == "shell") {
+    q->compute_s += self;
+  } else if (cat == "minion" && name == "respond") {
+    q->respond_s += self;
+  } else if (cat == "minion" && name != "run") {
+    // The task-level minion span (named after the executable): its self-time
+    // beyond the nested run span is dispatch + respond overhead.
+    q->dispatch_s += self;
+  } else {
+    q->compute_s += self;
+  }
+}
+
+QueryTrace AnalyzeQuery(std::uint64_t query_id,
+                        const std::vector<const StitchedEvent*>& spans) {
+  QueryTrace q;
+  q.query_id = query_id;
+  q.spans = spans.size();
+
+  std::unordered_map<std::uint64_t, const StitchedEvent*> by_id;
+  std::unordered_map<std::uint64_t, std::vector<const StitchedEvent*>> children;
+  for (const StitchedEvent* s : spans) {
+    if (s->event.ctx.span_id != 0) by_id.emplace(s->event.ctx.span_id, s);
+  }
+  const StitchedEvent* root = nullptr;
+  for (const StitchedEvent* s : spans) {
+    const std::uint64_t parent = s->event.ctx.parent_span;
+    if (parent != 0 && by_id.count(parent) != 0) {
+      children[parent].push_back(s);
+      continue;
+    }
+    if (parent != 0) ++q.unresolved_parents;
+    // Parentless span: root candidate — keep the longest.
+    if (root == nullptr || Duration(s->event) > Duration(root->event)) root = s;
+  }
+  if (root == nullptr) return q;
+
+  q.end_to_end_s = Duration(root->event);
+
+  // Walk the longest-child chain. Self-time = own duration minus the critical
+  // child's duration (siblings overlap the critical child, so only the
+  // longest one displaces parent time).
+  std::unordered_set<std::uint64_t> visited;
+  const StitchedEvent* node = root;
+  for (int depth = 0; node != nullptr; ++depth) {
+    const StitchedEvent* critical_child = nullptr;
+    const auto it = children.find(node->event.ctx.span_id);
+    if (it != children.end()) {
+      for (const StitchedEvent* c : it->second) {
+        if (critical_child == nullptr ||
+            Duration(c->event) > Duration(critical_child->event)) {
+          critical_child = c;
+        }
+      }
+    }
+    const double dur = Duration(node->event);
+    const double child_dur =
+        critical_child != nullptr ? Duration(critical_child->event) : 0.0;
+    const double self = std::max(0.0, dur - child_dur);
+    CriticalSegment seg;
+    seg.device = node->device;
+    seg.category = node->event.category;
+    seg.name = node->event.name;
+    seg.span_id = node->event.ctx.span_id;
+    seg.duration_s = dur;
+    seg.self_s = self;
+    q.critical_path.push_back(std::move(seg));
+    Bucket(&q, *node, depth, self);
+    if (critical_child != nullptr &&
+        !visited.insert(critical_child->event.ctx.span_id).second) {
+      break;  // cycle guard: malformed parent links must not hang the tool
+    }
+    node = critical_child;
+  }
+  return q;
+}
+
+}  // namespace
+
+ClusterTraceReport AnalyzeTrace(const std::vector<StitchedEvent>& events) {
+  ClusterTraceReport report;
+  report.total_events = events.size();
+  std::map<std::uint64_t, std::vector<const StitchedEvent*>> by_query;
+  for (const StitchedEvent& s : events) {
+    if (s.event.category == "minion" && s.event.name == "run") {
+      report.makespan_s = std::max(report.makespan_s, Seconds(s.event.end_ns));
+    }
+    if (!s.event.ctx.traced()) continue;
+    ++report.tagged_events;
+    by_query[s.event.ctx.query_id].push_back(&s);
+  }
+  for (const auto& [id, spans] : by_query) {
+    report.queries.push_back(AnalyzeQuery(id, spans));
+    report.unresolved_parents += report.queries.back().unresolved_parents;
+  }
+  return report;
+}
+
+ClusterTraceReport AnalyzeDeviceTraces(
+    const std::vector<std::vector<TraceEvent>>& devices) {
+  std::vector<StitchedEvent> events;
+  for (std::size_t d = 0; d < devices.size(); ++d) {
+    for (const TraceEvent& e : devices[d]) {
+      events.push_back({static_cast<int>(d), e});
+    }
+  }
+  return AnalyzeTrace(events);
+}
+
+namespace {
+
+// Minimal field scanners for the regular one-event-per-line JSON this module
+// writes. Not a general JSON parser.
+bool FindKey(const std::string& line, const char* key, std::size_t* pos) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  *pos = at + needle.size();
+  return true;
+}
+
+bool ExtractString(const std::string& line, const char* key, std::string* out) {
+  std::size_t pos = 0;
+  if (!FindKey(line, key, &pos) || pos >= line.size() || line[pos] != '"') {
+    return false;
+  }
+  ++pos;
+  out->clear();
+  while (pos < line.size() && line[pos] != '"') {
+    if (line[pos] == '\\' && pos + 1 < line.size()) ++pos;
+    out->push_back(line[pos++]);
+  }
+  return pos < line.size();
+}
+
+bool ExtractDouble(const std::string& line, const char* key, double* out) {
+  std::size_t pos = 0;
+  if (!FindKey(line, key, &pos)) return false;
+  *out = std::strtod(line.c_str() + pos, nullptr);
+  return true;
+}
+
+std::uint64_t ExtractU64(const std::string& line, const char* key) {
+  std::size_t pos = 0;
+  if (!FindKey(line, key, &pos)) return 0;
+  return std::strtoull(line.c_str() + pos, nullptr, 10);
+}
+
+}  // namespace
+
+std::vector<StitchedEvent> ParseChromeTraceJson(const std::string& json) {
+  std::vector<StitchedEvent> out;
+  std::istringstream in(json);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("{\"name\":", 0) != 0) continue;
+    StitchedEvent s;
+    double ts_us = 0, dur_us = 0;
+    if (!ExtractString(line, "name", &s.event.name) ||
+        !ExtractString(line, "cat", &s.event.category) ||
+        !ExtractDouble(line, "ts", &ts_us) ||
+        !ExtractDouble(line, "dur", &dur_us)) {
+      continue;
+    }
+    s.device = static_cast<int>(ExtractU64(line, "pid"));
+    s.event.tid = static_cast<std::uint32_t>(ExtractU64(line, "tid"));
+    s.event.id = ExtractU64(line, "id");
+    s.event.start_ns = static_cast<std::uint64_t>(std::llround(ts_us * 1e3));
+    s.event.end_ns =
+        s.event.start_ns + static_cast<std::uint64_t>(std::llround(dur_us * 1e3));
+    s.event.ctx.query_id = ExtractU64(line, "query");
+    s.event.ctx.span_id = ExtractU64(line, "span");
+    s.event.ctx.parent_span = ExtractU64(line, "parent");
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string ReportToText(const ClusterTraceReport& report) {
+  std::ostringstream os;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "cluster trace: %zu spans (%zu tagged, %zu unresolved parents), "
+                "end-to-end makespan %.6f s\n",
+                report.total_events, report.tagged_events,
+                report.unresolved_parents, report.makespan_s);
+  os << buf;
+  for (const QueryTrace& q : report.queries) {
+    std::snprintf(buf, sizeof(buf),
+                  "query %llu: end-to-end %.6f s over %zu spans\n",
+                  static_cast<unsigned long long>(q.query_id), q.end_to_end_s,
+                  q.spans);
+    os << buf;
+    std::snprintf(buf, sizeof(buf),
+                  "  self-time: host+wire %.3f ms, dispatch %.3f ms, compute "
+                  "%.3f ms, io %.3f ms, flash %.3f ms, respond %.3f ms\n",
+                  q.host_wire_s * 1e3, q.dispatch_s * 1e3, q.compute_s * 1e3,
+                  q.io_s * 1e3, q.flash_s * 1e3, q.respond_s * 1e3);
+    os << buf;
+    os << "  critical path:\n";
+    for (const CriticalSegment& seg : q.critical_path) {
+      std::snprintf(buf, sizeof(buf),
+                    "    dev%-2d %-7s %-24s %10.3f ms (self %.3f ms)\n",
+                    seg.device, seg.category.c_str(), seg.name.c_str(),
+                    seg.duration_s * 1e3, seg.self_s * 1e3);
+      os << buf;
+    }
+  }
+  return os.str();
+}
+
+std::string ReportToJson(const ClusterTraceReport& report) {
+  std::ostringstream os;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\n\"total_events\": %zu,\n\"tagged_events\": %zu,\n"
+                "\"unresolved_parents\": %zu,\n\"makespan_s\": %.9g,\n"
+                "\"queries\": [",
+                report.total_events, report.tagged_events,
+                report.unresolved_parents, report.makespan_s);
+  os << buf;
+  bool first_q = true;
+  for (const QueryTrace& q : report.queries) {
+    if (!first_q) os << ",";
+    first_q = false;
+    std::snprintf(
+        buf, sizeof(buf),
+        "\n {\"query\": %llu, \"spans\": %zu, \"unresolved_parents\": %zu, "
+        "\"end_to_end_s\": %.9g,\n  \"self\": {\"host_wire_s\": %.9g, "
+        "\"dispatch_s\": %.9g, \"compute_s\": %.9g, \"io_s\": %.9g, "
+        "\"flash_s\": %.9g, \"respond_s\": %.9g},\n  \"critical_path\": [",
+        static_cast<unsigned long long>(q.query_id), q.spans,
+        q.unresolved_parents, q.end_to_end_s, q.host_wire_s, q.dispatch_s,
+        q.compute_s, q.io_s, q.flash_s, q.respond_s);
+    os << buf;
+    bool first_s = true;
+    for (const CriticalSegment& seg : q.critical_path) {
+      if (!first_s) os << ",";
+      first_s = false;
+      os << "\n   {\"device\": " << seg.device << ", \"cat\": \""
+         << seg.category << "\", \"name\": \"" << seg.name
+         << "\", \"span\": " << seg.span_id;
+      std::snprintf(buf, sizeof(buf), ", \"dur_s\": %.9g, \"self_s\": %.9g}",
+                    seg.duration_s, seg.self_s);
+      os << buf;
+    }
+    os << "\n  ]}";
+  }
+  os << "\n]\n}\n";
+  return os.str();
+}
+
+}  // namespace compstor::telemetry

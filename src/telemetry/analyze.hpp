@@ -1,0 +1,85 @@
+// Trace stitcher + critical-path analyzer.
+//
+// Takes the per-device span rings (or a merged Chrome trace re-parsed from
+// disk), groups tagged spans by originating query id, resolves parent links
+// into a span tree per query, and walks the longest-child chain from the
+// query's root span to the deepest leaf. Because every resource owns an
+// independent virtual clock (device time, NVMe worker clocks, ISPS core
+// clocks), absolute timestamps are only comparable within one lane — so the
+// analyzer reasons in *durations*: each critical-path segment reports its
+// self-time (own duration minus its critical child's), which is clock-safe.
+//
+// The cluster end-to-end time is defined as the max end over "minion"/"run"
+// spans — the exact quantity Cluster::Makespan computes from the responses —
+// so the report's makespan matches the measured one by construction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/trace.hpp"
+
+namespace compstor::telemetry {
+
+/// One span in the stitched cluster trace: the device (trace pid) it came
+/// from plus the event itself.
+struct StitchedEvent {
+  int device = 0;
+  TraceEvent event;
+};
+
+/// One hop on a query's critical path, root first.
+struct CriticalSegment {
+  int device = 0;
+  std::string category;
+  std::string name;
+  std::uint64_t span_id = 0;
+  double duration_s = 0;
+  double self_s = 0;  // duration minus the critical child's duration
+};
+
+/// Per-query stitched view: span tree stats plus self-time buckets summed
+/// over the critical path (host/wire+SQ queueing, dispatch, compute, device
+/// IO, flash media, respond).
+struct QueryTrace {
+  std::uint64_t query_id = 0;
+  std::size_t spans = 0;
+  std::size_t unresolved_parents = 0;
+  double end_to_end_s = 0;  // root span (vendor enqueue -> completion)
+  double host_wire_s = 0;   // root self-time: host wait + wire + SQ queueing
+  double dispatch_s = 0;
+  double compute_s = 0;  // run self-time + shell pipeline stages
+  double io_s = 0;       // nvme spans' self-time (queueing + transfer)
+  double flash_s = 0;    // flash media spans
+  double respond_s = 0;
+  std::vector<CriticalSegment> critical_path;
+};
+
+struct ClusterTraceReport {
+  std::size_t total_events = 0;
+  std::size_t tagged_events = 0;
+  std::size_t unresolved_parents = 0;  // tagged spans whose parent is missing
+  double makespan_s = 0;               // max end over "minion"/"run" spans
+  std::vector<QueryTrace> queries;     // ordered by query id
+};
+
+/// Stitches events from any number of devices and analyzes each query.
+ClusterTraceReport AnalyzeTrace(const std::vector<StitchedEvent>& events);
+
+/// Convenience: per-device event lists (index = device) -> AnalyzeTrace.
+ClusterTraceReport AnalyzeDeviceTraces(
+    const std::vector<std::vector<TraceEvent>>& devices);
+
+/// Re-parses a Chrome trace produced by ToChromeTraceJson /
+/// MergeChromeTraceJson back into stitched events (pid -> device). Only the
+/// fields this module emits are recognized; foreign traces yield empty.
+std::vector<StitchedEvent> ParseChromeTraceJson(const std::string& json);
+
+/// Human-readable critical-path report.
+std::string ReportToText(const ClusterTraceReport& report);
+
+/// Machine-readable report (CI smoke checks assert on these fields).
+std::string ReportToJson(const ClusterTraceReport& report);
+
+}  // namespace compstor::telemetry

@@ -1,0 +1,108 @@
+#include "telemetry/ledger.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace compstor::telemetry {
+
+void QueryLedger::Add(std::uint64_t query_id, const QueryCost& delta) {
+  if (query_id == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  rows_[query_id].Add(delta);
+}
+
+std::vector<std::pair<std::uint64_t, QueryCost>> QueryLedger::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {rows_.begin(), rows_.end()};
+}
+
+std::vector<MetricValue> QueryLedger::ToMetrics(std::string_view prefix) const {
+  std::vector<MetricValue> out;
+  const auto rows = Snapshot();
+  out.reserve(rows.size() * 9);
+  for (const auto& [id, c] : rows) {
+    const std::string base = std::string(prefix) + std::to_string(id) + ".";
+    const auto add = [&out, &base](const char* field, MetricKind kind, double v) {
+      MetricValue m;
+      m.name = base + field;
+      m.kind = kind;
+      m.value = v;
+      out.push_back(std::move(m));
+    };
+    add("minions", MetricKind::kCounter, static_cast<double>(c.minions));
+    add("bytes_read", MetricKind::kCounter, static_cast<double>(c.bytes_read));
+    add("bytes_written", MetricKind::kCounter, static_cast<double>(c.bytes_written));
+    add("flash_reads", MetricKind::kCounter, static_cast<double>(c.flash_reads));
+    add("flash_programs", MetricKind::kCounter, static_cast<double>(c.flash_programs));
+    add("compute_s", MetricKind::kGauge, c.compute_s);
+    add("io_s", MetricKind::kGauge, c.io_s);
+    add("energy_j", MetricKind::kGauge, c.energy_j);
+    add("flash_energy_j", MetricKind::kGauge, c.flash_energy_j);
+  }
+  return out;
+}
+
+std::size_t QueryLedger::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rows_.size();
+}
+
+void QueryLedger::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rows_.clear();
+}
+
+void PrintQueryLedgerTable(
+    std::FILE* out, const std::vector<std::pair<std::uint64_t, QueryCost>>& rows) {
+  std::fprintf(out, "%-10s %7s %10s %7s %7s %9s %9s %10s %10s\n", "query",
+               "minions", "MiB", "fl.rd", "fl.pr", "cpu-ms", "io-ms", "task-mJ",
+               "flash-mJ");
+  QueryCost total;
+  for (const auto& [id, c] : rows) {
+    total.Add(c);
+    std::fprintf(out, "%-10llu %7llu %10.3f %7llu %7llu %9.3f %9.3f %10.3f %10.3f\n",
+                 static_cast<unsigned long long>(id),
+                 static_cast<unsigned long long>(c.minions),
+                 static_cast<double>(c.bytes_read + c.bytes_written) / (1 << 20),
+                 static_cast<unsigned long long>(c.flash_reads),
+                 static_cast<unsigned long long>(c.flash_programs),
+                 c.compute_s * 1e3, c.io_s * 1e3, c.energy_j * 1e3,
+                 c.flash_energy_j * 1e3);
+  }
+  std::fprintf(out, "%-10s %7llu %10.3f %7llu %7llu %9.3f %9.3f %10.3f %10.3f\n",
+               "total", static_cast<unsigned long long>(total.minions),
+               static_cast<double>(total.bytes_read + total.bytes_written) / (1 << 20),
+               static_cast<unsigned long long>(total.flash_reads),
+               static_cast<unsigned long long>(total.flash_programs),
+               total.compute_s * 1e3, total.io_s * 1e3, total.energy_j * 1e3,
+               total.flash_energy_j * 1e3);
+}
+
+std::string QueryLedgerToJson(
+    const std::vector<std::pair<std::uint64_t, QueryCost>>& rows) {
+  std::ostringstream os;
+  os << "[";
+  bool first = true;
+  for (const auto& [id, c] : rows) {
+    if (!first) os << ",";
+    first = false;
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "\n  {\"query\": %llu, \"minions\": %llu, \"bytes_read\": %llu, "
+                  "\"bytes_written\": %llu, \"flash_reads\": %llu, "
+                  "\"flash_programs\": %llu, \"compute_s\": %.9g, \"io_s\": %.9g, "
+                  "\"energy_j\": %.9g, \"flash_energy_j\": %.9g}",
+                  static_cast<unsigned long long>(id),
+                  static_cast<unsigned long long>(c.minions),
+                  static_cast<unsigned long long>(c.bytes_read),
+                  static_cast<unsigned long long>(c.bytes_written),
+                  static_cast<unsigned long long>(c.flash_reads),
+                  static_cast<unsigned long long>(c.flash_programs), c.compute_s,
+                  c.io_s, c.energy_j, c.flash_energy_j);
+    os << buf;
+  }
+  os << "\n]\n";
+  return os.str();
+}
+
+}  // namespace compstor::telemetry

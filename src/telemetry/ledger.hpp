@@ -1,0 +1,85 @@
+// Per-query cost/energy attribution ledger (paper Figs 6-8 ask *where* a
+// distributed query's time and energy go; this is the accounting that can
+// answer per query instead of per device).
+//
+// Every layer that completes work on behalf of a traced query folds its cost
+// into the ledger keyed by the query id from the propagated TraceContext:
+// the task runtime adds the minion's compute/IO/bytes/energy, the NVMe
+// back-end adds the flash ops and flash joules of tagged internal commands.
+// The device ledger is exported through kStats (one metric per cell, named
+// "query.<id>.<field>"), so Cluster::CollectStats merges per-device ledgers
+// into the host's cluster-wide view for free; the host-side Cluster keeps
+// its own ledger built from round-tripped responses.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+
+namespace compstor::telemetry {
+
+/// Accumulated cost of one query (one minion, or the merge of several when a
+/// query fans out / is re-dispatched).
+struct QueryCost {
+  std::uint64_t minions = 0;       // tasks completed under this query id
+  std::uint64_t bytes_read = 0;    // task-level bytes in
+  std::uint64_t bytes_written = 0; // task-level bytes out
+  std::uint64_t flash_reads = 0;   // tagged media page reads
+  std::uint64_t flash_programs = 0;
+  double compute_s = 0;            // modeled busy-CPU seconds
+  double io_s = 0;                 // modeled data-path seconds
+  double energy_j = 0;             // task-attributed energy (CPU + datapath)
+  double flash_energy_j = 0;       // media + controller joules of tagged IO
+
+  void Add(const QueryCost& o) {
+    minions += o.minions;
+    bytes_read += o.bytes_read;
+    bytes_written += o.bytes_written;
+    flash_reads += o.flash_reads;
+    flash_programs += o.flash_programs;
+    compute_s += o.compute_s;
+    io_s += o.io_s;
+    energy_j += o.energy_j;
+    flash_energy_j += o.flash_energy_j;
+  }
+};
+
+class QueryLedger {
+ public:
+  /// Merges `delta` into the row for `query_id`. query_id 0 (untagged work)
+  /// is ignored, so callers can charge unconditionally.
+  void Add(std::uint64_t query_id, const QueryCost& delta);
+
+  /// Point-in-time copy of every row, ordered by query id.
+  std::vector<std::pair<std::uint64_t, QueryCost>> Snapshot() const;
+
+  /// Ledger rows as registry-style metrics: "<prefix><id>.<field>". Counters
+  /// for the count fields, gauges for seconds/joules — the same shapes the
+  /// kStats wire format already carries.
+  std::vector<MetricValue> ToMetrics(std::string_view prefix = "query.") const;
+
+  std::size_t size() const;
+  void Clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::uint64_t, QueryCost> rows_;
+};
+
+/// Renders a per-query breakdown table ("query  minions  MB  flash  cpu-ms
+/// io-ms  J") to `out`. `rows` is a Snapshot().
+void PrintQueryLedgerTable(std::FILE* out,
+                           const std::vector<std::pair<std::uint64_t, QueryCost>>& rows);
+
+/// Serializes ledger rows as a JSON array of objects (machine-comparable CI
+/// artifact).
+std::string QueryLedgerToJson(
+    const std::vector<std::pair<std::uint64_t, QueryCost>>& rows);
+
+}  // namespace compstor::telemetry

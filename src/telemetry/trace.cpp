@@ -1,10 +1,33 @@
 #include "telemetry/trace.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <sstream>
 
 namespace compstor::telemetry {
+
+namespace {
+// One id space for every device in the emulated cluster: ids start at 1 so 0
+// stays the "untagged / no parent" sentinel.
+std::atomic<std::uint64_t> g_next_span_id{1};
+thread_local TraceContext t_current_context;
+}  // namespace
+
+std::uint64_t NextSpanId() {
+  return g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t NextQueryId() { return NextSpanId(); }
+
+const TraceContext& CurrentTraceContext() { return t_current_context; }
+
+ScopedTraceContext::ScopedTraceContext(const TraceContext& ctx)
+    : saved_(t_current_context) {
+  t_current_context = ctx;
+}
+
+ScopedTraceContext::~ScopedTraceContext() { t_current_context = saved_; }
 
 TraceRing::TraceRing(std::size_t capacity)
     : capacity_(std::max<std::size_t>(1, capacity)) {
@@ -13,7 +36,7 @@ TraceRing::TraceRing(std::size_t capacity)
 
 void TraceRing::Record(std::string_view category, std::string_view name,
                        std::uint64_t id, std::uint64_t start_ns, std::uint64_t end_ns,
-                       std::uint32_t tid) {
+                       std::uint32_t tid, const TraceContext& ctx) {
   TraceEvent e;
   e.category = std::string(category);
   e.name = std::string(name);
@@ -21,6 +44,7 @@ void TraceRing::Record(std::string_view category, std::string_view name,
   e.start_ns = start_ns;
   e.end_ns = std::max(start_ns, end_ns);
   e.tid = tid;
+  e.ctx = ctx;
   std::lock_guard<std::mutex> lock(mutex_);
   ring_[next_ % capacity_] = std::move(e);
   ++next_;
@@ -74,7 +98,12 @@ void AppendEvent(std::ostringstream& os, const TraceEvent& e, int pid, bool* fir
                 static_cast<double>(e.end_ns - e.start_ns) / 1e3);
   os << ",\"dur\":" << num;
   os << ",\"pid\":" << pid << ",\"tid\":" << e.tid;
-  os << ",\"args\":{\"id\":" << e.id << "}}";
+  os << ",\"args\":{\"id\":" << e.id;
+  if (e.ctx.traced()) {
+    os << ",\"query\":" << e.ctx.query_id << ",\"span\":" << e.ctx.span_id
+       << ",\"parent\":" << e.ctx.parent_span;
+  }
+  os << "}}";
 }
 
 }  // namespace

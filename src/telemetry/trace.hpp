@@ -8,11 +8,20 @@
 // write per span, never on the per-page hot path. The ring is fixed-size;
 // old spans are overwritten and `dropped()` reports how many.
 //
-// Span taxonomy (id correlates parent and child):
+// Distributed tracing: spans can additionally carry a TraceContext — the
+// originating client query id plus a span id / parent span id pair — so the
+// per-device rings stitch into one causally-ordered cluster trace
+// (telemetry/analyze). Span ids are allocated from one process-wide counter
+// (the whole cluster is emulated in-process), which makes them unique across
+// devices without any coordination protocol on the wire.
+//
+// Span taxonomy (id correlates parent and child; ctx links across layers):
 //   cat "nvme",   name "<opcode>"      — enqueue -> completion, id = cid
 //   cat "nvme",   name "<opcode>.exec" — back-end execution, id = cid
+//   cat "flash",  name "read"/"program"— media time of one tagged command
 //   cat "minion", name "<executable>"  — vendor dispatch -> response, id = pid
 //   cat "minion", name "run"/"respond" — in-storage process stages, id = pid
+//   cat "shell",  name "<stage cmd>"   — pipeline stage critical-path share
 #pragma once
 
 #include <cstdint>
@@ -25,6 +34,41 @@
 
 namespace compstor::telemetry {
 
+/// Causal identity of one span in a distributed query: which client query it
+/// serves, its own id, and the span it nests under. query_id == 0 means
+/// untagged (device-local background work: staging, GC, admin).
+struct TraceContext {
+  std::uint64_t query_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span = 0;
+
+  bool traced() const { return query_id != 0; }
+};
+
+/// Allocates a cluster-unique span id (process-wide atomic; never 0).
+std::uint64_t NextSpanId();
+/// Allocates a cluster-unique query id (same counter space as span ids, so a
+/// query id never collides with a span id either).
+std::uint64_t NextQueryId();
+
+/// The calling thread's current trace context. Work executed on emulator
+/// threads (ISPS cores, shell pipeline stages, prefetch readers) inherits the
+/// context of the query it serves via ScopedTraceContext; the device's
+/// internal IO path reads it to tag NVMe/flash work with the owning query.
+const TraceContext& CurrentTraceContext();
+
+/// RAII: installs `ctx` as the thread's current context, restores on exit.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(const TraceContext& ctx);
+  ~ScopedTraceContext();
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext saved_;
+};
+
 struct TraceEvent {
   std::string category;
   std::string name;
@@ -32,6 +76,7 @@ struct TraceEvent {
   std::uint64_t start_ns = 0;  // virtual nanoseconds
   std::uint64_t end_ns = 0;
   std::uint32_t tid = 0;  // resource lane: worker / core index
+  TraceContext ctx;       // distributed-tracing identity (may be untagged)
 };
 
 class TraceRing {
@@ -39,11 +84,13 @@ class TraceRing {
   explicit TraceRing(std::size_t capacity = 8192);
 
   void Record(std::string_view category, std::string_view name, std::uint64_t id,
-              std::uint64_t start_ns, std::uint64_t end_ns, std::uint32_t tid);
+              std::uint64_t start_ns, std::uint64_t end_ns, std::uint32_t tid,
+              const TraceContext& ctx = {});
 
   /// Retained events, oldest first.
   std::vector<TraceEvent> Events() const;
-  /// Events overwritten because the ring was full.
+  /// Events overwritten because the ring was full (silent span loss — the
+  /// `trace.dropped_spans` kStats probe exports this).
   std::uint64_t dropped() const;
   std::size_t capacity() const { return capacity_; }
 
@@ -58,6 +105,7 @@ class TraceRing {
 
 /// Renders spans as Chrome trace_event JSON ("X" complete events, ts/dur in
 /// virtual microseconds). `pid` distinguishes devices in a merged trace.
+/// Tagged spans carry args.query / args.span / args.parent.
 std::string ToChromeTraceJson(const std::vector<TraceEvent>& events, int pid = 0);
 
 /// Merges per-device event lists (device index becomes the trace pid) into

@@ -29,6 +29,9 @@ Minion SampleMinion() {
   m.response.bytes_read = 123456;
   m.response.bytes_written = 789;
   m.response.energy_joules = 3.25;
+  m.command.trace_query_id = 7001;
+  m.command.trace_parent_span = 7002;
+  m.response.root_span_id = 7003;
   return m;
 }
 
@@ -57,6 +60,47 @@ TEST(Proto, MinionRoundTrip) {
   EXPECT_EQ(back->response.bytes_read, m.response.bytes_read);
   EXPECT_EQ(back->response.bytes_written, m.response.bytes_written);
   EXPECT_DOUBLE_EQ(back->response.energy_joules, m.response.energy_joules);
+  EXPECT_EQ(back->command.trace_query_id, m.command.trace_query_id);
+  EXPECT_EQ(back->command.trace_parent_span, m.command.trace_parent_span);
+  EXPECT_EQ(back->response.root_span_id, m.response.root_span_id);
+}
+
+// A v3 decoder must still accept a v2 frame: the trace fields were appended
+// at the end of their sections and are only read when the frame says v3.
+TEST(Proto, V2FrameStillDecodes) {
+  const Minion m = SampleMinion();
+  auto bytes = Serialize(m, /*version=*/2);
+  auto back = DeserializeMinion(bytes);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  // Everything v2 carried survives...
+  EXPECT_EQ(back->id, m.id);
+  EXPECT_EQ(back->command.executable, m.command.executable);
+  EXPECT_EQ(back->command.args, m.command.args);
+  EXPECT_EQ(back->response.stdout_data, m.response.stdout_data);
+  EXPECT_DOUBLE_EQ(back->response.energy_joules, m.response.energy_joules);
+  // ...and the v3-only fields come back as their untraced defaults.
+  EXPECT_EQ(back->command.trace_query_id, 0u);
+  EXPECT_EQ(back->command.trace_parent_span, 0u);
+  EXPECT_EQ(back->response.root_span_id, 0u);
+}
+
+// Emitting v2 must produce a byte-identical frame regardless of whether the
+// in-memory minion carries trace fields — they are invisible at v2.
+TEST(Proto, V2EmissionIgnoresTraceFields) {
+  Minion traced = SampleMinion();
+  Minion untraced = SampleMinion();
+  untraced.command.trace_query_id = 0;
+  untraced.command.trace_parent_span = 0;
+  untraced.response.root_span_id = 0;
+  EXPECT_EQ(Serialize(traced, 2), Serialize(untraced, 2));
+  EXPECT_NE(Serialize(traced, 3), Serialize(untraced, 3));
+}
+
+TEST(Proto, UnknownWireVersionRejected) {
+  auto too_new = Serialize(SampleMinion(), kWireVersion + 1);
+  EXPECT_FALSE(DeserializeMinion(too_new).ok());
+  auto too_old = Serialize(SampleMinion(), kMinWireVersion - 1);
+  EXPECT_FALSE(DeserializeMinion(too_old).ok());
 }
 
 TEST(Proto, EmptyMinionRoundTrip) {

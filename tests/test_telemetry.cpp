@@ -18,6 +18,8 @@
 #include "proto/entities.hpp"
 #include "ssd/profiles.hpp"
 #include "ssd/ssd.hpp"
+#include "telemetry/analyze.hpp"
+#include "telemetry/ledger.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 
@@ -74,6 +76,42 @@ TEST(Registry, GaugeAddAccumulates) {
   g.Add(2.0);
   g.Add(-0.5);
   EXPECT_DOUBLE_EQ(g.Value(), 3.0);
+}
+
+// A reader snapshotting while another thread registers probes and tears them
+// down again with UnregisterPrefix (the agent-detach path): no torn reads, no
+// snapshot may ever call a probe whose owner has been unregistered. This is a
+// TSan target of the suite.
+TEST(Registry, SnapshotRacesUnregisterPrefix) {
+  Registry reg;
+  reg.GetCounter("stable.count").Add(1);
+  std::atomic<bool> stop{false};
+  std::thread reader([&reg, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (const MetricValue& m : reg.Snapshot()) {
+        ASSERT_FALSE(m.name.empty());
+      }
+    }
+  });
+  std::thread churner([&reg] {
+    for (int round = 0; round < 500; ++round) {
+      // The probe reads `owner` — valid only until UnregisterPrefix returns,
+      // exactly like an agent's `this`-capturing probes.
+      auto owner = std::make_unique<double>(static_cast<double>(round));
+      double* raw = owner.get();
+      reg.RegisterProbe("churn.value", MetricKind::kGauge, [raw] { return *raw; });
+      reg.GetCounter("churn.count").Add(1);
+      reg.UnregisterPrefix("churn.");
+      owner.reset();
+    }
+  });
+  churner.join();
+  stop.store(true);
+  reader.join();
+  // Only the stable instrument survives the churn.
+  const auto snap = reg.Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].name, "stable.count");
 }
 
 // Concurrent writers against one registry while a reader snapshots: the
@@ -461,6 +499,208 @@ TEST(ClusterTrace, MinionSpansNestInVirtualTime) {
   EXPECT_NE(json.find("\"pid\":0"), std::string::npos);
   EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
   EXPECT_NE(json.find("\"cat\":\"minion\""), std::string::npos);
+}
+
+// --- per-query ledger ---
+
+TEST(QueryLedgerTest, AddMergesRowsAndIgnoresUntagged) {
+  QueryLedger ledger;
+  QueryCost c;
+  c.minions = 1;
+  c.bytes_read = 100;
+  c.compute_s = 0.5;
+  c.energy_j = 2.0;
+  ledger.Add(7, c);
+  ledger.Add(7, c);
+  ledger.Add(9, c);
+  ledger.Add(0, c);  // untagged work is dropped, not a row
+  ASSERT_EQ(ledger.size(), 2u);
+
+  const auto rows = ledger.Snapshot();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].first, 7u);
+  EXPECT_EQ(rows[0].second.minions, 2u);
+  EXPECT_EQ(rows[0].second.bytes_read, 200u);
+  EXPECT_DOUBLE_EQ(rows[0].second.compute_s, 1.0);
+  EXPECT_DOUBLE_EQ(rows[0].second.energy_j, 4.0);
+  EXPECT_EQ(rows[1].first, 9u);
+
+  // Metrics form: counters for counts, gauges for seconds/joules.
+  bool minions = false, energy = false;
+  for (const MetricValue& m : ledger.ToMetrics()) {
+    if (m.name == "query.7.minions") {
+      minions = true;
+      EXPECT_EQ(m.kind, MetricKind::kCounter);
+      EXPECT_DOUBLE_EQ(m.value, 2.0);
+    }
+    if (m.name == "query.9.energy_j") {
+      energy = true;
+      EXPECT_EQ(m.kind, MetricKind::kGauge);
+      EXPECT_DOUBLE_EQ(m.value, 2.0);
+    }
+  }
+  EXPECT_TRUE(minions);
+  EXPECT_TRUE(energy);
+
+  EXPECT_NE(QueryLedgerToJson(rows).find("\"query\": 7"), std::string::npos);
+  ledger.Clear();
+  EXPECT_EQ(ledger.size(), 0u);
+}
+
+TEST(StatsQuery, DroppedSpansExposedInKStats) {
+  OneDevice dev;
+  auto stats = dev.handle.GetStatsSnapshot();
+  ASSERT_TRUE(stats.ok());
+  bool found = false;
+  for (const MetricValue& m : *stats) {
+    if (m.name == "trace.dropped_spans") {
+      found = true;
+      EXPECT_EQ(m.kind, MetricKind::kCounter);
+      EXPECT_DOUBLE_EQ(m.value, static_cast<double>(dev.ssd.trace().dropped()));
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+// --- end-to-end distributed query tracing + attribution ---
+
+// Runs real file-reading work through a 2-device cluster and checks the
+// tentpole invariants: every minion span carries the originating query id,
+// parent links resolve from the host-side root down to a flash-level span,
+// the analyzer's makespan matches the cluster's, and the ledgers agree with
+// the responses' energy accounting.
+TEST(DistributedTrace, QueryIdsPropagateHostToFlash) {
+  TwoDevices t;
+  const std::string text(64 * 1024, 'x');
+  std::vector<client::CompStorHandle*> handles = {&t.h1, &t.h2};
+  for (client::CompStorHandle* h : handles) {
+    ASSERT_TRUE(h->host_fs().Mkdir("/data").ok());
+    ASSERT_TRUE(h->UploadFile("/data/book.txt", text + "\nneedle here\n").ok());
+  }
+  // Drain the write caches so the greps below must read the NAND itself —
+  // the flash spans the trace has to attribute.
+  ASSERT_TRUE(t.ssd1.ftl().Flush().ok());
+  ASSERT_TRUE(t.ssd2.ftl().Flush().ok());
+
+  proto::Command cmd;
+  cmd.type = proto::CommandType::kExecutable;
+  cmd.executable = "grep";
+  cmd.args = {"-c", "needle", "/data/book.txt"};
+  cmd.input_files = {"/data/book.txt"};
+  std::vector<client::Cluster::WorkItem> work = {{0, cmd}, {1, cmd}};
+  auto results = t.cluster.RunAll(work);
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+
+  // The wire round-trips the trace identity: each work item got a distinct
+  // query id, and the device reported its run span back.
+  ASSERT_EQ(results->size(), 2u);
+  for (const proto::Minion& m : *results) {
+    EXPECT_NE(m.command.trace_query_id, 0u);
+    EXPECT_NE(m.command.trace_parent_span, 0u);
+    EXPECT_NE(m.response.root_span_id, 0u);
+  }
+  EXPECT_NE((*results)[0].command.trace_query_id,
+            (*results)[1].command.trace_query_id);
+
+  const auto per_device = t.cluster.CollectTraces();
+  ASSERT_EQ(per_device.size(), 2u);
+
+  // Every minion-category span is tagged with a query id.
+  std::map<std::uint64_t, const TraceEvent*> span_index;
+  std::size_t flash_tagged = 0;
+  for (const auto& events : per_device) {
+    for (const TraceEvent& e : events) {
+      if (e.category == "minion") {
+        EXPECT_TRUE(e.ctx.traced()) << e.name << " span lost its query id";
+      }
+      if (e.ctx.span_id != 0) span_index[e.ctx.span_id] = &e;
+      if (e.category == "flash" && e.ctx.traced()) ++flash_tagged;
+    }
+  }
+  ASSERT_GT(flash_tagged, 0u) << "no flash span carries a query id";
+
+  // Walk a tagged flash span's parent chain: it must terminate at the
+  // client-allocated root span (parent 0) of the same query.
+  for (const auto& events : per_device) {
+    for (const TraceEvent& e : events) {
+      if (e.category != "flash" || !e.ctx.traced()) continue;
+      const TraceEvent* node = &e;
+      int hops = 0;
+      while (node->ctx.parent_span != 0 && hops < 32) {
+        auto it = span_index.find(node->ctx.parent_span);
+        ASSERT_NE(it, span_index.end())
+            << "unresolved parent " << node->ctx.parent_span << " under query "
+            << node->ctx.query_id;
+        EXPECT_EQ(it->second->ctx.query_id, node->ctx.query_id);
+        node = it->second;
+        ++hops;
+      }
+      EXPECT_EQ(node->ctx.parent_span, 0u);
+      EXPECT_GE(hops, 3) << "flash span should nest several layers deep";
+    }
+  }
+
+  // Analyzer: one reconstructed query per work item, fully resolved, with a
+  // non-empty critical path and a makespan equal to the cluster's.
+  const ClusterTraceReport report = AnalyzeDeviceTraces(per_device);
+  ASSERT_EQ(report.queries.size(), 2u);
+  EXPECT_EQ(report.unresolved_parents, 0u);
+  for (const QueryTrace& q : report.queries) {
+    EXPECT_FALSE(q.critical_path.empty());
+    EXPECT_GT(q.end_to_end_s, 0.0);
+    const double bucket_sum = q.host_wire_s + q.dispatch_s + q.compute_s +
+                              q.io_s + q.flash_s + q.respond_s;
+    // The self-time split accounts for the whole critical path.
+    EXPECT_GT(bucket_sum, 0.0);
+  }
+  EXPECT_NEAR(report.makespan_s, client::Cluster::Makespan(*results), 1e-6);
+
+  // The JSON round trip (what tools/trace_analyze consumes) preserves the
+  // analysis: same queries, same resolution, same makespan.
+  const ClusterTraceReport reparsed =
+      AnalyzeTrace(ParseChromeTraceJson(MergeChromeTraceJson(per_device)));
+  EXPECT_EQ(reparsed.queries.size(), report.queries.size());
+  EXPECT_EQ(reparsed.tagged_events, report.tagged_events);
+  EXPECT_EQ(reparsed.unresolved_parents, 0u);
+  EXPECT_NEAR(reparsed.makespan_s, report.makespan_s, 1e-9);
+
+  // Ledgers: the devices' task-energy rows must sum to exactly what the
+  // responses reported, and the host's own ledger must agree.
+  double device_energy = 0, device_flash_energy = 0;
+  std::uint64_t device_minions = 0, device_flash_reads = 0;
+  for (ssd::Ssd* ssd : {&t.ssd1, &t.ssd2}) {
+    for (const auto& [id, cost] : ssd->query_ledger().Snapshot()) {
+      device_energy += cost.energy_j;
+      device_flash_energy += cost.flash_energy_j;
+      device_minions += cost.minions;
+      device_flash_reads += cost.flash_reads;
+    }
+  }
+  double response_energy = 0;
+  for (const proto::Minion& m : *results) response_energy += m.response.energy_joules;
+  EXPECT_EQ(device_minions, 2u);
+  EXPECT_GT(device_flash_reads, 0u);
+  EXPECT_GT(device_flash_energy, 0.0);
+  EXPECT_NEAR(device_energy, response_energy, 1e-9);
+
+  double host_energy = 0;
+  for (const auto& [id, cost] : t.cluster.query_ledger().Snapshot()) {
+    EXPECT_EQ(cost.minions, 1u);
+    host_energy += cost.energy_j;
+  }
+  EXPECT_EQ(t.cluster.query_ledger().size(), 2u);
+  EXPECT_NEAR(host_energy, response_energy, 1e-9);
+
+  // CollectStats carries both views: per-device "dev<i>.query.*" rows and
+  // the host's "cluster.query.*" rows.
+  bool dev_row = false, host_row = false;
+  for (const MetricValue& m : t.cluster.CollectStats()) {
+    dev_row |= m.name.find("query.") != std::string::npos &&
+               m.name.rfind("dev", 0) == 0;
+    host_row |= m.name.rfind("cluster.query.", 0) == 0;
+  }
+  EXPECT_TRUE(dev_row);
+  EXPECT_TRUE(host_row);
 }
 
 }  // namespace

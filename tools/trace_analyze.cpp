@@ -1,0 +1,101 @@
+// trace_analyze: offline critical-path analyzer for stitched CompStor
+// cluster traces.
+//
+// Reads a merged Chrome trace_event JSON (as written by
+// telemetry::MergeChromeTraceJson — e.g. `distributed_search --trace run.json`
+// or Cluster::StitchedTraceJson), rebuilds each query's span tree from the
+// propagated trace contexts (args.query/span/parent), and reports per query:
+// the end-to-end time, the critical path through the cluster, and self-time
+// split into host+wire / dispatch / compute / io / flash / respond buckets.
+//
+// Usage:
+//   trace_analyze <trace.json>            human-readable report to stdout
+//   trace_analyze --json <trace.json>     machine-readable report (CI artifact)
+//   trace_analyze --check <trace.json>    exit non-zero unless every query has
+//                                         a non-empty critical path and zero
+//                                         unresolved parent links (CI smoke)
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "telemetry/analyze.hpp"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr, "usage: %s [--json|--check] <trace.json>\n", argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool as_json = false;
+  bool check = false;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      as_json = true;
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else if (path == nullptr) {
+      path = argv[i];
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (path == nullptr) return Usage(argv[0]);
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "trace_analyze: cannot open %s\n", path);
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  using namespace compstor::telemetry;
+  const std::vector<StitchedEvent> events = ParseChromeTraceJson(buf.str());
+  const ClusterTraceReport report = AnalyzeTrace(events);
+
+  if (check) {
+    // CI smoke: the trace must contain tagged work, every query's parent
+    // links must resolve, and every query must yield a critical path.
+    if (report.tagged_events == 0) {
+      std::fprintf(stderr, "trace_analyze: no tagged spans in %s\n", path);
+      return 1;
+    }
+    if (report.queries.empty()) {
+      std::fprintf(stderr, "trace_analyze: no queries reconstructed\n");
+      return 1;
+    }
+    int rc = 0;
+    for (const QueryTrace& q : report.queries) {
+      if (q.critical_path.empty()) {
+        std::fprintf(stderr, "trace_analyze: query %llu has no critical path\n",
+                     static_cast<unsigned long long>(q.query_id));
+        rc = 1;
+      }
+      if (q.unresolved_parents != 0) {
+        std::fprintf(stderr,
+                     "trace_analyze: query %llu has %zu unresolved parents\n",
+                     static_cast<unsigned long long>(q.query_id),
+                     q.unresolved_parents);
+        rc = 1;
+      }
+    }
+    if (rc == 0) {
+      std::printf("trace_analyze: OK (%zu queries, %zu tagged spans, "
+                  "makespan %.6f s)\n",
+                  report.queries.size(), report.tagged_events,
+                  report.makespan_s);
+    }
+    return rc;
+  }
+
+  const std::string out = as_json ? ReportToJson(report) : ReportToText(report);
+  std::fputs(out.c_str(), stdout);
+  return 0;
+}
