@@ -266,7 +266,18 @@ Result<std::vector<proto::Minion>> Cluster::RunAll(const std::vector<WorkItem>& 
         continue;
       }
       RecordFailure(f.device);
-      if (!IsRetriable(st.code())) {
+      const bool corrupted = st.code() == StatusCode::kDataCorruption;
+      if (corrupted) {
+        // Detected-corruption accounting: the query's ledger row records
+        // that a device returned a checksum-failed extent instead of data.
+        telemetry::QueryCost cost;
+        cost.data_corruption = 1;
+        query_ledger_.Add(commands[f.item].trace_query_id, cost);
+      }
+      // Corruption is permanent on the device that served it, but a cluster
+      // with replicas can re-dispatch the item to a device holding a healthy
+      // copy; single-device deployments surface it to the caller.
+      if (!IsRetriable(st.code()) && !(corrupted && devices_.size() > 1)) {
         return st;  // permanent failure: re-dispatching cannot help
       }
       redispatches_++;

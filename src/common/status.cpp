@@ -18,6 +18,7 @@ std::string_view StatusCodeName(StatusCode code) {
     case StatusCode::kInternal: return "INTERNAL";
     case StatusCode::kAborted: return "ABORTED";
     case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
+    case StatusCode::kDataCorruption: return "DATA_CORRUPTION";
   }
   return "UNKNOWN";
 }

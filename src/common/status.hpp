@@ -28,6 +28,8 @@ enum class StatusCode {
   kInternal,
   kAborted,         // task killed / command aborted
   kUnimplemented,
+  // Appended (wire format carries the integer value; never reorder).
+  kDataCorruption,  // end-to-end checksum mismatch: stored data is wrong
 };
 
 /// Human-readable name for a status code ("OK", "DATA_LOSS", ...).
@@ -113,6 +115,9 @@ inline Status Aborted(std::string msg) {
 }
 inline Status Unimplemented(std::string msg) {
   return {StatusCode::kUnimplemented, std::move(msg)};
+}
+inline Status DataCorruption(std::string msg) {
+  return {StatusCode::kDataCorruption, std::move(msg)};
 }
 
 /// Minimal expected<T, Status>. Holds either a value or a non-OK Status.

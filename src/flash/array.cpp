@@ -36,7 +36,29 @@ units::Seconds Array::ChargeChannel(std::uint32_t channel, std::size_t bytes) {
   return t;
 }
 
+bool Array::Halted() const {
+  sim::FaultInjector* f = fault_.load(std::memory_order_acquire);
+  return f != nullptr && f->flash_halted();
+}
+
+bool Array::HaltMutation() {
+  sim::FaultInjector* f = fault_.load(std::memory_order_acquire);
+  if (f == nullptr) return false;
+  // Virtual time for time-windowed rules: the busiest die's clock is the
+  // array's notion of "now" (same axis Stats() reports).
+  units::Seconds now = 0;
+  for (const auto& die : dies_) now = std::max(now, die->clock().Now());
+  return f->OnFlashMutation(now);
+}
+
+Status Array::CorruptStoredPage(Ppn ppn, std::span<const std::uint32_t> bit_indices) {
+  auto ref = Route(ppn);
+  if (!ref.ok()) return ref.status();
+  return ref->die->CorruptStoredPage(ref->block, ref->page, bit_indices);
+}
+
 OpResult Array::ReadPage(Ppn ppn, std::span<std::uint8_t> out) {
+  if (Halted()) return {Unavailable("power cut: device halted"), 0};
   auto ref = Route(ppn);
   if (!ref.ok()) return {ref.status(), 0};
   OpResult r = ref->die->ReadPage(ref->block, ref->page, out);
@@ -47,6 +69,7 @@ OpResult Array::ReadPage(Ppn ppn, std::span<std::uint8_t> out) {
 }
 
 OpResult Array::ProgramPage(Ppn ppn, std::span<const std::uint8_t> data) {
+  if (HaltMutation()) return {Unavailable("power cut: device halted"), 0};
   auto ref = Route(ppn);
   if (!ref.ok()) return {ref.status(), 0};
   // Transfer precedes the program pulse on real NAND; latency order is
@@ -60,6 +83,7 @@ OpResult Array::ProgramPage(Ppn ppn, std::span<const std::uint8_t> data) {
 }
 
 OpResult Array::EraseBlock(Pbn pbn) {
+  if (HaltMutation()) return {Unavailable("power cut: device halted"), 0};
   if (pbn >= geometry_.total_blocks()) {
     return {OutOfRange("pbn out of range"), 0};
   }

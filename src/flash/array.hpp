@@ -7,6 +7,7 @@
 // the aggregate media bandwidth that motivates the paper's Fig 1.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -16,6 +17,7 @@
 #include "common/status.hpp"
 #include "flash/chip.hpp"
 #include "flash/geometry.hpp"
+#include "sim/fault.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace compstor::flash {
@@ -46,6 +48,21 @@ class Array {
 
   /// Erases the block containing `pbn`.
   OpResult EraseBlock(Pbn pbn);
+
+  /// Fault hook: persistently flips the given bit indices of the stored page
+  /// at `ppn` (see Die::CorruptStoredPage). Two flips in one 64-bit data
+  /// word exceed SECDED and make the page uncorrectable; one flip is
+  /// correctable and exercises the repair/refresh path.
+  Status CorruptStoredPage(Ppn ppn, std::span<const std::uint32_t> bit_indices);
+
+  /// Attaches (or detaches, with nullptr) a fault injector consulted once
+  /// per media mutation (program/erase) for kPowerCut rules. A fired cut
+  /// halts the array *before* the triggering op touches flash, so exactly
+  /// N-1 mutations land when the rule targets op N; while halted, every
+  /// operation (reads included) fails kUnavailable until RestorePower().
+  void SetFaultInjector(sim::FaultInjector* injector) {
+    fault_.store(injector, std::memory_order_release);
+  }
 
   std::uint32_t EraseCount(Pbn pbn) const;
 
@@ -82,9 +99,14 @@ class Array {
   };
   Result<DieRef> Route(Ppn ppn);
   units::Seconds ChargeChannel(std::uint32_t channel, std::size_t bytes);
+  /// True when the injector reports the device unpowered (read paths).
+  bool Halted() const;
+  /// Counts one mutation against the injector; true when power is (now) out.
+  bool HaltMutation();
 
   const Geometry geometry_;
   const Timing timing_;
+  std::atomic<sim::FaultInjector*> fault_{nullptr};
   std::vector<std::unique_ptr<Die>> dies_;
   std::vector<std::unique_ptr<BusyMeter>> channel_busy_;
   // Owned by the device registry; null until RegisterMetrics.

@@ -123,12 +123,31 @@ std::uint32_t Die::EraseCount(std::uint32_t block) const {
   return blocks_[block].erase_count;
 }
 
+Status Die::CorruptStoredPage(std::uint32_t block, std::uint32_t page,
+                              std::span<const std::uint32_t> bit_indices) {
+  if (block >= blocks_.size() || page >= geometry_.pages_per_block) {
+    return OutOfRange("flash corrupt: bad address");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  Block& blk = blocks_[block];
+  if (blk.data.empty() || !blk.programmed[page]) {
+    return FailedPrecondition("flash corrupt: page not programmed");
+  }
+  std::uint8_t* bytes = blk.data.data() + static_cast<std::size_t>(page) * PageBytes();
+  for (std::uint32_t bit : bit_indices) {
+    if (bit / 8 >= PageBytes()) return OutOfRange("flash corrupt: bit out of page");
+    bytes[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+  }
+  return OkStatus();
+}
+
 void Die::MaybeInjectErrors(Block& blk, std::span<std::uint8_t> page_bytes) {
   if (!reliability_.inject_errors) return;
   // Per-64-bit-word raw bit error probability rises linearly with wear.
   const double wear = std::min<double>(blk.erase_count, reliability_.rated_erase_cycles) /
                       static_cast<double>(reliability_.rated_erase_cycles);
   const double p = reliability_.base_word_error_rate + wear * reliability_.wear_word_error_rate;
+  if (p <= 0) return;  // the geometric-skip sampler divides by p
   const std::size_t words = page_bytes.size() / 8;
   // Expected flips per page is small (p * words << 1); sample a binomial via
   // geometric skips to keep the common case cheap.

@@ -45,6 +45,14 @@ class Die {
   /// Erases a whole block, incrementing its wear counter.
   OpResult EraseBlock(std::uint32_t block);
 
+  /// Fault hook (tests, torture harnesses): flips the given absolute bit
+  /// indices of the stored page bytes in place — persistent damage that
+  /// every subsequent read sees, emulating retention loss or a write error.
+  /// Unlike the read-path reliability injector, retries do not heal this.
+  /// Fails kFailedPrecondition if the page was never programmed.
+  Status CorruptStoredPage(std::uint32_t block, std::uint32_t page,
+                           std::span<const std::uint32_t> bit_indices);
+
   std::uint32_t EraseCount(std::uint32_t block) const;
 
   /// True once a program/erase failure has permanently retired the block.

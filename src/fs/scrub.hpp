@@ -1,0 +1,74 @@
+// Background scrubber: walks the filesystem's allocated blocks, refreshes
+// them through the device's media-scrub verb, and audits extent checksums.
+//
+// Each pass has two stages:
+//   1. media stage — every bitmap-allocated block is pushed through
+//      BlockDevice::Scrub (FTL read + ECC decode + rewrite-if-correctable);
+//      a block the codec cannot repair comes back kDataLoss, its mapping is
+//      dropped and the flash block retires through the FTL's deferred
+//      bad-block machinery.
+//   2. verify stage — every live inode's extents (payload and pointer
+//      blocks) are re-read through the filesystem's checksummed read path,
+//      so bit rot the page codec missed still surfaces as kDataCorruption
+//      before any query consumes it.
+//
+// The scrubber never holds the filesystem lock across device IO in the media
+// stage, and the verify stage takes it one block at a time — foreground
+// reads and in-situ tasks keep running while a pass is in flight.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/status.hpp"
+#include "fs/filesystem.hpp"
+#include "ssd/block_device.hpp"
+#include "telemetry/trace.hpp"
+
+namespace compstor::fs {
+
+/// Cumulative scrubber counters (monotonic across passes; readable without
+/// the filesystem lock — the `scrub.*` kStats probes sample these).
+struct ScrubStats {
+  std::uint64_t passes = 0;
+  std::uint64_t media_blocks = 0;      // blocks pushed through media refresh
+  std::uint64_t media_retired = 0;     // uncorrectable: mapping dropped, block retired
+  std::uint64_t verify_blocks = 0;     // extents re-read through checksum verify
+  std::uint64_t verify_failures = 0;   // checksum mismatches found
+};
+
+class Scrubber {
+ public:
+  /// `dev` must be the same device view `fs` is mounted on (the internal
+  /// view — only it implements the media-scrub verb).
+  Scrubber(Filesystem* fs, ssd::BlockDevice* dev);
+
+  /// Optional tracing: a pass records one "scrub"/"pass" span stamped from
+  /// `now_s` (virtual seconds) on the given ring.
+  void AttachTrace(telemetry::TraceRing* trace, std::function<double()> now_s);
+
+  /// One full pass (media stage, then verify stage). Returns kDataCorruption
+  /// if the verify stage found mismatched extents (their count lands in
+  /// stats); transport errors (device unavailable) abort the pass and
+  /// propagate. Uncorrectable-but-retired media blocks do NOT fail the pass:
+  /// the damage is contained and counted in `media_retired`.
+  Status RunPass();
+
+  ScrubStats Stats() const;
+
+ private:
+  Filesystem* fs_;
+  ssd::BlockDevice* dev_;
+  telemetry::TraceRing* trace_ = nullptr;
+  std::function<double()> now_s_;
+
+  std::atomic<std::uint64_t> passes_{0};
+  std::atomic<std::uint64_t> media_blocks_{0};
+  std::atomic<std::uint64_t> media_retired_{0};
+  std::atomic<std::uint64_t> verify_blocks_{0};
+  std::atomic<std::uint64_t> verify_failures_{0};
+};
+
+}  // namespace compstor::fs

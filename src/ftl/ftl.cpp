@@ -96,7 +96,8 @@ Status Ftl::ReadPage(std::uint64_t lpn, std::span<std::uint8_t> out, IoCost* cos
   return OkStatus();
 }
 
-Status Ftl::ReadAndDecode(flash::Ppn ppn, std::span<std::uint8_t> page_buf, IoCost* cost) {
+Status Ftl::ReadAndDecode(flash::Ppn ppn, std::span<std::uint8_t> page_buf, IoCost* cost,
+                          std::uint32_t* corrected_words) {
   const flash::Geometry& g = array_->geometry();
   // Read retry: raw NAND bit errors are partly transient (read noise), so
   // controllers re-read before declaring a page lost.
@@ -117,6 +118,7 @@ Status Ftl::ReadAndDecode(flash::Ppn ppn, std::span<std::uint8_t> page_buf, IoCo
     if (decoded.ok()) {
       counters_.ecc_corrected_words.fetch_add(decoded->corrected_words,
                                               std::memory_order_relaxed);
+      if (corrected_words != nullptr) *corrected_words = decoded->corrected_words;
       return OkStatus();
     }
     // kNotFound (corrupted magic) is retried too: the FTL only reads pages
@@ -603,6 +605,66 @@ Status Ftl::Flush(IoCost* cost) {
   return EvictWithGcRetry(0, cost);
 }
 
+Status Ftl::ScrubPage(std::uint64_t lpn, IoCost* cost) {
+  if (cost == nullptr) cost = &g_null_cost;
+  if (lpn >= user_pages_) return OutOfRange("ftl scrub: lpn out of range");
+
+  MapShard& shard = ShardOf(lpn);
+  ContendedLock lock(shard.mutex, counters_.shard_lock_contended);
+  // A cached page's authoritative copy lives in controller DRAM — the stale
+  // media copy gets overwritten at eviction, so there is nothing to refresh.
+  if (shard.cache_index.find(lpn) != shard.cache_index.end()) return OkStatus();
+  const flash::Ppn ppn = l2p_[lpn].load(std::memory_order_relaxed);
+  if (ppn == flash::kInvalidPpn) return OkStatus();
+  counters_.scrubbed_pages.fetch_add(1, std::memory_order_relaxed);
+
+  std::vector<std::uint8_t> page(array_->page_total_bytes());
+  std::uint32_t corrected = 0;
+  Status st = ReadAndDecode(ppn, page, cost, &corrected);
+  if (st.ok()) {
+    if (corrected == 0) return OkStatus();  // pristine; leave it in place
+    // The codec had to work: raw flips are accumulating on this page. Rewrite
+    // it somewhere fresh before they cross the correction horizon.
+    counters_.scrub_refreshed.fetch_add(1, std::memory_order_relaxed);
+    auto data = std::span<const std::uint8_t>(page.data(),
+                                              array_->geometry().page_data_bytes);
+    return ProgramShardLocked(lpn, data, cost);
+  }
+  if (st.code() != StatusCode::kDataLoss && st.code() != StatusCode::kNotFound) {
+    return st;  // transport-level failure (e.g. power cut), not a media verdict
+  }
+
+  // Uncorrectable after retries: the logical content is gone. Unmap it FIRST
+  // (retirement relocates only still-valid pages — a mapped uncorrectable
+  // page would wedge the retirement queue on its own read error), then retire
+  // the block when it is closed. An active frontier block is skipped: pulling
+  // a die's live frontier into the retirement path would recycle a block the
+  // die still appends to; a later scrub pass retires it once closed.
+  counters_.scrub_uncorrectable.fetch_add(1, std::memory_order_relaxed);
+  l2p_[lpn].store(flash::kInvalidPpn, std::memory_order_release);
+  InvalidatePpn(ppn);
+  const flash::Pbn pbn = flash::BlockOfPpn(array_->geometry(), ppn);
+  BlockInfo& info = blocks_[pbn];
+  BlockState expected = BlockState::kClosed;
+  if (info.state.compare_exchange_strong(expected, BlockState::kBad,
+                                         std::memory_order_acq_rel)) {
+    counters_.grown_bad_blocks.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> retire_lock(retire_mutex_);
+      pending_retire_.push_back(pbn);
+    }
+    pending_retire_count_.fetch_add(1, std::memory_order_release);
+  }
+  return DataLoss("scrub: lpn " + std::to_string(lpn) + " uncorrectable, unmapped");
+}
+
+Result<flash::Ppn> Ftl::LookupPpn(std::uint64_t lpn) const {
+  if (lpn >= user_pages_) return OutOfRange("ftl lookup: lpn out of range");
+  const flash::Ppn ppn = l2p_[lpn].load(std::memory_order_acquire);
+  if (ppn == flash::kInvalidPpn) return NotFound("ftl lookup: lpn unmapped");
+  return ppn;
+}
+
 Status Ftl::Trim(std::uint64_t lpn, std::uint64_t count, IoCost* cost) {
   if (cost == nullptr) cost = &g_null_cost;
   if (lpn + count > user_pages_ || lpn + count < lpn) {
@@ -656,6 +718,9 @@ FtlStats Ftl::Stats() const {
   s.cache_write_hits = load(counters_.cache_write_hits);
   s.cache_read_hits = load(counters_.cache_read_hits);
   s.cache_flushes = load(counters_.cache_flushes);
+  s.scrubbed_pages = load(counters_.scrubbed_pages);
+  s.scrub_refreshed = load(counters_.scrub_refreshed);
+  s.scrub_uncorrectable = load(counters_.scrub_uncorrectable);
   s.shard_lock_contended = load(counters_.shard_lock_contended);
   s.die_lock_contended = load(counters_.die_lock_contended);
   s.maintenance_lock_contended = load(counters_.maintenance_lock_contended);
@@ -698,6 +763,9 @@ void Ftl::RegisterMetrics(telemetry::Registry* registry) {
   probe("ftl.cache.write_hits", counters_.cache_write_hits);
   probe("ftl.cache.read_hits", counters_.cache_read_hits);
   probe("ftl.cache.flushes", counters_.cache_flushes);
+  probe("ftl.scrub.pages", counters_.scrubbed_pages);
+  probe("ftl.scrub.refreshed", counters_.scrub_refreshed);
+  probe("ftl.scrub.uncorrectable", counters_.scrub_uncorrectable);
   probe("ftl.lock.shard_contended", counters_.shard_lock_contended);
   probe("ftl.lock.die_contended", counters_.die_lock_contended);
   probe("ftl.lock.maintenance_contended", counters_.maintenance_lock_contended);

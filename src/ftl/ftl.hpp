@@ -85,6 +85,9 @@ struct FtlStats {
   std::uint64_t cache_write_hits = 0;   // writes absorbed by the buffer
   std::uint64_t cache_read_hits = 0;    // reads served from the buffer
   std::uint64_t cache_flushes = 0;      // buffered pages written to NAND
+  std::uint64_t scrubbed_pages = 0;     // ScrubPage calls that reached media
+  std::uint64_t scrub_refreshed = 0;    // pages rewritten after correction
+  std::uint64_t scrub_uncorrectable = 0;  // pages lost to uncorrectable errors
   // Lock-contention counts: acquisitions that found the lock already held
   // (try_lock failed and the caller blocked). The honest "how parallel is the
   // back-end really" signal for the multi-queue experiments.
@@ -127,6 +130,21 @@ class Ftl {
 
   /// Drains the write cache to NAND (NVMe Flush).
   Status Flush(IoCost* cost = nullptr);
+
+  /// Media refresh of one logical page (the device-side scrub verb): reads
+  /// the backing flash page through ECC and rewrites it to a fresh location
+  /// when the codec had to correct raw bit errors, so accumulating flips
+  /// never cross the correction horizon. An uncorrectable page is unmapped
+  /// (subsequent reads return zeros — the logical content is gone) and its
+  /// block queued for retirement; returns kDataLoss so the caller can report
+  /// the loss. Unmapped/cached pages are trivially ok.
+  Status ScrubPage(std::uint64_t lpn, IoCost* cost = nullptr);
+
+  /// Current physical location of `lpn` (kNotFound if unmapped). For fault
+  /// harnesses that damage specific media pages and for layout diagnostics;
+  /// the mapping can move underneath the caller (GC, scrub refresh), so
+  /// treat the answer as a point-in-time snapshot.
+  Result<flash::Ppn> LookupPpn(std::uint64_t lpn) const;
 
   FtlStats Stats() const;
 
@@ -178,7 +196,10 @@ class Ftl {
   /// Reads + ECC-decodes a physical page with read-retry (transient raw bit
   /// errors re-sample on every array read, as on real NAND). The caller must
   /// hold the shard lock of the mapping that points at `ppn`, which pins it.
-  Status ReadAndDecode(flash::Ppn ppn, std::span<std::uint8_t> page_buf, IoCost* cost);
+  /// `corrected_words` (optional) receives the corrections of the winning
+  /// attempt, so the scrubber can tell a clean page from a decaying one.
+  Status ReadAndDecode(flash::Ppn ppn, std::span<std::uint8_t> page_buf, IoCost* cost,
+                       std::uint32_t* corrected_words = nullptr);
 
   /// Encodes and programs `data` for `lpn` on some die's write frontier,
   /// then flips the mapping. Caller holds the shard lock of `lpn`.
@@ -273,6 +294,9 @@ class Ftl {
     std::atomic<std::uint64_t> cache_write_hits{0};
     std::atomic<std::uint64_t> cache_read_hits{0};
     std::atomic<std::uint64_t> cache_flushes{0};
+    std::atomic<std::uint64_t> scrubbed_pages{0};
+    std::atomic<std::uint64_t> scrub_refreshed{0};
+    std::atomic<std::uint64_t> scrub_uncorrectable{0};
     std::atomic<std::uint64_t> shard_lock_contended{0};
     std::atomic<std::uint64_t> die_lock_contended{0};
     std::atomic<std::uint64_t> maintenance_lock_contended{0};

@@ -10,7 +10,9 @@ Agent::Agent(ssd::Ssd* ssd, const ThermalModel& thermal)
     : ssd_(ssd), thermal_(thermal) {
   registry_ = apps::Registry::WithBuiltins();
   fs_ = std::make_unique<fs::Filesystem>(&ssd->internal_block_device(), ssd->fs_mutex());
+  scrubber_ = std::make_unique<fs::Scrubber>(fs_.get(), &ssd->internal_block_device());
   cores_ = std::make_unique<CoreEmulator>(IspsCpuProfile(), &ssd->meter());
+  scrubber_->AttachTrace(&ssd->trace(), [this] { return cores_->Makespan(); });
   runtime_ = std::make_unique<TaskRuntime>(cores_.get(), fs_.get(), registry_.get(),
                                            /*internal_path=*/true);
   runtime_->AttachTelemetry(&ssd->telemetry(), &ssd->trace(), "isps",
@@ -32,6 +34,30 @@ Agent::Agent(ssd::Ssd* ssd, const ThermalModel& thermal)
                             return cores_->CoreBusySeconds(c) * 1e9;
                           });
   }
+  // Integrity telemetry: scrubber progress and the filesystem's journal /
+  // checksum counters, sampled live by the kStats query.
+  metrics.RegisterProbe("scrub.passes", telemetry::MetricKind::kCounter,
+                        [this] { return static_cast<double>(scrubber_->Stats().passes); });
+  metrics.RegisterProbe("scrub.media_blocks", telemetry::MetricKind::kCounter,
+                        [this] { return static_cast<double>(scrubber_->Stats().media_blocks); });
+  metrics.RegisterProbe("scrub.media_retired", telemetry::MetricKind::kCounter,
+                        [this] { return static_cast<double>(scrubber_->Stats().media_retired); });
+  metrics.RegisterProbe("scrub.verify_blocks", telemetry::MetricKind::kCounter,
+                        [this] { return static_cast<double>(scrubber_->Stats().verify_blocks); });
+  metrics.RegisterProbe("scrub.verify_failures", telemetry::MetricKind::kCounter,
+                        [this] { return static_cast<double>(scrubber_->Stats().verify_failures); });
+  metrics.RegisterProbe("journal.commits", telemetry::MetricKind::kCounter,
+                        [this] { return static_cast<double>(fs_->IntegrityCounts().journal_commits); });
+  metrics.RegisterProbe("journal.replays", telemetry::MetricKind::kCounter,
+                        [this] { return static_cast<double>(fs_->IntegrityCounts().journal_replays); });
+  metrics.RegisterProbe("journal.replayed_blocks", telemetry::MetricKind::kCounter,
+                        [this] { return static_cast<double>(fs_->IntegrityCounts().journal_replayed_blocks); });
+  metrics.RegisterProbe("journal.txn_aborts", telemetry::MetricKind::kCounter,
+                        [this] { return static_cast<double>(fs_->IntegrityCounts().txn_aborts); });
+  metrics.RegisterProbe("journal.cksum_checks", telemetry::MetricKind::kCounter,
+                        [this] { return static_cast<double>(fs_->IntegrityCounts().cksum_checks); });
+  metrics.RegisterProbe("journal.cksum_failures", telemetry::MetricKind::kCounter,
+                        [this] { return static_cast<double>(fs_->IntegrityCounts().cksum_failures); });
   ssd_->controller().SetVendorHandler(
       [this](const nvme::Command& cmd, nvme::Controller::CompletionSink done) {
         HandleVendor(cmd, std::move(done));
@@ -43,9 +69,11 @@ Agent::~Agent() {
   // minions arrive mid-destruction, then drain the cores.
   ssd_->controller().SetVendorHandler(nullptr);
   cores_->Shutdown();
-  // The device registry outlives this agent; its `isps.*` probes capture
-  // `this` and must go with it.
+  // The device registry outlives this agent; its `isps.*` / `scrub.*` /
+  // `journal.*` probes capture `this` and must go with it.
   ssd_->telemetry().UnregisterPrefix("isps.");
+  ssd_->telemetry().UnregisterPrefix("scrub.");
+  ssd_->telemetry().UnregisterPrefix("journal.");
 }
 
 double Agent::TemperatureC() const {

@@ -15,6 +15,7 @@
 
 #include "apps/registry.hpp"
 #include "fs/filesystem.hpp"
+#include "fs/scrub.hpp"
 #include "isps/cores.hpp"
 #include "isps/profile.hpp"
 #include "isps/task_runtime.hpp"
@@ -38,6 +39,12 @@ class Agent {
   TaskRuntime& runtime() { return *runtime_; }
   apps::Registry& registry() { return *registry_; }
   fs::Filesystem& filesystem() { return *fs_; }
+  fs::Scrubber& scrubber() { return *scrubber_; }
+
+  /// Runs one background-scrub pass (media refresh + checksum audit) on the
+  /// agent's maintenance path. Cumulative results land in the `scrub.*`
+  /// kStats probes; see Scrubber::RunPass for the return contract.
+  Status RunScrubPass() { return scrubber_->RunPass(); }
 
   /// Handled minion/query counters (for tests and stats).
   std::uint64_t minions_handled() const { return minions_.load(std::memory_order_relaxed); }
@@ -58,6 +65,7 @@ class Agent {
   ThermalModel thermal_;
   std::unique_ptr<apps::Registry> registry_;
   std::unique_ptr<fs::Filesystem> fs_;
+  std::unique_ptr<fs::Scrubber> scrubber_;
   std::unique_ptr<CoreEmulator> cores_;
   std::unique_ptr<TaskRuntime> runtime_;
   std::atomic<std::uint64_t> minions_{0};

@@ -27,6 +27,7 @@ enum class Opcode : std::uint8_t {
   // Vendor-specific: the CompStor in-situ protocol.
   kInSituMinion = 0xC0,  // payload: serialized Minion; completion: Response
   kInSituQuery = 0xC1,   // payload: serialized Query; completion: answer
+  kScrub = 0xC2,         // media-refresh one LPN (slba); internal ring only
 };
 
 struct Completion;

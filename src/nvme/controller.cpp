@@ -19,6 +19,7 @@ const char* OpcodeName(Opcode op) {
     case Opcode::kFormatNvm: return "format";
     case Opcode::kInSituMinion: return "minion";
     case Opcode::kInSituQuery: return "query";
+    case Opcode::kScrub: return "scrub";
   }
   return "unknown";
 }
@@ -365,6 +366,15 @@ bool Controller::Execute(Command& cmd, Completion* out, ExecCost* cost) {
       // Drain the fast-release write buffer to NAND.
       out->cid = cmd.cid;
       out->status = ftl_->Flush(&cost->flash);
+      out->latency = kCommandOverhead + cost->flash.latency;
+      ChargeFlashEnergy(meter_, flash_power_, cost->flash, 0);
+      return true;
+    }
+    case Opcode::kScrub: {
+      // Media refresh of one LPN: read through ECC, rewrite if the codec had
+      // to correct anything, retire the block if it could not.
+      out->cid = cmd.cid;
+      out->status = ftl_->ScrubPage(cmd.slba, &cost->flash);
       out->latency = kCommandOverhead + cost->flash.latency;
       ChargeFlashEnergy(meter_, flash_power_, cost->flash, 0);
       return true;

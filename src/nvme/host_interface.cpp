@@ -135,6 +135,12 @@ Completion HostInterface::TrimSync(std::uint64_t slba, std::uint32_t nlb) {
   return Submit(std::move(cmd)).get();
 }
 
+Completion HostInterface::FlushSync() {
+  Command cmd;
+  cmd.opcode = Opcode::kFlush;
+  return Submit(std::move(cmd)).get();
+}
+
 Completion HostInterface::VendorSync(Opcode opcode, std::vector<std::uint8_t> payload) {
   Command cmd;
   cmd.opcode = opcode;

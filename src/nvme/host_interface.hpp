@@ -42,6 +42,7 @@ class HostInterface {
   Completion WriteSync(std::uint64_t slba, std::uint32_t nlb,
                        std::shared_ptr<std::vector<std::uint8_t>> buffer);
   Completion TrimSync(std::uint64_t slba, std::uint32_t nlb);
+  Completion FlushSync();
   Completion VendorSync(Opcode opcode, std::vector<std::uint8_t> payload);
 
   /// Stops the controller, joins the reapers, and fails every still-pending

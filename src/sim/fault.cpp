@@ -13,6 +13,7 @@ std::string_view FaultTypeName(FaultType type) {
     case FaultType::kReadDataLoss: return "READ_DATA_LOSS";
     case FaultType::kCrashMinion: return "CRASH_MINION";
     case FaultType::kAgentUnresponsive: return "AGENT_UNRESPONSIVE";
+    case FaultType::kPowerCut: return "POWER_CUT";
   }
   return "UNKNOWN";
 }
@@ -28,6 +29,8 @@ FaultSite SiteOf(FaultType type) {
     case FaultType::kCrashMinion:
     case FaultType::kAgentUnresponsive:
       return FaultSite::kAgent;
+    case FaultType::kPowerCut:
+      return FaultSite::kFlash;
   }
   return FaultSite::kNvme;
 }
@@ -43,6 +46,8 @@ void FaultInjector::Clear() {
   fired_.clear();
   nvme_ops_ = 0;
   agent_ops_ = 0;
+  flash_ops_ = 0;
+  flash_halted_ = false;
 }
 
 bool FaultInjector::RuleFires(const FaultRule& rule, std::uint64_t op, double now_s) {
@@ -101,6 +106,30 @@ AgentFault FaultInjector::OnAgentOp(double now_s) {
   return {};
 }
 
+bool FaultInjector::OnFlashMutation(double now_s) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (flash_halted_) return true;
+  const std::uint64_t op = ++flash_ops_;
+  for (const FaultRule& rule : rules_) {
+    if (SiteOf(rule.type) != FaultSite::kFlash) continue;
+    if (!RuleFires(rule, op, now_s)) continue;
+    fired_.push_back({rule.type, op, now_s});
+    flash_halted_ = true;
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjector::flash_halted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return flash_halted_;
+}
+
+void FaultInjector::RestorePower() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  flash_halted_ = false;
+}
+
 std::vector<FiredFault> FaultInjector::Fired() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return fired_;
@@ -126,6 +155,11 @@ std::uint64_t FaultInjector::nvme_ops() const {
 std::uint64_t FaultInjector::agent_ops() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return agent_ops_;
+}
+
+std::uint64_t FaultInjector::flash_ops() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return flash_ops_;
 }
 
 }  // namespace compstor::sim

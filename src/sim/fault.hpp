@@ -31,12 +31,13 @@ enum class FaultType : std::uint8_t {
   kReadDataLoss,       // NVMe reads: completes kDataLoss (uncorrectable ECC)
   kCrashMinion,        // ISPS: in-storage process dies -> kAborted response
   kAgentUnresponsive,  // ISPS: agent never answers -> host deadline fires
+  kPowerCut,           // flash: device loses power after the Nth program/erase
 };
 
 std::string_view FaultTypeName(FaultType type);
 
 /// Which hook consults a rule of this type.
-enum class FaultSite : std::uint8_t { kNvme = 0, kAgent = 1 };
+enum class FaultSite : std::uint8_t { kNvme = 0, kAgent = 1, kFlash = 2 };
 FaultSite SiteOf(FaultType type);
 
 struct FaultRule {
@@ -113,6 +114,22 @@ class FaultInjector {
   /// (agent), in arrival order.
   AgentFault OnAgentOp(double now_s);
 
+  /// Flash-array hook: called once per media *mutation* (page program or
+  /// block erase), before the operation is applied, so a kPowerCut that
+  /// fires on op N leaves exactly N-1 mutations on the media. Returns true
+  /// when the device is (now) halted — the cut op and everything after it
+  /// must fail without touching flash. The halt is sticky: once a power cut
+  /// fires, every subsequent flash operation fails until RestorePower().
+  bool OnFlashMutation(double now_s);
+
+  /// True while a fired kPowerCut holds the device down (reads fail too:
+  /// an unpowered device answers nothing).
+  bool flash_halted() const;
+
+  /// Clears the halt so a test can "plug the device back in" and remount
+  /// over the same media state. Fired history and op counters are kept.
+  void RestorePower();
+
   /// Everything that fired so far, in fire order.
   std::vector<FiredFault> Fired() const;
   std::uint64_t FiredCount(FaultType type) const;
@@ -120,6 +137,7 @@ class FaultInjector {
 
   std::uint64_t nvme_ops() const;
   std::uint64_t agent_ops() const;
+  std::uint64_t flash_ops() const;
 
  private:
   bool RuleFires(const FaultRule& rule, std::uint64_t op, double now_s);
@@ -130,6 +148,8 @@ class FaultInjector {
   std::vector<FiredFault> fired_;
   std::uint64_t nvme_ops_ = 0;
   std::uint64_t agent_ops_ = 0;
+  std::uint64_t flash_ops_ = 0;
+  bool flash_halted_ = false;
 };
 
 }  // namespace compstor::sim

@@ -24,6 +24,22 @@ class BlockDevice {
   virtual Status Write(std::uint64_t lba, std::span<const std::uint8_t> data) = 0;
   virtual Status Trim(std::uint64_t lba, std::uint64_t nblocks) = 0;
 
+  /// Write barrier: returns once every previously acknowledged write is
+  /// durable on media. The emulated FTL is write-through unless the profile
+  /// enables a write cache, so the default no-op suits devices with no
+  /// volatile state; the SSD views forward to the FTL flush.
+  virtual Status Flush() { return OkStatus(); }
+
+  /// Media-refresh one block: re-reads the backing flash page through ECC
+  /// and rewrites it if correctable errors were found. kDataLoss means the
+  /// page was uncorrectable (the block is retired; subsequent reads return
+  /// zeros). Only the internal view implements this — scrubbing is a
+  /// device-side maintenance duty, not a host verb.
+  virtual Status Scrub(std::uint64_t lba) {
+    (void)lba;
+    return Unimplemented("scrub not supported on this view");
+  }
+
   virtual std::uint64_t block_count() const = 0;
   virtual std::uint32_t block_size() const = 0;
 };

@@ -132,4 +132,18 @@ SsdProfile TestProfile() {
   return p;
 }
 
+SsdProfile FaultyMediaTestProfile() {
+  SsdProfile p = TestProfile();
+  p.model = "CompStor faulty-media test SSD";
+  // Bit flips on: every page read samples the wear-dependent word error
+  // model, the SECDED page codec corrects single-bit words on the FTL read
+  // path, and the scrubber's media stage rewrites pages it had to correct.
+  // The rate is cranked ~100x above the fresh-silicon default so a test
+  // touching a few MiB reliably sees correctable errors.
+  p.reliability.inject_errors = true;
+  p.reliability.base_word_error_rate = 1e-4;
+  p.reliability.wear_word_error_rate = 4e-4;
+  return p;
+}
+
 }  // namespace compstor::ssd

@@ -53,4 +53,10 @@ SsdProfile OffTheShelfProfile(double capacity_scale = 0.01);
 /// Tiny geometry for unit tests (tens of MiB, GC reachable in milliseconds).
 SsdProfile TestProfile();
 
+/// TestProfile with media error injection enabled: page reads see seeded
+/// single-bit flips at a high rate, exercising the SECDED page codec, the
+/// FTL's read-retry, and the scrubber's refresh path end to end (the per-die
+/// RNG streams derive from the Ssd constructor seed, so runs reproduce).
+SsdProfile FaultyMediaTestProfile();
+
 }  // namespace compstor::ssd

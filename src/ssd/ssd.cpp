@@ -31,6 +31,7 @@ class Ssd::HostView final : public BlockDevice {
     }
     return OkStatus();
   }
+  Status Flush() override { return ssd_->host_if_->FlushSync().status; }
   std::uint64_t block_count() const override { return ssd_->ftl_->user_pages(); }
   std::uint32_t block_size() const override { return ssd_->ftl_->page_data_bytes(); }
 
@@ -92,6 +93,14 @@ class Ssd::InternalView final : public BlockDevice {
   Status Trim(std::uint64_t lba, std::uint64_t nblocks) override {
     ftl::IoCost cost;
     return ssd_->InternalTrim(lba, nblocks, &cost);
+  }
+  Status Flush() override {
+    ftl::IoCost cost;
+    return ssd_->InternalFlush(&cost);
+  }
+  Status Scrub(std::uint64_t lba) override {
+    ftl::IoCost cost;
+    return ssd_->InternalScrub(lba, &cost);
   }
   std::uint64_t block_count() const override { return ssd_->ftl_->user_pages(); }
   std::uint32_t block_size() const override { return ssd_->ftl_->page_data_bytes(); }
@@ -196,6 +205,28 @@ Status Ssd::InternalWrite(std::uint64_t lpn, std::span<const std::uint8_t> data,
   COMPSTOR_RETURN_IF_ERROR(cqe.status);
   if (cost != nullptr) cost->latency += cqe.latency + ChargeInternalBus(data.size());
   else (void)ChargeInternalBus(data.size());
+  return OkStatus();
+}
+
+Status Ssd::InternalFlush(ftl::IoCost* cost) {
+  if (!has_isps_path()) return Unavailable("device has no in-situ subsystem");
+  nvme::Command cmd;
+  cmd.opcode = nvme::Opcode::kFlush;
+  nvme::Completion cqe = SubmitInternalSync(std::move(cmd));
+  COMPSTOR_RETURN_IF_ERROR(cqe.status);
+  if (cost != nullptr) cost->latency += cqe.latency;
+  return OkStatus();
+}
+
+Status Ssd::InternalScrub(std::uint64_t lpn, ftl::IoCost* cost) {
+  if (!has_isps_path()) return Unavailable("device has no in-situ subsystem");
+  nvme::Command cmd;
+  cmd.opcode = nvme::Opcode::kScrub;
+  cmd.slba = lpn;
+  cmd.nlb = 1;
+  nvme::Completion cqe = SubmitInternalSync(std::move(cmd));
+  COMPSTOR_RETURN_IF_ERROR(cqe.status);
+  if (cost != nullptr) cost->latency += cqe.latency;
   return OkStatus();
 }
 

@@ -72,6 +72,10 @@ class Ssd {
   Status InternalWrite(std::uint64_t lpn, std::span<const std::uint8_t> data,
                        ftl::IoCost* cost);
   Status InternalTrim(std::uint64_t lpn, std::uint64_t count, ftl::IoCost* cost);
+  /// Write barrier on the internal ring (drains the FTL write cache).
+  Status InternalFlush(ftl::IoCost* cost);
+  /// Media-refresh one LPN on the internal ring (kScrub; see Ftl::ScrubPage).
+  Status InternalScrub(std::uint64_t lpn, ftl::IoCost* cost);
 
   /// Cumulative model-seconds the internal path has been busy.
   units::Seconds InternalBusySeconds() const { return internal_busy_.BusySeconds(); }

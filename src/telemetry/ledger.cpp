@@ -34,6 +34,7 @@ std::vector<MetricValue> QueryLedger::ToMetrics(std::string_view prefix) const {
     add("bytes_written", MetricKind::kCounter, static_cast<double>(c.bytes_written));
     add("flash_reads", MetricKind::kCounter, static_cast<double>(c.flash_reads));
     add("flash_programs", MetricKind::kCounter, static_cast<double>(c.flash_programs));
+    add("data_corruption", MetricKind::kCounter, static_cast<double>(c.data_corruption));
     add("compute_s", MetricKind::kGauge, c.compute_s);
     add("io_s", MetricKind::kGauge, c.io_s);
     add("energy_j", MetricKind::kGauge, c.energy_j);
@@ -90,14 +91,16 @@ std::string QueryLedgerToJson(
     std::snprintf(buf, sizeof(buf),
                   "\n  {\"query\": %llu, \"minions\": %llu, \"bytes_read\": %llu, "
                   "\"bytes_written\": %llu, \"flash_reads\": %llu, "
-                  "\"flash_programs\": %llu, \"compute_s\": %.9g, \"io_s\": %.9g, "
+                  "\"flash_programs\": %llu, \"data_corruption\": %llu, "
+                  "\"compute_s\": %.9g, \"io_s\": %.9g, "
                   "\"energy_j\": %.9g, \"flash_energy_j\": %.9g}",
                   static_cast<unsigned long long>(id),
                   static_cast<unsigned long long>(c.minions),
                   static_cast<unsigned long long>(c.bytes_read),
                   static_cast<unsigned long long>(c.bytes_written),
                   static_cast<unsigned long long>(c.flash_reads),
-                  static_cast<unsigned long long>(c.flash_programs), c.compute_s,
+                  static_cast<unsigned long long>(c.flash_programs),
+                  static_cast<unsigned long long>(c.data_corruption), c.compute_s,
                   c.io_s, c.energy_j, c.flash_energy_j);
     os << buf;
   }

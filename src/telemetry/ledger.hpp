@@ -32,6 +32,7 @@ struct QueryCost {
   std::uint64_t bytes_written = 0; // task-level bytes out
   std::uint64_t flash_reads = 0;   // tagged media page reads
   std::uint64_t flash_programs = 0;
+  std::uint64_t data_corruption = 0;  // corrupted-extent reads hit by this query
   double compute_s = 0;            // modeled busy-CPU seconds
   double io_s = 0;                 // modeled data-path seconds
   double energy_j = 0;             // task-attributed energy (CPU + datapath)
@@ -43,6 +44,7 @@ struct QueryCost {
     bytes_written += o.bytes_written;
     flash_reads += o.flash_reads;
     flash_programs += o.flash_programs;
+    data_corruption += o.data_corruption;
     compute_s += o.compute_s;
     io_s += o.io_s;
     energy_j += o.energy_j;
