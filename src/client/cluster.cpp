@@ -2,14 +2,62 @@
 
 #include <algorithm>
 #include <cmath>
+#include <condition_variable>
 #include <iterator>
 #include <limits>
 #include <numeric>
+#include <optional>
 #include <string>
 
 #include "telemetry/trace.hpp"
 
 namespace compstor::client {
+
+void Cluster::set_policy(const ClusterPolicy& policy) {
+  std::lock_guard<std::mutex> lock(frontier_mutex_);
+  policy_ = policy;
+  // Window/deadline live in the frontier's immutable options; drop it so the
+  // next RunAll rebuilds against the new policy.
+  frontier_.reset();
+}
+
+void Cluster::MarkOffline(std::size_t i) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  health_[i].state = DeviceHealth::State::kOffline;
+}
+
+QueryFrontier& Cluster::EnsureFrontier() {
+  std::lock_guard<std::mutex> lock(frontier_mutex_);
+  if (!frontier_) {
+    QueryFrontier::Options options;
+    options.max_in_flight = std::max<std::size_t>(1, policy_.max_in_flight);
+    options.deadline_s = policy_.call.deadline_s;
+    frontier_ = std::make_unique<QueryFrontier>(options);
+    frontier_->SetFairShare(fair_share_);
+    for (const auto& [tenant_id, weight] : tenant_weights_) {
+      frontier_->SetTenantWeight(tenant_id, weight);
+    }
+  }
+  return *frontier_;
+}
+
+void Cluster::SetTenantWeight(std::uint32_t tenant_id, std::uint32_t weight) {
+  std::lock_guard<std::mutex> lock(frontier_mutex_);
+  tenant_weights_[tenant_id] = weight;
+  if (frontier_) frontier_->SetTenantWeight(tenant_id, weight);
+}
+
+void Cluster::SetFairShare(bool enabled) {
+  std::lock_guard<std::mutex> lock(frontier_mutex_);
+  fair_share_ = enabled;
+  if (frontier_) frontier_->SetFairShare(enabled);
+}
+
+QueryFrontier::Stats Cluster::FrontierStats() { return EnsureFrontier().GetStats(); }
+
+std::vector<qos::TenantCounters> Cluster::FrontierTenantCounters() {
+  return EnsureFrontier().TenantCounters();
+}
 
 std::vector<std::size_t> Cluster::AssignByWeight(
     const std::vector<std::uint64_t>& weights) const {
@@ -118,13 +166,17 @@ std::vector<telemetry::MetricValue> Cluster::CollectStats() {
   telemetry::MetricValue re;
   re.name = "cluster.redispatches";
   re.kind = telemetry::MetricKind::kCounter;
-  re.value = static_cast<double>(redispatches_);
+  re.value = static_cast<double>(redispatches_.load(std::memory_order_relaxed));
   merged.push_back(std::move(re));
   // The host's own per-query view (from round-tripped responses), alongside
   // the per-device "dev<i>.query.*" rows merged above.
   auto ledger = query_ledger_.ToMetrics("cluster.query.");
   merged.insert(merged.end(), std::make_move_iterator(ledger.begin()),
                 std::make_move_iterator(ledger.end()));
+  // Host-side per-tenant SLO instruments ("cluster.tenant<t>.minion_us").
+  auto tenants = telemetry::WithPrefix("cluster.", registry_.Snapshot());
+  merged.insert(merged.end(), std::make_move_iterator(tenants.begin()),
+                std::make_move_iterator(tenants.end()));
   return merged;
 }
 
@@ -142,6 +194,7 @@ std::string Cluster::StitchedTraceJson() const {
 }
 
 std::size_t Cluster::PickDevice(std::size_t preferred, bool* probe) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
   const std::size_t n = devices_.size();
   bool any_healthy = false;
   for (const DeviceHealth& h : health_) {
@@ -165,6 +218,7 @@ std::size_t Cluster::PickDevice(std::size_t preferred, bool* probe) {
 }
 
 void Cluster::RecordSuccess(std::size_t device) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
   DeviceHealth& h = health_[device];
   h.successes++;
   h.consecutive_failures = 0;
@@ -175,6 +229,7 @@ void Cluster::RecordSuccess(std::size_t device) {
 }
 
 void Cluster::RecordFailure(std::size_t device) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
   DeviceHealth& h = health_[device];
   h.failures++;
   h.consecutive_failures++;
@@ -186,12 +241,15 @@ void Cluster::RecordFailure(std::size_t device) {
   }
 }
 
-Result<std::vector<proto::Minion>> Cluster::RunAll(const std::vector<WorkItem>& work) {
+Result<std::vector<proto::Minion>> Cluster::RunAll(const std::vector<WorkItem>& work,
+                                                   const qos::TenantContext& tenant) {
   for (const WorkItem& item : work) {
     if (item.device_index >= devices_.size()) {
       return OutOfRange("work item references unknown device");
     }
   }
+  QueryFrontier& frontier = EnsureFrontier();
+
   std::vector<proto::Minion> results(work.size());
   std::vector<std::size_t> pending(work.size());
   std::iota(pending.begin(), pending.end(), 0);
@@ -201,7 +259,8 @@ Result<std::vector<proto::Minion>> Cluster::RunAll(const std::vector<WorkItem>& 
   // One trace query id per work item, stamped before the first dispatch so
   // every attempt — including re-dispatches onto other devices — carries the
   // same query id and the stitched trace shows one query with N root spans.
-  // A caller-provided id is kept (nested orchestration).
+  // A caller-provided id is kept (nested orchestration); same rule for the
+  // tenant identity, which rides the wire to the device-side schedulers.
   std::vector<proto::Command> commands;
   commands.reserve(work.size());
   for (const WorkItem& item : work) {
@@ -209,12 +268,22 @@ Result<std::vector<proto::Minion>> Cluster::RunAll(const std::vector<WorkItem>& 
     if (commands.back().trace_query_id == 0) {
       commands.back().trace_query_id = telemetry::NextQueryId();
     }
+    if (commands.back().tenant_id == 0) {
+      commands.back().tenant_id = tenant.tenant_id;
+      commands.back().priority = static_cast<std::uint8_t>(tenant.priority);
+    }
   }
 
-  struct InFlight {
-    std::size_t item;
-    std::size_t device;
-    MinionFuture future;
+  // One round's submissions and their callback-filled slots. The frontier
+  // invokes completions on device threads; slots are claimed under `mutex`
+  // and the submitting thread blocks on `all_done` — the batch outlives
+  // every callback because RunAll joins the round before touching results.
+  struct Batch {
+    std::mutex mutex;
+    std::condition_variable all_done;
+    std::size_t outstanding = 0;
+    std::vector<std::pair<std::size_t, std::size_t>> slots;  // (item, device)
+    std::vector<std::optional<Result<proto::Minion>>> replies;
   };
 
   for (std::uint32_t round = 0; round < policy_.max_rounds && !pending.empty();
@@ -227,7 +296,7 @@ Result<std::vector<proto::Minion>> Cluster::RunAll(const std::vector<WorkItem>& 
                            std::pow(policy_.call.backoff_multiplier, round - 1));
     }
 
-    std::vector<InFlight> batch;
+    auto batch = std::make_shared<Batch>();
     std::vector<std::size_t> next_pending;
     for (std::size_t i : pending) {
       const std::size_t preferred =
@@ -239,22 +308,43 @@ Result<std::vector<proto::Minion>> Cluster::RunAll(const std::vector<WorkItem>& 
         continue;
       }
       last_tried[i] = d;
-      batch.push_back({i, d, devices_[d]->SendMinion(commands[i])});
+      const std::size_t slot = batch->slots.size();
+      batch->slots.emplace_back(i, d);
+      batch->replies.emplace_back();
+      ++batch->outstanding;
+      const bool accepted = frontier.Submit(
+          devices_[d], commands[i], tenant,
+          [batch, slot](Result<proto::Minion> minion) {
+            std::lock_guard<std::mutex> lock(batch->mutex);
+            batch->replies[slot] = std::move(minion);
+            if (--batch->outstanding == 0) batch->all_done.notify_all();
+          });
+      if (!accepted) {
+        std::lock_guard<std::mutex> lock(batch->mutex);
+        batch->replies[slot] = Unavailable("frontier rejected submission");
+        --batch->outstanding;
+      }
     }
-    if (batch.empty()) {
+    if (batch->slots.empty()) {
       return Unavailable("cluster: no healthy devices remaining");
     }
+    {
+      std::unique_lock<std::mutex> lock(batch->mutex);
+      batch->all_done.wait(lock, [&] { return batch->outstanding == 0; });
+    }
 
-    for (InFlight& f : batch) {
-      auto minion = f.future.Get(policy_.call.deadline_s);
+    for (std::size_t slot = 0; slot < batch->slots.size(); ++slot) {
+      const auto [item, device] = batch->slots[slot];
+      Result<proto::Minion>& minion = *batch->replies[slot];
       const Status st = minion.ok() ? proto::ResponseToStatus(minion->response)
                                     : minion.status();
       if (st.ok()) {
-        RecordSuccess(f.device);
+        RecordSuccess(device);
         // Host-side attribution: the response's round-tripped accounting,
         // keyed by the query id the command carried out (echoed back in
         // minion->command). Flash ops/joules stay device-side.
         telemetry::QueryCost cost;
+        cost.tenant_id = minion->command.tenant_id;
         cost.minions = 1;
         cost.bytes_read = minion->response.bytes_read;
         cost.bytes_written = minion->response.bytes_written;
@@ -262,17 +352,25 @@ Result<std::vector<proto::Minion>> Cluster::RunAll(const std::vector<WorkItem>& 
         cost.io_s = minion->response.io_seconds;
         cost.energy_j = minion->response.energy_joules;
         query_ledger_.Add(minion->command.trace_query_id, cost);
-        results[f.item] = std::move(*minion);
+        // Host-observed SLO latency per tenant: the minion's device-side
+        // elapsed span, under the same labels the device histograms use.
+        const std::string tp =
+            "tenant" + std::to_string(minion->command.tenant_id);
+        registry_.GetHistogram(tp + ".minion_us",
+                               telemetry::Histogram::LatencyUsBounds())
+            .Add(minion->response.elapsed_s() * 1e6);
+        registry_.GetCounter(tp + ".completed").Add();
+        results[item] = std::move(*minion);
         continue;
       }
-      RecordFailure(f.device);
+      RecordFailure(device);
       const bool corrupted = st.code() == StatusCode::kDataCorruption;
       if (corrupted) {
         // Detected-corruption accounting: the query's ledger row records
         // that a device returned a checksum-failed extent instead of data.
         telemetry::QueryCost cost;
         cost.data_corruption = 1;
-        query_ledger_.Add(commands[f.item].trace_query_id, cost);
+        query_ledger_.Add(commands[item].trace_query_id, cost);
       }
       // Corruption is permanent on the device that served it, but a cluster
       // with replicas can re-dispatch the item to a device holding a healthy
@@ -280,8 +378,8 @@ Result<std::vector<proto::Minion>> Cluster::RunAll(const std::vector<WorkItem>& 
       if (!IsRetriable(st.code()) && !(corrupted && devices_.size() > 1)) {
         return st;  // permanent failure: re-dispatching cannot help
       }
-      redispatches_++;
-      next_pending.push_back(f.item);
+      redispatches_.fetch_add(1, std::memory_order_relaxed);
+      next_pending.push_back(item);
     }
     std::sort(next_pending.begin(), next_pending.end());
     pending = std::move(next_pending);

@@ -14,13 +14,20 @@
 // every work item (see bench/degraded_scaling.cpp).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "client/frontier.hpp"
 #include "client/in_situ.hpp"
+#include "common/qos.hpp"
 #include "telemetry/ledger.hpp"
+#include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 
 namespace compstor::client {
@@ -38,6 +45,10 @@ struct ClusterPolicy {
   std::uint32_t probe_interval = 4;
   /// Maximum dispatch rounds before RunAll gives up on remaining items.
   std::uint32_t max_rounds = 8;
+  /// Admission window of the cluster's query frontier: commands outstanding
+  /// to devices across every concurrent RunAll. Submissions beyond it queue
+  /// at the frontier under their tenant.
+  std::size_t max_in_flight = 256;
 };
 
 /// Per-device health as tracked by the cluster's circuit breaker.
@@ -55,6 +66,8 @@ struct DeviceHealth {
 
 class Cluster {
  public:
+  /// Topology/policy setup is not concurrency-safe against RunAll: add every
+  /// device and set the policy before the first dispatch.
   void AddDevice(CompStorHandle* device) {
     devices_.push_back(device);
     health_.emplace_back();
@@ -62,15 +75,20 @@ class Cluster {
   std::size_t size() const { return devices_.size(); }
   CompStorHandle& device(std::size_t i) { return *devices_[i]; }
 
-  void set_policy(const ClusterPolicy& policy) { policy_ = policy; }
+  /// Replaces the policy and discards the current frontier (the next RunAll
+  /// rebuilds it with the new window/deadline). Must not race RunAll.
+  void set_policy(const ClusterPolicy& policy);
   const ClusterPolicy& policy() const { return policy_; }
 
+  /// Breaker-state read; quiescent snapshot only (no lock).
   const DeviceHealth& health(std::size_t i) const { return health_[i]; }
   /// Force a device's breaker state (tests, planned maintenance).
-  void MarkOffline(std::size_t i) { health_[i].state = DeviceHealth::State::kOffline; }
+  void MarkOffline(std::size_t i);
 
   /// Work items re-sent to another device after a failure, cumulative.
-  std::uint64_t redispatches() const { return redispatches_; }
+  std::uint64_t redispatches() const {
+    return redispatches_.load(std::memory_order_relaxed);
+  }
   /// Virtual seconds charged as backoff between re-dispatch rounds.
   double retry_backoff_s() const { return retry_clock_.Now(); }
 
@@ -118,16 +136,41 @@ class Cluster {
     proto::Command command;
   };
 
-  /// Sends every work item concurrently (minions per device) and waits for
-  /// all. Results are in the same order as `work`. Failed or orphaned items
-  /// (device offline, command dropped, in-storage crash) are re-dispatched
-  /// onto surviving devices in later rounds, with exponential backoff
-  /// charged in virtual time; only a non-retriable failure or exhausting
-  /// `policy().max_rounds` aborts the run. Re-dispatch assumes an item's
-  /// input files are staged on the fallback devices too (replicated
-  /// corpora, as in the degraded-scaling experiments). Not thread-safe: one
-  /// RunAll at a time per cluster.
-  Result<std::vector<proto::Minion>> RunAll(const std::vector<WorkItem>& work);
+  /// Sends every work item through the cluster's query frontier and waits
+  /// for all. Results are in the same order as `work`. Failed or orphaned
+  /// items (device offline, command dropped, in-storage crash) are
+  /// re-dispatched onto surviving devices in later rounds, with exponential
+  /// backoff charged in virtual time; only a non-retriable failure or
+  /// exhausting `policy().max_rounds` aborts the run. Re-dispatch assumes an
+  /// item's input files are staged on the fallback devices too (replicated
+  /// corpora, as in the degraded-scaling experiments).
+  ///
+  /// Concurrent-frontier semantics: RunAll is thread-safe, and any number of
+  /// calls may run at once — each is one tenant's batch submission. All of
+  /// them feed the shared QueryFrontier, which holds per-tenant queues,
+  /// admits at most `policy().max_in_flight` commands to the devices, and
+  /// orders admissions by the weighted-fair policy (interactive before bulk,
+  /// DRR weights within a class — see common/qos.hpp). The same tenant
+  /// identity rides the wire to the device arbiter and core scheduler, so
+  /// isolation holds end to end, not just at the host.
+  Result<std::vector<proto::Minion>> RunAll(const std::vector<WorkItem>& work) {
+    return RunAll(work, qos::TenantContext{});
+  }
+  /// As above, submitting under `tenant`: stamps every command's tenant
+  /// id/priority (caller-provided non-zero tenant ids are kept) and queues
+  /// at the frontier under it.
+  Result<std::vector<proto::Minion>> RunAll(const std::vector<WorkItem>& work,
+                                            const qos::TenantContext& tenant);
+
+  /// DRR weight of a tenant at the frontier (>= 1, within its class).
+  void SetTenantWeight(std::uint32_t tenant_id, std::uint32_t weight);
+  /// false: arrival-order FIFO admission (the no-QoS control arm).
+  void SetFairShare(bool enabled);
+
+  /// Frontier counters (admission window high-water mark, queue depth, ...).
+  QueryFrontier::Stats FrontierStats();
+  /// Per-tenant frontier queue accounting (served, queued, bypass).
+  std::vector<qos::TenantCounters> FrontierTenantCounters();
 
   /// Max end-to-end device makespan across the cluster (virtual seconds) —
   /// the scaling experiments' denominator. Uses per-device agent core clocks
@@ -141,17 +184,32 @@ class Cluster {
   /// Routing decision for one work item: the preferred device if its breaker
   /// is closed, else the next healthy device round-robin; offline devices
   /// get a half-open probe every `probe_interval` skipped dispatches (or
-  /// immediately when no healthy device remains).
+  /// immediately when no healthy device remains). Locks `state_mutex_`.
   std::size_t PickDevice(std::size_t preferred, bool* probe);
+  /// Circuit-breaker bookkeeping; both lock `state_mutex_`.
   void RecordSuccess(std::size_t device);
   void RecordFailure(std::size_t device);
+
+  /// The shared frontier, built lazily from the current policy.
+  QueryFrontier& EnsureFrontier();
 
   std::vector<CompStorHandle*> devices_;
   std::vector<DeviceHealth> health_;
   ClusterPolicy policy_;
-  std::uint64_t redispatches_ = 0;
+  std::atomic<std::uint64_t> redispatches_{0};
   VirtualClock retry_clock_;
   telemetry::QueryLedger query_ledger_;
+
+  /// Guards health_ (concurrent RunAll calls route and record through it).
+  std::mutex state_mutex_;
+  /// Guards frontier_ construction and the QoS knob shadows below.
+  std::mutex frontier_mutex_;
+  std::unique_ptr<QueryFrontier> frontier_;
+  bool fair_share_ = true;
+  std::map<std::uint32_t, std::uint32_t> tenant_weights_;
+  /// Host-side per-tenant SLO metrics ("tenant<t>.minion_us", completion
+  /// counters), exported by CollectStats under the "cluster." prefix.
+  telemetry::Registry registry_;
 };
 
 }  // namespace compstor::client

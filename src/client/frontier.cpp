@@ -1,0 +1,180 @@
+#include "client/frontier.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace compstor::client {
+
+QueryFrontier::QueryFrontier(const Options& options)
+    : core_(std::make_shared<Core>(options)) {
+  dispatcher_ = std::thread([this] { DispatcherLoop(); });
+  if (core_->options.deadline_s > 0) {
+    sweeper_ = std::thread([this] { SweeperLoop(); });
+  }
+}
+
+QueryFrontier::~QueryFrontier() { Shutdown(); }
+
+bool QueryFrontier::Submit(CompStorHandle* device, proto::Command command,
+                           const qos::TenantContext& tenant, Callback done) {
+  if (device == nullptr || !done || shutdown_.load(std::memory_order_acquire)) {
+    return false;
+  }
+  Job job;
+  job.device = device;
+  job.command = std::move(command);
+  job.done = std::move(done);
+  job.id = next_job_id_.fetch_add(1, std::memory_order_relaxed);
+  // One query is one cost unit at the frontier: fairness here is over query
+  // *slots*, the resource the admission window rations. Size-proportional
+  // fairness happens below, where the device layers cost by flash pages.
+  if (!core_->queue.Push(std::move(job), tenant, /*cost=*/1)) return false;
+  std::lock_guard<std::mutex> lock(core_->mutex);
+  ++core_->admitted;
+  return true;
+}
+
+void QueryFrontier::SetTenantWeight(std::uint32_t tenant_id, std::uint32_t weight) {
+  core_->queue.SetWeight(tenant_id, weight);
+}
+
+void QueryFrontier::SetFairShare(bool enabled) { core_->queue.SetFairShare(enabled); }
+
+QueryFrontier::Stats QueryFrontier::GetStats() const {
+  Stats s;
+  s.queued = core_->queue.size();
+  std::lock_guard<std::mutex> lock(core_->mutex);
+  s.admitted = core_->admitted;
+  s.dispatched = core_->dispatched;
+  s.completed = core_->completed;
+  s.deadline_expired = core_->deadline_expired;
+  s.rejected = core_->rejected;
+  s.peak_in_flight = core_->peak_in_flight;
+  s.in_flight = core_->in_flight.size();
+  return s;
+}
+
+std::vector<qos::TenantCounters> QueryFrontier::TenantCounters() const {
+  return core_->queue.Counters();
+}
+
+void QueryFrontier::Resolve(const std::shared_ptr<Core>& core, std::uint64_t id,
+                            const std::shared_ptr<Pending>& pending,
+                            Result<proto::Minion> result, bool expired) {
+  // The exactly-once gate: device completion, deadline sweep, and shutdown
+  // all funnel through here; the first exchange wins, the rest are no-ops
+  // (including a real completion racing in after the sweeper gave up on it).
+  if (pending->resolved.exchange(true, std::memory_order_acq_rel)) return;
+  pending->done(std::move(result));
+  std::lock_guard<std::mutex> lock(core->mutex);
+  core->in_flight.erase(id);
+  if (expired) {
+    ++core->deadline_expired;
+  } else {
+    ++core->completed;
+  }
+  core->slot_free.notify_one();
+}
+
+void QueryFrontier::DispatcherLoop() {
+  const std::shared_ptr<Core> core = core_;
+  for (;;) {
+    // Slot before item: admission is decided when a window slot frees, so
+    // the fair queue picks the next tenant at that moment instead of
+    // freezing an arrival-order backlog into the window.
+    {
+      std::unique_lock<std::mutex> lock(core->mutex);
+      core->slot_free.wait(lock, [&] {
+        return core->stopping ||
+               core->in_flight.size() < core->options.max_in_flight;
+      });
+      if (core->stopping) return;
+    }
+    std::optional<Job> job = core->queue.Pop();
+    if (!job) return;  // closed and drained
+    auto pending = std::make_shared<Pending>();
+    pending->done = std::move(job->done);
+    if (core->options.deadline_s > 0) {
+      pending->deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(core->options.deadline_s));
+    }
+    const std::uint64_t id = job->id;
+    {
+      std::lock_guard<std::mutex> lock(core->mutex);
+      core->in_flight.emplace(id, pending);
+      ++core->dispatched;
+      core->peak_in_flight = std::max(core->peak_in_flight, core->in_flight.size());
+    }
+    const bool sent = job->device->SendMinionAsync(
+        std::move(job->command),
+        [core, id, pending](Result<proto::Minion> minion) {
+          Resolve(core, id, pending, std::move(minion), /*expired=*/false);
+        });
+    if (!sent) {
+      {
+        std::lock_guard<std::mutex> lock(core->mutex);
+        ++core->rejected;
+      }
+      Resolve(core, id, pending, Unavailable("frontier: device rejected submission"),
+              /*expired=*/false);
+    }
+  }
+}
+
+void QueryFrontier::SweeperLoop() {
+  const std::shared_ptr<Core> core = core_;
+  // Sweep granularity: fine enough that an expired command is noticed within
+  // a fraction of the deadline, coarse enough to stay off the hot path.
+  const auto period = std::chrono::duration<double>(
+      std::clamp(core->options.deadline_s / 4, 0.001, 0.050));
+  for (;;) {
+    std::vector<std::pair<std::uint64_t, std::shared_ptr<Pending>>> expired;
+    {
+      std::unique_lock<std::mutex> lock(core->mutex);
+      core->slot_free.wait_for(lock, period, [&] { return core->stopping; });
+      if (core->stopping) return;
+      const auto now = std::chrono::steady_clock::now();
+      for (const auto& [id, pending] : core->in_flight) {
+        if (pending->deadline <= now) expired.emplace_back(id, pending);
+      }
+    }
+    for (auto& [id, pending] : expired) {
+      Resolve(core, id, pending,
+              DeadlineExceeded("frontier: command deadline exceeded"),
+              /*expired=*/true);
+    }
+  }
+}
+
+void QueryFrontier::Shutdown() {
+  if (shutdown_.exchange(true, std::memory_order_acq_rel)) return;
+  const std::shared_ptr<Core> core = core_;
+  {
+    std::lock_guard<std::mutex> lock(core->mutex);
+    core->stopping = true;
+    core->slot_free.notify_all();
+  }
+  core->queue.Close();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  if (sweeper_.joinable()) sweeper_.join();
+  // Jobs never dispatched: fail their callbacks directly.
+  while (std::optional<Job> job = core->queue.TryPop()) {
+    job->done(Aborted("frontier shut down before dispatch"));
+  }
+  // Jobs still at a device: resolve now; the eventual device completion
+  // loses the exactly-once race and is dropped.
+  std::vector<std::pair<std::uint64_t, std::shared_ptr<Pending>>> leftover;
+  {
+    std::lock_guard<std::mutex> lock(core->mutex);
+    leftover.assign(core->in_flight.begin(), core->in_flight.end());
+  }
+  for (auto& [id, pending] : leftover) {
+    Resolve(core, id, pending, Aborted("frontier shut down with command in flight"),
+            /*expired=*/false);
+  }
+}
+
+}  // namespace compstor::client

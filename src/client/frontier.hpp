@@ -1,0 +1,150 @@
+// Concurrent query frontier: the host-side admission-control and fair-
+// scheduling stage between callers and devices.
+//
+// Callers (Cluster::RunAll, possibly many concurrently) enqueue routed work
+// — (device, command, completion callback) — under a tenant. The frontier
+// holds it in per-tenant submission queues served by the same weighted-fair
+// policy as the device layers (strict interactive-over-bulk priority, DRR
+// within a class; see common/qos.hpp), and a single dispatcher thread issues
+// it to the devices through the callback-style send path, keeping at most
+// `max_in_flight` commands outstanding cluster-wide. This replaces the old
+// one-batch-at-a-time RunAll loop: submissions from different tenants and
+// different RunAll calls interleave at the frontier instead of serializing.
+//
+// Completion callbacks fire on device threads. A command dropped by fault
+// injection never completes; when `deadline_s > 0` a sweeper thread resolves
+// such entries with kDeadlineExceeded. Every accepted job's callback fires
+// exactly once — on completion, on deadline expiry, or with kAborted at
+// Shutdown.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "client/in_situ.hpp"
+#include "common/qos.hpp"
+
+namespace compstor::client {
+
+class QueryFrontier {
+ public:
+  struct Options {
+    /// Commands outstanding to devices across the whole frontier. The window
+    /// is the admission throttle: queued work beyond it waits in the fair
+    /// queue, where scheduling policy — not arrival order — decides who goes
+    /// next when a slot frees up.
+    std::size_t max_in_flight = 256;
+    /// Real-time bound on one dispatched command (0 = no sweeping; only safe
+    /// when faults cannot drop commands).
+    double deadline_s = 0;
+  };
+
+  struct Stats {
+    std::uint64_t admitted = 0;          // jobs accepted by Submit
+    std::uint64_t dispatched = 0;        // jobs sent to a device
+    std::uint64_t completed = 0;         // callbacks fired with a device reply
+    std::uint64_t deadline_expired = 0;  // resolved by the sweeper
+    std::uint64_t rejected = 0;          // device refused the submission
+    std::size_t peak_in_flight = 0;      // high-water mark of the window
+    std::size_t queued = 0;              // waiting in the fair queue now
+    std::size_t in_flight = 0;           // outstanding to devices now
+  };
+
+  using Callback = std::function<void(Result<proto::Minion>)>;
+
+  explicit QueryFrontier(const Options& options);
+  ~QueryFrontier();
+
+  QueryFrontier(const QueryFrontier&) = delete;
+  QueryFrontier& operator=(const QueryFrontier&) = delete;
+
+  /// Enqueues one routed work item under `tenant`. Thread-safe; never blocks
+  /// on device backpressure (only on the internal queue lock). Returns false
+  /// — without invoking `done` — once Shutdown has begun. `done` fires on a
+  /// device thread (or the sweeper/shutdown thread) and must not call back
+  /// into the frontier.
+  bool Submit(CompStorHandle* device, proto::Command command,
+              const qos::TenantContext& tenant, Callback done);
+
+  /// DRR weight for a tenant's frontier queue (>= 1, within its class).
+  void SetTenantWeight(std::uint32_t tenant_id, std::uint32_t weight);
+  /// false: global FIFO admission (the pre-QoS control arm). Default true.
+  void SetFairShare(bool enabled);
+
+  Stats GetStats() const;
+
+  /// Per-tenant service accounting of the frontier's fair queue (served,
+  /// queued, bypass — see qos::TenantCounters).
+  std::vector<qos::TenantCounters> TenantCounters() const;
+
+  /// Stops admission, drains the queue with kAborted, resolves still-in-
+  /// flight jobs with kAborted, and joins the worker threads. Idempotent;
+  /// called by the destructor. Device completions arriving later are
+  /// dropped by the exactly-once guard.
+  void Shutdown();
+
+ private:
+  struct Job {
+    CompStorHandle* device = nullptr;
+    proto::Command command;
+    Callback done;
+    std::uint64_t id = 0;
+  };
+
+  /// One dispatched command. Completion, deadline sweep, and shutdown race
+  /// to resolve it; `resolved` arbitrates so the callback fires exactly
+  /// once. Held by shared_ptr from the device callback, so a completion
+  /// arriving after Shutdown (or after the frontier is destroyed — the
+  /// callback also pins `Core`) touches only live memory.
+  struct Pending {
+    std::atomic<bool> resolved{false};
+    Callback done;
+    std::chrono::steady_clock::time_point deadline{};
+  };
+
+  /// State shared with device callbacks. The frontier owns it via
+  /// shared_ptr; every callback holds another reference.
+  struct Core {
+    explicit Core(const Options& opts)
+        : options(opts), queue(/*quantum=*/16, /*capacity=*/0) {}
+
+    const Options options;
+    qos::FairQueue<Job> queue;
+
+    std::mutex mutex;
+    std::condition_variable slot_free;
+    std::map<std::uint64_t, std::shared_ptr<Pending>> in_flight;
+    bool stopping = false;
+
+    std::uint64_t admitted = 0;
+    std::uint64_t dispatched = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t deadline_expired = 0;
+    std::uint64_t rejected = 0;
+    std::size_t peak_in_flight = 0;
+  };
+
+  /// Resolves one pending job at most once; no-op on the losing racer.
+  static void Resolve(const std::shared_ptr<Core>& core, std::uint64_t id,
+                      const std::shared_ptr<Pending>& pending,
+                      Result<proto::Minion> result, bool expired);
+
+  void DispatcherLoop();
+  void SweeperLoop();
+
+  std::shared_ptr<Core> core_;
+  std::thread dispatcher_;
+  std::thread sweeper_;
+  std::atomic<std::uint64_t> next_job_id_{1};
+  std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace compstor::client

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "common/qos.hpp"
 #include "telemetry/trace.hpp"
 #include "util/byte_io.hpp"
 
@@ -46,12 +47,15 @@ Result<std::string> CompStorHandle::DownloadFileText(std::string_view path) {
   return fs_->ReadFileText(path);
 }
 
-MinionFuture CompStorHandle::SendMinion(proto::Command command) {
-  // Stamp the distributed-tracing context: a query id (kept if the caller —
-  // e.g. Cluster — already assigned one, so re-dispatches stay one query)
-  // and a fresh root span for this dispatch. The root identity rides on the
-  // NVMe command, so the device records the enqueue->response span under it,
-  // and the proto command carries it as the parent for the task span.
+namespace {
+
+/// Shared prep for both send paths: stamps the tracing context (a query id —
+/// kept if the caller, e.g. Cluster, already assigned one so re-dispatches
+/// stay one query — plus a fresh root span for this dispatch) and builds the
+/// NVMe envelope. The root identity and the tenant ride on the NVMe command,
+/// so the device arbiter queues it under its owner and records the
+/// enqueue->response span; the proto command carries both for the task layer.
+nvme::Command PrepareMinionCommand(proto::Command command, std::uint64_t minion_id) {
   if (command.trace_query_id == 0) {
     command.trace_query_id = telemetry::NextQueryId();
   }
@@ -59,14 +63,39 @@ MinionFuture CompStorHandle::SendMinion(proto::Command command) {
   command.trace_parent_span = root_span;
 
   proto::Minion minion;
-  minion.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  minion.id = minion_id;
   minion.command = std::move(command);
 
   nvme::Command cmd;
   cmd.opcode = nvme::Opcode::kInSituMinion;
   cmd.trace = {minion.command.trace_query_id, root_span, 0};
+  cmd.qos.tenant_id = minion.command.tenant_id;
+  cmd.qos.priority = minion.command.priority < qos::kPriorityClasses
+                         ? static_cast<qos::Priority>(minion.command.priority)
+                         : qos::Priority::kBulk;
   cmd.payload = proto::Serialize(minion);
+  return cmd;
+}
+
+}  // namespace
+
+MinionFuture CompStorHandle::SendMinion(proto::Command command) {
+  nvme::Command cmd = PrepareMinionCommand(
+      std::move(command), next_id_.fetch_add(1, std::memory_order_relaxed));
   return MinionFuture(ssd_->host_interface().Submit(std::move(cmd)));
+}
+
+bool CompStorHandle::SendMinionAsync(proto::Command command, MinionCallback done) {
+  nvme::Command cmd = PrepareMinionCommand(
+      std::move(command), next_id_.fetch_add(1, std::memory_order_relaxed));
+  return ssd_->host_interface().SubmitAsync(
+      std::move(cmd), [done = std::move(done)](nvme::Completion cqe) {
+        if (!cqe.status.ok()) {
+          done(cqe.status);
+          return;
+        }
+        done(proto::DeserializeMinion(cqe.payload));
+      });
 }
 
 Result<proto::Minion> CompStorHandle::RunMinion(proto::Command command) {

@@ -88,6 +88,18 @@ class CompStorHandle {
   MinionFuture SendMinion(proto::Command command);
   Result<proto::Minion> RunMinion(proto::Command command);  // send + wait
 
+  /// Callback-style send for callers that keep many minions in flight (the
+  /// cluster's query frontier). `done` fires exactly once on a device thread
+  /// with the deserialized round-tripped minion (or the transport error) —
+  /// unless a fault *drops* the command, in which case it never fires;
+  /// bounded-wait callers must run their own deadline sweep. Returns false
+  /// (without invoking `done`) when the device rejects the submission
+  /// outright. The command's tenant_id/priority ride both the proto frame
+  /// and the NVMe command, so the device arbiter and core scheduler queue
+  /// the minion under its tenant.
+  using MinionCallback = std::function<void(Result<proto::Minion>)>;
+  bool SendMinionAsync(proto::Command command, MinionCallback done);
+
   /// Send + wait with deadline and retry for IsRetriable failures (both
   /// transport-level and in-response statuses). Exponential backoff between
   /// attempts is charged to the handle's virtual retry clock.

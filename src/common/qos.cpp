@@ -1,0 +1,17 @@
+#include "common/qos.hpp"
+
+namespace compstor::qos {
+
+namespace {
+thread_local TenantContext t_current_tenant;
+}  // namespace
+
+const TenantContext& CurrentTenant() { return t_current_tenant; }
+
+ScopedTenant::ScopedTenant(const TenantContext& tenant) : saved_(t_current_tenant) {
+  t_current_tenant = tenant;
+}
+
+ScopedTenant::~ScopedTenant() { t_current_tenant = saved_; }
+
+}  // namespace compstor::qos

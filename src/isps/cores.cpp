@@ -49,7 +49,7 @@ void WorkContext::ChargeOverlapped(units::Seconds busy, units::Seconds iowait,
 units::Seconds WorkContext::Now() const { return owner_->clocks_[core_]->Now(); }
 
 CoreEmulator::CoreEmulator(const energy::CpuProfile& profile, energy::EnergyMeter* meter)
-    : profile_(profile), meter_(meter), queue_(4096) {
+    : profile_(profile), meter_(meter), queue_(/*quantum=*/16, /*capacity=*/4096) {
   const int n = std::max(1, profile.cores);
   pending_.assign(static_cast<std::size_t>(n), 0);
   clocks_.reserve(static_cast<std::size_t>(n));
@@ -66,15 +66,38 @@ CoreEmulator::CoreEmulator(const energy::CpuProfile& profile, energy::EnergyMete
 
 CoreEmulator::~CoreEmulator() { Shutdown(); }
 
-bool CoreEmulator::Submit(Work work) { return queue_.Push(std::move(work)); }
+bool CoreEmulator::Submit(Work work, const qos::TenantContext& tenant) {
+  // Snapshot every core clock at arrival; at dispatch the queue wait is the
+  // *executing* core's own clock delta — the virtual work that core served
+  // ahead of this item. Same-core differencing is what makes the number the
+  // scheduling discipline's: under strict-priority fair queueing the first
+  // core to free takes the item, so the delta is one in-service residual,
+  // while under FIFO the core first drains its share of the backlog. Any
+  // cross-core delta (e.g. against the makespan) instead counts charges
+  // landing on unrelated cores during the wall-clock residence.
+  std::vector<units::Seconds> arrival;
+  arrival.reserve(clocks_.size());
+  for (const auto& c : clocks_) arrival.push_back(c->Now());
+  return queue_.Push(
+      [this, arrival = std::move(arrival), work = std::move(work)](WorkContext& ctx) {
+        const std::uint32_t core = ctx.core_index();
+        ctx.queue_wait_ =
+            std::max(0.0, clocks_[core]->Now() - arrival[core]);
+        work(ctx);
+      },
+      tenant);
+}
 
-std::future<void> CoreEmulator::SubmitWithFuture(Work work) {
+std::future<void> CoreEmulator::SubmitWithFuture(Work work,
+                                                 const qos::TenantContext& tenant) {
   auto task = std::make_shared<std::promise<void>>();
   std::future<void> fut = task->get_future();
-  if (!Submit([task, work = std::move(work)](WorkContext& ctx) {
-        work(ctx);
-        task->set_value();
-      })) {
+  if (!Submit(
+          [task, work = std::move(work)](WorkContext& ctx) {
+            work(ctx);
+            task->set_value();
+          },
+          tenant)) {
     task->set_value();  // shutdown: resolve immediately
   }
   return fut;

@@ -20,9 +20,9 @@
 #include <thread>
 #include <vector>
 
+#include "common/qos.hpp"
 #include "common/sim_clock.hpp"
 #include "energy/energy.hpp"
-#include "util/mpmc_queue.hpp"
 
 namespace compstor::isps {
 
@@ -50,9 +50,20 @@ class WorkContext {
   /// Virtual time on this core right now.
   units::Seconds Now() const;
 
+  /// Virtual time this item spent queued before service began: the executing
+  /// core's clock delta between Submit and dispatch, i.e. the virtual work
+  /// that core served ahead of this item. Same-core differencing isolates the
+  /// scheduling discipline — under strict-priority fair queueing the delta is
+  /// one in-service residual, under FIFO it is the core's share of the
+  /// backlog — where any cross-core delta would also count charges landing on
+  /// unrelated cores during the wall-clock residence.
+  units::Seconds queue_wait_s() const { return queue_wait_; }
+
  private:
+  friend class CoreEmulator;
   CoreEmulator* owner_;
   std::uint32_t core_;
+  units::Seconds queue_wait_ = 0;
 };
 
 class CoreEmulator {
@@ -65,12 +76,27 @@ class CoreEmulator {
 
   using Work = std::function<void(WorkContext&)>;
 
-  /// Enqueues a work item; it runs on whichever core frees up first.
-  /// Returns false after Shutdown.
-  bool Submit(Work work);
+  /// Enqueues a work item under `tenant`; it runs on whichever core frees up
+  /// first, in weighted-fair order across tenants (interactive classes are
+  /// served strictly before bulk, so a flood of bulk minions cannot queue
+  /// ahead of an interactive one). The default tenant (0, interactive)
+  /// preserves the legacy single-tenant behavior. Returns false after
+  /// Shutdown.
+  bool Submit(Work work, const qos::TenantContext& tenant = {});
 
   /// Enqueues and returns a future completed when the item finishes.
-  std::future<void> SubmitWithFuture(Work work);
+  std::future<void> SubmitWithFuture(Work work, const qos::TenantContext& tenant = {});
+
+  /// DRR weight of `tenant_id` within its priority class (>= 1).
+  void SetTenantWeight(std::uint32_t tenant_id, std::uint32_t weight) {
+    queue_.SetWeight(tenant_id, weight);
+  }
+  /// Toggles weighted-fair core scheduling; false restores arrival-order
+  /// FIFO (the pre-QoS behavior, the isolation experiments' control).
+  void SetQosScheduling(bool enabled) { queue_.SetFairShare(enabled); }
+  bool qos_scheduling() const { return queue_.fair_share(); }
+  /// Per-tenant service accounting of the core input queue.
+  std::vector<qos::TenantCounters> TenantCounters() const { return queue_.Counters(); }
 
   void Shutdown();
 
@@ -102,7 +128,7 @@ class CoreEmulator {
   std::vector<std::uint32_t> pending_;  // in-flight items per virtual core
   std::uint64_t completed_items_ = 0;   // for the average-cost estimate
   double total_charged_s_ = 0;
-  util::MpmcQueue<Work> queue_;
+  qos::FairQueue<Work> queue_;
   std::vector<std::unique_ptr<VirtualClock>> clocks_;
   std::vector<std::unique_ptr<BusyMeter>> busy_;
   std::vector<std::thread> workers_;

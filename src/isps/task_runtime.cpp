@@ -22,6 +22,8 @@ void TaskRuntime::AttachTelemetry(telemetry::Registry* registry,
                                   telemetry::QueryLedger* ledger) {
   trace_ = trace;
   ledger_ = ledger;
+  metrics_ = registry;
+  prefix_ = std::string(prefix);
   if (registry == nullptr) return;
   const std::string p(prefix);
   tasks_spawned_ = &registry->GetCounter(p + ".tasks_spawned");
@@ -68,8 +70,19 @@ std::uint32_t TaskRuntime::Spawn(const proto::Command& command, Callback done) {
   }
 
   if (tasks_spawned_ != nullptr) tasks_spawned_->Add();
+  // QoS identity from the wire (v4 fields; zero for down-level frames =
+  // unattributed interactive). The core scheduler serves competing tenants
+  // weighted-fair by it, and the executing core installs it thread-locally
+  // so the task's internal flash IO competes at its owner's class too.
+  qos::TenantContext tenant;
+  tenant.tenant_id = command.tenant_id;
+  tenant.priority = command.priority >= static_cast<std::uint8_t>(qos::kPriorityClasses)
+                        ? qos::Priority::kBulk
+                        : static_cast<qos::Priority>(command.priority);
   const proto::Command cmd = command;  // own a copy across the async boundary
-  cores_->Submit([this, cmd, pid, fault, done = std::move(done)](WorkContext& core) {
+  cores_->Submit([this, cmd, pid, fault, tenant,
+                  done = std::move(done)](WorkContext& core) {
+    qos::ScopedTenant tenant_scope(tenant);
     // Dispatch instant on the executing core's timeline: every charge of
     // this task lands on the same clock, so the run span nests inside the
     // dispatch->respond span by construction.
@@ -103,6 +116,7 @@ std::uint32_t TaskRuntime::Spawn(const proto::Command& command, Callback done) {
     response.root_span_id = run_ctx.span_id;
     if (ledger_ != nullptr && cmd.trace_query_id != 0) {
       telemetry::QueryCost qc;
+      qc.tenant_id = tenant.tenant_id;
       qc.minions = 1;
       qc.bytes_read = response.bytes_read;
       qc.bytes_written = response.bytes_written;
@@ -127,6 +141,25 @@ std::uint32_t TaskRuntime::Spawn(const proto::Command& command, Callback done) {
     const bool failed = !response.ok() || response.exit_code != 0;
     if (failed && tasks_failed_ != nullptr) tasks_failed_->Add();
     if (task_us_ != nullptr) task_us_->Add(response.elapsed_s() * 1e6);
+    if (metrics_ != nullptr) {
+      // Tenant-labeled SLO tracking: service time and sojourn (queue wait +
+      // service — the latency a noisy neighbor inflates). The wait endpoints
+      // both read the cluster makespan (see WorkContext::queue_wait_s), so
+      // the value isolates the scheduling discipline from per-core clock
+      // skew. GetHistogram is get-or-create under the registry mutex, so
+      // first-use creation per tenant is safe here.
+      const std::string tp = prefix_ + ".tenant" + std::to_string(tenant.tenant_id);
+      metrics_->GetHistogram(tp + ".task_us", telemetry::Histogram::LatencyUsBounds())
+          .Add(response.elapsed_s() * 1e6);
+      metrics_->GetHistogram(tp + ".wait_us", telemetry::Histogram::LatencyUsBounds())
+          .Add(core.queue_wait_s() * 1e6);
+      const units::Seconds sojourn =
+          core.queue_wait_s() +
+          std::max(0.0, response.end_time_s - response.start_time_s);
+      metrics_->GetHistogram(tp + ".sojourn_us",
+                              telemetry::Histogram::LatencyUsBounds())
+          .Add(sojourn * 1e6);
+    }
     if (trace_ != nullptr) {
       const std::uint64_t run_start = ToNanoTicks(response.start_time_s);
       const std::uint64_t run_end = ToNanoTicks(response.end_time_s);

@@ -105,6 +105,11 @@ class TaskRuntime {
 
   telemetry::TraceRing* trace_ = nullptr;
   telemetry::QueryLedger* ledger_ = nullptr;
+  /// Registry + prefix retained for lazily-created per-tenant SLO
+  /// histograms ("<prefix>.tenant<t>.task_us" service time and
+  /// "<prefix>.tenant<t>.sojourn_us" queueing-inclusive latency).
+  telemetry::Registry* metrics_ = nullptr;
+  std::string prefix_;
   telemetry::Counter* tasks_spawned_ = nullptr;  // owned by the registry
   telemetry::Counter* tasks_failed_ = nullptr;
   telemetry::Counter* stdout_truncated_ = nullptr;

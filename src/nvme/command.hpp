@@ -9,6 +9,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/qos.hpp"
 #include "common/status.hpp"
 #include "common/units.hpp"
 #include "telemetry/trace.hpp"
@@ -62,6 +63,13 @@ struct Command {
   /// (fresh child span ids are allocated per recorded span). Untagged when
   /// query_id == 0.
   telemetry::TraceContext trace;
+
+  /// QoS identity of the submitting tenant. The controller's weighted-fair
+  /// arbiter queues commands per tenant and serves interactive tenants ahead
+  /// of bulk ones; the internal flash path stamps this from the executing
+  /// core's thread-local tenant so a minion's IO competes at its owner's
+  /// class. Tenant 0 (default) is unattributed interactive traffic.
+  qos::TenantContext qos;
 
   /// Device-internal command (the ISPS flash-access path). Internal commands
   /// skip the PCIe link, the per-command firmware overhead, and the host

@@ -23,6 +23,14 @@ const char* OpcodeName(Opcode op) {
   }
   return "unknown";
 }
+
+/// Device-wide-unique trace span id for one command: CIDs are only unique
+/// within one queue pair's space, so host commands are qualified by sqid + 1;
+/// the internal ring keeps the bare CID (slot 0).
+std::uint64_t TraceSpanId(const Command& cmd) {
+  if (cmd.internal) return cmd.cid;
+  return (static_cast<std::uint64_t>(cmd.sqid) + 1) << 16 | cmd.cid;
+}
 }  // namespace
 
 double FlashJoules(const energy::FlashPowerProfile& p, const ftl::IoCost& cost,
@@ -57,7 +65,15 @@ Controller::Controller(ftl::Ftl* ftl, PcieLink* link, energy::EnergyMeter* meter
               std::max<std::size_t>(1, config.queue_depth),
               std::max<std::size_t>(1, config.backend_workers)},
       internal_sq_(config_.queue_depth),
-      dispatch_(config_.queue_depth) {
+      vqueues_(/*quantum=*/16, /*capacity=*/0),
+      // The dispatch stage is deliberately shallow — just enough to keep the
+      // workers fed. Commands that pass it are past the arbitration decision
+      // and execute in FIFO order, so a deep stage would let a bulk burst
+      // commit ahead of a later interactive arrival and defeat the DRR
+      // priority. Back-pressure lands in the (unbounded) virtual queues,
+      // where the arbiter can still reorder; host back-pressure stays with
+      // the bounded SQ rings.
+      dispatch_(config_.backend_workers) {
   qps_.reserve(config_.queue_pairs);
   for (std::size_t i = 0; i < config_.queue_pairs; ++i) {
     qps_.push_back(std::make_unique<QueuePair>(config_.queue_depth));
@@ -100,6 +116,7 @@ void Controller::Stop() {
     while (auto cmd = qp->sq.TryPop()) abort_leftover(std::move(*cmd));
   }
   while (auto cmd = internal_sq_.TryPop()) abort_leftover(std::move(*cmd));
+  while (auto cmd = vqueues_.TryPop()) abort_leftover(std::move(*cmd));
   for (auto& qp : qps_) qp->cq.Close();
   workers_.clear();
 }
@@ -135,7 +152,7 @@ std::vector<Completion> Controller::PopCompletionBatch(std::uint16_t sqid,
 }
 
 std::size_t Controller::BacklogDepth() const {
-  std::size_t depth = internal_sq_.size() + dispatch_.size();
+  std::size_t depth = internal_sq_.size() + vqueues_.size() + dispatch_.size();
   for (const auto& qp : qps_) depth += qp->sq.size();
   return depth;
 }
@@ -170,6 +187,9 @@ void Controller::AttachTelemetry(telemetry::Registry* registry,
   registry->RegisterProbe("nvme.backlog", telemetry::MetricKind::kGauge, [this] {
     return static_cast<double>(BacklogDepth());
   });
+  registry->RegisterProbe("nvme.vq_depth", telemetry::MetricKind::kGauge, [this] {
+    return static_cast<double>(vqueues_.size());
+  });
   for (std::size_t i = 0; i < qps_.size(); ++i) {
     const std::string qp = "nvme.qp" + std::to_string(i);
     registry->RegisterProbe(qp + ".sq_depth", telemetry::MetricKind::kGauge,
@@ -198,6 +218,7 @@ ControllerStats Controller::Stats() const {
   for (const auto& qp : qps_) {
     s.per_queue_commands.push_back(qp->arbitrated.load(std::memory_order_relaxed));
   }
+  s.tenants = vqueues_.Counters();
   return s;
 }
 
@@ -211,27 +232,58 @@ units::Seconds Controller::Makespan() const {
   return m;
 }
 
-void Controller::ArbitrateLoop() {
-  // Round-robin over the host queue pairs plus the internal ring (index
-  // qps_.size()): NVMe's default arbitration, with the ISPS ring treated as
-  // one more contender — exactly the paper's shared back-end.
+void Controller::PullIntoVirtualQueues(std::size_t* ring_cursor) {
+  // One doorbell signal per accepted submission, and only this thread pops,
+  // so a command is guaranteed to be waiting in some ring. The scan rotates
+  // over the host queue pairs plus the internal ring (index qps_.size()),
+  // with the ISPS ring treated as one more contender — exactly the paper's
+  // shared back-end.
   const std::size_t rings = qps_.size() + 1;
-  std::size_t rr = 0;
-  while (doorbell_.Wait()) {
-    // One doorbell signal per accepted submission, and only this thread
-    // pops, so a command is guaranteed to be waiting in some ring.
-    std::optional<Command> cmd;
-    while (!cmd) {
-      for (std::size_t i = 0; i < rings && !cmd; ++i) {
-        const std::size_t q = (rr + i) % rings;
-        cmd = q == qps_.size() ? internal_sq_.TryPop() : qps_[q]->sq.TryPop();
-        if (cmd && q < qps_.size()) {
-          qps_[q]->arbitrated.fetch_add(1, std::memory_order_relaxed);
-          rr = (q + 1) % rings;
-        } else if (cmd) {
-          rr = 0;
-        }
+  std::optional<Command> cmd;
+  while (!cmd) {
+    for (std::size_t i = 0; i < rings && !cmd; ++i) {
+      const std::size_t q = (*ring_cursor + i) % rings;
+      cmd = q == qps_.size() ? internal_sq_.TryPop() : qps_[q]->sq.TryPop();
+      if (cmd && q < qps_.size()) {
+        qps_[q]->arbitrated.fetch_add(1, std::memory_order_relaxed);
+        *ring_cursor = (q + 1) % rings;
+      } else if (cmd) {
+        *ring_cursor = 0;
       }
+    }
+  }
+  // Fairness is measured in flash pages: a 64-page read costs 64 service
+  // units, so tenants split media time, not command slots.
+  const qos::TenantContext tenant = cmd->qos;
+  const auto cost = std::max<std::uint64_t>(1, cmd->nlb);
+  vqueues_.Push(std::move(*cmd), tenant, cost);
+}
+
+void Controller::ArbitrateLoop() {
+  std::size_t ring_cursor = 0;
+  // The virtual queues look one dispatch window deep: draining more would
+  // defeat the rings' back-pressure (Submit blocks on a full SQ) by moving
+  // the whole backlog device-side.
+  const std::size_t window = config_.queue_depth;
+  for (;;) {
+    if (vqueues_.size() == 0) {
+      if (!doorbell_.Wait()) break;  // closed and every signal consumed
+      PullIntoVirtualQueues(&ring_cursor);
+    }
+    // Sweep whatever else has been submitted so the weighted-fair decision
+    // sees the full (windowed) backlog, not one command at a time.
+    while (vqueues_.size() < window && doorbell_.TryWait()) {
+      PullIntoVirtualQueues(&ring_cursor);
+    }
+    std::optional<Command> cmd = vqueues_.TryPop();
+    if (!cmd) continue;
+    if (registry_ != nullptr) {
+      telemetry::Counter*& c = tenant_arbitrated_[cmd->qos.tenant_id];
+      if (c == nullptr) {
+        c = &registry_->GetCounter(
+            "nvme.tenant" + std::to_string(cmd->qos.tenant_id) + ".arbitrated");
+      }
+      c->Add();
     }
 
     double injected_delay_s = 0;
@@ -316,14 +368,18 @@ void Controller::ExecuteAndComplete(Command cmd, double injected_delay_s,
     const std::uint64_t exec_end = exec_start + ToNanoTicks(cqe.latency);
     const std::string name = OpcodeName(cmd.opcode);
     const auto tid = static_cast<std::uint32_t>(worker);
+    // Queue-pair-qualified span id: CID spaces are per queue pair (and the
+    // async host path allocates from its own range), so the bare CID is not
+    // unique device-wide and would group unrelated commands in the trace.
+    const std::uint64_t span_id = TraceSpanId(cmd);
     telemetry::TraceContext span_ctx, exec_ctx;
     if (cmd.trace.traced()) {
       span_ctx = {cmd.trace.query_id, telemetry::NextSpanId(), cmd.trace.span_id};
       exec_ctx = {cmd.trace.query_id, telemetry::NextSpanId(), span_ctx.span_id};
     }
-    trace_->Record("nvme", name + ".exec", cmd.cid, exec_start, exec_end, tid,
+    trace_->Record("nvme", name + ".exec", span_id, exec_start, exec_end, tid,
                    exec_ctx);
-    trace_->Record("nvme", name, cmd.cid, cmd.submit_ns, exec_end, tid, span_ctx);
+    trace_->Record("nvme", name, span_id, cmd.submit_ns, exec_end, tid, span_ctx);
     // Flash media time as a child of the execution span, so the stitched
     // tree reaches from the host query down to the NAND.
     const std::uint64_t flash_ns = ToNanoTicks(cost.flash.latency);
@@ -338,7 +394,7 @@ void Controller::ExecuteAndComplete(Command cmd, double injected_delay_s,
       const char* media_op = cost.flash.flash_programs != 0  ? "program"
                              : cost.flash.flash_erases != 0 ? "erase"
                                                             : "read";
-      trace_->Record("flash", media_op, cmd.cid,
+      trace_->Record("flash", media_op, span_id,
                      exec_end > flash_ns ? exec_end - flash_ns : 0, exec_end,
                      tid, flash_ctx);
     }
@@ -425,8 +481,9 @@ bool Controller::Execute(Command& cmd, Completion* out, ExecCost* cost) {
           // a lane one past the back-end workers. The recorded span carries
           // the client-allocated root identity, so every device-side span for
           // this query nests under it.
-          trace_->Record("nvme", OpcodeName(opcode), cid, submit_ns,
-                         submit_ns + ToNanoTicks(cqe.latency),
+          trace_->Record("nvme", OpcodeName(opcode),
+                         (static_cast<std::uint64_t>(sqid) + 1) << 16 | cid,
+                         submit_ns, submit_ns + ToNanoTicks(cqe.latency),
                          static_cast<std::uint32_t>(config_.backend_workers),
                          trace_ctx);
         }

@@ -1,31 +1,42 @@
 // NVMe front-end controller: N submission/completion queue pairs drained by
-// a round-robin arbiter (the paper's "front-end subsystem"), feeding a pool
-// of back-end workers that execute IO against the FTL concurrently (the
-// "back-end"). One extra, host-invisible submission ring carries the ISPS
-// internal flash traffic through the same arbitration, so host-vs-in-situ
-// contention is part of the model rather than an assumption.
+// an arbiter (the paper's "front-end subsystem"), feeding a pool of back-end
+// workers that execute IO against the FTL concurrently (the "back-end").
+// One extra, host-invisible submission ring carries the ISPS internal flash
+// traffic through the same arbitration, so host-vs-in-situ contention is
+// part of the model rather than an assumption.
+//
+// Arbitration is weighted-fair: the arbiter eagerly drains the rings into
+// per-tenant virtual queues (tenant identity rides on Command::qos) and
+// serves them deficit-round-robin with strict interactive-over-bulk
+// priority, so a bulk tenant saturating the device cannot queue its IO ahead
+// of an interactive tenant's. SetQosArbitration(false) falls back to plain
+// arrival-order service — the pre-QoS behavior, kept as the isolation
+// experiments' control. Command cost is its flash footprint (max(1, nlb)
+// pages), so fairness is measured in media time, not command count.
 //
 // Vendor in-situ commands are delegated to a handler installed by the ISPS
 // agent — the controller only ferries them, mirroring the hardware where the
 // NVMe controller and the ISPS are separate subsystems.
 //
 // Fault injection: the arbiter consults the FaultInjector once per *host*
-// command, in arbitration order, before dispatch. Internal commands bypass
-// the hook — they model firmware-to-flash traffic that a host-visible fault
-// schedule must not perturb (and PR 1's scripted op windows depend on host
-// submissions keeping their 1-based indices).
+// command, in arbitration (virtual-queue service) order, before dispatch.
+// Internal commands bypass the hook — they model firmware-to-flash traffic
+// that a host-visible fault schedule must not perturb (and PR 1's scripted
+// op windows depend on host submissions keeping their 1-based indices).
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
 
+#include "common/qos.hpp"
 #include "common/sim_clock.hpp"
 #include "energy/energy.hpp"
 #include "ftl/ftl.hpp"
@@ -72,6 +83,9 @@ struct ControllerStats {
   std::uint64_t faults_injected = 0;  // commands the fault injector altered
   /// Commands arbitrated per host queue pair (index == sqid).
   std::vector<std::uint64_t> per_queue_commands;
+  /// Per-tenant virtual-queue service accounting (DRR weights, items and
+  /// cost units served, current backlog), ordered by tenant id.
+  std::vector<qos::TenantCounters> tenants;
 };
 
 class Controller {
@@ -108,6 +122,17 @@ class Controller {
   void SetFaultInjector(sim::FaultInjector* injector) {
     fault_.store(injector, std::memory_order_release);
   }
+
+  /// DRR weight of `tenant_id` within its priority class (>= 1). Thread-safe,
+  /// effective from the next arbitration decision.
+  void SetTenantWeight(std::uint32_t tenant_id, std::uint32_t weight) {
+    vqueues_.SetWeight(tenant_id, weight);
+  }
+
+  /// Toggles weighted-fair arbitration. false = arrival-order fallback (the
+  /// pre-QoS behavior), used as the noisy-neighbor experiments' control.
+  void SetQosArbitration(bool enabled) { vqueues_.SetFairShare(enabled); }
+  bool qos_arbitration() const { return vqueues_.fair_share(); }
 
   /// Submits to host queue pair `sqid`. Blocks when that queue is full
   /// (device back-pressure); returns false after Stop() or for an unknown
@@ -179,6 +204,15 @@ class Controller {
       --count_;
       return true;
     }
+    /// Consumes a signal if one is pending, without blocking. Lets the
+    /// arbiter sweep the whole visible backlog into the virtual queues
+    /// before each service decision.
+    bool TryWait() {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (count_ == 0) return false;
+      --count_;
+      return true;
+    }
     void Close() {
       {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -215,6 +249,10 @@ class Controller {
   };
 
   void ArbitrateLoop();
+  /// Moves exactly one accepted submission (guaranteed present by a consumed
+  /// doorbell signal) from the rings into the per-tenant virtual queues.
+  /// `ring_cursor` rotates across rings so the drain itself stays fair.
+  void PullIntoVirtualQueues(std::size_t* ring_cursor);
   void WorkerLoop(std::size_t worker);
   void ExecuteAndComplete(Command cmd, double injected_delay_s, std::size_t worker);
   /// Executes a synchronous (IO/admin) command; vendor commands are handed
@@ -236,6 +274,11 @@ class Controller {
   std::vector<std::unique_ptr<QueuePair>> qps_;
   util::MpmcQueue<Command> internal_sq_;
   Doorbell doorbell_;
+  /// Per-tenant virtual queues between the rings and the dispatch stage.
+  /// The arbiter drains rings into them eagerly — bounded by one
+  /// queue_depth's worth of visibility, so ring back-pressure survives —
+  /// then serves them weighted-fair. Cost unit: flash pages (max(1, nlb)).
+  qos::FairQueue<Command> vqueues_;
   util::MpmcQueue<Dispatched> dispatch_;
 
   std::thread arbiter_;
@@ -255,6 +298,9 @@ class Controller {
   telemetry::TraceRing* trace_ = nullptr;
   telemetry::QueryLedger* ledger_ = nullptr;
   telemetry::Histogram* cmd_us_ = nullptr;  // owned by registry_
+  /// Lazily-created "nvme.tenant<t>.arbitrated" counters (registry-owned).
+  /// Touched only by the arbiter thread after the first command of a tenant.
+  std::map<std::uint32_t, telemetry::Counter*> tenant_arbitrated_;
 
   std::atomic<sim::FaultInjector*> fault_{nullptr};
   /// Device-local virtual timeline: accumulated model latency of synchronous

@@ -83,6 +83,21 @@ std::future<Completion> HostInterface::Submit(Command cmd) {
   return future;
 }
 
+bool HostInterface::SubmitAsync(Command cmd, CompletionCallback done) {
+  // Async CIDs live in the top half of the CID space, away from the per-pair
+  // sync counters (which start at 1) — completions are routed by callback,
+  // not CID, but distinct ids keep per-command trace spans distinct.
+  cmd.cid = static_cast<std::uint16_t>(
+      0x8000u | (async_cid_.fetch_add(1, std::memory_order_relaxed) & 0x7FFFu));
+  cmd.on_complete = std::move(done);
+  const auto sqid = static_cast<std::uint16_t>(
+      async_rr_.fetch_add(1, std::memory_order_relaxed) % queues_.size());
+  // A false return (queue closed: device stopping) means the command — and
+  // its callback — were discarded without firing; the synchronous return
+  // value is the rejection signal.
+  return controller_->Submit(std::move(cmd), sqid);
+}
+
 void HostInterface::ReaperLoop(std::uint16_t sqid) {
   QueueState& q = *queues_[sqid];
   while (true) {

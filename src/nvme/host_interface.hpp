@@ -33,6 +33,19 @@ class HostInterface {
   /// completion. The command goes to the calling thread's affine queue pair.
   std::future<Completion> Submit(Command cmd);
 
+  using CompletionCallback = std::function<void(Completion)>;
+
+  /// Callback-style submission for callers with many commands in flight (the
+  /// cluster's query frontier): no promise/future pair, no pending-map entry,
+  /// no reaper hop — the controller invokes `done` directly from its
+  /// completion path (Command::on_complete). `done` fires exactly once, on a
+  /// controller thread, unless the fault injector *drops* the command, in
+  /// which case it never fires — callers that can see drops must bound their
+  /// wait (the frontier's deadline sweeper). Commands are spread round-robin
+  /// across queue pairs rather than by thread affinity, since one dispatcher
+  /// thread typically issues for many logical submitters.
+  bool SubmitAsync(Command cmd, CompletionCallback done);
+
   /// Queue pair the calling thread submits on.
   std::uint16_t PreferredQueue() const;
 
@@ -69,6 +82,13 @@ class HostInterface {
   Controller* controller_;
   std::vector<std::unique_ptr<QueueState>> queues_;
   std::atomic<bool> running_{true};
+  /// Round-robin cursor for SubmitAsync queue-pair spreading.
+  std::atomic<std::uint32_t> async_rr_{0};
+  /// CID space for SubmitAsync commands (mapped into 0x8000..0xFFFF, away
+  /// from the per-pair sync counters). Callback completions are routed by
+  /// on_complete, not by CID lookup, so a collision would be harmless — but
+  /// distinct ids keep per-command trace spans and log lines apart.
+  std::atomic<std::uint16_t> async_cid_{1};
 };
 
 }  // namespace compstor::nvme

@@ -17,6 +17,9 @@ constexpr std::uint8_t kFrameQueryReply = 0x52;  // 'R'
 //       at the end of their sections and are read only when the frame's
 //       version byte says v3, so v2 frames (persisted traces, down-level
 //       peers) still decode.
+//   v4: multi-tenant QoS — Command carries tenant_id / priority, appended
+//       after the trace fields under the same rule: v2/v3 frames decode with
+//       the fields at their zero defaults (unattributed, interactive).
 
 void PutStringList(util::ByteWriter& w, const std::vector<std::string>& list) {
   w.PutU32(static_cast<std::uint32_t>(list.size()));
@@ -47,6 +50,10 @@ void PutCommand(util::ByteWriter& w, const Command& c, std::uint8_t version) {
     w.PutU64(c.trace_query_id);
     w.PutU64(c.trace_parent_span);
   }
+  if (version >= 4) {
+    w.PutU32(c.tenant_id);
+    w.PutU8(c.priority);
+  }
 }
 
 Result<Command> GetCommand(util::ByteReader& r, std::uint8_t version) {
@@ -66,6 +73,10 @@ Result<Command> GetCommand(util::ByteReader& r, std::uint8_t version) {
   if (version >= 3) {
     COMPSTOR_ASSIGN_OR_RETURN(c.trace_query_id, r.GetU64());
     COMPSTOR_ASSIGN_OR_RETURN(c.trace_parent_span, r.GetU64());
+  }
+  if (version >= 4) {
+    COMPSTOR_ASSIGN_OR_RETURN(c.tenant_id, r.GetU32());
+    COMPSTOR_ASSIGN_OR_RETURN(c.priority, r.GetU8());
   }
   return c;
 }

@@ -24,10 +24,12 @@
 namespace compstor::proto {
 
 /// Wire version this build emits. v3 added the distributed-tracing fields
-/// (Command.trace_query_id / trace_parent_span, Response.root_span_id),
-/// appended at the end of their sections so a v3 decoder still reads v2
-/// frames: the extra fields are only consumed when the frame says v3.
-inline constexpr std::uint8_t kWireVersion = 3;
+/// (Command.trace_query_id / trace_parent_span, Response.root_span_id);
+/// v4 adds the multi-tenant QoS fields (Command.tenant_id / priority). New
+/// fields are appended at the end of their sections so this decoder still
+/// reads v2/v3 frames: the extra fields are only consumed when the frame's
+/// version byte says they are present.
+inline constexpr std::uint8_t kWireVersion = 4;
 /// Oldest version this build still decodes.
 inline constexpr std::uint8_t kMinWireVersion = 2;
 
@@ -59,6 +61,13 @@ struct Command {
   // this command's behalf nests under them.
   std::uint64_t trace_query_id = 0;
   std::uint64_t trace_parent_span = 0;
+
+  // Multi-tenant QoS (v4+). The submitting tenant (0 = unattributed) and its
+  // service class (qos::Priority as integer: 0 interactive, 1 bulk). Stamped
+  // by the client alongside the trace context; the device's NVMe arbiter and
+  // core scheduler serve competing tenants weighted-fair by these fields.
+  std::uint32_t tenant_id = 0;
+  std::uint8_t priority = 0;
 };
 
 struct Response {

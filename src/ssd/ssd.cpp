@@ -154,6 +154,9 @@ nvme::Completion Ssd::SubmitInternalSync(nvme::Command cmd) {
   // owning query's context; stamp it so the back-end can tag and attribute
   // the flash work, even though it executes on a worker thread.
   cmd.trace = telemetry::CurrentTraceContext();
+  // Same propagation for the tenant: internal flash IO issued while serving a
+  // minion competes in the arbiter under its owner's virtual queue.
+  cmd.qos = qos::CurrentTenant();
   cmd.on_complete = [&done](nvme::Completion cqe) { done.set_value(std::move(cqe)); };
   if (!controller_->SubmitInternal(std::move(cmd))) {
     nvme::Completion cqe;

@@ -9,6 +9,13 @@ void QueryLedger::Add(std::uint64_t query_id, const QueryCost& delta) {
   if (query_id == 0) return;
   std::lock_guard<std::mutex> lock(mutex_);
   rows_[query_id].Add(delta);
+  // Capped retention: evict the smallest (oldest-allocated) query id. A
+  // straggler charge to an evicted query recreates its row briefly; it ages
+  // out again — bounded memory matters more than perfect late attribution.
+  while (capacity_ != 0 && rows_.size() > capacity_) {
+    rows_.erase(rows_.begin());
+    ++evictions_;
+  }
 }
 
 std::vector<std::pair<std::uint64_t, QueryCost>> QueryLedger::Snapshot() const {
@@ -29,6 +36,7 @@ std::vector<MetricValue> QueryLedger::ToMetrics(std::string_view prefix) const {
       m.value = v;
       out.push_back(std::move(m));
     };
+    add("tenant", MetricKind::kGauge, static_cast<double>(c.tenant_id));
     add("minions", MetricKind::kCounter, static_cast<double>(c.minions));
     add("bytes_read", MetricKind::kCounter, static_cast<double>(c.bytes_read));
     add("bytes_written", MetricKind::kCounter, static_cast<double>(c.bytes_written));
@@ -40,7 +48,26 @@ std::vector<MetricValue> QueryLedger::ToMetrics(std::string_view prefix) const {
     add("energy_j", MetricKind::kGauge, c.energy_j);
     add("flash_energy_j", MetricKind::kGauge, c.flash_energy_j);
   }
+  MetricValue ev;
+  ev.name = std::string(prefix) + "evicted";
+  ev.kind = MetricKind::kCounter;
+  ev.value = static_cast<double>(evictions());
+  out.push_back(std::move(ev));
   return out;
+}
+
+void QueryLedger::SetCapacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = capacity;
+  while (capacity_ != 0 && rows_.size() > capacity_) {
+    rows_.erase(rows_.begin());
+    ++evictions_;
+  }
+}
+
+std::uint64_t QueryLedger::evictions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
 }
 
 std::size_t QueryLedger::size() const {
@@ -55,14 +82,15 @@ void QueryLedger::Clear() {
 
 void PrintQueryLedgerTable(
     std::FILE* out, const std::vector<std::pair<std::uint64_t, QueryCost>>& rows) {
-  std::fprintf(out, "%-10s %7s %10s %7s %7s %9s %9s %10s %10s\n", "query",
-               "minions", "MiB", "fl.rd", "fl.pr", "cpu-ms", "io-ms", "task-mJ",
-               "flash-mJ");
+  std::fprintf(out, "%-10s %6s %7s %10s %7s %7s %9s %9s %10s %10s\n", "query",
+               "tenant", "minions", "MiB", "fl.rd", "fl.pr", "cpu-ms", "io-ms",
+               "task-mJ", "flash-mJ");
   QueryCost total;
   for (const auto& [id, c] : rows) {
     total.Add(c);
-    std::fprintf(out, "%-10llu %7llu %10.3f %7llu %7llu %9.3f %9.3f %10.3f %10.3f\n",
-                 static_cast<unsigned long long>(id),
+    std::fprintf(out,
+                 "%-10llu %6u %7llu %10.3f %7llu %7llu %9.3f %9.3f %10.3f %10.3f\n",
+                 static_cast<unsigned long long>(id), c.tenant_id,
                  static_cast<unsigned long long>(c.minions),
                  static_cast<double>(c.bytes_read + c.bytes_written) / (1 << 20),
                  static_cast<unsigned long long>(c.flash_reads),
@@ -70,8 +98,8 @@ void PrintQueryLedgerTable(
                  c.compute_s * 1e3, c.io_s * 1e3, c.energy_j * 1e3,
                  c.flash_energy_j * 1e3);
   }
-  std::fprintf(out, "%-10s %7llu %10.3f %7llu %7llu %9.3f %9.3f %10.3f %10.3f\n",
-               "total", static_cast<unsigned long long>(total.minions),
+  std::fprintf(out, "%-10s %6s %7llu %10.3f %7llu %7llu %9.3f %9.3f %10.3f %10.3f\n",
+               "total", "-", static_cast<unsigned long long>(total.minions),
                static_cast<double>(total.bytes_read + total.bytes_written) / (1 << 20),
                static_cast<unsigned long long>(total.flash_reads),
                static_cast<unsigned long long>(total.flash_programs),
@@ -89,12 +117,13 @@ std::string QueryLedgerToJson(
     first = false;
     char buf[512];
     std::snprintf(buf, sizeof(buf),
-                  "\n  {\"query\": %llu, \"minions\": %llu, \"bytes_read\": %llu, "
+                  "\n  {\"query\": %llu, \"tenant\": %u, \"minions\": %llu, "
+                  "\"bytes_read\": %llu, "
                   "\"bytes_written\": %llu, \"flash_reads\": %llu, "
                   "\"flash_programs\": %llu, \"data_corruption\": %llu, "
                   "\"compute_s\": %.9g, \"io_s\": %.9g, "
                   "\"energy_j\": %.9g, \"flash_energy_j\": %.9g}",
-                  static_cast<unsigned long long>(id),
+                  static_cast<unsigned long long>(id), c.tenant_id,
                   static_cast<unsigned long long>(c.minions),
                   static_cast<unsigned long long>(c.bytes_read),
                   static_cast<unsigned long long>(c.bytes_written),

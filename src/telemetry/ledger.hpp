@@ -27,6 +27,7 @@ namespace compstor::telemetry {
 /// Accumulated cost of one query (one minion, or the merge of several when a
 /// query fans out / is re-dispatched).
 struct QueryCost {
+  std::uint32_t tenant_id = 0;     // owning tenant (0 = unattributed)
   std::uint64_t minions = 0;       // tasks completed under this query id
   std::uint64_t bytes_read = 0;    // task-level bytes in
   std::uint64_t bytes_written = 0; // task-level bytes out
@@ -39,6 +40,10 @@ struct QueryCost {
   double flash_energy_j = 0;       // media + controller joules of tagged IO
 
   void Add(const QueryCost& o) {
+    // Identity, not an accumulator: any attributed delta claims the row (a
+    // query belongs to exactly one tenant; layers that do not know it — the
+    // NVMe back-end — contribute tenant 0 and must not erase the label).
+    if (o.tenant_id != 0) tenant_id = o.tenant_id;
     minions += o.minions;
     bytes_read += o.bytes_read;
     bytes_written += o.bytes_written;
@@ -54,8 +59,18 @@ struct QueryCost {
 
 class QueryLedger {
  public:
+  /// Completed-query rows retained by default. Query ids are allocated from
+  /// a monotonic counter, so evicting the smallest id drops the oldest
+  /// query; a 1k-concurrent run stays within one window instead of growing
+  /// every kStats snapshot without bound.
+  static constexpr std::size_t kDefaultCapacity = 1024;
+
+  explicit QueryLedger(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity) {}
+
   /// Merges `delta` into the row for `query_id`. query_id 0 (untagged work)
-  /// is ignored, so callers can charge unconditionally.
+  /// is ignored, so callers can charge unconditionally. May evict the
+  /// oldest row when the ledger is at capacity.
   void Add(std::uint64_t query_id, const QueryCost& delta);
 
   /// Point-in-time copy of every row, ordered by query id.
@@ -63,14 +78,23 @@ class QueryLedger {
 
   /// Ledger rows as registry-style metrics: "<prefix><id>.<field>". Counters
   /// for the count fields, gauges for seconds/joules — the same shapes the
-  /// kStats wire format already carries.
+  /// kStats wire format already carries. Appends "<prefix>evicted", the
+  /// cumulative rows dropped by the retention cap (readers can tell a small
+  /// ledger from a truncated one).
   std::vector<MetricValue> ToMetrics(std::string_view prefix = "query.") const;
+
+  /// Retention cap (rows). 0 = unbounded (tests that inspect every row).
+  void SetCapacity(std::size_t capacity);
+  /// Rows evicted by the retention cap, cumulative.
+  std::uint64_t evictions() const;
 
   std::size_t size() const;
   void Clear();
 
  private:
   mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::uint64_t evictions_ = 0;
   std::map<std::uint64_t, QueryCost> rows_;
 };
 

@@ -3,12 +3,15 @@
 // complementing the end-to-end cluster tests in test_integration.cpp.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <numeric>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "client/cluster.hpp"
+#include "common/qos.hpp"
 #include "isps/agent.hpp"
 #include "sim/fault.hpp"
 #include "ssd/profiles.hpp"
@@ -364,6 +367,116 @@ TEST(DegradedCluster, ScriptedScheduleMatchesHealthyRunAndReproduces) {
   EXPECT_EQ(faulty_again.outputs, faulty.outputs);
   EXPECT_EQ(faulty_again.redispatches, faulty.redispatches);
   EXPECT_EQ(faulty_again.fired, faulty.fired);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent query frontier: admission window, tenant attribution, and
+// multi-tenant RunAll running from several threads at once.
+
+std::vector<Cluster::WorkItem> EchoBatch(const std::string& tag, int n) {
+  std::vector<Cluster::WorkItem> work;
+  for (int i = 0; i < n; ++i) {
+    proto::Command cmd;
+    cmd.type = proto::CommandType::kExecutable;
+    cmd.executable = "echo";
+    cmd.args = {tag + std::to_string(i)};
+    work.push_back({static_cast<std::size_t>(i % 2), cmd});
+  }
+  return work;
+}
+
+TEST(ClusterQos, ConcurrentRunAllFromTwoTenants) {
+  TwoDevices t;
+  t.cluster.SetTenantWeight(7, 4);  // interactive tenant gets 4x bandwidth
+
+  constexpr int kPerTenant = 12;
+  Status st_a, st_b;
+  std::size_t got_a = 0, got_b = 0;
+  std::thread ta([&] {
+    auto r = t.cluster.RunAll(EchoBatch("a", kPerTenant),
+                              qos::TenantContext{7, qos::Priority::kInteractive});
+    st_a = r.status();
+    if (r.ok()) got_a = r->size();
+  });
+  std::thread tb([&] {
+    auto r = t.cluster.RunAll(EchoBatch("b", kPerTenant),
+                              qos::TenantContext{9, qos::Priority::kBulk});
+    st_b = r.status();
+    if (r.ok()) got_b = r->size();
+  });
+  ta.join();
+  tb.join();
+  ASSERT_TRUE(st_a.ok()) << st_a.ToString();
+  ASSERT_TRUE(st_b.ok()) << st_b.ToString();
+  EXPECT_EQ(got_a, static_cast<std::size_t>(kPerTenant));
+  EXPECT_EQ(got_b, static_cast<std::size_t>(kPerTenant));
+
+  // The shared frontier saw both batches and drained completely.
+  auto stats = t.cluster.FrontierStats();
+  EXPECT_GE(stats.admitted, static_cast<std::uint64_t>(2 * kPerTenant));
+  EXPECT_EQ(stats.completed + stats.rejected + stats.deadline_expired,
+            stats.dispatched);
+  EXPECT_EQ(stats.in_flight, 0u);
+  EXPECT_EQ(stats.queued, 0u);
+
+  // Every ledger row is attributed to one of the two tenants.
+  for (const auto& [id, cost] : t.cluster.query_ledger().Snapshot()) {
+    EXPECT_TRUE(cost.tenant_id == 7 || cost.tenant_id == 9)
+        << "query " << id << " attributed to tenant " << cost.tenant_id;
+  }
+
+  // Per-tenant latency/throughput probes surface through CollectStats.
+  auto metrics = t.cluster.CollectStats();
+  auto has = [&](const std::string& name) {
+    return std::any_of(metrics.begin(), metrics.end(),
+                       [&](const auto& m) { return m.name == name; });
+  };
+  EXPECT_TRUE(has("cluster.tenant7.completed"));
+  EXPECT_TRUE(has("cluster.tenant9.completed"));
+  EXPECT_TRUE(has("cluster.tenant7.minion_us"));
+}
+
+TEST(ClusterQos, AdmissionWindowBoundsInFlight) {
+  TwoDevices t;
+  ClusterPolicy policy;
+  policy.max_in_flight = 2;  // tiny window forces queueing at the frontier
+  t.cluster.set_policy(policy);
+
+  auto results = t.cluster.RunAll(EchoBatch("w", 10),
+                                  qos::TenantContext{3, qos::Priority::kBulk});
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  ASSERT_EQ(results->size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ((*results)[static_cast<std::size_t>(i)].response.stdout_data,
+              "w" + std::to_string(i) + "\n");
+  }
+
+  auto stats = t.cluster.FrontierStats();
+  EXPECT_GE(stats.admitted, 10u);
+  EXPECT_LE(stats.peak_in_flight, 2u);
+}
+
+TEST(ClusterQos, FallbackDisablesFairShareButStillCompletes) {
+  TwoDevices t;
+  t.cluster.SetFairShare(false);  // pre-QoS control arm: global arrival order
+  auto results = t.cluster.RunAll(EchoBatch("f", 6),
+                                  qos::TenantContext{2, qos::Priority::kBulk});
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  ASSERT_EQ(results->size(), 6u);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ((*results)[static_cast<std::size_t>(i)].response.stdout_data,
+              "f" + std::to_string(i) + "\n");
+  }
+  // Flipping back mid-life is allowed; the knob survives frontier rebuilds.
+  t.cluster.SetFairShare(true);
+  EXPECT_TRUE(t.cluster.RunAll(EchoBatch("g", 2)).ok());
+}
+
+TEST(ClusterQos, UntenantedRunAllStaysUnattributed) {
+  TwoDevices t;
+  auto results = t.cluster.RunAll(EchoBatch("u", 4));
+  ASSERT_TRUE(results.ok());
+  for (const auto& m : *results) EXPECT_EQ(m.command.tenant_id, 0u);
 }
 
 }  // namespace

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "client/in_situ.hpp"
+#include "common/qos.hpp"
 #include "ssd/profiles.hpp"
 #include "ssd/ssd.hpp"
 
@@ -282,6 +283,256 @@ TEST(MultiQueueStress, HostAndInternalTrafficStayCoherent) {
   EXPECT_GT(cstats.internal_commands, 0u);
   EXPECT_EQ(cstats.errors, 0u);
   EXPECT_GT(f.ssd.controller().Makespan(), 0.0);
+}
+
+// --- weighted-fair (DRR) arbitration invariants -------------------------
+//
+// The qos::FairQueue below is the scheduler shared by the NVMe arbiter, the
+// ISPS core emulator, and the client frontier; these tests pin down its
+// service-order contract. Single-threaded tests preload a backlog and pop
+// synchronously so the observed order is exactly the scheduler's decision.
+
+qos::TenantContext Tenant(std::uint32_t id,
+                          qos::Priority prio = qos::Priority::kBulk) {
+  qos::TenantContext t;
+  t.tenant_id = id;
+  t.priority = prio;
+  return t;
+}
+
+TEST(FairQueueQos, ThroughputProportionalToWeights) {
+  qos::FairQueue<std::uint32_t> q(/*quantum=*/4);
+  q.SetWeight(1, 3);
+  q.SetWeight(2, 1);
+  constexpr int kPerTenant = 400;
+  for (int i = 0; i < kPerTenant; ++i) {
+    ASSERT_TRUE(q.Push(1, Tenant(1)));
+    ASSERT_TRUE(q.Push(2, Tenant(2)));
+  }
+  // While both stay backlogged, service must split 3:1. Sample the first
+  // half so neither tenant runs dry inside the window.
+  int served1 = 0, served2 = 0;
+  for (int i = 0; i < kPerTenant; ++i) {
+    auto v = q.TryPop();
+    ASSERT_TRUE(v.has_value());
+    (*v == 1 ? served1 : served2)++;
+  }
+  ASSERT_GT(served2, 0);
+  const double ratio = static_cast<double>(served1) / served2;
+  EXPECT_GT(ratio, 2.5) << served1 << ":" << served2;
+  EXPECT_LT(ratio, 3.5) << served1 << ":" << served2;
+}
+
+TEST(FairQueueQos, WorkConservingWhenOtherTenantIdle) {
+  qos::FairQueue<std::uint32_t> q;
+  q.SetWeight(2, 100);  // the heavyweight tenant never shows up
+  for (int i = 0; i < 64; ++i) ASSERT_TRUE(q.Push(1, Tenant(1)));
+  // An idle tenant must not reserve capacity: every pop serves the one
+  // backlogged tenant immediately, and the queue drains completely.
+  for (int i = 0; i < 64; ++i) {
+    auto v = q.TryPop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 1u);
+  }
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(FairQueueQos, InteractiveStrictlyBeforeBulk) {
+  qos::FairQueue<std::uint32_t> q;
+  q.SetWeight(1, 1000);  // weight cannot buy bulk ahead of interactive
+  for (int i = 0; i < 16; ++i) ASSERT_TRUE(q.Push(1, Tenant(1)));
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(q.Push(2, Tenant(2, qos::Priority::kInteractive)));
+  }
+  for (int i = 0; i < 16; ++i) {
+    auto v = q.TryPop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 2u) << "bulk served while interactive backlogged (pop " << i << ")";
+  }
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(q.TryPop().value_or(0), 1u);
+}
+
+TEST(FairQueueQos, ExpensiveHeadItemIsNotStarved) {
+  // DRR banks deficit across turns, so one item costing many quanta is
+  // eventually affordable even while a cheap competitor stays backlogged.
+  qos::FairQueue<std::uint32_t> q(/*quantum=*/4);
+  ASSERT_TRUE(q.Push(1, Tenant(1), /*cost=*/64));
+  for (int i = 0; i < 256; ++i) ASSERT_TRUE(q.Push(2, Tenant(2), /*cost=*/1));
+  bool expensive_served = false;
+  for (int i = 0; i < 128 && !expensive_served; ++i) {
+    auto v = q.TryPop();
+    ASSERT_TRUE(v.has_value());
+    expensive_served = *v == 1;
+  }
+  EXPECT_TRUE(expensive_served);
+}
+
+TEST(FairQueueQos, FallbackModeIsGlobalArrivalOrder) {
+  qos::FairQueue<std::uint32_t> q;
+  q.SetFairShare(false);
+  q.SetWeight(1, 50);  // must be ignored in fallback mode
+  // Interleave arrivals across tenants and classes; pops must replay the
+  // exact arrival sequence — the pre-QoS behavior the isolation experiments
+  // use as their control arm.
+  std::vector<std::uint32_t> arrivals;
+  for (std::uint32_t i = 0; i < 60; ++i) {
+    const std::uint32_t tenant = i % 3 + 1;
+    const auto prio = tenant == 1 ? qos::Priority::kInteractive : qos::Priority::kBulk;
+    ASSERT_TRUE(q.Push(i, Tenant(tenant, prio), /*cost=*/1 + i % 5));
+    arrivals.push_back(i);
+  }
+  for (std::uint32_t want : arrivals) {
+    auto v = q.TryPop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, want);
+  }
+}
+
+TEST(FairQueueQos, CountersTrackServicePerTenant) {
+  qos::FairQueue<std::uint32_t> q;
+  ASSERT_TRUE(q.Push(1, Tenant(7), /*cost=*/3));
+  ASSERT_TRUE(q.Push(2, Tenant(7), /*cost=*/2));
+  ASSERT_TRUE(q.Push(3, Tenant(9, qos::Priority::kInteractive)));
+  ASSERT_TRUE(q.TryPop());
+  ASSERT_TRUE(q.TryPop());
+  ASSERT_TRUE(q.TryPop());
+  ASSERT_TRUE(q.Push(4, Tenant(9, qos::Priority::kInteractive)));
+  const auto counters = q.Counters();
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters[0].tenant_id, 7u);
+  EXPECT_EQ(counters[0].served, 2u);
+  EXPECT_EQ(counters[0].cost_served, 5u);
+  EXPECT_EQ(counters[0].queued, 0u);
+  EXPECT_EQ(counters[1].tenant_id, 9u);
+  EXPECT_EQ(counters[1].priority, qos::Priority::kInteractive);
+  EXPECT_EQ(counters[1].served, 1u);
+  EXPECT_EQ(counters[1].queued, 1u);
+}
+
+TEST(FairQueueQos, BypassCountsDispatchesBetweenPushAndPop) {
+  // The isolation benches gate on bypass: the number of items (any tenant)
+  // served between an item's Push and its own Pop. Under strict priority an
+  // interactive arrival is served at the very next dispatch — bypass 0 no
+  // matter how deep the bulk backlog stands.
+  qos::FairQueue<std::uint32_t> q;
+  for (int i = 0; i < 32; ++i) ASSERT_TRUE(q.Push(1, Tenant(1)));
+  ASSERT_TRUE(q.TryPop());  // drain a little so pops_ is nonzero at push
+  ASSERT_TRUE(q.Push(2, Tenant(2, qos::Priority::kInteractive)));
+  ASSERT_EQ(q.TryPop().value_or(0), 2u);
+  for (const auto& c : q.Counters()) {
+    if (c.tenant_id == 2) {
+      EXPECT_EQ(c.bypass_total, 0u);
+      EXPECT_EQ(c.bypass_max, 0u);
+    }
+  }
+  // The 31 remaining bulk items were each pushed before any pop; the first
+  // served saw 2 dispatches ahead of it (one bulk + the interactive item).
+  std::uint64_t drained = 0;
+  while (q.TryPop().has_value()) ++drained;
+  EXPECT_EQ(drained, 31u);
+  for (const auto& c : q.Counters()) {
+    if (c.tenant_id == 1) {
+      EXPECT_EQ(c.bypass_max, 32u);  // last bulk item: 31 siblings + 1 probe
+      EXPECT_GT(c.bypass_total, 0u);
+    }
+  }
+}
+
+TEST(FairQueueQos, BypassInFallbackModeEqualsStandingBacklog) {
+  // In arrival-order FIFO, a late arrival is served only after the entire
+  // standing backlog: its bypass is exactly the queue depth at Push — the
+  // violation signature the no-QoS control arm must exhibit.
+  qos::FairQueue<std::uint32_t> q;
+  q.SetFairShare(false);
+  for (int i = 0; i < 40; ++i) ASSERT_TRUE(q.Push(1, Tenant(1)));
+  ASSERT_TRUE(q.Push(2, Tenant(2, qos::Priority::kInteractive)));
+  for (int i = 0; i < 41; ++i) ASSERT_TRUE(q.TryPop().has_value());
+  for (const auto& c : q.Counters()) {
+    if (c.tenant_id == 2) {
+      EXPECT_EQ(c.bypass_total, 40u);
+      EXPECT_EQ(c.bypass_max, 40u);
+    }
+  }
+}
+
+// The ThreadSanitizer CI target: concurrent submitters across tenants and
+// classes against concurrent consumers, in both scheduling modes.
+TEST(FairQueueQosStress, ConcurrentSubmittersDrainCleanly) {
+  for (const bool fair : {true, false}) {
+    qos::FairQueue<std::uint64_t> q(/*quantum=*/8, /*capacity=*/128);
+    q.SetFairShare(fair);
+    constexpr int kProducers = 4;
+    constexpr int kConsumers = 3;
+    constexpr int kPerProducer = 500;
+    std::atomic<std::uint64_t> consumed{0};
+    std::vector<std::thread> threads;
+    for (int p = 0; p < kProducers; ++p) {
+      threads.emplace_back([&q, p] {
+        const auto prio = p % 2 == 0 ? qos::Priority::kInteractive
+                                     : qos::Priority::kBulk;
+        for (int i = 0; i < kPerProducer; ++i) {
+          ASSERT_TRUE(q.Push(static_cast<std::uint64_t>(p) * kPerProducer + i,
+                             Tenant(static_cast<std::uint32_t>(p + 1), prio),
+                             /*cost=*/1 + i % 7));
+        }
+      });
+    }
+    for (int c = 0; c < kConsumers; ++c) {
+      threads.emplace_back([&q, &consumed] {
+        while (q.Pop().has_value()) consumed.fetch_add(1);
+      });
+    }
+    for (int p = 0; p < kProducers; ++p) threads[static_cast<std::size_t>(p)].join();
+    q.Close();
+    for (int c = 0; c < kConsumers; ++c) {
+      threads[static_cast<std::size_t>(kProducers + c)].join();
+    }
+    EXPECT_EQ(consumed.load(), static_cast<std::uint64_t>(kProducers) * kPerProducer);
+    std::uint64_t served = 0;
+    for (const auto& t : q.Counters()) served += t.served;
+    EXPECT_EQ(served, consumed.load());
+  }
+}
+
+TEST(MultiQueueQos, ControllerArbitratesPerTenantAndReportsCounters) {
+  SsdFixture f;
+  ASSERT_TRUE(f.ssd.controller().qos_arbitration());
+  f.ssd.controller().SetTenantWeight(5, 4);
+  constexpr int kPerTenant = 12;
+  std::atomic<int> done{0};
+  auto submit = [&](std::uint32_t tenant, qos::Priority prio) {
+    Command cmd;
+    cmd.opcode = Opcode::kFlush;
+    cmd.qos.tenant_id = tenant;
+    cmd.qos.priority = prio;
+    cmd.on_complete = [&done](Completion) { done.fetch_add(1); };
+    ASSERT_TRUE(f.ssd.controller().Submit(std::move(cmd), 0));
+  };
+  for (int i = 0; i < kPerTenant; ++i) {
+    submit(5, qos::Priority::kBulk);
+    submit(6, qos::Priority::kInteractive);
+  }
+  while (done.load() < 2 * kPerTenant) std::this_thread::yield();
+
+  const ControllerStats stats = f.ssd.controller().Stats();
+  ASSERT_GE(stats.tenants.size(), 2u);
+  std::uint64_t served5 = 0, served6 = 0;
+  for (const auto& t : stats.tenants) {
+    if (t.tenant_id == 5) {
+      served5 = t.served;
+      EXPECT_EQ(t.weight, 4u);
+    }
+    if (t.tenant_id == 6) served6 = t.served;
+  }
+  EXPECT_EQ(served5, kPerTenant);
+  EXPECT_EQ(served6, kPerTenant);
+
+  // The fallback flag restores round-robin arrival order without touching
+  // per-tenant accounting semantics.
+  f.ssd.controller().SetQosArbitration(false);
+  EXPECT_FALSE(f.ssd.controller().qos_arbitration());
+  submit(5, qos::Priority::kBulk);
+  while (done.load() < 2 * kPerTenant + 1) std::this_thread::yield();
 }
 
 }  // namespace

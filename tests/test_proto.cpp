@@ -32,6 +32,8 @@ Minion SampleMinion() {
   m.command.trace_query_id = 7001;
   m.command.trace_parent_span = 7002;
   m.response.root_span_id = 7003;
+  m.command.tenant_id = 31;
+  m.command.priority = 1;
   return m;
 }
 
@@ -63,6 +65,36 @@ TEST(Proto, MinionRoundTrip) {
   EXPECT_EQ(back->command.trace_query_id, m.command.trace_query_id);
   EXPECT_EQ(back->command.trace_parent_span, m.command.trace_parent_span);
   EXPECT_EQ(back->response.root_span_id, m.response.root_span_id);
+  EXPECT_EQ(back->command.tenant_id, m.command.tenant_id);
+  EXPECT_EQ(back->command.priority, m.command.priority);
+}
+
+// A v4 decoder must still accept a v3 frame: the tenant fields were appended
+// at the end of the command section and are only read when the frame says v4.
+TEST(Proto, V3FrameStillDecodes) {
+  const Minion m = SampleMinion();
+  auto bytes = Serialize(m, /*version=*/3);
+  auto back = DeserializeMinion(bytes);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  // Everything v3 carried survives — including the trace context...
+  EXPECT_EQ(back->id, m.id);
+  EXPECT_EQ(back->command.executable, m.command.executable);
+  EXPECT_EQ(back->command.trace_query_id, m.command.trace_query_id);
+  EXPECT_EQ(back->response.root_span_id, m.response.root_span_id);
+  // ...and the v4-only tenant fields come back as the unattributed defaults.
+  EXPECT_EQ(back->command.tenant_id, 0u);
+  EXPECT_EQ(back->command.priority, 0u);
+}
+
+// Emitting v3 must produce a byte-identical frame regardless of whether the
+// in-memory minion carries tenant fields — they are invisible at v3.
+TEST(Proto, V3EmissionIgnoresTenantFields) {
+  Minion tenanted = SampleMinion();
+  Minion anonymous = SampleMinion();
+  anonymous.command.tenant_id = 0;
+  anonymous.command.priority = 0;
+  EXPECT_EQ(Serialize(tenanted, 3), Serialize(anonymous, 3));
+  EXPECT_NE(Serialize(tenanted, 4), Serialize(anonymous, 4));
 }
 
 // A v3 decoder must still accept a v2 frame: the trace fields were appended

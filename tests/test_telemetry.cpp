@@ -547,6 +547,76 @@ TEST(QueryLedgerTest, AddMergesRowsAndIgnoresUntagged) {
   EXPECT_EQ(ledger.size(), 0u);
 }
 
+TEST(QueryLedgerTest, RetentionCapEvictsOldestRows) {
+  QueryLedger ledger;
+  ledger.SetCapacity(4);
+  QueryCost c;
+  c.minions = 1;
+  for (std::uint64_t q = 1; q <= 10; ++q) ledger.Add(q, c);
+
+  // Bounded at the cap, oldest ids gone, newest survive.
+  EXPECT_EQ(ledger.size(), 4u);
+  EXPECT_EQ(ledger.evictions(), 6u);
+  const auto rows = ledger.Snapshot();
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows.front().first, 7u);
+  EXPECT_EQ(rows.back().first, 10u);
+
+  // Merging into a surviving row does not evict; merging into an evicted id
+  // re-admits it as a fresh row (and pushes out the new oldest).
+  ledger.Add(10, c);
+  EXPECT_EQ(ledger.evictions(), 6u);
+  ledger.Add(11, c);
+  EXPECT_EQ(ledger.evictions(), 7u);
+
+  // The cumulative eviction counter is exported so readers can tell a small
+  // ledger from a truncated one.
+  bool evicted = false;
+  for (const MetricValue& m : ledger.ToMetrics()) {
+    if (m.name == "query.evicted") {
+      evicted = true;
+      EXPECT_EQ(m.kind, MetricKind::kCounter);
+      EXPECT_DOUBLE_EQ(m.value, 7.0);
+    }
+  }
+  EXPECT_TRUE(evicted);
+
+  // Capacity 0 = unbounded from here on.
+  ledger.SetCapacity(0);
+  for (std::uint64_t q = 20; q < 40; ++q) ledger.Add(q, c);
+  EXPECT_EQ(ledger.size(), 24u);
+}
+
+TEST(QueryLedgerTest, TenantAttributionSurvivesMergeAndExport) {
+  QueryLedger ledger;
+  QueryCost host;  // device-side delta arrives untenanted...
+  host.minions = 1;
+  ledger.Add(5, host);
+  QueryCost owned;  // ...then the cluster's merge stamps the owner
+  owned.tenant_id = 31;
+  owned.energy_j = 1.5;
+  ledger.Add(5, owned);
+
+  const auto rows = ledger.Snapshot();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].second.tenant_id, 31u);
+  EXPECT_EQ(rows[0].second.minions, 1u);
+
+  // An untenanted delta must not erase an existing attribution.
+  ledger.Add(5, host);
+  EXPECT_EQ(ledger.Snapshot()[0].second.tenant_id, 31u);
+
+  bool tenant_metric = false;
+  for (const MetricValue& m : ledger.ToMetrics()) {
+    if (m.name == "query.5.tenant") {
+      tenant_metric = true;
+      EXPECT_DOUBLE_EQ(m.value, 31.0);
+    }
+  }
+  EXPECT_TRUE(tenant_metric);
+  EXPECT_NE(QueryLedgerToJson(rows).find("\"tenant\": 31"), std::string::npos);
+}
+
 TEST(StatsQuery, DroppedSpansExposedInKStats) {
   OneDevice dev;
   auto stats = dev.handle.GetStatsSnapshot();
