@@ -1,0 +1,481 @@
+// YCSB-style cluster benchmark for the in-storage ordered KV engine.
+//
+// Core mixes A-F (update-heavy, read-mostly, read-only, read-latest,
+// scan-heavy, read-modify-write) run under both uniform and zipfian(0.99)
+// request distributions against a >=4-device cluster. Keys are hash-sharded
+// across the devices and every operation travels the full stack: structured
+// kv_request on a wire-v5 Command, submitted closed-loop in waves through
+// Cluster::RunAll under a tenant context, so the tenant-aware frontier and
+// the device DRR arbiters sit in the measured path. Per-op latency is the
+// device-model elapsed time, folded into a log histogram per (mix, dist).
+//
+// The comparison arm re-runs the scan-heavy zipfian workload two ways over
+// the same store: filter+aggregate pushdown (the device folds matching
+// records into a count and ships ~a cache line back) versus a host-side scan
+// (the host pulls the store's raw files across PCIe and filters locally —
+// what an off-the-shelf SSD forces). Both arms are metered with the PCIe
+// link byte counter; the quotient is the paper's data-movement argument for
+// in-storage query processing (gate: >= 10x on the scan-heavy zipf mix).
+//
+// --json [path] writes a schema-v2 BenchReport (default BENCH_ycsb.json).
+// Knobs: --devices N (>=4), --records N, --ops N (per mix+dist), --no-gate.
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/qos.hpp"
+#include "harness.hpp"
+#include "kv/types.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "workload/zipf.hpp"
+
+namespace {
+
+using namespace compstor;
+
+constexpr std::uint32_t kTenant = 7;  // all YCSB traffic rides one tenant
+constexpr std::size_t kWave = 64;     // closed-loop submission window
+constexpr std::uint32_t kScanLimit = 16;   // YCSB E short-range scan length
+
+struct Options {
+  std::size_t devices = 4;
+  std::uint64_t records = 2000;
+  std::uint64_t ops = 240;  // per (mix, distribution)
+  bool gate = true;
+};
+
+struct Shard {
+  std::unique_ptr<bench::DeviceStack> dev;
+};
+
+std::string KeyOf(std::uint64_t index) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "user%08" PRIu64, index);
+  return buf;
+}
+
+/// ~100-byte deterministic payload; hex body so substring predicates have
+/// stable selectivity across runs.
+std::string ValueOf(std::uint64_t key_index, std::uint64_t version) {
+  util::Xoshiro256 rng(key_index * 2654435761u + version);
+  std::string v = "f0=";
+  static const char kHex[] = "0123456789abcdef";
+  for (int i = 0; i < 96; ++i) v += kHex[rng.Below(16)];
+  return v;
+}
+
+std::size_t ShardOf(std::uint64_t key_index, std::size_t devices) {
+  return static_cast<std::size_t>(key_index * 0x9E3779B97F4A7C15ull >> 32) %
+         devices;
+}
+
+proto::Command KvCommand(kv::Request req) {
+  proto::Command cmd;
+  cmd.type = proto::CommandType::kExecutable;
+  cmd.executable = "kv";
+  cmd.kv_request = std::move(req);
+  return cmd;
+}
+
+/// Loads `records` keys, hash-sharded, in batched put commands.
+bool LoadPhase(client::Cluster& cluster, const Options& opt) {
+  std::vector<kv::Request> pending(opt.devices);
+  std::vector<client::Cluster::WorkItem> work;
+  auto flush_pending = [&]() -> bool {
+    work.clear();
+    for (std::size_t d = 0; d < opt.devices; ++d) {
+      if (pending[d].empty()) continue;
+      work.push_back({d, KvCommand(std::move(pending[d]))});
+      pending[d] = {};
+    }
+    if (work.empty()) return true;
+    auto r = cluster.RunAll(work, qos::TenantContext{kTenant});
+    if (!r.ok()) {
+      std::fprintf(stderr, "load failed: %s\n", r.status().ToString().c_str());
+      return false;
+    }
+    for (const proto::Minion& m : *r) {
+      if (!m.response.ok()) {
+        std::fprintf(stderr, "load put failed: %s\n",
+                     m.response.status_message.c_str());
+        return false;
+      }
+    }
+    return true;
+  };
+  for (std::uint64_t i = 0; i < opt.records; ++i) {
+    kv::Op op;
+    op.type = kv::OpType::kPut;
+    op.key = KeyOf(i);
+    op.value = ValueOf(i, 0);
+    pending[ShardOf(i, opt.devices)].ops.push_back(std::move(op));
+    if ((i + 1) % (128 * opt.devices) == 0 && !flush_pending()) return false;
+  }
+  return flush_pending();
+}
+
+// ---------------------------------------------------------------------------
+// Core mixes
+
+struct Mix {
+  const char* name;
+  int read_pct;    // point reads (read-latest for D)
+  int update_pct;  // overwrite existing key
+  int insert_pct;  // append a new key
+  int scan_pct;    // short ordered range scan
+  int rmw_pct;     // read-modify-write (get + put in one batch)
+};
+
+constexpr Mix kMixes[] = {
+    {"A", 50, 50, 0, 0, 0},   {"B", 95, 5, 0, 0, 0}, {"C", 100, 0, 0, 0, 0},
+    {"D", 95, 0, 5, 0, 0},    {"E", 0, 0, 5, 95, 0}, {"F", 50, 0, 0, 0, 50},
+};
+
+struct MixResult {
+  std::uint64_t ops_ok = 0;
+  std::uint64_t ops_failed = 0;
+  double wall_s = 0;
+  util::LogHistogram latency_us;  // device-model latency per op
+};
+
+/// Samples a key index: zipf rank maps rank 0 to the hottest key; mix D
+/// reads "latest" by counting ranks back from the newest insert.
+struct KeyChooser {
+  bool zipf;
+  bool latest;  // mix D read side
+  std::uint64_t* population;  // live key count (grows with inserts)
+  workload::ZipfDistribution dist;
+  util::Xoshiro256 uniform;
+
+  std::uint64_t Next() {
+    const std::uint64_t n = *population;
+    std::uint64_t idx;
+    if (zipf) {
+      idx = std::min(dist.Next(), n - 1);
+    } else {
+      idx = uniform.Below(n);
+    }
+    return latest ? n - 1 - idx : idx;
+  }
+};
+
+MixResult RunMix(client::Cluster& cluster, const Options& opt, const Mix& mix,
+                 bool zipf, std::uint64_t* population) {
+  MixResult out;
+  KeyChooser chooser{zipf, std::strcmp(mix.name, "D") == 0, population,
+                     workload::ZipfDistribution(*population, /*seed=*/404),
+                     util::Xoshiro256(505)};
+  util::Xoshiro256 op_rng(606 + static_cast<std::uint64_t>(mix.name[0]) +
+                          (zipf ? 1000 : 0));
+  std::uint64_t version = 1;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::uint64_t issued = 0;
+  while (issued < opt.ops) {
+    std::vector<client::Cluster::WorkItem> work;
+    const std::uint64_t wave = std::min<std::uint64_t>(kWave, opt.ops - issued);
+    for (std::uint64_t i = 0; i < wave; ++i, ++issued) {
+      const int roll = static_cast<int>(op_rng.Below(100));
+      kv::Request req;
+      std::uint64_t key_index;
+      if (roll < mix.read_pct) {
+        key_index = chooser.Next();
+        kv::Op op;
+        op.type = kv::OpType::kGet;
+        op.key = KeyOf(key_index);
+        req.ops.push_back(std::move(op));
+      } else if (roll < mix.read_pct + mix.update_pct) {
+        key_index = chooser.Next();
+        kv::Op op;
+        op.type = kv::OpType::kPut;
+        op.key = KeyOf(key_index);
+        op.value = ValueOf(key_index, version++);
+        req.ops.push_back(std::move(op));
+      } else if (roll < mix.read_pct + mix.update_pct + mix.insert_pct) {
+        key_index = (*population)++;
+        kv::Op op;
+        op.type = kv::OpType::kPut;
+        op.key = KeyOf(key_index);
+        op.value = ValueOf(key_index, 0);
+        req.ops.push_back(std::move(op));
+      } else if (roll <
+                 mix.read_pct + mix.update_pct + mix.insert_pct + mix.scan_pct) {
+        key_index = chooser.Next();
+        kv::Op op;
+        op.type = kv::OpType::kScan;
+        op.key = KeyOf(key_index);
+        op.limit = kScanLimit;
+        req.ops.push_back(std::move(op));
+      } else {  // read-modify-write: one batch, get then put
+        key_index = chooser.Next();
+        kv::Op get;
+        get.type = kv::OpType::kGet;
+        get.key = KeyOf(key_index);
+        kv::Op put;
+        put.type = kv::OpType::kPut;
+        put.key = get.key;
+        put.value = ValueOf(key_index, version++);
+        req.ops.push_back(std::move(get));
+        req.ops.push_back(std::move(put));
+      }
+      work.push_back({ShardOf(key_index, opt.devices), KvCommand(std::move(req))});
+    }
+    auto r = cluster.RunAll(work, qos::TenantContext{kTenant});
+    if (!r.ok()) {
+      std::fprintf(stderr, "mix %s wave failed: %s\n", mix.name,
+                   r.status().ToString().c_str());
+      out.ops_failed += wave;
+      continue;
+    }
+    for (const proto::Minion& m : *r) {
+      bool ok = m.response.ok();
+      for (const kv::OpResult& res : m.response.kv.results) ok &= res.ok();
+      if (ok) {
+        ++out.ops_ok;
+        out.latency_us.Add(m.response.elapsed_s() * 1e6);
+      } else {
+        ++out.ops_failed;
+      }
+    }
+  }
+  out.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                   .count();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Pushdown vs host-scan comparison arm
+
+struct ScanArmResult {
+  std::uint64_t link_bytes = 0;   // PCIe traffic for the whole arm
+  std::uint64_t scans = 0;
+  std::uint64_t rows_matched = 0;
+  bool ok = true;
+};
+
+/// Device-side arm: filter+count pushdown; only the fold crosses the link.
+ScanArmResult RunPushdownArm(client::Cluster& cluster,
+                             std::vector<Shard>& shards, const Options& opt,
+                             std::uint64_t population, std::uint64_t scans) {
+  ScanArmResult out;
+  workload::ZipfDistribution dist(population, /*seed=*/404);
+  for (Shard& s : shards) s.dev->ssd->link().ResetStats();
+  for (std::uint64_t i = 0; i < scans; ++i) {
+    const std::uint64_t key_index = std::min(dist.Next(), population - 1);
+    kv::Request req;
+    req.predicate_contains = "7a";
+    req.aggregate = kv::Aggregate::kCount;
+    kv::Op op;
+    op.type = kv::OpType::kScan;
+    op.key = KeyOf(key_index);
+    op.limit = 0;  // fold the whole tail of the shard
+    req.ops.push_back(std::move(op));
+    auto r = cluster.RunAll({{ShardOf(key_index, opt.devices),
+                              KvCommand(std::move(req))}},
+                            qos::TenantContext{kTenant});
+    if (!r.ok() || r->empty() || !(*r)[0].response.ok()) {
+      out.ok = false;
+      continue;
+    }
+    const kv::Reply& reply = (*r)[0].response.kv;
+    if (!reply.results.empty()) {
+      out.rows_matched +=
+          static_cast<std::uint64_t>(reply.results[0].agg_value);
+    }
+    ++out.scans;
+  }
+  for (Shard& s : shards) out.link_bytes += s.dev->ssd->link().TotalBytes();
+  return out;
+}
+
+/// Host-side arm: the same scans without pushdown — the host pulls the
+/// store's raw files (sstables + wal) across PCIe and filters locally, the
+/// only option an off-the-shelf SSD offers.
+ScanArmResult RunHostScanArm(std::vector<Shard>& shards, const Options& opt,
+                             std::uint64_t population, std::uint64_t scans) {
+  ScanArmResult out;
+  workload::ZipfDistribution dist(population, /*seed=*/404);
+  for (Shard& s : shards) s.dev->ssd->link().ResetStats();
+  for (std::uint64_t i = 0; i < scans; ++i) {
+    const std::uint64_t key_index = std::min(dist.Next(), population - 1);
+    const std::string start = KeyOf(key_index);
+    Shard& s = shards[ShardOf(key_index, opt.devices)];
+    fs::Filesystem& fs = s.dev->handle->host_fs();
+    auto entries = fs.ReadDir("/kv");
+    if (!entries.ok()) {
+      out.ok = false;
+      continue;
+    }
+    std::uint64_t matched = 0;
+    for (const fs::DirEntry& e : *entries) {
+      if (e.name.rfind("sst-", 0) != 0 && e.name != "wal") continue;
+      auto data = fs.ReadFileAll("/kv/" + e.name);
+      if (!data.ok()) {
+        out.ok = false;
+        break;
+      }
+      // Host-side filter stand-in: count predicate hits in the pulled bytes.
+      // The cost under measurement is the transfer, not the parse.
+      for (std::size_t p = 0; p + 1 < data->size(); ++p) {
+        matched += ((*data)[p] == '7' && (*data)[p + 1] == 'a');
+      }
+    }
+    out.rows_matched += matched;
+    ++out.scans;
+  }
+  for (Shard& s : shards) out.link_bytes += s.dev->ssd->link().TotalBytes();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (a == "--devices") {
+      opt.devices = std::strtoull(next(), nullptr, 10);
+    } else if (a == "--records") {
+      opt.records = std::strtoull(next(), nullptr, 10);
+    } else if (a == "--ops") {
+      opt.ops = std::strtoull(next(), nullptr, 10);
+    } else if (a == "--no-gate") {
+      opt.gate = false;
+    } else if (a == "--json") {
+      if (i + 1 < argc && argv[i + 1][0] != '-') ++i;  // BenchReport's flag
+    } else {
+      std::fprintf(stderr,
+                   "unknown argument: %s\nusage: ycsb [--devices N] "
+                   "[--records N] [--ops N] [--no-gate] [--json [PATH]]\n",
+                   a.c_str());
+      return 2;
+    }
+  }
+  if (opt.devices < 4) {
+    std::fprintf(stderr, "ycsb: --devices must be >= 4 (cluster bench)\n");
+    return 2;
+  }
+
+  bench::BenchReport report("ycsb", argc, argv);
+  report.Config("devices", static_cast<double>(opt.devices));
+  report.Config("records", static_cast<double>(opt.records));
+  report.Config("ops_per_mix", static_cast<double>(opt.ops));
+  report.Config("scan_limit", kScanLimit);
+  report.Config("tenant", kTenant);
+
+  bench::PrintHeader("YCSB core mixes over the in-storage KV engine");
+  std::printf("devices=%zu records=%" PRIu64 " ops/mix=%" PRIu64 "\n",
+              opt.devices, opt.records, opt.ops);
+
+  std::vector<Shard> shards;
+  client::Cluster cluster;
+  for (std::size_t d = 0; d < opt.devices; ++d) {
+    Shard s;
+    s.dev = bench::DeviceStack::Make(/*seed=*/21 + d);
+    if (!s.dev) {
+      std::fprintf(stderr, "device %zu setup failed\n", d);
+      return 1;
+    }
+    cluster.AddDevice(s.dev->handle.get());
+    shards.push_back(std::move(s));
+  }
+  if (!LoadPhase(cluster, opt)) return 1;
+  std::printf("loaded %" PRIu64 " records across %zu shards\n", opt.records,
+              opt.devices);
+
+  std::printf("\n%-4s %-8s %10s %8s %10s %10s %10s\n", "mix", "dist", "ops",
+              "failed", "p50_us", "p95_us", "p99_us");
+  bool all_ok = true;
+  for (const Mix& mix : kMixes) {
+    for (const bool zipf : {false, true}) {
+      std::uint64_t population = opt.records;  // D/E inserts grow it per run
+      MixResult r = RunMix(cluster, opt, mix, zipf, &population);
+      const char* dist = zipf ? "zipf" : "uniform";
+      std::printf("%-4s %-8s %10" PRIu64 " %8" PRIu64 " %10.0f %10.0f %10.0f\n",
+                  mix.name, dist, r.ops_ok, r.ops_failed,
+                  r.latency_us.Quantile(0.50), r.latency_us.Quantile(0.95),
+                  r.latency_us.Quantile(0.99));
+      all_ok &= r.ops_failed == 0;
+      const std::string prefix = std::string(mix.name) + "_" + dist;
+      report.Metric(prefix + "_ops_ok", static_cast<double>(r.ops_ok));
+      report.Metric(prefix + "_ops_failed", static_cast<double>(r.ops_failed));
+      report.Metric(prefix + "_p50_us", r.latency_us.Quantile(0.50));
+      report.Metric(prefix + "_p95_us", r.latency_us.Quantile(0.95));
+      report.Metric(prefix + "_p99_us", r.latency_us.Quantile(0.99));
+      report.Metric(prefix + "_wall_ops_per_s",
+                    r.wall_s > 0 ? static_cast<double>(r.ops_ok) / r.wall_s : 0);
+    }
+  }
+
+  // Every op above rode the tenant-aware frontier; surface the proof.
+  std::uint64_t frontier_served = 0;
+  for (const qos::TenantCounters& t : cluster.FrontierTenantCounters()) {
+    if (t.tenant_id == kTenant) frontier_served = t.served;
+  }
+  report.Metric("frontier_served", static_cast<double>(frontier_served));
+  std::printf("\nfrontier served %" PRIu64 " queries for tenant %u\n",
+              frontier_served, kTenant);
+
+  // ---------------------------------------------------------------------
+  // Comparison arm: scan-heavy zipfian, pushdown vs host scan.
+  bench::PrintHeader("Scan pushdown vs host scan (zipfian, scan-heavy)");
+  // Flush every shard so both arms read the same persisted store image (the
+  // host arm cannot see device memtables).
+  for (std::size_t d = 0; d < opt.devices; ++d) {
+    proto::Command flush;
+    flush.type = proto::CommandType::kExecutable;
+    flush.executable = "kv";
+    flush.args = {"flush"};
+    auto r = cluster.RunAll({{d, flush}}, qos::TenantContext{kTenant});
+    if (!r.ok() || r->empty() || !(*r)[0].response.ok()) {
+      std::fprintf(stderr, "shard %zu flush failed\n", d);
+      return 1;
+    }
+  }
+
+  const std::uint64_t kCompareScans = 32;
+  ScanArmResult push =
+      RunPushdownArm(cluster, shards, opt, opt.records, kCompareScans);
+  ScanArmResult host =
+      RunHostScanArm(shards, opt, opt.records, kCompareScans);
+  all_ok &= push.ok && host.ok;
+
+  const double push_per_scan =
+      push.scans ? static_cast<double>(push.link_bytes) / push.scans : 0;
+  const double host_per_scan =
+      host.scans ? static_cast<double>(host.link_bytes) / host.scans : 0;
+  const double savings_x = push_per_scan > 0 ? host_per_scan / push_per_scan : 0;
+  std::printf("%-22s %14s %14s\n", "arm", "link bytes", "bytes/scan");
+  std::printf("%-22s %14" PRIu64 " %14.0f\n", "pushdown (count)",
+              push.link_bytes, push_per_scan);
+  std::printf("%-22s %14" PRIu64 " %14.0f\n", "host scan", host.link_bytes,
+              host_per_scan);
+  std::printf("host-ward byte reduction: %.1fx\n", savings_x);
+
+  report.Metric("pushdown_link_bytes", static_cast<double>(push.link_bytes));
+  report.Metric("host_scan_link_bytes", static_cast<double>(host.link_bytes));
+  report.Metric("pushdown_bytes_per_scan", push_per_scan);
+  report.Metric("host_bytes_per_scan", host_per_scan);
+  report.Metric("pushdown_savings_x", savings_x);
+
+  if (!report.Write()) return 1;
+  if (!all_ok) {
+    std::fprintf(stderr, "ycsb: some operations failed\n");
+    return 1;
+  }
+  if (opt.gate && savings_x < 10.0) {
+    std::fprintf(stderr,
+                 "ycsb: pushdown savings %.1fx below the 10x gate\n", savings_x);
+    return 1;
+  }
+  return 0;
+}

@@ -74,6 +74,15 @@ int main(int argc, char** argv) {
       analyze = true;
     } else if (std::strcmp(argv[i], "--scrub-stats") == 0) {
       scrub_stats = true;
+    } else {
+      // Unknown flags (or --trace/--ledger missing their path) used to be
+      // silently ignored, which turned typos into no-ops; fail loudly.
+      std::fprintf(stderr, "distributed_search: unknown argument '%s'\n",
+                   argv[i]);
+      std::fprintf(stderr,
+                   "usage: distributed_search [--trace PATH] [--analyze] "
+                   "[--stats] [--ledger PATH] [--scrub-stats]\n");
+      return 2;
     }
   }
 

@@ -24,6 +24,12 @@
 #include "common/status.hpp"
 #include "fs/filesystem.hpp"
 
+namespace compstor::kv {
+class StoreManager;
+struct Request;
+struct Reply;
+}  // namespace compstor::kv
+
 namespace compstor::apps {
 
 /// Work accounting filled in by the app as it runs. Work is recorded as
@@ -104,6 +110,14 @@ struct AppContext {
   fs::ByteSink* out_sink = nullptr;
   /// Set when captured stdout overflowed max_capture_bytes and was dropped.
   bool stdout_truncated = false;
+
+  /// In-storage KV wiring (set by the task runtime). `kv_stores` is the
+  /// platform's resident store registry; when the Command carried a
+  /// structured batch (wire v5), `kv_request` points at it and the kv app
+  /// answers through `kv_reply` (the Response.kv payload) instead of stdout.
+  kv::StoreManager* kv_stores = nullptr;
+  const kv::Request* kv_request = nullptr;
+  kv::Reply* kv_reply = nullptr;
 
   // -- helpers used by every app --
 

@@ -1,0 +1,208 @@
+#include "apps/kv_app.hpp"
+
+#include <string>
+#include <utility>
+
+#include "kv/batch.hpp"
+#include "kv/store_manager.hpp"
+
+namespace compstor::apps {
+namespace {
+
+const char* AggName(kv::Aggregate agg) {
+  switch (agg) {
+    case kv::Aggregate::kNone: return "none";
+    case kv::Aggregate::kCount: return "count";
+    case kv::Aggregate::kSum: return "sum";
+    case kv::Aggregate::kMin: return "min";
+    case kv::Aggregate::kMax: return "max";
+  }
+  return "?";
+}
+
+Result<kv::Request> ParseArgs(const std::vector<std::string>& args) {
+  kv::Request req;
+  std::vector<std::string> positional;
+  std::string verb;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto next = [&]() -> Result<std::string> {
+      if (i + 1 >= args.size()) {
+        return InvalidArgument("kv: " + a + " needs a value");
+      }
+      return args[++i];
+    };
+    if (a == "--dir") {
+      COMPSTOR_ASSIGN_OR_RETURN(req.dir, next());
+    } else if (a == "--contains") {
+      COMPSTOR_ASSIGN_OR_RETURN(req.predicate_contains, next());
+    } else if (a == "--limit") {
+      COMPSTOR_ASSIGN_OR_RETURN(std::string v, next());
+      positional.push_back("--limit=" + v);
+    } else if (a == "--agg") {
+      COMPSTOR_ASSIGN_OR_RETURN(std::string v, next());
+      if (v == "count") req.aggregate = kv::Aggregate::kCount;
+      else if (v == "sum") req.aggregate = kv::Aggregate::kSum;
+      else if (v == "min") req.aggregate = kv::Aggregate::kMin;
+      else if (v == "max") req.aggregate = kv::Aggregate::kMax;
+      else return InvalidArgument("kv: unknown aggregate " + v);
+    } else if (verb.empty()) {
+      verb = a;
+    } else {
+      positional.push_back(a);
+    }
+  }
+  if (verb.empty()) {
+    return InvalidArgument(
+        "kv: usage: kv [--dir D] get K | put K V | del K | "
+        "scan [START [END]] [--limit N] [--contains S] [--agg F] | "
+        "flush | compact | stats");
+  }
+  std::uint32_t limit = 0;
+  std::erase_if(positional, [&](const std::string& p) {
+    if (p.rfind("--limit=", 0) == 0) {
+      limit = static_cast<std::uint32_t>(std::stoul(p.substr(8)));
+      return true;
+    }
+    return false;
+  });
+  kv::Op op;
+  if (verb == "get" || verb == "put" || verb == "del") {
+    if (positional.empty()) return InvalidArgument("kv: " + verb + " needs a key");
+    op.key = positional[0];
+    if (verb == "get") {
+      op.type = kv::OpType::kGet;
+    } else if (verb == "del") {
+      op.type = kv::OpType::kDelete;
+    } else {
+      if (positional.size() < 2) return InvalidArgument("kv: put needs a value");
+      op.type = kv::OpType::kPut;
+      op.value = positional[1];
+    }
+  } else if (verb == "scan") {
+    op.type = kv::OpType::kScan;
+    if (!positional.empty()) op.key = positional[0];
+    if (positional.size() > 1) op.end_key = positional[1];
+    op.limit = limit;
+  } else if (verb == "flush" || verb == "compact" || verb == "stats") {
+    // Admin verbs carry no wire Op; smuggle the verb through a sentinel key
+    // that Run() strips before executing.
+    kv::Op admin;
+    admin.key = "__admin__" + verb;
+    req.ops.push_back(std::move(admin));
+    return req;
+  } else {
+    return InvalidArgument("kv: unknown verb " + verb);
+  }
+  req.ops.push_back(std::move(op));
+  return req;
+}
+
+}  // namespace
+
+Result<int> KvApp::Run(AppContext& ctx, const std::vector<std::string>& args) {
+  if (ctx.kv_stores == nullptr) {
+    return FailedPrecondition("kv: no store manager on this platform");
+  }
+
+  const bool structured = ctx.kv_request != nullptr && !ctx.kv_request->empty();
+  kv::Request parsed;
+  std::string admin_verb;
+  if (structured) {
+    parsed = *ctx.kv_request;
+  } else {
+    COMPSTOR_ASSIGN_OR_RETURN(parsed, ParseArgs(args));
+    if (parsed.ops.size() == 1 &&
+        parsed.ops[0].key.rfind("__admin__", 0) == 0) {
+      admin_verb = parsed.ops[0].key.substr(9);
+      parsed.ops.clear();
+    }
+  }
+
+  COMPSTOR_ASSIGN_OR_RETURN(kv::KvStore * store,
+                            ctx.kv_stores->Acquire(parsed.dir));
+
+  if (!admin_verb.empty()) {
+    kv::IoStats io;
+    if (admin_verb == "flush") {
+      COMPSTOR_RETURN_IF_ERROR(store->Flush(&io));
+      ctx.Out("flushed\n");
+    } else if (admin_verb == "compact") {
+      COMPSTOR_RETURN_IF_ERROR(store->Compact(&io));
+      ctx.Out("compacted\n");
+    } else {
+      const kv::StoreStats s = store->Stats();
+      ctx.Out("sstables " + std::to_string(s.sstables) + " records " +
+              std::to_string(s.sstable_records) + " memtable_entries " +
+              std::to_string(s.memtable_entries) + " cache_hits " +
+              std::to_string(s.cache_hits) + " cache_misses " +
+              std::to_string(s.cache_misses) + "\n");
+    }
+    ctx.cost.bytes_in += io.flash_bytes_read;
+    ctx.cost.bytes_out += io.bytes_written;
+    return 0;
+  }
+
+  std::string errors;
+  kv::Reply batch = kv::ExecuteBatch(
+      *store, parsed,
+      [&ctx](const kv::IoStats& io, std::uint64_t touched_bytes) {
+        // Flash transfer time comes from the bulk-byte path; the record
+        // bytes the engine examined are the compute work (compare/merge/
+        // filter/fold).
+        ctx.cost.bytes_in += io.flash_bytes_read;
+        ctx.cost.bytes_out += io.bytes_written;
+        ctx.cost.AddWork("kv", touched_bytes);
+      },
+      &errors);
+  if (!errors.empty()) ctx.Err(errors);
+  bool any_failed = false;
+  for (const kv::OpResult& r : batch.results) any_failed |= !r.ok();
+
+  if (structured) {
+    *ctx.kv_reply = std::move(batch);
+    ctx.Out("kv: " + std::to_string(parsed.ops.size()) + " ops, " +
+            std::to_string(ctx.kv_reply->keys_read) + " keys read, " +
+            std::to_string(ctx.kv_reply->keys_written) + " keys written\n");
+  } else {
+    // Text results for the shell surface.
+    for (std::size_t i = 0; i < batch.results.size(); ++i) {
+      const kv::Op& op = parsed.ops[i];
+      const kv::OpResult& res = batch.results[i];
+      if (!res.ok()) continue;  // already on stderr
+      switch (op.type) {
+        case kv::OpType::kGet:
+          if (res.found) {
+            ctx.Out(res.value + "\n");
+          } else {
+            ctx.Err("kv: not found: " + op.key + "\n");
+          }
+          break;
+        case kv::OpType::kPut:
+        case kv::OpType::kDelete:
+          break;  // silence on success, like a real CLI
+        case kv::OpType::kScan:
+          if (parsed.aggregate == kv::Aggregate::kNone) {
+            for (const auto& [key, value] : res.rows) {
+              ctx.Out(key + "\t" + value + "\n");
+            }
+            if (res.truncated) ctx.Err("kv: scan truncated\n");
+          } else {
+            ctx.Out(std::string(AggName(parsed.aggregate)) + " " +
+                    std::to_string(res.agg_value) + " (matched " +
+                    std::to_string(res.matched) + " of " +
+                    std::to_string(res.scanned) + ")\n");
+          }
+          break;
+      }
+    }
+    // A missed point-get exits 1 (grep-style signal for scripts).
+    if (parsed.ops.size() == 1 && parsed.ops[0].type == kv::OpType::kGet &&
+        batch.results[0].ok() && !batch.results[0].found) {
+      return 1;
+    }
+  }
+  return any_failed ? 1 : 0;
+}
+
+}  // namespace compstor::apps

@@ -1,0 +1,24 @@
+// The "kv" off-loadable executable: point GET/PUT/DELETE, ordered range
+// scans, and filter/aggregate pushdown against the device-resident KvStore.
+//
+// Two invocation surfaces share one execution path:
+//   - structured: a kv::Request batch carried in Command.kv_request (wire
+//     v5); results return typed in Response.kv, so keys and values stay
+//     binary-safe and nothing is parsed out of stdout;
+//   - argv: `kv [--dir D] get K | put K V | del K | scan [START [END]]
+//     [--limit N] [--contains S] [--agg count|sum|min|max] | flush |
+//     compact | stats` for shell pipelines and ad-hoc poking; results print
+//     as text.
+#pragma once
+
+#include "apps/app.hpp"
+
+namespace compstor::apps {
+
+class KvApp final : public Application {
+ public:
+  std::string_view name() const override { return "kv"; }
+  Result<int> Run(AppContext& ctx, const std::vector<std::string>& args) override;
+};
+
+}  // namespace compstor::apps

@@ -4,6 +4,7 @@
 #include "apps/compress.hpp"
 #include "apps/coreutils.hpp"
 #include "apps/grep.hpp"
+#include "apps/kv_app.hpp"
 #include "apps/shell.hpp"
 #include "apps/fsutils.hpp"
 #include "apps/textutils.hpp"
@@ -69,6 +70,7 @@ void Registry::InstallBuiltins() {
   Register("tr", Make<TrApp>);
   Register("find", Make<FindApp>);
   Register("df", Make<DfApp>);
+  Register("kv", Make<KvApp>);
 }
 
 void Registry::Register(std::string name, Factory factory) {

@@ -20,6 +20,10 @@ double ReferenceCyclesPerUnit(std::string_view app_name) {
   if (app_name == "tr") return 1.5;
   if (app_name == "find" || app_name == "df") return 2.0;
   if (app_name == "wc") return 2.0;
+  // KV engine: per record byte through memtable/sstable merge, key compare,
+  // CRC verify, predicate/aggregate evaluation — heavier than a byte scan,
+  // lighter than a table-driven decoder.
+  if (app_name == "kv") return 8.0;
   if (app_name == "cat") return 0.6;
   if (app_name == "head" || app_name == "tail") return 1.0;
   if (app_name == "ls" || app_name == "echo") return 1.0;
@@ -39,6 +43,9 @@ double InOrderAffinity(std::string_view app_name) {
   // match-finding/block-sorting, but their dependent loads still stall the
   // A53 more than pure byte scanning does.
   if (app_name == "gunzip" || app_name == "bunzip2") return 1.4;
+  // Comparison/merge loops with dependent loads: between a byte scanner and
+  // a decoder on the in-order A53.
+  if (app_name == "kv") return 1.5;
   return 1.0;
 }
 

@@ -246,7 +246,14 @@ Result<flash::Ppn> Ftl::ProgramAnywhere(std::uint64_t lpn,
       }
       return ppn;
     }
-    if (r.status.code() != StatusCode::kDataLoss) return r.status;
+    if (r.status.code() != StatusCode::kDataLoss) {
+      // Transport-level failure (e.g. power cut): the page was never touched,
+      // so undo the frontier advance — leaving next_page ahead of the flash
+      // write pointer would make every post-recovery program on this block an
+      // out-of-order violation. The die lock is still held.
+      --info.next_page;
+      return r.status;
+    }
     // Program failure grows a bad block. Retire it (valid pages relocate on
     // the next maintenance pass; reads still work meanwhile) and retry on
     // this die, which may open a fresh block.
@@ -473,7 +480,12 @@ Result<flash::Ppn> Ftl::ProgramGcPage(std::uint64_t lpn,
       }
       return ppn;
     }
-    if (r.status.code() != StatusCode::kDataLoss) return r.status;
+    if (r.status.code() != StatusCode::kDataLoss) {
+      // Same rollback as ProgramAnywhere: a transport failure never programs
+      // the page, so the relocation frontier must not advance past it.
+      --info.next_page;
+      return r.status;
+    }
     counters_.program_failures.fetch_add(1, std::memory_order_relaxed);
     gc_active_ = kNoActive;
     MarkBadQueueRetire(block);

@@ -3,6 +3,7 @@
 #include <iterator>
 
 #include "common/logging.hpp"
+#include "kv/batch.hpp"
 
 namespace compstor::isps {
 
@@ -58,6 +59,23 @@ Agent::Agent(ssd::Ssd* ssd, const ThermalModel& thermal)
                         [this] { return static_cast<double>(fs_->IntegrityCounts().cksum_checks); });
   metrics.RegisterProbe("journal.cksum_failures", telemetry::MetricKind::kCounter,
                         [this] { return static_cast<double>(fs_->IntegrityCounts().cksum_failures); });
+  // KV engine telemetry, aggregated across every store open on this device.
+  metrics.RegisterProbe("kv.stores", telemetry::MetricKind::kGauge,
+                        [this] { return static_cast<double>(runtime_->kv_stores().open_stores()); });
+  metrics.RegisterProbe("kv.sstables", telemetry::MetricKind::kGauge,
+                        [this] { return static_cast<double>(runtime_->kv_stores().AggregateStats().sstables); });
+  metrics.RegisterProbe("kv.memtable_bytes", telemetry::MetricKind::kGauge,
+                        [this] { return static_cast<double>(runtime_->kv_stores().AggregateStats().memtable_bytes); });
+  metrics.RegisterProbe("kv.flushes", telemetry::MetricKind::kCounter,
+                        [this] { return static_cast<double>(runtime_->kv_stores().AggregateStats().flushes); });
+  metrics.RegisterProbe("kv.compactions", telemetry::MetricKind::kCounter,
+                        [this] { return static_cast<double>(runtime_->kv_stores().AggregateStats().compactions); });
+  metrics.RegisterProbe("kv.wal_records_replayed", telemetry::MetricKind::kCounter,
+                        [this] { return static_cast<double>(runtime_->kv_stores().AggregateStats().wal_records_replayed); });
+  metrics.RegisterProbe("kv.cache_hits", telemetry::MetricKind::kCounter,
+                        [this] { return static_cast<double>(runtime_->kv_stores().AggregateStats().cache_hits); });
+  metrics.RegisterProbe("kv.cache_misses", telemetry::MetricKind::kCounter,
+                        [this] { return static_cast<double>(runtime_->kv_stores().AggregateStats().cache_misses); });
   ssd_->controller().SetVendorHandler(
       [this](const nvme::Command& cmd, nvme::Controller::CompletionSink done) {
         HandleVendor(cmd, std::move(done));
@@ -70,10 +88,11 @@ Agent::~Agent() {
   ssd_->controller().SetVendorHandler(nullptr);
   cores_->Shutdown();
   // The device registry outlives this agent; its `isps.*` / `scrub.*` /
-  // `journal.*` probes capture `this` and must go with it.
+  // `journal.*` / `kv.*` probes capture `this` and must go with it.
   ssd_->telemetry().UnregisterPrefix("isps.");
   ssd_->telemetry().UnregisterPrefix("scrub.");
   ssd_->telemetry().UnregisterPrefix("journal.");
+  ssd_->telemetry().UnregisterPrefix("kv.");
 }
 
 double Agent::TemperatureC() const {
@@ -169,6 +188,29 @@ proto::QueryReply Agent::HandleQuery(const proto::Query& query) {
     case proto::QueryType::kListTasks:
       reply.task_names = registry_->Names();
       break;
+    case proto::QueryType::kKv: {
+      // Admin-plane KV access: host tooling reads/writes a store directly,
+      // without a minion spawn. Shares the runtime's StoreManager, so it
+      // sees exactly what the kv minions see (same WAL, same memtable).
+      if (query.kv_request.empty()) {
+        reply.status_code = static_cast<std::uint16_t>(StatusCode::kInvalidArgument);
+        reply.status_message = "kv query: empty batch";
+        break;
+      }
+      auto store = runtime_->kv_stores().Acquire(query.kv_request.dir);
+      if (!store.ok()) {
+        reply.status_code = static_cast<std::uint16_t>(store.status().code());
+        reply.status_message = store.status().ToString();
+        break;
+      }
+      std::string errors;
+      reply.kv = kv::ExecuteBatch(**store, query.kv_request, {}, &errors);
+      if (!errors.empty()) {
+        // Per-op codes are in reply.kv.results; the message is a summary.
+        reply.status_message = std::move(errors);
+      }
+      break;
+    }
     case proto::QueryType::kProcessTable:
       for (const TaskInfo& t : runtime_->ProcessTable()) {
         proto::QueryReply::Process p;

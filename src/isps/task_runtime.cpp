@@ -14,6 +14,7 @@ TaskRuntime::TaskRuntime(CoreEmulator* cores, fs::Filesystem* filesystem,
     : cores_(cores), fs_(filesystem), registry_(registry),
       internal_path_(internal_path), io_rates_(io_rates),
       budget_(cores->profile().dram_bytes),
+      kv_stores_(filesystem, &budget_),
       max_capture_bytes_(proto::Response::kMaxInlineOutput) {}
 
 void TaskRuntime::AttachTelemetry(telemetry::Registry* registry,
@@ -123,6 +124,9 @@ std::uint32_t TaskRuntime::Spawn(const proto::Command& command, Callback done) {
       qc.compute_s = response.cpu_seconds;
       qc.io_s = response.io_seconds;
       qc.energy_j = response.energy_joules;
+      qc.kv_keys_read = response.kv.keys_read;
+      qc.kv_keys_written = response.kv.keys_written;
+      qc.kv_pushdown_saved_bytes = response.kv.PushdownBytesSaved();
       ledger_->Add(cmd.trace_query_id, qc);
     }
     {
@@ -219,6 +223,11 @@ proto::Response TaskRuntime::Execute(WorkContext& core, const proto::Command& co
   ctx.stdin_data = command.stdin_data;
   ctx.platform = platform;
   ctx.budget = &budget_;
+  ctx.kv_stores = &kv_stores_;
+  if (!command.kv_request.empty()) {
+    ctx.kv_request = &command.kv_request;
+    ctx.kv_reply = &response.kv;
+  }
 
   std::vector<apps::CostRecorder> stage_costs;
   std::vector<std::string> stage_names;

@@ -20,6 +20,7 @@
 #include "energy/cost_model.hpp"
 #include "fs/filesystem.hpp"
 #include "isps/cores.hpp"
+#include "kv/store_manager.hpp"
 #include "proto/entities.hpp"
 #include "sim/fault.hpp"
 #include "telemetry/ledger.hpp"
@@ -77,6 +78,11 @@ class TaskRuntime {
   /// against; the limit comes from the CPU profile's dram_bytes.
   MemoryBudget* budget() { return &budget_; }
 
+  /// Resident KV stores over this platform's filesystem view. Shared by
+  /// every kv minion and by the agent's kKv admin-plane queries, so a store
+  /// is recovered once per power-on, not once per request.
+  kv::StoreManager& kv_stores() { return kv_stores_; }
+
   /// Overrides the chunk granularity of the streamed data path (default
   /// fs::kDefaultChunkBytes; 0 restores the default). For chunk-size sweeps.
   void SetChunkBytes(std::size_t bytes) {
@@ -100,6 +106,7 @@ class TaskRuntime {
   sim::FaultInjector* fault_ = nullptr;
 
   MemoryBudget budget_;
+  kv::StoreManager kv_stores_;
   std::size_t chunk_bytes_ = fs::kDefaultChunkBytes;
   std::size_t max_capture_bytes_;
 

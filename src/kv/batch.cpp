@@ -1,0 +1,89 @@
+#include "kv/batch.hpp"
+
+#include <utility>
+
+namespace compstor::kv {
+namespace {
+
+OpResult RunOp(KvStore& store, const Op& op, const Request& request,
+               Reply& reply, const ChargeFn& charge) {
+  OpResult result;
+  IoStats io;
+  std::uint64_t touched = 0;
+  Status st = OkStatus();
+  switch (op.type) {
+    case OpType::kGet: {
+      st = store.Get(op.key, &result.value, &result.found, &io);
+      ++reply.keys_read;
+      touched = op.key.size() + result.value.size();
+      reply.bytes_returned += result.value.size();
+      break;
+    }
+    case OpType::kPut: {
+      st = store.Put(op.key, op.value, &io);
+      ++reply.keys_written;
+      touched = op.key.size() + op.value.size();
+      break;
+    }
+    case OpType::kDelete: {
+      st = store.Delete(op.key, &io);
+      ++reply.keys_written;
+      touched = op.key.size();
+      break;
+    }
+    case OpType::kScan: {
+      ScanOptions scan;
+      scan.start = op.key;
+      scan.end = op.end_key;
+      scan.limit = op.limit;
+      scan.predicate_contains = request.predicate_contains;
+      scan.aggregate = request.aggregate;
+      auto r = store.Scan(scan, &io);
+      if (!r.ok()) {
+        st = r.status();
+        break;
+      }
+      result.rows.reserve(r->rows.size());
+      for (ScanRow& row : r->rows) {
+        result.rows.emplace_back(std::move(row.key), std::move(row.value));
+      }
+      result.truncated = r->truncated;
+      result.scanned = r->scanned;
+      result.matched = r->matched;
+      result.agg_value = r->agg_value;
+      result.agg_skipped = r->agg_skipped;
+      reply.keys_read += r->scanned;
+      reply.bytes_scanned += r->scanned_bytes;
+      for (const auto& [key, value] : result.rows) {
+        reply.bytes_returned += key.size() + value.size();
+      }
+      touched = r->scanned_bytes;
+      break;
+    }
+  }
+  if (charge) charge(io, touched);
+  if (!st.ok()) result.status_code = static_cast<std::uint16_t>(st.code());
+  return result;
+}
+
+}  // namespace
+
+Reply ExecuteBatch(KvStore& store, const Request& request,
+                   const ChargeFn& charge, std::string* errors) {
+  Reply reply;
+  reply.results.reserve(request.ops.size());
+  for (const Op& op : request.ops) {
+    OpResult result = RunOp(store, op, request, reply, charge);
+    if (!result.ok() && errors != nullptr) {
+      errors->append("kv: op failed with status ");
+      errors->append(std::to_string(result.status_code));
+      errors->append(" key=");
+      errors->append(op.key);
+      errors->push_back('\n');
+    }
+    reply.results.push_back(std::move(result));
+  }
+  return reply;
+}
+
+}  // namespace compstor::kv

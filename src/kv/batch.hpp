@@ -1,0 +1,30 @@
+// Shared batch executor for KV requests.
+//
+// Both consumers of the wire-level kv::Request run the same loop: the "kv"
+// minion app (data plane, charged to the cost model) and the agent's kKv
+// admin-plane query (host tooling poking a store directly). Keeping the
+// op dispatch here means the two surfaces cannot drift on semantics —
+// tombstones, truncation, aggregate folds, per-op failure isolation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "kv/kv_store.hpp"
+#include "kv/types.hpp"
+
+namespace compstor::kv {
+
+/// Invoked once per op with the flash IO it performed and the record bytes
+/// the engine examined (the compute-work unit of the cost model).
+using ChargeFn = std::function<void(const IoStats&, std::uint64_t touched_bytes)>;
+
+/// Executes every op in `request` against `store`. A failed op records its
+/// status code in its OpResult and the batch continues (shell `;` semantics).
+/// `charge` may be empty; `errors`, when non-null, collects one "kv: ..."
+/// line per failed op.
+Reply ExecuteBatch(KvStore& store, const Request& request,
+                   const ChargeFn& charge = {}, std::string* errors = nullptr);
+
+}  // namespace compstor::kv

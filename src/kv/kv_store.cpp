@@ -1,0 +1,660 @@
+#include "kv/kv_store.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+#include "util/byte_io.hpp"
+#include "util/crc32c.hpp"
+
+namespace compstor::kv {
+namespace {
+
+constexpr std::uint64_t kManifestMagic = 0x436f6d704b764d31ull;  // "CompKvM1"
+constexpr std::uint32_t kManifestVersion = 1;
+// Approximate per-entry container overhead charged to the memory budget on
+// top of key+value bytes (map node + string headers).
+constexpr std::uint64_t kMemtableEntryOverhead = 96;
+
+Status EnsureDir(fs::Filesystem* fs, const std::string& dir) {
+  // Create each prefix of the (absolute) path; AlreadyExists is fine.
+  std::size_t pos = 1;
+  while (pos <= dir.size()) {
+    std::size_t next = dir.find('/', pos);
+    if (next == std::string::npos) next = dir.size();
+    const std::string prefix = dir.substr(0, next);
+    if (!prefix.empty() && prefix != "/") {
+      Status st = fs->Mkdir(prefix);
+      if (!st.ok() && st.code() != StatusCode::kAlreadyExists) return st;
+    }
+    pos = next + 1;
+  }
+  return OkStatus();
+}
+
+/// Parses a decimal integer value for the sum/min/max pushdown folds.
+bool ParseI64(std::string_view s, std::int64_t* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  // Values are short; copy to guarantee termination.
+  std::string buf(s);
+  const long long v = std::strtoll(buf.c_str(), &end, 10);
+  if (errno != 0 || end != buf.c_str() + buf.size()) return false;
+  *out = static_cast<std::int64_t>(v);
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Lifecycle / recovery
+
+KvStore::KvStore(fs::Filesystem* fs, std::string dir, const KvOptions& options)
+    : fs_(fs),
+      dir_(std::move(dir)),
+      options_(options),
+      cache_(options.cache_bytes, options.budget),
+      memtable_reservation_(options.budget) {}
+
+KvStore::~KvStore() = default;
+
+std::string KvStore::SstPath(std::uint64_t file_no) const {
+  return dir_ + "/sst-" + std::to_string(file_no);
+}
+std::string KvStore::ManifestPath(std::uint64_t seq) const {
+  return dir_ + "/manifest-" + std::to_string(seq);
+}
+std::string KvStore::WalPath() const { return dir_ + "/wal"; }
+
+Result<std::unique_ptr<KvStore>> KvStore::Open(fs::Filesystem* fs,
+                                               std::string dir,
+                                               const KvOptions& options) {
+  if (dir.empty() || dir.front() != '/') {
+    return InvalidArgument("kv store dir must be an absolute path");
+  }
+  while (dir.size() > 1 && dir.back() == '/') dir.pop_back();
+  COMPSTOR_RETURN_IF_ERROR(EnsureDir(fs, dir));
+  auto store =
+      std::unique_ptr<KvStore>(new KvStore(fs, std::move(dir), options));
+  IoStats io;
+  COMPSTOR_RETURN_IF_ERROR(store->Recover(&io));
+  return store;
+}
+
+Status KvStore::Recover(IoStats* io) {
+  std::unique_lock<std::shared_mutex> guard(mutex_);
+  std::vector<std::uint64_t> files;
+  COMPSTOR_RETURN_IF_ERROR(LoadManifest(&manifest_seq_, &files));
+  for (std::uint64_t file_no : files) {
+    COMPSTOR_ASSIGN_OR_RETURN(
+        std::unique_ptr<SSTableReader> reader,
+        SSTableReader::Open(fs_, SstPath(file_no), file_no));
+    next_file_no_ = std::max(next_file_no_, file_no + 1);
+    sstables_.push_back(std::move(reader));
+  }
+  COMPSTOR_RETURN_IF_ERROR(RemoveOrphans(files));
+  return ReplayWal(io);
+}
+
+Status KvStore::LoadManifest(std::uint64_t* seq_out,
+                             std::vector<std::uint64_t>* files_out) {
+  *seq_out = 0;
+  files_out->clear();
+  COMPSTOR_ASSIGN_OR_RETURN(std::vector<fs::DirEntry> entries,
+                            fs_->ReadDir(dir_));
+  std::vector<std::uint64_t> candidates;
+  for (const fs::DirEntry& e : entries) {
+    if (e.name.rfind("manifest-", 0) == 0) {
+      candidates.push_back(std::strtoull(e.name.c_str() + 9, nullptr, 10));
+    }
+  }
+  std::sort(candidates.rbegin(), candidates.rend());
+  for (std::uint64_t seq : candidates) {
+    // Highest sequence that parses and CRC-verifies wins; an interrupted
+    // WriteFile (empty or truncated image) fails here and the previous
+    // manifest still stands — old-or-new, never torn.
+    auto data = fs_->ReadFileAll(ManifestPath(seq));
+    if (!data.ok()) continue;
+    if (data->size() < 4) continue;
+    const std::span<const std::uint8_t> body(data->data(), data->size() - 4);
+    util::ByteReader cr(
+        std::span<const std::uint8_t>(data->data() + body.size(), 4));
+    auto stored_crc = cr.GetU32();
+    if (!stored_crc.ok() || util::Crc32c(body) != *stored_crc) continue;
+    util::ByteReader r(body);
+    auto magic = r.GetU64();
+    if (!magic.ok() || *magic != kManifestMagic) continue;
+    auto version = r.GetU32();
+    if (!version.ok() || *version != kManifestVersion) continue;
+    auto next = r.GetU64();
+    auto count = r.GetU32();
+    if (!next.ok() || !count.ok()) continue;
+    std::vector<std::uint64_t> files;
+    bool bad = false;
+    for (std::uint32_t i = 0; i < *count; ++i) {
+      auto f = r.GetU64();
+      if (!f.ok()) {
+        bad = true;
+        break;
+      }
+      files.push_back(*f);
+    }
+    if (bad) continue;
+    *seq_out = seq;
+    *files_out = std::move(files);
+    next_file_no_ = std::max<std::uint64_t>(1, *next);
+    return OkStatus();
+  }
+  return OkStatus();  // fresh store: no manifest yet
+}
+
+Status KvStore::WriteManifest(std::uint64_t seq,
+                              const std::vector<std::uint64_t>& files,
+                              IoStats* io) {
+  util::ByteWriter w;
+  w.PutU64(kManifestMagic);
+  w.PutU32(kManifestVersion);
+  w.PutU64(next_file_no_);
+  w.PutU32(static_cast<std::uint32_t>(files.size()));
+  for (std::uint64_t f : files) w.PutU64(f);
+  w.PutU32(util::Crc32c(w.bytes()));
+  const std::vector<std::uint8_t> bytes = w.Take();
+  COMPSTOR_RETURN_IF_ERROR(fs_->WriteFile(ManifestPath(seq), bytes));
+  if (io != nullptr) io->bytes_written += bytes.size();
+  const std::uint64_t old_seq = manifest_seq_;
+  manifest_seq_ = seq;
+  if (old_seq != 0 && old_seq != seq) {
+    // Losing this unlink to a crash is harmless: the higher sequence wins at
+    // the next open and RemoveOrphans sweeps the stale file.
+    Status st = fs_->Unlink(ManifestPath(old_seq));
+    if (!st.ok() && st.code() != StatusCode::kNotFound) return st;
+  }
+  return OkStatus();
+}
+
+Status KvStore::RemoveOrphans(const std::vector<std::uint64_t>& live_files) {
+  COMPSTOR_ASSIGN_OR_RETURN(std::vector<fs::DirEntry> entries,
+                            fs_->ReadDir(dir_));
+  std::uint64_t removed = 0;
+  for (const fs::DirEntry& e : entries) {
+    bool orphan = false;
+    if (e.name.rfind("sst-", 0) == 0) {
+      const std::uint64_t file_no =
+          std::strtoull(e.name.c_str() + 4, nullptr, 10);
+      orphan = std::find(live_files.begin(), live_files.end(), file_no) ==
+               live_files.end();
+    } else if (e.name.rfind("manifest-", 0) == 0) {
+      orphan = std::strtoull(e.name.c_str() + 9, nullptr, 10) != manifest_seq_;
+    }
+    if (!orphan) continue;
+    COMPSTOR_RETURN_IF_ERROR(fs_->Unlink(dir_ + "/" + e.name));
+    ++removed;
+  }
+  if (removed > 0) {
+    std::unique_lock<std::shared_mutex> guard(stats_mutex_);
+    counters_.orphans_removed += removed;
+  }
+  return OkStatus();
+}
+
+Status KvStore::ReplayWal(IoStats* io) {
+  const std::string path = WalPath();
+  auto stat = fs_->Stat(path);
+  if (!stat.ok()) {
+    if (stat.status().code() != StatusCode::kNotFound) return stat.status();
+    COMPSTOR_ASSIGN_OR_RETURN(wal_inode_, fs_->Create(path));
+    wal_size_ = 0;
+    return OkStatus();
+  }
+  wal_inode_ = stat->inode;
+  std::vector<std::uint8_t> data(stat->size);
+  COMPSTOR_ASSIGN_OR_RETURN(std::uint64_t got, fs_->Read(wal_inode_, 0, data));
+  data.resize(got);
+  std::uint64_t offset = 0;
+  std::uint64_t replayed = 0;
+  while (offset + 8 <= data.size()) {
+    util::ByteReader hr(std::span<const std::uint8_t>(data).subspan(offset, 8));
+    const std::uint32_t crc = *hr.GetU32();
+    const std::uint32_t len = *hr.GetU32();
+    if (offset + 8 + len > data.size()) break;  // torn tail
+    const std::span<const std::uint8_t> payload(data.data() + offset + 8, len);
+    if (util::Crc32c(payload) != crc) break;  // corrupt tail: stop replay here
+    util::ByteReader r(payload);
+    auto op = r.GetU8();
+    auto key = r.GetString();
+    auto value = r.GetString();
+    if (!op.ok() || !key.ok() || !value.ok()) break;
+    if (*op == static_cast<std::uint8_t>(OpType::kPut)) {
+      COMPSTOR_RETURN_IF_ERROR(ApplyToMemtable(*key, std::move(*value)));
+    } else if (*op == static_cast<std::uint8_t>(OpType::kDelete)) {
+      COMPSTOR_RETURN_IF_ERROR(ApplyToMemtable(*key, std::nullopt));
+    } else {
+      break;  // unknown op: treat as corrupt tail
+    }
+    offset += 8 + len;
+    ++replayed;
+  }
+  // Records past `offset` (if any) never committed; appends resume over them.
+  wal_size_ = offset;
+  if (io != nullptr) io->flash_bytes_read += got;
+  std::unique_lock<std::shared_mutex> guard(stats_mutex_);
+  counters_.wal_records_replayed += replayed;
+  return OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// Mutations
+
+Status KvStore::AppendWal(OpType op, std::string_view key,
+                          std::string_view value, IoStats* io) {
+  util::ByteWriter body;
+  body.PutU8(static_cast<std::uint8_t>(op));
+  body.PutString(key);
+  body.PutString(value);
+  util::ByteWriter rec;
+  rec.PutU32(util::Crc32c(body.bytes()));
+  rec.PutU32(static_cast<std::uint32_t>(body.bytes().size()));
+  rec.PutRaw(body.bytes());
+  const std::vector<std::uint8_t>& bytes = rec.bytes();
+  // One fs.Write == one journal transaction: the record (and the WAL size
+  // stamp) lands atomically or not at all under a power cut.
+  COMPSTOR_RETURN_IF_ERROR(fs_->Write(wal_inode_, wal_size_, bytes));
+  wal_size_ += bytes.size();
+  if (io != nullptr) io->bytes_written += bytes.size();
+  return OkStatus();
+}
+
+Status KvStore::ApplyToMemtable(std::string_view key,
+                                std::optional<std::string> value) {
+  const std::uint64_t footprint =
+      key.size() + (value ? value->size() : 0) + kMemtableEntryOverhead;
+  Status reserve = memtable_reservation_.Grow(footprint);
+  if (!reserve.ok()) return reserve;
+  auto it = memtable_.find(key);
+  if (it == memtable_.end()) {
+    memtable_.emplace(std::string(key), std::move(value));
+  } else {
+    it->second = std::move(value);
+  }
+  // Overwrites keep both footprints reserved until the next flush clears the
+  // reservation — conservative, and it keeps the accounting release-free.
+  memtable_bytes_ += footprint;
+  return OkStatus();
+}
+
+Status KvStore::Put(std::string_view key, std::string_view value,
+                    IoStats* io) {
+  if (key.empty()) return InvalidArgument("empty key");
+  std::unique_lock<std::shared_mutex> guard(mutex_);
+  COMPSTOR_RETURN_IF_ERROR(AppendWal(OpType::kPut, key, value, io));
+  Status st = ApplyToMemtable(key, std::string(value));
+  if (st.code() == StatusCode::kResourceExhausted) {
+    // DRAM budget pressure: flush to free the memtable, then retry once.
+    COMPSTOR_RETURN_IF_ERROR(FlushLocked(io));
+    st = ApplyToMemtable(key, std::string(value));
+  }
+  COMPSTOR_RETURN_IF_ERROR(st);
+  {
+    std::unique_lock<std::shared_mutex> sg(stats_mutex_);
+    ++counters_.puts;
+  }
+  if (memtable_bytes_ >= options_.memtable_limit_bytes) {
+    COMPSTOR_RETURN_IF_ERROR(FlushLocked(io));
+  }
+  return OkStatus();
+}
+
+Status KvStore::Delete(std::string_view key, IoStats* io) {
+  if (key.empty()) return InvalidArgument("empty key");
+  std::unique_lock<std::shared_mutex> guard(mutex_);
+  COMPSTOR_RETURN_IF_ERROR(AppendWal(OpType::kDelete, key, "", io));
+  Status st = ApplyToMemtable(key, std::nullopt);
+  if (st.code() == StatusCode::kResourceExhausted) {
+    COMPSTOR_RETURN_IF_ERROR(FlushLocked(io));
+    st = ApplyToMemtable(key, std::nullopt);
+  }
+  COMPSTOR_RETURN_IF_ERROR(st);
+  {
+    std::unique_lock<std::shared_mutex> sg(stats_mutex_);
+    ++counters_.deletes;
+  }
+  if (memtable_bytes_ >= options_.memtable_limit_bytes) {
+    COMPSTOR_RETURN_IF_ERROR(FlushLocked(io));
+  }
+  return OkStatus();
+}
+
+Status KvStore::Flush(IoStats* io) {
+  std::unique_lock<std::shared_mutex> guard(mutex_);
+  return FlushLocked(io);
+}
+
+Status KvStore::FlushLocked(IoStats* io) {
+  if (memtable_.empty()) return OkStatus();
+  const std::uint64_t file_no = next_file_no_++;
+  COMPSTOR_RETURN_IF_ERROR(WriteRun(
+      file_no,
+      [this](SSTableBuilder& builder) -> Status {
+        for (const auto& [key, value] : memtable_) {
+          COMPSTOR_RETURN_IF_ERROR(
+              builder.Add(key, value ? *value : "", !value.has_value()));
+        }
+        return OkStatus();
+      },
+      io));
+  COMPSTOR_ASSIGN_OR_RETURN(
+      std::unique_ptr<SSTableReader> reader,
+      SSTableReader::Open(fs_, SstPath(file_no), file_no));
+  std::vector<std::uint64_t> files;
+  for (const auto& sst : sstables_) files.push_back(sst->file_no());
+  files.push_back(file_no);
+  // Publication point: until this manifest lands, the run is an orphan the
+  // next Open() deletes; after it, WAL replay of the same records is
+  // idempotent (the rebuilt memtable shadows the run with equal values).
+  COMPSTOR_RETURN_IF_ERROR(WriteManifest(manifest_seq_ + 1, files, io));
+  sstables_.push_back(std::move(reader));
+  COMPSTOR_RETURN_IF_ERROR(fs_->Truncate(wal_inode_, 0));
+  wal_size_ = 0;
+  memtable_.clear();
+  memtable_bytes_ = 0;
+  memtable_reservation_.ReleaseAll();
+  {
+    std::unique_lock<std::shared_mutex> sg(stats_mutex_);
+    ++counters_.flushes;
+  }
+  if (sstables_.size() >= options_.compact_threshold) {
+    return CompactLocked(io);
+  }
+  return OkStatus();
+}
+
+Status KvStore::WriteRun(std::uint64_t file_no,
+                         const std::function<Status(SSTableBuilder&)>& fill,
+                         IoStats* io) {
+  SSTableBuilder builder(options_.block_bytes);
+  COMPSTOR_RETURN_IF_ERROR(fill(builder));
+  const std::vector<std::uint8_t> image = builder.Finish();
+  COMPSTOR_RETURN_IF_ERROR(fs_->WriteFile(SstPath(file_no), image));
+  if (io != nullptr) io->bytes_written += image.size();
+  return OkStatus();
+}
+
+Status KvStore::Compact(IoStats* io) {
+  std::unique_lock<std::shared_mutex> guard(mutex_);
+  return CompactLocked(io);
+}
+
+Status KvStore::CompactLocked(IoStats* io) {
+  if (sstables_.size() < 2) return OkStatus();
+  // Full-merge compaction: apply runs oldest -> newest so later versions
+  // shadow earlier ones, then drop tombstones (a full merge has nothing left
+  // to resurrect under them).
+  std::map<std::string, std::optional<std::string>> merged;
+  for (const auto& sst : sstables_) {
+    for (std::uint32_t b = 0; b < sst->num_blocks(); ++b) {
+      COMPSTOR_ASSIGN_OR_RETURN(SSTableReader::BlockHandle block,
+                                sst->ReadBlock(b, &cache_, io));
+      for (const SstRecord& rec : block.records) {
+        if (rec.tombstone) {
+          merged[std::string(rec.key)] = std::nullopt;
+        } else {
+          merged[std::string(rec.key)] = std::string(rec.value);
+        }
+      }
+    }
+  }
+  const std::uint64_t file_no = next_file_no_++;
+  COMPSTOR_RETURN_IF_ERROR(WriteRun(
+      file_no,
+      [&merged](SSTableBuilder& builder) -> Status {
+        for (const auto& [key, value] : merged) {
+          if (!value) continue;
+          COMPSTOR_RETURN_IF_ERROR(builder.Add(key, *value, false));
+        }
+        return OkStatus();
+      },
+      io));
+  COMPSTOR_ASSIGN_OR_RETURN(
+      std::unique_ptr<SSTableReader> reader,
+      SSTableReader::Open(fs_, SstPath(file_no), file_no));
+  COMPSTOR_RETURN_IF_ERROR(WriteManifest(manifest_seq_ + 1, {file_no}, io));
+  // The old runs are unreferenced now; a crash before these unlinks only
+  // strands orphans for the next Open().
+  for (const auto& sst : sstables_) {
+    cache_.EraseFile(sst->file_no());
+    Status st = fs_->Unlink(sst->path());
+    if (!st.ok() && st.code() != StatusCode::kNotFound) return st;
+  }
+  sstables_.clear();
+  sstables_.push_back(std::move(reader));
+  std::unique_lock<std::shared_mutex> sg(stats_mutex_);
+  ++counters_.compactions;
+  return OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// Reads
+
+Status KvStore::Get(std::string_view key, std::string* value, bool* found,
+                    IoStats* io) {
+  *found = false;
+  value->clear();
+  std::shared_lock<std::shared_mutex> guard(mutex_);
+  {
+    std::unique_lock<std::shared_mutex> sg(stats_mutex_);
+    ++counters_.gets;
+  }
+  auto it = memtable_.find(key);
+  if (it != memtable_.end()) {
+    if (it->second) {
+      *value = *it->second;
+      *found = true;
+    }
+    return OkStatus();  // tombstone: authoritative "absent"
+  }
+  for (auto sst = sstables_.rbegin(); sst != sstables_.rend(); ++sst) {
+    if ((*sst)->num_blocks() == 0) continue;
+    if (key < (*sst)->first_key(0)) continue;
+    const std::uint32_t block_idx = (*sst)->FindBlock(key);
+    COMPSTOR_ASSIGN_OR_RETURN(SSTableReader::BlockHandle block,
+                              (*sst)->ReadBlock(block_idx, &cache_, io));
+    auto rec = std::lower_bound(
+        block.records.begin(), block.records.end(), key,
+        [](const SstRecord& r, std::string_view k) { return r.key < k; });
+    if (rec == block.records.end() || rec->key != key) continue;
+    if (!rec->tombstone) {
+      *value = std::string(rec->value);
+      *found = true;
+    }
+    return OkStatus();
+  }
+  return OkStatus();
+}
+
+Result<ScanResult> KvStore::Scan(const ScanOptions& options, IoStats* io) {
+  std::shared_lock<std::shared_mutex> guard(mutex_);
+  {
+    std::unique_lock<std::shared_mutex> sg(stats_mutex_);
+    ++counters_.scans;
+  }
+
+  // One cursor per source, ranked oldest -> newest; the memtable outranks
+  // every run. The merge takes the smallest key each round, the newest
+  // source wins ties, and every tied cursor advances past the key.
+  struct Cursor {
+    // sstable state
+    const SSTableReader* sst = nullptr;
+    std::uint32_t block_idx = 0;
+    SSTableReader::BlockHandle block;  // pins the payload
+    std::size_t rec_idx = 0;
+    // memtable state
+    const Memtable* memtable = nullptr;
+    Memtable::const_iterator mem_it;
+    Memtable::const_iterator mem_end;
+    bool done = false;
+
+    std::string_view key() const {
+      return memtable != nullptr ? std::string_view(mem_it->first)
+                                 : block.records[rec_idx].key;
+    }
+  };
+
+  std::vector<Cursor> cursors;
+  for (const auto& sst : sstables_) {
+    if (sst->num_blocks() == 0) continue;
+    Cursor c;
+    c.sst = sst.get();
+    c.block_idx = options.start.empty() ? 0 : sst->FindBlock(options.start);
+    while (true) {
+      COMPSTOR_ASSIGN_OR_RETURN(c.block,
+                                c.sst->ReadBlock(c.block_idx, &cache_, io));
+      auto rec = std::lower_bound(
+          c.block.records.begin(), c.block.records.end(), options.start,
+          [](const SstRecord& r, std::string_view k) { return r.key < k; });
+      if (rec != c.block.records.end()) {
+        c.rec_idx = static_cast<std::size_t>(rec - c.block.records.begin());
+        break;
+      }
+      if (++c.block_idx >= c.sst->num_blocks()) {
+        c.done = true;
+        break;
+      }
+    }
+    if (!c.done) cursors.push_back(std::move(c));
+  }
+  {
+    Cursor c;
+    c.memtable = &memtable_;
+    c.mem_it = options.start.empty() ? memtable_.begin()
+                                     : memtable_.lower_bound(options.start);
+    c.mem_end = memtable_.end();
+    c.done = c.mem_it == c.mem_end;
+    if (!c.done) cursors.push_back(std::move(c));
+  }
+
+  auto advance = [&](Cursor& c) -> Status {
+    if (c.memtable != nullptr) {
+      ++c.mem_it;
+      c.done = c.mem_it == c.mem_end;
+      return OkStatus();
+    }
+    ++c.rec_idx;
+    while (c.rec_idx >= c.block.records.size()) {
+      if (++c.block_idx >= c.sst->num_blocks()) {
+        c.done = true;
+        return OkStatus();
+      }
+      COMPSTOR_ASSIGN_OR_RETURN(c.block,
+                                c.sst->ReadBlock(c.block_idx, &cache_, io));
+      c.rec_idx = 0;
+    }
+    return OkStatus();
+  };
+
+  ScanResult result;
+  bool agg_seeded = false;
+  while (true) {
+    // Smallest live key this round; the newest source holding it wins.
+    std::string_view min_key;
+    std::size_t winner = cursors.size();
+    for (std::size_t i = 0; i < cursors.size(); ++i) {
+      if (cursors[i].done) continue;
+      const std::string_view k = cursors[i].key();
+      if (winner == cursors.size() || k < min_key) {
+        min_key = k;
+        winner = i;
+      } else if (k == min_key) {
+        winner = i;  // later cursors are newer (memtable is last)
+      }
+    }
+    if (winner == cursors.size()) break;
+    if (!options.end.empty() && min_key >= options.end) break;
+
+    bool tombstone;
+    std::string_view value;
+    const Cursor& w = cursors[winner];
+    if (w.memtable != nullptr) {
+      tombstone = !w.mem_it->second.has_value();
+      value = tombstone ? std::string_view() : std::string_view(*w.mem_it->second);
+    } else {
+      const SstRecord& rec = w.block.records[w.rec_idx];
+      tombstone = rec.tombstone;
+      value = rec.value;
+    }
+    // Copy out before advancing: the winning cursor's storage goes away.
+    const std::string key(min_key);
+    const std::string value_copy(value);
+    for (Cursor& c : cursors) {
+      while (!c.done && c.key() == key) COMPSTOR_RETURN_IF_ERROR(advance(c));
+    }
+    if (tombstone) continue;
+
+    ++result.scanned;
+    result.scanned_bytes += key.size() + value_copy.size();
+    if (!options.predicate_contains.empty() &&
+        value_copy.find(options.predicate_contains) == std::string::npos) {
+      continue;
+    }
+    ++result.matched;
+    switch (options.aggregate) {
+      case Aggregate::kNone:
+        result.rows.push_back(ScanRow{key, value_copy});
+        break;
+      case Aggregate::kCount:
+        ++result.agg_value;
+        break;
+      case Aggregate::kSum:
+      case Aggregate::kMin:
+      case Aggregate::kMax: {
+        std::int64_t v = 0;
+        if (!ParseI64(value_copy, &v)) {
+          ++result.agg_skipped;
+          break;
+        }
+        if (options.aggregate == Aggregate::kSum) {
+          result.agg_value += v;
+        } else if (!agg_seeded) {
+          result.agg_value = v;
+          agg_seeded = true;
+        } else if (options.aggregate == Aggregate::kMin) {
+          result.agg_value = std::min(result.agg_value, v);
+        } else {
+          result.agg_value = std::max(result.agg_value, v);
+        }
+        break;
+      }
+    }
+    if (options.limit != 0 && result.matched >= options.limit) {
+      // More live keys may remain; report the cut.
+      for (const Cursor& c : cursors) {
+        if (!c.done) {
+          result.truncated = true;
+          break;
+        }
+      }
+      break;
+    }
+  }
+  return result;
+}
+
+StoreStats KvStore::Stats() const {
+  std::shared_lock<std::shared_mutex> guard(mutex_);
+  StoreStats s;
+  {
+    std::shared_lock<std::shared_mutex> sg(stats_mutex_);
+    s = counters_;
+  }
+  s.sstables = sstables_.size();
+  for (const auto& sst : sstables_) s.sstable_records += sst->records();
+  s.memtable_bytes = memtable_bytes_;
+  s.memtable_entries = memtable_.size();
+  s.cache_bytes = cache_.bytes();
+  s.cache_hits = cache_.hits();
+  s.cache_misses = cache_.misses();
+  s.cache_evictions = cache_.evictions();
+  return s;
+}
+
+}  // namespace compstor::kv

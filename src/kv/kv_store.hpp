@@ -1,0 +1,183 @@
+// KvStore: a persistent ordered key-value store (LSM) layered on CompStorFS,
+// the ROADMAP item-3 small-IO workload the paper's "millions of users"
+// scenario needs.
+//
+// Layout inside the store directory:
+//   wal             append-only redo log of unflushed mutations, CRC-framed
+//   sst-<N>         immutable sorted runs (see sstable.hpp)
+//   manifest-<S>    CRC'd snapshot of {next_file_no, live sstable list}
+//
+// Crash consistency composes with the PR-6 filesystem journal instead of
+// adding a second recovery mechanism:
+//   - a Put/Delete is one WAL append == one fs.Write == one journal
+//     transaction, so a power cut leaves the record fully present or fully
+//     absent; a CRC-framed torn tail (impossible through the journal, but
+//     cheap to guard) truncates replay at the last good record;
+//   - a flush writes the new sstable (unreferenced until the manifest lands,
+//     so a crash strands an orphan file that Open() deletes), then writes
+//     manifest-<S+1> whole-file, then deletes manifest-<S> and truncates the
+//     WAL. Open() loads the highest manifest that parses and CRC-verifies —
+//     an interrupted manifest write is ignored and the previous one still
+//     stands, so recovery always sees old-or-new, never torn;
+//   - replaying a WAL whose records were already flushed is idempotent: the
+//     rebuilt memtable shadows the sstables with identical values.
+//
+// Concurrency: a shared_mutex admits concurrent readers (Get/Scan) against
+// one writer (Put/Delete/Flush/Compact); the block cache and the filesystem
+// carry their own locks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/mem_budget.hpp"
+#include "common/status.hpp"
+#include "fs/filesystem.hpp"
+#include "kv/sstable.hpp"
+#include "kv/types.hpp"
+
+namespace compstor::kv {
+
+struct KvOptions {
+  /// Memtable size that triggers an automatic flush to a sorted run.
+  std::uint64_t memtable_limit_bytes = 256 * 1024;
+  /// Block-cache capacity (decoded payload bytes).
+  std::uint64_t cache_bytes = 512 * 1024;
+  /// Sorted-run count that triggers a full compaction after a flush.
+  std::uint32_t compact_threshold = 6;
+  /// Target data-block payload size inside sstables.
+  std::uint32_t block_bytes = 4096;
+  /// Platform DRAM budget the cache and memtable reserve against (optional).
+  MemoryBudget* budget = nullptr;
+};
+
+/// Counters for `kv.*` telemetry probes and the store's admin reply.
+struct StoreStats {
+  std::uint64_t gets = 0;
+  std::uint64_t puts = 0;
+  std::uint64_t deletes = 0;
+  std::uint64_t scans = 0;
+  std::uint64_t flushes = 0;
+  std::uint64_t compactions = 0;
+  std::uint64_t wal_records_replayed = 0;
+  std::uint64_t orphans_removed = 0;
+  std::uint64_t sstables = 0;
+  std::uint64_t sstable_records = 0;
+  std::uint64_t memtable_bytes = 0;
+  std::uint64_t memtable_entries = 0;
+  std::uint64_t cache_bytes = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+};
+
+/// One row surfaced by Scan.
+struct ScanRow {
+  std::string key;
+  std::string value;
+};
+
+struct ScanOptions {
+  std::string_view start;            // inclusive
+  std::string_view end;              // exclusive; empty = unbounded
+  std::uint32_t limit = 0;           // max matched rows (0 = all)
+  std::string_view predicate_contains;  // value substring filter; empty = all
+  Aggregate aggregate = Aggregate::kNone;
+};
+
+struct ScanResult {
+  std::vector<ScanRow> rows;  // filled when aggregate == kNone
+  bool truncated = false;
+  std::uint64_t scanned = 0;  // live records examined (pre-predicate)
+  std::uint64_t matched = 0;
+  std::uint64_t scanned_bytes = 0;  // key+value bytes of examined records
+  std::int64_t agg_value = 0;
+  std::uint64_t agg_skipped = 0;
+};
+
+class KvStore {
+ public:
+  /// Opens (creating the directory if needed) the store at `dir`: loads the
+  /// newest valid manifest, removes orphan files from interrupted flushes,
+  /// and replays the WAL into the memtable.
+  static Result<std::unique_ptr<KvStore>> Open(fs::Filesystem* fs,
+                                               std::string dir,
+                                               const KvOptions& options = {});
+  ~KvStore();
+  KvStore(const KvStore&) = delete;
+  KvStore& operator=(const KvStore&) = delete;
+
+  Status Put(std::string_view key, std::string_view value, IoStats* io);
+  Status Delete(std::string_view key, IoStats* io);
+  /// found=false (with OkStatus) when the key is absent or deleted.
+  Status Get(std::string_view key, std::string* value, bool* found,
+             IoStats* io);
+  Result<ScanResult> Scan(const ScanOptions& options, IoStats* io);
+
+  /// Persists the memtable as a new sorted run (no-op when empty).
+  Status Flush(IoStats* io);
+  /// Merges every sorted run into one, dropping tombstones and shadowed
+  /// versions (no-op with <2 runs).
+  Status Compact(IoStats* io);
+
+  StoreStats Stats() const;
+  const std::string& dir() const { return dir_; }
+
+ private:
+  KvStore(fs::Filesystem* fs, std::string dir, const KvOptions& options);
+
+  // Memtable values: nullopt = tombstone.
+  using Memtable = std::map<std::string, std::optional<std::string>, std::less<>>;
+
+  Status Recover(IoStats* io);
+  Status LoadManifest(std::uint64_t* seq_out,
+                      std::vector<std::uint64_t>* files_out);
+  Status WriteManifest(std::uint64_t seq,
+                       const std::vector<std::uint64_t>& files, IoStats* io);
+  Status RemoveOrphans(const std::vector<std::uint64_t>& live_files);
+  Status ReplayWal(IoStats* io);
+  Status AppendWal(OpType op, std::string_view key, std::string_view value,
+                   IoStats* io);
+  Status ApplyToMemtable(std::string_view key,
+                         std::optional<std::string> value);
+  Status FlushLocked(IoStats* io);
+  Status CompactLocked(IoStats* io);
+  /// Writes the memtable (or a merged record stream) as sst-<file_no>.
+  Status WriteRun(std::uint64_t file_no,
+                  const std::function<Status(SSTableBuilder&)>& fill,
+                  IoStats* io);
+
+  std::string SstPath(std::uint64_t file_no) const;
+  std::string ManifestPath(std::uint64_t seq) const;
+  std::string WalPath() const;
+
+  fs::Filesystem* fs_;
+  const std::string dir_;
+  const KvOptions options_;
+  BlockCache cache_;
+
+  mutable std::shared_mutex mutex_;
+  Memtable memtable_;
+  std::uint64_t memtable_bytes_ = 0;
+  MemoryReservation memtable_reservation_;
+  std::uint32_t wal_inode_ = 0;
+  std::uint64_t wal_size_ = 0;
+  std::uint64_t next_file_no_ = 1;
+  std::uint64_t manifest_seq_ = 0;
+  /// Newest run last; lookups walk it back-to-front.
+  std::vector<std::unique_ptr<SSTableReader>> sstables_;
+
+  // Op counters (guarded by mutex_; readers bump under the shared lock via
+  // relaxed atomics would be overkill — Stats() takes the shared lock).
+  mutable std::shared_mutex stats_mutex_;
+  StoreStats counters_;
+};
+
+}  // namespace compstor::kv

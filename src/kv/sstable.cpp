@@ -1,0 +1,301 @@
+#include "kv/sstable.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "util/byte_io.hpp"
+#include "util/crc32c.hpp"
+
+namespace compstor::kv {
+namespace {
+
+constexpr std::uint64_t kSstMagic = 0x436f6d7053737431ull;  // "CompSst1"
+constexpr std::size_t kFooterBytes = 8 + 4 + 4 + 8;
+constexpr std::uint8_t kFlagTombstone = 0x01;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// BlockCache
+
+BlockCache::~BlockCache() {
+  if (budget_ != nullptr && bytes_ > 0) budget_->Release(bytes_);
+}
+
+BlockCache::Payload BlockCache::Get(std::uint64_t file_no,
+                                    std::uint32_t block_index) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  auto it = entries_.find(Key{file_no, block_index});
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  return it->second.payload;
+}
+
+void BlockCache::Insert(std::uint64_t file_no, std::uint32_t block_index,
+                        Payload payload) {
+  if (payload == nullptr) return;
+  const std::uint64_t size = payload->size();
+  if (size > capacity_) return;  // would evict everything and still not fit
+  std::lock_guard<std::mutex> guard(mutex_);
+  const Key key{file_no, block_index};
+  if (entries_.count(key) != 0) return;
+  while (bytes_ + size > capacity_ && !lru_.empty()) EvictOneLocked();
+  if (budget_ != nullptr) {
+    // The platform budget outranks our own capacity: evict until the
+    // reservation fits, and serve uncached if it never does.
+    while (!budget_->Reserve(size).ok()) {
+      if (lru_.empty()) return;
+      EvictOneLocked();
+    }
+  }
+  lru_.push_front(key);
+  entries_[key] = Entry{std::move(payload), lru_.begin()};
+  bytes_ += size;
+}
+
+void BlockCache::EraseFile(std::uint64_t file_no) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->first.first != file_no) {
+      ++it;
+      continue;
+    }
+    const std::uint64_t size = it->second.payload->size();
+    bytes_ -= size;
+    if (budget_ != nullptr) budget_->Release(size);
+    lru_.erase(it->second.lru_pos);
+    it = entries_.erase(it);
+  }
+}
+
+void BlockCache::EvictOneLocked() {
+  const Key victim = lru_.back();
+  lru_.pop_back();
+  auto it = entries_.find(victim);
+  const std::uint64_t size = it->second.payload->size();
+  bytes_ -= size;
+  if (budget_ != nullptr) budget_->Release(size);
+  entries_.erase(it);
+  ++evictions_;
+}
+
+std::uint64_t BlockCache::bytes() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return bytes_;
+}
+std::uint64_t BlockCache::hits() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return hits_;
+}
+std::uint64_t BlockCache::misses() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return misses_;
+}
+std::uint64_t BlockCache::evictions() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return evictions_;
+}
+
+// ---------------------------------------------------------------------------
+// SSTableBuilder
+
+Status SSTableBuilder::Add(std::string_view key, std::string_view value,
+                           bool tombstone) {
+  if (records_ > 0 && key <= last_key_) {
+    return InvalidArgument("sstable keys must be strictly increasing");
+  }
+  if (block_.empty()) block_first_key_ = std::string(key);
+  util::ByteWriter w;
+  w.PutU8(tombstone ? kFlagTombstone : 0);
+  w.PutU32(static_cast<std::uint32_t>(key.size()));
+  w.PutU32(static_cast<std::uint32_t>(tombstone ? 0 : value.size()));
+  w.PutRaw({reinterpret_cast<const std::uint8_t*>(key.data()), key.size()});
+  if (!tombstone) {
+    w.PutRaw({reinterpret_cast<const std::uint8_t*>(value.data()), value.size()});
+  }
+  const std::vector<std::uint8_t>& rec = w.bytes();
+  block_.insert(block_.end(), rec.begin(), rec.end());
+  ++block_records_;
+  ++records_;
+  last_key_ = std::string(key);
+  if (block_.size() >= target_block_bytes_) SealBlock();
+  return OkStatus();
+}
+
+void SSTableBuilder::SealBlock() {
+  if (block_.empty()) return;
+  IndexEntry entry;
+  entry.offset = file_.size();
+  entry.record_count = block_records_;
+  entry.first_key = block_first_key_;
+  util::ByteWriter w;
+  w.PutU32(util::Crc32c(block_));
+  w.PutU32(static_cast<std::uint32_t>(block_.size()));
+  w.PutRaw(block_);
+  const std::vector<std::uint8_t>& stored = w.bytes();
+  entry.stored_len = static_cast<std::uint32_t>(stored.size());
+  file_.insert(file_.end(), stored.begin(), stored.end());
+  index_.push_back(std::move(entry));
+  block_.clear();
+  block_records_ = 0;
+}
+
+std::vector<std::uint8_t> SSTableBuilder::Finish() {
+  SealBlock();
+  const std::uint64_t index_offset = file_.size();
+  util::ByteWriter idx;
+  idx.PutU32(static_cast<std::uint32_t>(index_.size()));
+  for (const IndexEntry& e : index_) {
+    idx.PutU64(e.offset);
+    idx.PutU32(e.stored_len);
+    idx.PutU32(e.record_count);
+    idx.PutString(e.first_key);
+  }
+  const std::vector<std::uint8_t>& index_bytes = idx.bytes();
+  util::ByteWriter tail;
+  tail.PutRaw(index_bytes);
+  tail.PutU64(index_offset);
+  tail.PutU32(static_cast<std::uint32_t>(index_bytes.size()));
+  tail.PutU32(util::Crc32c(index_bytes));
+  tail.PutU64(kSstMagic);
+  const std::vector<std::uint8_t>& t = tail.bytes();
+  file_.insert(file_.end(), t.begin(), t.end());
+  return std::move(file_);
+}
+
+// ---------------------------------------------------------------------------
+// SSTableReader
+
+Result<std::vector<SstRecord>> ParseBlockRecords(
+    std::span<const std::uint8_t> payload) {
+  std::vector<SstRecord> records;
+  util::ByteReader r(payload);
+  while (!r.AtEnd()) {
+    COMPSTOR_ASSIGN_OR_RETURN(std::uint8_t flags, r.GetU8());
+    COMPSTOR_ASSIGN_OR_RETURN(std::uint32_t klen, r.GetU32());
+    COMPSTOR_ASSIGN_OR_RETURN(std::uint32_t vlen, r.GetU32());
+    if (r.remaining() < static_cast<std::size_t>(klen) + vlen) {
+      return DataCorruption("sstable record overruns its block");
+    }
+    const std::size_t pos = payload.size() - r.remaining();
+    SstRecord rec;
+    rec.key = std::string_view(reinterpret_cast<const char*>(payload.data() + pos),
+                               klen);
+    rec.value = std::string_view(
+        reinterpret_cast<const char*>(payload.data() + pos + klen), vlen);
+    rec.tombstone = (flags & kFlagTombstone) != 0;
+    records.push_back(rec);
+    // ByteReader has no Skip; re-seat it past the record body.
+    r = util::ByteReader(payload.subspan(pos + klen + vlen));
+  }
+  return records;
+}
+
+Result<std::unique_ptr<SSTableReader>> SSTableReader::Open(
+    fs::Filesystem* fs, const std::string& path, std::uint64_t file_no) {
+  auto reader = std::unique_ptr<SSTableReader>(
+      new SSTableReader(fs, path, file_no));
+  COMPSTOR_ASSIGN_OR_RETURN(fs::FileStat stat, fs->Stat(path));
+  reader->inode_ = stat.inode;
+  if (stat.size < kFooterBytes) {
+    return DataCorruption("sstable " + path + " shorter than its footer");
+  }
+  std::uint8_t footer[kFooterBytes];
+  COMPSTOR_ASSIGN_OR_RETURN(
+      std::uint64_t got,
+      fs->Read(stat.inode, stat.size - kFooterBytes, footer));
+  if (got != kFooterBytes) return DataCorruption("sstable footer short read");
+  util::ByteReader fr(footer);
+  COMPSTOR_ASSIGN_OR_RETURN(std::uint64_t index_offset, fr.GetU64());
+  COMPSTOR_ASSIGN_OR_RETURN(std::uint32_t index_len, fr.GetU32());
+  COMPSTOR_ASSIGN_OR_RETURN(std::uint32_t index_crc, fr.GetU32());
+  COMPSTOR_ASSIGN_OR_RETURN(std::uint64_t magic, fr.GetU64());
+  if (magic != kSstMagic) {
+    return DataCorruption("sstable " + path + " has a bad magic");
+  }
+  if (index_offset + index_len + kFooterBytes != stat.size) {
+    return DataCorruption("sstable " + path + " index bounds are inconsistent");
+  }
+  std::vector<std::uint8_t> index_bytes(index_len);
+  COMPSTOR_ASSIGN_OR_RETURN(got, fs->Read(stat.inode, index_offset, index_bytes));
+  if (got != index_len) return DataCorruption("sstable index short read");
+  if (util::Crc32c(index_bytes) != index_crc) {
+    return DataCorruption("sstable " + path + " index CRC mismatch");
+  }
+  util::ByteReader ir(index_bytes);
+  COMPSTOR_ASSIGN_OR_RETURN(std::uint32_t count, ir.GetU32());
+  reader->index_.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    IndexEntry e;
+    COMPSTOR_ASSIGN_OR_RETURN(e.offset, ir.GetU64());
+    COMPSTOR_ASSIGN_OR_RETURN(e.stored_len, ir.GetU32());
+    COMPSTOR_ASSIGN_OR_RETURN(e.record_count, ir.GetU32());
+    COMPSTOR_ASSIGN_OR_RETURN(e.first_key, ir.GetString());
+    reader->records_ += e.record_count;
+    reader->index_.push_back(std::move(e));
+  }
+  reader->data_bytes_ = index_offset;
+  return reader;
+}
+
+std::uint32_t SSTableReader::FindBlock(std::string_view key) const {
+  // Last block whose first_key <= key.
+  std::uint32_t lo = 0;
+  std::uint32_t hi = num_blocks();
+  while (lo < hi) {
+    const std::uint32_t mid = lo + (hi - lo) / 2;
+    if (index_[mid].first_key <= key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo == 0 ? 0 : lo - 1;
+}
+
+Result<SSTableReader::BlockHandle> SSTableReader::ReadBlock(
+    std::uint32_t index, BlockCache* cache, IoStats* io) const {
+  if (index >= num_blocks()) return OutOfRange("sstable block index");
+  BlockCache::Payload payload;
+  if (cache != nullptr) payload = cache->Get(file_no_, index);
+  if (payload != nullptr) {
+    if (io != nullptr) ++io->cache_hits;
+  } else {
+    if (io != nullptr) ++io->cache_misses;
+    const IndexEntry& e = index_[index];
+    std::vector<std::uint8_t> stored(e.stored_len);
+    COMPSTOR_ASSIGN_OR_RETURN(std::uint64_t got,
+                              fs_->Read(inode_, e.offset, stored));
+    if (got != e.stored_len) {
+      return DataCorruption("sstable " + path_ + " block short read");
+    }
+    util::ByteReader br(stored);
+    COMPSTOR_ASSIGN_OR_RETURN(std::uint32_t crc, br.GetU32());
+    COMPSTOR_ASSIGN_OR_RETURN(std::uint32_t len, br.GetU32());
+    if (len != stored.size() - 8) {
+      return DataCorruption("sstable " + path_ + " block length mismatch");
+    }
+    auto decoded = std::make_shared<std::vector<std::uint8_t>>(
+        stored.begin() + 8, stored.end());
+    if (util::Crc32c(*decoded) != crc) {
+      return DataCorruption("sstable " + path_ + " block CRC mismatch");
+    }
+    if (io != nullptr) {
+      ++io->blocks_read;
+      io->flash_bytes_read += stored.size();
+    }
+    payload = decoded;
+    if (cache != nullptr) cache->Insert(file_no_, index, payload);
+  }
+  BlockHandle handle;
+  handle.payload = payload;
+  COMPSTOR_ASSIGN_OR_RETURN(handle.records, ParseBlockRecords(*payload));
+  return handle;
+}
+
+}  // namespace compstor::kv

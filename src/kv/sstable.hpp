@@ -1,0 +1,202 @@
+// Immutable sorted-run files (sstables) of the in-storage KV engine, plus
+// the shared block cache they are read through.
+//
+// On-fs layout of one sstable (a regular CompStorFS file):
+//
+//   [data block]* [index] [footer]
+//
+//   data block : u32 crc32c(payload) | u32 payload_len | payload
+//   payload    : record*  where record = u8 flags | u32 klen | u32 vlen |
+//                key bytes | value bytes   (flags bit0 = tombstone)
+//   index      : u32 block_count | { u64 offset | u32 stored_len |
+//                u32 record_count | string first_key }*
+//   footer     : u64 index_offset | u32 index_len | u32 index_crc |
+//                u64 magic   (fixed 24 bytes at end of file)
+//
+// Every block carries its own CRC32c on top of the filesystem's per-block
+// checksum table, so a corrupted run surfaces as kDataCorruption at the KV
+// layer with the sstable name attached. Blocks decode into the shared
+// BlockCache, whose bytes are reserved against the ISPS MemoryBudget —
+// the KV page cache competes with the streaming pipeline for device DRAM
+// instead of growing unbounded.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/mem_budget.hpp"
+#include "common/status.hpp"
+#include "fs/filesystem.hpp"
+
+namespace compstor::kv {
+
+/// Per-call IO accounting, filled by store operations so the app layer can
+/// charge the cost model and the ledger without reaching into the store.
+struct IoStats {
+  std::uint64_t blocks_read = 0;       // sstable blocks fetched from flash
+  std::uint64_t flash_bytes_read = 0;  // bytes of those fetches
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t bytes_written = 0;     // WAL + sstable + manifest bytes
+
+  void Add(const IoStats& o) {
+    blocks_read += o.blocks_read;
+    flash_bytes_read += o.flash_bytes_read;
+    cache_hits += o.cache_hits;
+    cache_misses += o.cache_misses;
+    bytes_written += o.bytes_written;
+  }
+};
+
+/// One decoded record inside a pinned block. The views borrow from the
+/// block payload: valid for as long as the BlockHandle that produced them.
+struct SstRecord {
+  std::string_view key;
+  std::string_view value;
+  bool tombstone = false;
+};
+
+/// LRU cache of decoded sstable block payloads, shared by every sstable of a
+/// store. Entries are handed out as shared_ptr so eviction never invalidates
+/// a reader mid-scan. `budget` (optional) mirrors the cache's bytes into the
+/// platform MemoryBudget; when the budget refuses a reservation the cache
+/// evicts, and if it still cannot fit, the block is served uncached.
+class BlockCache {
+ public:
+  BlockCache(std::uint64_t capacity_bytes, MemoryBudget* budget)
+      : capacity_(capacity_bytes), budget_(budget) {}
+  ~BlockCache();
+
+  using Payload = std::shared_ptr<const std::vector<std::uint8_t>>;
+
+  /// nullptr on miss.
+  Payload Get(std::uint64_t file_no, std::uint32_t block_index);
+  /// Inserts (evicting LRU entries as needed); no-op if the payload cannot
+  /// be fitted under the capacity or the memory budget.
+  void Insert(std::uint64_t file_no, std::uint32_t block_index, Payload payload);
+  /// Drops every cached block of `file_no` (after compaction unlinks it).
+  void EraseFile(std::uint64_t file_no);
+
+  std::uint64_t bytes() const;
+  std::uint64_t capacity() const { return capacity_; }
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  std::uint64_t evictions() const;
+
+ private:
+  using Key = std::pair<std::uint64_t, std::uint32_t>;
+  struct Entry {
+    Payload payload;
+    std::list<Key>::iterator lru_pos;
+  };
+
+  void EvictOneLocked();  // drops the LRU tail (mutex held)
+
+  const std::uint64_t capacity_;
+  MemoryBudget* budget_;
+  mutable std::mutex mutex_;
+  std::map<Key, Entry> entries_;
+  std::list<Key> lru_;  // front = most recent
+  std::uint64_t bytes_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+/// Accumulates sorted records into the on-fs sstable byte image. Keys must
+/// be appended in strictly increasing order; Finish() seals the last block,
+/// writes index + footer and returns the file image.
+class SSTableBuilder {
+ public:
+  explicit SSTableBuilder(std::uint32_t target_block_bytes = 4096)
+      : target_block_bytes_(target_block_bytes) {}
+
+  Status Add(std::string_view key, std::string_view value, bool tombstone);
+  std::vector<std::uint8_t> Finish();
+
+  std::uint64_t records() const { return records_; }
+
+ private:
+  void SealBlock();
+
+  const std::uint32_t target_block_bytes_;
+  std::vector<std::uint8_t> file_;          // sealed blocks
+  std::vector<std::uint8_t> block_;         // open block payload
+  std::string block_first_key_;
+  std::uint32_t block_records_ = 0;
+  std::string last_key_;
+  std::uint64_t records_ = 0;
+  struct IndexEntry {
+    std::uint64_t offset;
+    std::uint32_t stored_len;
+    std::uint32_t record_count;
+    std::string first_key;
+  };
+  std::vector<IndexEntry> index_;
+};
+
+/// Read-only view of one sstable file. Open() loads and verifies the footer
+/// and index; record data is fetched block-at-a-time through the cache.
+/// Thread-safe for concurrent readers (immutable after Open; the underlying
+/// Filesystem serializes device access internally).
+class SSTableReader {
+ public:
+  static Result<std::unique_ptr<SSTableReader>> Open(fs::Filesystem* fs,
+                                                     const std::string& path,
+                                                     std::uint64_t file_no);
+
+  /// A pinned, decoded block: records view into `payload`.
+  struct BlockHandle {
+    BlockCache::Payload payload;
+    std::vector<SstRecord> records;
+  };
+
+  Result<BlockHandle> ReadBlock(std::uint32_t index, BlockCache* cache,
+                                IoStats* io) const;
+
+  /// Index of the last block whose first_key <= key (the only block that can
+  /// contain `key`); 0 if key precedes every block.
+  std::uint32_t FindBlock(std::string_view key) const;
+
+  std::uint32_t num_blocks() const {
+    return static_cast<std::uint32_t>(index_.size());
+  }
+  std::string_view first_key(std::uint32_t block) const {
+    return index_[block].first_key;
+  }
+  std::uint64_t file_no() const { return file_no_; }
+  const std::string& path() const { return path_; }
+  std::uint64_t data_bytes() const { return data_bytes_; }
+  std::uint64_t records() const { return records_; }
+
+ private:
+  SSTableReader(fs::Filesystem* fs, std::string path, std::uint64_t file_no)
+      : fs_(fs), path_(std::move(path)), file_no_(file_no) {}
+
+  struct IndexEntry {
+    std::uint64_t offset;
+    std::uint32_t stored_len;
+    std::uint32_t record_count;
+    std::string first_key;
+  };
+
+  fs::Filesystem* fs_;
+  std::string path_;
+  std::uint64_t file_no_;
+  std::uint32_t inode_ = 0;
+  std::vector<IndexEntry> index_;
+  std::uint64_t data_bytes_ = 0;  // bytes covered by data blocks
+  std::uint64_t records_ = 0;
+};
+
+/// Parses a decoded block payload into records (views into `payload`).
+Result<std::vector<SstRecord>> ParseBlockRecords(
+    std::span<const std::uint8_t> payload);
+
+}  // namespace compstor::kv

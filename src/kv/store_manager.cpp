@@ -1,0 +1,62 @@
+#include "kv/store_manager.hpp"
+
+#include <utility>
+
+namespace compstor::kv {
+
+Result<KvStore*> StoreManager::Acquire(const std::string& dir,
+                                       const KvOptions& options) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  auto it = stores_.find(dir);
+  if (it != stores_.end()) return it->second.get();
+  KvOptions opts = options;
+  if (opts.budget == nullptr) opts.budget = budget_;
+  COMPSTOR_ASSIGN_OR_RETURN(std::unique_ptr<KvStore> store,
+                            KvStore::Open(fs_, dir, opts));
+  KvStore* raw = store.get();
+  stores_.emplace(dir, std::move(store));
+  return raw;
+}
+
+KvStore* StoreManager::Peek(const std::string& dir) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  auto it = stores_.find(dir);
+  return it == stores_.end() ? nullptr : it->second.get();
+}
+
+void StoreManager::DropAll() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  stores_.clear();
+}
+
+std::size_t StoreManager::open_stores() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return stores_.size();
+}
+
+StoreStats StoreManager::AggregateStats() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  StoreStats total;
+  for (const auto& [dir, store] : stores_) {
+    const StoreStats s = store->Stats();
+    total.gets += s.gets;
+    total.puts += s.puts;
+    total.deletes += s.deletes;
+    total.scans += s.scans;
+    total.flushes += s.flushes;
+    total.compactions += s.compactions;
+    total.wal_records_replayed += s.wal_records_replayed;
+    total.orphans_removed += s.orphans_removed;
+    total.sstables += s.sstables;
+    total.sstable_records += s.sstable_records;
+    total.memtable_bytes += s.memtable_bytes;
+    total.memtable_entries += s.memtable_entries;
+    total.cache_bytes += s.cache_bytes;
+    total.cache_hits += s.cache_hits;
+    total.cache_misses += s.cache_misses;
+    total.cache_evictions += s.cache_evictions;
+  }
+  return total;
+}
+
+}  // namespace compstor::kv

@@ -1,0 +1,51 @@
+// Per-filesystem registry of open KV stores.
+//
+// Minion invocations are short-lived but an LSM store must stay open across
+// them (re-opening per batch would replay the WAL per request). The ISPS
+// task runtime owns one StoreManager over its internal filesystem view, so
+// every kv minion and kStats/kKv query on a device shares one store instance
+// per directory — matching how an embedded KV service would run inside the
+// drive.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.hpp"
+#include "kv/kv_store.hpp"
+
+namespace compstor::kv {
+
+class StoreManager {
+ public:
+  StoreManager(fs::Filesystem* fs, MemoryBudget* budget)
+      : fs_(fs), budget_(budget) {}
+
+  /// Returns the open store at `dir`, opening (and recovering) it on first
+  /// use. The returned pointer stays valid until DropAll().
+  Result<KvStore*> Acquire(const std::string& dir,
+                           const KvOptions& options = {});
+
+  /// The store at `dir` if already open, else nullptr (stats queries must
+  /// not force a recovery).
+  KvStore* Peek(const std::string& dir);
+
+  /// Closes every store (tests simulating a device power cycle).
+  void DropAll();
+
+  std::size_t open_stores() const;
+
+  /// Sums StoreStats across every open store (device-level kv.* telemetry
+  /// probes; per-store breakdown goes through the kv app's `stats` verb).
+  StoreStats AggregateStats() const;
+
+ private:
+  fs::Filesystem* fs_;
+  MemoryBudget* budget_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<KvStore>> stores_;
+};
+
+}  // namespace compstor::kv

@@ -1,0 +1,100 @@
+// Plain value types of the in-storage KV engine's request/result payload.
+//
+// Deliberately dependency-free (std only): these structs are embedded in the
+// proto entities (Command/Response wire v5, QueryType::kKv) AND consumed by
+// the kv app and the KvStore itself, so they must not pull fs/ssd headers
+// into the proto layer. Serialization lives with the rest of the wire format
+// in proto/entities.cpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace compstor::kv {
+
+/// One operation in a KV batch. Point ops use `key`/`value`; kScan reads the
+/// ordered range [key, end_key) (empty end_key = to the end of the keyspace).
+enum class OpType : std::uint8_t {
+  kGet = 0,
+  kPut = 1,
+  kDelete = 2,
+  kScan = 3,
+};
+
+/// Aggregate pushed down with a kScan: evaluated on-device over the matching
+/// records so only the result crosses the wire. kSum/kMin/kMax parse the
+/// value as a decimal integer (records whose value does not parse are
+/// counted in `agg_skipped` and excluded from the fold).
+enum class Aggregate : std::uint8_t {
+  kNone = 0,   // return the matching rows themselves
+  kCount = 1,
+  kSum = 2,
+  kMin = 3,
+  kMax = 4,
+};
+
+struct Op {
+  OpType type = OpType::kGet;
+  std::string key;
+  std::string value;     // kPut payload
+  std::string end_key;   // kScan: exclusive upper bound ("" = unbounded)
+  std::uint32_t limit = 0;  // kScan: max matching rows folded/returned (0 = all)
+};
+
+/// A batch of KV operations against one store, executed in order on the
+/// device. `predicate_contains` and `aggregate` apply to every kScan in the
+/// batch (YCSB-style scans are homogeneous; per-op predicates can be added
+/// as an Op field later without a wire break).
+struct Request {
+  std::string dir = "/kv";  // store directory on the device filesystem
+  std::vector<Op> ops;
+  /// Filter pushdown: only records whose value contains this substring match
+  /// a kScan ("" = match all).
+  std::string predicate_contains;
+  Aggregate aggregate = Aggregate::kNone;
+
+  bool empty() const { return ops.empty(); }
+};
+
+/// Result of one Op. For kGet: found/value. For kScan: rows (aggregate ==
+/// kNone) or the agg_* fold; `scanned` counts records examined before the
+/// predicate, `matched` after.
+struct OpResult {
+  std::uint16_t status_code = 0;  // StatusCode as integer; 0 = OK
+  bool found = false;             // kGet: key present (and not a tombstone)
+  std::string value;              // kGet hit payload
+  std::vector<std::pair<std::string, std::string>> rows;  // kScan, kNone agg
+  bool truncated = false;         // kScan: limit/row-byte cap cut the rows off
+  std::uint64_t scanned = 0;
+  std::uint64_t matched = 0;
+  std::int64_t agg_value = 0;     // count/sum/min/max fold result
+  std::uint64_t agg_skipped = 0;  // records excluded from a numeric fold
+
+  bool ok() const { return status_code == 0; }
+};
+
+/// Batch reply plus the transfer accounting the pushdown experiments and the
+/// query ledger consume.
+struct Reply {
+  std::vector<OpResult> results;
+  std::uint64_t keys_read = 0;     // point lookups + records scanned
+  std::uint64_t keys_written = 0;  // puts + deletes applied
+  /// Key+value bytes the device-side scan examined (what a host-side scan
+  /// would have had to pull across PCIe).
+  std::uint64_t bytes_scanned = 0;
+  /// Key+value bytes actually returned in `results` (rows + get values).
+  std::uint64_t bytes_returned = 0;
+
+  /// Link traffic a pushdown scan avoided relative to shipping every
+  /// examined record host-ward.
+  std::uint64_t PushdownBytesSaved() const {
+    return bytes_scanned > bytes_returned ? bytes_scanned - bytes_returned : 0;
+  }
+  bool empty() const {
+    return results.empty() && keys_read == 0 && keys_written == 0;
+  }
+};
+
+}  // namespace compstor::kv

@@ -20,6 +20,10 @@ constexpr std::uint8_t kFrameQueryReply = 0x52;  // 'R'
 //   v4: multi-tenant QoS — Command carries tenant_id / priority, appended
 //       after the trace fields under the same rule: v2/v3 frames decode with
 //       the fields at their zero defaults (unattributed, interactive).
+//   v5: in-storage KV — Command/Query carry a kv::Request batch and
+//       Response/QueryReply a kv::Reply, all appended last; down-level
+//       frames decode with empty payloads. QueryType::kKv itself is only
+//       legal in v5+ frames (an older build could not express it anyway).
 
 void PutStringList(util::ByteWriter& w, const std::vector<std::string>& list) {
   w.PutU32(static_cast<std::uint32_t>(list.size()));
@@ -35,6 +39,102 @@ Result<std::vector<std::string>> GetStringList(util::ByteReader& r) {
     list.push_back(std::move(s));
   }
   return list;
+}
+
+void PutKvRequest(util::ByteWriter& w, const kv::Request& req) {
+  w.PutString(req.dir);
+  w.PutString(req.predicate_contains);
+  w.PutU8(static_cast<std::uint8_t>(req.aggregate));
+  w.PutU32(static_cast<std::uint32_t>(req.ops.size()));
+  for (const kv::Op& op : req.ops) {
+    w.PutU8(static_cast<std::uint8_t>(op.type));
+    w.PutString(op.key);
+    w.PutString(op.value);
+    w.PutString(op.end_key);
+    w.PutU32(op.limit);
+  }
+}
+
+Result<kv::Request> GetKvRequest(util::ByteReader& r) {
+  kv::Request req;
+  COMPSTOR_ASSIGN_OR_RETURN(req.dir, r.GetString());
+  COMPSTOR_ASSIGN_OR_RETURN(req.predicate_contains, r.GetString());
+  COMPSTOR_ASSIGN_OR_RETURN(std::uint8_t agg, r.GetU8());
+  if (agg > static_cast<std::uint8_t>(kv::Aggregate::kMax)) {
+    return InvalidArgument("proto: bad kv aggregate");
+  }
+  req.aggregate = static_cast<kv::Aggregate>(agg);
+  COMPSTOR_ASSIGN_OR_RETURN(std::uint32_t n, r.GetU32());
+  req.ops.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    kv::Op op;
+    COMPSTOR_ASSIGN_OR_RETURN(std::uint8_t type, r.GetU8());
+    if (type > static_cast<std::uint8_t>(kv::OpType::kScan)) {
+      return InvalidArgument("proto: bad kv op type");
+    }
+    op.type = static_cast<kv::OpType>(type);
+    COMPSTOR_ASSIGN_OR_RETURN(op.key, r.GetString());
+    COMPSTOR_ASSIGN_OR_RETURN(op.value, r.GetString());
+    COMPSTOR_ASSIGN_OR_RETURN(op.end_key, r.GetString());
+    COMPSTOR_ASSIGN_OR_RETURN(op.limit, r.GetU32());
+    req.ops.push_back(std::move(op));
+  }
+  return req;
+}
+
+void PutKvReply(util::ByteWriter& w, const kv::Reply& reply) {
+  w.PutU64(reply.keys_read);
+  w.PutU64(reply.keys_written);
+  w.PutU64(reply.bytes_scanned);
+  w.PutU64(reply.bytes_returned);
+  w.PutU32(static_cast<std::uint32_t>(reply.results.size()));
+  for (const kv::OpResult& res : reply.results) {
+    w.PutU16(res.status_code);
+    w.PutU8(res.found ? 1 : 0);
+    w.PutString(res.value);
+    w.PutU8(res.truncated ? 1 : 0);
+    w.PutU64(res.scanned);
+    w.PutU64(res.matched);
+    w.PutI64(res.agg_value);
+    w.PutU64(res.agg_skipped);
+    w.PutU32(static_cast<std::uint32_t>(res.rows.size()));
+    for (const auto& [key, value] : res.rows) {
+      w.PutString(key);
+      w.PutString(value);
+    }
+  }
+}
+
+Result<kv::Reply> GetKvReply(util::ByteReader& r) {
+  kv::Reply reply;
+  COMPSTOR_ASSIGN_OR_RETURN(reply.keys_read, r.GetU64());
+  COMPSTOR_ASSIGN_OR_RETURN(reply.keys_written, r.GetU64());
+  COMPSTOR_ASSIGN_OR_RETURN(reply.bytes_scanned, r.GetU64());
+  COMPSTOR_ASSIGN_OR_RETURN(reply.bytes_returned, r.GetU64());
+  COMPSTOR_ASSIGN_OR_RETURN(std::uint32_t n, r.GetU32());
+  reply.results.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    kv::OpResult res;
+    COMPSTOR_ASSIGN_OR_RETURN(res.status_code, r.GetU16());
+    COMPSTOR_ASSIGN_OR_RETURN(std::uint8_t found, r.GetU8());
+    res.found = found != 0;
+    COMPSTOR_ASSIGN_OR_RETURN(res.value, r.GetString());
+    COMPSTOR_ASSIGN_OR_RETURN(std::uint8_t truncated, r.GetU8());
+    res.truncated = truncated != 0;
+    COMPSTOR_ASSIGN_OR_RETURN(res.scanned, r.GetU64());
+    COMPSTOR_ASSIGN_OR_RETURN(res.matched, r.GetU64());
+    COMPSTOR_ASSIGN_OR_RETURN(res.agg_value, r.GetI64());
+    COMPSTOR_ASSIGN_OR_RETURN(res.agg_skipped, r.GetU64());
+    COMPSTOR_ASSIGN_OR_RETURN(std::uint32_t rows, r.GetU32());
+    res.rows.reserve(rows);
+    for (std::uint32_t j = 0; j < rows; ++j) {
+      COMPSTOR_ASSIGN_OR_RETURN(std::string key, r.GetString());
+      COMPSTOR_ASSIGN_OR_RETURN(std::string value, r.GetString());
+      res.rows.emplace_back(std::move(key), std::move(value));
+    }
+    reply.results.push_back(std::move(res));
+  }
+  return reply;
 }
 
 void PutCommand(util::ByteWriter& w, const Command& c, std::uint8_t version) {
@@ -54,6 +154,7 @@ void PutCommand(util::ByteWriter& w, const Command& c, std::uint8_t version) {
     w.PutU32(c.tenant_id);
     w.PutU8(c.priority);
   }
+  if (version >= 5) PutKvRequest(w, c.kv_request);
 }
 
 Result<Command> GetCommand(util::ByteReader& r, std::uint8_t version) {
@@ -78,6 +179,9 @@ Result<Command> GetCommand(util::ByteReader& r, std::uint8_t version) {
     COMPSTOR_ASSIGN_OR_RETURN(c.tenant_id, r.GetU32());
     COMPSTOR_ASSIGN_OR_RETURN(c.priority, r.GetU8());
   }
+  if (version >= 5) {
+    COMPSTOR_ASSIGN_OR_RETURN(c.kv_request, GetKvRequest(r));
+  }
   return c;
 }
 
@@ -96,6 +200,7 @@ void PutResponse(util::ByteWriter& w, const Response& resp, std::uint8_t version
   w.PutU64(resp.bytes_written);
   w.PutF64(resp.energy_joules);
   if (version >= 3) w.PutU64(resp.root_span_id);
+  if (version >= 5) PutKvReply(w, resp.kv);
 }
 
 Result<Response> GetResponse(util::ByteReader& r, std::uint8_t version) {
@@ -116,6 +221,9 @@ Result<Response> GetResponse(util::ByteReader& r, std::uint8_t version) {
   COMPSTOR_ASSIGN_OR_RETURN(resp.energy_joules, r.GetF64());
   if (version >= 3) {
     COMPSTOR_ASSIGN_OR_RETURN(resp.root_span_id, r.GetU64());
+  }
+  if (version >= 5) {
+    COMPSTOR_ASSIGN_OR_RETURN(resp.kv, GetKvReply(r));
   }
   return resp;
 }
@@ -173,31 +281,40 @@ Result<Minion> DeserializeMinion(std::span<const std::uint8_t> data) {
   return m;
 }
 
-std::vector<std::uint8_t> Serialize(const Query& query) {
+std::vector<std::uint8_t> Serialize(const Query& query, std::uint8_t version) {
   util::ByteWriter body;
   body.PutU64(query.id);
   body.PutU8(static_cast<std::uint8_t>(query.type));
   body.PutString(query.task_name);
   body.PutString(query.task_script);
-  return Frame(kFrameQuery, std::move(body));
+  if (version >= 5) PutKvRequest(body, query.kv_request);
+  return Frame(kFrameQuery, std::move(body), version);
 }
 
 Result<Query> DeserializeQuery(std::span<const std::uint8_t> data) {
+  std::uint8_t version = kMinWireVersion;
   COMPSTOR_ASSIGN_OR_RETURN(util::ByteReader r,
-                            Unframe(kFrameQuery, data, nullptr));
+                            Unframe(kFrameQuery, data, &version));
   Query q;
   COMPSTOR_ASSIGN_OR_RETURN(q.id, r.GetU64());
   COMPSTOR_ASSIGN_OR_RETURN(std::uint8_t type, r.GetU8());
-  if (type > static_cast<std::uint8_t>(QueryType::kStats)) {
+  const std::uint8_t max_type =
+      version >= 5 ? static_cast<std::uint8_t>(QueryType::kKv)
+                   : static_cast<std::uint8_t>(QueryType::kStats);
+  if (type > max_type) {
     return InvalidArgument("proto: bad query type");
   }
   q.type = static_cast<QueryType>(type);
   COMPSTOR_ASSIGN_OR_RETURN(q.task_name, r.GetString());
   COMPSTOR_ASSIGN_OR_RETURN(q.task_script, r.GetString());
+  if (version >= 5) {
+    COMPSTOR_ASSIGN_OR_RETURN(q.kv_request, GetKvRequest(r));
+  }
   return q;
 }
 
-std::vector<std::uint8_t> Serialize(const QueryReply& reply) {
+std::vector<std::uint8_t> Serialize(const QueryReply& reply,
+                                    std::uint8_t version) {
   util::ByteWriter body;
   body.PutU64(reply.id);
   body.PutU16(reply.status_code);
@@ -232,12 +349,14 @@ std::vector<std::uint8_t> Serialize(const QueryReply& reply) {
     body.PutF64(p.start_time_s);
     body.PutF64(p.end_time_s);
   }
-  return Frame(kFrameQueryReply, std::move(body));
+  if (version >= 5) PutKvReply(body, reply.kv);
+  return Frame(kFrameQueryReply, std::move(body), version);
 }
 
 Result<QueryReply> DeserializeQueryReply(std::span<const std::uint8_t> data) {
+  std::uint8_t version = kMinWireVersion;
   COMPSTOR_ASSIGN_OR_RETURN(util::ByteReader r,
-                            Unframe(kFrameQueryReply, data, nullptr));
+                            Unframe(kFrameQueryReply, data, &version));
   QueryReply q;
   COMPSTOR_ASSIGN_OR_RETURN(q.id, r.GetU64());
   COMPSTOR_ASSIGN_OR_RETURN(q.status_code, r.GetU16());
@@ -285,6 +404,9 @@ Result<QueryReply> DeserializeQueryReply(std::span<const std::uint8_t> data) {
     COMPSTOR_ASSIGN_OR_RETURN(p.start_time_s, r.GetF64());
     COMPSTOR_ASSIGN_OR_RETURN(p.end_time_s, r.GetF64());
     q.processes.push_back(std::move(p));
+  }
+  if (version >= 5) {
+    COMPSTOR_ASSIGN_OR_RETURN(q.kv, GetKvReply(r));
   }
   return q;
 }

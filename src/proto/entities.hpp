@@ -19,17 +19,20 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "kv/types.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace compstor::proto {
 
 /// Wire version this build emits. v3 added the distributed-tracing fields
 /// (Command.trace_query_id / trace_parent_span, Response.root_span_id);
-/// v4 adds the multi-tenant QoS fields (Command.tenant_id / priority). New
-/// fields are appended at the end of their sections so this decoder still
-/// reads v2/v3 frames: the extra fields are only consumed when the frame's
-/// version byte says they are present.
-inline constexpr std::uint8_t kWireVersion = 4;
+/// v4 adds the multi-tenant QoS fields (Command.tenant_id / priority);
+/// v5 adds the in-storage KV payload (Command.kv_request / Response.kv,
+/// QueryType::kKv with the same payload on Query/QueryReply). New fields are
+/// appended at the end of their sections so this decoder still reads v2..v4
+/// frames: the extra fields are only consumed when the frame's version byte
+/// says they are present.
+inline constexpr std::uint8_t kWireVersion = 5;
 /// Oldest version this build still decodes.
 inline constexpr std::uint8_t kMinWireVersion = 2;
 
@@ -68,6 +71,13 @@ struct Command {
   // core scheduler serve competing tenants weighted-fair by these fields.
   std::uint32_t tenant_id = 0;
   std::uint8_t priority = 0;
+
+  /// v5+: structured KV batch for the "kv" in-situ app (kExecutable with
+  /// executable == "kv"). Carrying the ops as typed fields instead of argv
+  /// keeps keys/values binary-safe and lets the device answer with
+  /// Response.kv rather than parsed stdout. Empty for non-KV commands; a v4
+  /// peer decodes the command with the batch absent.
+  kv::Request kv_request;
 };
 
 struct Response {
@@ -87,6 +97,8 @@ struct Response {
   /// v3+: span id of the device-side "run" span for this task, so the host
   /// can link its view of the query to the device trace without heuristics.
   std::uint64_t root_span_id = 0;
+  /// v5+: per-op results and transfer accounting of a KV batch command.
+  kv::Reply kv;
 
   bool ok() const { return status_code == 0; }
   double elapsed_s() const { return end_time_s - start_time_s; }
@@ -107,6 +119,7 @@ enum class QueryType : std::uint8_t {
   kListTasks = 3,
   kProcessTable = 4,  // running/finished in-storage processes (ps-style)
   kStats = 5,         // snapshot of the device-side telemetry registry
+  kKv = 6,            // v5+: KV batch on the admin plane (no task spawn)
 };
 
 struct Query {
@@ -114,6 +127,10 @@ struct Query {
   QueryType type = QueryType::kPing;
   std::string task_name;    // kLoadTask
   std::string task_script;  // kLoadTask
+  /// kKv payload (v5+): executed directly by the agent against the device's
+  /// resident store — the admin-plane path for tooling and tests. Bulk
+  /// traffic should ride the Command path so it passes the tenant frontier.
+  kv::Request kv_request;
 };
 
 struct QueryReply {
@@ -146,6 +163,9 @@ struct QueryReply {
   };
   std::vector<Process> processes;
 
+  /// kKv payload (v5+).
+  kv::Reply kv;
+
   bool ok() const { return status_code == 0; }
 };
 
@@ -156,10 +176,12 @@ std::vector<std::uint8_t> Serialize(const Minion& minion,
                                     std::uint8_t version = kWireVersion);
 Result<Minion> DeserializeMinion(std::span<const std::uint8_t> data);
 
-std::vector<std::uint8_t> Serialize(const Query& query);
+std::vector<std::uint8_t> Serialize(const Query& query,
+                                    std::uint8_t version = kWireVersion);
 Result<Query> DeserializeQuery(std::span<const std::uint8_t> data);
 
-std::vector<std::uint8_t> Serialize(const QueryReply& reply);
+std::vector<std::uint8_t> Serialize(const QueryReply& reply,
+                                    std::uint8_t version = kWireVersion);
 Result<QueryReply> DeserializeQueryReply(std::span<const std::uint8_t> data);
 
 /// Converts a Status into response fields and back.

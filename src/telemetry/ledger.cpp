@@ -47,6 +47,16 @@ std::vector<MetricValue> QueryLedger::ToMetrics(std::string_view prefix) const {
     add("io_s", MetricKind::kGauge, c.io_s);
     add("energy_j", MetricKind::kGauge, c.energy_j);
     add("flash_energy_j", MetricKind::kGauge, c.flash_energy_j);
+    // KV rows stay sparse: queries that never touched the engine skip them.
+    if (c.kv_keys_read != 0 || c.kv_keys_written != 0 ||
+        c.kv_pushdown_saved_bytes != 0) {
+      add("kv_keys_read", MetricKind::kCounter,
+          static_cast<double>(c.kv_keys_read));
+      add("kv_keys_written", MetricKind::kCounter,
+          static_cast<double>(c.kv_keys_written));
+      add("kv_pushdown_saved_bytes", MetricKind::kCounter,
+          static_cast<double>(c.kv_pushdown_saved_bytes));
+    }
   }
   MetricValue ev;
   ev.name = std::string(prefix) + "evicted";
@@ -82,29 +92,39 @@ void QueryLedger::Clear() {
 
 void PrintQueryLedgerTable(
     std::FILE* out, const std::vector<std::pair<std::uint64_t, QueryCost>>& rows) {
-  std::fprintf(out, "%-10s %6s %7s %10s %7s %7s %9s %9s %10s %10s\n", "query",
-               "tenant", "minions", "MiB", "fl.rd", "fl.pr", "cpu-ms", "io-ms",
-               "task-mJ", "flash-mJ");
+  std::fprintf(out,
+               "%-10s %6s %7s %10s %7s %7s %9s %9s %10s %10s %8s %8s %10s\n",
+               "query", "tenant", "minions", "MiB", "fl.rd", "fl.pr", "cpu-ms",
+               "io-ms", "task-mJ", "flash-mJ", "kv-rd", "kv-wr", "kv-savMiB");
   QueryCost total;
   for (const auto& [id, c] : rows) {
     total.Add(c);
     std::fprintf(out,
-                 "%-10llu %6u %7llu %10.3f %7llu %7llu %9.3f %9.3f %10.3f %10.3f\n",
+                 "%-10llu %6u %7llu %10.3f %7llu %7llu %9.3f %9.3f %10.3f "
+                 "%10.3f %8llu %8llu %10.3f\n",
                  static_cast<unsigned long long>(id), c.tenant_id,
                  static_cast<unsigned long long>(c.minions),
                  static_cast<double>(c.bytes_read + c.bytes_written) / (1 << 20),
                  static_cast<unsigned long long>(c.flash_reads),
                  static_cast<unsigned long long>(c.flash_programs),
                  c.compute_s * 1e3, c.io_s * 1e3, c.energy_j * 1e3,
-                 c.flash_energy_j * 1e3);
+                 c.flash_energy_j * 1e3,
+                 static_cast<unsigned long long>(c.kv_keys_read),
+                 static_cast<unsigned long long>(c.kv_keys_written),
+                 static_cast<double>(c.kv_pushdown_saved_bytes) / (1 << 20));
   }
-  std::fprintf(out, "%-10s %6s %7llu %10.3f %7llu %7llu %9.3f %9.3f %10.3f %10.3f\n",
+  std::fprintf(out,
+               "%-10s %6s %7llu %10.3f %7llu %7llu %9.3f %9.3f %10.3f %10.3f "
+               "%8llu %8llu %10.3f\n",
                "total", "-", static_cast<unsigned long long>(total.minions),
                static_cast<double>(total.bytes_read + total.bytes_written) / (1 << 20),
                static_cast<unsigned long long>(total.flash_reads),
                static_cast<unsigned long long>(total.flash_programs),
                total.compute_s * 1e3, total.io_s * 1e3, total.energy_j * 1e3,
-               total.flash_energy_j * 1e3);
+               total.flash_energy_j * 1e3,
+               static_cast<unsigned long long>(total.kv_keys_read),
+               static_cast<unsigned long long>(total.kv_keys_written),
+               static_cast<double>(total.kv_pushdown_saved_bytes) / (1 << 20));
 }
 
 std::string QueryLedgerToJson(
@@ -115,14 +135,16 @@ std::string QueryLedgerToJson(
   for (const auto& [id, c] : rows) {
     if (!first) os << ",";
     first = false;
-    char buf[512];
+    char buf[768];
     std::snprintf(buf, sizeof(buf),
                   "\n  {\"query\": %llu, \"tenant\": %u, \"minions\": %llu, "
                   "\"bytes_read\": %llu, "
                   "\"bytes_written\": %llu, \"flash_reads\": %llu, "
                   "\"flash_programs\": %llu, \"data_corruption\": %llu, "
                   "\"compute_s\": %.9g, \"io_s\": %.9g, "
-                  "\"energy_j\": %.9g, \"flash_energy_j\": %.9g}",
+                  "\"energy_j\": %.9g, \"flash_energy_j\": %.9g, "
+                  "\"kv_keys_read\": %llu, \"kv_keys_written\": %llu, "
+                  "\"kv_pushdown_saved_bytes\": %llu}",
                   static_cast<unsigned long long>(id), c.tenant_id,
                   static_cast<unsigned long long>(c.minions),
                   static_cast<unsigned long long>(c.bytes_read),
@@ -130,7 +152,10 @@ std::string QueryLedgerToJson(
                   static_cast<unsigned long long>(c.flash_reads),
                   static_cast<unsigned long long>(c.flash_programs),
                   static_cast<unsigned long long>(c.data_corruption), c.compute_s,
-                  c.io_s, c.energy_j, c.flash_energy_j);
+                  c.io_s, c.energy_j, c.flash_energy_j,
+                  static_cast<unsigned long long>(c.kv_keys_read),
+                  static_cast<unsigned long long>(c.kv_keys_written),
+                  static_cast<unsigned long long>(c.kv_pushdown_saved_bytes));
     os << buf;
   }
   os << "\n]\n";

@@ -38,6 +38,11 @@ struct QueryCost {
   double io_s = 0;                 // modeled data-path seconds
   double energy_j = 0;             // task-attributed energy (CPU + datapath)
   double flash_energy_j = 0;       // media + controller joules of tagged IO
+  // In-storage KV attribution (zero for non-KV queries): keys the engine
+  // touched and the host-ward bytes on-device filtering/aggregation avoided.
+  std::uint64_t kv_keys_read = 0;
+  std::uint64_t kv_keys_written = 0;
+  std::uint64_t kv_pushdown_saved_bytes = 0;
 
   void Add(const QueryCost& o) {
     // Identity, not an accumulator: any attributed delta claims the row (a
@@ -54,6 +59,9 @@ struct QueryCost {
     io_s += o.io_s;
     energy_j += o.energy_j;
     flash_energy_j += o.flash_energy_j;
+    kv_keys_read += o.kv_keys_read;
+    kv_keys_written += o.kv_keys_written;
+    kv_pushdown_saved_bytes += o.kv_pushdown_saved_bytes;
   }
 };
 

@@ -1,0 +1,58 @@
+#include "workload/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <utility>
+
+namespace compstor::workload {
+namespace {
+
+/// Normalized CDF of zipf(n, theta), memoized: the YCSB bench builds one
+/// sampler per (mix, arm, device) over the same key space, and the O(n)
+/// partial-sum pass should be paid once, not per sampler.
+std::shared_ptr<const std::vector<double>> CdfFor(std::uint64_t n, double theta) {
+  static std::mutex mutex;
+  static std::map<std::pair<std::uint64_t, double>,
+                  std::shared_ptr<const std::vector<double>>>
+      cache;
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = cache.find({n, theta});
+    if (it != cache.end()) return it->second;
+  }
+  auto cdf = std::make_shared<std::vector<double>>();
+  cdf->reserve(n);
+  double sum = 0;
+  for (std::uint64_t r = 0; r < n; ++r) {
+    sum += 1.0 / std::pow(static_cast<double>(r + 1), theta);
+    cdf->push_back(sum);
+  }
+  for (double& v : *cdf) v /= sum;
+  cdf->back() = 1.0;  // guard against rounding leaving the last bin short
+  std::lock_guard<std::mutex> lock(mutex);
+  return cache.emplace(std::make_pair(n, theta), std::move(cdf))
+      .first->second;
+}
+
+}  // namespace
+
+ZipfDistribution::ZipfDistribution(std::uint64_t n, double theta,
+                                   std::uint64_t seed)
+    : n_(n == 0 ? 1 : n), theta_(theta), cdf_(CdfFor(n_, theta)), rng_(seed) {}
+
+std::uint64_t ZipfDistribution::Next() {
+  // Exact inverse-CDF: the first rank whose cumulative mass covers u.
+  const double u = rng_.NextDouble();
+  const auto it = std::lower_bound(cdf_->begin(), cdf_->end(), u);
+  return static_cast<std::uint64_t>(it - cdf_->begin());
+}
+
+double ZipfDistribution::Pmf(std::uint64_t rank) const {
+  if (rank >= n_) return 0.0;
+  const double below = rank == 0 ? 0.0 : (*cdf_)[rank - 1];
+  return (*cdf_)[rank] - below;
+}
+
+}  // namespace compstor::workload

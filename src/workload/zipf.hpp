@@ -1,0 +1,56 @@
+// Zipfian item sampler for skewed-access workloads (YCSB's request
+// distribution).
+//
+// Draws ranks in [0, n) where rank r is hit with probability proportional
+// to 1/(r+1)^theta; theta=0.99 is the YCSB default ("zipfian constant").
+// Sampling inverts the exact CDF by binary search over a memoized partial-sum
+// table — unlike the Gray '94 closed-form approximation YCSB uses, the
+// sampled frequencies match the PMF exactly (they pass a chi-square fit at
+// any draw count), which the bench relies on when it derives expected
+// pushdown savings from the PMF. The O(n) table is built once per (n, theta)
+// and shared, so constructing one sampler per (mix, arm, device) stays cheap.
+//
+// Sampling is deterministic given the seed: the sampler owns its own
+// Xoshiro256 stream, so two samplers with equal (n, theta, seed) produce
+// identical sequences regardless of what else draws randomness — benches
+// rely on this to replay the exact same key trace across compared arms.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace compstor::workload {
+
+class ZipfDistribution {
+ public:
+  /// YCSB's default skew.
+  static constexpr double kDefaultTheta = 0.99;
+
+  /// `n` must be >= 1 (0 is clamped to 1). theta > 0; larger = more skewed.
+  ZipfDistribution(std::uint64_t n, double theta, std::uint64_t seed);
+  ZipfDistribution(std::uint64_t n, std::uint64_t seed)
+      : ZipfDistribution(n, kDefaultTheta, seed) {}
+
+  /// Next rank in [0, n). Rank 0 is the hottest item.
+  std::uint64_t Next();
+
+  std::uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+  /// Probability mass of rank `r` under this distribution (tests: expected
+  /// counts for the chi-square fit; bench: predicted hot-set coverage).
+  double Pmf(std::uint64_t rank) const;
+
+ private:
+  std::uint64_t n_;
+  double theta_;
+  /// cdf_[r] = P(rank <= r), normalized; shared across samplers over the
+  /// same (n, theta).
+  std::shared_ptr<const std::vector<double>> cdf_;
+  util::Xoshiro256 rng_;
+};
+
+}  // namespace compstor::workload

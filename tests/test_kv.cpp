@@ -1,0 +1,811 @@
+// Tests for the in-storage ordered KV engine: CRUD and ordered scans with
+// pushdown, flush/compaction, WAL replay and manifest recovery, cache/budget
+// accounting, sstable CRC detection, seeded power-cut torture (old-or-new,
+// never torn), concurrent readers (TSan), and the full client -> NVMe ->
+// kv minion / kKv admin-query paths.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "client/in_situ.hpp"
+#include "fs/filesystem.hpp"
+#include "isps/agent.hpp"
+#include "kv/batch.hpp"
+#include "kv/kv_store.hpp"
+#include "kv/store_manager.hpp"
+#include "sim/fault.hpp"
+#include "ssd/profiles.hpp"
+#include "ssd/ssd.hpp"
+#include "util/rng.hpp"
+
+namespace compstor {
+namespace {
+
+/// A formatted device with a mounted host-side filesystem view — the
+/// substrate a KvStore needs (no agent, no client).
+struct Media {
+  explicit Media(std::uint64_t seed)
+      : ssd(ssd::TestProfile(), seed),
+        fs(&ssd.host_block_device(), ssd.fs_mutex()) {
+    EXPECT_TRUE(fs::Filesystem::Format(&ssd.host_block_device()).ok());
+    EXPECT_TRUE(fs.Mount().ok());
+  }
+  ssd::Ssd ssd;
+  fs::Filesystem fs;
+};
+
+std::unique_ptr<kv::KvStore> MustOpen(fs::Filesystem* fs,
+                                      const std::string& dir,
+                                      const kv::KvOptions& opts = {}) {
+  auto store = kv::KvStore::Open(fs, dir, opts);
+  EXPECT_TRUE(store.ok()) << store.status().ToString();
+  return store.ok() ? std::move(*store) : nullptr;
+}
+
+Status Put(kv::KvStore& s, std::string_view k, std::string_view v) {
+  kv::IoStats io;
+  return s.Put(k, v, &io);
+}
+
+Status Del(kv::KvStore& s, std::string_view k) {
+  kv::IoStats io;
+  return s.Delete(k, &io);
+}
+
+/// Get that folds (status, found) into an optional for terse assertions.
+std::optional<std::string> Get(kv::KvStore& s, std::string_view k) {
+  kv::IoStats io;
+  std::string value;
+  bool found = false;
+  Status st = s.Get(k, &value, &found, &io);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  if (!st.ok() || !found) return std::nullopt;
+  return value;
+}
+
+std::map<std::string, std::string> ScanAll(kv::KvStore& s) {
+  kv::IoStats io;
+  auto r = s.Scan({}, &io);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  std::map<std::string, std::string> out;
+  if (r.ok()) {
+    for (const kv::ScanRow& row : r->rows) out[row.key] = row.value;
+  }
+  return out;
+}
+
+TEST(KvStore, PutGetOverwriteDelete) {
+  Media m(1);
+  auto store = MustOpen(&m.fs, "/kv");
+  ASSERT_NE(store, nullptr);
+  EXPECT_TRUE(Put(*store, "alpha", "1").ok());
+  EXPECT_TRUE(Put(*store, "beta", "2").ok());
+  EXPECT_EQ(Get(*store, "alpha"), "1");
+  EXPECT_TRUE(Put(*store, "alpha", "updated").ok());
+  EXPECT_EQ(Get(*store, "alpha"), "updated");
+  EXPECT_TRUE(Del(*store, "alpha").ok());
+  EXPECT_EQ(Get(*store, "alpha"), std::nullopt);
+  EXPECT_EQ(Get(*store, "beta"), "2");
+  EXPECT_EQ(Get(*store, "never-written"), std::nullopt);
+}
+
+TEST(KvStore, WalReplayRecoversUnflushedWrites) {
+  Media m(2);
+  {
+    auto store = MustOpen(&m.fs, "/kv");
+    ASSERT_NE(store, nullptr);
+    EXPECT_TRUE(Put(*store, "a", "1").ok());
+    EXPECT_TRUE(Put(*store, "b", "2").ok());
+    EXPECT_TRUE(Del(*store, "a").ok());
+    // No flush: everything lives in WAL + memtable only.
+    EXPECT_EQ(store->Stats().sstables, 0u);
+  }
+  auto reopened = MustOpen(&m.fs, "/kv");
+  ASSERT_NE(reopened, nullptr);
+  EXPECT_GE(reopened->Stats().wal_records_replayed, 3u);
+  EXPECT_EQ(Get(*reopened, "a"), std::nullopt);
+  EXPECT_EQ(Get(*reopened, "b"), "2");
+}
+
+TEST(KvStore, FlushPersistsRunAndTruncatesWal) {
+  Media m(3);
+  {
+    auto store = MustOpen(&m.fs, "/kv");
+    ASSERT_NE(store, nullptr);
+    EXPECT_TRUE(Put(*store, "k1", "v1").ok());
+    EXPECT_TRUE(Put(*store, "k2", "v2").ok());
+    kv::IoStats io;
+    EXPECT_TRUE(store->Flush(&io).ok());
+    EXPECT_EQ(store->Stats().sstables, 1u);
+    EXPECT_EQ(store->Stats().memtable_entries, 0u);
+  }
+  auto reopened = MustOpen(&m.fs, "/kv");
+  ASSERT_NE(reopened, nullptr);
+  // The WAL was truncated at flush; recovery reads the run, replays nothing.
+  EXPECT_EQ(reopened->Stats().wal_records_replayed, 0u);
+  EXPECT_EQ(reopened->Stats().sstables, 1u);
+  EXPECT_EQ(Get(*reopened, "k1"), "v1");
+  EXPECT_EQ(Get(*reopened, "k2"), "v2");
+}
+
+TEST(KvStore, TombstoneShadowsFlushedValueAndCompactionDropsIt) {
+  Media m(4);
+  auto store = MustOpen(&m.fs, "/kv");
+  ASSERT_NE(store, nullptr);
+  kv::IoStats io;
+  EXPECT_TRUE(Put(*store, "doomed", "here").ok());
+  EXPECT_TRUE(Put(*store, "kept", "yes").ok());
+  EXPECT_TRUE(store->Flush(&io).ok());
+  EXPECT_TRUE(Del(*store, "doomed").ok());
+  EXPECT_TRUE(store->Flush(&io).ok());
+  // Two runs: the newer one's tombstone must shadow the older value.
+  EXPECT_EQ(store->Stats().sstables, 2u);
+  EXPECT_EQ(Get(*store, "doomed"), std::nullopt);
+  EXPECT_EQ(ScanAll(*store),
+            (std::map<std::string, std::string>{{"kept", "yes"}}));
+  // Compaction merges to one run and garbage-collects the tombstone pair.
+  EXPECT_TRUE(store->Compact(&io).ok());
+  EXPECT_EQ(store->Stats().sstables, 1u);
+  EXPECT_EQ(store->Stats().sstable_records, 1u);
+  EXPECT_EQ(Get(*store, "doomed"), std::nullopt);
+  EXPECT_EQ(Get(*store, "kept"), "yes");
+}
+
+TEST(KvStore, ScanIsOrderedHonorsRangeAndLimit) {
+  Media m(5);
+  auto store = MustOpen(&m.fs, "/kv");
+  ASSERT_NE(store, nullptr);
+  // Insert out of order, partly flushed, partly in the memtable.
+  EXPECT_TRUE(Put(*store, "d", "4").ok());
+  EXPECT_TRUE(Put(*store, "b", "2").ok());
+  kv::IoStats io;
+  EXPECT_TRUE(store->Flush(&io).ok());
+  EXPECT_TRUE(Put(*store, "a", "1").ok());
+  EXPECT_TRUE(Put(*store, "c", "3").ok());
+  EXPECT_TRUE(Put(*store, "e", "5").ok());
+
+  auto all = store->Scan({}, &io);
+  ASSERT_TRUE(all.ok());
+  std::vector<std::string> keys;
+  for (const kv::ScanRow& r : all->rows) keys.push_back(r.key);
+  EXPECT_EQ(keys, (std::vector<std::string>{"a", "b", "c", "d", "e"}));
+
+  kv::ScanOptions range;
+  range.start = "b";
+  range.end = "e";  // exclusive
+  auto mid = store->Scan(range, &io);
+  ASSERT_TRUE(mid.ok());
+  ASSERT_EQ(mid->rows.size(), 3u);
+  EXPECT_EQ(mid->rows.front().key, "b");
+  EXPECT_EQ(mid->rows.back().key, "d");
+  EXPECT_FALSE(mid->truncated);
+
+  kv::ScanOptions limited;
+  limited.limit = 2;
+  auto lim = store->Scan(limited, &io);
+  ASSERT_TRUE(lim.ok());
+  EXPECT_EQ(lim->rows.size(), 2u);
+  EXPECT_TRUE(lim->truncated);
+}
+
+TEST(KvStore, NewestVersionWinsAcrossRunsAndMemtable) {
+  Media m(6);
+  auto store = MustOpen(&m.fs, "/kv");
+  ASSERT_NE(store, nullptr);
+  kv::IoStats io;
+  EXPECT_TRUE(Put(*store, "k", "old").ok());
+  EXPECT_TRUE(store->Flush(&io).ok());
+  EXPECT_TRUE(Put(*store, "k", "mid").ok());
+  EXPECT_TRUE(store->Flush(&io).ok());
+  EXPECT_TRUE(Put(*store, "k", "new").ok());
+  EXPECT_EQ(Get(*store, "k"), "new");
+  auto all = store->Scan({}, &io);
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->rows.size(), 1u);
+  EXPECT_EQ(all->rows[0].value, "new");
+}
+
+TEST(KvStore, PredicateFilterAndAggregatePushdown) {
+  Media m(7);
+  auto store = MustOpen(&m.fs, "/kv");
+  ASSERT_NE(store, nullptr);
+  EXPECT_TRUE(Put(*store, "r1", "10").ok());
+  EXPECT_TRUE(Put(*store, "r2", "-3").ok());
+  EXPECT_TRUE(Put(*store, "r3", "7").ok());
+  EXPECT_TRUE(Put(*store, "r4", "not-a-number").ok());
+  kv::IoStats io;
+
+  kv::ScanOptions contains;
+  contains.predicate_contains = "number";
+  auto filt = store->Scan(contains, &io);
+  ASSERT_TRUE(filt.ok());
+  ASSERT_EQ(filt->rows.size(), 1u);
+  EXPECT_EQ(filt->rows[0].key, "r4");
+  EXPECT_EQ(filt->scanned, 4u);
+  EXPECT_EQ(filt->matched, 1u);
+
+  kv::ScanOptions count;
+  count.aggregate = kv::Aggregate::kCount;
+  auto c = store->Scan(count, &io);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->agg_value, 4);
+  EXPECT_TRUE(c->rows.empty());  // aggregates return no rows
+
+  kv::ScanOptions sum;
+  sum.aggregate = kv::Aggregate::kSum;
+  auto s = store->Scan(sum, &io);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->agg_value, 14);     // 10 - 3 + 7
+  EXPECT_EQ(s->agg_skipped, 1u);   // the non-numeric row
+
+  kv::ScanOptions mn;
+  mn.aggregate = kv::Aggregate::kMin;
+  auto lo = store->Scan(mn, &io);
+  ASSERT_TRUE(lo.ok());
+  EXPECT_EQ(lo->agg_value, -3);
+
+  kv::ScanOptions mx;
+  mx.aggregate = kv::Aggregate::kMax;
+  auto hi = store->Scan(mx, &io);
+  ASSERT_TRUE(hi.ok());
+  EXPECT_EQ(hi->agg_value, 10);
+}
+
+TEST(KvStore, AutomaticFlushAndCompactionUnderWritePressure) {
+  Media m(8);
+  kv::KvOptions opts;
+  opts.memtable_limit_bytes = 2 * 1024;
+  opts.compact_threshold = 3;
+  opts.block_bytes = 512;
+  auto store = MustOpen(&m.fs, "/kv", opts);
+  ASSERT_NE(store, nullptr);
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = "key" + std::to_string(i % 60);
+    const std::string value = "value-" + std::to_string(i) + std::string(24, 'x');
+    ASSERT_TRUE(Put(*store, key, value).ok()) << i;
+    model[key] = value;
+  }
+  const kv::StoreStats st = store->Stats();
+  EXPECT_GT(st.flushes, 0u);
+  EXPECT_GT(st.compactions, 0u);
+  EXPECT_EQ(ScanAll(*store), model);
+}
+
+TEST(KvStore, CacheReservesAgainstMemoryBudgetAndReleasesOnClose) {
+  Media m(9);
+  MemoryBudget budget(64 * 1024);
+  kv::KvOptions opts;
+  opts.cache_bytes = 1 << 20;  // above the budget: budget must win
+  opts.block_bytes = 1024;
+  opts.budget = &budget;
+  {
+    auto store = MustOpen(&m.fs, "/kv", opts);
+    ASSERT_NE(store, nullptr);
+    kv::IoStats io;
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(
+          Put(*store, "key" + std::to_string(i), std::string(200, 'v')).ok());
+    }
+    ASSERT_TRUE(store->Flush(&io).ok());
+    // Read everything twice: populates then hits the cache.
+    for (int round = 0; round < 2; ++round) {
+      for (int i = 0; i < 100; ++i) {
+        ASSERT_NE(Get(*store, "key" + std::to_string(i)), std::nullopt);
+      }
+    }
+    const kv::StoreStats st = store->Stats();
+    EXPECT_GT(st.cache_hits, 0u);
+    EXPECT_LE(st.cache_bytes, 64u * 1024u);
+    EXPECT_LE(budget.used(), 64u * 1024u);
+    EXPECT_GT(budget.used(), 0u);
+  }
+  // Store gone: every cache page and memtable byte must be handed back.
+  EXPECT_EQ(budget.used(), 0u);
+}
+
+TEST(KvStore, CorruptedSstableBlockIsDetectedByChecksum) {
+  Media m(10);
+  auto store = MustOpen(&m.fs, "/kv");
+  ASSERT_NE(store, nullptr);
+  kv::IoStats io;
+  ASSERT_TRUE(Put(*store, "victim", std::string(64, 'p')).ok());
+  ASSERT_TRUE(store->Flush(&io).ok());
+  store.reset();  // drop so the cache cannot satisfy the read
+
+  // Flip one byte inside the run's data region, below the fs checksum layer
+  // would be better, but an overwrite through the fs is the same to the
+  // sstable CRC: the stored payload no longer matches its header.
+  auto entries = m.fs.ReadDir("/kv");
+  ASSERT_TRUE(entries.ok());
+  std::string sst_path;
+  for (const auto& e : *entries) {
+    if (e.name.rfind("sst-", 0) == 0) sst_path = "/kv/" + e.name;
+  }
+  ASSERT_FALSE(sst_path.empty());
+  auto ino = m.fs.Lookup(sst_path);
+  ASSERT_TRUE(ino.ok());
+  std::uint8_t byte = 0;
+  ASSERT_TRUE(m.fs.Read(*ino, 9, std::span<std::uint8_t>(&byte, 1)).ok());
+  byte ^= 0x40;
+  ASSERT_TRUE(m.fs.Write(*ino, 9, std::span<const std::uint8_t>(&byte, 1)).ok());
+
+  auto reopened = kv::KvStore::Open(&m.fs, "/kv");
+  if (!reopened.ok()) {
+    // The flip landed in the index/footer: rejected at open — also correct.
+    EXPECT_EQ(reopened.status().code(), StatusCode::kDataCorruption);
+    return;
+  }
+  kv::IoStats io2;
+  std::string value;
+  bool found = false;
+  Status st = (*reopened)->Get("victim", &value, &found, &io2);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kDataCorruption);
+}
+
+TEST(KvStore, OrphanSstableFromInterruptedFlushIsRemovedOnOpen) {
+  Media m(11);
+  {
+    auto store = MustOpen(&m.fs, "/kv");
+    ASSERT_NE(store, nullptr);
+    kv::IoStats io;
+    ASSERT_TRUE(Put(*store, "live", "data").ok());
+    ASSERT_TRUE(store->Flush(&io).ok());
+  }
+  // Simulate a flush that died after writing the run but before the
+  // manifest: a sst file the manifest does not reference.
+  ASSERT_TRUE(m.fs.WriteFile("/kv/sst-999", "stranded bytes").ok());
+  auto reopened = MustOpen(&m.fs, "/kv");
+  ASSERT_NE(reopened, nullptr);
+  EXPECT_GE(reopened->Stats().orphans_removed, 1u);
+  EXPECT_FALSE(m.fs.Stat("/kv/sst-999").ok());
+  EXPECT_EQ(Get(*reopened, "live"), "data");
+}
+
+// ---------------------------------------------------------------------------
+// Power-cut torture: a seeded mixed PUT/DELETE workload is cut at flash-
+// mutation index `cut_op`; recovery must land on an exact op boundary
+// between the last committed op and the op in flight (old-or-new, never
+// torn), with every committed write present and every live block passing
+// the checksum audit.
+// ---------------------------------------------------------------------------
+
+struct KvOp {
+  bool del = false;
+  std::string key;
+  std::string value;
+};
+
+std::vector<KvOp> MakeKvWorkload(std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<KvOp> ops;
+  for (int i = 0; i < 48; ++i) {
+    KvOp op;
+    op.key = "key" + std::to_string(rng.Below(14));
+    if (i % 4 == 3) {
+      op.del = true;
+    } else {
+      op.value = "v" + std::to_string(i) + "-" +
+                 std::string(16 + rng.Below(48), 'a' + (i % 26));
+    }
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+struct KvTortureOutcome {
+  bool mount_ok = false;
+  bool state_ok = false;    // recovered == model after K ops, completed<=K<=attempted
+  bool audit_ok = false;    // all live extents pass VerifyBlock
+  bool wal_replayed = false;
+  std::size_t completed = 0;
+  std::size_t attempted = 0;
+  std::uint64_t total_mutations = 0;
+  std::string note;  // diagnostic detail for the failure message
+};
+
+KvTortureOutcome RunKvTorture(std::uint64_t wl_seed, std::uint64_t cut_op) {
+  KvTortureOutcome out;
+  const std::vector<KvOp> ops = MakeKvWorkload(wl_seed);
+
+  // Model snapshots: snaps[k] is the expected live key set after k ops.
+  std::vector<std::map<std::string, std::string>> snaps(1);
+  for (const KvOp& op : ops) {
+    auto next = snaps.back();
+    if (op.del) {
+      next.erase(op.key);
+    } else {
+      next[op.key] = op.value;
+    }
+    snaps.push_back(std::move(next));
+  }
+
+  ssd::Ssd ssd(ssd::TestProfile(), /*seed=*/0xD15C ^ wl_seed);
+  ssd::BlockDevice& dev = ssd.host_block_device();
+  if (!fs::Filesystem::Format(&dev).ok()) return out;
+  fs::Filesystem live(&dev, ssd.fs_mutex());
+  if (!live.Mount().ok()) return out;
+
+  // Small thresholds so cuts land in every phase: WAL append, memtable
+  // flush, manifest publication, WAL truncate, compaction.
+  kv::KvOptions opts;
+  opts.memtable_limit_bytes = 640;
+  opts.compact_threshold = 2;
+  opts.block_bytes = 256;
+
+  sim::FaultInjector inj(/*seed=*/cut_op);
+  if (cut_op > 0) {
+    inj.Schedule({.type = sim::FaultType::kPowerCut,
+                  .first_op = cut_op,
+                  .last_op = cut_op});
+  }
+  ssd.array().SetFaultInjector(&inj);
+
+  {
+    auto store = kv::KvStore::Open(&live, "/kv", opts);
+    if (store.ok()) {
+      for (const KvOp& op : ops) {
+        ++out.attempted;
+        kv::IoStats io;
+        const Status st = op.del ? (*store)->Delete(op.key, &io)
+                                 : (*store)->Put(op.key, op.value, &io);
+        if (!st.ok()) break;
+        ++out.completed;
+      }
+    }
+  }
+  out.total_mutations = inj.flash_ops();
+  inj.RestorePower();
+
+  // Power back on: fresh mount (journal replay), fresh store (manifest load,
+  // orphan sweep, WAL replay).
+  fs::Filesystem recovered(&dev, ssd.fs_mutex());
+  out.mount_ok = recovered.Mount().ok();
+  if (out.mount_ok) {
+    auto store = kv::KvStore::Open(&recovered, "/kv", opts);
+    if (!store.ok()) {
+      out.note = "reopen failed: " + store.status().ToString();
+    } else {
+      out.wal_replayed = (*store)->Stats().wal_records_replayed > 0;
+      kv::IoStats io;
+      auto scan = (*store)->Scan({}, &io);
+      if (!scan.ok()) {
+        out.note = "scan failed: " + scan.status().ToString();
+      } else {
+        std::map<std::string, std::string> actual;
+        for (const kv::ScanRow& row : scan->rows) actual[row.key] = row.value;
+        for (std::size_t k = out.completed;
+             k <= out.attempted && k < snaps.size(); ++k) {
+          if (snaps[k] == actual) {
+            out.state_ok = true;
+            break;
+          }
+        }
+        if (!out.state_ok) {
+          out.note = "recovered " + std::to_string(actual.size()) + " keys {";
+          for (const auto& [k, v] : actual) {
+            out.note += k + "=" + v.substr(0, 8) + " ";
+          }
+          out.note += "} expected[completed] " +
+                      std::to_string(snaps[out.completed].size()) + " keys {";
+          for (const auto& [k, v] : snaps[out.completed]) {
+            out.note += k + "=" + v.substr(0, 8) + " ";
+          }
+          out.note += "}";
+        }
+      }
+    }
+    out.audit_ok = true;
+    auto inodes = recovered.LiveInodes();
+    if (!inodes.ok()) {
+      out.audit_ok = false;
+    } else {
+      for (std::uint32_t ino : *inodes) {
+        auto extents = recovered.InodeExtents(ino);
+        if (!extents.ok()) {
+          out.audit_ok = false;
+          break;
+        }
+        for (std::uint64_t lba : *extents) {
+          if (!recovered.VerifyBlock(lba).ok()) {
+            out.audit_ok = false;
+            break;
+          }
+        }
+      }
+    }
+  }
+  ssd.array().SetFaultInjector(nullptr);
+  return out;
+}
+
+TEST(KvPowerCutTorture, EveryCutRecoversCommittedWritesUntorn) {
+  // >= 500 seeded (workload, cut-point) pairs by default;
+  // COMPSTOR_KV_TORTURE_CUTS overrides the total budget (0 = every
+  // mutation index of every workload — the CI integrity job's setting).
+  std::uint64_t budget = 500;
+  bool exhaustive = false;
+  if (const char* env = std::getenv("COMPSTOR_KV_TORTURE_CUTS")) {
+    budget = std::strtoull(env, nullptr, 10);
+    if (budget == 0) exhaustive = true;
+  }
+  const std::vector<std::uint64_t> seeds = {11, 22, 33, 44, 55};
+  const std::uint64_t per_seed = exhaustive ? 0 : budget / seeds.size();
+
+  std::uint64_t cuts_run = 0;
+  bool saw_wal_replay = false;
+  bool saw_midstream_cut = false;
+  for (const std::uint64_t seed : seeds) {
+    // Dry run: mutation count, and the workload must land exactly on its
+    // final model state with a clean audit.
+    const KvTortureOutcome dry = RunKvTorture(seed, 0);
+    ASSERT_TRUE(dry.mount_ok) << "seed " << seed;
+    ASSERT_EQ(dry.completed, 48u) << "seed " << seed;
+    ASSERT_TRUE(dry.state_ok) << "seed " << seed;
+    ASSERT_TRUE(dry.audit_ok) << "seed " << seed;
+    ASSERT_GT(dry.total_mutations, 100u) << "seed " << seed;
+
+    std::set<std::uint64_t> cuts;
+    if (exhaustive || dry.total_mutations <= per_seed) {
+      for (std::uint64_t n = 1; n <= dry.total_mutations; ++n) cuts.insert(n);
+    } else {
+      for (std::uint64_t i = 0; i < per_seed; ++i) {
+        cuts.insert(1 + i * (dry.total_mutations - 1) / (per_seed - 1));
+      }
+    }
+
+    for (const std::uint64_t cut : cuts) {
+      const KvTortureOutcome r = RunKvTorture(seed, cut);
+      ++cuts_run;
+      EXPECT_TRUE(r.mount_ok) << "seed " << seed << " cut " << cut;
+      EXPECT_TRUE(r.state_ok)
+          << "seed " << seed << " cut " << cut << ": recovered state is not "
+          << "an op boundary in [" << r.completed << ", " << r.attempted
+          << "] — a committed write was lost or a torn write surfaced: "
+          << r.note;
+      EXPECT_TRUE(r.audit_ok)
+          << "seed " << seed << " cut " << cut << ": checksum audit failed";
+      saw_wal_replay |= r.wal_replayed;
+      saw_midstream_cut |= r.completed > 0 && r.completed < 48;
+    }
+  }
+  // The schedule must actually exercise recovery: at least one cut mid-
+  // workload (not before the first op or after the last) and at least one
+  // recovery that replayed WAL records into the memtable.
+  EXPECT_GE(cuts_run, exhaustive ? 1 : seeds.size() * per_seed);
+  EXPECT_TRUE(saw_midstream_cut);
+  EXPECT_TRUE(saw_wal_replay);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: shared_mutex readers against one writer (TSan target).
+// ---------------------------------------------------------------------------
+
+TEST(KvConcurrency, ConcurrentReadersAndWriter) {
+  Media m(12);
+  kv::KvOptions opts;
+  opts.memtable_limit_bytes = 4 * 1024;
+  opts.compact_threshold = 3;
+  auto store = MustOpen(&m.fs, "/kv", opts);
+  ASSERT_NE(store, nullptr);
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(Put(*store, "key" + std::to_string(i), "seed").ok());
+  }
+
+  // Bounded reader loops rather than a stop flag: glibc's rwlock is
+  // reader-preferring, so free-running readers could starve the writer's
+  // exclusive lock indefinitely. Finite reader work keeps the interleaving
+  // hot without that hazard.
+  std::atomic<int> reader_errors{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&store, &reader_errors, t] {
+      util::Xoshiro256 rng(1000 + t);
+      std::string value;
+      for (int i = 0; i < 800; ++i) {
+        kv::IoStats io;
+        bool found = false;
+        const std::string key = "key" + std::to_string(rng.Below(32));
+        if (!store->Get(key, &value, &found, &io).ok()) ++reader_errors;
+        kv::ScanOptions scan;
+        scan.limit = 8;
+        if (!store->Scan(scan, &io).ok()) ++reader_errors;
+      }
+    });
+  }
+
+  // Writer: overwrites, deletes, flushes — every structural mutation the
+  // readers can race against.
+  for (int i = 0; i < 400; ++i) {
+    const std::string key = "key" + std::to_string(i % 32);
+    if (i % 7 == 6) {
+      ASSERT_TRUE(Del(*store, key).ok()) << i;
+    } else {
+      ASSERT_TRUE(Put(*store, key, "gen" + std::to_string(i)).ok()) << i;
+    }
+    if (i % 50 == 49) {
+      kv::IoStats io;
+      ASSERT_TRUE(store->Flush(&io).ok()) << i;
+    }
+  }
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(reader_errors.load(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// End to end: client -> NVMe -> agent -> kv minion / kKv admin query.
+// ---------------------------------------------------------------------------
+
+struct Device {
+  Device() : ssd(ssd::TestProfile()), agent(&ssd), handle(&ssd) {
+    EXPECT_TRUE(handle.FormatFilesystem().ok());
+  }
+  ssd::Ssd ssd;
+  isps::Agent agent;
+  client::CompStorHandle handle;
+};
+
+TEST(KvEndToEnd, StructuredBatchOverTheWire) {
+  Device d;
+  proto::Command cmd;
+  cmd.type = proto::CommandType::kExecutable;
+  cmd.executable = "kv";
+  cmd.kv_request.dir = "/kvdata";
+  kv::Op put1;
+  put1.type = kv::OpType::kPut;
+  put1.key = "user1";
+  put1.value = "100";
+  kv::Op put2;
+  put2.type = kv::OpType::kPut;
+  put2.key = "user2";
+  put2.value = "250";
+  kv::Op scan;
+  scan.type = kv::OpType::kScan;
+  cmd.kv_request.ops = {put1, put2, scan};
+
+  auto m = d.handle.RunMinion(cmd);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  ASSERT_TRUE(m->response.ok()) << m->response.status_message;
+  EXPECT_EQ(m->response.exit_code, 0);
+  const kv::Reply& reply = m->response.kv;
+  ASSERT_EQ(reply.results.size(), 3u);
+  EXPECT_EQ(reply.keys_written, 2u);
+  ASSERT_EQ(reply.results[2].rows.size(), 2u);
+  EXPECT_EQ(reply.results[2].rows[0],
+            (std::pair<std::string, std::string>{"user1", "100"}));
+  EXPECT_EQ(reply.results[2].rows[1],
+            (std::pair<std::string, std::string>{"user2", "250"}));
+}
+
+TEST(KvEndToEnd, ArgvShellSurface) {
+  Device d;
+  proto::Command put;
+  put.type = proto::CommandType::kExecutable;
+  put.executable = "kv";
+  put.args = {"put", "greeting", "hello-world"};
+  auto m1 = d.handle.RunMinion(put);
+  ASSERT_TRUE(m1.ok());
+  EXPECT_EQ(m1->response.exit_code, 0) << m1->response.stderr_data;
+
+  proto::Command get;
+  get.type = proto::CommandType::kExecutable;
+  get.executable = "kv";
+  get.args = {"get", "greeting"};
+  auto m2 = d.handle.RunMinion(get);
+  ASSERT_TRUE(m2.ok());
+  EXPECT_EQ(m2->response.exit_code, 0);
+  EXPECT_EQ(m2->response.stdout_data, "hello-world\n");
+
+  // A missed get exits 1, grep-style.
+  proto::Command miss;
+  miss.type = proto::CommandType::kExecutable;
+  miss.executable = "kv";
+  miss.args = {"get", "absent"};
+  auto m3 = d.handle.RunMinion(miss);
+  ASSERT_TRUE(m3.ok());
+  EXPECT_EQ(m3->response.exit_code, 1);
+}
+
+TEST(KvEndToEnd, AdminQuerySharesTheMinionsStore) {
+  Device d;
+  // Write through the data plane (minion)...
+  proto::Command cmd;
+  cmd.type = proto::CommandType::kExecutable;
+  cmd.executable = "kv";
+  cmd.kv_request.dir = "/kvdata";
+  kv::Op put;
+  put.type = kv::OpType::kPut;
+  put.key = "shared";
+  put.value = "visible";
+  cmd.kv_request.ops = {put};
+  auto m = d.handle.RunMinion(cmd);
+  ASSERT_TRUE(m.ok());
+  ASSERT_TRUE(m->response.ok());
+
+  // ...read through the admin plane (kKv query, no task spawn). The agent
+  // resolves the same StoreManager, so the unflushed write is visible.
+  proto::Query q;
+  q.type = proto::QueryType::kKv;
+  q.kv_request.dir = "/kvdata";
+  kv::Op get;
+  get.type = kv::OpType::kGet;
+  get.key = "shared";
+  q.kv_request.ops = {get};
+  auto r = d.handle.SendQuery(q);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->status_code, 0u) << r->status_message;
+  ASSERT_EQ(r->kv.results.size(), 1u);
+  EXPECT_TRUE(r->kv.results[0].found);
+  EXPECT_EQ(r->kv.results[0].value, "visible");
+
+  // An empty batch is rejected, typed (the handle surfaces the reply's
+  // status code as a Status).
+  proto::Query empty;
+  empty.type = proto::QueryType::kKv;
+  auto bad = d.handle.SendQuery(empty);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+
+  // The device exports kv.* probes once a store is open.
+  double open_stores = 0;
+  for (const auto& metric : d.ssd.telemetry().Snapshot()) {
+    if (metric.name == "kv.stores") open_stores = metric.value;
+  }
+  EXPECT_GE(open_stores, 1.0);
+}
+
+TEST(KvEndToEnd, LedgerAttributesKvWorkToTheQuery) {
+  Device d;
+  proto::Command load;
+  load.type = proto::CommandType::kExecutable;
+  load.executable = "kv";
+  load.kv_request.dir = "/kvdata";
+  for (int i = 0; i < 20; ++i) {
+    kv::Op put;
+    put.type = kv::OpType::kPut;
+    put.key = "acct" + std::to_string(i);
+    put.value = std::to_string(i * 10);
+    load.kv_request.ops.push_back(std::move(put));
+  }
+  auto m1 = d.handle.RunMinion(load);
+  ASSERT_TRUE(m1.ok());
+  ASSERT_TRUE(m1->response.ok());
+
+  // A traced aggregate scan: all scanned bytes stay on-device (the reply
+  // carries a single number), so the ledger must show pushdown savings.
+  proto::Command scan;
+  scan.type = proto::CommandType::kExecutable;
+  scan.executable = "kv";
+  scan.trace_query_id = 9001;
+  scan.kv_request.dir = "/kvdata";
+  scan.kv_request.aggregate = kv::Aggregate::kSum;
+  kv::Op op;
+  op.type = kv::OpType::kScan;
+  scan.kv_request.ops = {op};
+  auto m2 = d.handle.RunMinion(scan);
+  ASSERT_TRUE(m2.ok());
+  ASSERT_TRUE(m2->response.ok());
+  EXPECT_GT(m2->response.kv.bytes_scanned, 0u);
+  EXPECT_EQ(m2->response.kv.bytes_returned, 0u);
+
+  bool found_row = false;
+  for (const auto& [id, cost] : d.ssd.query_ledger().Snapshot()) {
+    if (id != 9001) continue;
+    found_row = true;
+    EXPECT_EQ(cost.kv_keys_read, 20u);
+    EXPECT_EQ(cost.kv_keys_written, 0u);
+    EXPECT_GT(cost.kv_pushdown_saved_bytes, 0u);
+  }
+  EXPECT_TRUE(found_row);
+}
+
+}  // namespace
+}  // namespace compstor

@@ -128,6 +128,155 @@ TEST(Proto, V2EmissionIgnoresTraceFields) {
   EXPECT_NE(Serialize(traced, 3), Serialize(untraced, 3));
 }
 
+Minion SampleKvMinion() {
+  Minion m = SampleMinion();
+  m.command.kv_request.dir = "/kv/users";
+  m.command.kv_request.predicate_contains = "region=eu";
+  m.command.kv_request.aggregate = kv::Aggregate::kSum;
+  kv::Op put;
+  put.type = kv::OpType::kPut;
+  put.key = "user42";
+  put.value = "hello";
+  kv::Op scan;
+  scan.type = kv::OpType::kScan;
+  scan.key = "user0";
+  scan.end_key = "user9";
+  scan.limit = 100;
+  m.command.kv_request.ops = {put, scan};
+  kv::OpResult put_res;
+  kv::OpResult scan_res;
+  scan_res.found = true;
+  scan_res.rows = {{"user42", "hello"}, {"user43", "world"}};
+  scan_res.truncated = true;
+  scan_res.scanned = 250;
+  scan_res.matched = 2;
+  scan_res.agg_value = -17;
+  scan_res.agg_skipped = 3;
+  m.response.kv.results = {put_res, scan_res};
+  m.response.kv.keys_read = 250;
+  m.response.kv.keys_written = 1;
+  m.response.kv.bytes_scanned = 9000;
+  m.response.kv.bytes_returned = 22;
+  return m;
+}
+
+TEST(Proto, KvMinionRoundTrip) {
+  const Minion m = SampleKvMinion();
+  auto back = DeserializeMinion(Serialize(m));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  const kv::Request& req = back->command.kv_request;
+  EXPECT_EQ(req.dir, "/kv/users");
+  EXPECT_EQ(req.predicate_contains, "region=eu");
+  EXPECT_EQ(req.aggregate, kv::Aggregate::kSum);
+  ASSERT_EQ(req.ops.size(), 2u);
+  EXPECT_EQ(req.ops[0].type, kv::OpType::kPut);
+  EXPECT_EQ(req.ops[0].key, "user42");
+  EXPECT_EQ(req.ops[0].value, "hello");
+  EXPECT_EQ(req.ops[1].type, kv::OpType::kScan);
+  EXPECT_EQ(req.ops[1].end_key, "user9");
+  EXPECT_EQ(req.ops[1].limit, 100u);
+  const kv::Reply& rep = back->response.kv;
+  ASSERT_EQ(rep.results.size(), 2u);
+  EXPECT_TRUE(rep.results[1].found);
+  EXPECT_EQ(rep.results[1].rows,
+            (std::vector<std::pair<std::string, std::string>>{
+                {"user42", "hello"}, {"user43", "world"}}));
+  EXPECT_TRUE(rep.results[1].truncated);
+  EXPECT_EQ(rep.results[1].scanned, 250u);
+  EXPECT_EQ(rep.results[1].agg_value, -17);
+  EXPECT_EQ(rep.results[1].agg_skipped, 3u);
+  EXPECT_EQ(rep.keys_read, 250u);
+  EXPECT_EQ(rep.keys_written, 1u);
+  EXPECT_EQ(rep.bytes_scanned, 9000u);
+  EXPECT_EQ(rep.bytes_returned, 22u);
+}
+
+// Round-trip matrix: a fully-loaded minion emitted at every live wire
+// version must decode under the current decoder, with exactly the fields
+// that version carries surviving and everything newer at its default.
+TEST(Proto, DownLevelRoundTripMatrix) {
+  const Minion m = SampleKvMinion();
+  for (std::uint8_t v = kMinWireVersion; v <= kWireVersion; ++v) {
+    auto back = DeserializeMinion(Serialize(m, v));
+    ASSERT_TRUE(back.ok()) << "version " << int(v) << ": "
+                           << back.status().ToString();
+    // v2 core fields always survive.
+    EXPECT_EQ(back->id, m.id) << int(v);
+    EXPECT_EQ(back->command.executable, m.command.executable) << int(v);
+    EXPECT_EQ(back->response.stdout_data, m.response.stdout_data) << int(v);
+    // v3: trace context.
+    EXPECT_EQ(back->command.trace_query_id, v >= 3 ? m.command.trace_query_id : 0u)
+        << int(v);
+    EXPECT_EQ(back->response.root_span_id, v >= 3 ? m.response.root_span_id : 0u)
+        << int(v);
+    // v4: tenant QoS.
+    EXPECT_EQ(back->command.tenant_id, v >= 4 ? m.command.tenant_id : 0u)
+        << int(v);
+    EXPECT_EQ(back->command.priority, v >= 4 ? m.command.priority : 0u)
+        << int(v);
+    // v5: the KV batch.
+    if (v >= 5) {
+      EXPECT_EQ(back->command.kv_request.ops.size(), 2u) << int(v);
+      EXPECT_EQ(back->response.kv.keys_read, 250u) << int(v);
+    } else {
+      EXPECT_TRUE(back->command.kv_request.empty()) << int(v);
+      EXPECT_TRUE(back->response.kv.empty()) << int(v);
+    }
+  }
+}
+
+// Emitting v4 must produce a byte-identical frame regardless of whether the
+// in-memory minion carries a KV batch — the batch is invisible below v5.
+TEST(Proto, V4EmissionIgnoresKvFields) {
+  Minion with_kv = SampleKvMinion();
+  Minion without = SampleMinion();
+  EXPECT_EQ(Serialize(with_kv, 4), Serialize(without, 4));
+  EXPECT_NE(Serialize(with_kv, 5), Serialize(without, 5));
+}
+
+TEST(Proto, KvQueryRoundTrip) {
+  Query q;
+  q.id = 77;
+  q.type = QueryType::kKv;
+  q.kv_request.dir = "/kv/admin";
+  kv::Op get;
+  get.type = kv::OpType::kGet;
+  get.key = "probe";
+  q.kv_request.ops = {get};
+  auto back = DeserializeQuery(Serialize(q));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->type, QueryType::kKv);
+  EXPECT_EQ(back->kv_request.dir, "/kv/admin");
+  ASSERT_EQ(back->kv_request.ops.size(), 1u);
+  EXPECT_EQ(back->kv_request.ops[0].key, "probe");
+}
+
+// QueryType::kKv does not exist below v5; a down-level frame claiming it is
+// malformed and must be rejected, not misread.
+TEST(Proto, KvQueryRejectedAtV4) {
+  Query q;
+  q.type = QueryType::kKv;
+  auto back = DeserializeQuery(Serialize(q, /*version=*/4));
+  EXPECT_FALSE(back.ok());
+  EXPECT_EQ(back.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Proto, KvQueryReplyRoundTrip) {
+  QueryReply r;
+  r.id = 78;
+  kv::OpResult res;
+  res.found = true;
+  res.value = "42";
+  r.kv.results = {res};
+  r.kv.keys_read = 1;
+  auto back = DeserializeQueryReply(Serialize(r));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->kv.results.size(), 1u);
+  EXPECT_TRUE(back->kv.results[0].found);
+  EXPECT_EQ(back->kv.results[0].value, "42");
+  EXPECT_EQ(back->kv.keys_read, 1u);
+}
+
 TEST(Proto, UnknownWireVersionRejected) {
   auto too_new = Serialize(SampleMinion(), kWireVersion + 1);
   EXPECT_FALSE(DeserializeMinion(too_new).ok());

@@ -8,6 +8,7 @@
 #include "ssd/ssd.hpp"
 #include "workload/dataset.hpp"
 #include "workload/textgen.hpp"
+#include "workload/zipf.hpp"
 
 namespace compstor::workload {
 namespace {
@@ -138,6 +139,86 @@ TEST(Dataset, StagesIntoFilesystem) {
     ASSERT_TRUE(st.ok()) << f.path;
     EXPECT_EQ(st->size, f.stored_bytes);
   }
+}
+
+TEST(Zipf, DeterministicForSeed) {
+  ZipfDistribution a(1000, /*seed=*/99);
+  ZipfDistribution b(1000, /*seed=*/99);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_EQ(a.Next(), b.Next()) << "diverged at draw " << i;
+  }
+  // A different seed is a different stream.
+  ZipfDistribution c(1000, /*seed=*/100);
+  int same = 0;
+  ZipfDistribution a2(1000, /*seed=*/99);
+  for (int i = 0; i < 1000; ++i) same += (a2.Next() == c.Next());
+  EXPECT_LT(same, 900);
+}
+
+TEST(Zipf, RanksInBounds) {
+  ZipfDistribution z(37, /*seed=*/1);
+  for (int i = 0; i < 100000; ++i) ASSERT_LT(z.Next(), 37u);
+  ZipfDistribution one(1, /*seed=*/1);
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(one.Next(), 0u);
+}
+
+TEST(Zipf, PmfSumsToOne) {
+  ZipfDistribution z(500, 0.99, /*seed=*/1);
+  double sum = 0;
+  for (std::uint64_t r = 0; r < 500; ++r) sum += z.Pmf(r);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  // Monotone decreasing: rank 0 is the hottest.
+  EXPECT_GT(z.Pmf(0), z.Pmf(1));
+  EXPECT_GT(z.Pmf(1), z.Pmf(499));
+}
+
+// Chi-square goodness-of-fit of the sampler against its own PMF. With the
+// head ranks kept separate and the tail pooled into buckets of adequate
+// expected count, the statistic for a correct sampler stays well under the
+// rejection threshold. The draw sequence is seeded, so this is exact-replay
+// deterministic — no flake margin needed.
+TEST(Zipf, ChiSquareMatchesPmf) {
+  constexpr std::uint64_t kN = 100;
+  constexpr int kDraws = 200000;
+  ZipfDistribution z(kN, 0.99, /*seed=*/4242);
+  std::vector<std::uint64_t> counts(kN, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[z.Next()];
+
+  // Pool ranks into cells with expected count >= 20 (textbook validity
+  // condition), walking from the hot head into the cold tail.
+  double chi2 = 0;
+  int cells = 0;
+  double exp_acc = 0;
+  std::uint64_t obs_acc = 0;
+  for (std::uint64_t r = 0; r < kN; ++r) {
+    exp_acc += z.Pmf(r) * kDraws;
+    obs_acc += counts[r];
+    if (exp_acc >= 20.0 || r == kN - 1) {
+      const double d = static_cast<double>(obs_acc) - exp_acc;
+      chi2 += d * d / exp_acc;
+      ++cells;
+      exp_acc = 0;
+      obs_acc = 0;
+    }
+  }
+  // 99.9th percentile of chi-square at ~60-90 dof is < dof + 4*sqrt(2*dof);
+  // use that as a seed-stable upper bound with heavy margin.
+  const double dof = cells - 1;
+  EXPECT_LT(chi2, dof + 4.0 * std::sqrt(2.0 * dof))
+      << "cells=" << cells << " chi2=" << chi2;
+}
+
+// The head of a 0.99-zipfian is heavy: the hottest rank alone draws several
+// percent of all accesses, which is the property the YCSB bench exploits
+// (cache hits, pushdown savings concentrate on hot keys).
+TEST(Zipf, SkewConcentratesOnHead) {
+  constexpr std::uint64_t kN = 10000;
+  constexpr int kDraws = 100000;
+  ZipfDistribution z(kN, 0.99, /*seed=*/7);
+  std::uint64_t head = 0;  // draws landing in the top 1% of ranks
+  for (int i = 0; i < kDraws; ++i) head += (z.Next() < kN / 100);
+  // Under uniform this would be ~1%; zipf(0.99) puts the majority there.
+  EXPECT_GT(static_cast<double>(head) / kDraws, 0.5);
 }
 
 }  // namespace
