@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdio>
+#include <map>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -42,8 +43,9 @@ namespace compstor::bench {
 class BenchReport {
  public:
   /// Bump when the file shape changes; consumers gate parsing on this.
-  /// v2 added schema_version / bench / git provenance fields.
-  static constexpr int kSchemaVersion = 2;
+  /// v2 added schema_version / bench / git provenance fields; v3 added the
+  /// optional registry_delta section (TelemetryDelta).
+  static constexpr int kSchemaVersion = 3;
   BenchReport(std::string name, int argc, char** argv) : name_(std::move(name)) {
     for (int i = 1; i < argc; ++i) {
       if (std::string_view(argv[i]) == "--json") {
@@ -71,6 +73,51 @@ class BenchReport {
     if (enabled_) telemetry_json_ = telemetry::MetricsToJson(metrics);
   }
 
+  /// Attaches what the measured phase *did* to the registry: counters as
+  /// increments, histograms as count/sum increments (same ".count"/".sum"
+  /// column expansion the time-series plane uses), gauges as their final
+  /// reading when it moved. Unchanged metrics are dropped, so the section
+  /// reads as "this phase's footprint" rather than a second full snapshot.
+  void TelemetryDelta(const std::vector<telemetry::MetricValue>& before,
+                      const std::vector<telemetry::MetricValue>& after) {
+    if (!enabled_) return;
+    std::map<std::string, const telemetry::MetricValue*> prior;
+    for (const auto& m : before) prior[m.name] = &m;
+    std::vector<std::pair<std::string, std::string>> rows;
+    for (const auto& m : after) {
+      const auto it = prior.find(m.name);
+      const telemetry::MetricValue* b = it != prior.end() ? it->second : nullptr;
+      switch (m.kind) {
+        case telemetry::MetricKind::kCounter: {
+          const double d = m.value - (b != nullptr ? b->value : 0);
+          if (d != 0) rows.emplace_back(m.name, Number(d));
+          break;
+        }
+        case telemetry::MetricKind::kGauge:
+          if (b == nullptr || m.value != b->value) {
+            rows.emplace_back(m.name, Number(m.value));
+          }
+          break;
+        case telemetry::MetricKind::kHistogram: {
+          const double dc =
+              static_cast<double>(m.count) - (b != nullptr ? static_cast<double>(b->count) : 0);
+          const double ds = m.sum - (b != nullptr ? b->sum : 0);
+          if (dc != 0) {
+            rows.emplace_back(m.name + ".count", Number(dc));
+            rows.emplace_back(m.name + ".sum", Number(ds));
+          }
+          break;
+        }
+      }
+    }
+    registry_delta_json_ = "{";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      registry_delta_json_ += (i ? ", " : "") + ("\"" + Escape(rows[i].first) +
+                              "\": " + rows[i].second);
+    }
+    registry_delta_json_ += "}";
+  }
+
   /// Writes the file (no-op without --json). Returns false on IO error.
   bool Write() const {
     if (!enabled_) return true;
@@ -95,6 +142,9 @@ class BenchReport {
     std::fprintf(f, "}");
     if (!telemetry_json_.empty()) {
       std::fprintf(f, ",\n  \"telemetry\": %s", telemetry_json_.c_str());
+    }
+    if (!registry_delta_json_.empty()) {
+      std::fprintf(f, ",\n  \"registry_delta\": %s", registry_delta_json_.c_str());
     }
     std::fprintf(f, "\n}\n");
     std::fclose(f);
@@ -138,6 +188,7 @@ class BenchReport {
   Fields config_;
   Fields metrics_;
   std::string telemetry_json_;
+  std::string registry_delta_json_;
 };
 
 /// One CompStor device with its agent and a client handle, ready to use.

@@ -24,6 +24,7 @@
 #include <thread>
 #include <vector>
 
+#include "client/monitor.hpp"
 #include "common/qos.hpp"
 #include "harness.hpp"
 #include "workload/textgen.hpp"
@@ -227,7 +228,9 @@ client::Cluster::WorkItem InteractiveProbe(const std::string& file, int i) {
   return {static_cast<std::size_t>(i % kDevices), cmd};
 }
 
-int RunNoisyNeighborPhase(bench::BenchReport& report, bool qos) {
+int RunNoisyNeighborPhase(bench::BenchReport& report, bool qos,
+                          const std::string& series_path,
+                          const std::string& slo_path) {
   bench::PrintHeader(qos ? "Noisy neighbor - weighted-fair QoS (default)"
                          : "Noisy neighbor - QoS disabled (--no-qos control arm)");
 
@@ -290,7 +293,33 @@ int RunNoisyNeighborPhase(bench::BenchReport& report, bool qos) {
     if (us < 0) return 1;
     baseline_wall_us.push_back(us);
   }
-  const SojournStats solo = SojournOf(cluster.CollectStats(), kBaselineTenant);
+  const auto metrics_before = cluster.CollectStats();
+  const SojournStats solo = SojournOf(metrics_before, kBaselineTenant);
+
+  // Fleet observability riding along: the monitor polls every device's
+  // kStatsDelta series while the phase runs, evaluates the interactive
+  // tenant's burn rate against a solo-derived budget, and dumps the series /
+  // SLO artifacts next to the --json report. Informational here — the
+  // bench's hard gate stays the bypass counts below — but the artifacts are
+  // what a dashboard of this experiment would show.
+  client::ClusterMonitor::Options mon_options;
+  mon_options.interval = std::chrono::milliseconds(25);
+  client::ClusterMonitor monitor(&cluster, mon_options);
+  const double slo_threshold_us = std::max(6.0 * solo.tail_us, 1000.0);
+  {
+    telemetry::SloObjective slo;
+    slo.name = "interactive-p99";
+    slo.tenant_id = kInteractiveTenant;
+    slo.kind = telemetry::SloObjective::Kind::kLatencyP99;
+    slo.field = "isps.tenant" + std::to_string(kInteractiveTenant) + ".sojourn_us.p99";
+    slo.threshold = slo_threshold_us;
+    slo.objective = 0.95;
+    slo.long_window_s = 1.0;
+    slo.short_window_s = 0.25;
+    slo.burn_alert = 2.0;
+    monitor.device_slo().AddObjective(slo);
+  }
+  monitor.StartPolling();
 
   // Bulk tenant: a closed-loop load. Twelve submitter threads each keep a
   // 128-query batch outstanding and resubmit the moment it completes, so
@@ -381,6 +410,9 @@ int RunNoisyNeighborPhase(bench::BenchReport& report, bool qos) {
   const int bulk_total = bulk_waves.load() * kBulkWave;
   if (!bulk_ok) return 1;
 
+  monitor.StopPolling();
+  monitor.PollOnce();  // final frame sees the workload's last samples
+
   const auto metrics = cluster.CollectStats();
   const SojournStats noisy = SojournOf(metrics, kInteractiveTenant);
   const SojournStats bulk_s = SojournOf(metrics, kBulkTenant);
@@ -461,6 +493,46 @@ int RunNoisyNeighborPhase(bench::BenchReport& report, bool qos) {
   report.Metric("frontier.peak_in_flight",
                 static_cast<double>(frontier_after_probes.peak_in_flight));
   report.Telemetry(metrics);
+  // What this phase did to the registry, as increments (schema v3).
+  report.TelemetryDelta(metrics_before, metrics);
+
+  // The monitor's verdict on the same run: burn state of the interactive
+  // objective and how many health events fired.
+  {
+    const client::ClusterMonitor::Frame frame = monitor.Snapshot();
+    double violating = 0, burn_long = 0;
+    for (const auto& row : frame.slos) {
+      if (row.state.objective.name == "interactive-p99") {
+        violating = row.state.violating ? 1.0 : 0.0;
+        burn_long = row.state.burn_long;
+      }
+    }
+    std::size_t burn_events = 0;
+    for (const auto& e : frame.events) {
+      if (e.type == telemetry::HealthType::kSloBurnRate) ++burn_events;
+    }
+    std::printf("%-36s %14.0f us\n", "monitor SLO budget (p99 <=)", slo_threshold_us);
+    std::printf("%-36s %14s\n", "monitor SLO violating", violating != 0 ? "YES" : "no");
+    std::printf("%-36s %14zu\n", "monitor burn-rate events", burn_events);
+    report.Metric("monitor.slo_threshold_us", slo_threshold_us);
+    report.Metric("monitor.slo_violating", violating);
+    report.Metric("monitor.slo_burn_long", burn_long);
+    report.Metric("monitor.burn_events", static_cast<double>(burn_events));
+    report.Metric("monitor.polls", static_cast<double>(frame.polls));
+    auto write_artifact = [](const std::string& path, const std::string& text) {
+      if (path.empty()) return;
+      std::FILE* f = std::fopen(path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "isolation: cannot open %s\n", path.c_str());
+        return;
+      }
+      std::fputs(text.c_str(), f);
+      std::fclose(f);
+      std::printf("[--series/--slo] wrote %s\n", path.c_str());
+    };
+    write_artifact(series_path, monitor.SeriesJson());
+    write_artifact(slo_path, monitor.SloReportJson());
+  }
 
   if (qos && !slo_met) {
     std::fprintf(stderr, "FAIL: interactive core bypass violated the SLO with QoS on\n");
@@ -485,8 +557,15 @@ int RunNoisyNeighborPhase(bench::BenchReport& report, bool qos) {
 int main(int argc, char** argv) {
   bench::BenchReport report("isolation", argc, argv);
   bool qos = true;
+  std::string series_path, slo_path;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--no-qos") == 0) qos = false;
+    if (std::strcmp(argv[i], "--no-qos") == 0) {
+      qos = false;
+    } else if (std::strcmp(argv[i], "--series") == 0 && i + 1 < argc) {
+      series_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--slo") == 0 && i + 1 < argc) {
+      slo_path = argv[++i];
+    }
   }
 
   bench::PrintHeader(
@@ -494,7 +573,7 @@ int main(int argc, char** argv) {
   if (int rc = RunSingleDevicePhase(report); rc != 0) return rc;
   // Write the report even when the SLO check fails — the violating numbers
   // are exactly what the perf trajectory needs to show.
-  const int rc = RunNoisyNeighborPhase(report, qos);
+  const int rc = RunNoisyNeighborPhase(report, qos, series_path, slo_path);
   if (!report.Write()) return 1;
   return rc;
 }

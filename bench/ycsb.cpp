@@ -391,6 +391,9 @@ int main(int argc, char** argv) {
   if (!LoadPhase(cluster, opt)) return 1;
   std::printf("loaded %" PRIu64 " records across %zu shards\n", opt.records,
               opt.devices);
+  // Registry baseline after load: the report's registry_delta section then
+  // shows what the measured mixes alone did (schema v3).
+  const auto metrics_after_load = cluster.CollectStats();
 
   std::printf("\n%-4s %-8s %10s %8s %10s %10s %10s\n", "mix", "dist", "ops",
               "failed", "p50_us", "p95_us", "p99_us");
@@ -466,6 +469,7 @@ int main(int argc, char** argv) {
   report.Metric("pushdown_bytes_per_scan", push_per_scan);
   report.Metric("host_bytes_per_scan", host_per_scan);
   report.Metric("pushdown_savings_x", savings_x);
+  report.TelemetryDelta(metrics_after_load, cluster.CollectStats());
 
   if (!report.Write()) return 1;
   if (!all_ok) {

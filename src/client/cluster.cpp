@@ -133,51 +133,95 @@ std::vector<std::size_t> Cluster::AssignByUtilization(
 
 std::vector<telemetry::MetricValue> Cluster::CollectStats() {
   std::vector<telemetry::MetricValue> merged;
-  for (std::size_t d = 0; d < devices_.size(); ++d) {
-    if (health_[d].state != DeviceHealth::State::kOffline) {
-      auto metrics = devices_[d]->GetStatsSnapshot();
-      if (metrics.ok()) {
-        RecordSuccess(d);
-        auto prefixed =
-            telemetry::WithPrefix("dev" + std::to_string(d) + ".", std::move(*metrics));
-        merged.insert(merged.end(), std::make_move_iterator(prefixed.begin()),
-                      std::make_move_iterator(prefixed.end()));
-      } else {
-        RecordFailure(d);
-      }
-    }
-    // The cluster's own view of the device, merged under the same namespace
-    // the paper's load balancer reads ("cluster.dev3.minions_failed").
-    const DeviceHealth& h = health_[d];
-    const std::string p = "cluster.dev" + std::to_string(d) + ".";
-    const auto counter = [&merged, &p](const std::string& name, std::uint64_t v) {
-      telemetry::MetricValue m;
-      m.name = p + name;
-      m.kind = telemetry::MetricKind::kCounter;
-      m.value = static_cast<double>(v);
-      merged.push_back(std::move(m));
-    };
-    counter("minions_ok", h.successes);
-    counter("minions_failed", h.failures);
-    counter("breaker_trips", h.trips);
-    counter("probes", h.probes);
-    counter("recoveries", h.recoveries);
+  // Offline check from a locked snapshot: the monitor polls CollectStats
+  // concurrently with RunAll's breaker bookkeeping.
+  std::vector<DeviceHealth::State> states;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    states.reserve(health_.size());
+    for (const DeviceHealth& h : health_) states.push_back(h.state);
   }
-  telemetry::MetricValue re;
-  re.name = "cluster.redispatches";
-  re.kind = telemetry::MetricKind::kCounter;
-  re.value = static_cast<double>(redispatches_.load(std::memory_order_relaxed));
-  merged.push_back(std::move(re));
+  for (std::size_t d = 0; d < devices_.size(); ++d) {
+    if (states[d] == DeviceHealth::State::kOffline) continue;
+    auto metrics = devices_[d]->GetStatsSnapshot();
+    if (metrics.ok()) {
+      RecordSuccess(d);
+      auto prefixed =
+          telemetry::WithPrefix("dev" + std::to_string(d) + ".", std::move(*metrics));
+      merged.insert(merged.end(), std::make_move_iterator(prefixed.begin()),
+                    std::make_move_iterator(prefixed.end()));
+    } else {
+      RecordFailure(d);
+    }
+  }
   // The host's own per-query view (from round-tripped responses), alongside
   // the per-device "dev<i>.query.*" rows merged above.
   auto ledger = query_ledger_.ToMetrics("cluster.query.");
   merged.insert(merged.end(), std::make_move_iterator(ledger.begin()),
                 std::make_move_iterator(ledger.end()));
+  auto host = HostStats();
+  merged.insert(merged.end(), std::make_move_iterator(host.begin()),
+                std::make_move_iterator(host.end()));
+  return merged;
+}
+
+std::vector<telemetry::MetricValue> Cluster::HostStats() {
+  std::vector<telemetry::MetricValue> out;
+  const auto counter = [&out](std::string name, double v) {
+    telemetry::MetricValue m;
+    m.name = std::move(name);
+    m.kind = telemetry::MetricKind::kCounter;
+    m.value = v;
+    out.push_back(std::move(m));
+  };
+  const auto gauge = [&out](std::string name, double v) {
+    telemetry::MetricValue m;
+    m.name = std::move(name);
+    m.kind = telemetry::MetricKind::kGauge;
+    m.value = v;
+    out.push_back(std::move(m));
+  };
+
+  // The cluster's own view of each device, merged under the same namespace
+  // the paper's load balancer reads ("cluster.dev3.minions_failed").
+  std::vector<DeviceHealth> health;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    health = health_;
+  }
+  for (std::size_t d = 0; d < health.size(); ++d) {
+    const DeviceHealth& h = health[d];
+    const std::string p = "cluster.dev" + std::to_string(d) + ".";
+    counter(p + "minions_ok", static_cast<double>(h.successes));
+    counter(p + "minions_failed", static_cast<double>(h.failures));
+    counter(p + "breaker_trips", static_cast<double>(h.trips));
+    counter(p + "probes", static_cast<double>(h.probes));
+    counter(p + "recoveries", static_cast<double>(h.recoveries));
+    // Both state edges in one counter: the flap rule watches its rate.
+    counter(p + "breaker_transitions", static_cast<double>(h.trips + h.recoveries));
+    gauge(p + "breaker_open",
+          h.state == DeviceHealth::State::kOffline ? 1.0 : 0.0);
+  }
+  counter("cluster.redispatches",
+          static_cast<double>(redispatches_.load(std::memory_order_relaxed)));
+
+  // Frontier admission counters: the host-side analogue of a device's
+  // arbiter queue, and the subject of the "stuck frontier" health rule.
+  const QueryFrontier::Stats fs = FrontierStats();
+  counter("frontier.admitted", static_cast<double>(fs.admitted));
+  counter("frontier.dispatched", static_cast<double>(fs.dispatched));
+  counter("frontier.completed", static_cast<double>(fs.completed));
+  counter("frontier.deadline_expired", static_cast<double>(fs.deadline_expired));
+  counter("frontier.rejected", static_cast<double>(fs.rejected));
+  gauge("frontier.queued", static_cast<double>(fs.queued));
+  gauge("frontier.in_flight", static_cast<double>(fs.in_flight));
+  gauge("frontier.peak_in_flight", static_cast<double>(fs.peak_in_flight));
+
   // Host-side per-tenant SLO instruments ("cluster.tenant<t>.minion_us").
   auto tenants = telemetry::WithPrefix("cluster.", registry_.Snapshot());
-  merged.insert(merged.end(), std::make_move_iterator(tenants.begin()),
-                std::make_move_iterator(tenants.end()));
-  return merged;
+  out.insert(out.end(), std::make_move_iterator(tenants.begin()),
+             std::make_move_iterator(tenants.end()));
+  return out;
 }
 
 std::vector<std::vector<telemetry::TraceEvent>> Cluster::CollectTraces() const {

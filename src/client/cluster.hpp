@@ -115,6 +115,14 @@ class Cluster {
   /// whose query fails are skipped (and the failure feeds their breaker).
   std::vector<telemetry::MetricValue> CollectStats();
 
+  /// Host-only cluster metrics, cheap enough to sample every monitor tick
+  /// (no device round-trips, no breaker feedback): per-device circuit-
+  /// breaker counters snapshotted under the state lock ("cluster.dev<i>.*",
+  /// including a `breaker_open` gauge and a `breaker_transitions` counter
+  /// for flap detection), frontier admission counters ("frontier.*"), and
+  /// the host-side per-tenant registry ("cluster.tenant<t>.*").
+  std::vector<telemetry::MetricValue> HostStats();
+
   /// Host-side per-query attribution ledger, built from the round-tripped
   /// responses of every RunAll: compute/IO seconds, bytes, and task energy
   /// keyed by the originating trace query id. Complements the device-side

@@ -168,6 +168,17 @@ Result<std::vector<telemetry::MetricValue>> CompStorHandle::GetStatsSnapshot() {
   return std::move(reply.metrics);
 }
 
+Result<proto::QueryReply> CompStorHandle::GetStatsDelta(std::uint64_t stats_cursor,
+                                                        std::uint32_t known_fields,
+                                                        std::uint64_t event_cursor) {
+  proto::Query q;
+  q.type = proto::QueryType::kStatsDelta;
+  q.stats_cursor = stats_cursor;
+  q.stats_known_fields = known_fields;
+  q.event_cursor = event_cursor;
+  return SendQuery(std::move(q));
+}
+
 Status CompStorHandle::LoadTask(std::string_view name, std::string_view script) {
   proto::Query q;
   q.type = proto::QueryType::kLoadTask;

@@ -129,6 +129,13 @@ class CompStorHandle {
   /// kStats: point-in-time snapshot of the device-side telemetry registry,
   /// fetched over the wire (CRC-framed like every entity).
   Result<std::vector<telemetry::MetricValue>> GetStatsSnapshot();
+  /// kStatsDelta: time-series samples past `stats_cursor` (field names only
+  /// past the first `known_fields` columns) plus health events past
+  /// `event_cursor`. Feed the reply to a telemetry::SeriesTail and poll with
+  /// its cursor()/known_fields(); events advance via reply.next_event_cursor.
+  Result<proto::QueryReply> GetStatsDelta(std::uint64_t stats_cursor,
+                                          std::uint32_t known_fields,
+                                          std::uint64_t event_cursor);
   /// Dynamic task loading: install `script` as command `name` on the device.
   Status LoadTask(std::string_view name, std::string_view script);
   Result<std::vector<std::string>> ListTasks();

@@ -1,0 +1,441 @@
+#include "client/monitor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+namespace compstor::client {
+
+namespace {
+
+using telemetry::HealthEvent;
+using telemetry::SeriesSample;
+using telemetry::SeriesTail;
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+/// JSON number or null for NaN/Inf (JSON has no non-finite literals).
+void AppendNum(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+double OrZero(double v) { return std::isfinite(v) ? v : 0.0; }
+
+/// Rate of a named counter column over `window`, 0 when unavailable.
+double NamedRate(const SeriesTail& tail, const std::vector<SeriesSample>& window,
+                 const char* name, bool use_wall) {
+  const int idx = tail.FieldIndex(name);
+  if (idx < 0) return 0;
+  return OrZero(telemetry::RateOver(window, static_cast<std::size_t>(idx), use_wall));
+}
+
+const char* SeverityName(telemetry::Severity s) {
+  switch (s) {
+    case telemetry::Severity::kInfo: return "info";
+    case telemetry::Severity::kWarning: return "warning";
+    case telemetry::Severity::kCritical: return "critical";
+  }
+  return "?";
+}
+
+const char* HealthTypeName(telemetry::HealthType t) {
+  switch (t) {
+    case telemetry::HealthType::kQueueStuck: return "queue_stuck";
+    case telemetry::HealthType::kNoProgress: return "no_progress";
+    case telemetry::HealthType::kFlapping: return "flapping";
+    case telemetry::HealthType::kSloBurnRate: return "slo_burn_rate";
+    case telemetry::HealthType::kRecovered: return "recovered";
+  }
+  return "?";
+}
+
+void AppendEventJson(std::string& out, const HealthEvent& e) {
+  out += "{\"seq\":" + std::to_string(e.seq);
+  out += ",\"type\":\"" + std::string(HealthTypeName(e.type)) + "\"";
+  out += ",\"severity\":\"" + std::string(SeverityName(e.severity)) + "\"";
+  out += ",\"t_s\":";
+  AppendNum(out, e.t_s);
+  out += ",\"wall_s\":";
+  AppendNum(out, e.wall_s);
+  out += ",\"subject\":\"" + JsonEscape(e.subject) + "\"";
+  out += ",\"message\":\"" + JsonEscape(e.message) + "\"";
+  out += ",\"value\":";
+  AppendNum(out, e.value);
+  out += "}";
+}
+
+void AppendSloRowJson(std::string& out, const ClusterMonitor::SloRow& row) {
+  const telemetry::SloState& s = row.state;
+  out += "{\"name\":\"" + JsonEscape(s.objective.name) + "\"";
+  out += ",\"subject\":\"" + JsonEscape(row.subject) + "\"";
+  out += ",\"tenant\":" + std::to_string(s.objective.tenant_id);
+  out += ",\"field\":\"" + JsonEscape(s.objective.field) + "\"";
+  out += ",\"threshold\":";
+  AppendNum(out, s.objective.threshold);
+  out += ",\"current\":";
+  AppendNum(out, s.current);
+  out += ",\"burn_short\":";
+  AppendNum(out, s.burn_short);
+  out += ",\"burn_long\":";
+  AppendNum(out, s.burn_long);
+  out += ",\"burn_alert\":";
+  AppendNum(out, s.objective.burn_alert);
+  out += std::string(",\"violating\":") + (s.violating ? "true" : "false");
+  out += "}";
+}
+
+void AppendSeries(std::string& out, const std::vector<telemetry::SeriesField>& fields,
+                  const std::vector<SeriesSample>& samples) {
+  out += "{\"fields\":[";
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) out += ",";
+    out += "{\"name\":\"" + JsonEscape(fields[i].name) + "\",\"kind\":" +
+           std::to_string(static_cast<int>(fields[i].kind)) + "}";
+  }
+  out += "],\"samples\":[";
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (i != 0) out += ",";
+    const SeriesSample& s = samples[i];
+    out += "{\"seq\":" + std::to_string(s.seq) + ",\"t_s\":";
+    AppendNum(out, s.t_s);
+    out += ",\"wall_s\":";
+    AppendNum(out, s.wall_s);
+    out += ",\"values\":[";
+    for (std::size_t v = 0; v < s.values.size(); ++v) {
+      if (v != 0) out += ",";
+      AppendNum(out, s.values[v]);
+    }
+    out += "]}";
+  }
+  out += "]}";
+}
+
+}  // namespace
+
+ClusterMonitor::ClusterMonitor(Cluster* cluster)
+    : ClusterMonitor(cluster, Options{}) {}
+
+ClusterMonitor::ClusterMonitor(Cluster* cluster, Options options)
+    : cluster_(cluster),
+      options_(options),
+      epoch_(std::chrono::steady_clock::now()),
+      host_ring_(options.series_capacity) {
+  for (std::size_t d = 0; d < cluster_->size(); ++d) {
+    tails_.push_back(std::make_unique<SeriesTail>(options_.series_capacity));
+  }
+  event_cursors_.assign(cluster_->size(), 0);
+  reachable_.assign(cluster_->size(), false);
+
+  // Host health rules: the frontier is the host's arbiter queue, and the
+  // breaker-transition counter flags a device bouncing on/offline.
+  telemetry::StuckQueueRule frontier_stuck;
+  frontier_stuck.depth_field = "frontier.queued";
+  frontier_stuck.served_field = "frontier.dispatched";
+  frontier_stuck.window_s = 0.5;
+  frontier_stuck.min_depth = 1;
+  health_.AddStuckQueueRule(frontier_stuck);
+  telemetry::FlapRule breaker_flap;
+  breaker_flap.subject = "breaker";
+  breaker_flap.transitions_field = "cluster.dev*.breaker_transitions";
+  breaker_flap.window_s = 1.0;
+  breaker_flap.max_transitions = 4;
+  health_.AddFlapRule(breaker_flap);
+}
+
+ClusterMonitor::~ClusterMonitor() { StopPolling(); }
+
+void ClusterMonitor::PollOnce() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch_).count();
+
+  for (std::size_t d = 0; d < tails_.size(); ++d) {
+    SeriesTail& tail = *tails_[d];
+    auto reply = cluster_->device(d).GetStatsDelta(tail.cursor(), tail.known_fields(),
+                                                   event_cursors_[d]);
+    if (!reply.ok() || !reply->ok()) {
+      reachable_[d] = false;
+      continue;
+    }
+    reachable_[d] = true;
+    tail.Apply(reply->series);
+    for (HealthEvent e : reply->events) {
+      e.subject = "dev" + std::to_string(d) + "." + e.subject;
+      events_.push_back(std::move(e));
+    }
+    event_cursors_[d] = reply->next_event_cursor;
+  }
+
+  // Host samples share the wall axis on both stamps: the host has no
+  // virtual clock of its own.
+  host_ring_.Append(wall_s, wall_s, cluster_->HostStats());
+
+  EvaluateLocked(wall_s);
+  while (events_.size() > options_.event_capacity) events_.pop_front();
+  ++polls_;
+}
+
+void ClusterMonitor::EvaluateLocked(double wall_s) {
+  (void)wall_s;
+  last_slos_.clear();
+
+  const std::vector<telemetry::SeriesField> host_fields = host_ring_.Fields();
+  const std::vector<SeriesSample> host_window =
+      host_ring_.Window(options_.health_window_s);
+  health_.Evaluate(host_fields, host_window);
+  for (telemetry::SloState& s :
+       host_slo_.Evaluate(host_fields, host_window, &health_, "")) {
+    last_slos_.push_back(SloRow{"", std::move(s)});
+  }
+
+  // Device objectives: evaluate on every device tail, report the worst
+  // device per objective (any violating device flags the objective).
+  for (std::size_t j = 0; j < device_slo_.objectives().size(); ++j) {
+    SloRow worst;
+    bool have = false;
+    for (std::size_t d = 0; d < tails_.size(); ++d) {
+      const SeriesTail& tail = *tails_[d];
+      const std::string subject = "dev" + std::to_string(d) + ".";
+      std::vector<telemetry::SloState> states = device_slo_.Evaluate(
+          tail.fields(), tail.Window(options_.health_window_s), &health_, subject);
+      if (j >= states.size()) continue;
+      telemetry::SloState& s = states[j];
+      const bool wins =
+          !have ||
+          (s.violating && !worst.state.violating) ||
+          (s.violating == worst.state.violating && s.burn_short > worst.state.burn_short);
+      if (wins) {
+        worst = SloRow{subject, std::move(s)};
+        have = true;
+      }
+    }
+    if (have) last_slos_.push_back(std::move(worst));
+  }
+
+  // Fold freshly-raised host-engine events (rules + SLO edges) into the
+  // shared event log the frames show.
+  for (HealthEvent& e : health_.EventsSince(host_event_cursor_)) {
+    events_.push_back(std::move(e));
+  }
+  host_event_cursor_ = health_.next_event_seq();
+}
+
+ClusterMonitor::Frame ClusterMonitor::Snapshot() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Frame f;
+  f.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch_).count();
+  f.polls = polls_;
+  for (std::size_t d = 0; d < tails_.size(); ++d) {
+    const SeriesTail& tail = *tails_[d];
+    const std::vector<SeriesSample> window = tail.Window(1.0);
+    DeviceView view;
+    view.reachable = reachable_[d];
+    view.samples = tail.samples().size();
+    view.lost = tail.lost();
+    view.utilization = OrZero(tail.Latest("isps.utilization"));
+    view.temperature_c = OrZero(tail.Latest("isps.temperature_c"));
+    view.queue_depth = OrZero(tail.Latest("nvme.backlog"));
+    view.task_rate = NamedRate(tail, window, "isps.minions_handled", /*use_wall=*/true);
+    view.io_rate = NamedRate(tail, window, "nvme.io_commands", /*use_wall=*/true);
+    // Busy fraction of the hottest die, on the virtual axis: model-seconds
+    // of flash busy per model-second — the utilization the placement work
+    // in ROADMAP item 2 needs.
+    view.flash_busy =
+        NamedRate(tail, window, "flash.busiest_die_s", /*use_wall=*/false);
+    f.devices.push_back(view);
+  }
+  f.slos = last_slos_;
+  f.events.assign(events_.begin(), events_.end());
+  f.active_conditions = health_.ActiveConditions();
+  return f;
+}
+
+std::string ClusterMonitor::ToJson(const Frame& frame) {
+  std::string out = "{\"wall_s\":";
+  AppendNum(out, frame.wall_s);
+  out += ",\"polls\":" + std::to_string(frame.polls);
+  out += ",\"devices\":[";
+  for (std::size_t d = 0; d < frame.devices.size(); ++d) {
+    if (d != 0) out += ",";
+    const DeviceView& v = frame.devices[d];
+    out += "{\"device\":" + std::to_string(d);
+    out += std::string(",\"reachable\":") + (v.reachable ? "true" : "false");
+    out += ",\"samples\":" + std::to_string(v.samples);
+    out += ",\"lost\":" + std::to_string(v.lost);
+    out += ",\"utilization\":";
+    AppendNum(out, v.utilization);
+    out += ",\"temperature_c\":";
+    AppendNum(out, v.temperature_c);
+    out += ",\"queue_depth\":";
+    AppendNum(out, v.queue_depth);
+    out += ",\"task_rate\":";
+    AppendNum(out, v.task_rate);
+    out += ",\"io_rate\":";
+    AppendNum(out, v.io_rate);
+    out += ",\"flash_busy\":";
+    AppendNum(out, v.flash_busy);
+    out += "}";
+  }
+  out += "],\"slos\":[";
+  for (std::size_t i = 0; i < frame.slos.size(); ++i) {
+    if (i != 0) out += ",";
+    AppendSloRowJson(out, frame.slos[i]);
+  }
+  out += "],\"events\":[";
+  for (std::size_t i = 0; i < frame.events.size(); ++i) {
+    if (i != 0) out += ",";
+    AppendEventJson(out, frame.events[i]);
+  }
+  out += "],\"active_conditions\":[";
+  for (std::size_t i = 0; i < frame.active_conditions.size(); ++i) {
+    if (i != 0) out += ",";
+    out += "\"" + JsonEscape(frame.active_conditions[i]) + "\"";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string ClusterMonitor::RenderTop(const Frame& frame) {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "compstor-top  wall %.1fs  polls %llu  active conditions %zu\n",
+                frame.wall_s, static_cast<unsigned long long>(frame.polls),
+                frame.active_conditions.size());
+  out += buf;
+  out += "\n DEV  UP  UTIL%  TEMP_C  QDEPTH   TASK/S     IO/S  FLASH%  SAMPLES  LOST\n";
+  for (std::size_t d = 0; d < frame.devices.size(); ++d) {
+    const DeviceView& v = frame.devices[d];
+    std::snprintf(buf, sizeof(buf),
+                  " %3zu  %2s  %5.1f  %6.1f  %6.0f  %7.1f  %7.1f  %6.1f  %7llu  %4llu\n",
+                  d, v.reachable ? "ok" : "--", v.utilization * 100.0,
+                  v.temperature_c, v.queue_depth, v.task_rate, v.io_rate,
+                  v.flash_busy * 100.0, static_cast<unsigned long long>(v.samples),
+                  static_cast<unsigned long long>(v.lost));
+    out += buf;
+  }
+  out += "\n SLO                        SUBJECT  TENANT   CURRENT  BURN_S  BURN_L  STATE\n";
+  for (const SloRow& row : frame.slos) {
+    const telemetry::SloState& s = row.state;
+    std::snprintf(buf, sizeof(buf),
+                  " %-26s %8s  %6u  %8.1f  %6.2f  %6.2f  %s%s\x1b[0m\n",
+                  s.objective.name.c_str(),
+                  row.subject.empty() ? "host" : row.subject.c_str(),
+                  s.objective.tenant_id, s.current, s.burn_short, s.burn_long,
+                  s.violating ? "\x1b[31m" : "\x1b[32m",
+                  s.violating ? "VIOLATING" : "ok");
+    out += buf;
+  }
+  const std::size_t show = std::min<std::size_t>(frame.events.size(), 8);
+  out += "\n EVENTS (last " + std::to_string(show) + ")\n";
+  for (std::size_t i = frame.events.size() - show; i < frame.events.size(); ++i) {
+    const HealthEvent& e = frame.events[i];
+    std::snprintf(buf, sizeof(buf), " [%8s] %-13s %-24s %s\n", SeverityName(e.severity),
+                  HealthTypeName(e.type), e.subject.c_str(), e.message.c_str());
+    out += buf;
+  }
+  return out;
+}
+
+std::string ClusterMonitor::ToOpenMetrics() {
+  return telemetry::MetricsToOpenMetrics(cluster_->CollectStats());
+}
+
+std::string ClusterMonitor::SeriesJson() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\"devices\":[";
+  for (std::size_t d = 0; d < tails_.size(); ++d) {
+    if (d != 0) out += ",";
+    const SeriesTail& tail = *tails_[d];
+    AppendSeries(out, tail.fields(),
+                 std::vector<SeriesSample>(tail.samples().begin(), tail.samples().end()));
+  }
+  out += "],\"host\":";
+  AppendSeries(out, host_ring_.Fields(), host_ring_.SamplesSince(0));
+  out += "}";
+  return out;
+}
+
+std::string ClusterMonitor::SloReportJson() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\"slos\":[";
+  for (std::size_t i = 0; i < last_slos_.size(); ++i) {
+    if (i != 0) out += ",";
+    AppendSloRowJson(out, last_slos_[i]);
+  }
+  out += "],\"active_conditions\":[";
+  const std::vector<std::string> active = health_.ActiveConditions();
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    if (i != 0) out += ",";
+    out += "\"" + JsonEscape(active[i]) + "\"";
+  }
+  out += "],\"events\":[";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    if (i != 0) out += ",";
+    AppendEventJson(out, events_[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+void ClusterMonitor::StartPolling() {
+  if (polling_) return;
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    stop_requested_ = false;
+  }
+  polling_ = true;
+  thread_ = std::thread(&ClusterMonitor::Loop, this);
+}
+
+void ClusterMonitor::StopPolling() {
+  if (!polling_) return;
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    stop_requested_ = true;
+  }
+  wake_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  polling_ = false;
+}
+
+void ClusterMonitor::Loop() {
+  std::unique_lock<std::mutex> lock(wake_mutex_);
+  while (!stop_requested_) {
+    lock.unlock();
+    PollOnce();
+    lock.lock();
+    wake_.wait_for(lock, options_.interval, [this] { return stop_requested_; });
+  }
+}
+
+}  // namespace compstor::client

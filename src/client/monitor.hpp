@@ -1,0 +1,150 @@
+// Host-side fleet observability: ClusterMonitor polls every device's time-
+// series ring over the kStatsDelta cursor protocol, keeps a client-side
+// SeriesTail per device plus a host-side series (breaker/frontier/tenant
+// metrics from Cluster::HostStats), evaluates per-tenant SLOs and host
+// health rules over them, and renders the result three ways:
+//
+//   * Snapshot()/ToJson — one structured frame (per-device utilization and
+//     rates, SLO burn states, recent health events); what
+//     `compstor_top --once --json` emits and the acceptance tests assert on;
+//   * RenderTop — the live terminal dashboard;
+//   * ToOpenMetrics — a Prometheus-style scrape of the full cluster merge.
+//
+// The monitor never blocks the data path: device polls ride the same vendor
+// query channel as any admin query, ship only samples past the cursor, and
+// the host series is built from lock-snapshotted host state.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "client/cluster.hpp"
+#include "telemetry/slo.hpp"
+#include "telemetry/timeseries.hpp"
+
+namespace compstor::client {
+
+class ClusterMonitor {
+ public:
+  struct Options {
+    /// Wall cadence of PollOnce when polling in the background.
+    std::chrono::milliseconds interval{50};
+    /// Wall window handed to host health rules and SLO evaluation.
+    double health_window_s = 3.0;
+    /// Host-side series / per-device tail capacity, in samples.
+    std::size_t series_capacity = telemetry::TimeSeriesRing::kDefaultCapacity;
+    /// Health events retained for Snapshot frames.
+    std::size_t event_capacity = 128;
+  };
+
+  explicit ClusterMonitor(Cluster* cluster);
+  ClusterMonitor(Cluster* cluster, Options options);
+  ~ClusterMonitor();
+
+  ClusterMonitor(const ClusterMonitor&) = delete;
+  ClusterMonitor& operator=(const ClusterMonitor&) = delete;
+
+  /// Per-tenant objectives evaluated against every *device* tail (fields in
+  /// device namespace, e.g. "isps.tenant1.sojourn_us.p99"). Add before the
+  /// first poll.
+  telemetry::SloEngine& device_slo() { return device_slo_; }
+  /// Objectives evaluated against the *host* series (fields like
+  /// "cluster.tenant1.minion_us.p99").
+  telemetry::SloEngine& host_slo() { return host_slo_; }
+  /// Host health rules (stuck frontier, breaker flapping are pre-installed;
+  /// add more before the first poll).
+  telemetry::HealthRuleEngine& health() { return health_; }
+
+  /// One poll: kStatsDelta from every device, one host-stats sample, SLO +
+  /// health evaluation. Thread-safe against Snapshot()/exporters.
+  void PollOnce();
+  void StartPolling();
+  void StopPolling();
+  std::uint64_t polls() const { return polls_; }
+
+  /// Device tails / host series for direct inspection (bench artifacts).
+  const telemetry::SeriesTail& device_tail(std::size_t i) const {
+    return *tails_[i];
+  }
+  const telemetry::TimeSeriesRing& host_series() const { return host_ring_; }
+
+  // --- the rendered frame ---
+
+  struct DeviceView {
+    bool reachable = false;       // last poll answered
+    std::uint64_t samples = 0;    // samples accumulated in the tail
+    std::uint64_t lost = 0;       // samples that fell off the device ring
+    double utilization = 0;       // isps.utilization (0..1)
+    double temperature_c = 0;
+    double queue_depth = 0;       // nvme.backlog
+    double task_rate = 0;         // minions/s of wall time
+    double io_rate = 0;           // NVMe commands/s of wall time
+    double flash_busy = 0;        // busiest die busy fraction (virtual time)
+  };
+
+  struct SloRow {
+    std::string subject;  // "" for host objectives, "dev3." for device ones
+    telemetry::SloState state;
+  };
+
+  struct Frame {
+    double wall_s = 0;
+    std::uint64_t polls = 0;
+    std::vector<DeviceView> devices;
+    std::vector<SloRow> slos;               // worst device per objective + host
+    std::vector<telemetry::HealthEvent> events;  // most recent last
+    std::vector<std::string> active_conditions;
+  };
+
+  Frame Snapshot();
+
+  static std::string ToJson(const Frame& frame);
+  /// ANSI terminal dashboard (no screen clearing — the caller owns that).
+  static std::string RenderTop(const Frame& frame);
+
+  /// OpenMetrics scrape of the full cluster merge (kStats snapshot per
+  /// device + host stats); heavier than a poll, intended per-scrape.
+  std::string ToOpenMetrics();
+
+  /// All accumulated series (per-device tails + host ring) as JSON, the
+  /// bench run artifact. NaN (absent) values render as null.
+  std::string SeriesJson();
+  /// Latest SLO evaluation + active conditions + event log as JSON.
+  std::string SloReportJson();
+
+ private:
+  void Loop();
+  void EvaluateLocked(double wall_s);
+
+  Cluster* cluster_;
+  const Options options_;
+  const std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<telemetry::SeriesTail>> tails_;  // per device
+  std::vector<std::uint64_t> event_cursors_;                   // per device
+  std::vector<bool> reachable_;
+  telemetry::TimeSeriesRing host_ring_;
+  telemetry::SloEngine device_slo_;
+  telemetry::SloEngine host_slo_;
+  telemetry::HealthRuleEngine health_;
+  std::deque<telemetry::HealthEvent> events_;
+  std::vector<SloRow> last_slos_;
+  std::uint64_t host_event_cursor_ = 0;  // drained from health_'s event log
+  std::uint64_t polls_ = 0;
+
+  std::mutex wake_mutex_;
+  std::condition_variable wake_;
+  bool stop_requested_ = false;
+  bool polling_ = false;
+  std::thread thread_;
+};
+
+}  // namespace compstor::client

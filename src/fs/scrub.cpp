@@ -15,6 +15,11 @@ void Scrubber::AttachTrace(telemetry::TraceRing* trace, std::function<double()> 
 }
 
 Status Scrubber::RunPass() {
+  active_.store(true, std::memory_order_relaxed);
+  struct ActiveGuard {
+    std::atomic<bool>* flag;
+    ~ActiveGuard() { flag->store(false, std::memory_order_relaxed); }
+  } guard{&active_};
   const double start_s = now_s_ ? now_s_() : 0.0;
 
   // Media stage. The block list is a point-in-time snapshot: a block freed

@@ -58,12 +58,17 @@ class Scrubber {
 
   ScrubStats Stats() const;
 
+  /// True while a pass is in flight (the `scrub.active` gauge; health rules
+  /// pair it with the progress counters to catch a stalled pass).
+  bool active() const { return active_.load(std::memory_order_relaxed); }
+
  private:
   Filesystem* fs_;
   ssd::BlockDevice* dev_;
   telemetry::TraceRing* trace_ = nullptr;
   std::function<double()> now_s_;
 
+  std::atomic<bool> active_{false};
   std::atomic<std::uint64_t> passes_{0};
   std::atomic<std::uint64_t> media_blocks_{0};
   std::atomic<std::uint64_t> media_retired_{0};

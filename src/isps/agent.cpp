@@ -7,7 +7,13 @@
 
 namespace compstor::isps {
 
-Agent::Agent(ssd::Ssd* ssd, const ThermalModel& thermal)
+namespace {
+/// Wall window handed to the health rules on every sample: wide enough to
+/// cover the widest rule window (0.5s) with margin for increase baselines.
+constexpr double kHealthWindowS = 1.5;
+}  // namespace
+
+Agent::Agent(ssd::Ssd* ssd, const ThermalModel& thermal, const AgentOptions& options)
     : ssd_(ssd), thermal_(thermal) {
   registry_ = apps::Registry::WithBuiltins();
   fs_ = std::make_unique<fs::Filesystem>(&ssd->internal_block_device(), ssd->fs_mutex());
@@ -76,23 +82,65 @@ Agent::Agent(ssd::Ssd* ssd, const ThermalModel& thermal)
                         [this] { return static_cast<double>(runtime_->kv_stores().AggregateStats().cache_hits); });
   metrics.RegisterProbe("kv.cache_misses", telemetry::MetricKind::kCounter,
                         [this] { return static_cast<double>(runtime_->kv_stores().AggregateStats().cache_misses); });
+  metrics.RegisterProbe("scrub.active", telemetry::MetricKind::kGauge,
+                        [this] { return scrubber_->active() ? 1.0 : 0.0; });
+
+  // Device health rules over the sampled series. Windows are wall-clock: a
+  // wedged device is one whose virtual clock stopped moving, so the rules
+  // must run on a clock the wedge cannot stop.
+  health_ = std::make_unique<telemetry::HealthRuleEngine>();
+  telemetry::StuckQueueRule stuck;
+  stuck.depth_field = "nvme.qp*.sq_depth";
+  stuck.served_field = "nvme.qp*.arbitrated";
+  stuck.window_s = 0.5;
+  stuck.min_depth = 1;
+  health_->AddStuckQueueRule(stuck);
+  telemetry::NoProgressRule scrub_stalled;
+  scrub_stalled.subject = "scrub";
+  scrub_stalled.armed_field = "scrub.active";
+  scrub_stalled.progress_field = "scrub.media_blocks";
+  scrub_stalled.window_s = 0.5;
+  health_->AddNoProgressRule(scrub_stalled);
+
+  telemetry::Sampler::Options sampler_options;
+  sampler_options.interval = options.sample_interval;
+  sampler_options.capacity = options.series_capacity;
+  sampler_ = std::make_unique<telemetry::Sampler>(&metrics, sampler_options);
+  sampler_->SetVirtualClock([this] { return cores_->Makespan(); });
+  sampler_->SetOnSample([this](const telemetry::TimeSeriesRing& ring,
+                               const telemetry::SeriesSample&) {
+    health_->Evaluate(ring.Fields(), ring.Window(kHealthWindowS));
+  });
+  metrics.RegisterProbe("series.samples", telemetry::MetricKind::kCounter,
+                        [this] { return static_cast<double>(sampler_->samples_taken()); });
+  metrics.RegisterProbe("series.dropped", telemetry::MetricKind::kCounter,
+                        [this] { return static_cast<double>(sampler_->ring().dropped()); });
+  metrics.RegisterProbe("series.fields", telemetry::MetricKind::kGauge,
+                        [this] { return static_cast<double>(sampler_->ring().field_count()); });
+
   ssd_->controller().SetVendorHandler(
       [this](const nvme::Command& cmd, nvme::Controller::CompletionSink done) {
         HandleVendor(cmd, std::move(done));
       });
+  if (options.sampler) sampler_->Start();
 }
 
 Agent::~Agent() {
+  // Stop the sampler first: its thread walks the registry (whose probes
+  // capture this agent's members) and reads the core clock.
+  sampler_->Stop();
   // Detach from the controller before tearing down the runtime so no new
   // minions arrive mid-destruction, then drain the cores.
   ssd_->controller().SetVendorHandler(nullptr);
   cores_->Shutdown();
   // The device registry outlives this agent; its `isps.*` / `scrub.*` /
-  // `journal.*` / `kv.*` probes capture `this` and must go with it.
+  // `journal.*` / `kv.*` / `series.*` probes capture `this` and must go
+  // with it.
   ssd_->telemetry().UnregisterPrefix("isps.");
   ssd_->telemetry().UnregisterPrefix("scrub.");
   ssd_->telemetry().UnregisterPrefix("journal.");
   ssd_->telemetry().UnregisterPrefix("kv.");
+  ssd_->telemetry().UnregisterPrefix("series.");
 }
 
 double Agent::TemperatureC() const {
@@ -211,6 +259,16 @@ proto::QueryReply Agent::HandleQuery(const proto::Query& query) {
       }
       break;
     }
+    case proto::QueryType::kStatsDelta:
+      // Cursor poll: only samples past stats_cursor (values delta-encoded
+      // against their predecessor, field names only past the columns the
+      // client already holds) and health events past event_cursor. Steady
+      // state this is a few percent of a full kStats snapshot.
+      reply.series =
+          sampler_->ring().Encode(query.stats_cursor, query.stats_known_fields);
+      reply.events = health_->EventsSince(query.event_cursor);
+      reply.next_event_cursor = health_->next_event_seq();
+      break;
     case proto::QueryType::kProcessTable:
       for (const TaskInfo& t : runtime_->ProcessTable()) {
         proto::QueryReply::Process p;

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 
@@ -21,15 +22,27 @@
 #include "isps/task_runtime.hpp"
 #include "proto/entities.hpp"
 #include "ssd/ssd.hpp"
+#include "telemetry/slo.hpp"
+#include "telemetry/timeseries.hpp"
 
 namespace compstor::isps {
+
+/// Observability knobs of one agent. The background sampler is on by
+/// default — its overhead is one registry snapshot per wall interval, which
+/// the acceptance tests hold invisible in `isps.task_us`.
+struct AgentOptions {
+  bool sampler = true;
+  std::chrono::milliseconds sample_interval{25};
+  std::size_t series_capacity = telemetry::TimeSeriesRing::kDefaultCapacity;
+};
 
 class Agent {
  public:
   /// Boots the ISPS: core cluster, internal filesystem mount, app registry
   /// with built-ins, task runtime; hooks the NVMe vendor opcodes.
   /// The filesystem must already be formatted (the factory host does that).
-  explicit Agent(ssd::Ssd* ssd, const ThermalModel& thermal = {});
+  explicit Agent(ssd::Ssd* ssd, const ThermalModel& thermal = {},
+                 const AgentOptions& options = {});
   ~Agent();
 
   Agent(const Agent&) = delete;
@@ -40,6 +53,11 @@ class Agent {
   apps::Registry& registry() { return *registry_; }
   fs::Filesystem& filesystem() { return *fs_; }
   fs::Scrubber& scrubber() { return *scrubber_; }
+  /// Background registry sampler feeding the device's time-series ring.
+  telemetry::Sampler& sampler() { return *sampler_; }
+  /// Device-side health rules (stuck arbiter queue, stalled scrub),
+  /// evaluated on every sample; events ship via kStatsDelta.
+  telemetry::HealthRuleEngine& health() { return *health_; }
 
   /// Runs one background-scrub pass (media refresh + checksum audit) on the
   /// agent's maintenance path. Cumulative results land in the `scrub.*`
@@ -68,6 +86,8 @@ class Agent {
   std::unique_ptr<fs::Scrubber> scrubber_;
   std::unique_ptr<CoreEmulator> cores_;
   std::unique_ptr<TaskRuntime> runtime_;
+  std::unique_ptr<telemetry::HealthRuleEngine> health_;
+  std::unique_ptr<telemetry::Sampler> sampler_;
   std::atomic<std::uint64_t> minions_{0};
   std::atomic<std::uint64_t> queries_{0};
   sim::FaultInjector* fault_ = nullptr;

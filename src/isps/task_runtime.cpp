@@ -182,7 +182,7 @@ std::uint32_t TaskRuntime::Spawn(const proto::Command& command, Callback done) {
     if (done && fault.action != sim::AgentFault::Action::kDropResponse) {
       done(std::move(response));
     }
-  });
+  }, tenant);
   return pid;
 }
 

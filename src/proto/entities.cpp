@@ -24,6 +24,11 @@ constexpr std::uint8_t kFrameQueryReply = 0x52;  // 'R'
 //       Response/QueryReply a kv::Reply, all appended last; down-level
 //       frames decode with empty payloads. QueryType::kKv itself is only
 //       legal in v5+ frames (an older build could not express it anyway).
+//   v6: observability — Query carries the stats/event cursors, QueryReply
+//       the SeriesDelta + HealthEvent log of the kStatsDelta poll, and each
+//       MetricValue its histogram underflow/overflow counters. Same rule:
+//       appended last, read only at v6+; QueryType::kStatsDelta is rejected
+//       in older frames.
 
 void PutStringList(util::ByteWriter& w, const std::vector<std::string>& list) {
   w.PutU32(static_cast<std::uint32_t>(list.size()));
@@ -135,6 +140,153 @@ Result<kv::Reply> GetKvReply(util::ByteReader& r) {
     reply.results.push_back(std::move(res));
   }
   return reply;
+}
+
+void PutMetricValue(util::ByteWriter& w, const telemetry::MetricValue& m,
+                    std::uint8_t version) {
+  w.PutString(m.name);
+  w.PutU8(static_cast<std::uint8_t>(m.kind));
+  w.PutF64(m.value);
+  w.PutU64(m.count);
+  w.PutF64(m.sum);
+  w.PutF64(m.min);
+  w.PutF64(m.max);
+  w.PutF64(m.p50);
+  w.PutF64(m.p95);
+  w.PutF64(m.p99);
+  if (version >= 6) {
+    w.PutU64(m.underflow);
+    w.PutU64(m.overflow);
+  }
+}
+
+Result<telemetry::MetricValue> GetMetricValue(util::ByteReader& r,
+                                              std::uint8_t version) {
+  telemetry::MetricValue m;
+  COMPSTOR_ASSIGN_OR_RETURN(m.name, r.GetString());
+  COMPSTOR_ASSIGN_OR_RETURN(std::uint8_t kind, r.GetU8());
+  if (kind > static_cast<std::uint8_t>(telemetry::MetricKind::kHistogram)) {
+    return InvalidArgument("proto: bad metric kind");
+  }
+  m.kind = static_cast<telemetry::MetricKind>(kind);
+  COMPSTOR_ASSIGN_OR_RETURN(m.value, r.GetF64());
+  COMPSTOR_ASSIGN_OR_RETURN(m.count, r.GetU64());
+  COMPSTOR_ASSIGN_OR_RETURN(m.sum, r.GetF64());
+  COMPSTOR_ASSIGN_OR_RETURN(m.min, r.GetF64());
+  COMPSTOR_ASSIGN_OR_RETURN(m.max, r.GetF64());
+  COMPSTOR_ASSIGN_OR_RETURN(m.p50, r.GetF64());
+  COMPSTOR_ASSIGN_OR_RETURN(m.p95, r.GetF64());
+  COMPSTOR_ASSIGN_OR_RETURN(m.p99, r.GetF64());
+  if (version >= 6) {
+    COMPSTOR_ASSIGN_OR_RETURN(m.underflow, r.GetU64());
+    COMPSTOR_ASSIGN_OR_RETURN(m.overflow, r.GetU64());
+  }
+  return m;
+}
+
+void PutSeriesDelta(util::ByteWriter& w, const telemetry::SeriesDelta& d) {
+  w.PutU64(d.next_cursor);
+  w.PutU64(d.dropped);
+  w.PutU32(d.base_fields);
+  w.PutU32(static_cast<std::uint32_t>(d.new_fields.size()));
+  for (const telemetry::SeriesField& f : d.new_fields) {
+    w.PutString(f.name);
+    w.PutU8(static_cast<std::uint8_t>(f.kind));
+  }
+  w.PutU32(static_cast<std::uint32_t>(d.samples.size()));
+  for (const telemetry::SeriesDelta::Sample& s : d.samples) {
+    w.PutU64(s.seq);
+    w.PutF64(s.t_s);
+    w.PutF64(s.wall_s);
+    w.PutU8(s.full ? 1 : 0);
+    w.PutU32(static_cast<std::uint32_t>(s.values.size()));
+    for (const auto& [idx, v] : s.values) {
+      w.PutU32(idx);
+      w.PutF64(v);
+    }
+  }
+}
+
+Result<telemetry::SeriesDelta> GetSeriesDelta(util::ByteReader& r) {
+  telemetry::SeriesDelta d;
+  COMPSTOR_ASSIGN_OR_RETURN(d.next_cursor, r.GetU64());
+  COMPSTOR_ASSIGN_OR_RETURN(d.dropped, r.GetU64());
+  COMPSTOR_ASSIGN_OR_RETURN(d.base_fields, r.GetU32());
+  COMPSTOR_ASSIGN_OR_RETURN(std::uint32_t n_fields, r.GetU32());
+  d.new_fields.reserve(n_fields);
+  for (std::uint32_t i = 0; i < n_fields; ++i) {
+    telemetry::SeriesField f;
+    COMPSTOR_ASSIGN_OR_RETURN(f.name, r.GetString());
+    COMPSTOR_ASSIGN_OR_RETURN(std::uint8_t kind, r.GetU8());
+    if (kind > static_cast<std::uint8_t>(telemetry::MetricKind::kHistogram)) {
+      return InvalidArgument("proto: bad series field kind");
+    }
+    f.kind = static_cast<telemetry::MetricKind>(kind);
+    d.new_fields.push_back(std::move(f));
+  }
+  COMPSTOR_ASSIGN_OR_RETURN(std::uint32_t n_samples, r.GetU32());
+  d.samples.reserve(n_samples);
+  for (std::uint32_t i = 0; i < n_samples; ++i) {
+    telemetry::SeriesDelta::Sample s;
+    COMPSTOR_ASSIGN_OR_RETURN(s.seq, r.GetU64());
+    COMPSTOR_ASSIGN_OR_RETURN(s.t_s, r.GetF64());
+    COMPSTOR_ASSIGN_OR_RETURN(s.wall_s, r.GetF64());
+    COMPSTOR_ASSIGN_OR_RETURN(std::uint8_t full, r.GetU8());
+    s.full = full != 0;
+    COMPSTOR_ASSIGN_OR_RETURN(std::uint32_t n_values, r.GetU32());
+    s.values.reserve(n_values);
+    for (std::uint32_t j = 0; j < n_values; ++j) {
+      std::uint32_t idx;
+      double v;
+      COMPSTOR_ASSIGN_OR_RETURN(idx, r.GetU32());
+      COMPSTOR_ASSIGN_OR_RETURN(v, r.GetF64());
+      s.values.emplace_back(idx, v);
+    }
+    d.samples.push_back(std::move(s));
+  }
+  return d;
+}
+
+void PutHealthEvents(util::ByteWriter& w,
+                     const std::vector<telemetry::HealthEvent>& events) {
+  w.PutU32(static_cast<std::uint32_t>(events.size()));
+  for (const telemetry::HealthEvent& e : events) {
+    w.PutU64(e.seq);
+    w.PutU8(static_cast<std::uint8_t>(e.type));
+    w.PutU8(static_cast<std::uint8_t>(e.severity));
+    w.PutF64(e.t_s);
+    w.PutF64(e.wall_s);
+    w.PutString(e.subject);
+    w.PutString(e.message);
+    w.PutF64(e.value);
+  }
+}
+
+Result<std::vector<telemetry::HealthEvent>> GetHealthEvents(util::ByteReader& r) {
+  COMPSTOR_ASSIGN_OR_RETURN(std::uint32_t n, r.GetU32());
+  std::vector<telemetry::HealthEvent> events;
+  events.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    telemetry::HealthEvent e;
+    COMPSTOR_ASSIGN_OR_RETURN(e.seq, r.GetU64());
+    COMPSTOR_ASSIGN_OR_RETURN(std::uint8_t type, r.GetU8());
+    if (type > static_cast<std::uint8_t>(telemetry::HealthType::kRecovered)) {
+      return InvalidArgument("proto: bad health event type");
+    }
+    e.type = static_cast<telemetry::HealthType>(type);
+    COMPSTOR_ASSIGN_OR_RETURN(std::uint8_t severity, r.GetU8());
+    if (severity > static_cast<std::uint8_t>(telemetry::Severity::kCritical)) {
+      return InvalidArgument("proto: bad health event severity");
+    }
+    e.severity = static_cast<telemetry::Severity>(severity);
+    COMPSTOR_ASSIGN_OR_RETURN(e.t_s, r.GetF64());
+    COMPSTOR_ASSIGN_OR_RETURN(e.wall_s, r.GetF64());
+    COMPSTOR_ASSIGN_OR_RETURN(e.subject, r.GetString());
+    COMPSTOR_ASSIGN_OR_RETURN(e.message, r.GetString());
+    COMPSTOR_ASSIGN_OR_RETURN(e.value, r.GetF64());
+    events.push_back(std::move(e));
+  }
+  return events;
 }
 
 void PutCommand(util::ByteWriter& w, const Command& c, std::uint8_t version) {
@@ -288,6 +440,11 @@ std::vector<std::uint8_t> Serialize(const Query& query, std::uint8_t version) {
   body.PutString(query.task_name);
   body.PutString(query.task_script);
   if (version >= 5) PutKvRequest(body, query.kv_request);
+  if (version >= 6) {
+    body.PutU64(query.stats_cursor);
+    body.PutU32(query.stats_known_fields);
+    body.PutU64(query.event_cursor);
+  }
   return Frame(kFrameQuery, std::move(body), version);
 }
 
@@ -299,8 +456,9 @@ Result<Query> DeserializeQuery(std::span<const std::uint8_t> data) {
   COMPSTOR_ASSIGN_OR_RETURN(q.id, r.GetU64());
   COMPSTOR_ASSIGN_OR_RETURN(std::uint8_t type, r.GetU8());
   const std::uint8_t max_type =
-      version >= 5 ? static_cast<std::uint8_t>(QueryType::kKv)
-                   : static_cast<std::uint8_t>(QueryType::kStats);
+      version >= 6   ? static_cast<std::uint8_t>(QueryType::kStatsDelta)
+      : version >= 5 ? static_cast<std::uint8_t>(QueryType::kKv)
+                     : static_cast<std::uint8_t>(QueryType::kStats);
   if (type > max_type) {
     return InvalidArgument("proto: bad query type");
   }
@@ -309,6 +467,11 @@ Result<Query> DeserializeQuery(std::span<const std::uint8_t> data) {
   COMPSTOR_ASSIGN_OR_RETURN(q.task_script, r.GetString());
   if (version >= 5) {
     COMPSTOR_ASSIGN_OR_RETURN(q.kv_request, GetKvRequest(r));
+  }
+  if (version >= 6) {
+    COMPSTOR_ASSIGN_OR_RETURN(q.stats_cursor, r.GetU64());
+    COMPSTOR_ASSIGN_OR_RETURN(q.stats_known_fields, r.GetU32());
+    COMPSTOR_ASSIGN_OR_RETURN(q.event_cursor, r.GetU64());
   }
   return q;
 }
@@ -330,16 +493,7 @@ std::vector<std::uint8_t> Serialize(const QueryReply& reply,
   PutStringList(body, reply.task_names);
   body.PutU32(static_cast<std::uint32_t>(reply.metrics.size()));
   for (const telemetry::MetricValue& m : reply.metrics) {
-    body.PutString(m.name);
-    body.PutU8(static_cast<std::uint8_t>(m.kind));
-    body.PutF64(m.value);
-    body.PutU64(m.count);
-    body.PutF64(m.sum);
-    body.PutF64(m.min);
-    body.PutF64(m.max);
-    body.PutF64(m.p50);
-    body.PutF64(m.p95);
-    body.PutF64(m.p99);
+    PutMetricValue(body, m, version);
   }
   body.PutU32(static_cast<std::uint32_t>(reply.processes.size()));
   for (const QueryReply::Process& p : reply.processes) {
@@ -350,6 +504,11 @@ std::vector<std::uint8_t> Serialize(const QueryReply& reply,
     body.PutF64(p.end_time_s);
   }
   if (version >= 5) PutKvReply(body, reply.kv);
+  if (version >= 6) {
+    PutSeriesDelta(body, reply.series);
+    PutHealthEvents(body, reply.events);
+    body.PutU64(reply.next_event_cursor);
+  }
   return Frame(kFrameQueryReply, std::move(body), version);
 }
 
@@ -377,21 +536,7 @@ Result<QueryReply> DeserializeQueryReply(std::span<const std::uint8_t> data) {
   COMPSTOR_ASSIGN_OR_RETURN(std::uint32_t n_metrics, r.GetU32());
   q.metrics.reserve(n_metrics);
   for (std::uint32_t i = 0; i < n_metrics; ++i) {
-    telemetry::MetricValue m;
-    COMPSTOR_ASSIGN_OR_RETURN(m.name, r.GetString());
-    COMPSTOR_ASSIGN_OR_RETURN(std::uint8_t kind, r.GetU8());
-    if (kind > static_cast<std::uint8_t>(telemetry::MetricKind::kHistogram)) {
-      return InvalidArgument("proto: bad metric kind");
-    }
-    m.kind = static_cast<telemetry::MetricKind>(kind);
-    COMPSTOR_ASSIGN_OR_RETURN(m.value, r.GetF64());
-    COMPSTOR_ASSIGN_OR_RETURN(m.count, r.GetU64());
-    COMPSTOR_ASSIGN_OR_RETURN(m.sum, r.GetF64());
-    COMPSTOR_ASSIGN_OR_RETURN(m.min, r.GetF64());
-    COMPSTOR_ASSIGN_OR_RETURN(m.max, r.GetF64());
-    COMPSTOR_ASSIGN_OR_RETURN(m.p50, r.GetF64());
-    COMPSTOR_ASSIGN_OR_RETURN(m.p95, r.GetF64());
-    COMPSTOR_ASSIGN_OR_RETURN(m.p99, r.GetF64());
+    COMPSTOR_ASSIGN_OR_RETURN(telemetry::MetricValue m, GetMetricValue(r, version));
     q.metrics.push_back(std::move(m));
   }
   COMPSTOR_ASSIGN_OR_RETURN(std::uint32_t n_procs, r.GetU32());
@@ -407,6 +552,11 @@ Result<QueryReply> DeserializeQueryReply(std::span<const std::uint8_t> data) {
   }
   if (version >= 5) {
     COMPSTOR_ASSIGN_OR_RETURN(q.kv, GetKvReply(r));
+  }
+  if (version >= 6) {
+    COMPSTOR_ASSIGN_OR_RETURN(q.series, GetSeriesDelta(r));
+    COMPSTOR_ASSIGN_OR_RETURN(q.events, GetHealthEvents(r));
+    COMPSTOR_ASSIGN_OR_RETURN(q.next_event_cursor, r.GetU64());
   }
   return q;
 }

@@ -21,6 +21,8 @@
 #include "common/status.hpp"
 #include "kv/types.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/slo.hpp"
+#include "telemetry/timeseries.hpp"
 
 namespace compstor::proto {
 
@@ -28,11 +30,14 @@ namespace compstor::proto {
 /// (Command.trace_query_id / trace_parent_span, Response.root_span_id);
 /// v4 adds the multi-tenant QoS fields (Command.tenant_id / priority);
 /// v5 adds the in-storage KV payload (Command.kv_request / Response.kv,
-/// QueryType::kKv with the same payload on Query/QueryReply). New fields are
-/// appended at the end of their sections so this decoder still reads v2..v4
-/// frames: the extra fields are only consumed when the frame's version byte
-/// says they are present.
-inline constexpr std::uint8_t kWireVersion = 5;
+/// QueryType::kKv with the same payload on Query/QueryReply); v6 adds the
+/// observability plane: QueryType::kStatsDelta with cursor fields on Query,
+/// the time-series delta + health events on QueryReply, and the histogram
+/// underflow/overflow counters on MetricValue. New fields are appended at
+/// the end of their sections so this decoder still reads v2..v5 frames: the
+/// extra fields are only consumed when the frame's version byte says they
+/// are present.
+inline constexpr std::uint8_t kWireVersion = 6;
 /// Oldest version this build still decodes.
 inline constexpr std::uint8_t kMinWireVersion = 2;
 
@@ -120,6 +125,7 @@ enum class QueryType : std::uint8_t {
   kProcessTable = 4,  // running/finished in-storage processes (ps-style)
   kStats = 5,         // snapshot of the device-side telemetry registry
   kKv = 6,            // v5+: KV batch on the admin plane (no task spawn)
+  kStatsDelta = 7,    // v6+: time-series samples + health events past a cursor
 };
 
 struct Query {
@@ -131,6 +137,14 @@ struct Query {
   /// resident store — the admin-plane path for tooling and tests. Bulk
   /// traffic should ride the Command path so it passes the tenant frontier.
   kv::Request kv_request;
+
+  /// kStatsDelta cursors (v6+). The client holds them between polls: the
+  /// device ships only series samples with seq >= stats_cursor (field names
+  /// only past the first stats_known_fields columns) and health events with
+  /// seq >= event_cursor.
+  std::uint64_t stats_cursor = 0;
+  std::uint32_t stats_known_fields = 0;
+  std::uint64_t event_cursor = 0;
 };
 
 struct QueryReply {
@@ -165,6 +179,12 @@ struct QueryReply {
 
   /// kKv payload (v5+).
   kv::Reply kv;
+
+  /// kStatsDelta payload (v6+): the cursor-delta slice of the device's
+  /// time-series ring plus any health events raised past the event cursor.
+  telemetry::SeriesDelta series;
+  std::vector<telemetry::HealthEvent> events;
+  std::uint64_t next_event_cursor = 0;
 
   bool ok() const { return status_code == 0; }
 };

@@ -7,6 +7,7 @@
 #include <cstring>
 #include <limits>
 #include <sstream>
+#include <utility>
 
 namespace compstor::telemetry {
 
@@ -76,6 +77,13 @@ void Histogram::Add(double v) {
       std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
   buckets_[idx].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
+  // Out-of-range observations are binned into the edge buckets (above), but
+  // counted here so the clamping is visible: quantiles of a saturated
+  // histogram are bounds, not measurements.
+  if (!bounds_.empty()) {
+    if (v < bounds_.front()) underflow_.fetch_add(1, std::memory_order_relaxed);
+    if (v > bounds_.back()) overflow_.fetch_add(1, std::memory_order_relaxed);
+  }
   AtomicAddDouble(sum_bits_, v);
   AtomicMinDouble(min_bits_, v);
   AtomicMaxDouble(max_bits_, v);
@@ -124,6 +132,8 @@ MetricValue Histogram::Snapshot(std::string name) const {
     m.p95 = Quantile(0.95);
     m.p99 = Quantile(0.99);
   }
+  m.underflow = Underflow();
+  m.overflow = Overflow();
   return m;
 }
 
@@ -224,8 +234,14 @@ void PrintMetricsTable(std::FILE* out, const std::vector<MetricValue>& metrics) 
                "p99");
   for (const MetricValue& m : metrics) {
     if (m.kind == MetricKind::kHistogram) {
-      std::fprintf(out, "%-44s %14llu %10.2f %10.2f %10.2f\n", m.name.c_str(),
+      std::fprintf(out, "%-44s %14llu %10.2f %10.2f %10.2f", m.name.c_str(),
                    static_cast<unsigned long long>(m.count), m.p50, m.p95, m.p99);
+      if (m.underflow != 0 || m.overflow != 0) {
+        std::fprintf(out, "  [clamped -%llu +%llu]",
+                     static_cast<unsigned long long>(m.underflow),
+                     static_cast<unsigned long long>(m.overflow));
+      }
+      std::fprintf(out, "\n");
     } else {
       std::fprintf(out, "%-44s %14.6g\n", m.name.c_str(), m.value);
     }
@@ -267,6 +283,7 @@ std::string MetricsToJson(const std::vector<MetricValue>& metrics) {
       AppendJsonNumber(os, m.p95);
       os << ",\"p99\":";
       AppendJsonNumber(os, m.p99);
+      os << ",\"underflow\":" << m.underflow << ",\"overflow\":" << m.overflow;
       os << "}";
     } else {
       AppendJsonNumber(os, m.value);
@@ -280,6 +297,80 @@ std::vector<MetricValue> WithPrefix(std::string_view prefix,
                                     std::vector<MetricValue> metrics) {
   for (MetricValue& m : metrics) m.name.insert(0, prefix);
   return metrics;
+}
+
+namespace {
+
+/// OpenMetrics metric names are [a-zA-Z_:][a-zA-Z0-9_:]*; everything else
+/// (dots, dashes) flattens to '_'.
+std::string OpenMetricsName(std::string_view raw) {
+  std::string out = "compstor_";
+  for (char c : raw) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void AppendOpenMetricsValue(std::string& out, double v) {
+  char buf[40];
+  if (std::isnan(v)) {
+    out += "NaN";
+  } else if (std::isinf(v)) {
+    out += v > 0 ? "+Inf" : "-Inf";
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out += buf;
+  }
+}
+
+}  // namespace
+
+std::string MetricsToOpenMetrics(const std::vector<MetricValue>& metrics) {
+  std::string out;
+  for (const MetricValue& m : metrics) {
+    const std::string name = OpenMetricsName(m.name);
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        out += "# TYPE " + name + " counter\n";
+        out += name + "_total ";
+        AppendOpenMetricsValue(out, m.value);
+        out += "\n";
+        break;
+      case MetricKind::kGauge:
+        out += "# TYPE " + name + " gauge\n";
+        out += name + " ";
+        AppendOpenMetricsValue(out, m.value);
+        out += "\n";
+        break;
+      case MetricKind::kHistogram: {
+        out += "# TYPE " + name + " summary\n";
+        const std::pair<const char*, double> quantiles[] = {
+            {"0.5", m.p50}, {"0.95", m.p95}, {"0.99", m.p99}};
+        for (const auto& [q, v] : quantiles) {
+          out += name + "{quantile=\"" + q + "\"} ";
+          AppendOpenMetricsValue(out, v);
+          out += "\n";
+        }
+        out += name + "_count " + std::to_string(m.count) + "\n";
+        out += name + "_sum ";
+        AppendOpenMetricsValue(out, m.sum);
+        out += "\n";
+        if (m.underflow != 0 || m.overflow != 0) {
+          const std::string clamped = name + "_clamped";
+          out += "# TYPE " + clamped + " counter\n";
+          out += clamped + "_total{direction=\"under\"} " +
+                 std::to_string(m.underflow) + "\n";
+          out += clamped + "_total{direction=\"over\"} " +
+                 std::to_string(m.overflow) + "\n";
+        }
+        break;
+      }
+    }
+  }
+  out += "# EOF\n";
+  return out;
 }
 
 }  // namespace compstor::telemetry

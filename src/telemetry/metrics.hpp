@@ -54,6 +54,12 @@ struct MetricValue {
   double p50 = 0;
   double p95 = 0;
   double p99 = 0;
+  /// Observations outside the bucket range (still included in count/sum/
+  /// min/max, but binned into the edge buckets). Nonzero overflow means the
+  /// upper quantiles are saturated at the top bucket and should be read as
+  /// lower bounds, not measurements.
+  std::uint64_t underflow = 0;
+  std::uint64_t overflow = 0;
 };
 
 class Counter {
@@ -94,6 +100,11 @@ class Histogram {
   void Add(double v);
 
   std::uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  /// Observations below the first / above the last bound. They still land in
+  /// the edge buckets (and in count/sum/min/max) — these counters exist so a
+  /// saturated distribution is visible instead of silently clamped.
+  std::uint64_t Underflow() const { return underflow_.load(std::memory_order_relaxed); }
+  std::uint64_t Overflow() const { return overflow_.load(std::memory_order_relaxed); }
   double Quantile(double q) const;
   /// Count in bucket `i` (i == bounds.size() is the overflow bucket).
   std::uint64_t BucketCount(std::size_t i) const;
@@ -110,6 +121,8 @@ class Histogram {
   const std::vector<double> bounds_;
   std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
   std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> underflow_{0};
+  std::atomic<std::uint64_t> overflow_{0};
   std::atomic<std::uint64_t> sum_bits_{0};
   std::atomic<std::uint64_t> min_bits_;
   std::atomic<std::uint64_t> max_bits_;
@@ -174,5 +187,13 @@ std::string MetricsToJson(const std::vector<MetricValue>& metrics);
 /// "dev3." + "nvme.qp0.sq_depth").
 std::vector<MetricValue> WithPrefix(std::string_view prefix,
                                     std::vector<MetricValue> metrics);
+
+/// Serializes metrics as OpenMetrics text (the Prometheus exposition
+/// format), ending with "# EOF". Dots become underscores and every name is
+/// prefixed "compstor_"; counters get the "_total" suffix, histograms export
+/// as summaries (quantile-labeled samples plus _count/_sum). Out-of-range
+/// histogram observations surface as <name>_clamped_total with
+/// direction="under"/"over" labels.
+std::string MetricsToOpenMetrics(const std::vector<MetricValue>& metrics);
 
 }  // namespace compstor::telemetry

@@ -1,0 +1,308 @@
+#include "telemetry/slo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace compstor::telemetry {
+
+namespace {
+
+/// The trailing slice of `window` covering `w_s` wall seconds, plus one
+/// sample past the edge as the base point for counter increases.
+std::vector<SeriesSample> SubWindow(const std::vector<SeriesSample>& window,
+                                    double w_s) {
+  std::vector<SeriesSample> out;
+  if (window.empty()) return out;
+  const double edge = window.back().wall_s - w_s;
+  std::size_t start = window.size();
+  while (start > 0) {
+    --start;
+    if (window[start].wall_s < edge) break;
+  }
+  out.assign(window.begin() + start, window.end());
+  return out;
+}
+
+/// True when `window` actually spans `w_s` seconds of history — rules skip
+/// windows that aren't covered yet, so a freshly-booted device is not
+/// "stuck" merely for lacking samples.
+bool Covers(const std::vector<SeriesSample>& window, double w_s) {
+  return window.size() >= 2 &&
+         window.back().wall_s - window.front().wall_s >= w_s;
+}
+
+int IndexOf(const std::vector<SeriesField>& fields, std::string_view name) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (fields[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string FormatDouble(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+bool WildcardMatch(std::string_view pattern, std::string_view name,
+                   std::string* capture) {
+  const std::size_t star = pattern.find('*');
+  if (star == std::string_view::npos) {
+    if (pattern != name) return false;
+    if (capture != nullptr) capture->clear();
+    return true;
+  }
+  const std::string_view prefix = pattern.substr(0, star);
+  const std::string_view suffix = pattern.substr(star + 1);
+  if (name.size() < prefix.size() + suffix.size()) return false;
+  if (name.substr(0, prefix.size()) != prefix) return false;
+  if (name.substr(name.size() - suffix.size()) != suffix) return false;
+  if (capture != nullptr) {
+    *capture = std::string(name.substr(prefix.size(),
+                                       name.size() - prefix.size() - suffix.size()));
+  }
+  return true;
+}
+
+std::string WildcardSubstitute(std::string_view pattern, std::string_view capture) {
+  const std::size_t star = pattern.find('*');
+  if (star == std::string_view::npos) return std::string(pattern);
+  std::string out(pattern.substr(0, star));
+  out.append(capture);
+  out.append(pattern.substr(star + 1));
+  return out;
+}
+
+HealthRuleEngine::HealthRuleEngine(std::size_t event_capacity)
+    : event_capacity_(event_capacity == 0 ? 1 : event_capacity) {}
+
+void HealthRuleEngine::AddStuckQueueRule(StuckQueueRule rule) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stuck_rules_.push_back(std::move(rule));
+}
+
+void HealthRuleEngine::AddNoProgressRule(NoProgressRule rule) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  progress_rules_.push_back(std::move(rule));
+}
+
+void HealthRuleEngine::AddFlapRule(FlapRule rule) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  flap_rules_.push_back(std::move(rule));
+}
+
+void HealthRuleEngine::EmitLocked(HealthEvent event) {
+  event.seq = next_seq_++;
+  events_.push_back(std::move(event));
+  while (events_.size() > event_capacity_) {
+    events_.pop_front();
+    ++dropped_events_;
+  }
+}
+
+void HealthRuleEngine::SetConditionLocked(const std::string& key, bool active,
+                                          HealthEvent event) {
+  bool& state = active_[key];
+  if (active == state) return;  // edge-triggered: no event per tick
+  state = active;
+  if (active) {
+    EmitLocked(std::move(event));
+    return;
+  }
+  HealthEvent cleared = std::move(event);
+  cleared.type = HealthType::kRecovered;
+  cleared.severity = Severity::kInfo;
+  cleared.message = "recovered: " + cleared.message;
+  EmitLocked(std::move(cleared));
+}
+
+void HealthRuleEngine::SetCondition(const std::string& key, bool active,
+                                    HealthEvent event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SetConditionLocked(key, active, std::move(event));
+}
+
+void HealthRuleEngine::Evaluate(const std::vector<SeriesField>& fields,
+                                const std::vector<SeriesSample>& window) {
+  if (window.empty()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const SeriesSample& now = window.back();
+
+  for (const StuckQueueRule& rule : stuck_rules_) {
+    const std::vector<SeriesSample> sub = SubWindow(window, rule.window_s);
+    const bool covered = Covers(sub, rule.window_s);
+    std::string capture;
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      if (!WildcardMatch(rule.depth_field, fields[i].name, &capture)) continue;
+      const int served =
+          IndexOf(fields, WildcardSubstitute(rule.served_field, capture));
+      if (served < 0) continue;
+      const double depth_floor = MinOver(sub, i);
+      const double served_inc = IncreaseOver(sub, static_cast<std::size_t>(served));
+      const bool stuck = covered && !std::isnan(depth_floor) &&
+                         depth_floor >= rule.min_depth && served_inc == 0.0;
+      HealthEvent e;
+      e.type = HealthType::kQueueStuck;
+      e.severity = Severity::kCritical;
+      e.t_s = now.t_s;
+      e.wall_s = now.wall_s;
+      e.subject = fields[i].name;
+      e.message = "queue depth held >= " + FormatDouble(rule.min_depth) + " for " +
+                  FormatDouble(rule.window_s) + "s with nothing served";
+      e.value = std::isnan(depth_floor) ? 0 : depth_floor;
+      SetConditionLocked("stuck:" + fields[i].name, stuck, std::move(e));
+    }
+  }
+
+  for (const NoProgressRule& rule : progress_rules_) {
+    const std::vector<SeriesSample> sub = SubWindow(window, rule.window_s);
+    const bool covered = Covers(sub, rule.window_s);
+    const int armed = IndexOf(fields, rule.armed_field);
+    const int progress = IndexOf(fields, rule.progress_field);
+    if (armed < 0 || progress < 0) continue;
+    const double armed_mean = MeanOver(sub, static_cast<std::size_t>(armed));
+    const double inc = IncreaseOver(sub, static_cast<std::size_t>(progress));
+    const bool stalled = covered && !std::isnan(armed_mean) && armed_mean > 0.5 &&
+                         inc == 0.0;
+    HealthEvent e;
+    e.type = HealthType::kNoProgress;
+    e.severity = Severity::kWarning;
+    e.t_s = now.t_s;
+    e.wall_s = now.wall_s;
+    e.subject = rule.subject;
+    e.message = rule.progress_field + " flat for " + FormatDouble(rule.window_s) +
+                "s while " + rule.armed_field + " is set";
+    e.value = std::isnan(armed_mean) ? 0 : armed_mean;
+    SetConditionLocked("noprogress:" + rule.subject, stalled, std::move(e));
+  }
+
+  for (const FlapRule& rule : flap_rules_) {
+    const std::vector<SeriesSample> sub = SubWindow(window, rule.window_s);
+    std::string capture;
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      if (!WildcardMatch(rule.transitions_field, fields[i].name, &capture)) continue;
+      const double flips = IncreaseOver(sub, i);
+      const bool flapping = !std::isnan(flips) && flips > rule.max_transitions;
+      HealthEvent e;
+      e.type = HealthType::kFlapping;
+      e.severity = Severity::kWarning;
+      e.t_s = now.t_s;
+      e.wall_s = now.wall_s;
+      e.subject = capture.empty() ? rule.subject : rule.subject + ":" + capture;
+      e.message = fields[i].name + " changed " + FormatDouble(flips) + "x in " +
+                  FormatDouble(rule.window_s) + "s";
+      e.value = std::isnan(flips) ? 0 : flips;
+      SetConditionLocked("flap:" + fields[i].name, flapping, std::move(e));
+    }
+  }
+}
+
+std::vector<HealthEvent> HealthRuleEngine::EventsSince(std::uint64_t cursor) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<HealthEvent> out;
+  for (const HealthEvent& e : events_) {
+    if (e.seq >= cursor) out.push_back(e);
+  }
+  return out;
+}
+
+std::uint64_t HealthRuleEngine::next_event_seq() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_seq_;
+}
+
+std::vector<std::string> HealthRuleEngine::ActiveConditions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  for (const auto& [key, active] : active_) {
+    if (active) out.push_back(key);
+  }
+  return out;
+}
+
+void SloEngine::AddObjective(SloObjective objective) {
+  objectives_.push_back(std::move(objective));
+}
+
+namespace {
+
+/// Budget-burn multiplier of one objective over one window.
+double BurnOver(const SloObjective& o, int fidx, int tidx,
+                const std::vector<SeriesSample>& sub) {
+  double bad_fraction = 0;
+  if (o.kind == SloObjective::Kind::kLatencyP99) {
+    std::size_t bad = 0, total = 0;
+    for (const SeriesSample& s : sub) {
+      const double v = fidx >= 0 && static_cast<std::size_t>(fidx) < s.values.size()
+                           ? s.values[static_cast<std::size_t>(fidx)]
+                           : std::numeric_limits<double>::quiet_NaN();
+      if (std::isnan(v)) continue;
+      ++total;
+      if (v > o.threshold) ++bad;
+    }
+    bad_fraction = total == 0 ? 0 : static_cast<double>(bad) / static_cast<double>(total);
+  } else {
+    const double errors =
+        fidx < 0 ? 0 : IncreaseOver(sub, static_cast<std::size_t>(fidx));
+    double total;
+    if (tidx >= 0) {
+      total = IncreaseOver(sub, static_cast<std::size_t>(tidx));
+    } else {
+      total = sub.size() > 1 ? static_cast<double>(sub.size() - 1) : 0;
+    }
+    if (std::isnan(errors) || std::isnan(total) || total <= 0) {
+      bad_fraction = 0;
+    } else {
+      bad_fraction = std::min(1.0, errors / total);
+    }
+  }
+  const double budget = std::max(1e-9, 1.0 - o.objective);
+  return bad_fraction / budget;
+}
+
+}  // namespace
+
+std::vector<SloState> SloEngine::Evaluate(const std::vector<SeriesField>& fields,
+                                          const std::vector<SeriesSample>& window,
+                                          HealthRuleEngine* health,
+                                          const std::string& subject_prefix) const {
+  std::vector<SloState> out;
+  out.reserve(objectives_.size());
+  for (const SloObjective& o : objectives_) {
+    SloState state;
+    state.objective = o;
+    const int fidx = IndexOf(fields, o.field);
+    const int tidx = o.total_field.empty() ? -1 : IndexOf(fields, o.total_field);
+    if (fidx >= 0 && !window.empty()) {
+      state.current = LastValue(window, static_cast<std::size_t>(fidx));
+      state.burn_long = BurnOver(o, fidx, tidx, SubWindow(window, o.long_window_s));
+      state.burn_short = BurnOver(o, fidx, tidx, SubWindow(window, o.short_window_s));
+      state.violating =
+          state.burn_long >= o.burn_alert && state.burn_short >= o.burn_alert;
+    }
+    if (health != nullptr) {
+      HealthEvent e;
+      e.type = HealthType::kSloBurnRate;
+      e.severity = Severity::kCritical;
+      if (!window.empty()) {
+        e.t_s = window.back().t_s;
+        e.wall_s = window.back().wall_s;
+      }
+      e.subject = subject_prefix + o.name;
+      e.message = "budget burning " + FormatDouble(state.burn_short) +
+                  "x short / " + FormatDouble(state.burn_long) + "x long (alert at " +
+                  FormatDouble(o.burn_alert) + "x)";
+      e.value = state.burn_short;
+      health->SetCondition("slo:" + subject_prefix + o.name, state.violating,
+                           std::move(e));
+    }
+    out.push_back(std::move(state));
+  }
+  return out;
+}
+
+}  // namespace compstor::telemetry

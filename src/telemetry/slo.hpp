@@ -1,0 +1,187 @@
+// Service-level objectives and health rules over the time series.
+//
+// Two consumers sit on top of the sampled series (timeseries.hpp):
+//
+//   * HealthRuleEngine — "is anything wedged?" Liveness rules evaluated on
+//     every sample: a queue that stays deep while its served counter is
+//     flat, a scrubber that is armed but makes no progress, a breaker that
+//     flips state faster than it plausibly should. Each rule is edge-
+//     triggered: one typed HealthEvent when the condition starts (and an
+//     info event when it clears), not one per tick, accumulated in a
+//     bounded log the kStatsDelta query ships past a client cursor.
+//
+//   * SloEngine — "is a tenant's budget burning?" Google-SRE-style
+//     multi-window burn rates: an interval is *bad* when the objective's
+//     signal (p99 sojourn over a latency threshold; error counter ticking
+//     against a total) violates; burn = bad_fraction / (1 - objective); the
+//     alert fires only when BOTH a long and a short window burn faster than
+//     `burn_alert`, so it is fast on real regressions and quiet on blips.
+//
+// All windows are wall-clock: a wedged device is exactly one whose virtual
+// clock stopped advancing, so virtual-time windows would never close.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/timeseries.hpp"
+
+namespace compstor::telemetry {
+
+enum class HealthType : std::uint8_t {
+  kQueueStuck = 0,     // depth held while served counter flat
+  kNoProgress = 1,     // armed subsystem (scrub) with a flat progress counter
+  kFlapping = 2,       // state transitions above plausible rate (breaker)
+  kSloBurnRate = 3,    // multi-window burn-rate alert
+  kRecovered = 4,      // a previously-raised condition cleared
+};
+
+enum class Severity : std::uint8_t {
+  kInfo = 0,
+  kWarning = 1,
+  kCritical = 2,
+};
+
+struct HealthEvent {
+  std::uint64_t seq = 0;  // monotonically increasing per engine
+  HealthType type = HealthType::kQueueStuck;
+  Severity severity = Severity::kWarning;
+  double t_s = 0;     // virtual time when raised
+  double wall_s = 0;  // wall time when raised
+  std::string subject;  // what wedged: "nvme.qp3", "scrub", "tenant1", ...
+  std::string message;
+  double value = 0;  // rule-specific magnitude (depth, burn rate, flips)
+};
+
+/// `field` patterns in rules may contain a single '*', which matches any
+/// run of characters ("nvme.qp*.sq_depth" matches every queue pair). In
+/// paired rules the capture substitutes into the partner pattern, so
+/// "nvme.qp*.sq_depth" / "nvme.qp*.arbitrated" pair per-queue.
+struct StuckQueueRule {
+  std::string depth_field;   // gauge: queue depth (wildcard ok)
+  std::string served_field;  // counter: work leaving the queue (same capture)
+  double window_s = 0.5;     // wall window the queue must be wedged for
+  double min_depth = 1;      // depth must never dip below this in the window
+};
+
+struct NoProgressRule {
+  std::string subject;         // event subject, e.g. "scrub"
+  std::string armed_field;     // gauge: rule active while its mean > 0.5
+  std::string progress_field;  // counter: must increase while armed
+  double window_s = 0.5;
+};
+
+struct FlapRule {
+  std::string subject;            // e.g. "breaker"
+  std::string transitions_field;  // counter of state changes (wildcard ok)
+  double window_s = 1.0;
+  double max_transitions = 4;     // more flips than this in the window
+};
+
+/// Evaluates health rules over a series window and keeps a bounded,
+/// cursor-addressable event log. Thread-safe: the device sampler thread
+/// evaluates while query threads read EventsSince().
+class HealthRuleEngine {
+ public:
+  explicit HealthRuleEngine(std::size_t event_capacity = 256);
+
+  void AddStuckQueueRule(StuckQueueRule rule);
+  void AddNoProgressRule(NoProgressRule rule);
+  void AddFlapRule(FlapRule rule);
+
+  /// Runs every rule against a window of samples (oldest first, as returned
+  /// by TimeSeriesRing::Window / SeriesTail::Window — callers pass a window
+  /// at least as wide as their widest rule). Edge-triggered events land in
+  /// the log.
+  void Evaluate(const std::vector<SeriesField>& fields,
+                const std::vector<SeriesSample>& window);
+
+  /// Edge-triggered emission for external conditions (the SLO engine, host
+  /// rules): raises `event` when `active` goes false->true for `key`, and a
+  /// kRecovered info event on true->false.
+  void SetCondition(const std::string& key, bool active, HealthEvent event);
+
+  /// Events with seq >= cursor, oldest first.
+  std::vector<HealthEvent> EventsSince(std::uint64_t cursor) const;
+  /// Sequence the next event will get (== cursor that drains the log).
+  std::uint64_t next_event_seq() const;
+  /// Keys of currently-active conditions (for dashboards).
+  std::vector<std::string> ActiveConditions() const;
+
+ private:
+  void SetConditionLocked(const std::string& key, bool active, HealthEvent event);
+  void EmitLocked(HealthEvent event);
+
+  const std::size_t event_capacity_;
+  mutable std::mutex mutex_;
+  std::vector<StuckQueueRule> stuck_rules_;
+  std::vector<NoProgressRule> progress_rules_;
+  std::vector<FlapRule> flap_rules_;
+  std::map<std::string, bool> active_;
+  std::deque<HealthEvent> events_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t dropped_events_ = 0;
+};
+
+/// One per-tenant objective, evaluated over the series.
+struct SloObjective {
+  std::string name;          // "interactive-p99", "corruption"
+  std::uint32_t tenant_id = 0;
+
+  enum class Kind : std::uint8_t {
+    kLatencyP99 = 0,  // bad interval: `field` (a .p99 column, us) > threshold
+    kErrorRate = 1,   // bad fraction: increase(field) / increase(total_field)
+  };
+  Kind kind = Kind::kLatencyP99;
+
+  std::string field;        // signal column name
+  std::string total_field;  // kErrorRate denominator; empty -> per-interval
+  double threshold = 0;     // kLatencyP99: the latency budget (us)
+
+  double objective = 0.99;      // fraction of good intervals promised
+  double long_window_s = 2.0;   // wall
+  double short_window_s = 0.5;  // wall
+  double burn_alert = 2.0;      // alert when both windows burn >= this
+};
+
+/// Evaluation result for one objective at one instant.
+struct SloState {
+  SloObjective objective;
+  double current = 0;      // latest signal reading (p99 us / error fraction)
+  double burn_long = 0;    // budget-burn multiplier over the long window
+  double burn_short = 0;
+  bool violating = false;  // both windows >= burn_alert
+};
+
+/// Multi-window burn-rate evaluator. Stateless per evaluation except for the
+/// edge-triggering it delegates to a HealthRuleEngine.
+class SloEngine {
+ public:
+  void AddObjective(SloObjective objective);
+  const std::vector<SloObjective>& objectives() const { return objectives_; }
+
+  /// Evaluates every objective over `window` (oldest first; must span at
+  /// least the longest long_window_s). If `health` is non-null, violations
+  /// raise kSloBurnRate events (and recoveries clear them) under the key
+  /// "slo:<subject_prefix><name>".
+  std::vector<SloState> Evaluate(const std::vector<SeriesField>& fields,
+                                 const std::vector<SeriesSample>& window,
+                                 HealthRuleEngine* health = nullptr,
+                                 const std::string& subject_prefix = "") const;
+
+ private:
+  std::vector<SloObjective> objectives_;
+};
+
+/// Single-'*' wildcard match; on success `capture` receives the matched run.
+bool WildcardMatch(std::string_view pattern, std::string_view name,
+                   std::string* capture);
+/// Substitutes `capture` for the '*' in `pattern` (identity if no '*').
+std::string WildcardSubstitute(std::string_view pattern, std::string_view capture);
+
+}  // namespace compstor::telemetry

@@ -1,0 +1,369 @@
+#include "telemetry/timeseries.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace compstor::telemetry {
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+std::uint64_t Bits(double v) {
+  std::uint64_t b;
+  std::memcpy(&b, &v, sizeof(b));
+  return b;
+}
+
+/// Bit-pattern equality: NaN == NaN (both quiet), 0.0 != -0.0. Exactly the
+/// notion of "changed" the delta encoding wants.
+bool SameBits(double a, double b) { return Bits(a) == Bits(b); }
+
+double At(const std::vector<double>& values, std::size_t idx) {
+  return idx < values.size() ? values[idx] : kNaN;
+}
+
+}  // namespace
+
+TimeSeriesRing::TimeSeriesRing(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void TimeSeriesRing::Append(double t_s, double wall_s,
+                            const std::vector<MetricValue>& snapshot) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto column = [this](const std::string& name, MetricKind kind) {
+    auto it = field_index_.find(name);
+    if (it != field_index_.end()) return it->second;
+    const auto idx = static_cast<std::uint32_t>(fields_.size());
+    fields_.push_back(SeriesField{name, kind});
+    field_index_.emplace(name, idx);
+    return idx;
+  };
+
+  SeriesSample s;
+  s.seq = next_seq_++;
+  s.t_s = t_s;
+  s.wall_s = wall_s;
+  s.values.assign(fields_.size(), kNaN);
+  auto set = [&s](std::uint32_t idx, double v) {
+    if (idx >= s.values.size()) s.values.resize(idx + 1, kNaN);
+    s.values[idx] = v;
+  };
+  for (const MetricValue& m : snapshot) {
+    if (m.kind == MetricKind::kHistogram) {
+      // A histogram becomes three columns: cumulative count and sum (both
+      // counter-like, so rates derive from them) plus the running p99.
+      set(column(m.name + ".count", MetricKind::kCounter),
+          static_cast<double>(m.count));
+      set(column(m.name + ".sum", MetricKind::kCounter), m.sum);
+      set(column(m.name + ".p99", MetricKind::kGauge), m.p99);
+    } else {
+      set(column(m.name, m.kind), m.value);
+    }
+  }
+  samples_.push_back(std::move(s));
+  while (samples_.size() > capacity_) {
+    samples_.pop_front();
+    ++dropped_;
+  }
+}
+
+std::size_t TimeSeriesRing::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return samples_.size();
+}
+
+std::uint64_t TimeSeriesRing::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+std::uint64_t TimeSeriesRing::next_seq() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_seq_;
+}
+
+std::size_t TimeSeriesRing::field_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fields_.size();
+}
+
+std::vector<SeriesField> TimeSeriesRing::Fields() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fields_;
+}
+
+std::vector<SeriesSample> TimeSeriesRing::SamplesSince(std::uint64_t cursor) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SeriesSample> out;
+  for (const SeriesSample& s : samples_) {
+    if (s.seq >= cursor) out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<SeriesSample> TimeSeriesRing::Window(double wall_window_s) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SeriesSample> out;
+  if (samples_.empty()) return out;
+  const double edge = samples_.back().wall_s - wall_window_s;
+  auto it = samples_.end();
+  while (it != samples_.begin()) {
+    --it;
+    out.push_back(*it);
+    // One sample past the window edge rides along so windowed counter
+    // increases have a base point.
+    if (it->wall_s < edge) break;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+SeriesDelta TimeSeriesRing::Encode(std::uint64_t cursor, std::uint32_t known_fields,
+                                   std::size_t max_samples) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SeriesDelta delta;
+  delta.dropped = dropped_;
+  delta.base_fields = std::min<std::uint32_t>(
+      known_fields, static_cast<std::uint32_t>(fields_.size()));
+  delta.new_fields.assign(fields_.begin() + delta.base_fields, fields_.end());
+  delta.next_cursor = std::min(cursor, next_seq_);
+  if (samples_.empty()) return delta;
+
+  const std::uint64_t oldest = samples_.front().seq;
+  // The client holds samples [.., cursor); if cursor fell behind the ring's
+  // tail the chain is broken and the first shipped sample must be absolute.
+  // `cursor == oldest` also ships full: the client may still hold cursor-1,
+  // but the encoder no longer does, so it cannot compute a sparse delta.
+  bool need_full = cursor <= oldest;
+  std::size_t start = 0;
+  while (start < samples_.size() && samples_[start].seq < cursor) ++start;
+  if (max_samples == 0) max_samples = 1;
+
+  for (std::size_t i = start; i < samples_.size() && delta.samples.size() < max_samples;
+       ++i) {
+    const SeriesSample& s = samples_[i];
+    SeriesDelta::Sample out;
+    out.seq = s.seq;
+    out.t_s = s.t_s;
+    out.wall_s = s.wall_s;
+    if (need_full || i == 0) {
+      out.full = true;
+      for (std::uint32_t c = 0; c < s.values.size(); ++c) {
+        if (!std::isnan(s.values[c])) out.values.emplace_back(c, s.values[c]);
+      }
+    } else {
+      const std::vector<double>& prev = samples_[i - 1].values;
+      for (std::uint32_t c = 0; c < s.values.size(); ++c) {
+        if (!SameBits(s.values[c], At(prev, c))) {
+          out.values.emplace_back(c, s.values[c]);
+        }
+      }
+    }
+    need_full = false;
+    delta.samples.push_back(std::move(out));
+    delta.next_cursor = s.seq + 1;
+  }
+  return delta;
+}
+
+SeriesTail::SeriesTail(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+std::size_t SeriesTail::Apply(const SeriesDelta& delta) {
+  for (std::size_t i = 0; i < delta.new_fields.size(); ++i) {
+    const std::size_t idx = delta.base_fields + i;
+    if (idx != fields_.size()) continue;  // already known (duplicate delivery)
+    fields_.push_back(delta.new_fields[i]);
+    field_index_.emplace(fields_.back().name, static_cast<std::uint32_t>(idx));
+  }
+
+  std::size_t appended = 0;
+  for (const SeriesDelta::Sample& in : delta.samples) {
+    SeriesSample s;
+    s.seq = in.seq;
+    s.t_s = in.t_s;
+    s.wall_s = in.wall_s;
+    if (in.full) {
+      if (!samples_.empty() && in.seq > samples_.back().seq + 1) {
+        lost_ += in.seq - samples_.back().seq - 1;  // ring overwrote the gap
+      }
+      s.values.assign(fields_.size(), std::numeric_limits<double>::quiet_NaN());
+    } else {
+      if (samples_.empty() || in.seq != samples_.back().seq + 1) {
+        // Sparse sample with no predecessor to patch: unreconstructable.
+        ++lost_;
+        continue;
+      }
+      s.values = samples_.back().values;
+      s.values.resize(fields_.size(), std::numeric_limits<double>::quiet_NaN());
+    }
+    for (const auto& [idx, v] : in.values) {
+      if (idx >= s.values.size()) s.values.resize(idx + 1, std::numeric_limits<double>::quiet_NaN());
+      s.values[idx] = v;
+    }
+    samples_.push_back(std::move(s));
+    ++appended;
+    while (samples_.size() > capacity_) samples_.pop_front();
+  }
+  cursor_ = std::max(cursor_, delta.next_cursor);
+  return appended;
+}
+
+int SeriesTail::FieldIndex(std::string_view name) const {
+  auto it = field_index_.find(std::string(name));
+  return it == field_index_.end() ? -1 : static_cast<int>(it->second);
+}
+
+double SeriesTail::Latest(std::string_view name) const {
+  const int idx = FieldIndex(name);
+  if (idx < 0) return kNaN;
+  for (auto it = samples_.rbegin(); it != samples_.rend(); ++it) {
+    const double v = At(it->values, static_cast<std::size_t>(idx));
+    if (!std::isnan(v)) return v;
+  }
+  return kNaN;
+}
+
+std::vector<SeriesSample> SeriesTail::Window(double wall_window_s) const {
+  std::vector<SeriesSample> out;
+  if (samples_.empty()) return out;
+  const double edge = samples_.back().wall_s - wall_window_s;
+  for (auto it = samples_.rbegin(); it != samples_.rend(); ++it) {
+    out.push_back(*it);
+    if (it->wall_s < edge) break;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+double LastValue(const std::vector<SeriesSample>& window, std::size_t idx) {
+  for (auto it = window.rbegin(); it != window.rend(); ++it) {
+    const double v = At(it->values, idx);
+    if (!std::isnan(v)) return v;
+  }
+  return kNaN;
+}
+
+double IncreaseOver(const std::vector<SeriesSample>& window, std::size_t idx) {
+  const SeriesSample* first = nullptr;
+  const SeriesSample* last = nullptr;
+  for (const SeriesSample& s : window) {
+    if (std::isnan(At(s.values, idx))) continue;
+    if (first == nullptr) first = &s;
+    last = &s;
+  }
+  if (first == nullptr || first == last) return kNaN;
+  // A counter reset (agent re-attach) would read as a negative increase;
+  // clamp — rates are never negative.
+  return std::max(0.0, At(last->values, idx) - At(first->values, idx));
+}
+
+double RateOver(const std::vector<SeriesSample>& window, std::size_t idx, bool use_wall) {
+  const SeriesSample* first = nullptr;
+  const SeriesSample* last = nullptr;
+  for (const SeriesSample& s : window) {
+    if (std::isnan(At(s.values, idx))) continue;
+    if (first == nullptr) first = &s;
+    last = &s;
+  }
+  if (first == nullptr || first == last) return kNaN;
+  const double elapsed =
+      use_wall ? last->wall_s - first->wall_s : last->t_s - first->t_s;
+  if (elapsed <= 0) return kNaN;
+  return std::max(0.0, At(last->values, idx) - At(first->values, idx)) / elapsed;
+}
+
+double MeanOver(const std::vector<SeriesSample>& window, std::size_t idx) {
+  double sum = 0;
+  std::size_t n = 0;
+  for (const SeriesSample& s : window) {
+    const double v = At(s.values, idx);
+    if (std::isnan(v)) continue;
+    sum += v;
+    ++n;
+  }
+  return n == 0 ? kNaN : sum / static_cast<double>(n);
+}
+
+double MinOver(const std::vector<SeriesSample>& window, std::size_t idx) {
+  double best = kNaN;
+  for (const SeriesSample& s : window) {
+    const double v = At(s.values, idx);
+    if (std::isnan(v)) continue;
+    if (std::isnan(best) || v < best) best = v;
+  }
+  return best;
+}
+
+Sampler::Sampler(const Registry* registry) : Sampler(registry, Options{}) {}
+
+Sampler::Sampler(const Registry* registry, Options options)
+    : registry_(registry),
+      options_(options),
+      epoch_(std::chrono::steady_clock::now()),
+      ring_(options.capacity) {}
+
+Sampler::~Sampler() { Stop(); }
+
+void Sampler::SetVirtualClock(std::function<double()> now_s) {
+  virtual_now_ = std::move(now_s);
+}
+
+void Sampler::SetOnSample(
+    std::function<void(const TimeSeriesRing&, const SeriesSample&)> fn) {
+  on_sample_ = std::move(fn);
+}
+
+double Sampler::WallNow() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void Sampler::SampleOnce() {
+  // Snapshot outside the ring lock: the registry walk (probes included) is
+  // the expensive part, and it must not block concurrent Encode() polls.
+  std::vector<MetricValue> snapshot = registry_->Snapshot();
+  const double t_s = virtual_now_ ? virtual_now_() : 0.0;
+  const double wall_s = WallNow();
+  ring_.Append(t_s, wall_s, snapshot);
+  samples_.fetch_add(1, std::memory_order_relaxed);
+  if (on_sample_) {
+    std::vector<SeriesSample> latest = ring_.SamplesSince(ring_.next_seq() - 1);
+    if (!latest.empty()) on_sample_(ring_, latest.back());
+  }
+}
+
+void Sampler::Start() {
+  if (running_.load(std::memory_order_acquire)) return;
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    stop_requested_ = false;
+  }
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread(&Sampler::Loop, this);
+}
+
+void Sampler::Stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    stop_requested_ = true;
+  }
+  wake_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  running_.store(false, std::memory_order_release);
+}
+
+void Sampler::Loop() {
+  std::unique_lock<std::mutex> lock(wake_mutex_);
+  while (!stop_requested_) {
+    lock.unlock();
+    SampleOnce();
+    lock.lock();
+    wake_.wait_for(lock, options_.interval, [this] { return stop_requested_; });
+  }
+}
+
+}  // namespace compstor::telemetry

@@ -1,0 +1,240 @@
+// On-device time series: a fixed-capacity ring of periodic registry samples.
+//
+// The trace ring (trace.hpp) answers "what happened inside one query"; the
+// metrics registry answers "what is the value now". This layer adds the
+// missing axis — history — so rates, utilization-over-time, SLO burn rates
+// and health rules have something to look at, and so a host can follow a
+// device's telemetry without re-shipping the full snapshot every poll.
+//
+// Model:
+//   * A background Sampler (one per Agent) snapshots the device registry at
+//     a fixed wall-clock interval and appends one SeriesSample per tick.
+//   * Every sample is double-stamped: `t_s` is device *virtual* time (the
+//     modeled clock — frozen while the device is idle) and `wall_s` is host
+//     monotonic time. Rates of modeled resources divide by virtual time;
+//     liveness windows (stuck queue, SLO windows) use wall time, because a
+//     stuck device is precisely one whose virtual clock stops advancing.
+//   * The field table is append-only: a metric name observed once keeps its
+//     column index forever (histograms expand to `.count`/`.sum`/`.p99`
+//     columns). Samples are dense vectors over that table; a metric absent
+//     from a snapshot (unregistered prefix) reads as quiet NaN.
+//   * Memory is bounded exactly like the trace ring: fixed sample capacity,
+//     oldest overwritten first, with a `dropped()` counter instead of
+//     silent loss.
+//
+// Wire: Encode() produces a SeriesDelta — only samples past the client-held
+// cursor, and within a sample only the values whose bit pattern changed
+// against its predecessor. Field names ship once (the client echoes how many
+// columns it already knows). SeriesTail is the client-side inverse: it
+// replays deltas back into dense samples.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+
+namespace compstor::telemetry {
+
+/// One column of the series: a metric name plus how to interpret it.
+/// Histogram metrics contribute three columns: `<name>.count` (counter),
+/// `<name>.sum` (counter) and `<name>.p99` (gauge).
+struct SeriesField {
+  std::string name;
+  MetricKind kind = MetricKind::kGauge;
+};
+
+/// One periodic sample: dense values over the ring's field table.
+/// `values.size()` may be shorter than the current field table if the field
+/// appeared after this sample was taken; missing / absent values are NaN.
+struct SeriesSample {
+  std::uint64_t seq = 0;  // monotonically increasing, never reused
+  double t_s = 0;         // device virtual time at the sample
+  double wall_s = 0;      // host monotonic seconds at the sample
+  std::vector<double> values;
+};
+
+/// Cursor-delta encoding of a span of samples (the kStatsDelta payload).
+struct SeriesDelta {
+  std::uint64_t next_cursor = 0;  // echo as the cursor of the next poll
+  std::uint64_t dropped = 0;      // ring overwrites to date (gap detector)
+  std::uint32_t base_fields = 0;  // columns the client already knew
+  std::vector<SeriesField> new_fields;  // columns [base_fields ..)
+
+  struct Sample {
+    std::uint64_t seq = 0;
+    double t_s = 0;
+    double wall_s = 0;
+    /// true: `values` is the complete sample (cursor start or gap resync);
+    /// false: `values` holds only the columns that changed vs sample seq-1.
+    bool full = false;
+    std::vector<std::pair<std::uint32_t, double>> values;  // (column, value)
+  };
+  std::vector<Sample> samples;
+};
+
+/// Fixed-capacity ring of SeriesSamples with an append-only field table.
+/// Thread-safe: the sampler appends while pollers encode.
+class TimeSeriesRing {
+ public:
+  explicit TimeSeriesRing(std::size_t capacity = kDefaultCapacity);
+
+  /// Appends one sample from a registry snapshot. Unknown metric names
+  /// extend the field table; known ones keep their column.
+  void Append(double t_s, double wall_s, const std::vector<MetricValue>& snapshot);
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  /// Samples overwritten since creation (bounded-memory loss counter).
+  std::uint64_t dropped() const;
+  /// Sequence number the next Append will use.
+  std::uint64_t next_seq() const;
+  std::size_t field_count() const;
+
+  std::vector<SeriesField> Fields() const;
+  /// Copies of the samples with seq >= cursor, oldest first.
+  std::vector<SeriesSample> SamplesSince(std::uint64_t cursor) const;
+  /// Copies of the most recent samples covering `wall_window_s` seconds of
+  /// wall time (plus one sample before the window edge, so windowed counter
+  /// deltas have a base), oldest first.
+  std::vector<SeriesSample> Window(double wall_window_s) const;
+
+  /// Delta-encodes samples in [cursor, cursor + max_samples) for a client
+  /// that already knows `known_fields` columns. If the cursor has fallen off
+  /// the ring (or is 0), the first sample ships full.
+  SeriesDelta Encode(std::uint64_t cursor, std::uint32_t known_fields,
+                     std::size_t max_samples = 64) const;
+
+  static constexpr std::size_t kDefaultCapacity = 512;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<SeriesField> fields_;
+  std::unordered_map<std::string, std::uint32_t> field_index_;
+  std::deque<SeriesSample> samples_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Client-side accumulator: replays SeriesDeltas into dense samples and a
+/// field table, bounded to `capacity` samples. Single-threaded (the monitor
+/// owns one per device).
+class SeriesTail {
+ public:
+  explicit SeriesTail(std::size_t capacity = TimeSeriesRing::kDefaultCapacity);
+
+  /// Applies one delta. Returns the number of samples appended.
+  std::size_t Apply(const SeriesDelta& delta);
+
+  /// Cursor / known-columns to send with the next poll.
+  std::uint64_t cursor() const { return cursor_; }
+  std::uint32_t known_fields() const { return static_cast<std::uint32_t>(fields_.size()); }
+  /// Samples that fell off the device ring before we polled them.
+  std::uint64_t lost() const { return lost_; }
+
+  const std::vector<SeriesField>& fields() const { return fields_; }
+  const std::deque<SeriesSample>& samples() const { return samples_; }
+  bool empty() const { return samples_.empty(); }
+
+  /// Column index for `name`, or -1 if the field has never been seen.
+  int FieldIndex(std::string_view name) const;
+  /// Latest non-NaN value of `name`; NaN if never sampled.
+  double Latest(std::string_view name) const;
+  /// Most recent samples covering `wall_window_s` of wall time (plus one
+  /// sample before the edge), oldest first.
+  std::vector<SeriesSample> Window(double wall_window_s) const;
+
+ private:
+  const std::size_t capacity_;
+  std::vector<SeriesField> fields_;
+  std::unordered_map<std::string, std::uint32_t> field_index_;
+  std::deque<SeriesSample> samples_;
+  std::uint64_t cursor_ = 0;
+  std::uint64_t lost_ = 0;
+};
+
+// --- derived series (computed at read time, never stored) ---
+
+/// Value of column `idx` in the newest sample carrying it; NaN if none.
+double LastValue(const std::vector<SeriesSample>& window, std::size_t idx);
+/// Increase of a (counter-kind) column across the window; NaN without two
+/// usable points. Monotonic-counter resets clamp to 0.
+double IncreaseOver(const std::vector<SeriesSample>& window, std::size_t idx);
+/// IncreaseOver divided by elapsed time: wall seconds if `use_wall`, else
+/// virtual seconds. NaN when elapsed time is zero (e.g. an idle device's
+/// frozen virtual clock) — honest "no rate", not a fake zero.
+double RateOver(const std::vector<SeriesSample>& window, std::size_t idx, bool use_wall);
+/// Mean of a gauge column's non-NaN points across the window.
+double MeanOver(const std::vector<SeriesSample>& window, std::size_t idx);
+/// Smallest non-NaN point of the column across the window.
+double MinOver(const std::vector<SeriesSample>& window, std::size_t idx);
+
+/// Background sampler: snapshots a Registry into a TimeSeriesRing at a fixed
+/// wall interval on its own thread. The Agent owns one per device.
+///
+/// Configure (SetVirtualClock / SetOnSample) before Start(); the hooks run
+/// on the sampler thread after each append. SampleOnce() takes a tick
+/// synchronously — tests drive determinism with it, with or without the
+/// thread running.
+class Sampler {
+ public:
+  struct Options {
+    std::chrono::milliseconds interval{25};
+    std::size_t capacity = TimeSeriesRing::kDefaultCapacity;
+  };
+
+  explicit Sampler(const Registry* registry);
+  Sampler(const Registry* registry, Options options);
+  ~Sampler();
+
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  /// Source of the virtual timestamp (defaults to 0 forever).
+  void SetVirtualClock(std::function<double()> now_s);
+  /// Runs after every appended sample (health evaluation lives here).
+  void SetOnSample(std::function<void(const TimeSeriesRing&, const SeriesSample&)> fn);
+
+  void Start();
+  void Stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// One synchronous tick (also what the background thread calls).
+  void SampleOnce();
+
+  TimeSeriesRing& ring() { return ring_; }
+  const TimeSeriesRing& ring() const { return ring_; }
+  std::uint64_t samples_taken() const { return samples_.load(std::memory_order_relaxed); }
+  /// Monotonic wall seconds since this sampler was built (the `wall_s` axis).
+  double WallNow() const;
+
+ private:
+  void Loop();
+
+  const Registry* registry_;
+  const Options options_;
+  const std::chrono::steady_clock::time_point epoch_;
+  TimeSeriesRing ring_;
+  std::function<double()> virtual_now_;
+  std::function<void(const TimeSeriesRing&, const SeriesSample&)> on_sample_;
+  std::atomic<std::uint64_t> samples_{0};
+  std::atomic<bool> running_{false};
+  std::mutex wake_mutex_;
+  std::condition_variable wake_;
+  bool stop_requested_ = false;  // guarded by wake_mutex_
+  std::thread thread_;
+};
+
+}  // namespace compstor::telemetry

@@ -324,6 +324,155 @@ TEST(Proto, QueryReplyRoundTrip) {
   EXPECT_EQ(back->task_names, (std::vector<std::string>{"grep", "gzip"}));
 }
 
+// --- v6: the observability plane ---
+
+QueryReply SampleObservabilityReply() {
+  QueryReply r;
+  r.id = 91;
+  r.core_count = 4;
+  // A histogram metric with clamped observations (v6-only counters).
+  telemetry::MetricValue m;
+  m.name = "isps.task_us";
+  m.kind = telemetry::MetricKind::kHistogram;
+  m.count = 10;
+  m.sum = 1234.5;
+  m.min = 2;
+  m.max = 90000;
+  m.p50 = 100;
+  m.p95 = 400;
+  m.p99 = 800;
+  m.underflow = 1;
+  m.overflow = 3;
+  r.metrics.push_back(m);
+  // A cursor-delta slice: one new column, one full sample, one sparse.
+  r.series.next_cursor = 17;
+  r.series.dropped = 2;
+  r.series.base_fields = 1;
+  r.series.new_fields = {{"nvme.backlog", telemetry::MetricKind::kGauge}};
+  telemetry::SeriesDelta::Sample full;
+  full.seq = 15;
+  full.t_s = 1.25;
+  full.wall_s = 3.5;
+  full.full = true;
+  full.values = {{0, 42.0}, {1, 7.0}};
+  telemetry::SeriesDelta::Sample sparse;
+  sparse.seq = 16;
+  sparse.t_s = 1.5;
+  sparse.wall_s = 3.75;
+  sparse.full = false;
+  sparse.values = {{1, 8.0}};
+  r.series.samples = {full, sparse};
+  // A health event past the client's cursor.
+  telemetry::HealthEvent e;
+  e.seq = 5;
+  e.type = telemetry::HealthType::kSloBurnRate;
+  e.severity = telemetry::Severity::kCritical;
+  e.t_s = 1.5;
+  e.wall_s = 3.75;
+  e.subject = "dev0.latency";
+  e.message = "interactive p99 over budget";
+  e.value = 6.5;
+  r.events.push_back(e);
+  r.next_event_cursor = 6;
+  return r;
+}
+
+TEST(Proto, ObservabilityReplyRoundTrip) {
+  const QueryReply r = SampleObservabilityReply();
+  auto back = DeserializeQueryReply(Serialize(r));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->metrics.size(), 1u);
+  EXPECT_EQ(back->metrics[0].underflow, 1u);
+  EXPECT_EQ(back->metrics[0].overflow, 3u);
+  EXPECT_EQ(back->series.next_cursor, 17u);
+  EXPECT_EQ(back->series.dropped, 2u);
+  EXPECT_EQ(back->series.base_fields, 1u);
+  ASSERT_EQ(back->series.new_fields.size(), 1u);
+  EXPECT_EQ(back->series.new_fields[0].name, "nvme.backlog");
+  ASSERT_EQ(back->series.samples.size(), 2u);
+  EXPECT_TRUE(back->series.samples[0].full);
+  EXPECT_EQ(back->series.samples[0].values,
+            (std::vector<std::pair<std::uint32_t, double>>{{0, 42.0}, {1, 7.0}}));
+  EXPECT_FALSE(back->series.samples[1].full);
+  EXPECT_EQ(back->series.samples[1].values,
+            (std::vector<std::pair<std::uint32_t, double>>{{1, 8.0}}));
+  ASSERT_EQ(back->events.size(), 1u);
+  EXPECT_EQ(back->events[0].type, telemetry::HealthType::kSloBurnRate);
+  EXPECT_EQ(back->events[0].severity, telemetry::Severity::kCritical);
+  EXPECT_EQ(back->events[0].subject, "dev0.latency");
+  EXPECT_DOUBLE_EQ(back->events[0].value, 6.5);
+  EXPECT_EQ(back->next_event_cursor, 6u);
+}
+
+// A v6 decoder must still accept a v5 reply frame: the series, events, and
+// clamp counters were appended at the end and default to empty below v6.
+TEST(Proto, V5ReplyFrameStillDecodes) {
+  const QueryReply r = SampleObservabilityReply();
+  auto back = DeserializeQueryReply(Serialize(r, /*version=*/5));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  // Everything v5 carried survives...
+  ASSERT_EQ(back->metrics.size(), 1u);
+  EXPECT_EQ(back->metrics[0].name, "isps.task_us");
+  EXPECT_DOUBLE_EQ(back->metrics[0].p99, 800.0);
+  // ...and the v6-only payload comes back as its empty defaults.
+  EXPECT_EQ(back->metrics[0].underflow, 0u);
+  EXPECT_EQ(back->metrics[0].overflow, 0u);
+  EXPECT_TRUE(back->series.samples.empty());
+  EXPECT_TRUE(back->series.new_fields.empty());
+  EXPECT_EQ(back->series.next_cursor, 0u);
+  EXPECT_TRUE(back->events.empty());
+  EXPECT_EQ(back->next_event_cursor, 0u);
+}
+
+// Emitting v5 must produce a byte-identical frame regardless of whether the
+// in-memory reply carries the observability payload — invisible below v6.
+TEST(Proto, V5EmissionIgnoresObservabilityFields) {
+  QueryReply loaded = SampleObservabilityReply();
+  QueryReply plain = SampleObservabilityReply();
+  plain.metrics[0].underflow = 0;
+  plain.metrics[0].overflow = 0;
+  plain.series = {};
+  plain.events.clear();
+  plain.next_event_cursor = 0;
+  EXPECT_EQ(Serialize(loaded, 5), Serialize(plain, 5));
+  EXPECT_NE(Serialize(loaded, 6), Serialize(plain, 6));
+}
+
+// The kStatsDelta cursors ride on Query the same way: invisible at v5,
+// round-tripped at v6.
+TEST(Proto, StatsDeltaQueryCursorsRoundTrip) {
+  Query q;
+  q.id = 12;
+  q.type = QueryType::kStats;
+  q.stats_cursor = 400;
+  q.stats_known_fields = 37;
+  q.event_cursor = 9;
+  auto back = DeserializeQuery(Serialize(q));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->stats_cursor, 400u);
+  EXPECT_EQ(back->stats_known_fields, 37u);
+  EXPECT_EQ(back->event_cursor, 9u);
+
+  Query no_cursors = q;
+  no_cursors.stats_cursor = 0;
+  no_cursors.stats_known_fields = 0;
+  no_cursors.event_cursor = 0;
+  EXPECT_EQ(Serialize(q, 5), Serialize(no_cursors, 5));
+  auto v5_back = DeserializeQuery(Serialize(q, 5));
+  ASSERT_TRUE(v5_back.ok());
+  EXPECT_EQ(v5_back->stats_cursor, 0u);
+}
+
+// QueryType::kStatsDelta does not exist below v6; a down-level frame
+// claiming it is malformed and must be rejected, not misread.
+TEST(Proto, StatsDeltaQueryRejectedAtV5) {
+  Query q;
+  q.type = QueryType::kStatsDelta;
+  auto back = DeserializeQuery(Serialize(q, /*version=*/5));
+  EXPECT_FALSE(back.ok());
+  EXPECT_EQ(back.status().code(), StatusCode::kInvalidArgument);
+}
+
 TEST(Proto, CorruptedFrameRejected) {
   auto bytes = Serialize(SampleMinion());
   bytes[bytes.size() / 2] ^= 0x01;

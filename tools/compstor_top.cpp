@@ -1,0 +1,300 @@
+// compstor-top: live fleet dashboard over the ClusterMonitor.
+//
+// Builds an emulated cluster, drives a scaled-down version of the isolation
+// bench's noisy-neighbor workload across it (a bulk compression tenant
+// saturating the devices while an interactive grep tenant probes), and shows
+// what the observability stack sees: per-device utilization and rates from
+// the kStatsDelta series, per-tenant SLO burn rates, and health events.
+//
+// The interactive SLO self-calibrates: a short solo probe stream runs first,
+// and the latency budget is 10x its measured p99 (min 1ms), so QoS-on runs
+// stay green and `--no-qos` runs visibly burn — the same contrast the
+// isolation bench asserts, rendered live.
+//
+// Usage:
+//   compstor_top                         live dashboard for --duration secs
+//   compstor_top --once --json           one frame as JSON (scripting / CI)
+//   compstor_top --openmetrics           OpenMetrics scrape of the cluster
+//   --devices N   cluster size                (default 2)
+//   --duration S  workload wall seconds       (default 1.5)
+//   --interval MS dashboard refresh           (default 250)
+//   --no-qos      FIFO control arm (expect the SLO to burn)
+//   --slo-us X    fixed latency budget instead of self-calibration
+//   --out PATH    write the final frame/scrape to PATH instead of stdout
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "client/cluster.hpp"
+#include "client/in_situ.hpp"
+#include "client/monitor.hpp"
+#include "common/qos.hpp"
+#include "isps/agent.hpp"
+#include "ssd/profiles.hpp"
+#include "ssd/ssd.hpp"
+#include "workload/dataset.hpp"
+
+namespace {
+
+using namespace compstor;
+
+struct Device {
+  std::unique_ptr<ssd::Ssd> ssd;
+  std::unique_ptr<isps::Agent> agent;
+  std::unique_ptr<client::CompStorHandle> handle;
+};
+
+constexpr std::uint32_t kInteractiveTenant = 1;
+constexpr std::uint32_t kBulkTenant = 2;
+constexpr std::uint32_t kCalibrationTenant = 3;
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--devices N] [--duration S] [--interval MS] "
+               "[--no-qos] [--once] [--json] [--openmetrics] [--slo-us X] "
+               "[--out PATH]\n",
+               argv0);
+  return 2;
+}
+
+proto::Command GrepProbe(const std::string& file) {
+  proto::Command cmd;
+  cmd.type = proto::CommandType::kExecutable;
+  cmd.executable = "grep";
+  cmd.args = {"-c", "the", file};
+  return cmd;
+}
+
+double SoloP99Us(const std::vector<telemetry::MetricValue>& metrics) {
+  const std::string suffix =
+      ".isps.tenant" + std::to_string(kCalibrationTenant) + ".sojourn_us";
+  double p99 = 0;
+  for (const auto& m : metrics) {
+    if (m.name.size() > suffix.size() &&
+        m.name.compare(m.name.size() - suffix.size(), suffix.size(), suffix) == 0) {
+      p99 = std::max(p99, m.p99);
+    }
+  }
+  return p99;
+}
+
+bool WriteOut(const std::string& path, const std::string& text) {
+  if (path.empty()) {
+    std::fputs(text.c_str(), stdout);
+    return true;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "compstor_top: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::fputs(text.c_str(), f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int num_devices = 2;
+  double duration_s = 1.5;
+  int interval_ms = 250;
+  bool qos = true;
+  bool once = false;
+  bool as_json = false;
+  bool openmetrics = false;
+  double slo_us = 0;  // 0: self-calibrate
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--devices") {
+      const char* v = next();
+      if (v == nullptr || (num_devices = std::atoi(v)) < 1) return Usage(argv[0]);
+    } else if (arg == "--duration") {
+      const char* v = next();
+      if (v == nullptr || (duration_s = std::atof(v)) <= 0) return Usage(argv[0]);
+    } else if (arg == "--interval") {
+      const char* v = next();
+      if (v == nullptr || (interval_ms = std::atoi(v)) < 1) return Usage(argv[0]);
+    } else if (arg == "--slo-us") {
+      const char* v = next();
+      if (v == nullptr || (slo_us = std::atof(v)) <= 0) return Usage(argv[0]);
+    } else if (arg == "--out") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      out_path = v;
+    } else if (arg == "--no-qos") {
+      qos = false;
+    } else if (arg == "--once") {
+      once = true;
+    } else if (arg == "--json") {
+      as_json = true;
+    } else if (arg == "--openmetrics") {
+      openmetrics = true;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  // --- cluster setup: N devices, each with a small staged text corpus ---
+  std::vector<Device> devices(static_cast<std::size_t>(num_devices));
+  std::vector<std::string> files;
+  client::Cluster cluster;
+  for (int d = 0; d < num_devices; ++d) {
+    Device& dev = devices[static_cast<std::size_t>(d)];
+    dev.ssd = std::make_unique<ssd::Ssd>(ssd::CompStorProfile(0.0015),
+                                         static_cast<std::uint64_t>(11 + d));
+    dev.agent = std::make_unique<isps::Agent>(dev.ssd.get());
+    dev.handle = std::make_unique<client::CompStorHandle>(dev.ssd.get());
+    if (!dev.handle->FormatFilesystem().ok()) {
+      std::fprintf(stderr, "compstor_top: format failed on device %d\n", d);
+      return 1;
+    }
+    workload::DatasetSpec spec;
+    spec.num_files = 4;
+    spec.total_bytes = 32 * 1024;
+    spec.seed = static_cast<std::uint64_t>(100 + d);
+    auto ds = workload::BuildDataset(&dev.agent->filesystem(), spec);
+    if (!ds.ok()) {
+      std::fprintf(stderr, "compstor_top: staging failed: %s\n",
+                   ds.status().ToString().c_str());
+      return 1;
+    }
+    if (d == 0) {
+      for (const auto& f : ds->files) files.push_back(f.path);
+    }
+    cluster.AddDevice(dev.handle.get());
+  }
+
+  client::ClusterPolicy policy;
+  policy.max_in_flight = static_cast<std::size_t>(64 * num_devices);
+  cluster.set_policy(policy);
+  cluster.SetTenantWeight(kInteractiveTenant, 8);
+  if (!qos) {
+    cluster.SetFairShare(false);
+    for (auto& dev : devices) {
+      dev.ssd->controller().SetQosArbitration(false);
+      dev.agent->cores().SetQosScheduling(false);
+    }
+  }
+
+  auto probe = [&](std::size_t d, std::uint32_t tenant) {
+    return cluster.RunAll({{d, GrepProbe(files[d % files.size()])}},
+                          qos::TenantContext{tenant, qos::Priority::kInteractive});
+  };
+
+  // --- SLO calibration: solo probes on the idle cluster ---
+  if (slo_us <= 0) {
+    for (int i = 0; i < 4 * num_devices; ++i) {
+      auto r = probe(static_cast<std::size_t>(i) % devices.size(), kCalibrationTenant);
+      if (!r.ok()) {
+        std::fprintf(stderr, "compstor_top: calibration probe failed: %s\n",
+                     r.status().ToString().c_str());
+        return 1;
+      }
+    }
+    slo_us = std::max(10.0 * SoloP99Us(cluster.CollectStats()), 1000.0);
+  }
+
+  client::ClusterMonitor::Options mon_options;
+  mon_options.interval = std::chrono::milliseconds(25);
+  mon_options.health_window_s = 2.0;
+  client::ClusterMonitor monitor(&cluster, mon_options);
+  telemetry::SloObjective slo;
+  slo.name = "interactive-p99";
+  slo.tenant_id = kInteractiveTenant;
+  slo.kind = telemetry::SloObjective::Kind::kLatencyP99;
+  slo.field = "isps.tenant" + std::to_string(kInteractiveTenant) + ".sojourn_us.p99";
+  slo.threshold = slo_us;
+  slo.objective = 0.95;
+  slo.long_window_s = 1.0;
+  slo.short_window_s = 0.25;
+  slo.burn_alert = 2.0;
+  monitor.device_slo().AddObjective(slo);
+
+  // --- the workload: bulk closed loop + interactive probes ---
+  std::atomic<bool> stop{false};
+  std::atomic<bool> workload_ok{true};
+  std::vector<std::thread> workers;
+  const int bulk_threads = 3;
+  const int wave = 16 * num_devices;
+  for (int b = 0; b < bulk_threads; ++b) {
+    workers.emplace_back([&] {
+      // Closed loop: resubmit the wave the moment it drains, so the backlog
+      // stays pinned at the device schedulers while the probes race it.
+      for (int w = 0; w < 256 && !stop.load(std::memory_order_relaxed); ++w) {
+        std::vector<client::Cluster::WorkItem> work;
+        for (int i = 0; i < wave; ++i) {
+          proto::Command cmd;
+          cmd.type = proto::CommandType::kShellCommand;
+          cmd.command_line = "gzip -k -c " +
+                             files[static_cast<std::size_t>(i) % files.size()] +
+                             " | wc -c";
+          work.push_back({static_cast<std::size_t>(i % num_devices), cmd});
+        }
+        auto r = cluster.RunAll(work, qos::TenantContext{kBulkTenant,
+                                                         qos::Priority::kBulk});
+        if (!r.ok()) {
+          workload_ok = false;
+          return;
+        }
+      }
+    });
+  }
+  for (int d = 0; d < num_devices; ++d) {
+    workers.emplace_back([&, d] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto r = probe(static_cast<std::size_t>(d), kInteractiveTenant);
+        if (!r.ok()) {
+          workload_ok = false;
+          return;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    });
+  }
+
+  monitor.StartPolling();
+  const auto t0 = std::chrono::steady_clock::now();
+  auto elapsed = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+  if (!once && !openmetrics && !as_json && out_path.empty()) {
+    // Live mode: redraw the dashboard until the duration elapses.
+    while (elapsed() < duration_s) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+      std::printf("\x1b[2J\x1b[H%s",
+                  client::ClusterMonitor::RenderTop(monitor.Snapshot()).c_str());
+      std::fflush(stdout);
+    }
+  } else {
+    while (elapsed() < duration_s) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+
+  stop = true;
+  for (auto& t : workers) t.join();
+  monitor.StopPolling();
+  monitor.PollOnce();  // final frame sees the workload's last samples
+
+  std::string text;
+  if (openmetrics) {
+    text = monitor.ToOpenMetrics();
+  } else {
+    const client::ClusterMonitor::Frame frame = monitor.Snapshot();
+    text = as_json ? client::ClusterMonitor::ToJson(frame)
+                   : client::ClusterMonitor::RenderTop(frame);
+    if (as_json) text += "\n";
+  }
+  if (!WriteOut(out_path, text)) return 1;
+  return workload_ok.load() ? 0 : 1;
+}

@@ -55,9 +55,22 @@ int main(int argc, char** argv) {
   }
   std::ostringstream buf;
   buf << in.rdbuf();
+  if (buf.str().empty()) {
+    std::fprintf(stderr, "trace_analyze: %s is empty\n", path);
+    return 1;
+  }
 
   using namespace compstor::telemetry;
   const std::vector<StitchedEvent> events = ParseChromeTraceJson(buf.str());
+  if (events.empty()) {
+    // Garbage in should never report success: an unparseable trace yields an
+    // empty event list, which previously printed a vacuous report and exited 0.
+    std::fprintf(stderr,
+                 "trace_analyze: no trace events parsed from %s "
+                 "(not a Chrome trace_event JSON?)\n",
+                 path);
+    return 1;
+  }
   const ClusterTraceReport report = AnalyzeTrace(events);
 
   if (check) {
